@@ -1,0 +1,44 @@
+//! Ablation: exact LP routability vs the Garg–Könemann concurrent-flow
+//! oracle, both as a standalone test and inside a full ISP run
+//! (DESIGN.md decision 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_bench::bell_instance;
+use netrec_core::{solve_isp, IspConfig, RoutabilityMode};
+use netrec_lp::concurrent::routable_approx;
+use netrec_lp::mcf::routability;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let problem = bell_instance(4, 10.0);
+    let demands = problem.demands();
+    let view = problem.full_view();
+
+    let mut g = c.benchmark_group("routability");
+    g.sample_size(10);
+    g.bench_function("exact_lp", |b| {
+        b.iter(|| routability(black_box(&view), black_box(&demands)).unwrap())
+    });
+    g.bench_function("garg_koenemann", |b| {
+        b.iter(|| routable_approx(black_box(&view), black_box(&demands), 0.05))
+    });
+    g.bench_function("isp_exact", |b| {
+        let config = IspConfig {
+            routability: RoutabilityMode::Exact,
+            ..Default::default()
+        };
+        b.iter(|| solve_isp(black_box(&problem), &config).unwrap())
+    });
+    g.bench_function("isp_approx", |b| {
+        let config = IspConfig {
+            routability: RoutabilityMode::Approx { epsilon: 0.05 },
+            exact_split_lp: false,
+            ..Default::default()
+        };
+        b.iter(|| solve_isp(black_box(&problem), &config).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 4 — all algorithms on the Bell-Canada full-destruction instance
+//! at 4 demand pairs × 10 units (the sweep midpoint). The full sweep is
+//! `repro --figure fig4`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_bench::bell_instance;
+use netrec_core::heuristics::greedy::{solve_grd_com, solve_grd_nc, GreedyConfig};
+use netrec_core::heuristics::srt::solve_srt;
+use netrec_core::{solve_isp, IspConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let problem = bell_instance(4, 10.0);
+    let greedy = GreedyConfig::default();
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("isp", |b| {
+        b.iter(|| solve_isp(black_box(&problem), &IspConfig::default()).unwrap())
+    });
+    g.bench_function("srt", |b| b.iter(|| solve_srt(black_box(&problem))));
+    g.bench_function("grd_com", |b| {
+        b.iter(|| solve_grd_com(black_box(&problem), &greedy))
+    });
+    g.bench_function("grd_nc", |b| {
+        b.iter(|| solve_grd_nc(black_box(&problem), &greedy).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks of the algorithmic kernels everything else is built
+//! on: Dijkstra, Dinic max-flow, the two-phase simplex, and demand-based
+//! centrality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_core::centrality::demand_centrality;
+use netrec_graph::{dijkstra, maxflow};
+use netrec_lp::mcf::{routability, Demand};
+use netrec_topology::bell::bell_canada;
+use netrec_topology::caida::caida_sized;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let bell = bell_canada();
+    let caida = caida_sized(400, 494, 44.0, 3);
+    let bell_view = bell.graph().view();
+    let caida_view = caida.graph().view();
+    let bell_demands = [
+        Demand::new(bell.graph().node(32), bell.graph().node(47), 10.0),
+        Demand::new(bell.graph().node(0), bell.graph().node(31), 10.0),
+    ];
+
+    let mut g = c.benchmark_group("kernels");
+    g.bench_function("dijkstra_bell", |b| {
+        b.iter(|| dijkstra::dijkstra(black_box(&bell_view), bell.graph().node(0), |_| 1.0))
+    });
+    g.bench_function("dijkstra_caida400", |b| {
+        b.iter(|| dijkstra::dijkstra(black_box(&caida_view), caida.graph().node(0), |_| 1.0))
+    });
+    g.bench_function("maxflow_bell", |b| {
+        b.iter(|| {
+            maxflow::max_flow_value(
+                black_box(&bell_view),
+                bell.graph().node(0),
+                bell.graph().node(47),
+            )
+        })
+    });
+    g.bench_function("maxflow_caida400", |b| {
+        b.iter(|| {
+            maxflow::max_flow_value(
+                black_box(&caida_view),
+                caida.graph().node(0),
+                caida.graph().node(399),
+            )
+        })
+    });
+    g.bench_function("routability_lp_bell", |b| {
+        b.iter(|| routability(black_box(&bell_view), black_box(&bell_demands)).unwrap())
+    });
+    g.bench_function("centrality_bell", |b| {
+        b.iter(|| demand_centrality(black_box(&bell_view), black_box(&bell_demands), |_| 1.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Shared helpers for the `netrec` Criterion benchmarks.
+//!
+//! Each bench target regenerates (a representative point of) one figure of
+//! the paper; the full sweeps live in the `repro` binary of `netrec-sim`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netrec_core::RecoveryProblem;
+use netrec_disrupt::DisruptionModel;
+use netrec_topology::demand::{generate_demands, DemandSpec};
+use netrec_topology::Topology;
+
+/// Builds a [`RecoveryProblem`] from a topology, demand spec and
+/// disruption model (the same wiring the sim runner uses).
+pub fn problem_for(
+    topology: &Topology,
+    spec: &DemandSpec,
+    disruption: &DisruptionModel,
+    seed: u64,
+) -> RecoveryProblem {
+    let demands = generate_demands(topology, spec, seed);
+    let broken = disruption.apply(topology, seed ^ 0xDEAD);
+    let mut p = RecoveryProblem::new(topology.graph().clone());
+    for (s, t, d) in demands {
+        p.add_demand(s, t, d).expect("valid generated demand");
+    }
+    for (i, &b) in broken.broken_nodes.iter().enumerate() {
+        if b {
+            p.break_node(p.graph().node(i), 1.0).expect("valid node");
+        }
+    }
+    for (i, &b) in broken.broken_edges.iter().enumerate() {
+        if b {
+            p.break_edge(netrec_graph::EdgeId::new(i), 1.0)
+                .expect("valid edge");
+        }
+    }
+    p
+}
+
+/// The standard Bell-Canada full-destruction instance used by the
+/// figure-point benches (`pairs` pairs of `flow` units).
+pub fn bell_instance(pairs: usize, flow: f64) -> RecoveryProblem {
+    problem_for(
+        &netrec_topology::bell::bell_canada(),
+        &DemandSpec::new(pairs, flow),
+        &DisruptionModel::Complete,
+        42,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_instance_is_fully_broken() {
+        let p = bell_instance(2, 10.0);
+        assert_eq!(p.broken_node_count(), 48);
+        assert_eq!(p.broken_edge_count(), 64);
+        assert_eq!(p.demands().len(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+use netrec_graph::GraphError;
+use netrec_lp::LpError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the recovery algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryError {
+    /// A graph-level error (bad node/edge reference, invalid capacity).
+    Graph(GraphError),
+    /// An LP/MILP solver failure.
+    Lp(LpError),
+    /// The demand cannot be satisfied even by repairing every broken
+    /// component: the *original* supply graph lacks the capacity. No
+    /// recovery plan exists.
+    InfeasibleEvenIfAllRepaired,
+    /// A demand references a node that does not exist in the supply graph.
+    UnknownDemandEndpoint,
+    /// A repair cost was negative or non-finite.
+    InvalidCost(f64),
+    /// The ISP iteration guard tripped; the returned plan fell back to a
+    /// conservative strategy. (Only reported when fallback is disabled.)
+    IterationGuard,
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Graph(e) => write!(f, "graph error: {e}"),
+            RecoveryError::Lp(e) => write!(f, "lp error: {e}"),
+            RecoveryError::InfeasibleEvenIfAllRepaired => {
+                write!(f, "demand exceeds the capacity of the fully repaired network")
+            }
+            RecoveryError::UnknownDemandEndpoint => {
+                write!(f, "demand endpoint not present in the supply graph")
+            }
+            RecoveryError::InvalidCost(c) => {
+                write!(f, "repair cost {c} is not a finite non-negative number")
+            }
+            RecoveryError::IterationGuard => {
+                write!(f, "iteration guard tripped before convergence")
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecoveryError::Graph(e) => Some(e),
+            RecoveryError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for RecoveryError {
+    fn from(e: GraphError) -> Self {
+        RecoveryError::Graph(e)
+    }
+}
+
+impl From<LpError> for RecoveryError {
+    fn from(e: LpError) -> Self {
+        RecoveryError::Lp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RecoveryError::from(LpError::IterationLimit);
+        assert!(e.to_string().contains("lp error"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&RecoveryError::UnknownDemandEndpoint).is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let g: RecoveryError = GraphError::InvalidCapacity(-1.0).into();
+        assert!(matches!(g, RecoveryError::Graph(_)));
+    }
+}

@@ -1,0 +1,66 @@
+//! The trivial `ALL` baseline: repair every broken component.
+
+use crate::{RecoveryPlan, RecoveryProblem};
+use netrec_graph::{EdgeId, NodeId};
+
+/// Repairs everything broken. The paper plots this as the upper envelope
+/// (`ALL`) of all figures.
+///
+/// # Example
+///
+/// ```
+/// use netrec_core::{heuristics::all::solve_all, RecoveryProblem};
+/// use netrec_graph::Graph;
+///
+/// let mut g = Graph::with_nodes(2);
+/// let e = g.add_edge(g.node(0), g.node(1), 1.0)?;
+/// let mut p = RecoveryProblem::new(g);
+/// p.break_edge(e, 1.0)?;
+/// assert_eq!(solve_all(&p).total_repairs(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_all(problem: &RecoveryProblem) -> RecoveryPlan {
+    let mut plan = RecoveryPlan::new("ALL");
+    plan.repaired_nodes = problem
+        .broken_node_mask()
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| NodeId::new(i))
+        .collect();
+    plan.repaired_edges = problem
+        .broken_edge_mask()
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b)
+        .map(|(i, _)| EdgeId::new(i))
+        .collect();
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::Graph;
+
+    #[test]
+    fn repairs_exactly_the_broken_set() {
+        let mut g = Graph::with_nodes(3);
+        let e0 = g.add_edge(g.node(0), g.node(1), 1.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 1.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.break_edge(e0, 1.0).unwrap();
+        p.break_node(p.graph().node(2), 1.0).unwrap();
+        let plan = solve_all(&p);
+        assert_eq!(plan.total_repairs(), 2);
+        assert_eq!(plan.repaired_edges, vec![e0]);
+        assert_eq!(plan.repaired_nodes, vec![p.graph().node(2)]);
+    }
+
+    #[test]
+    fn nothing_broken_nothing_repaired() {
+        let g = Graph::with_nodes(2);
+        let p = RecoveryProblem::new(g);
+        assert_eq!(solve_all(&p).total_repairs(), 0);
+    }
+}

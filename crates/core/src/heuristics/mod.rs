@@ -1,0 +1,17 @@
+//! Baseline recovery heuristics from the paper's §VI, plus the exact
+//! optimum:
+//!
+//! * [`all`] — repair everything broken (the `ALL` line of the figures).
+//! * [`srt`] — Shortest-Path heuristic (SRT): repair the shortest paths
+//!   needed by each demand independently; cheap but may lose demand.
+//! * [`greedy`] — knapsack-style Greedy Commitment (GRD-COM) and Greedy
+//!   No-Commitment (GRD-NC) over an enumerated path pool.
+//! * [`opt`] — the exact MinR MILP (system (1)) via branch & bound.
+//! * [`mcf_relax`] — the multi-commodity relaxation LP (8) with MCB/MCW
+//!   repair-set extraction.
+
+pub mod all;
+pub mod greedy;
+pub mod mcf_relax;
+pub mod opt;
+pub mod srt;

@@ -1,0 +1,505 @@
+//! The Iterative Split and Prune (ISP) heuristic — Algorithm 1 of the
+//! paper.
+//!
+//! ISP repeatedly simplifies the recovery instance until the remaining
+//! demand is routable through working (or already-listed-for-repair)
+//! components:
+//!
+//! 1. **Prune** demands that a working *bubble* can satisfy (Theorem 3) —
+//!    this consumes residual capacity and shrinks `H`.
+//! 2. **Repair direct links** between demand endpoints that no working
+//!    path can serve (§IV-E).
+//! 3. Otherwise **split**: pick the node `v_BC` with the highest
+//!    demand-based centrality (computed on the *full* graph, broken
+//!    elements included, under the dynamic metric of §IV-D), repair it if
+//!    broken, select the contributing demand that is hardest to route
+//!    elsewhere (Decision 1), and re-route the largest safe amount `dx`
+//!    through `v_BC` (Decision 2 — an LP).
+//!
+//! The loop ends when the demand set is empty or routable on the working
+//! subgraph; the accumulated repair list is the recovery plan.
+
+use crate::centrality::{demand_centrality, DynamicMetric};
+use crate::state::{IspState, EPS};
+use crate::{RecoveryError, RecoveryPlan, RecoveryProblem, RoutabilityMode};
+use netrec_graph::maxflow;
+use netrec_lp::mcf::{self, Demand};
+use serde::{Deserialize, Serialize};
+
+/// Which edge-length metric drives centrality and path selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricMode {
+    /// The paper's dynamic metric (§IV-D): repair costs of still-broken
+    /// components over residual capacity, updated every iteration. This
+    /// is what concentrates flow onto already-repaired components.
+    Dynamic,
+    /// Plain hop count (ablation baseline: no cost/capacity awareness).
+    Hops,
+}
+
+/// Configuration of the ISP solver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IspConfig {
+    /// The `const` term of the dynamic path metric (length of a working
+    /// link before dividing by capacity).
+    pub length_const: f64,
+    /// The edge-length metric (dynamic per the paper, or a static
+    /// hop-count ablation).
+    pub metric: MetricMode,
+    /// Routability backend (exact LP vs concurrent-flow approximation).
+    pub routability: RoutabilityMode,
+    /// How many top-centrality candidates to try per iteration before
+    /// falling back to a forced repair.
+    pub split_candidates: usize,
+    /// Hard iteration guard; `None` derives `20·(|V|+|E|) + 100·|EH|`.
+    pub max_iterations: Option<usize>,
+    /// Use the exact Decision-2 LP when the instance is small enough
+    /// (same threshold logic as `routability`); otherwise determine `dx`
+    /// by halving search with the routability oracle.
+    pub exact_split_lp: bool,
+}
+
+impl Default for IspConfig {
+    fn default() -> Self {
+        IspConfig {
+            length_const: 1.0,
+            metric: MetricMode::Dynamic,
+            routability: RoutabilityMode::default(),
+            split_candidates: 8,
+            max_iterations: None,
+            exact_split_lp: true,
+        }
+    }
+}
+
+/// Statistics of an ISP run (also summarized into the returned plan).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IspStats {
+    /// Main-loop iterations.
+    pub iterations: usize,
+    /// Executed prune actions.
+    pub prunes: usize,
+    /// Executed split actions.
+    pub splits: usize,
+    /// Repairs forced by the progress guard (not by splits/direct rule).
+    pub forced_repairs: usize,
+    /// Whether the conservative repair-everything fallback fired.
+    pub used_fallback: bool,
+}
+
+/// Runs ISP on `problem`.
+///
+/// # Errors
+///
+/// * [`RecoveryError::InfeasibleEvenIfAllRepaired`] if the demand cannot
+///   be routed even on the fully repaired network;
+/// * LP solver failures.
+///
+/// # Example
+///
+/// ```
+/// use netrec_core::{solve_isp, IspConfig, RecoveryProblem};
+/// use netrec_graph::Graph;
+///
+/// let mut g = Graph::with_nodes(3);
+/// let e0 = g.add_edge(g.node(0), g.node(1), 10.0)?;
+/// let e1 = g.add_edge(g.node(1), g.node(2), 10.0)?;
+/// let mut p = RecoveryProblem::new(g);
+/// p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)?;
+/// p.break_edge(e0, 1.0)?;
+/// p.break_edge(e1, 1.0)?;
+/// let plan = solve_isp(&p, &IspConfig::default())?;
+/// assert!(plan.verify_routable(&p)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_isp(problem: &RecoveryProblem, config: &IspConfig) -> Result<RecoveryPlan, RecoveryError> {
+    let (plan, _) = solve_isp_with_stats(problem, config)?;
+    Ok(plan)
+}
+
+/// Runs ISP and returns detailed statistics alongside the plan.
+///
+/// # Errors
+///
+/// See [`solve_isp`].
+pub fn solve_isp_with_stats(
+    problem: &RecoveryProblem,
+    config: &IspConfig,
+) -> Result<(RecoveryPlan, IspStats), RecoveryError> {
+    let mut stats = IspStats::default();
+
+    // Feasibility precheck: the fully repaired network must carry the
+    // demand, otherwise no recovery plan exists.
+    let initial_demands = problem.demands();
+    let full = problem.full_view();
+    if !config.routability.routable(&full, &initial_demands)? {
+        // The approximate oracle may be over-conservative; re-check
+        // exactly when it was used, unless the instance is huge.
+        let exact_ok = mcf::routability(&full, &initial_demands)?.is_some();
+        if !exact_ok {
+            return Err(RecoveryError::InfeasibleEvenIfAllRepaired);
+        }
+    }
+
+    let mut state = IspState::new(problem);
+    let guard = config.max_iterations.unwrap_or_else(|| {
+        20 * (problem.graph().node_count() + problem.graph().edge_count())
+            + 100 * initial_demands.len().max(1)
+    });
+
+    loop {
+        stats.iterations += 1;
+        if stats.iterations > guard {
+            state.repair_all_remaining();
+            stats.used_fallback = true;
+            break;
+        }
+
+        state.prune_exhaustively();
+        state.sweep_demands();
+        if state.demands.is_empty() {
+            break;
+        }
+        if config
+            .routability
+            .routable(&state.working_view(), &state.demands)?
+        {
+            break;
+        }
+        if state.repair_direct_edges() {
+            continue;
+        }
+        if !split_step(&mut state, config)? {
+            // No productive split: force progress by repairing the most
+            // central still-broken element, or give up conservatively.
+            if !force_repair(&mut state, config) {
+                state.repair_all_remaining();
+                stats.used_fallback = true;
+                break;
+            }
+            stats.forced_repairs += 1;
+        }
+    }
+
+    stats.prunes = state.prunes;
+    stats.splits = state.splits;
+
+    let mut plan = RecoveryPlan::new("ISP");
+    plan.repaired_nodes = state.repaired_nodes.clone();
+    plan.repaired_edges = state.repaired_edges.clone();
+    plan.iterations = stats.iterations;
+    plan.used_fallback = stats.used_fallback;
+    plan.normalize();
+    Ok((plan, stats))
+}
+
+/// One split action: choose `v_BC`, Decision 1, Decision 2, then split.
+/// Returns whether a split (or the implied repair of `v_BC`) happened.
+fn split_step(state: &mut IspState<'_>, config: &IspConfig) -> Result<bool, RecoveryError> {
+    // Centrality on the full graph with residual capacities.
+    let node_cost: Vec<f64> = (0..state.problem.graph().node_count())
+        .map(|i| state.problem.node_cost(netrec_graph::NodeId::new(i)))
+        .collect();
+    let edge_cost: Vec<f64> = (0..state.problem.graph().edge_count())
+        .map(|i| state.problem.edge_cost(netrec_graph::EdgeId::new(i)))
+        .collect();
+    let full = state.full_view();
+    let metric = DynamicMetric {
+        edge_broken: &state.broken_edges,
+        node_broken: &state.broken_nodes,
+        edge_cost: &edge_cost,
+        node_cost: &node_cost,
+        residual: &state.residual,
+        length_const: config.length_const,
+        view: full,
+    };
+    let centrality = match config.metric {
+        MetricMode::Dynamic => demand_centrality(&full, &state.demands, |e| metric.length(e)),
+        MetricMode::Hops => demand_centrality(&full, &state.demands, |e| {
+            if state.residual[e.index()] > 1e-12 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        }),
+    };
+    let ranking = centrality.ranking();
+
+    for &vbc in ranking.iter().take(config.split_candidates.max(1)) {
+        let contributors = centrality.contributors(vbc, &state.demands, &full);
+        if contributors.is_empty() {
+            continue;
+        }
+        // Decision 1: the demand that would most depend on v_BC —
+        // argmax min{d, cap through v_BC} / f*(s, t).
+        let mut best: Option<(usize, f64)> = None;
+        for h in contributors {
+            let d = state.demands[h];
+            let through = centrality.capacity_through(h, vbc, &full);
+            if through <= EPS {
+                continue;
+            }
+            let fstar = maxflow::max_flow_value(&full, d.source, d.target);
+            if fstar <= EPS {
+                continue;
+            }
+            let score = d.amount.min(through) / fstar;
+            if best.map_or(true, |(_, s)| score > s) {
+                best = Some((h, score));
+            }
+        }
+        let Some((h, _)) = best else {
+            continue;
+        };
+
+        // Decision 2: the largest dx that keeps the instance routable on
+        // the full graph.
+        let upper = state.demands[h]
+            .amount
+            .min(centrality.capacity_through(h, vbc, &full));
+        let dx = decide_split_amount(state, config, h, vbc, upper)?;
+        if dx > EPS {
+            state.repair_node(vbc);
+            state.split(h, vbc, dx);
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Decision 2: exact LP when configured and small enough, halving search
+/// against the routability oracle otherwise.
+fn decide_split_amount(
+    state: &IspState<'_>,
+    config: &IspConfig,
+    h: usize,
+    vbc: netrec_graph::NodeId,
+    upper: f64,
+) -> Result<f64, RecoveryError> {
+    let full = state.full_view();
+    let enabled_edges = full.enabled_edges().count();
+    let use_lp = config.exact_split_lp
+        && config
+            .routability
+            .uses_exact(enabled_edges, state.demands.len() + 2);
+    if use_lp {
+        let dx = mcf::max_shared_split(&full, &state.demands, h, vbc, upper)?;
+        return Ok(dx.unwrap_or(0.0));
+    }
+    // Halving search with the (conservative) routability oracle.
+    let d = state.demands[h];
+    let mut dx = upper.min(d.amount);
+    for _ in 0..24 {
+        if dx <= EPS {
+            return Ok(0.0);
+        }
+        let mut candidate = state.demands.clone();
+        candidate[h].amount -= dx;
+        candidate.push(Demand::new(d.source, vbc, dx));
+        candidate.push(Demand::new(vbc, d.target, dx));
+        if config.routability.routable(&full, &candidate)? {
+            return Ok(dx);
+        }
+        dx /= 2.0;
+    }
+    Ok(0.0)
+}
+
+/// Progress guard: repair the cheapest still-broken element lying on any
+/// current `P̂*` path. Returns whether anything was repaired.
+fn force_repair(state: &mut IspState<'_>, config: &IspConfig) -> bool {
+    let node_cost: Vec<f64> = (0..state.problem.graph().node_count())
+        .map(|i| state.problem.node_cost(netrec_graph::NodeId::new(i)))
+        .collect();
+    let edge_cost: Vec<f64> = (0..state.problem.graph().edge_count())
+        .map(|i| state.problem.edge_cost(netrec_graph::EdgeId::new(i)))
+        .collect();
+    let full = state.full_view();
+    let metric = DynamicMetric {
+        edge_broken: &state.broken_edges,
+        node_broken: &state.broken_nodes,
+        edge_cost: &edge_cost,
+        node_cost: &node_cost,
+        residual: &state.residual,
+        length_const: config.length_const,
+        view: full,
+    };
+    let centrality = match config.metric {
+        MetricMode::Dynamic => demand_centrality(&full, &state.demands, |e| metric.length(e)),
+        MetricMode::Hops => demand_centrality(&full, &state.demands, |e| {
+            if state.residual[e.index()] > 1e-12 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        }),
+    };
+
+    let mut best_edge: Option<(netrec_graph::EdgeId, f64)> = None;
+    let mut best_node: Option<(netrec_graph::NodeId, f64)> = None;
+    for paths in &centrality.demand_paths {
+        for (p, _) in paths {
+            for &e in p.edges() {
+                if state.broken_edges[e.index()] {
+                    let c = edge_cost[e.index()];
+                    if best_edge.map_or(true, |(_, bc)| c < bc) {
+                        best_edge = Some((e, c));
+                    }
+                }
+            }
+            for v in p.nodes(state.problem.graph()) {
+                if state.broken_nodes[v.index()] {
+                    let c = node_cost[v.index()];
+                    if best_node.map_or(true, |(_, bc)| c < bc) {
+                        best_node = Some((v, c));
+                    }
+                }
+            }
+        }
+    }
+    match (best_node, best_edge) {
+        (Some((n, cn)), Some((e, ce))) => {
+            if cn <= ce {
+                state.repair_node(n);
+            } else {
+                state.repair_edge(e);
+            }
+            true
+        }
+        (Some((n, _)), None) => {
+            state.repair_node(n);
+            true
+        }
+        (None, Some((e, _))) => {
+            state.repair_edge(e);
+            true
+        }
+        (None, None) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::Graph;
+
+    /// Two parallel 2-hop routes (caps 10 / 4), everything broken.
+    fn broken_square(demand: f64) -> RecoveryProblem {
+        let mut g = Graph::with_nodes(4);
+        let edges = [
+            g.add_edge(g.node(0), g.node(1), 10.0).unwrap(),
+            g.add_edge(g.node(1), g.node(3), 10.0).unwrap(),
+            g.add_edge(g.node(0), g.node(2), 4.0).unwrap(),
+            g.add_edge(g.node(2), g.node(3), 4.0).unwrap(),
+        ];
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(3), demand).unwrap();
+        for n in 0..4 {
+            p.break_node(p.graph().node(n), 1.0).unwrap();
+        }
+        for e in edges {
+            p.break_edge(e, 1.0).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn repairs_one_route_when_it_suffices() {
+        let p = broken_square(8.0);
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        assert!(plan.verify_routable(&p).unwrap());
+        assert!(!plan.used_fallback);
+        // Only the top route (2 edges + 3 nodes) is needed: 5 repairs,
+        // not all 8.
+        assert!(
+            plan.total_repairs() <= 5,
+            "repaired {} components: {plan:?}",
+            plan.total_repairs()
+        );
+    }
+
+    #[test]
+    fn repairs_both_routes_when_demand_is_high() {
+        let p = broken_square(12.0);
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        assert!(plan.verify_routable(&p).unwrap());
+        assert_eq!(plan.total_repairs(), 8, "needs the whole square");
+    }
+
+    #[test]
+    fn infeasible_demand_is_detected() {
+        let p = broken_square(15.0); // max flow of the square is 14
+        let err = solve_isp(&p, &IspConfig::default()).unwrap_err();
+        assert_eq!(err, RecoveryError::InfeasibleEvenIfAllRepaired);
+    }
+
+    #[test]
+    fn nothing_broken_means_no_repairs() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0).unwrap();
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        assert_eq!(plan.total_repairs(), 0);
+    }
+
+    #[test]
+    fn no_demand_means_no_repairs() {
+        let mut g = Graph::with_nodes(2);
+        let e = g.add_edge(g.node(0), g.node(1), 1.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.break_edge(e, 1.0).unwrap();
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        assert_eq!(plan.total_repairs(), 0);
+    }
+
+    #[test]
+    fn direct_edge_demand_is_repaired_via_rule() {
+        let mut g = Graph::with_nodes(2);
+        let e = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(1), 5.0).unwrap();
+        p.break_edge(e, 1.0).unwrap();
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        assert_eq!(plan.repaired_edges, vec![e]);
+        assert!(plan.verify_routable(&p).unwrap());
+    }
+
+    #[test]
+    fn approximate_mode_still_produces_feasible_plans() {
+        let p = broken_square(8.0);
+        let config = IspConfig {
+            routability: RoutabilityMode::Approx { epsilon: 0.05 },
+            exact_split_lp: false,
+            ..Default::default()
+        };
+        let plan = solve_isp(&p, &config).unwrap();
+        assert!(plan.verify_routable(&p).unwrap());
+    }
+
+    #[test]
+    fn two_demands_share_repaired_backbone() {
+        // Line 0-1-2-3-4 (cap 20) fully broken plus two demands that can
+        // share it.
+        let mut g = Graph::with_nodes(5);
+        let mut edges = Vec::new();
+        for i in 0..4 {
+            edges.push(g.add_edge(g.node(i), g.node(i + 1), 20.0).unwrap());
+        }
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(4), 5.0).unwrap();
+        p.add_demand(p.graph().node(1), p.graph().node(3), 5.0).unwrap();
+        for n in 0..5 {
+            p.break_node(p.graph().node(n), 1.0).unwrap();
+        }
+        for e in edges {
+            p.break_edge(e, 1.0).unwrap();
+        }
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        assert!(plan.verify_routable(&p).unwrap());
+        // The whole line (5 nodes + 4 edges) is the unique solution; ISP
+        // must not exceed it.
+        assert_eq!(plan.total_repairs(), 9);
+    }
+}

@@ -1,0 +1,64 @@
+//! The MINIMUM RECOVERY problem and its solvers (Bartolini et al.,
+//! DSN 2016: *"Network recovery after massive failures"*).
+//!
+//! After a massive disruption breaks nodes (`VB`) and edges (`EB`) of a
+//! capacitated supply graph, [`RecoveryProblem`] asks for the
+//! cheapest set of repairs that lets a set of demand flows be routed.
+//! The problem is NP-hard (reduction from Steiner Forest — Theorem 1).
+//!
+//! Solvers, all returning a [`RecoveryPlan`]:
+//!
+//! * [`solve_isp`] — the paper's contribution: **Iterative Split and
+//!   Prune**, a polynomial-time heuristic built on demand-based
+//!   centrality ([`centrality`]).
+//! * [`heuristics::srt`] — the Shortest-Path heuristic (SRT, §VI-B).
+//! * [`heuristics::greedy`] — Greedy Commitment and Greedy No-Commitment
+//!   (GRD-COM / GRD-NC, §VI-C), knapsack-style path ranking.
+//! * [`heuristics::opt`] — the exact MILP (1) via branch & bound (OPT).
+//! * [`heuristics::mcf_relax`] — the multi-commodity relaxation LP (8)
+//!   with best/worst repair extraction (MCB / MCW, §VI-A).
+//! * [`heuristics::all`] — repair everything (the ALL baseline).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use netrec_core::{solve_isp, IspConfig, RecoveryProblem};
+//! use netrec_graph::Graph;
+//!
+//! // A diamond with a broken relay on each route.
+//! let mut g = Graph::with_nodes(4);
+//! g.add_edge(g.node(0), g.node(1), 10.0)?;
+//! g.add_edge(g.node(1), g.node(3), 10.0)?;
+//! g.add_edge(g.node(0), g.node(2), 10.0)?;
+//! g.add_edge(g.node(2), g.node(3), 10.0)?;
+//! let mut problem = RecoveryProblem::new(g);
+//! problem.add_demand(problem.graph().node(0), problem.graph().node(3), 5.0)?;
+//! problem.break_node(problem.graph().node(1), 1.0)?;
+//! problem.break_node(problem.graph().node(2), 1.0)?;
+//!
+//! let plan = solve_isp(&problem, &IspConfig::default())?;
+//! assert_eq!(plan.repaired_nodes.len(), 1); // one relay suffices
+//! assert!(plan.verify_routable(&problem)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod plan;
+mod problem;
+mod routability;
+mod state;
+
+pub mod centrality;
+pub mod heuristics;
+pub mod isp;
+pub mod schedule;
+pub mod vulnerability;
+
+pub use error::RecoveryError;
+pub use isp::{solve_isp, solve_isp_with_stats, IspConfig, IspStats, MetricMode};
+pub use plan::RecoveryPlan;
+pub use problem::RecoveryProblem;
+pub use routability::RoutabilityMode;

@@ -1,0 +1,269 @@
+use crate::RecoveryError;
+use netrec_graph::{EdgeId, Graph, NodeId, View};
+use netrec_lp::mcf::Demand;
+use serde::{Deserialize, Serialize};
+
+/// An instance of the MINIMUM RECOVERY (MinR) problem.
+///
+/// Bundles the supply graph `G = (V, E)` with edge capacities, the demand
+/// graph `H = (VH, EH)` with flow requirements, the broken sets `VB`/`EB`,
+/// and per-component repair costs `kᵛ`/`kᵉ`.
+///
+/// # Example
+///
+/// ```
+/// use netrec_core::RecoveryProblem;
+/// use netrec_graph::Graph;
+///
+/// let mut g = Graph::with_nodes(3);
+/// let e = g.add_edge(g.node(0), g.node(1), 10.0)?;
+/// g.add_edge(g.node(1), g.node(2), 10.0)?;
+///
+/// let mut p = RecoveryProblem::new(g);
+/// p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)?;
+/// p.break_edge(e, 2.5)?;
+/// assert_eq!(p.broken_edge_count(), 1);
+/// assert_eq!(p.total_demand(), 5.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecoveryProblem {
+    graph: Graph,
+    demands: Vec<Demand2>,
+    broken_nodes: Vec<bool>,
+    broken_edges: Vec<bool>,
+    node_cost: Vec<f64>,
+    edge_cost: Vec<f64>,
+}
+
+/// Serializable demand record (the LP crate's `Demand` is plain data; we
+/// keep our own to derive serde without cross-crate orphan issues).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Demand2 {
+    source: NodeId,
+    target: NodeId,
+    amount: f64,
+}
+
+impl RecoveryProblem {
+    /// Creates a problem over `graph` with no demands and nothing broken.
+    /// Repair costs default to 1 per component (the paper's homogeneous
+    /// unitary cost).
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        RecoveryProblem {
+            graph,
+            demands: Vec::new(),
+            broken_nodes: vec![false; n],
+            broken_edges: vec![false; m],
+            node_cost: vec![1.0; n],
+            edge_cost: vec![1.0; m],
+        }
+    }
+
+    /// The supply graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Adds a demand pair `(s, t, d)`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown endpoints, `s == t`, and negative/non-finite
+    /// amounts.
+    pub fn add_demand(&mut self, s: NodeId, t: NodeId, amount: f64) -> Result<(), RecoveryError> {
+        if s.index() >= self.graph.node_count() || t.index() >= self.graph.node_count() {
+            return Err(RecoveryError::UnknownDemandEndpoint);
+        }
+        if s == t {
+            return Err(RecoveryError::UnknownDemandEndpoint);
+        }
+        if !amount.is_finite() || amount < 0.0 {
+            return Err(RecoveryError::InvalidCost(amount));
+        }
+        self.demands.push(Demand2 {
+            source: s,
+            target: t,
+            amount,
+        });
+        Ok(())
+    }
+
+    /// Marks node `n` broken with repair cost `cost`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range nodes and invalid costs.
+    pub fn break_node(&mut self, n: NodeId, cost: f64) -> Result<(), RecoveryError> {
+        if n.index() >= self.graph.node_count() {
+            return Err(RecoveryError::UnknownDemandEndpoint);
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(RecoveryError::InvalidCost(cost));
+        }
+        self.broken_nodes[n.index()] = true;
+        self.node_cost[n.index()] = cost;
+        Ok(())
+    }
+
+    /// Marks edge `e` broken with repair cost `cost`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range edges and invalid costs.
+    pub fn break_edge(&mut self, e: EdgeId, cost: f64) -> Result<(), RecoveryError> {
+        if e.index() >= self.graph.edge_count() {
+            return Err(RecoveryError::UnknownDemandEndpoint);
+        }
+        if !cost.is_finite() || cost < 0.0 {
+            return Err(RecoveryError::InvalidCost(cost));
+        }
+        self.broken_edges[e.index()] = true;
+        self.edge_cost[e.index()] = cost;
+        Ok(())
+    }
+
+    /// The demand list in the LP crate's format.
+    pub fn demands(&self) -> Vec<Demand> {
+        self.demands
+            .iter()
+            .map(|d| Demand::new(d.source, d.target, d.amount))
+            .collect()
+    }
+
+    /// Demand pairs as raw tuples.
+    pub fn demand_pairs(&self) -> Vec<(NodeId, NodeId, f64)> {
+        self.demands
+            .iter()
+            .map(|d| (d.source, d.target, d.amount))
+            .collect()
+    }
+
+    /// Sum of all demand amounts.
+    pub fn total_demand(&self) -> f64 {
+        self.demands.iter().map(|d| d.amount).sum()
+    }
+
+    /// Whether node `n` is broken.
+    pub fn is_node_broken(&self, n: NodeId) -> bool {
+        self.broken_nodes[n.index()]
+    }
+
+    /// Whether edge `e` is broken.
+    pub fn is_edge_broken(&self, e: EdgeId) -> bool {
+        self.broken_edges[e.index()]
+    }
+
+    /// The broken-node mask (`true` = broken), indexed by node id.
+    pub fn broken_node_mask(&self) -> &[bool] {
+        &self.broken_nodes
+    }
+
+    /// The broken-edge mask (`true` = broken), indexed by edge id.
+    pub fn broken_edge_mask(&self) -> &[bool] {
+        &self.broken_edges
+    }
+
+    /// Number of broken nodes.
+    pub fn broken_node_count(&self) -> usize {
+        self.broken_nodes.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of broken edges.
+    pub fn broken_edge_count(&self) -> usize {
+        self.broken_edges.iter().filter(|&&b| b).count()
+    }
+
+    /// Repair cost of node `n` (meaningful when broken).
+    pub fn node_cost(&self, n: NodeId) -> f64 {
+        self.node_cost[n.index()]
+    }
+
+    /// Repair cost of edge `e` (meaningful when broken).
+    pub fn edge_cost(&self, e: EdgeId) -> f64 {
+        self.edge_cost[e.index()]
+    }
+
+    /// The maximum node degree `ηmax` of the supply graph.
+    pub fn max_degree(&self) -> usize {
+        self.graph.max_degree()
+    }
+
+    /// Working-subgraph masks **before any repair**: enabled = not broken.
+    /// Returns `(node_enabled, edge_enabled)` suitable for
+    /// [`View::with_node_mask`] / [`View::with_edge_mask`].
+    pub fn working_masks(&self) -> (Vec<bool>, Vec<bool>) {
+        (
+            self.broken_nodes.iter().map(|&b| !b).collect(),
+            self.broken_edges.iter().map(|&b| !b).collect(),
+        )
+    }
+
+    /// A view of the full supply graph (broken elements included).
+    pub fn full_view(&self) -> View<'_> {
+        self.graph.view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> RecoveryProblem {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
+        RecoveryProblem::new(g)
+    }
+
+    #[test]
+    fn demand_management() {
+        let mut p = line();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 4.0).unwrap();
+        assert_eq!(p.total_demand(), 4.0);
+        assert_eq!(p.demands().len(), 1);
+        assert_eq!(p.demand_pairs()[0].2, 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_demands() {
+        let mut p = line();
+        let a = p.graph().node(0);
+        assert!(p.add_demand(a, a, 1.0).is_err());
+        assert!(p.add_demand(a, NodeId::new(99), 1.0).is_err());
+        assert!(p.add_demand(a, p.graph().node(1), -1.0).is_err());
+        assert!(p.add_demand(a, p.graph().node(1), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn break_and_masks() {
+        let mut p = line();
+        p.break_node(p.graph().node(1), 3.0).unwrap();
+        p.break_edge(EdgeId::new(0), 2.0).unwrap();
+        assert!(p.is_node_broken(p.graph().node(1)));
+        assert!(p.is_edge_broken(EdgeId::new(0)));
+        assert_eq!(p.broken_node_count(), 1);
+        assert_eq!(p.broken_edge_count(), 1);
+        assert_eq!(p.node_cost(p.graph().node(1)), 3.0);
+        assert_eq!(p.edge_cost(EdgeId::new(0)), 2.0);
+        let (nm, em) = p.working_masks();
+        assert_eq!(nm, vec![true, false, true]);
+        assert_eq!(em, vec![false, true]);
+    }
+
+    #[test]
+    fn rejects_bad_costs() {
+        let mut p = line();
+        assert!(p.break_node(p.graph().node(0), -2.0).is_err());
+        assert!(p.break_edge(EdgeId::new(0), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn default_costs_are_unitary() {
+        let p = line();
+        assert_eq!(p.node_cost(p.graph().node(0)), 1.0);
+        assert_eq!(p.edge_cost(EdgeId::new(1)), 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The routability test (paper §IV-A) with exact and approximate backends.
+//!
+//! The exact backend solves system (2) with the two-phase simplex — the
+//! paper's approach. On large instances the dense tableau becomes the
+//! bottleneck, so an [`RoutabilityMode::Auto`] mode switches to the
+//! Garg–Könemann concurrent-flow oracle, whose `λ ≥ 1` answer is
+//! *conservative*: it never certifies an unroutable instance as routable,
+//! so ISP plans remain feasible (it may repair slightly more). This
+//! substitution is documented in `DESIGN.md` and measured by the
+//! `ablation_routability` bench.
+
+use crate::RecoveryError;
+use netrec_lp::concurrent::{self, ConcurrentFlowConfig};
+use netrec_lp::mcf::{self, Demand};
+use netrec_graph::View;
+use serde::{Deserialize, Serialize};
+
+/// Which routability backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RoutabilityMode {
+    /// Always the exact LP (system (2)).
+    Exact,
+    /// Always the Garg–Könemann approximation with accuracy ε.
+    Approx {
+        /// Accuracy parameter ε ∈ (0, 1/3).
+        epsilon: f64,
+    },
+    /// Exact when `enabled_edges × demands` is at most the threshold,
+    /// approximate above it.
+    Auto {
+        /// Size threshold on `|E| · |EH|`.
+        threshold: usize,
+    },
+}
+
+impl Default for RoutabilityMode {
+    fn default() -> Self {
+        RoutabilityMode::Auto { threshold: 4_000 }
+    }
+}
+
+impl RoutabilityMode {
+    /// Whether the exact LP will be used for an instance of the given size.
+    pub fn uses_exact(&self, enabled_edges: usize, demands: usize) -> bool {
+        match self {
+            RoutabilityMode::Exact => true,
+            RoutabilityMode::Approx { .. } => false,
+            RoutabilityMode::Auto { threshold } => enabled_edges * demands <= *threshold,
+        }
+    }
+
+    /// Tests whether `demands` are routable in `view`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-LP solver failures.
+    pub fn routable(&self, view: &View<'_>, demands: &[Demand]) -> Result<bool, RecoveryError> {
+        let active: Vec<Demand> = demands
+            .iter()
+            .copied()
+            .filter(|d| d.amount > 1e-12 && d.source != d.target)
+            .collect();
+        if active.is_empty() {
+            return Ok(true);
+        }
+        // Cheap necessary conditions first: endpoint connectivity, then
+        // per-demand single-commodity max flow (each demand alone must fit
+        // before the joint multi-commodity system can).
+        if mcf::quick_unroutable(view, &active) {
+            return Ok(false);
+        }
+        for d in &active {
+            if netrec_graph::maxflow::max_flow_value(view, d.source, d.target) < d.amount - 1e-9 {
+                return Ok(false);
+            }
+        }
+        let enabled_edges = view.enabled_edges().count();
+        if self.uses_exact(enabled_edges, active.len()) {
+            Ok(mcf::routability(view, &active)?.is_some())
+        } else {
+            let eps = match self {
+                RoutabilityMode::Approx { epsilon } => *epsilon,
+                _ => 0.05,
+            };
+            let config = ConcurrentFlowConfig {
+                epsilon: eps,
+                target: Some(1.0),
+                ..Default::default()
+            };
+            Ok(concurrent::max_concurrent_flow(view, &active, &config).lambda_lower >= 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::Graph;
+
+    fn line() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 5.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 5.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn exact_and_approx_agree_on_clear_cases() {
+        let g = line();
+        let fits = [Demand::new(g.node(0), g.node(2), 4.0)];
+        let over = [Demand::new(g.node(0), g.node(2), 6.0)];
+        for mode in [
+            RoutabilityMode::Exact,
+            RoutabilityMode::Approx { epsilon: 0.05 },
+            RoutabilityMode::default(),
+        ] {
+            assert!(mode.routable(&g.view(), &fits).unwrap(), "{mode:?}");
+            assert!(!mode.routable(&g.view(), &over).unwrap(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn empty_demands_trivially_routable() {
+        let g = line();
+        assert!(RoutabilityMode::Exact.routable(&g.view(), &[]).unwrap());
+    }
+
+    #[test]
+    fn auto_picks_backend_by_size() {
+        let auto = RoutabilityMode::Auto { threshold: 10 };
+        assert!(auto.uses_exact(5, 2));
+        assert!(!auto.uses_exact(11, 1));
+        assert!(RoutabilityMode::Exact.uses_exact(1_000_000, 100));
+        assert!(!RoutabilityMode::Approx { epsilon: 0.1 }.uses_exact(1, 1));
+    }
+
+    #[test]
+    fn disconnected_is_unroutable_in_all_modes() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 5.0).unwrap();
+        let demands = [Demand::new(g.node(0), g.node(2), 1.0)];
+        for mode in [
+            RoutabilityMode::Exact,
+            RoutabilityMode::Approx { epsilon: 0.05 },
+        ] {
+            assert!(!mode.routable(&g.view(), &demands).unwrap());
+        }
+    }
+}

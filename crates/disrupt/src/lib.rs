@@ -1,0 +1,280 @@
+//! Massive-failure models for the `netrec` workspace.
+//!
+//! The paper evaluates recovery under two disruption regimes:
+//!
+//! * **complete destruction** (§VII-A1/A2) — every node and edge of the
+//!   supply graph is broken, giving the algorithms the maximum range of
+//!   potential solutions;
+//! * **geographically correlated failures** (§VII-A3) — a natural disaster
+//!   or attack modeled by a bi-variate Gaussian: each component fails with
+//!   probability `peak · exp(−d² / (2σ²))` where `d` is its distance from
+//!   the epicenter (default: the barycenter of the network) and the
+//!   variance `σ²` controls the extent of the destruction.
+//!
+//! A [`Disruption`] is just a pair of broken-element masks; the recovery
+//! crate consumes it directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use netrec_topology::Topology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The set of broken components produced by a disruption model.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Disruption {
+    /// `true` for each broken node (`VB`), indexed by node id.
+    pub broken_nodes: Vec<bool>,
+    /// `true` for each broken edge (`EB`), indexed by edge id. Edges whose
+    /// endpoint is broken are *not* automatically marked here — the
+    /// supply-graph model already disables them via the node mask.
+    pub broken_edges: Vec<bool>,
+}
+
+impl Disruption {
+    /// A disruption breaking nothing.
+    pub fn none(topology: &Topology) -> Self {
+        Disruption {
+            broken_nodes: vec![false; topology.graph().node_count()],
+            broken_edges: vec![false; topology.graph().edge_count()],
+        }
+    }
+
+    /// Number of broken nodes.
+    pub fn node_count(&self) -> usize {
+        self.broken_nodes.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of broken edges.
+    pub fn edge_count(&self) -> usize {
+        self.broken_edges.iter().filter(|&&b| b).count()
+    }
+
+    /// Total broken components — the paper's `ALL` baseline value.
+    pub fn total(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+}
+
+/// A disruption model, applied to a topology to produce a [`Disruption`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DisruptionModel {
+    /// Break every node and every edge (the paper's first-scenario
+    /// setting: "a complete destruction of the supply graph").
+    Complete,
+    /// Bi-variate Gaussian geographic failure.
+    Gaussian {
+        /// Epicenter; `None` uses the topology's barycenter (the paper's
+        /// choice).
+        epicenter: Option<(f64, f64)>,
+        /// Variance σ² of the (isotropic) Gaussian, in squared coordinate
+        /// units. Larger variance ⇒ wider destruction.
+        variance: f64,
+        /// Peak failure probability at the epicenter (the paper scales
+        /// probability with variance; peak 1.0 destroys the epicenter
+        /// almost surely).
+        peak: f64,
+    },
+    /// Break each node/edge independently with fixed probability (a
+    /// non-geographic control model).
+    Uniform {
+        /// Per-component failure probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Break an explicit set of components (for tests and replays).
+    Explicit {
+        /// Broken node indices.
+        nodes: Vec<usize>,
+        /// Broken edge indices.
+        edges: Vec<usize>,
+    },
+}
+
+impl DisruptionModel {
+    /// Gaussian model with the paper's defaults (barycenter epicenter,
+    /// peak 1.0).
+    pub fn gaussian(variance: f64) -> Self {
+        DisruptionModel::Gaussian {
+            epicenter: None,
+            variance,
+            peak: 1.0,
+        }
+    }
+
+    /// Applies the model to `topology` with the given RNG seed.
+    ///
+    /// Edges fail either through the model directly (midpoint distance for
+    /// the Gaussian; independent draw for Uniform) or implicitly when an
+    /// endpoint fails (handled downstream by the node mask).
+    pub fn apply(&self, topology: &Topology, seed: u64) -> Disruption {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = topology.graph();
+        match self {
+            DisruptionModel::Complete => Disruption {
+                broken_nodes: vec![true; g.node_count()],
+                broken_edges: vec![true; g.edge_count()],
+            },
+            DisruptionModel::Gaussian {
+                epicenter,
+                variance,
+                peak,
+            } => {
+                let (ex, ey) = epicenter.unwrap_or_else(|| topology.barycenter());
+                let variance = variance.max(1e-12);
+                let peak = peak.clamp(0.0, 1.0);
+                let p_at = |x: f64, y: f64| {
+                    let d2 = (x - ex).powi(2) + (y - ey).powi(2);
+                    peak * (-d2 / (2.0 * variance)).exp()
+                };
+                let broken_nodes: Vec<bool> = topology
+                    .coords()
+                    .iter()
+                    .map(|&(x, y)| rng.gen::<f64>() < p_at(x, y))
+                    .collect();
+                let broken_edges: Vec<bool> = g
+                    .edges()
+                    .map(|e| {
+                        let (x, y) = topology.edge_midpoint(e);
+                        rng.gen::<f64>() < p_at(x, y)
+                    })
+                    .collect();
+                Disruption {
+                    broken_nodes,
+                    broken_edges,
+                }
+            }
+            DisruptionModel::Uniform { probability } => {
+                let p = probability.clamp(0.0, 1.0);
+                Disruption {
+                    broken_nodes: (0..g.node_count()).map(|_| rng.gen::<f64>() < p).collect(),
+                    broken_edges: (0..g.edge_count()).map(|_| rng.gen::<f64>() < p).collect(),
+                }
+            }
+            DisruptionModel::Explicit { nodes, edges } => {
+                let mut broken_nodes = vec![false; g.node_count()];
+                let mut broken_edges = vec![false; g.edge_count()];
+                for &n in nodes {
+                    if n < broken_nodes.len() {
+                        broken_nodes[n] = true;
+                    }
+                }
+                for &e in edges {
+                    if e < broken_edges.len() {
+                        broken_edges[e] = true;
+                    }
+                }
+                Disruption {
+                    broken_nodes,
+                    broken_edges,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_topology::bell::bell_canada;
+    use netrec_topology::random::grid;
+
+    #[test]
+    fn complete_breaks_everything() {
+        let t = bell_canada();
+        let d = DisruptionModel::Complete.apply(&t, 0);
+        assert_eq!(d.node_count(), 48);
+        assert_eq!(d.edge_count(), 64);
+        assert_eq!(d.total(), 112);
+    }
+
+    #[test]
+    fn none_breaks_nothing() {
+        let t = bell_canada();
+        let d = Disruption::none(&t);
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn gaussian_grows_with_variance() {
+        let t = bell_canada();
+        let small = DisruptionModel::gaussian(0.25).apply(&t, 42);
+        let large = DisruptionModel::gaussian(50.0).apply(&t, 42);
+        assert!(
+            small.total() < large.total(),
+            "σ²=0.25 broke {} vs σ²=50 broke {}",
+            small.total(),
+            large.total()
+        );
+        // Wide Gaussian destroys nearly everything.
+        assert!(large.total() > 90);
+    }
+
+    #[test]
+    fn gaussian_is_centered_on_epicenter() {
+        let t = grid(9, 9, 1.0); // coordinates 0..8 × 0..8
+        let d = DisruptionModel::Gaussian {
+            epicenter: Some((0.0, 0.0)),
+            variance: 1.0,
+            peak: 1.0,
+        }
+        .apply(&t, 7);
+        // Corner (0,0) is node 0: almost surely broken; far corner never.
+        assert!(d.broken_nodes[0]);
+        assert!(!d.broken_nodes[80]);
+    }
+
+    #[test]
+    fn gaussian_deterministic_per_seed() {
+        let t = bell_canada();
+        let m = DisruptionModel::gaussian(10.0);
+        assert_eq!(m.apply(&t, 1), m.apply(&t, 1));
+        assert_ne!(m.apply(&t, 1), m.apply(&t, 2));
+    }
+
+    #[test]
+    fn uniform_extremes() {
+        let t = bell_canada();
+        let none = DisruptionModel::Uniform { probability: 0.0 }.apply(&t, 3);
+        assert_eq!(none.total(), 0);
+        let all = DisruptionModel::Uniform { probability: 1.0 }.apply(&t, 3);
+        assert_eq!(all.total(), 112);
+    }
+
+    #[test]
+    fn explicit_sets_exact_components() {
+        let t = bell_canada();
+        let d = DisruptionModel::Explicit {
+            nodes: vec![0, 5],
+            edges: vec![10],
+        }
+        .apply(&t, 0);
+        assert_eq!(d.node_count(), 2);
+        assert_eq!(d.edge_count(), 1);
+        assert!(d.broken_nodes[0] && d.broken_nodes[5] && d.broken_edges[10]);
+    }
+
+    #[test]
+    fn explicit_ignores_out_of_range() {
+        let t = bell_canada();
+        let d = DisruptionModel::Explicit {
+            nodes: vec![999],
+            edges: vec![999],
+        }
+        .apply(&t, 0);
+        assert_eq!(d.total(), 0);
+    }
+
+    #[test]
+    fn peak_zero_breaks_nothing() {
+        let t = bell_canada();
+        let d = DisruptionModel::Gaussian {
+            epicenter: None,
+            variance: 100.0,
+            peak: 0.0,
+        }
+        .apply(&t, 5);
+        assert_eq!(d.total(), 0);
+    }
+}

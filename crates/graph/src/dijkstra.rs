@@ -1,0 +1,299 @@
+//! Dijkstra shortest paths under arbitrary (possibly dynamic) edge lengths.
+//!
+//! The ISP heuristic ranks nodes by a demand-based centrality whose paths
+//! are shortest paths under the *dynamic* metric
+//! `l(e) = (const + kᵉ + (kᵛᵢ + kᵛⱼ)/2) / c(e)` (paper §IV-D), which changes
+//! every iteration. The functions here therefore take the metric as a
+//! closure instead of baking lengths into the graph.
+
+use crate::{EdgeId, NodeId, Path, View};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Shortest-path tree produced by [`dijkstra`].
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    /// `dist[v]`: length of the shortest root→v path, `f64::INFINITY` if
+    /// unreachable.
+    pub dist: Vec<f64>,
+    /// `pred[v]`: edge through which `v` is reached on a shortest path.
+    pub pred: Vec<Option<EdgeId>>,
+    /// The root of the tree.
+    pub root: NodeId,
+}
+
+impl ShortestPathTree {
+    /// Whether `v` is reachable from the root.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+
+    /// Reconstructs the shortest root→`v` path, or `None` if unreachable.
+    pub fn path_to(&self, v: NodeId, view: &View<'_>) -> Option<Path> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut at = v;
+        while at != self.root {
+            let e = self.pred[at.index()]?;
+            edges.push(e);
+            at = view
+                .graph()
+                .opposite(e, at)
+                .expect("predecessor edges are incident");
+        }
+        edges.reverse();
+        Some(Path::new(self.root, edges, view.graph()))
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on dist; ties broken on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest paths from `root` under the edge-length `metric`.
+///
+/// Edges for which the metric returns a non-finite length are treated as
+/// absent. Negative lengths are not supported (classic Dijkstra
+/// precondition) and will produce incorrect distances; debug builds assert.
+///
+/// # Example
+///
+/// ```
+/// use netrec_graph::{Graph, dijkstra::dijkstra};
+///
+/// let mut g = Graph::with_nodes(3);
+/// let ab = g.add_edge(g.node(0), g.node(1), 1.0)?;
+/// let bc = g.add_edge(g.node(1), g.node(2), 1.0)?;
+/// let ac = g.add_edge(g.node(0), g.node(2), 1.0)?;
+/// // Make the direct edge expensive: the 2-hop route wins.
+/// let tree = dijkstra(&g.view(), g.node(0), |e| if e == ac { 10.0 } else { 1.0 });
+/// assert_eq!(tree.dist[2], 2.0);
+/// # Ok::<(), netrec_graph::GraphError>(())
+/// ```
+pub fn dijkstra<F: Fn(EdgeId) -> f64>(view: &View<'_>, root: NodeId, metric: F) -> ShortestPathTree {
+    let n = view.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    if view.node_enabled(root) {
+        dist[root.index()] = 0.0;
+        heap.push(HeapEntry {
+            dist: 0.0,
+            node: root,
+        });
+    }
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        for (e, v) in view.neighbors(u) {
+            let w = metric(e);
+            if !w.is_finite() {
+                continue;
+            }
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative edge lengths");
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(e);
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPathTree { dist, pred, root }
+}
+
+/// Shortest `s`→`t` path under `metric`, or `None` if disconnected.
+pub fn shortest_path<F: Fn(EdgeId) -> f64>(
+    view: &View<'_>,
+    s: NodeId,
+    t: NodeId,
+    metric: F,
+) -> Option<Path> {
+    dijkstra(view, s, metric).path_to(t, view)
+}
+
+/// The set `P̂*(s, t)` of successive shortest paths that together carry at
+/// least `demand` units (paper §IV-B runtime estimation of `P*`).
+///
+/// Iteratively finds the shortest `s`→`t` path under `metric` on a residual
+/// view, then reduces the residual capacity of its edges by the path's
+/// bottleneck capacity, until the collected paths' capacities sum to
+/// `demand` or no path with positive capacity remains.
+///
+/// Returns the paths and the per-path residual bottleneck capacities; the
+/// capacity sum may be < `demand` if the graph cannot carry it disjointly.
+pub fn capacity_shortest_paths<F: Fn(EdgeId) -> f64>(
+    view: &View<'_>,
+    s: NodeId,
+    t: NodeId,
+    demand: f64,
+    metric: F,
+) -> Vec<(Path, f64)> {
+    let mut residual = (0..view.edge_count())
+        .map(|i| view.capacity(EdgeId::new(i)))
+        .collect::<Vec<f64>>();
+    let mut out = Vec::new();
+    let mut carried = 0.0;
+    // Each iteration saturates at least one edge, so |E| bounds the loop.
+    for _ in 0..view.edge_count() {
+        if carried >= demand - 1e-9 {
+            break;
+        }
+        // Saturated edges are masked through the metric (infinite length).
+        let tree = dijkstra(view, s, |e| {
+            if residual[e.index()] > 1e-9 {
+                metric(e)
+            } else {
+                f64::INFINITY
+            }
+        });
+        let Some(path) = tree.path_to(t, view) else {
+            break;
+        };
+        if path.is_empty() {
+            break;
+        }
+        let cap = path
+            .edges()
+            .iter()
+            .map(|e| residual[e.index()])
+            .fold(f64::INFINITY, f64::min);
+        if cap <= 1e-9 {
+            break;
+        }
+        let take = cap.min(demand - carried);
+        for e in path.edges() {
+            residual[e.index()] -= cap.min(residual[e.index()]);
+        }
+        carried += take;
+        out.push((path, cap));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn weighted_square() -> Graph {
+        // 0-1 (cap 10), 1-3 (cap 10), 0-2 (cap 4), 2-3 (cap 4)
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(2), 4.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn dijkstra_unit_metric_matches_bfs() {
+        let g = weighted_square();
+        let tree = dijkstra(&g.view(), g.node(0), |_| 1.0);
+        assert_eq!(tree.dist, vec![0.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_route() {
+        let g = weighted_square();
+        // Make the top route (edges 0, 1) expensive.
+        let tree = dijkstra(&g.view(), g.node(0), |e| match e.index() {
+            0 | 1 => 5.0,
+            _ => 1.0,
+        });
+        assert_eq!(tree.dist[3], 2.0);
+        let p = tree.path_to(g.node(3), &g.view()).unwrap();
+        let nodes = p.nodes(&g);
+        assert_eq!(nodes[1], g.node(2));
+    }
+
+    #[test]
+    fn dijkstra_infinite_metric_disables_edge() {
+        let g = weighted_square();
+        let tree = dijkstra(&g.view(), g.node(0), |e| match e.index() {
+            0 => f64::INFINITY,
+            _ => 1.0,
+        });
+        // 0->1 must go around: 0-2-3-1
+        assert_eq!(tree.dist[1], 3.0);
+    }
+
+    #[test]
+    fn dijkstra_respects_node_mask() {
+        let g = weighted_square();
+        let mask = vec![true, false, true, true];
+        let view = g.view().with_node_mask(&mask);
+        let tree = dijkstra(&view, g.node(0), |_| 1.0);
+        assert!(!tree.reached(g.node(1)));
+        assert_eq!(tree.dist[3], 2.0);
+    }
+
+    #[test]
+    fn shortest_path_returns_none_when_disconnected() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 1.0).unwrap();
+        assert!(shortest_path(&g.view(), g.node(0), g.node(2), |_| 1.0).is_none());
+    }
+
+    #[test]
+    fn capacity_paths_cover_demand_over_two_routes() {
+        let g = weighted_square();
+        // demand 12 needs both the cap-10 route and part of the cap-4 route.
+        let paths = capacity_shortest_paths(&g.view(), g.node(0), g.node(3), 12.0, |_| 1.0);
+        assert_eq!(paths.len(), 2);
+        let total: f64 = paths.iter().map(|(_, c)| c).sum();
+        assert!(total >= 12.0);
+    }
+
+    #[test]
+    fn capacity_paths_stop_when_demand_met() {
+        let g = weighted_square();
+        let paths = capacity_shortest_paths(&g.view(), g.node(0), g.node(3), 5.0, |_| 1.0);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].1, 10.0);
+    }
+
+    #[test]
+    fn capacity_paths_report_shortfall() {
+        let g = weighted_square();
+        let paths = capacity_shortest_paths(&g.view(), g.node(0), g.node(3), 100.0, |_| 1.0);
+        let total: f64 = paths.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 14.0); // max flow of the square
+    }
+
+    #[test]
+    fn capacity_paths_respect_capacity_override() {
+        let g = weighted_square();
+        let caps = vec![1.0, 1.0, 1.0, 1.0];
+        let view = g.view().with_capacities(&caps);
+        let paths = capacity_shortest_paths(&view, g.node(0), g.node(3), 10.0, |_| 1.0);
+        let total: f64 = paths.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 2.0);
+    }
+}

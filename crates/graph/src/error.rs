@@ -1,0 +1,60 @@
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or mutating a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node id referred to a node that does not exist in the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        nodes: usize,
+    },
+    /// A self-loop was requested; the supply-graph model forbids them.
+    SelfLoop(NodeId),
+    /// A negative or non-finite capacity was supplied.
+    InvalidCapacity(f64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for graph with {nodes} nodes")
+            }
+            GraphError::SelfLoop(node) => write!(f, "self-loop on node {node} is not allowed"),
+            GraphError::InvalidCapacity(c) => {
+                write!(f, "capacity {c} is not a finite non-negative number")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(5),
+            nodes: 3,
+        };
+        assert_eq!(e.to_string(), "node 5 out of range for graph with 3 nodes");
+        assert_eq!(
+            GraphError::SelfLoop(NodeId::new(1)).to_string(),
+            "self-loop on node 1 is not allowed"
+        );
+        assert!(GraphError::InvalidCapacity(-1.0).to_string().contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

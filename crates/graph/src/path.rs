@@ -1,0 +1,354 @@
+//! Paths through a graph and simple-path enumeration.
+
+use crate::{EdgeId, Graph, NodeId, View};
+use serde::{Deserialize, Serialize};
+
+/// A path `p = <e1, e2, …, en>` between two nodes, stored as the list of
+/// composing edges plus its source node (needed to orient the walk, since
+/// edges are undirected).
+///
+/// The paper defines path length `ℓ(p) = Σ l(ei)` under a (possibly dynamic)
+/// edge-length metric and path capacity `c(p) = min c(ei)`; both are
+/// provided here as methods parameterized on the metric / view.
+///
+/// # Example
+///
+/// ```
+/// use netrec_graph::{Graph, Path};
+///
+/// let mut g = Graph::with_nodes(3);
+/// let ab = g.add_edge(g.node(0), g.node(1), 5.0)?;
+/// let bc = g.add_edge(g.node(1), g.node(2), 3.0)?;
+/// let p = Path::new(g.node(0), vec![ab, bc], &g);
+/// assert_eq!(p.capacity(&g.view()), 3.0);
+/// assert_eq!(p.nodes(&g), vec![g.node(0), g.node(1), g.node(2)]);
+/// # Ok::<(), netrec_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    source: NodeId,
+    edges: Vec<EdgeId>,
+}
+
+impl Path {
+    /// Creates a path starting at `source` walking along `edges`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the edges do not form a connected walk
+    /// starting at `source`.
+    pub fn new(source: NodeId, edges: Vec<EdgeId>, graph: &Graph) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            let mut at = source;
+            for &e in &edges {
+                at = graph
+                    .opposite(e, at)
+                    .expect("path edges must form a connected walk from the source");
+            }
+        }
+        let _ = graph;
+        Path { source, edges }
+    }
+
+    /// Creates a trivial, empty path sitting at `source`.
+    pub fn trivial(source: NodeId) -> Self {
+        Path {
+            source,
+            edges: Vec::new(),
+        }
+    }
+
+    /// The starting node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The final node of the walk.
+    pub fn target(&self, graph: &Graph) -> NodeId {
+        let mut at = self.source;
+        for &e in &self.edges {
+            at = graph
+                .opposite(e, at)
+                .expect("path edges form a connected walk");
+        }
+        at
+    }
+
+    /// The composing edges, in walk order.
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges `n(p)`.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the path has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The node sequence visited by the walk, source first.
+    pub fn nodes(&self, graph: &Graph) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.edges.len() + 1);
+        let mut at = self.source;
+        nodes.push(at);
+        for &e in &self.edges {
+            at = graph
+                .opposite(e, at)
+                .expect("path edges form a connected walk");
+            nodes.push(at);
+        }
+        nodes
+    }
+
+    /// Whether node `v` lies on this path (`v ∈ p` in the paper's notation:
+    /// `v` is an endpoint of some composing edge).
+    pub fn contains_node(&self, v: NodeId, graph: &Graph) -> bool {
+        self.edges.iter().any(|&e| {
+            let (a, b) = graph.endpoints(e);
+            a == v || b == v
+        }) || (self.edges.is_empty() && self.source == v)
+    }
+
+    /// Path capacity `c(p) = min_{e∈p} c(e)` under the view's capacities.
+    /// Returns `f64::INFINITY` for the trivial path.
+    pub fn capacity(&self, view: &View<'_>) -> f64 {
+        self.edges
+            .iter()
+            .map(|&e| view.capacity(e))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Path length `ℓ(p) = Σ l(e)` under an arbitrary edge-length metric.
+    pub fn length<F: Fn(EdgeId) -> f64>(&self, metric: F) -> f64 {
+        self.edges.iter().map(|&e| metric(e)).sum()
+    }
+
+    /// Hop count — length under the unit metric. Same as [`Path::len`].
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Enumerates simple paths (no repeated node) between `s` and `t` in `view`,
+/// in depth-first order, up to `max_paths` paths and `max_hops` edges each.
+///
+/// The greedy heuristics GRD-COM / GRD-NC of the paper rank *all* simple
+/// paths between demand endpoints; that set is exponential, so callers must
+/// bound the enumeration (the paper itself notes the `O(N!)` blow-up and
+/// skips these heuristics on large graphs).
+///
+/// # Example
+///
+/// ```
+/// use netrec_graph::{Graph, path::simple_paths};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(g.node(0), g.node(1), 1.0)?;
+/// g.add_edge(g.node(1), g.node(2), 1.0)?;
+/// g.add_edge(g.node(0), g.node(2), 1.0)?;
+/// let paths = simple_paths(&g.view(), g.node(0), g.node(2), 10, 10);
+/// assert_eq!(paths.len(), 2); // direct edge and the 2-hop route
+/// # Ok::<(), netrec_graph::GraphError>(())
+/// ```
+pub fn simple_paths(
+    view: &View<'_>,
+    s: NodeId,
+    t: NodeId,
+    max_paths: usize,
+    max_hops: usize,
+) -> Vec<Path> {
+    let mut result = Vec::new();
+    if max_paths == 0 || !view.node_enabled(s) || !view.node_enabled(t) {
+        return result;
+    }
+    if s == t {
+        result.push(Path::trivial(s));
+        return result;
+    }
+    let mut on_stack = vec![false; view.node_count()];
+    on_stack[s.index()] = true;
+    let mut edge_stack: Vec<EdgeId> = Vec::new();
+    dfs_paths(
+        view,
+        s,
+        t,
+        max_paths,
+        max_hops,
+        &mut on_stack,
+        &mut edge_stack,
+        s,
+        &mut result,
+    );
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_paths(
+    view: &View<'_>,
+    at: NodeId,
+    t: NodeId,
+    max_paths: usize,
+    max_hops: usize,
+    on_stack: &mut [bool],
+    edge_stack: &mut Vec<EdgeId>,
+    source: NodeId,
+    result: &mut Vec<Path>,
+) {
+    if result.len() >= max_paths || edge_stack.len() >= max_hops {
+        return;
+    }
+    let neighbors: Vec<(EdgeId, NodeId)> = view.neighbors(at).collect();
+    for (e, next) in neighbors {
+        if result.len() >= max_paths {
+            return;
+        }
+        if next == t {
+            edge_stack.push(e);
+            result.push(Path {
+                source,
+                edges: edge_stack.clone(),
+            });
+            edge_stack.pop();
+            continue;
+        }
+        if on_stack[next.index()] {
+            continue;
+        }
+        on_stack[next.index()] = true;
+        edge_stack.push(e);
+        dfs_paths(
+            view, next, t, max_paths, max_hops, on_stack, edge_stack, source, result,
+        );
+        edge_stack.pop();
+        on_stack[next.index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn diamond() -> Graph {
+        // 0-1, 1-3, 0-2, 2-3, 1-2 : two-terminal diamond with a chord
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 4.0).unwrap();
+        g.add_edge(g.node(1), g.node(3), 2.0).unwrap();
+        g.add_edge(g.node(0), g.node(2), 3.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 5.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn path_accessors() {
+        let g = diamond();
+        let p = Path::new(g.node(0), vec![EdgeId::new(0), EdgeId::new(1)], &g);
+        assert_eq!(p.source(), g.node(0));
+        assert_eq!(p.target(&g), g.node(3));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.hops(), 2);
+        assert_eq!(p.nodes(&g), vec![g.node(0), g.node(1), g.node(3)]);
+    }
+
+    #[test]
+    fn path_capacity_is_bottleneck() {
+        let g = diamond();
+        let p = Path::new(g.node(0), vec![EdgeId::new(0), EdgeId::new(1)], &g);
+        assert_eq!(p.capacity(&g.view()), 2.0);
+    }
+
+    #[test]
+    fn path_capacity_respects_view_override() {
+        let g = diamond();
+        let caps = vec![0.5, 9.0, 9.0, 9.0, 9.0];
+        let p = Path::new(g.node(0), vec![EdgeId::new(0), EdgeId::new(1)], &g);
+        assert_eq!(p.capacity(&g.view().with_capacities(&caps)), 0.5);
+    }
+
+    #[test]
+    fn path_length_under_metric() {
+        let g = diamond();
+        let p = Path::new(g.node(0), vec![EdgeId::new(0), EdgeId::new(1)], &g);
+        let len = p.length(|e| (e.index() + 1) as f64);
+        assert_eq!(len, 1.0 + 2.0);
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = diamond();
+        let p = Path::trivial(g.node(2));
+        assert!(p.is_empty());
+        assert_eq!(p.target(&g), g.node(2));
+        assert_eq!(p.capacity(&g.view()), f64::INFINITY);
+        assert!(p.contains_node(g.node(2), &g));
+        assert!(!p.contains_node(g.node(0), &g));
+    }
+
+    #[test]
+    fn contains_node_checks_edge_endpoints() {
+        let g = diamond();
+        let p = Path::new(g.node(0), vec![EdgeId::new(0), EdgeId::new(1)], &g);
+        for n in [0, 1, 3] {
+            assert!(p.contains_node(g.node(n), &g));
+        }
+        assert!(!p.contains_node(g.node(2), &g));
+    }
+
+    #[test]
+    fn simple_paths_enumerates_all() {
+        let g = diamond();
+        let paths = simple_paths(&g.view(), g.node(0), g.node(3), 100, 100);
+        // 0-1-3, 0-2-3, 0-1-2-3, 0-2-1-3
+        assert_eq!(paths.len(), 4);
+        for p in &paths {
+            assert_eq!(p.source(), g.node(0));
+            assert_eq!(p.target(&g), g.node(3));
+            // simple: no repeated nodes
+            let mut nodes = p.nodes(&g);
+            nodes.sort();
+            nodes.dedup();
+            assert_eq!(nodes.len(), p.len() + 1);
+        }
+    }
+
+    #[test]
+    fn simple_paths_respects_caps() {
+        let g = diamond();
+        let paths = simple_paths(&g.view(), g.node(0), g.node(3), 2, 100);
+        assert_eq!(paths.len(), 2);
+        let short_only = simple_paths(&g.view(), g.node(0), g.node(3), 100, 2);
+        assert_eq!(short_only.len(), 2); // only the 2-hop routes fit
+    }
+
+    #[test]
+    fn simple_paths_on_masked_view() {
+        let g = diamond();
+        let mask = vec![true, false, true, true]; // break node 1
+        let view = g.view().with_node_mask(&mask);
+        let paths = simple_paths(&view, g.node(0), g.node(3), 100, 100);
+        assert_eq!(paths.len(), 1); // only 0-2-3 survives
+        assert_eq!(paths[0].len(), 2);
+    }
+
+    #[test]
+    fn simple_paths_same_endpoints() {
+        let g = diamond();
+        let paths = simple_paths(&g.view(), g.node(1), g.node(1), 10, 10);
+        assert_eq!(paths.len(), 1);
+        assert!(paths[0].is_empty());
+    }
+
+    #[test]
+    fn simple_paths_disconnected() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(g.node(0), g.node(1), 1.0).unwrap();
+        let paths = simple_paths(&g.view(), g.node(0), g.node(2), 10, 10);
+        assert!(paths.is_empty());
+    }
+}

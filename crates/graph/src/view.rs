@@ -1,0 +1,241 @@
+use crate::{EdgeId, Graph, NodeId};
+
+/// A borrowed, masked view of a [`Graph`].
+///
+/// Recovery algorithms constantly work on *the working subgraph* `G(n)` of a
+/// damaged network — the original graph minus broken nodes/edges — and on
+/// *residual capacities* that shrink as demand is pruned onto paths. `View`
+/// expresses both without copying the graph:
+///
+/// * `node_mask` / `edge_mask` — `false` entries hide a node/edge (a hidden
+///   node hides all its incident edges);
+/// * `capacities` — optional override of the graph's edge capacities
+///   (indexed by [`EdgeId`]).
+///
+/// All algorithm entry points in this crate take a `View`, so the same code
+/// runs on the full graph, the working subgraph, or a residual graph.
+///
+/// # Example
+///
+/// ```
+/// use netrec_graph::{Graph, View};
+///
+/// let mut g = Graph::with_nodes(3);
+/// let ab = g.add_edge(g.node(0), g.node(1), 1.0)?;
+/// let bc = g.add_edge(g.node(1), g.node(2), 1.0)?;
+///
+/// // Break node 1: nodes 0 and 2 become disconnected.
+/// let mask = vec![true, false, true];
+/// let view = View::full(&g).with_node_mask(&mask);
+/// assert!(!view.edge_enabled(ab));
+/// assert!(!view.edge_enabled(bc));
+/// # Ok::<(), netrec_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct View<'a> {
+    graph: &'a Graph,
+    node_mask: Option<&'a [bool]>,
+    edge_mask: Option<&'a [bool]>,
+    capacities: Option<&'a [f64]>,
+}
+
+impl<'a> View<'a> {
+    /// A view of the whole graph: nothing masked, graph capacities.
+    pub fn full(graph: &'a Graph) -> Self {
+        View {
+            graph,
+            node_mask: None,
+            edge_mask: None,
+            capacities: None,
+        }
+    }
+
+    /// Returns a copy of this view with the given node mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != graph.node_count()`.
+    pub fn with_node_mask(mut self, mask: &'a [bool]) -> Self {
+        assert_eq!(
+            mask.len(),
+            self.graph.node_count(),
+            "node mask length must equal node count"
+        );
+        self.node_mask = Some(mask);
+        self
+    }
+
+    /// Returns a copy of this view with the given edge mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != graph.edge_count()`.
+    pub fn with_edge_mask(mut self, mask: &'a [bool]) -> Self {
+        assert_eq!(
+            mask.len(),
+            self.graph.edge_count(),
+            "edge mask length must equal edge count"
+        );
+        self.edge_mask = Some(mask);
+        self
+    }
+
+    /// Returns a copy of this view with overridden capacities (indexed by
+    /// edge id), e.g. residual capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len() != graph.edge_count()`.
+    pub fn with_capacities(mut self, capacities: &'a [f64]) -> Self {
+        assert_eq!(
+            capacities.len(),
+            self.graph.edge_count(),
+            "capacity override length must equal edge count"
+        );
+        self.capacities = Some(capacities);
+        self
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'a Graph {
+        self.graph
+    }
+
+    /// Whether node `n` is visible in this view.
+    #[inline]
+    pub fn node_enabled(&self, n: NodeId) -> bool {
+        self.node_mask.map_or(true, |m| m[n.index()])
+    }
+
+    /// Whether edge `e` is visible: the edge itself and both endpoints must
+    /// be enabled.
+    #[inline]
+    pub fn edge_enabled(&self, e: EdgeId) -> bool {
+        if let Some(m) = self.edge_mask {
+            if !m[e.index()] {
+                return false;
+            }
+        }
+        let (u, v) = self.graph.endpoints(e);
+        self.node_enabled(u) && self.node_enabled(v)
+    }
+
+    /// Effective capacity of edge `e` in this view.
+    #[inline]
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        match self.capacities {
+            Some(c) => c[e.index()],
+            None => self.graph.capacity(e),
+        }
+    }
+
+    /// Number of nodes of the underlying graph (masked nodes included —
+    /// ids stay dense).
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges of the underlying graph (masked edges included).
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Iterator over the *enabled* nodes.
+    pub fn enabled_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.graph.nodes().filter(move |&n| self.node_enabled(n))
+    }
+
+    /// Iterator over the *enabled* edges.
+    pub fn enabled_edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.graph.edges().filter(move |&e| self.edge_enabled(e))
+    }
+
+    /// Iterator over enabled `(edge, neighbor)` pairs around `n`. Yields
+    /// nothing if `n` itself is masked.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        let self_enabled = self.node_enabled(n);
+        self.graph
+            .neighbors(n)
+            .filter(move |&(e, _)| self_enabled && self.edge_enabled(e))
+    }
+
+    /// Degree of `n` counting only enabled incident edges.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.neighbors(n).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> Graph {
+        // 0 - 1 - 2 - 3, capacities 1, 2, 3
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 1.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 2.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn full_view_hides_nothing() {
+        let g = path_graph();
+        let v = g.view();
+        assert_eq!(v.enabled_nodes().count(), 4);
+        assert_eq!(v.enabled_edges().count(), 3);
+        assert_eq!(v.capacity(EdgeId::new(1)), 2.0);
+    }
+
+    #[test]
+    fn node_mask_hides_incident_edges() {
+        let g = path_graph();
+        let mask = vec![true, false, true, true];
+        let v = g.view().with_node_mask(&mask);
+        assert!(!v.node_enabled(NodeId::new(1)));
+        assert!(!v.edge_enabled(EdgeId::new(0)));
+        assert!(!v.edge_enabled(EdgeId::new(1)));
+        assert!(v.edge_enabled(EdgeId::new(2)));
+        assert_eq!(v.enabled_edges().count(), 1);
+    }
+
+    #[test]
+    fn edge_mask_hides_only_that_edge() {
+        let g = path_graph();
+        let mask = vec![true, false, true];
+        let v = g.view().with_edge_mask(&mask);
+        assert!(v.edge_enabled(EdgeId::new(0)));
+        assert!(!v.edge_enabled(EdgeId::new(1)));
+        assert_eq!(v.degree(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn capacity_override() {
+        let g = path_graph();
+        let caps = vec![10.0, 20.0, 30.0];
+        let v = g.view().with_capacities(&caps);
+        assert_eq!(v.capacity(EdgeId::new(2)), 30.0);
+    }
+
+    #[test]
+    fn neighbors_respect_masks() {
+        let g = path_graph();
+        let node_mask = vec![true, true, false, true];
+        let v = g.view().with_node_mask(&node_mask);
+        let around: Vec<NodeId> = v.neighbors(NodeId::new(1)).map(|(_, n)| n).collect();
+        assert_eq!(around, vec![NodeId::new(0)]);
+        // A masked node has no visible neighbors.
+        assert_eq!(v.neighbors(NodeId::new(2)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node mask length")]
+    fn wrong_mask_length_panics() {
+        let g = path_graph();
+        let mask = vec![true; 2];
+        let _ = g.view().with_node_mask(&mask);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the graph substrate on randomized inputs.
+
+use netrec_graph::{cut, dijkstra, maxflow, path, traversal, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Random connected graph: a random tree over `n` nodes plus extra edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..14)
+        .prop_flat_map(|n| {
+            let anchors: Vec<_> = (1..n).map(|v| 0..v).collect();
+            let extra = proptest::collection::vec((0..n, 0..n, 0.5f64..16.0), 0..n);
+            let caps = proptest::collection::vec(0.5f64..16.0, n - 1);
+            (Just(n), anchors, caps, extra)
+        })
+        .prop_map(|(n, anchors, caps, extra)| {
+            let mut g = Graph::with_nodes(n);
+            for (v, (a, c)) in anchors.into_iter().zip(caps).enumerate() {
+                g.add_edge(g.node(v + 1), g.node(a), c).unwrap();
+            }
+            for (a, b, c) in extra {
+                if a != b {
+                    g.add_edge(g.node(a), g.node(b), c).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dijkstra under the unit metric equals BFS hop distance.
+    #[test]
+    fn dijkstra_unit_equals_bfs(g in arb_graph(), root in 0usize..14) {
+        let root = g.node(root % g.node_count());
+        let bfs = traversal::bfs(&g.view(), root);
+        let spt = dijkstra::dijkstra(&g.view(), root, |_| 1.0);
+        for v in g.nodes() {
+            if bfs.reached(v) {
+                prop_assert!((spt.dist[v.index()] - bfs.dist[v.index()] as f64).abs() < 1e-9);
+            } else {
+                prop_assert!(!spt.reached(v));
+            }
+        }
+    }
+
+    /// Shortest-path trees give valid walks whose metric length equals the
+    /// reported distance.
+    #[test]
+    fn dijkstra_paths_have_reported_length(g in arb_graph(), root in 0usize..14) {
+        let root = g.node(root % g.node_count());
+        let metric = |e: netrec_graph::EdgeId| 1.0 + (e.index() % 5) as f64 * 0.5;
+        let spt = dijkstra::dijkstra(&g.view(), root, metric);
+        for v in g.nodes() {
+            if let Some(p) = spt.path_to(v, &g.view()) {
+                prop_assert_eq!(p.source(), root);
+                prop_assert_eq!(p.target(&g), v);
+                prop_assert!((p.length(metric) - spt.dist[v.index()]).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Max flow is symmetric in source/sink on undirected graphs.
+    #[test]
+    fn maxflow_symmetric(g in arb_graph(), a in 0usize..14, b in 0usize..14) {
+        let n = g.node_count();
+        let (s, t) = (g.node(a % n), g.node(b % n));
+        prop_assume!(s != t);
+        let f1 = maxflow::max_flow_value(&g.view(), s, t);
+        let f2 = maxflow::max_flow_value(&g.view(), t, s);
+        prop_assert!((f1 - f2).abs() < 1e-6);
+    }
+
+    /// Removing an edge never increases max flow; adding capacity never
+    /// decreases it.
+    #[test]
+    fn maxflow_monotone_in_capacity(g in arb_graph(), a in 0usize..14, b in 0usize..14, e in 0usize..32) {
+        let n = g.node_count();
+        let (s, t) = (g.node(a % n), g.node(b % n));
+        prop_assume!(s != t && g.edge_count() > 0);
+        let e = netrec_graph::EdgeId::new(e % g.edge_count());
+        let base = maxflow::max_flow_value(&g.view(), s, t);
+
+        let mut mask = vec![true; g.edge_count()];
+        mask[e.index()] = false;
+        let without = maxflow::max_flow_value(&g.view().with_edge_mask(&mask), s, t);
+        prop_assert!(without <= base + 1e-9);
+
+        let mut boosted = g.capacities();
+        boosted[e.index()] += 5.0;
+        let more = maxflow::max_flow_value(&g.view().with_capacities(&boosted), s, t);
+        prop_assert!(more + 1e-9 >= base);
+    }
+
+    /// Simple-path enumeration returns node-distinct walks between the
+    /// right endpoints.
+    #[test]
+    fn simple_paths_are_simple(g in arb_graph(), a in 0usize..14, b in 0usize..14) {
+        let n = g.node_count();
+        let (s, t) = (g.node(a % n), g.node(b % n));
+        prop_assume!(s != t);
+        for p in path::simple_paths(&g.view(), s, t, 50, 10) {
+            prop_assert_eq!(p.source(), s);
+            prop_assert_eq!(p.target(&g), t);
+            let mut nodes = p.nodes(&g);
+            let len = nodes.len();
+            nodes.sort();
+            nodes.dedup();
+            prop_assert_eq!(nodes.len(), len, "repeated node in path");
+        }
+    }
+
+    /// Connected components partition the enabled nodes, and nodes in the
+    /// same component are mutually reachable.
+    #[test]
+    fn components_partition(g in arb_graph(), mask_bits in proptest::collection::vec(any::<bool>(), 14)) {
+        let mask: Vec<bool> = (0..g.node_count()).map(|i| mask_bits[i % mask_bits.len()]).collect();
+        let view = g.view().with_node_mask(&mask);
+        let (comp, count) = traversal::connected_components(&view);
+        for v in g.nodes() {
+            if mask[v.index()] {
+                prop_assert!(comp[v.index()] < count);
+            } else {
+                prop_assert_eq!(comp[v.index()], usize::MAX);
+            }
+        }
+        for u in view.enabled_nodes() {
+            for v in view.enabled_nodes() {
+                let connected = traversal::connected(&view, u, v);
+                prop_assert_eq!(connected, comp[u.index()] == comp[v.index()]);
+            }
+        }
+    }
+
+    /// The capacity of every cut upper-bounds max flow (weak duality on
+    /// random cuts).
+    #[test]
+    fn random_cuts_bound_maxflow(
+        g in arb_graph(),
+        a in 0usize..14,
+        b in 0usize..14,
+        side in proptest::collection::vec(any::<bool>(), 14),
+    ) {
+        let n = g.node_count();
+        let (s, t) = (g.node(a % n), g.node(b % n));
+        prop_assume!(s != t);
+        let mut in_set: Vec<bool> = (0..n).map(|i| side[i % side.len()]).collect();
+        in_set[s.index()] = true;
+        in_set[t.index()] = false;
+        let flow = maxflow::max_flow_value(&g.view(), s, t);
+        prop_assert!(flow <= cut::cut_capacity(&g.view(), &in_set) + 1e-6);
+    }
+
+    /// BFS-filtered search reaches a subset of plain BFS.
+    #[test]
+    fn filtered_bfs_is_subset(g in arb_graph(), root in 0usize..14, barrier in 0usize..14) {
+        let n = g.node_count();
+        let root = g.node(root % n);
+        let barrier = NodeId::new(barrier % n);
+        let plain = traversal::bfs(&g.view(), root);
+        let filtered = traversal::bfs_filtered(&g.view(), root, |v| v != barrier);
+        for v in g.nodes() {
+            if filtered.reached(v) {
+                prop_assert!(plain.reached(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the LP/MILP solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint or objective referenced a variable id not in the model.
+    VarOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// Number of variables in the model.
+        vars: usize,
+    },
+    /// A coefficient, bound or right-hand side was NaN or infinite where a
+    /// finite value is required.
+    NonFiniteNumber,
+    /// A variable was declared with `lb > ub`.
+    EmptyDomain {
+        /// Lower bound.
+        lb: f64,
+        /// Upper bound.
+        ub: f64,
+    },
+    /// The simplex iteration limit was exceeded (numerical trouble or an
+    /// adversarial instance). The model is reported rather than looping
+    /// forever.
+    IterationLimit,
+    /// Branch & bound exhausted its node budget before proving optimality
+    /// *and* no feasible incumbent was found.
+    NoIncumbent,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::VarOutOfRange { var, vars } => {
+                write!(f, "variable {var} out of range for model with {vars} variables")
+            }
+            LpError::NonFiniteNumber => write!(f, "non-finite coefficient, bound, or rhs"),
+            LpError::EmptyDomain { lb, ub } => {
+                write!(f, "variable domain is empty: lb {lb} > ub {ub}")
+            }
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::NoIncumbent => {
+                write!(f, "branch & bound budget exhausted without a feasible incumbent")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(LpError::VarOutOfRange { var: 3, vars: 2 }
+            .to_string()
+            .contains("variable 3"));
+        assert!(LpError::EmptyDomain { lb: 2.0, ub: 1.0 }
+            .to_string()
+            .contains("lb 2"));
+        assert!(!LpError::IterationLimit.to_string().is_empty());
+        assert!(!LpError::NoIncumbent.to_string().is_empty());
+        assert!(!LpError::NonFiniteNumber.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LpError>();
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests of the LP substrate: simplex correctness via
+//! primal feasibility + weak duality witnesses, MILP vs exhaustive
+//! enumeration, and concurrent-flow bounds vs the exact LP.
+
+use netrec_graph::Graph;
+use netrec_lp::concurrent::{max_concurrent_flow, ConcurrentFlowConfig};
+use netrec_lp::mcf::{self, Demand};
+use netrec_lp::milp::{self, BranchBoundConfig};
+use netrec_lp::{simplex, LpProblem, LpStatus, Relation, Sense};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Simplex maximization with all-`Le` rows and bounded variables:
+    /// optimal solutions are feasible and no sampled feasible point beats
+    /// them.
+    #[test]
+    fn simplex_dominates_sampled_points(
+        n_vars in 1usize..5,
+        n_cons in 1usize..5,
+        coefs in proptest::collection::vec(0.1f64..3.0, 25),
+        rhs in proptest::collection::vec(1.0f64..10.0, 5),
+        obj in proptest::collection::vec(0.0f64..3.0, 5),
+        sample in proptest::collection::vec(0.0f64..1.0, 5),
+    ) {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n_vars).map(|i| lp.add_var(0.0, Some(8.0), obj[i])).collect();
+        for c in 0..n_cons {
+            let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, coefs[c * 5 + i])).collect();
+            lp.add_constraint(terms, Relation::Le, rhs[c]);
+        }
+        let sol = simplex::solve(&lp).unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+
+        // Scale a random point into the feasible region and compare.
+        let mut point: Vec<f64> = (0..n_vars).map(|i| sample[i] * 8.0).collect();
+        for c in 0..n_cons {
+            let lhs: f64 = (0..n_vars).map(|i| coefs[c * 5 + i] * point[i]).sum();
+            if lhs > rhs[c] {
+                let scale = rhs[c] / lhs;
+                for x in point.iter_mut() {
+                    *x *= scale;
+                }
+            }
+        }
+        prop_assume!(lp.is_feasible(&point, 1e-9));
+        let sampled_obj: f64 = (0..n_vars).map(|i| obj[i] * point[i]).sum();
+        prop_assert!(sol.objective + 1e-6 >= sampled_obj);
+    }
+
+    /// Branch & bound agrees with exhaustive enumeration on small pure
+    /// binary knapsacks.
+    #[test]
+    fn milp_matches_bruteforce_knapsack(
+        n in 1usize..7,
+        values in proptest::collection::vec(0.1f64..5.0, 7),
+        weights in proptest::collection::vec(0.1f64..5.0, 7),
+        cap_frac in 0.2f64..0.9,
+    ) {
+        let total_w: f64 = weights[..n].iter().sum();
+        let cap = total_w * cap_frac;
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n).map(|i| lp.add_binary_var(values[i])).collect();
+        let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect();
+        lp.add_constraint(terms, Relation::Le, cap);
+        let (sol, _) = milp::solve(&lp, &BranchBoundConfig::default()).unwrap();
+        prop_assert_eq!(sol.status, LpStatus::Optimal);
+
+        // Brute force.
+        let mut best = 0.0f64;
+        for mask in 0..(1u32 << n) {
+            let w: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+            if w <= cap + 1e-9 {
+                let v: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| values[i]).sum();
+                best = best.max(v);
+            }
+        }
+        prop_assert!((sol.objective - best).abs() < 1e-6,
+            "milp {} vs brute force {}", sol.objective, best);
+    }
+
+    /// The concurrent-flow lower bound never exceeds the exact λ*
+    /// (checked through the exact routability LP at the bound).
+    #[test]
+    fn concurrent_flow_lower_bound_is_sound(
+        caps in proptest::collection::vec(1.0f64..10.0, 6),
+        demand in 0.5f64..6.0,
+    ) {
+        // A fixed 4-node diamond with random capacities.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), caps[0]).unwrap();
+        g.add_edge(g.node(1), g.node(3), caps[1]).unwrap();
+        g.add_edge(g.node(0), g.node(2), caps[2]).unwrap();
+        g.add_edge(g.node(2), g.node(3), caps[3]).unwrap();
+        g.add_edge(g.node(1), g.node(2), caps[4]).unwrap();
+        let demands = [Demand::new(g.node(0), g.node(3), demand)];
+        let r = max_concurrent_flow(&g.view(), &demands, &ConcurrentFlowConfig::default());
+        prop_assume!(r.lambda_lower.is_finite() && r.lambda_lower > 0.0);
+        // Scaling the demand to the certified λ keeps it routable.
+        let scaled = [Demand::new(g.node(0), g.node(3), demand * r.lambda_lower * 0.999)];
+        prop_assert!(mcf::routability(&g.view(), &scaled).unwrap().is_some(),
+            "λ_lower {} not actually feasible", r.lambda_lower);
+    }
+
+    /// `max_satisfied` never reports more than the demand and is exact for
+    /// a single commodity (equals min(demand, max flow)).
+    #[test]
+    fn max_satisfied_single_commodity(
+        caps in proptest::collection::vec(1.0f64..10.0, 4),
+        demand in 0.5f64..25.0,
+    ) {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), caps[0]).unwrap();
+        g.add_edge(g.node(1), g.node(3), caps[1]).unwrap();
+        g.add_edge(g.node(0), g.node(2), caps[2]).unwrap();
+        g.add_edge(g.node(2), g.node(3), caps[3]).unwrap();
+        let fstar = netrec_graph::maxflow::max_flow_value(&g.view(), g.node(0), g.node(3));
+        let demands = [Demand::new(g.node(0), g.node(3), demand)];
+        let (sat, flows) = mcf::max_satisfied(&g.view(), &demands).unwrap();
+        prop_assert!((sat[0] - demand.min(fstar)).abs() < 1e-6);
+        // Flows respect capacities.
+        for e in g.edges() {
+            prop_assert!(flows.edge_load(e) <= g.capacity(e) + 1e-6);
+        }
+    }
+
+    /// Routability monotonicity: if a demand set is routable, any
+    /// pointwise-smaller demand set is too.
+    #[test]
+    fn routability_is_monotone(
+        caps in proptest::collection::vec(1.0f64..10.0, 5),
+        d1 in 0.5f64..8.0,
+        d2 in 0.5f64..8.0,
+        shrink in 0.1f64..1.0,
+    ) {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), caps[0]).unwrap();
+        g.add_edge(g.node(1), g.node(3), caps[1]).unwrap();
+        g.add_edge(g.node(0), g.node(2), caps[2]).unwrap();
+        g.add_edge(g.node(2), g.node(3), caps[3]).unwrap();
+        g.add_edge(g.node(1), g.node(2), caps[4]).unwrap();
+        let demands = [
+            Demand::new(g.node(0), g.node(3), d1),
+            Demand::new(g.node(1), g.node(2), d2),
+        ];
+        if mcf::routability(&g.view(), &demands).unwrap().is_some() {
+            let smaller = [
+                Demand::new(g.node(0), g.node(3), d1 * shrink),
+                Demand::new(g.node(1), g.node(2), d2 * shrink),
+            ];
+            prop_assert!(mcf::routability(&g.view(), &smaller).unwrap().is_some());
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Thin entry point for the `netrec-cli` tool; all logic lives in
+//! [`netrec_sim::cli`] where it is unit-tested.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", netrec_sim::cli::HELP);
+        return;
+    }
+    match netrec_sim::cli::parse_args(&args).and_then(|o| netrec_sim::cli::run(&o)) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run with --help for usage");
+            std::process::exit(2);
+        }
+    }
+}

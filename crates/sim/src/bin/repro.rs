@@ -1,0 +1,84 @@
+//! Regenerates the paper's figures as text tables.
+//!
+//! ```text
+//! repro [--figure figN] [--scale smoke|default|paper]
+//! ```
+//!
+//! With no arguments, runs every figure at the default scale and prints
+//! one table per figure (the same series the paper plots).
+
+use netrec_sim::figures::{self, Scale};
+use netrec_sim::{export, render_table, run_figure};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figure: Option<String> = None;
+    let mut scale = Scale::Default;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--figure" | "-f" => {
+                i += 1;
+                figure = args.get(i).cloned();
+            }
+            "--scale" | "-s" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("smoke") => Scale::Smoke,
+                    Some("default") => Scale::Default,
+                    Some("paper") => Scale::Paper,
+                    other => {
+                        eprintln!("unknown scale {other:?}; use smoke|default|paper");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--out-dir" | "-o" => {
+                i += 1;
+                out_dir = args.get(i).map(PathBuf::from);
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--figure figN] [--scale smoke|default|paper] [--out-dir DIR]");
+                println!("figures: fig3 fig4 fig5 fig6 fig7 fig9");
+                println!("--out-dir also writes per-metric CSVs and gnuplot scripts");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let figs = match figure {
+        Some(id) => match figures::by_id(&id, scale) {
+            Some(f) => vec![f],
+            None => {
+                eprintln!("unknown figure {id}; use fig3|fig4|fig5|fig6|fig7|fig9");
+                std::process::exit(2);
+            }
+        },
+        None => figures::all_figures(scale),
+    };
+
+    for fig in figs {
+        let started = Instant::now();
+        let table = run_figure(&fig);
+        println!("{}", render_table(&table));
+        if let Some(dir) = &out_dir {
+            match export::write_figure(&table, dir) {
+                Ok(files) => eprintln!("wrote {} CSV/gnuplot pairs to {}", files.len(), dir.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", dir.display()),
+            }
+        }
+        println!(
+            "({} finished in {:.1}s)\n",
+            fig.id,
+            started.elapsed().as_secs_f64()
+        );
+    }
+}

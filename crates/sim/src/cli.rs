@@ -1,0 +1,524 @@
+//! The `netrec-cli` command line: plan a recovery from the shell.
+//!
+//! ```text
+//! netrec-cli --topology bell --pairs 4 --flow 10 --disrupt gaussian:50 \
+//!            --algorithm isp [--schedule 4] [--report] [--seed 7]
+//! netrec-cli --topology gml:net.gml --demand 3,17,12.5 --disrupt complete
+//! ```
+//!
+//! All parsing and execution logic lives here so it is unit-testable; the
+//! binary is a thin `main`.
+
+use crate::scenario::Algorithm;
+use netrec_core::heuristics::{all, greedy, mcf_relax, opt, srt};
+use netrec_core::schedule::schedule_recovery;
+use netrec_core::vulnerability::robustness_report;
+use netrec_core::{solve_isp, IspConfig, RecoveryPlan, RecoveryProblem};
+use netrec_disrupt::DisruptionModel;
+use netrec_topology::demand::{generate_demands, DemandSpec};
+use netrec_topology::Topology;
+use std::fmt;
+
+/// Parsed CLI options.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Topology source.
+    pub topology: TopologyArg,
+    /// Generated demand (pairs × flow), unless explicit demands given.
+    pub pairs: usize,
+    /// Flow per generated pair.
+    pub flow: f64,
+    /// Explicit demands `(s, t, amount)` (node indices).
+    pub demands: Vec<(usize, usize, f64)>,
+    /// Disruption model.
+    pub disrupt: DisruptionModel,
+    /// Algorithm to run.
+    pub algorithm: Algorithm,
+    /// RNG seed.
+    pub seed: u64,
+    /// Optional per-stage budget for a repair schedule.
+    pub schedule_budget: Option<f64>,
+    /// Whether to print the single-failure robustness report.
+    pub report: bool,
+}
+
+/// Topology selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyArg {
+    /// The built-in Bell-Canada-like topology.
+    Bell,
+    /// The built-in CAIDA-like topology (825 / 1018).
+    Caida,
+    /// Erdős–Rényi `n`, `p` (capacity 1000).
+    ErdosRenyi(usize, f64),
+    /// A GML file path.
+    Gml(String),
+}
+
+/// A CLI usage error with a message for the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The help text.
+pub const HELP: &str = "\
+netrec-cli — plan a network recovery after massive failures (DSN'16)
+
+usage: netrec-cli [options]
+  --topology bell | caida | er:<n>:<p> | gml:<file>     (default bell)
+  --pairs N            generated demand pairs            (default 4)
+  --flow F             flow units per generated pair     (default 10)
+  --demand s,t,amount  explicit demand (repeatable; overrides --pairs)
+  --disrupt complete | gaussian:<variance> | uniform:<p> | none
+                                                         (default complete)
+  --algorithm isp | opt | srt | grd-com | grd-nc | mcb | mcw | all
+                                                         (default isp)
+  --seed N             RNG seed                          (default 42)
+  --schedule BUDGET    also print a staged repair schedule
+  --report             also print the single-failure robustness report
+  --help
+";
+
+/// Parses argv (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the first malformed argument.
+pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
+    let mut opts = CliOptions {
+        topology: TopologyArg::Bell,
+        pairs: 4,
+        flow: 10.0,
+        demands: Vec::new(),
+        disrupt: DisruptionModel::Complete,
+        algorithm: Algorithm::Isp,
+        seed: 42,
+        schedule_budget: None,
+        report: false,
+    };
+    let mut i = 0;
+    let need = |i: usize, what: &str, args: &[String]| -> Result<String, UsageError> {
+        args.get(i)
+            .cloned()
+            .ok_or_else(|| UsageError(format!("missing value for {what}")))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--topology" | "-t" => {
+                i += 1;
+                let v = need(i, "--topology", args)?;
+                opts.topology = parse_topology(&v)?;
+            }
+            "--pairs" => {
+                i += 1;
+                opts.pairs = need(i, "--pairs", args)?
+                    .parse()
+                    .map_err(|_| UsageError("--pairs needs an integer".into()))?;
+            }
+            "--flow" => {
+                i += 1;
+                opts.flow = need(i, "--flow", args)?
+                    .parse()
+                    .map_err(|_| UsageError("--flow needs a number".into()))?;
+            }
+            "--demand" | "-d" => {
+                i += 1;
+                let v = need(i, "--demand", args)?;
+                opts.demands.push(parse_demand(&v)?);
+            }
+            "--disrupt" => {
+                i += 1;
+                let v = need(i, "--disrupt", args)?;
+                opts.disrupt = parse_disrupt(&v)?;
+            }
+            "--algorithm" | "-a" => {
+                i += 1;
+                let v = need(i, "--algorithm", args)?;
+                opts.algorithm = parse_algorithm(&v)?;
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = need(i, "--seed", args)?
+                    .parse()
+                    .map_err(|_| UsageError("--seed needs an integer".into()))?;
+            }
+            "--schedule" => {
+                i += 1;
+                opts.schedule_budget = Some(
+                    need(i, "--schedule", args)?
+                        .parse()
+                        .map_err(|_| UsageError("--schedule needs a number".into()))?,
+                );
+            }
+            "--report" => opts.report = true,
+            other => return Err(UsageError(format!("unknown argument {other}"))),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn parse_topology(v: &str) -> Result<TopologyArg, UsageError> {
+    match v {
+        "bell" => Ok(TopologyArg::Bell),
+        "caida" => Ok(TopologyArg::Caida),
+        _ if v.starts_with("er:") => {
+            let parts: Vec<&str> = v[3..].split(':').collect();
+            if parts.len() != 2 {
+                return Err(UsageError("er topology needs er:<n>:<p>".into()));
+            }
+            let n = parts[0]
+                .parse()
+                .map_err(|_| UsageError("er:<n> must be an integer".into()))?;
+            let p = parts[1]
+                .parse()
+                .map_err(|_| UsageError("er:<p> must be a number".into()))?;
+            Ok(TopologyArg::ErdosRenyi(n, p))
+        }
+        _ if v.starts_with("gml:") => Ok(TopologyArg::Gml(v[4..].to_string())),
+        _ => Err(UsageError(format!("unknown topology {v}"))),
+    }
+}
+
+fn parse_demand(v: &str) -> Result<(usize, usize, f64), UsageError> {
+    let parts: Vec<&str> = v.split(',').collect();
+    if parts.len() != 3 {
+        return Err(UsageError("--demand needs s,t,amount".into()));
+    }
+    let s = parts[0]
+        .trim()
+        .parse()
+        .map_err(|_| UsageError("demand source must be a node index".into()))?;
+    let t = parts[1]
+        .trim()
+        .parse()
+        .map_err(|_| UsageError("demand target must be a node index".into()))?;
+    let amount = parts[2]
+        .trim()
+        .parse()
+        .map_err(|_| UsageError("demand amount must be a number".into()))?;
+    Ok((s, t, amount))
+}
+
+fn parse_disrupt(v: &str) -> Result<DisruptionModel, UsageError> {
+    match v {
+        "complete" => Ok(DisruptionModel::Complete),
+        "none" => Ok(DisruptionModel::Uniform { probability: 0.0 }),
+        _ if v.starts_with("gaussian:") => {
+            let variance = v[9..]
+                .parse()
+                .map_err(|_| UsageError("gaussian:<variance> must be a number".into()))?;
+            Ok(DisruptionModel::gaussian(variance))
+        }
+        _ if v.starts_with("uniform:") => {
+            let probability = v[8..]
+                .parse()
+                .map_err(|_| UsageError("uniform:<p> must be a number".into()))?;
+            Ok(DisruptionModel::Uniform { probability })
+        }
+        _ => Err(UsageError(format!("unknown disruption {v}"))),
+    }
+}
+
+fn parse_algorithm(v: &str) -> Result<Algorithm, UsageError> {
+    match v.to_ascii_lowercase().as_str() {
+        "isp" => Ok(Algorithm::Isp),
+        "opt" => Ok(Algorithm::Opt),
+        "srt" => Ok(Algorithm::Srt),
+        "grd-com" | "grdcom" => Ok(Algorithm::GrdCom),
+        "grd-nc" | "grdnc" => Ok(Algorithm::GrdNc),
+        "mcb" => Ok(Algorithm::Mcb),
+        "mcw" => Ok(Algorithm::Mcw),
+        "all" => Ok(Algorithm::All),
+        _ => Err(UsageError(format!("unknown algorithm {v}"))),
+    }
+}
+
+/// Builds the topology selected by the options.
+///
+/// # Errors
+///
+/// Reports GML file problems as usage errors.
+pub fn build_topology(opts: &CliOptions) -> Result<Topology, UsageError> {
+    match &opts.topology {
+        TopologyArg::Bell => Ok(netrec_topology::bell::bell_canada()),
+        TopologyArg::Caida => Ok(netrec_topology::caida::caida_like(opts.seed)),
+        TopologyArg::ErdosRenyi(n, p) => Ok(netrec_topology::random::erdos_renyi(
+            *n, *p, 1000.0, opts.seed,
+        )),
+        TopologyArg::Gml(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+            netrec_topology::gml::parse(&text, 20.0)
+                .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))
+        }
+    }
+}
+
+/// Builds the recovery problem and runs the selected algorithm, returning
+/// the report text.
+///
+/// # Errors
+///
+/// Usage errors for bad demand indices; solver errors are rendered into
+/// the report.
+pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
+    let topology = build_topology(opts)?;
+    let disruption = opts.disrupt.apply(&topology, opts.seed);
+
+    let mut problem = RecoveryProblem::new(topology.graph().clone());
+    let demand_list: Vec<(usize, usize, f64)> = if opts.demands.is_empty() {
+        generate_demands(&topology, &DemandSpec::new(opts.pairs, opts.flow), opts.seed)
+            .into_iter()
+            .map(|(s, t, d)| (s.index(), t.index(), d))
+            .collect()
+    } else {
+        opts.demands.clone()
+    };
+    for &(s, t, d) in &demand_list {
+        let n = problem.graph().node_count();
+        if s >= n || t >= n {
+            return Err(UsageError(format!(
+                "demand endpoint out of range: {s},{t} on {n} nodes"
+            )));
+        }
+        problem
+            .add_demand(problem.graph().node(s), problem.graph().node(t), d)
+            .map_err(|e| UsageError(format!("bad demand {s},{t},{d}: {e}")))?;
+    }
+    for (i, &b) in disruption.broken_nodes.iter().enumerate() {
+        if b {
+            let node = problem.graph().node(i);
+            problem
+                .break_node(node, 1.0)
+                .map_err(|e| UsageError(e.to_string()))?;
+        }
+    }
+    for (i, &b) in disruption.broken_edges.iter().enumerate() {
+        if b {
+            problem
+                .break_edge(netrec_graph::EdgeId::new(i), 1.0)
+                .map_err(|e| UsageError(e.to_string()))?;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "topology: {} ({} nodes, {} edges)\n",
+        topology.name(),
+        topology.graph().node_count(),
+        topology.graph().edge_count()
+    ));
+    out.push_str(&format!(
+        "disruption: {} nodes + {} edges broken\n",
+        disruption.node_count(),
+        disruption.edge_count()
+    ));
+    for &(s, t, d) in &demand_list {
+        out.push_str(&format!("demand: {s} <-> {t}  ({d} units)\n"));
+    }
+
+    let plan = match run_algorithm(opts.algorithm, &problem) {
+        Ok(plan) => plan,
+        Err(e) => {
+            out.push_str(&format!("\nno recovery plan: {e}\n"));
+            return Ok(out);
+        }
+    };
+
+    out.push_str(&format!("\nplan ({}):\n", plan.algorithm));
+    out.push_str(&format!(
+        "  repair {} nodes: {:?}\n",
+        plan.repaired_nodes.len(),
+        plan.repaired_nodes
+    ));
+    out.push_str(&format!(
+        "  repair {} edges: {:?}\n",
+        plan.repaired_edges.len(),
+        plan.repaired_edges
+    ));
+    out.push_str(&format!("  cost: {}\n", plan.repair_cost(&problem)));
+    match plan.satisfied_fraction(&problem) {
+        Ok(f) => out.push_str(&format!("  satisfied demand: {:.1}%\n", f * 100.0)),
+        Err(e) => out.push_str(&format!("  satisfied demand: <error: {e}>\n")),
+    }
+
+    if let Some(budget) = opts.schedule_budget {
+        match schedule_recovery(&problem, &plan, budget) {
+            Ok(schedule) => {
+                out.push_str(&format!("\nschedule (budget {budget}/stage):\n"));
+                for (day, stage) in schedule.stages.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  stage {}: {} nodes + {} edges, cost {:.1}, satisfied {:.1}%\n",
+                        day + 1,
+                        stage.nodes.len(),
+                        stage.edges.len(),
+                        stage.cost,
+                        stage.satisfied_fraction * 100.0
+                    ));
+                }
+            }
+            Err(e) => out.push_str(&format!("\nschedule failed: {e}\n")),
+        }
+    }
+
+    if opts.report {
+        match robustness_report(&problem, &plan) {
+            Ok(report) => {
+                out.push_str("\nsingle-failure robustness:\n");
+                out.push_str(&format!(
+                    "  critical nodes: {:?}\n",
+                    report.critical_nodes()
+                ));
+                out.push_str(&format!(
+                    "  critical edges: {:?}\n",
+                    report.critical_edges()
+                ));
+                if let Some((frac, what)) = report.worst_case() {
+                    out.push_str(&format!(
+                        "  worst single failure: {what} -> {:.1}% demand survives\n",
+                        frac * 100.0
+                    ));
+                }
+            }
+            Err(e) => out.push_str(&format!("\nrobustness report failed: {e}\n")),
+        }
+    }
+    Ok(out)
+}
+
+fn run_algorithm(
+    alg: Algorithm,
+    problem: &RecoveryProblem,
+) -> Result<RecoveryPlan, netrec_core::RecoveryError> {
+    match alg {
+        Algorithm::Isp => solve_isp(problem, &IspConfig::default()),
+        Algorithm::Opt => opt::solve_opt(problem, &opt::OptConfig::default()),
+        Algorithm::Srt => Ok(srt::solve_srt(problem)),
+        Algorithm::GrdCom => Ok(greedy::solve_grd_com(problem, &greedy::GreedyConfig::default())),
+        Algorithm::GrdNc => greedy::solve_grd_nc(problem, &greedy::GreedyConfig::default()),
+        Algorithm::Mcb => mcf_relax::solve_mcf_relax(
+            problem,
+            mcf_relax::McfExtreme::Best,
+            &mcf_relax::McfRelaxConfig::default(),
+        ),
+        Algorithm::Mcw => mcf_relax::solve_mcf_relax(
+            problem,
+            mcf_relax::McfExtreme::Worst,
+            &mcf_relax::McfRelaxConfig::default(),
+        ),
+        Algorithm::All => Ok(all::solve_all(problem)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(o.topology, TopologyArg::Bell);
+        assert_eq!(o.pairs, 4);
+        assert_eq!(o.algorithm, Algorithm::Isp);
+        assert!(!o.report);
+    }
+
+    #[test]
+    fn parses_everything() {
+        let o = parse_args(&args(&[
+            "--topology", "er:20:0.3",
+            "--pairs", "2",
+            "--flow", "5.5",
+            "--disrupt", "gaussian:40",
+            "--algorithm", "grd-nc",
+            "--seed", "7",
+            "--schedule", "3",
+            "--report",
+        ]))
+        .unwrap();
+        assert_eq!(o.topology, TopologyArg::ErdosRenyi(20, 0.3));
+        assert_eq!(o.pairs, 2);
+        assert_eq!(o.flow, 5.5);
+        assert_eq!(o.algorithm, Algorithm::GrdNc);
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.schedule_budget, Some(3.0));
+        assert!(o.report);
+        assert!(matches!(o.disrupt, DisruptionModel::Gaussian { .. }));
+    }
+
+    #[test]
+    fn explicit_demands() {
+        let o = parse_args(&args(&["--demand", "1,5,12.5", "--demand", "0,3,2"])).unwrap();
+        assert_eq!(o.demands, vec![(1, 5, 12.5), (0, 3, 2.0)]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_args(&args(&["--banana"])).is_err());
+        assert!(parse_args(&args(&["--pairs", "x"])).is_err());
+        assert!(parse_args(&args(&["--demand", "1,2"])).is_err());
+        assert!(parse_args(&args(&["--topology", "er:20"])).is_err());
+        assert!(parse_args(&args(&["--disrupt", "asteroid"])).is_err());
+        assert!(parse_args(&args(&["--algorithm", "magic"])).is_err());
+        assert!(parse_args(&args(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn runs_end_to_end_on_tiny_er() {
+        let o = parse_args(&args(&[
+            "--topology", "er:12:0.5",
+            "--pairs", "2",
+            "--flow", "1",
+            "--disrupt", "complete",
+            "--algorithm", "isp",
+        ]))
+        .unwrap();
+        let out = run(&o).unwrap();
+        assert!(out.contains("plan (ISP)"), "{out}");
+        assert!(out.contains("satisfied demand: 100.0%"), "{out}");
+    }
+
+    #[test]
+    fn run_reports_infeasible_demand() {
+        let o = parse_args(&args(&[
+            "--topology", "er:8:0.9",
+            "--demand", "0,1,99999",
+        ]))
+        .unwrap();
+        let out = run(&o).unwrap();
+        assert!(out.contains("no recovery plan"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_out_of_range_demand() {
+        let o = parse_args(&args(&["--demand", "0,999,1"])).unwrap();
+        assert!(run(&o).is_err());
+    }
+
+    #[test]
+    fn schedule_and_report_sections_render() {
+        let o = parse_args(&args(&[
+            "--topology", "er:10:0.6",
+            "--pairs", "1",
+            "--flow", "1",
+            "--schedule", "2",
+            "--report",
+        ]))
+        .unwrap();
+        let out = run(&o).unwrap();
+        assert!(out.contains("schedule (budget 2/stage)"), "{out}");
+        assert!(out.contains("single-failure robustness"), "{out}");
+    }
+}

@@ -1,0 +1,197 @@
+//! Export of figure tables to CSV and gnuplot scripts.
+//!
+//! `repro --out-dir DIR` writes, per figure and metric, a CSV with one
+//! row per x-value and one `mean`/`std` column pair per algorithm, plus a
+//! ready-to-run gnuplot script reproducing the paper's plot layout.
+
+use crate::stats::FigureTable;
+use std::fmt::Write as _;
+
+/// Renders one metric of a figure as CSV text.
+///
+/// Columns: `x, <alg> mean, <alg> std, …` in first-appearance order.
+pub fn to_csv(table: &FigureTable, metric: &str) -> String {
+    let algorithms: Vec<String> = table
+        .algorithms()
+        .into_iter()
+        .filter(|a| {
+            table
+                .points
+                .iter()
+                .any(|p| &p.algorithm == a && p.metric == metric)
+        })
+        .collect();
+    let mut out = String::from("x");
+    for a in &algorithms {
+        let _ = write!(out, ",{a}_mean,{a}_std");
+    }
+    out.push('\n');
+
+    let mut xs: Vec<f64> = table
+        .points
+        .iter()
+        .filter(|p| p.metric == metric)
+        .map(|p| p.x)
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    xs.dedup();
+
+    for x in xs {
+        let _ = write!(out, "{x}");
+        for a in &algorithms {
+            let point = table
+                .points
+                .iter()
+                .find(|p| p.metric == metric && &p.algorithm == a && p.x == x);
+            match point {
+                Some(p) => {
+                    let _ = write!(out, ",{:.6},{:.6}", p.value.mean, p.value.std);
+                }
+                None => out.push_str(",,"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Emits a gnuplot script that plots every algorithm's mean (with error
+/// bars) for one metric, reading the CSV produced by [`to_csv`].
+pub fn to_gnuplot(table: &FigureTable, metric: &str, csv_file: &str) -> String {
+    let algorithms: Vec<String> = table
+        .algorithms()
+        .into_iter()
+        .filter(|a| {
+            table
+                .points
+                .iter()
+                .any(|p| &p.algorithm == a && p.metric == metric)
+        })
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "# {} — {metric}", table.figure);
+    let _ = writeln!(out, "set datafile separator ','");
+    let _ = writeln!(out, "set key top left");
+    let _ = writeln!(out, "set xlabel '{}'", table.x_label.replace('\'', ""));
+    let _ = writeln!(out, "set ylabel '{}'", metric.replace('_', " "));
+    let _ = writeln!(
+        out,
+        "set title '{} ({})'",
+        table.title.replace('\'', ""),
+        table.figure
+    );
+    out.push_str("plot ");
+    for (i, a) in algorithms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", \\\n     ");
+        }
+        // Column layout: x = 1, alg i mean = 2i+2, std = 2i+3.
+        let _ = write!(
+            out,
+            "'{csv_file}' using 1:{}:{} with yerrorlines title '{a}'",
+            2 * i + 2,
+            2 * i + 3
+        );
+    }
+    out.push('\n');
+    out
+}
+
+/// Writes all metrics of a figure into `dir` as `figN_metric.csv` +
+/// `figN_metric.gp`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_figure(table: &FigureTable, dir: &std::path::Path) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for metric in table.metrics() {
+        let base = format!("{}_{}", table.figure, metric);
+        let csv_name = format!("{base}.csv");
+        std::fs::write(dir.join(&csv_name), to_csv(table, &metric))?;
+        std::fs::write(
+            dir.join(format!("{base}.gp")),
+            to_gnuplot(table, &metric, &csv_name),
+        )?;
+        written.push(base);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{summarize, SeriesPoint};
+
+    fn sample() -> FigureTable {
+        FigureTable {
+            figure: "figT".into(),
+            title: "test sweep".into(),
+            x_label: "pairs".into(),
+            points: vec![
+                SeriesPoint {
+                    x: 1.0,
+                    algorithm: "ISP".into(),
+                    metric: "total_repairs".into(),
+                    value: summarize(&[4.0, 6.0]),
+                },
+                SeriesPoint {
+                    x: 2.0,
+                    algorithm: "ISP".into(),
+                    metric: "total_repairs".into(),
+                    value: summarize(&[8.0]),
+                },
+                SeriesPoint {
+                    x: 1.0,
+                    algorithm: "OPT".into(),
+                    metric: "total_repairs".into(),
+                    value: summarize(&[4.0]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn csv_layout() {
+        let csv = to_csv(&sample(), "total_repairs");
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "x,ISP_mean,ISP_std,OPT_mean,OPT_std"
+        );
+        let row1 = lines.next().unwrap();
+        assert!(row1.starts_with("1,5.000000,"));
+        let row2 = lines.next().unwrap();
+        assert!(row2.starts_with("2,8.000000,"));
+        // OPT has no point at x=2: empty cells.
+        assert!(row2.ends_with(",,"));
+    }
+
+    #[test]
+    fn gnuplot_references_all_series() {
+        let gp = to_gnuplot(&sample(), "total_repairs", "figT_total_repairs.csv");
+        assert!(gp.contains("title 'ISP'"));
+        assert!(gp.contains("title 'OPT'"));
+        assert!(gp.contains("using 1:2:3"));
+        assert!(gp.contains("using 1:4:5"));
+        assert!(gp.contains("set xlabel 'pairs'"));
+    }
+
+    #[test]
+    fn write_figure_creates_files() {
+        let dir = std::env::temp_dir().join("netrec_export_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let written = write_figure(&sample(), &dir).unwrap();
+        assert_eq!(written, vec!["figT_total_repairs"]);
+        assert!(dir.join("figT_total_repairs.csv").exists());
+        assert!(dir.join("figT_total_repairs.gp").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_metric_gives_header_only() {
+        let csv = to_csv(&sample(), "nonexistent");
+        assert_eq!(csv.trim(), "x");
+    }
+}

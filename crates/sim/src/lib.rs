@@ -1,0 +1,35 @@
+//! Experiment harness reproducing the evaluation of *"Network recovery
+//! after massive failures"* (DSN 2016).
+//!
+//! The harness turns a declarative [`Scenario`] (topology × demand ×
+//! disruption × algorithms × seeds) into aggregated results, and the
+//! [`figures`] module encodes one ready-made scenario sweep per
+//! data-bearing figure of the paper (Figs. 3–7 and 9). The `repro` binary
+//! prints the resulting data series in a gnuplot-style format (and, with
+//! `--out-dir`, writes CSV + gnuplot scripts via [`export`]); the
+//! `netrec-cli` binary ([`cli`]) plans a single recovery end to end.
+//! `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use netrec_sim::figures;
+//! let fig = figures::fig4(netrec_sim::figures::Scale::Smoke);
+//! let table = netrec_sim::run_figure(&fig);
+//! println!("{}", netrec_sim::render_table(&table));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod runner;
+mod scenario;
+mod stats;
+
+pub mod cli;
+pub mod export;
+pub mod figures;
+
+pub use runner::{run_figure, run_scenario, Figure, ScenarioResult};
+pub use scenario::{Algorithm, Scenario, TopologySpec};
+pub use stats::{render_table, summarize, FigureTable, SeriesPoint, Summary};

@@ -1,0 +1,218 @@
+//! Executes scenarios and aggregates results.
+
+use crate::scenario::{mcf_extreme, Algorithm, Scenario};
+use crate::stats::{summarize, FigureTable, SeriesPoint};
+use netrec_core::heuristics::{all, greedy, mcf_relax, opt, srt};
+use netrec_core::{solve_isp, RecoveryError, RecoveryPlan, RecoveryProblem};
+use netrec_topology::demand::generate_demands;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Raw per-run measurements of one scenario.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioResult {
+    /// metric → algorithm → samples over runs.
+    pub samples: BTreeMap<String, BTreeMap<String, Vec<f64>>>,
+    /// Runs that failed (infeasible instance or solver error), per
+    /// algorithm.
+    pub failures: BTreeMap<String, usize>,
+}
+
+impl ScenarioResult {
+    fn record(&mut self, metric: &str, algorithm: &str, value: f64) {
+        self.samples
+            .entry(metric.to_string())
+            .or_default()
+            .entry(algorithm.to_string())
+            .or_default()
+            .push(value);
+    }
+
+    fn record_failure(&mut self, algorithm: &str) {
+        *self.failures.entry(algorithm.to_string()).or_default() += 1;
+    }
+}
+
+/// Builds the [`RecoveryProblem`] of one run of a scenario.
+pub(crate) fn build_problem(scenario: &Scenario, run: u64) -> RecoveryProblem {
+    let seed = scenario.seed.wrapping_add(run);
+    let topo = scenario.topology.build(seed);
+    let demands = generate_demands(&topo, &scenario.demand, seed ^ 0x9e3779b97f4a7c15);
+    let disruption = scenario.disruption.apply(&topo, seed ^ 0x3243f6a8885a308d);
+    let mut p = RecoveryProblem::new(topo.graph().clone());
+    for (s, t, d) in demands {
+        p.add_demand(s, t, d).expect("generated demands are valid");
+    }
+    for (i, &b) in disruption.broken_nodes.iter().enumerate() {
+        if b {
+            p.break_node(p.graph().node(i), 1.0)
+                .expect("valid node index");
+        }
+    }
+    for (i, &b) in disruption.broken_edges.iter().enumerate() {
+        if b {
+            p.break_edge(netrec_graph::EdgeId::new(i), 1.0)
+                .expect("valid edge index");
+        }
+    }
+    p
+}
+
+fn run_algorithm(
+    alg: Algorithm,
+    problem: &RecoveryProblem,
+    scenario: &Scenario,
+) -> Result<RecoveryPlan, RecoveryError> {
+    match alg {
+        Algorithm::Isp => solve_isp(problem, &scenario.isp),
+        Algorithm::Opt => opt::solve_opt(problem, &scenario.opt),
+        Algorithm::Srt => Ok(srt::solve_srt(problem)),
+        Algorithm::GrdCom => Ok(greedy::solve_grd_com(problem, &scenario.greedy)),
+        Algorithm::GrdNc => greedy::solve_grd_nc(problem, &scenario.greedy),
+        Algorithm::Mcb | Algorithm::Mcw => mcf_relax::solve_mcf_relax(
+            problem,
+            mcf_extreme(alg).expect("mcb/mcw"),
+            &scenario.mcf,
+        ),
+        Algorithm::All => Ok(all::solve_all(problem)),
+    }
+}
+
+/// Runs every algorithm of `scenario` over its configured runs and
+/// collects the paper's metrics: `edge_repairs`, `node_repairs`,
+/// `total_repairs`, `satisfied_pct`, and `time_ms`.
+///
+/// Runs whose instance is infeasible even fully repaired (possible under
+/// aggressive disruptions) are counted in
+/// [`ScenarioResult::failures`] and skipped.
+pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let mut result = ScenarioResult::default();
+    for run in 0..scenario.runs {
+        let problem = build_problem(scenario, run as u64);
+        // The ALL value also serves as the destruction size reference.
+        for &alg in &scenario.algorithms {
+            let started = Instant::now();
+            match run_algorithm(alg, &problem, scenario) {
+                Ok(plan) => {
+                    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+                    result.record("edge_repairs", alg.name(), plan.repaired_edges.len() as f64);
+                    result.record("node_repairs", alg.name(), plan.repaired_nodes.len() as f64);
+                    result.record("total_repairs", alg.name(), plan.total_repairs() as f64);
+                    result.record("time_ms", alg.name(), elapsed);
+                    match plan.satisfied_fraction(&problem) {
+                        Ok(frac) => result.record("satisfied_pct", alg.name(), frac * 100.0),
+                        Err(_) => result.record_failure(alg.name()),
+                    }
+                }
+                Err(_) => result.record_failure(alg.name()),
+            }
+        }
+    }
+    result
+}
+
+/// A figure definition: a labelled sweep of scenarios.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Figure id (`fig3` … `fig9`).
+    pub id: String,
+    /// Human-readable description.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// The sweep.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// Runs a whole figure sweep into a [`FigureTable`].
+pub fn run_figure(figure: &Figure) -> FigureTable {
+    let mut points = Vec::new();
+    for scenario in &figure.scenarios {
+        let result = run_scenario(scenario);
+        for (metric, by_alg) in &result.samples {
+            for (alg, samples) in by_alg {
+                points.push(SeriesPoint {
+                    x: scenario.x,
+                    algorithm: alg.clone(),
+                    metric: metric.clone(),
+                    value: summarize(samples),
+                });
+            }
+        }
+    }
+    FigureTable {
+        figure: figure.id.clone(),
+        title: figure.title.clone(),
+        x_label: figure.x_label.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::TopologySpec;
+    use netrec_disrupt::DisruptionModel;
+    use netrec_topology::demand::DemandSpec;
+
+    fn tiny_scenario(algorithms: Vec<Algorithm>) -> Scenario {
+        Scenario::new(
+            "tiny",
+            1.0,
+            TopologySpec::BellCanada,
+            DemandSpec::new(2, 10.0),
+            DisruptionModel::Explicit {
+                nodes: vec![0, 1, 2],
+                edges: vec![0, 1, 2, 3],
+            },
+            algorithms,
+            2,
+            11,
+        )
+    }
+
+    #[test]
+    fn build_problem_is_deterministic() {
+        let s = tiny_scenario(vec![Algorithm::All]);
+        let a = build_problem(&s, 0);
+        let b = build_problem(&s, 0);
+        assert_eq!(a.demand_pairs(), b.demand_pairs());
+        assert_eq!(a.broken_edge_mask(), b.broken_edge_mask());
+        let c = build_problem(&s, 1);
+        // Different run ⇒ different demands (same topology).
+        assert!(a.demand_pairs() != c.demand_pairs() || a.broken_node_mask() != c.broken_node_mask());
+    }
+
+    #[test]
+    fn run_scenario_collects_all_metrics() {
+        let s = tiny_scenario(vec![Algorithm::All, Algorithm::Srt]);
+        let r = run_scenario(&s);
+        for metric in ["edge_repairs", "node_repairs", "total_repairs", "satisfied_pct", "time_ms"] {
+            let by_alg = r.samples.get(metric).unwrap_or_else(|| panic!("missing {metric}"));
+            assert_eq!(by_alg["ALL"].len(), 2);
+            assert_eq!(by_alg["SRT"].len(), 2);
+        }
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn all_counts_match_disruption() {
+        let s = tiny_scenario(vec![Algorithm::All]);
+        let r = run_scenario(&s);
+        let totals = &r.samples["total_repairs"]["ALL"];
+        assert!(totals.iter().all(|&t| t == 7.0));
+    }
+
+    #[test]
+    fn run_figure_aggregates_points() {
+        let fig = Figure {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            scenarios: vec![tiny_scenario(vec![Algorithm::All])],
+        };
+        let table = run_figure(&fig);
+        assert!(!table.points.is_empty());
+        assert_eq!(table.series("ALL", "total_repairs"), vec![(1.0, 7.0)]);
+    }
+}

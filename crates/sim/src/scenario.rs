@@ -1,0 +1,208 @@
+//! Declarative experiment scenarios.
+
+use netrec_core::heuristics::greedy::GreedyConfig;
+use netrec_core::heuristics::mcf_relax::{McfExtreme, McfRelaxConfig};
+use netrec_core::heuristics::opt::OptConfig;
+use netrec_core::IspConfig;
+use netrec_disrupt::DisruptionModel;
+use netrec_topology::demand::DemandSpec;
+use netrec_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Which topology a scenario runs on.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// The Bell-Canada-like topology (48 nodes / 64 edges).
+    BellCanada,
+    /// The CAIDA-AS28717-like topology (825 nodes / 1018 edges), or a
+    /// scaled-down variant.
+    CaidaLike {
+        /// Node count (default 825).
+        nodes: usize,
+        /// Edge count (default 1018).
+        edges: usize,
+        /// Uniform capacity.
+        capacity: f64,
+    },
+    /// Erdős–Rényi `G(n, p)` with uniform capacity.
+    ErdosRenyi {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Uniform capacity.
+        capacity: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Materializes the topology (deterministic per seed).
+    pub fn build(&self, seed: u64) -> Topology {
+        match self {
+            TopologySpec::BellCanada => netrec_topology::bell::bell_canada(),
+            TopologySpec::CaidaLike {
+                nodes,
+                edges,
+                capacity,
+            } => netrec_topology::caida::caida_sized(*nodes, *edges, *capacity, seed),
+            TopologySpec::ErdosRenyi { n, p, capacity } => {
+                netrec_topology::random::erdos_renyi(*n, *p, *capacity, seed)
+            }
+        }
+    }
+}
+
+/// A recovery algorithm to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Iterative Split and Prune (the paper's contribution).
+    Isp,
+    /// The exact/budgeted MILP optimum.
+    Opt,
+    /// Shortest-path repair.
+    Srt,
+    /// Greedy Commitment.
+    GrdCom,
+    /// Greedy No-Commitment.
+    GrdNc,
+    /// Multi-commodity relaxation, best extraction.
+    Mcb,
+    /// Multi-commodity relaxation, worst extraction.
+    Mcw,
+    /// Repair everything.
+    All,
+}
+
+impl Algorithm {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Isp => "ISP",
+            Algorithm::Opt => "OPT",
+            Algorithm::Srt => "SRT",
+            Algorithm::GrdCom => "GRD-COM",
+            Algorithm::GrdNc => "GRD-NC",
+            Algorithm::Mcb => "MCB",
+            Algorithm::Mcw => "MCW",
+            Algorithm::All => "ALL",
+        }
+    }
+}
+
+/// A complete experiment scenario: one point of a figure's sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Human-readable label (e.g. `pairs=4`).
+    pub label: String,
+    /// The x-coordinate this scenario contributes to its figure.
+    pub x: f64,
+    /// Topology.
+    pub topology: TopologySpec,
+    /// Demand generation.
+    pub demand: DemandSpec,
+    /// Disruption model.
+    pub disruption: DisruptionModel,
+    /// Algorithms to run.
+    pub algorithms: Vec<Algorithm>,
+    /// Independent runs to average over (the paper uses 20).
+    pub runs: usize,
+    /// Base RNG seed; run `r` uses `seed + r`.
+    pub seed: u64,
+    /// ISP configuration.
+    pub isp: IspConfig,
+    /// OPT configuration.
+    pub opt: OptConfig,
+    /// Greedy configuration.
+    pub greedy: GreedyConfig,
+    /// MCB/MCW configuration.
+    pub mcf: McfRelaxConfig,
+}
+
+impl Scenario {
+    /// A scenario with default algorithm configurations.
+    pub fn new(
+        label: impl Into<String>,
+        x: f64,
+        topology: TopologySpec,
+        demand: DemandSpec,
+        disruption: DisruptionModel,
+        algorithms: Vec<Algorithm>,
+        runs: usize,
+        seed: u64,
+    ) -> Self {
+        Scenario {
+            label: label.into(),
+            x,
+            topology,
+            demand,
+            disruption,
+            algorithms,
+            runs,
+            seed,
+            isp: IspConfig::default(),
+            opt: OptConfig::default(),
+            greedy: GreedyConfig::default(),
+            mcf: McfRelaxConfig::default(),
+        }
+    }
+}
+
+/// Helper shared by runner and tests: the extraction extreme per
+/// algorithm.
+pub(crate) fn mcf_extreme(alg: Algorithm) -> Option<McfExtreme> {
+    match alg {
+        Algorithm::Mcb => Some(McfExtreme::Best),
+        Algorithm::Mcw => Some(McfExtreme::Worst),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_specs_build() {
+        assert_eq!(
+            TopologySpec::BellCanada.build(0).graph().node_count(),
+            48
+        );
+        let er = TopologySpec::ErdosRenyi {
+            n: 10,
+            p: 0.5,
+            capacity: 1.0,
+        }
+        .build(1);
+        assert_eq!(er.graph().node_count(), 10);
+        let caida = TopologySpec::CaidaLike {
+            nodes: 30,
+            edges: 40,
+            capacity: 10.0,
+        }
+        .build(2);
+        assert_eq!(caida.graph().edge_count(), 40);
+    }
+
+    #[test]
+    fn algorithm_names_match_paper() {
+        assert_eq!(Algorithm::Isp.name(), "ISP");
+        assert_eq!(Algorithm::GrdCom.name(), "GRD-COM");
+        assert_eq!(Algorithm::Mcw.name(), "MCW");
+    }
+
+    #[test]
+    fn scenario_builds_with_defaults() {
+        let s = Scenario::new(
+            "test",
+            1.0,
+            TopologySpec::BellCanada,
+            DemandSpec::new(2, 10.0),
+            netrec_disrupt::DisruptionModel::Complete,
+            vec![Algorithm::Isp],
+            3,
+            7,
+        );
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.algorithms.len(), 1);
+    }
+}

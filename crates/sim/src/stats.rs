@@ -1,0 +1,212 @@
+//! Aggregation and rendering of experiment results.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Mean/std summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n ≤ 1).
+    pub std: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Summarizes a sample (empty samples give a zero summary).
+pub fn summarize(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary {
+            mean: 0.0,
+            std: 0.0,
+            n: 0,
+        };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let std = if n > 1 {
+        (values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    Summary { mean, std, n }
+}
+
+/// One aggregated measurement: figure x-coordinate, algorithm, metric.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// The x-coordinate of the sweep (number of pairs, demand intensity,
+    /// variance, edge probability, …).
+    pub x: f64,
+    /// Algorithm name (`ISP`, `OPT`, …).
+    pub algorithm: String,
+    /// Metric name (`edge_repairs`, `node_repairs`, `total_repairs`,
+    /// `satisfied_pct`, `time_ms`).
+    pub metric: String,
+    /// Aggregated value.
+    pub value: Summary,
+}
+
+/// All series of one reproduced figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureTable {
+    /// Figure id, e.g. `fig4`.
+    pub figure: String,
+    /// Human-readable description of the sweep.
+    pub title: String,
+    /// The x-axis label.
+    pub x_label: String,
+    /// Data points.
+    pub points: Vec<SeriesPoint>,
+}
+
+impl FigureTable {
+    /// The distinct metrics present, in first-appearance order.
+    pub fn metrics(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.metric) {
+                seen.push(p.metric.clone());
+            }
+        }
+        seen
+    }
+
+    /// The distinct algorithms present, in first-appearance order.
+    pub fn algorithms(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for p in &self.points {
+            if !seen.contains(&p.algorithm) {
+                seen.push(p.algorithm.clone());
+            }
+        }
+        seen
+    }
+
+    /// The series (x, mean) for one algorithm × metric, sorted by x.
+    pub fn series(&self, algorithm: &str, metric: &str) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|p| p.algorithm == algorithm && p.metric == metric)
+            .map(|p| (p.x, p.value.mean))
+            .collect();
+        out.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+}
+
+/// Renders a figure table as aligned text, one block per metric with one
+/// column per algorithm — the same rows the paper's plots are drawn from.
+pub fn render_table(table: &FigureTable) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", table.figure, table.title));
+    for metric in table.metrics() {
+        out.push_str(&format!("\n## {metric} (x = {})\n", table.x_label));
+        let algorithms: Vec<String> = table
+            .algorithms()
+            .into_iter()
+            .filter(|a| table.points.iter().any(|p| &p.algorithm == a && p.metric == metric))
+            .collect();
+        // x -> algorithm -> mean±std
+        let mut rows: BTreeMap<u64, BTreeMap<String, (f64, f64)>> = BTreeMap::new();
+        for p in &table.points {
+            if p.metric != metric {
+                continue;
+            }
+            rows.entry(p.x.to_bits())
+                .or_default()
+                .insert(p.algorithm.clone(), (p.value.mean, p.value.std));
+        }
+        out.push_str(&format!("{:>10}", "x"));
+        for a in &algorithms {
+            out.push_str(&format!("{a:>18}"));
+        }
+        out.push('\n');
+        let mut keyed: Vec<(f64, &BTreeMap<String, (f64, f64)>)> = rows
+            .iter()
+            .map(|(bits, m)| (f64::from_bits(*bits), m))
+            .collect();
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (x, cols) in keyed {
+            out.push_str(&format!("{x:>10.2}"));
+            for a in &algorithms {
+                match cols.get(a) {
+                    Some((mean, std)) => out.push_str(&format!("{:>12.2} ±{std:>4.1}", mean)),
+                    None => out.push_str(&format!("{:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_and_single() {
+        let e = summarize(&[]);
+        assert_eq!(e.n, 0);
+        let s = summarize(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn summary_mean_and_std() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    fn sample_table() -> FigureTable {
+        FigureTable {
+            figure: "figX".into(),
+            title: "test".into(),
+            x_label: "pairs".into(),
+            points: vec![
+                SeriesPoint {
+                    x: 1.0,
+                    algorithm: "ISP".into(),
+                    metric: "total_repairs".into(),
+                    value: summarize(&[3.0, 5.0]),
+                },
+                SeriesPoint {
+                    x: 2.0,
+                    algorithm: "ISP".into(),
+                    metric: "total_repairs".into(),
+                    value: summarize(&[7.0]),
+                },
+                SeriesPoint {
+                    x: 1.0,
+                    algorithm: "OPT".into(),
+                    metric: "total_repairs".into(),
+                    value: summarize(&[3.0]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn table_accessors() {
+        let t = sample_table();
+        assert_eq!(t.metrics(), vec!["total_repairs"]);
+        assert_eq!(t.algorithms(), vec!["ISP", "OPT"]);
+        assert_eq!(t.series("ISP", "total_repairs"), vec![(1.0, 4.0), (2.0, 7.0)]);
+        assert!(t.series("GRD-NC", "total_repairs").is_empty());
+    }
+
+    #[test]
+    fn rendering_contains_all_parts() {
+        let text = render_table(&sample_table());
+        assert!(text.contains("figX"));
+        assert!(text.contains("total_repairs"));
+        assert!(text.contains("ISP"));
+        assert!(text.contains("OPT"));
+        assert!(text.contains("4.00"));
+    }
+}

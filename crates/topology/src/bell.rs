@@ -1,0 +1,150 @@
+//! A deterministic Bell-Canada-like topology.
+//!
+//! The paper's first scenario uses the Bell-Canada topology from the
+//! Internet Topology Zoo (48 nodes, 64 edges), with capacities manually
+//! altered: two backbones of capacity 30 and 50, all other edges capacity
+//! 20, and uniform unitary repair costs. We cannot redistribute the Zoo
+//! dataset, so this module builds a topology with the same node/edge
+//! counts, the same capacity plan, and a comparable west→east geographic
+//! structure (a long, mostly planar carrier network). The experiments
+//! depend on those structural properties, not on the Canadian city names —
+//! see `DESIGN.md` for the substitution rationale. Real Zoo data can be
+//! loaded through [`crate::gml`] instead when available.
+
+use crate::Topology;
+use netrec_graph::Graph;
+
+/// Capacity of the primary backbone chain.
+pub const PRIMARY_BACKBONE_CAPACITY: f64 = 50.0;
+/// Capacity of the secondary backbone chain.
+pub const SECONDARY_BACKBONE_CAPACITY: f64 = 30.0;
+/// Capacity of every other (access/cross) link.
+pub const ACCESS_CAPACITY: f64 = 20.0;
+
+/// Builds the Bell-Canada-like topology: 48 nodes, 64 edges.
+///
+/// Layout:
+/// * nodes 0–15: primary backbone chain (15 edges, capacity 50) at y = 1;
+/// * nodes 16–31: secondary backbone chain (15 edges, capacity 30) at
+///   y = 0;
+/// * 6 cross links between the backbones (capacity 20);
+/// * nodes 32–47: access nodes, one or two links each into the backbones
+///   (28 edges, capacity 20).
+///
+/// # Example
+///
+/// ```
+/// let topo = netrec_topology::bell::bell_canada();
+/// assert_eq!(topo.graph().node_count(), 48);
+/// assert_eq!(topo.graph().edge_count(), 64);
+/// ```
+pub fn bell_canada() -> Topology {
+    let mut g = Graph::with_nodes(48);
+    let mut coords = vec![(0.0, 0.0); 48];
+
+    // Primary backbone: nodes 0..=15 at y=1.0, x = i.
+    for i in 0..16 {
+        coords[i] = (i as f64, 1.0);
+    }
+    for i in 0..15 {
+        g.add_edge(g.node(i), g.node(i + 1), PRIMARY_BACKBONE_CAPACITY)
+            .expect("valid backbone edge");
+    }
+
+    // Secondary backbone: nodes 16..=31 at y=0.0, x = i.
+    for i in 0..16 {
+        coords[16 + i] = (i as f64, 0.0);
+    }
+    for i in 0..15 {
+        g.add_edge(g.node(16 + i), g.node(16 + i + 1), SECONDARY_BACKBONE_CAPACITY)
+            .expect("valid backbone edge");
+    }
+
+    // Cross links between the two backbones.
+    for &i in &[0usize, 3, 6, 9, 12, 15] {
+        g.add_edge(g.node(i), g.node(16 + i), ACCESS_CAPACITY)
+            .expect("valid cross edge");
+    }
+
+    // Access nodes 32..=47: node 32+k attaches to backbone position k.
+    // The first link alternates between the two backbones; the first 12
+    // access nodes get a second link to the next backbone position,
+    // giving 16 + 12 = 28 access edges (total 15+15+6+28 = 64).
+    for k in 0..16 {
+        let access = 32 + k;
+        let primary = k % 2 == 0;
+        let anchor = if primary { k } else { 16 + k };
+        let (ax, _) = coords[anchor];
+        coords[access] = (ax + 0.25, if primary { 1.6 } else { -0.6 });
+        g.add_edge(g.node(access), g.node(anchor), ACCESS_CAPACITY)
+            .expect("valid access edge");
+        if k < 12 {
+            // Second link to the following position on the same backbone.
+            let anchor2 = if primary { k + 1 } else { 16 + k + 1 };
+            g.add_edge(g.node(access), g.node(anchor2), ACCESS_CAPACITY)
+                .expect("valid access edge");
+        }
+    }
+
+    Topology::new("bell-canada-like", g, coords).expect("coordinate count matches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::traversal;
+
+    #[test]
+    fn node_and_edge_counts_match_paper() {
+        let t = bell_canada();
+        assert_eq!(t.graph().node_count(), 48);
+        assert_eq!(t.graph().edge_count(), 64);
+    }
+
+    #[test]
+    fn is_connected() {
+        let t = bell_canada();
+        let (_, count) = traversal::connected_components(&t.graph().view());
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn capacity_plan_matches_paper() {
+        let t = bell_canada();
+        let mut counts = std::collections::BTreeMap::new();
+        for e in t.graph().edges() {
+            *counts.entry(t.graph().capacity(e) as u64).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.get(&50).copied(), Some(15));
+        assert_eq!(counts.get(&30).copied(), Some(15));
+        assert_eq!(counts.get(&20).copied(), Some(34));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = bell_canada();
+        let b = bell_canada();
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn diameter_is_carrier_like() {
+        let t = bell_canada();
+        let d = traversal::diameter(&t.graph().view());
+        // Long haul network: diameter well above a clique's.
+        assert!(d >= 8, "diameter {d} too small for a carrier chain");
+        assert!(d <= 24, "diameter {d} suspiciously large");
+    }
+
+    #[test]
+    fn no_parallel_edges() {
+        let t = bell_canada();
+        let mut seen = std::collections::BTreeSet::new();
+        for e in t.graph().edges() {
+            let (u, v) = t.graph().endpoints(e);
+            let key = (u.index().min(v.index()), u.index().max(v.index()));
+            assert!(seen.insert(key), "parallel edge {key:?}");
+        }
+    }
+}

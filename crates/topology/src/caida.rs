@@ -1,0 +1,182 @@
+//! A synthetic CAIDA-AS28717-like topology.
+//!
+//! The paper's third scenario uses the giant connected component of the
+//! CAIDA ITDK topology AS28717: **825 nodes and 1018 edges** of IP-level
+//! backbone/gateway router connections. We cannot ship the ITDK dataset,
+//! so this module generates a connected graph with exactly those counts
+//! and the structural features that matter for the experiments: a
+//! tree-like body (edge/node ratio 1.23) with preferential attachment
+//! (heavy-tailed degrees, a few hubs), geographic coordinates for the
+//! disruption model, and uniform capacities. Real ITDK data can be loaded
+//! through [`crate::gml`] instead when available. See `DESIGN.md`.
+
+use crate::Topology;
+use netrec_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Node count of the CAIDA AS28717 giant component.
+pub const CAIDA_NODES: usize = 825;
+/// Edge count of the CAIDA AS28717 giant component.
+pub const CAIDA_EDGES: usize = 1018;
+/// Default uniform edge capacity.
+///
+/// The paper routes 22 flow units per demand pair on this topology; a
+/// capacity of 44 lets exactly two pairs share a link, reproducing the
+/// partial-sharing regime of the first scenario (pairs of 10 units on
+/// capacity-20 access links).
+pub const DEFAULT_CAPACITY: f64 = 44.0;
+
+/// Generates the CAIDA-like topology with exactly [`CAIDA_NODES`] nodes
+/// and [`CAIDA_EDGES`] edges.
+///
+/// Construction: a preferential-attachment spanning tree (824 edges)
+/// followed by 194 extra degree-biased shortcut edges, rejecting
+/// duplicates. The result is connected by construction.
+///
+/// # Example
+///
+/// ```
+/// let t = netrec_topology::caida::caida_like(1);
+/// assert_eq!(t.graph().node_count(), 825);
+/// assert_eq!(t.graph().edge_count(), 1018);
+/// ```
+pub fn caida_like(seed: u64) -> Topology {
+    caida_sized(CAIDA_NODES, CAIDA_EDGES, DEFAULT_CAPACITY, seed)
+}
+
+/// Generates a CAIDA-style graph with custom size (used by scaled-down
+/// benchmark variants).
+///
+/// # Panics
+///
+/// Panics if `nodes < 2` or `edges < nodes - 1` (a connected graph is
+/// impossible) or `edges` exceeds the simple-graph maximum.
+pub fn caida_sized(nodes: usize, edges: usize, capacity: f64, seed: u64) -> Topology {
+    assert!(nodes >= 2, "need at least two nodes");
+    assert!(edges >= nodes - 1, "too few edges for a connected graph");
+    assert!(
+        edges <= nodes * (nodes - 1) / 2,
+        "too many edges for a simple graph"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(nodes);
+    let coords: Vec<(f64, f64)> = (0..nodes).map(|_| (rng.gen(), rng.gen())).collect();
+
+    // Preferential-attachment spanning tree.
+    let mut pool: Vec<usize> = vec![0];
+    let mut present = std::collections::BTreeSet::new();
+    for v in 1..nodes {
+        let anchor = pool[rng.gen_range(0..pool.len())];
+        g.add_edge(g.node(v), g.node(anchor), capacity)
+            .expect("valid tree edge");
+        present.insert((v.min(anchor), v.max(anchor)));
+        pool.push(anchor);
+        pool.push(v);
+    }
+
+    // Degree-biased shortcuts.
+    let extra = edges - (nodes - 1);
+    let mut added = 0;
+    let mut guard = 0usize;
+    while added < extra && guard < extra * 1000 {
+        guard += 1;
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if present.contains(&key) {
+            continue;
+        }
+        g.add_edge(g.node(a), g.node(b), capacity).expect("valid edge");
+        present.insert(key);
+        pool.push(a);
+        pool.push(b);
+        added += 1;
+    }
+    // Fall back to uniform pairs if the biased sampler stalls (tiny graphs).
+    while added < extra {
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if present.contains(&key) {
+            continue;
+        }
+        g.add_edge(g.node(a), g.node(b), capacity).expect("valid edge");
+        present.insert(key);
+        added += 1;
+    }
+
+    Topology::new(format!("caida-like-{nodes}-{edges}"), g, coords).expect("coords match")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::traversal;
+
+    #[test]
+    fn exact_counts() {
+        let t = caida_like(7);
+        assert_eq!(t.graph().node_count(), CAIDA_NODES);
+        assert_eq!(t.graph().edge_count(), CAIDA_EDGES);
+    }
+
+    #[test]
+    fn connected() {
+        let t = caida_like(7);
+        let (_, comps) = traversal::connected_components(&t.graph().view());
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(caida_like(3).graph(), caida_like(3).graph());
+        assert_ne!(caida_like(3).graph(), caida_like(4).graph());
+    }
+
+    #[test]
+    fn heavy_tailed_degrees() {
+        let t = caida_like(5);
+        let max_deg = t.graph().max_degree();
+        assert!(max_deg >= 15, "expected hubs, max degree {max_deg}");
+        // Most nodes are low-degree (router-level AS graphs are tree-like).
+        let low = t
+            .graph()
+            .nodes()
+            .filter(|&n| t.graph().degree(n) <= 2)
+            .count();
+        assert!(low > CAIDA_NODES / 2);
+    }
+
+    #[test]
+    fn no_parallel_edges() {
+        let t = caida_like(9);
+        let mut seen = std::collections::BTreeSet::new();
+        for e in t.graph().edges() {
+            let (u, v) = t.graph().endpoints(e);
+            let key = (u.index().min(v.index()), u.index().max(v.index()));
+            assert!(seen.insert(key));
+        }
+    }
+
+    #[test]
+    fn custom_sizes() {
+        let t = caida_sized(50, 60, 10.0, 2);
+        assert_eq!(t.graph().node_count(), 50);
+        assert_eq!(t.graph().edge_count(), 60);
+        let (_, comps) = traversal::connected_components(&t.graph().view());
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too few edges")]
+    fn rejects_disconnectable() {
+        let _ = caida_sized(10, 5, 1.0, 1);
+    }
+}

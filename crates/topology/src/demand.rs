@@ -1,0 +1,168 @@
+//! Demand-graph generation.
+//!
+//! The paper builds demand graphs by selecting endpoint pairs that are
+//! *far apart* in the supply graph: "we randomly select the demand pairs
+//! among those which have a hop distance greater than or equal to half the
+//! diameter of the network" (§VII-A). This module implements exactly that
+//! rule, with the distance factor configurable.
+
+use crate::Topology;
+use netrec_graph::{traversal, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A demand pair `(s_h, t_h, d_h)` produced by the generator.
+pub type DemandPair = (NodeId, NodeId, f64);
+
+/// Configuration for [`generate_demands`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DemandSpec {
+    /// Number of demand pairs `|EH|`.
+    pub pairs: usize,
+    /// Flow requirement per pair (`d_h`, identical for all pairs as in the
+    /// paper).
+    pub flow_per_pair: f64,
+    /// Minimum hop distance between endpoints, as a fraction of the
+    /// network diameter (the paper uses 0.5).
+    pub min_distance_factor: f64,
+}
+
+impl DemandSpec {
+    /// Spec with the paper's defaults: `pairs` pairs of `flow` units at
+    /// hop distance ≥ diameter/2.
+    pub fn new(pairs: usize, flow: f64) -> Self {
+        DemandSpec {
+            pairs,
+            flow_per_pair: flow,
+            min_distance_factor: 0.5,
+        }
+    }
+}
+
+/// Generates demand pairs on `topology` according to `spec`.
+///
+/// Endpoints are distinct nodes at hop distance at least
+/// `min_distance_factor × diameter`; an endpoint may appear in several
+/// pairs (as in the paper's demand graphs, where `VH ⊆ V`). If fewer
+/// eligible pairs exist than requested, the threshold is relaxed by 10%
+/// steps until enough are available (this can only happen on tiny or
+/// near-clique graphs, where every pair is equally "far").
+///
+/// # Example
+///
+/// ```
+/// let topo = netrec_topology::bell::bell_canada();
+/// let spec = netrec_topology::demand::DemandSpec::new(4, 10.0);
+/// let demands = netrec_topology::demand::generate_demands(&topo, &spec, 42);
+/// assert_eq!(demands.len(), 4);
+/// ```
+pub fn generate_demands(topology: &Topology, spec: &DemandSpec, seed: u64) -> Vec<DemandPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let view = topology.graph().view();
+    let n = topology.graph().node_count();
+    if n < 2 || spec.pairs == 0 {
+        return Vec::new();
+    }
+    let diameter = traversal::diameter(&view);
+    let mut threshold = (spec.min_distance_factor * diameter as f64).ceil() as usize;
+
+    loop {
+        // Collect all eligible pairs at the current threshold.
+        let mut eligible: Vec<(NodeId, NodeId)> = Vec::new();
+        for u in topology.graph().nodes() {
+            let tree = traversal::bfs(&view, u);
+            for v in topology.graph().nodes() {
+                if v.index() > u.index()
+                    && tree.reached(v)
+                    && tree.dist[v.index()] >= threshold
+                {
+                    eligible.push((u, v));
+                }
+            }
+        }
+        if eligible.len() >= spec.pairs || threshold == 0 {
+            let mut out = Vec::with_capacity(spec.pairs);
+            // Sample without replacement.
+            let mut pool = eligible;
+            while out.len() < spec.pairs && !pool.is_empty() {
+                let i = rng.gen_range(0..pool.len());
+                let (s, t) = pool.swap_remove(i);
+                out.push((s, t, spec.flow_per_pair));
+            }
+            return out;
+        }
+        threshold = threshold.saturating_sub((threshold / 10).max(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::bell_canada;
+    use crate::random::ring;
+
+    #[test]
+    fn pairs_respect_distance_rule() {
+        let topo = bell_canada();
+        let view = topo.graph().view();
+        let diameter = traversal::diameter(&view);
+        let demands = generate_demands(&topo, &DemandSpec::new(7, 10.0), 1);
+        assert_eq!(demands.len(), 7);
+        for (s, t, d) in &demands {
+            assert_eq!(*d, 10.0);
+            let hops = traversal::hop_distance(&view, *s, *t).unwrap();
+            assert!(
+                hops * 2 >= diameter,
+                "pair at distance {hops} violates diameter/2 = {}",
+                diameter / 2
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let topo = bell_canada();
+        let spec = DemandSpec::new(4, 10.0);
+        assert_eq!(
+            generate_demands(&topo, &spec, 5),
+            generate_demands(&topo, &spec, 5)
+        );
+        assert_ne!(
+            generate_demands(&topo, &spec, 5),
+            generate_demands(&topo, &spec, 6)
+        );
+    }
+
+    #[test]
+    fn distinct_pairs() {
+        let topo = bell_canada();
+        let demands = generate_demands(&topo, &DemandSpec::new(7, 1.0), 3);
+        let mut keys: Vec<_> = demands.iter().map(|(s, t, _)| (*s, *t)).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 7);
+    }
+
+    #[test]
+    fn relaxes_on_small_graphs() {
+        // Ring of 4: diameter 2, threshold 1; plenty of pairs.
+        let topo = ring(4, 1.0);
+        let demands = generate_demands(&topo, &DemandSpec::new(3, 2.0), 9);
+        assert_eq!(demands.len(), 3);
+    }
+
+    #[test]
+    fn zero_pairs_and_tiny_graphs() {
+        let topo = ring(3, 1.0);
+        assert!(generate_demands(&topo, &DemandSpec::new(0, 1.0), 0).is_empty());
+    }
+
+    #[test]
+    fn endpoints_are_distinct_nodes() {
+        let topo = bell_canada();
+        for (s, t, _) in generate_demands(&topo, &DemandSpec::new(7, 1.0), 8) {
+            assert_ne!(s, t);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! Parser and writer for the GML subset used by the Internet Topology Zoo.
+//!
+//! The Topology Zoo ships topologies as GML files with `node` blocks
+//! (carrying `id`, `Longitude`, `Latitude`) and `edge` blocks (carrying
+//! `source`, `target`, and sometimes `LinkSpeed`). This module reads that
+//! subset, so real Zoo datasets (e.g. the actual Bell-Canada file) can be
+//! dropped into the experiments in place of the synthetic substitute, and
+//! writes it back for interchange.
+
+use crate::Topology;
+use netrec_graph::Graph;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing GML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GmlError {
+    /// The top-level `graph [ ... ]` block is missing.
+    MissingGraph,
+    /// A `node` block has no `id`.
+    NodeWithoutId,
+    /// An `edge` block is missing `source` or `target`.
+    EdgeWithoutEndpoints,
+    /// An edge references an undeclared node id.
+    UnknownNode(i64),
+    /// An edge connects a node to itself (unsupported by the supply-graph
+    /// model).
+    SelfLoop(i64),
+    /// Unbalanced brackets.
+    UnbalancedBrackets,
+}
+
+impl fmt::Display for GmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GmlError::MissingGraph => write!(f, "no `graph [` block found"),
+            GmlError::NodeWithoutId => write!(f, "node block without id"),
+            GmlError::EdgeWithoutEndpoints => write!(f, "edge block missing source/target"),
+            GmlError::UnknownNode(id) => write!(f, "edge references unknown node id {id}"),
+            GmlError::SelfLoop(id) => write!(f, "self-loop on node id {id}"),
+            GmlError::UnbalancedBrackets => write!(f, "unbalanced brackets"),
+        }
+    }
+}
+
+impl Error for GmlError {}
+
+/// A token of the GML syntax: keys, numbers, strings, and brackets.
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Key(String),
+    Num(f64),
+    Str(String),
+    Open,
+    Close,
+}
+
+fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '[' => {
+                tokens.push(Token::Open);
+                chars.next();
+            }
+            ']' => {
+                tokens.push(Token::Close);
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                for ch in chars.by_ref() {
+                    if ch == '"' {
+                        break;
+                    }
+                    s.push(ch);
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for ch in chars.by_ref() {
+                    if ch == '\n' {
+                        break;
+                    }
+                }
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_whitespace() || ch == '[' || ch == ']' {
+                        break;
+                    }
+                    word.push(ch);
+                    chars.next();
+                }
+                if let Ok(n) = word.parse::<f64>() {
+                    tokens.push(Token::Num(n));
+                } else {
+                    tokens.push(Token::Key(word));
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Attributes collected from a `node`/`edge` block.
+#[derive(Debug, Default, Clone)]
+struct Block {
+    nums: BTreeMap<String, f64>,
+    strs: BTreeMap<String, String>,
+}
+
+/// Parses GML text into a [`Topology`].
+///
+/// Node coordinates come from `Longitude`/`Latitude` (or `graphics x/y`)
+/// when present, defaulting to `(0, 0)`. Edge capacities come from
+/// `LinkSpeed`/`capacity`/`value`, defaulting to `default_capacity`.
+///
+/// # Errors
+///
+/// Returns a [`GmlError`] for malformed input.
+///
+/// # Example
+///
+/// ```
+/// let gml = r#"
+/// graph [
+///   node [ id 0 Longitude 1.0 Latitude 2.0 ]
+///   node [ id 1 Longitude 3.0 Latitude 2.0 ]
+///   edge [ source 0 target 1 capacity 15 ]
+/// ]"#;
+/// let topo = netrec_topology::gml::parse(gml, 10.0)?;
+/// assert_eq!(topo.graph().node_count(), 2);
+/// assert_eq!(topo.graph().capacity(netrec_graph::EdgeId::new(0)), 15.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse(text: &str, default_capacity: f64) -> Result<Topology, GmlError> {
+    let tokens = tokenize(text);
+    // Find `graph [`.
+    let mut i = 0;
+    let mut graph_start = None;
+    while i + 1 < tokens.len() {
+        if let Token::Key(k) = &tokens[i] {
+            if k.eq_ignore_ascii_case("graph") && tokens[i + 1] == Token::Open {
+                graph_start = Some(i + 2);
+                break;
+            }
+        }
+        i += 1;
+    }
+    let Some(start) = graph_start else {
+        return Err(GmlError::MissingGraph);
+    };
+
+    let mut name = String::from("gml");
+    let mut nodes: Vec<Block> = Vec::new();
+    let mut edges: Vec<Block> = Vec::new();
+
+    let mut i = start;
+    let mut depth = 1usize;
+    while i < tokens.len() && depth > 0 {
+        match &tokens[i] {
+            Token::Close => {
+                depth -= 1;
+                i += 1;
+            }
+            Token::Key(k)
+                if depth == 1
+                    && (k.eq_ignore_ascii_case("node") || k.eq_ignore_ascii_case("edge"))
+                    && i + 1 < tokens.len()
+                    && tokens[i + 1] == Token::Open =>
+            {
+                let (block, next) = parse_block(&tokens, i + 2)?;
+                if k.eq_ignore_ascii_case("node") {
+                    nodes.push(block);
+                } else {
+                    edges.push(block);
+                }
+                i = next;
+            }
+            Token::Key(k)
+                if depth == 1 && k.eq_ignore_ascii_case("label") && i + 1 < tokens.len() =>
+            {
+                if let Token::Str(s) = &tokens[i + 1] {
+                    name = s.clone();
+                }
+                i += 2;
+            }
+            Token::Open => {
+                depth += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if depth != 0 {
+        return Err(GmlError::UnbalancedBrackets);
+    }
+
+    // Build the graph with dense ids.
+    let mut g = Graph::with_nodes(nodes.len());
+    let mut coords = Vec::with_capacity(nodes.len());
+    let mut id_map: BTreeMap<i64, usize> = BTreeMap::new();
+    for (idx, b) in nodes.iter().enumerate() {
+        let Some(&id) = b.nums.get("id") else {
+            return Err(GmlError::NodeWithoutId);
+        };
+        id_map.insert(id as i64, idx);
+        let x = b
+            .nums
+            .get("Longitude")
+            .or_else(|| b.nums.get("x"))
+            .copied()
+            .unwrap_or(0.0);
+        let y = b
+            .nums
+            .get("Latitude")
+            .or_else(|| b.nums.get("y"))
+            .copied()
+            .unwrap_or(0.0);
+        coords.push((x, y));
+    }
+    for b in &edges {
+        let (Some(&s), Some(&t)) = (b.nums.get("source"), b.nums.get("target")) else {
+            return Err(GmlError::EdgeWithoutEndpoints);
+        };
+        let (s, t) = (s as i64, t as i64);
+        let &si = id_map.get(&s).ok_or(GmlError::UnknownNode(s))?;
+        let &ti = id_map.get(&t).ok_or(GmlError::UnknownNode(t))?;
+        if si == ti {
+            return Err(GmlError::SelfLoop(s));
+        }
+        let cap = b
+            .nums
+            .get("LinkSpeed")
+            .or_else(|| b.nums.get("capacity"))
+            .or_else(|| b.nums.get("value"))
+            .copied()
+            .unwrap_or(default_capacity);
+        g.add_edge(g.node(si), g.node(ti), cap)
+            .expect("validated endpoints and capacity");
+    }
+
+    Topology::new(name, g, coords).map_err(|_| GmlError::UnbalancedBrackets)
+}
+
+fn parse_block(tokens: &[Token], mut i: usize) -> Result<(Block, usize), GmlError> {
+    let mut block = Block::default();
+    while i < tokens.len() {
+        match &tokens[i] {
+            Token::Close => return Ok((block, i + 1)),
+            Token::Key(k) if i + 1 < tokens.len() => match &tokens[i + 1] {
+                Token::Num(n) => {
+                    block.nums.insert(k.clone(), *n);
+                    i += 2;
+                }
+                Token::Str(s) => {
+                    block.strs.insert(k.clone(), s.clone());
+                    i += 2;
+                }
+                Token::Open => {
+                    // Nested block (e.g. graphics): inline its numerics.
+                    let (inner, next) = parse_block(tokens, i + 2)?;
+                    for (ik, iv) in inner.nums {
+                        block.nums.entry(ik).or_insert(iv);
+                    }
+                    i = next;
+                }
+                _ => i += 1,
+            },
+            _ => i += 1,
+        }
+    }
+    Err(GmlError::UnbalancedBrackets)
+}
+
+/// Serializes a [`Topology`] to GML (the same subset [`parse`] reads).
+pub fn write(topology: &Topology) -> String {
+    let mut out = String::new();
+    out.push_str("graph [\n");
+    out.push_str(&format!("  label \"{}\"\n", topology.name()));
+    for n in topology.graph().nodes() {
+        let (x, y) = topology.coord(n);
+        out.push_str(&format!(
+            "  node [ id {} Longitude {} Latitude {} ]\n",
+            n.index(),
+            x,
+            y
+        ));
+    }
+    for e in topology.graph().edges() {
+        let (u, v) = topology.graph().endpoints(e);
+        out.push_str(&format!(
+            "  edge [ source {} target {} capacity {} ]\n",
+            u.index(),
+            v.index(),
+            topology.graph().capacity(e)
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bell::bell_canada;
+
+    #[test]
+    fn parse_minimal() {
+        let gml = r#"graph [
+            node [ id 10 ]
+            node [ id 20 ]
+            edge [ source 10 target 20 ]
+        ]"#;
+        let t = parse(gml, 7.0).unwrap();
+        assert_eq!(t.graph().node_count(), 2);
+        assert_eq!(t.graph().edge_count(), 1);
+        assert_eq!(t.graph().capacity(netrec_graph::EdgeId::new(0)), 7.0);
+    }
+
+    #[test]
+    fn parse_with_label_and_coords() {
+        let gml = r#"graph [
+            label "testnet"
+            node [ id 0 Longitude -75.5 Latitude 45.4 ]
+            node [ id 1 Longitude -79.3 Latitude 43.6 ]
+            edge [ source 0 target 1 LinkSpeed 100 ]
+        ]"#;
+        let t = parse(gml, 1.0).unwrap();
+        assert_eq!(t.name(), "testnet");
+        assert_eq!(t.coord(t.graph().node(0)), (-75.5, 45.4));
+        assert_eq!(t.graph().capacity(netrec_graph::EdgeId::new(0)), 100.0);
+    }
+
+    #[test]
+    fn parse_nested_graphics_block() {
+        let gml = r#"graph [
+            node [ id 0 graphics [ x 1.5 y 2.5 ] ]
+            node [ id 1 graphics [ x 0 y 0 ] ]
+            edge [ source 0 target 1 ]
+        ]"#;
+        let t = parse(gml, 1.0).unwrap();
+        assert_eq!(t.coord(t.graph().node(0)), (1.5, 2.5));
+    }
+
+    #[test]
+    fn error_on_unknown_node() {
+        let gml = r#"graph [ node [ id 0 ] edge [ source 0 target 9 ] ]"#;
+        assert_eq!(parse(gml, 1.0).unwrap_err(), GmlError::UnknownNode(9));
+    }
+
+    #[test]
+    fn error_on_missing_graph() {
+        assert_eq!(parse("nothing here", 1.0).unwrap_err(), GmlError::MissingGraph);
+    }
+
+    #[test]
+    fn error_on_self_loop() {
+        let gml = r#"graph [ node [ id 0 ] edge [ source 0 target 0 ] ]"#;
+        assert_eq!(parse(gml, 1.0).unwrap_err(), GmlError::SelfLoop(0));
+    }
+
+    #[test]
+    fn error_on_unbalanced() {
+        let gml = r#"graph [ node [ id 0 ]"#;
+        assert_eq!(parse(gml, 1.0).unwrap_err(), GmlError::UnbalancedBrackets);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let gml = "graph [ # a comment\n node [ id 0 ] node [ id 1 ]\n edge [ source 0 target 1 ] ]";
+        let t = parse(gml, 2.0).unwrap();
+        assert_eq!(t.graph().edge_count(), 1);
+    }
+
+    #[test]
+    fn round_trip_bell_canada() {
+        let original = bell_canada();
+        let text = write(&original);
+        let parsed = parse(&text, 1.0).unwrap();
+        assert_eq!(parsed.graph().node_count(), original.graph().node_count());
+        assert_eq!(parsed.graph().edge_count(), original.graph().edge_count());
+        assert_eq!(parsed.name(), original.name());
+        for e in original.graph().edges() {
+            assert_eq!(
+                parsed.graph().capacity(e),
+                original.graph().capacity(e),
+                "capacity mismatch on {e:?}"
+            );
+        }
+        for n in original.graph().nodes() {
+            assert_eq!(parsed.coord(n), original.coord(n));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Network topologies for the `netrec` workspace.
+//!
+//! The paper's evaluation runs on three families of topologies, all
+//! available here:
+//!
+//! * [`bell`] — a deterministic *Bell-Canada-like* topology (48 nodes,
+//!   64 edges, two backbones of capacity 30 and 50, access links of
+//!   capacity 20), substituting for the Internet Topology Zoo dataset the
+//!   paper used (first scenario).
+//! * [`random`] — Erdős–Rényi, Barabási–Albert, Waxman, grid and ring
+//!   generators (second scenario uses Erdős–Rényi).
+//! * [`caida`] — a synthetic router-level AS graph with exactly 825 nodes
+//!   and 1018 edges, matching the giant component of CAIDA AS28717 used in
+//!   the third scenario.
+//! * [`gml`] — a parser/writer for the GML subset used by the Internet
+//!   Topology Zoo, so real datasets can be dropped in when available.
+//! * [`demand`] — demand-graph generation following the paper's rule:
+//!   endpoints at hop distance of at least half the network diameter.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+
+pub mod bell;
+pub mod caida;
+pub mod demand;
+pub mod gml;
+pub mod random;
+
+pub use model::Topology;

@@ -1,0 +1,242 @@
+//! Random topology generators.
+//!
+//! The paper's second scenario uses Erdős–Rényi graphs; the other
+//! generators (Barabási–Albert, Waxman, grid, ring) are provided for wider
+//! experimentation and for the property-based test suites.
+
+use crate::Topology;
+use netrec_graph::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: every pair connected independently with
+/// probability `p`. Coordinates are uniform in the unit square.
+///
+/// All edges get capacity `capacity` — the paper's second scenario uses
+/// 1000 so that only connectivity matters.
+///
+/// # Example
+///
+/// ```
+/// let t = netrec_topology::random::erdos_renyi(30, 0.2, 100.0, 42);
+/// assert_eq!(t.graph().node_count(), 30);
+/// ```
+pub fn erdos_renyi(n: usize, p: f64, capacity: f64, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    let coords: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen::<f64>() < p {
+                g.add_edge(g.node(i), g.node(j), capacity)
+                    .expect("valid random edge");
+            }
+        }
+    }
+    Topology::new(format!("erdos-renyi-{n}-{p}"), g, coords).expect("coords match")
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new node to `m` existing nodes with probability
+/// proportional to degree.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert(n: usize, m: usize, capacity: f64, seed: u64) -> Topology {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need at least m+1 nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Graph::with_nodes(n);
+    let coords: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    // Degree-weighted endpoint pool (each edge contributes both endpoints).
+    let mut pool: Vec<usize> = Vec::new();
+    // Seed clique over the first m+1 nodes.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            g.add_edge(g.node(i), g.node(j), capacity).expect("valid edge");
+            pool.push(i);
+            pool.push(j);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 50 * m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v {
+                targets.insert(t);
+            }
+            guard += 1;
+        }
+        for &t in &targets {
+            g.add_edge(g.node(v), g.node(t), capacity).expect("valid edge");
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    Topology::new(format!("barabasi-albert-{n}-{m}"), g, coords).expect("coords match")
+}
+
+/// Waxman random geometric graph: nodes uniform in the unit square,
+/// edge probability `alpha · exp(−dist / (beta · L))` with `L` the maximum
+/// pairwise distance.
+pub fn waxman(n: usize, alpha: f64, beta: f64, capacity: f64, seed: u64) -> Topology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let coords: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut max_d: f64 = 1e-12;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(coords[i], coords[j]);
+            max_d = max_d.max(d);
+        }
+    }
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(coords[i], coords[j]);
+            if rng.gen::<f64>() < alpha * (-d / (beta * max_d)).exp() {
+                g.add_edge(g.node(i), g.node(j), capacity).expect("valid edge");
+            }
+        }
+    }
+    Topology::new(format!("waxman-{n}"), g, coords).expect("coords match")
+}
+
+/// `rows × cols` grid with unit spacing.
+pub fn grid(rows: usize, cols: usize, capacity: f64) -> Topology {
+    let n = rows * cols;
+    let mut g = Graph::with_nodes(n);
+    let mut coords = Vec::with_capacity(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            coords.push((c as f64, r as f64));
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(g.node(i), g.node(i + 1), capacity).expect("valid edge");
+            }
+            if r + 1 < rows {
+                g.add_edge(g.node(i), g.node(i + cols), capacity)
+                    .expect("valid edge");
+            }
+        }
+    }
+    Topology::new(format!("grid-{rows}x{cols}"), g, coords).expect("coords match")
+}
+
+/// Ring of `n ≥ 3` nodes on the unit circle.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize, capacity: f64) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut g = Graph::with_nodes(n);
+    let coords: Vec<(f64, f64)> = (0..n)
+        .map(|i| {
+            let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+            (a.cos(), a.sin())
+        })
+        .collect();
+    for i in 0..n {
+        g.add_edge(g.node(i), g.node((i + 1) % n), capacity)
+            .expect("valid edge");
+    }
+    Topology::new(format!("ring-{n}"), g, coords).expect("coords match")
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::traversal;
+
+    #[test]
+    fn erdos_renyi_is_deterministic_per_seed() {
+        let a = erdos_renyi(20, 0.3, 10.0, 7);
+        let b = erdos_renyi(20, 0.3, 10.0, 7);
+        assert_eq!(a.graph(), b.graph());
+        let c = erdos_renyi(20, 0.3, 10.0, 8);
+        assert_ne!(a.graph(), c.graph());
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_p() {
+        let empty = erdos_renyi(10, 0.0, 1.0, 1);
+        assert_eq!(empty.graph().edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, 1.0, 1);
+        assert_eq!(full.graph().edge_count(), 45);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_near_expectation() {
+        let t = erdos_renyi(50, 0.2, 1.0, 3);
+        let expected = 0.2 * (50.0 * 49.0 / 2.0);
+        let actual = t.graph().edge_count() as f64;
+        assert!((actual - expected).abs() < expected * 0.35);
+    }
+
+    #[test]
+    fn barabasi_albert_counts() {
+        let t = barabasi_albert(50, 2, 5.0, 11);
+        assert_eq!(t.graph().node_count(), 50);
+        // Clique of 3 (3 edges) + 47 nodes × 2 links.
+        assert_eq!(t.graph().edge_count(), 3 + 47 * 2);
+        let (_, comps) = traversal::connected_components(&t.graph().view());
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn barabasi_albert_has_hubs() {
+        let t = barabasi_albert(200, 2, 5.0, 13);
+        let max_deg = t.graph().max_degree();
+        assert!(max_deg >= 10, "expected a hub, max degree {max_deg}");
+    }
+
+    #[test]
+    fn waxman_prefers_short_edges() {
+        let t = waxman(60, 0.8, 0.15, 1.0, 5);
+        let mut short = 0;
+        let mut long = 0;
+        for e in t.graph().edges() {
+            let (u, v) = t.graph().endpoints(e);
+            if t.distance(u, v) < 0.5 {
+                short += 1;
+            } else {
+                long += 1;
+            }
+        }
+        assert!(short > long);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = grid(3, 4, 2.0);
+        assert_eq!(t.graph().node_count(), 12);
+        assert_eq!(t.graph().edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(traversal::diameter(&t.graph().view()), 2 + 3);
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(6, 1.0);
+        assert_eq!(t.graph().edge_count(), 6);
+        assert_eq!(traversal::diameter(&t.graph().view()), 3);
+        for n in t.graph().nodes() {
+            assert_eq!(t.graph().degree(n), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn ring_too_small_panics() {
+        let _ = ring(2, 1.0);
+    }
+}
