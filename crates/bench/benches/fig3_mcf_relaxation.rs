@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| solve_mcf_relax(black_box(&problem), McfExtreme::Worst, &mcf).unwrap())
     });
     g.bench_function("opt_budget40", |b| {
-        let config = OptConfig { node_budget: Some(40), warm_start: true };
+        let config = OptConfig {
+            node_budget: Some(40),
+            warm_start: true,
+        };
         b.iter(|| solve_opt(black_box(&problem), &config).unwrap())
     });
     g.finish();

@@ -16,14 +16,26 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for p_edge in [0.2, 0.5, 0.8] {
         let topo = erdos_renyi(16, p_edge, 1000.0, 42);
-        let problem = problem_for(&topo, &DemandSpec::new(5, 1.0), &DisruptionModel::Complete, 42);
+        let problem = problem_for(
+            &topo,
+            &DemandSpec::new(5, 1.0),
+            &DisruptionModel::Complete,
+            42,
+        );
         g.bench_with_input(BenchmarkId::new("isp", p_edge), &problem, |b, p| {
             b.iter(|| solve_isp(black_box(p), &IspConfig::default()).unwrap())
         });
-        g.bench_with_input(BenchmarkId::new("opt_budget30", p_edge), &problem, |b, p| {
-            let config = OptConfig { node_budget: Some(30), warm_start: true };
-            b.iter(|| solve_opt(black_box(p), &config).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("opt_budget30", p_edge),
+            &problem,
+            |b, p| {
+                let config = OptConfig {
+                    node_budget: Some(30),
+                    warm_start: true,
+                };
+                b.iter(|| solve_opt(black_box(p), &config).unwrap())
+            },
+        );
     }
     g.finish();
 }

@@ -1,0 +1,314 @@
+//! Offline stand-in for the subset of the `criterion` API used by the
+//! `netrec` benches.
+//!
+//! Measures wall-clock time per iteration (median of the collected
+//! samples), prints one line per benchmark, and writes a
+//! `BENCH_<group>.json` file per benchmark group into the directory named
+//! by the `NETREC_BENCH_DIR` environment variable (default: the current
+//! working directory, which under `cargo bench` is the workspace root).
+//! No statistical analysis, warm-up tuning, or plotting — just enough to
+//! track relative speedups across backends in CI artifacts.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark (soft cap).
+const TARGET_MEASURE: Duration = Duration::from_millis(400);
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measures closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting up to `sample_size` samples within the
+    /// measuring budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call.
+        let warm = Instant::now();
+        std::hint::black_box(routine());
+        let warm_cost = warm.elapsed();
+
+        let budget = TARGET_MEASURE;
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(t.elapsed().as_secs_f64() * 1e9);
+            if started.elapsed() + warm_cost > budget && !self.samples.is_empty() {
+                break;
+            }
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+/// A named group of benchmarks (API stand-in for criterion's group).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let result = run_bench(
+            &format!("{}/{}", self.name, id),
+            &id,
+            self.sample_size,
+            |b| f(b),
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let result = run_bench(
+            &format!("{}/{}", self.name, id),
+            &id,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Writes the group's `BENCH_<group>.json` and prints a summary.
+    pub fn finish(&mut self) {
+        let path = bench_dir().join(format!("BENCH_{}.json", sanitize(&self.name)));
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"group\": \"{}\",", self.name);
+        json.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                json,
+                "    {{ \"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {} }}",
+                r.id, r.median_ns, r.samples
+            );
+            json.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        json.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("criterion-stub: cannot write {}: {e}", path.display());
+        }
+        self.criterion
+            .group_results
+            .push((self.name.clone(), self.results.len()));
+    }
+}
+
+fn bench_dir() -> std::path::PathBuf {
+    std::env::var_os("NETREC_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."))
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    full_name: &str,
+    id: &str,
+    sample_size: usize,
+    mut f: F,
+) -> BenchResult {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median_ns = if samples.is_empty() {
+        f64::NAN
+    } else {
+        samples[samples.len() / 2]
+    };
+    println!(
+        "bench {full_name}: median {:.3} ms over {} samples",
+        median_ns / 1e6,
+        samples.len()
+    );
+    BenchResult {
+        id: id.to_string(),
+        median_ns,
+        samples: samples.len(),
+    }
+}
+
+/// The benchmark driver (API stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    group_results: Vec<(String, usize)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one ungrouped benchmark (reported but not written to JSON).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        run_bench(&id.clone(), &id, 10, |b| f(b));
+        self
+    }
+
+    /// Prints the end-of-run summary.
+    pub fn final_summary(&mut self) {
+        for (group, n) in &self.group_results {
+            println!(
+                "group {group}: {n} benchmarks written to BENCH_{}.json",
+                sanitize(group)
+            );
+        }
+    }
+}
+
+/// Defines a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Defines `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching criterion's `black_box` (deprecated there in favor
+/// of `std::hint::black_box`, which the benches already use).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_measure_and_write_json() {
+        let dir = std::env::temp_dir().join("netrec-criterion-stub-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("NETREC_BENCH_DIR", &dir);
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        let json = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
+        assert!(json.contains("\"group\": \"unit\""), "{json}");
+        assert!(json.contains("param/7"), "{json}");
+        std::env::remove_var("NETREC_BENCH_DIR");
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("isp", 3).id, "isp/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).id, "0.5");
+    }
+}

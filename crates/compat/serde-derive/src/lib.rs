@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The workspace builds without network access, so the real `serde` cannot
+//! be fetched. The `netrec` crates only use `#[derive(Serialize,
+//! Deserialize)]` as forward-looking annotations (no code serializes
+//! through serde yet), so the derives can safely expand to nothing. When
+//! the real serde is available, point the `serde` workspace dependency at
+//! crates.io and delete `crates/compat`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the input and emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the input and emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

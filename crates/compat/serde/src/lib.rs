@@ -1,0 +1,9 @@
+//! Offline API stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derives so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! without network access. See `crates/compat/serde-derive` for details.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -29,7 +29,10 @@ impl fmt::Display for RecoveryError {
             RecoveryError::Graph(e) => write!(f, "graph error: {e}"),
             RecoveryError::Lp(e) => write!(f, "lp error: {e}"),
             RecoveryError::InfeasibleEvenIfAllRepaired => {
-                write!(f, "demand exceeds the capacity of the fully repaired network")
+                write!(
+                    f,
+                    "demand exceeds the capacity of the fully repaired network"
+                )
             }
             RecoveryError::UnknownDemandEndpoint => {
                 write!(f, "demand endpoint not present in the supply graph")

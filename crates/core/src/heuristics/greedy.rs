@@ -17,6 +17,7 @@
 //! The pool is exponential in general (the paper skips these heuristics on
 //! large topologies); [`GreedyConfig`] caps the enumeration.
 
+use crate::oracle::OracleSpec;
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem, RoutabilityMode};
 use netrec_graph::{maxflow, path, EdgeId, NodeId, Path};
 use serde::{Deserialize, Serialize};
@@ -28,8 +29,13 @@ pub struct GreedyConfig {
     pub max_paths_per_pair: usize,
     /// Maximum hops per enumerated path.
     pub max_hops: usize,
-    /// Routability backend for GRD-NC's termination test.
+    /// Routability backend for GRD-NC's termination test. Superseded by
+    /// [`GreedyConfig::oracle`] when that is set.
     pub routability: RoutabilityMode,
+    /// Evaluation-oracle backend for GRD-NC's termination test. `None`
+    /// derives the backend from [`GreedyConfig::routability`]. A cached
+    /// backend pays off when the same damaged state is probed repeatedly.
+    pub oracle: Option<OracleSpec>,
 }
 
 impl Default for GreedyConfig {
@@ -38,6 +44,7 @@ impl Default for GreedyConfig {
             max_paths_per_pair: 1_000,
             max_hops: 28,
             routability: RoutabilityMode::default(),
+            oracle: None,
         }
     }
 }
@@ -172,7 +179,13 @@ pub fn solve_grd_com(problem: &RecoveryProblem, config: &GreedyConfig) -> Recove
             continue;
         }
         // Repair the path and commit flow to it.
-        repair_path(problem, &ranked.path, &mut node_enabled, &mut edge_enabled, &mut plan);
+        repair_path(
+            problem,
+            &ranked.path,
+            &mut node_enabled,
+            &mut edge_enabled,
+            &mut plan,
+        );
         let take = remaining[h].min(cap);
         for &e in ranked.path.edges() {
             residual[e.index()] -= take;
@@ -228,19 +241,28 @@ pub fn solve_grd_nc(
     let demands = problem.demands();
     let (mut node_enabled, mut edge_enabled) = problem.working_masks();
 
+    // One oracle instance serves the whole run's termination tests.
+    let spec = config
+        .oracle
+        .unwrap_or_else(|| OracleSpec::from(config.routability));
+    let oracle = spec.build();
+
     // Already routable with no repairs?
     let routable = |nm: &[bool], em: &[bool]| -> Result<bool, RecoveryError> {
-        let view = problem
-            .full_view()
-            .with_node_mask(nm)
-            .with_edge_mask(em);
-        config.routability.routable(&view, &demands)
+        let view = problem.full_view().with_node_mask(nm).with_edge_mask(em);
+        oracle.is_routable(&view, &demands)
     };
 
     if !routable(&node_enabled, &edge_enabled)? {
         for ranked in &pool {
             plan.iterations += 1;
-            repair_path(problem, &ranked.path, &mut node_enabled, &mut edge_enabled, &mut plan);
+            repair_path(
+                problem,
+                &ranked.path,
+                &mut node_enabled,
+                &mut edge_enabled,
+                &mut plan,
+            );
             if routable(&node_enabled, &edge_enabled)? {
                 break;
             }
@@ -271,16 +293,8 @@ pub fn path_weight(problem: &RecoveryProblem, p: &Path) -> f64 {
 /// tests comparing the two greedy variants).
 pub fn unrepaired(problem: &RecoveryProblem, plan: &RecoveryPlan) -> (Vec<NodeId>, Vec<EdgeId>) {
     let (nm, em) = plan.repaired_masks(problem);
-    let nodes = problem
-        .graph()
-        .nodes()
-        .filter(|n| !nm[n.index()])
-        .collect();
-    let edges = problem
-        .graph()
-        .edges()
-        .filter(|e| !em[e.index()])
-        .collect();
+    let nodes = problem.graph().nodes().filter(|n| !nm[n.index()]).collect();
+    let edges = problem.graph().edges().filter(|e| !em[e.index()]).collect();
     (nodes, edges)
 }
 
@@ -299,7 +313,8 @@ mod tests {
             g.add_edge(g.node(2), g.node(3), 4.0).unwrap(),
         ];
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), demand).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), demand)
+            .unwrap();
         for n in 0..4 {
             p.break_node(p.graph().node(n), 1.0).unwrap();
         }
@@ -384,7 +399,8 @@ mod tests {
         let mut g = Graph::with_nodes(3);
         let e = g.add_edge(g.node(0), g.node(1), 1.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 1.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 1.0)
+            .unwrap();
         p.break_edge(e, 1.0).unwrap();
         let plan = solve_grd_com(&p, &GreedyConfig::default());
         assert_eq!(plan.total_repairs(), 0);

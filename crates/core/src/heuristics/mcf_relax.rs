@@ -17,6 +17,7 @@
 //! MCB here is a documented approximation — which is exactly why the paper
 //! excludes the multi-commodity approach from its main comparison.
 
+use crate::oracle::OracleSpec;
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_lp::mcf::{self, FlowAssignment};
 use serde::{Deserialize, Serialize};
@@ -40,6 +41,14 @@ pub struct McfRelaxConfig {
     pub max_eliminations: usize,
     /// Flow threshold above which a component counts as used.
     pub flow_tolerance: f64,
+    /// Optional evaluation oracle pre-screening MCB's greedy elimination
+    /// loop: before re-solving LP (8) with a broken edge zeroed out, the
+    /// oracle checks whether the demands remain routable at all on the
+    /// reduced graph. A (possibly conservative) "no" marks the edge
+    /// essential without the dense re-solve; a wrong "no" only leaves MCB
+    /// with a few more repairs, never an invalid plan. `None` keeps the
+    /// original always-re-solve behavior.
+    pub oracle: Option<OracleSpec>,
 }
 
 impl Default for McfRelaxConfig {
@@ -48,6 +57,7 @@ impl Default for McfRelaxConfig {
             cost_tolerance: 1e-6,
             max_eliminations: 64,
             flow_tolerance: 1e-6,
+            oracle: None,
         }
     }
 }
@@ -94,6 +104,7 @@ pub fn solve_mcf_relax(
                 .unwrap_or(base_flows);
             // Greedy elimination: zero out used broken edges one at a time
             // by capacity override, keeping the cost cap feasible.
+            let oracle = config.oracle.map(|spec| spec.build());
             let mut capacities = problem.graph().capacities();
             let mut eliminations = 0;
             loop {
@@ -119,6 +130,15 @@ pub fn solve_mcf_relax(
                 let saved = capacities[e.index()];
                 capacities[e.index()] = 0.0;
                 let masked = problem.full_view().with_capacities(&capacities);
+                // Oracle pre-screen: a "no" (possibly conservative for
+                // approximate backends) marks the edge essential without
+                // the dense LP re-solve below.
+                if let Some(oracle) = &oracle {
+                    if !oracle.is_routable(&masked, &demands)? {
+                        capacities[e.index()] = saved;
+                        break;
+                    }
+                }
                 match mcf::broken_flow_extreme(&masked, &demands, &broken_cost, cap, false)? {
                     Some(better) => {
                         flows = better;
@@ -178,7 +198,8 @@ mod tests {
             g.add_edge(g.node(2), g.node(3), 4.0).unwrap(),
         ];
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), demand).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), demand)
+            .unwrap();
         for e in edges {
             p.break_edge(e, 1.0).unwrap();
         }
@@ -205,6 +226,26 @@ mod tests {
     }
 
     #[test]
+    fn oracle_prescreened_elimination_matches_unscreened_mcb() {
+        let p = broken_square(8.0);
+        let screened = solve_mcf_relax(
+            &p,
+            McfExtreme::Best,
+            &McfRelaxConfig {
+                oracle: Some(crate::OracleSpec::CachedExact),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(screened.verify_routable(&p).unwrap());
+        // An exact pre-screen only skips re-solves that would have come
+        // back infeasible anyway, so the plan is identical.
+        let base = solve_mcf_relax(&p, McfExtreme::Best, &McfRelaxConfig::default()).unwrap();
+        assert_eq!(screened.repaired_edges, base.repaired_edges);
+        assert_eq!(screened.repaired_nodes, base.repaired_nodes);
+    }
+
+    #[test]
     fn both_routes_needed_at_high_demand() {
         let p = broken_square(12.0);
         let plan = solve_mcf_relax(&p, McfExtreme::Best, &McfRelaxConfig::default()).unwrap();
@@ -226,7 +267,8 @@ mod tests {
         let e0 = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         let e1 = g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)
+            .unwrap();
         p.break_edge(e0, 1.0).unwrap();
         p.break_edge(e1, 1.0).unwrap();
         p.break_node(p.graph().node(1), 1.0).unwrap();
@@ -245,7 +287,8 @@ mod tests {
         g.add_edge(g.node(0), g.node(2), 4.0).unwrap();
         g.add_edge(g.node(2), g.node(3), 4.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), 3.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), 3.0)
+            .unwrap();
         p.break_edge(e_top1, 1.0).unwrap();
         p.break_edge(e_top2, 1.0).unwrap();
         let plan = solve_mcf_relax(&p, McfExtreme::Best, &McfRelaxConfig::default()).unwrap();

@@ -72,7 +72,10 @@ impl Default for OptConfig {
 /// assert_eq!(plan.total_repairs(), 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn solve_opt(problem: &RecoveryProblem, config: &OptConfig) -> Result<RecoveryPlan, RecoveryError> {
+pub fn solve_opt(
+    problem: &RecoveryProblem,
+    config: &OptConfig,
+) -> Result<RecoveryPlan, RecoveryError> {
     let demands = problem.demands();
 
     // Warm start: the cheaper of ISP's plan and the MCB extraction (both
@@ -306,7 +309,8 @@ mod tests {
             g.add_edge(g.node(2), g.node(3), 4.0).unwrap(),
         ];
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), demand).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), demand)
+            .unwrap();
         for n in 0..4 {
             p.break_node(p.graph().node(n), 1.0).unwrap();
         }
@@ -368,7 +372,8 @@ mod tests {
         let e_bot1 = g.add_edge(g.node(0), g.node(2), 4.0).unwrap();
         let e_bot2 = g.add_edge(g.node(2), g.node(3), 4.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), 4.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), 4.0)
+            .unwrap();
         p.break_edge(e_top1, 10.0).unwrap();
         p.break_edge(e_top2, 10.0).unwrap();
         p.break_edge(e_bot1, 1.0).unwrap();

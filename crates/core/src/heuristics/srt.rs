@@ -85,7 +85,8 @@ mod tests {
             g.add_edge(g.node(2), g.node(3), 4.0).unwrap(),
         ];
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), demand).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), demand)
+            .unwrap();
         for n in 0..4 {
             p.break_node(p.graph().node(n), 1.0).unwrap();
         }
@@ -120,8 +121,10 @@ mod tests {
         let e_a = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         let e_b = g.add_edge(g.node(2), g.node(3), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), 7.0).unwrap();
-        p.add_demand(p.graph().node(1), p.graph().node(2), 7.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), 7.0)
+            .unwrap();
+        p.add_demand(p.graph().node(1), p.graph().node(2), 7.0)
+            .unwrap();
         for e in [e_mid, e_a, e_b] {
             p.break_edge(e, 1.0).unwrap();
         }

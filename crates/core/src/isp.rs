@@ -20,6 +20,7 @@
 //! subgraph; the accumulated repair list is the recovery plan.
 
 use crate::centrality::{demand_centrality, DynamicMetric};
+use crate::oracle::{EvalOracle, OracleSpec, OracleStats};
 use crate::state::{IspState, EPS};
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem, RoutabilityMode};
 use netrec_graph::maxflow;
@@ -47,7 +48,12 @@ pub struct IspConfig {
     /// hop-count ablation).
     pub metric: MetricMode,
     /// Routability backend (exact LP vs concurrent-flow approximation).
+    /// Superseded by [`IspConfig::oracle`] when that is set.
     pub routability: RoutabilityMode,
+    /// Evaluation-oracle backend for every routability question ISP asks
+    /// (feasibility precheck, loop termination, halving-search splits).
+    /// `None` derives the backend from [`IspConfig::routability`].
+    pub oracle: Option<OracleSpec>,
     /// How many top-centrality candidates to try per iteration before
     /// falling back to a forced repair.
     pub split_candidates: usize,
@@ -65,6 +71,7 @@ impl Default for IspConfig {
             length_const: 1.0,
             metric: MetricMode::Dynamic,
             routability: RoutabilityMode::default(),
+            oracle: None,
             split_candidates: 8,
             max_iterations: None,
             exact_split_lp: true,
@@ -85,6 +92,8 @@ pub struct IspStats {
     pub forced_repairs: usize,
     /// Whether the conservative repair-everything fallback fired.
     pub used_fallback: bool,
+    /// Query/solve counters of the evaluation oracle used by this run.
+    pub oracle: OracleStats,
 }
 
 /// Runs ISP on `problem`.
@@ -112,7 +121,10 @@ pub struct IspStats {
 /// assert!(plan.verify_routable(&p)?);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn solve_isp(problem: &RecoveryProblem, config: &IspConfig) -> Result<RecoveryPlan, RecoveryError> {
+pub fn solve_isp(
+    problem: &RecoveryProblem,
+    config: &IspConfig,
+) -> Result<RecoveryPlan, RecoveryError> {
     let (plan, _) = solve_isp_with_stats(problem, config)?;
     Ok(plan)
 }
@@ -128,15 +140,25 @@ pub fn solve_isp_with_stats(
 ) -> Result<(RecoveryPlan, IspStats), RecoveryError> {
     let mut stats = IspStats::default();
 
+    // One oracle instance serves every routability question of this run,
+    // so cached backends accumulate reuse across iterations.
+    let spec = config
+        .oracle
+        .unwrap_or_else(|| OracleSpec::from(config.routability));
+    let oracle = spec.build();
+
     // Feasibility precheck: the fully repaired network must carry the
     // demand, otherwise no recovery plan exists.
     let initial_demands = problem.demands();
     let full = problem.full_view();
-    if !config.routability.routable(&full, &initial_demands)? {
-        // The approximate oracle may be over-conservative; re-check
-        // exactly when it was used, unless the instance is huge.
-        let exact_ok = mcf::routability(&full, &initial_demands)?.is_some();
-        if !exact_ok {
+    if !oracle.is_routable(&full, &initial_demands)? {
+        // An exact backend already solved the LP — its "no" is final.
+        // An approximate backend may be over-conservative in the ε band,
+        // so re-check exactly before reporting infeasibility: a wrong
+        // error here is worse than one dense solve on this rare path.
+        let answered_exactly =
+            spec.uses_exact_split(full.enabled_edges().count(), initial_demands.len());
+        if answered_exactly || mcf::routability(&full, &initial_demands)?.is_none() {
             return Err(RecoveryError::InfeasibleEvenIfAllRepaired);
         }
     }
@@ -160,16 +182,13 @@ pub fn solve_isp_with_stats(
         if state.demands.is_empty() {
             break;
         }
-        if config
-            .routability
-            .routable(&state.working_view(), &state.demands)?
-        {
+        if oracle.is_routable(&state.working_view(), &state.demands)? {
             break;
         }
         if state.repair_direct_edges() {
             continue;
         }
-        if !split_step(&mut state, config)? {
+        if !split_step(&mut state, config, spec, oracle.as_ref())? {
             // No productive split: force progress by repairing the most
             // central still-broken element, or give up conservatively.
             if !force_repair(&mut state, config) {
@@ -183,6 +202,7 @@ pub fn solve_isp_with_stats(
 
     stats.prunes = state.prunes;
     stats.splits = state.splits;
+    stats.oracle = oracle.stats();
 
     let mut plan = RecoveryPlan::new("ISP");
     plan.repaired_nodes = state.repaired_nodes.clone();
@@ -195,7 +215,12 @@ pub fn solve_isp_with_stats(
 
 /// One split action: choose `v_BC`, Decision 1, Decision 2, then split.
 /// Returns whether a split (or the implied repair of `v_BC`) happened.
-fn split_step(state: &mut IspState<'_>, config: &IspConfig) -> Result<bool, RecoveryError> {
+fn split_step(
+    state: &mut IspState<'_>,
+    config: &IspConfig,
+    spec: OracleSpec,
+    oracle: &dyn EvalOracle,
+) -> Result<bool, RecoveryError> {
     // Centrality on the full graph with residual capacities.
     let node_cost: Vec<f64> = (0..state.problem.graph().node_count())
         .map(|i| state.problem.node_cost(netrec_graph::NodeId::new(i)))
@@ -244,7 +269,7 @@ fn split_step(state: &mut IspState<'_>, config: &IspConfig) -> Result<bool, Reco
                 continue;
             }
             let score = d.amount.min(through) / fstar;
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((h, score));
             }
         }
@@ -257,7 +282,7 @@ fn split_step(state: &mut IspState<'_>, config: &IspConfig) -> Result<bool, Reco
         let upper = state.demands[h]
             .amount
             .min(centrality.capacity_through(h, vbc, &full));
-        let dx = decide_split_amount(state, config, h, vbc, upper)?;
+        let dx = decide_split_amount(state, config, spec, oracle, h, vbc, upper)?;
         if dx > EPS {
             state.repair_node(vbc);
             state.split(h, vbc, dx);
@@ -272,16 +297,16 @@ fn split_step(state: &mut IspState<'_>, config: &IspConfig) -> Result<bool, Reco
 fn decide_split_amount(
     state: &IspState<'_>,
     config: &IspConfig,
+    spec: OracleSpec,
+    oracle: &dyn EvalOracle,
     h: usize,
     vbc: netrec_graph::NodeId,
     upper: f64,
 ) -> Result<f64, RecoveryError> {
     let full = state.full_view();
     let enabled_edges = full.enabled_edges().count();
-    let use_lp = config.exact_split_lp
-        && config
-            .routability
-            .uses_exact(enabled_edges, state.demands.len() + 2);
+    let use_lp =
+        config.exact_split_lp && spec.uses_exact_split(enabled_edges, state.demands.len() + 2);
     if use_lp {
         let dx = mcf::max_shared_split(&full, &state.demands, h, vbc, upper)?;
         return Ok(dx.unwrap_or(0.0));
@@ -297,7 +322,7 @@ fn decide_split_amount(
         candidate[h].amount -= dx;
         candidate.push(Demand::new(d.source, vbc, dx));
         candidate.push(Demand::new(vbc, d.target, dx));
-        if config.routability.routable(&full, &candidate)? {
+        if oracle.is_routable(&full, &candidate)? {
             return Ok(dx);
         }
         dx /= 2.0;
@@ -342,7 +367,7 @@ fn force_repair(state: &mut IspState<'_>, config: &IspConfig) -> bool {
             for &e in p.edges() {
                 if state.broken_edges[e.index()] {
                     let c = edge_cost[e.index()];
-                    if best_edge.map_or(true, |(_, bc)| c < bc) {
+                    if best_edge.is_none_or(|(_, bc)| c < bc) {
                         best_edge = Some((e, c));
                     }
                 }
@@ -350,7 +375,7 @@ fn force_repair(state: &mut IspState<'_>, config: &IspConfig) -> bool {
             for v in p.nodes(state.problem.graph()) {
                 if state.broken_nodes[v.index()] {
                     let c = node_cost[v.index()];
-                    if best_node.map_or(true, |(_, bc)| c < bc) {
+                    if best_node.is_none_or(|(_, bc)| c < bc) {
                         best_node = Some((v, c));
                     }
                 }
@@ -393,7 +418,8 @@ mod tests {
             g.add_edge(g.node(2), g.node(3), 4.0).unwrap(),
         ];
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(3), demand).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(3), demand)
+            .unwrap();
         for n in 0..4 {
             p.break_node(p.graph().node(n), 1.0).unwrap();
         }
@@ -439,7 +465,8 @@ mod tests {
         g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)
+            .unwrap();
         let plan = solve_isp(&p, &IspConfig::default()).unwrap();
         assert_eq!(plan.total_repairs(), 0);
     }
@@ -459,7 +486,8 @@ mod tests {
         let mut g = Graph::with_nodes(2);
         let e = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(1), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(1), 5.0)
+            .unwrap();
         p.break_edge(e, 1.0).unwrap();
         let plan = solve_isp(&p, &IspConfig::default()).unwrap();
         assert_eq!(plan.repaired_edges, vec![e]);
@@ -479,6 +507,34 @@ mod tests {
     }
 
     #[test]
+    fn explicit_oracle_overrides_routability_mode() {
+        let p = broken_square(8.0);
+        for spec in [
+            crate::OracleSpec::CachedExact,
+            crate::OracleSpec::Approx { epsilon: 0.05 },
+            crate::OracleSpec::CachedApprox { epsilon: 0.05 },
+        ] {
+            let config = IspConfig {
+                oracle: Some(spec),
+                ..Default::default()
+            };
+            let (plan, stats) = solve_isp_with_stats(&p, &config).unwrap();
+            assert!(plan.verify_routable(&p).unwrap(), "{spec}");
+            assert!(stats.oracle.queries() > 0, "{spec}: {:?}", stats.oracle);
+            match spec {
+                crate::OracleSpec::CachedExact | crate::OracleSpec::CachedApprox { .. } => {
+                    assert_eq!(
+                        stats.oracle.cache_hits + stats.oracle.cache_misses,
+                        stats.oracle.queries(),
+                        "{spec}"
+                    );
+                }
+                _ => assert_eq!(stats.oracle.cache_misses, 0, "{spec}"),
+            }
+        }
+    }
+
+    #[test]
     fn two_demands_share_repaired_backbone() {
         // Line 0-1-2-3-4 (cap 20) fully broken plus two demands that can
         // share it.
@@ -488,8 +544,10 @@ mod tests {
             edges.push(g.add_edge(g.node(i), g.node(i + 1), 20.0).unwrap());
         }
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(4), 5.0).unwrap();
-        p.add_demand(p.graph().node(1), p.graph().node(3), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(4), 5.0)
+            .unwrap();
+        p.add_demand(p.graph().node(1), p.graph().node(3), 5.0)
+            .unwrap();
         for n in 0..5 {
             p.break_node(p.graph().node(n), 1.0).unwrap();
         }

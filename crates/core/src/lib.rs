@@ -19,6 +19,10 @@
 //!   with best/worst repair extraction (MCB / MCW, §VI-A).
 //! * [`heuristics::all`] — repair everything (the ALL baseline).
 //!
+//! All solvers answer their routability / satisfied-demand questions
+//! through the pluggable [`oracle`] layer (exact LP, conservative
+//! concurrent-flow approximation, or a memoizing cache — see `DESIGN.md`).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -54,11 +58,13 @@ mod state;
 pub mod centrality;
 pub mod heuristics;
 pub mod isp;
+pub mod oracle;
 pub mod schedule;
 pub mod vulnerability;
 
 pub use error::RecoveryError;
 pub use isp::{solve_isp, solve_isp_with_stats, IspConfig, IspStats, MetricMode};
+pub use oracle::{EvalOracle, OracleSpec, OracleStats, RoutabilityOracle, SatisfactionOracle};
 pub use plan::RecoveryPlan;
 pub use problem::RecoveryProblem;
 pub use routability::RoutabilityMode;

@@ -1,0 +1,280 @@
+//! The concurrent-flow approximate oracle backend.
+
+use super::{Counter, EvalOracle, ExactLp, OracleStats, RoutabilityOracle, SatisfactionOracle};
+use crate::RecoveryError;
+use netrec_graph::{maxflow, traversal, View};
+use netrec_lp::concurrent::{self, ConcurrentFlowConfig};
+use netrec_lp::mcf::{self, Demand};
+
+/// Approximate backend built on the Garg–Könemann maximum-concurrent-flow
+/// algorithm, with a conservative exact-LP fallback near the λ ≈ 1
+/// feasibility boundary.
+///
+/// The approximation certifies a lower bound `λ_lower ≤ λ*` and implies an
+/// upper bound `λ_upper = λ_lower / (1 − 3ε)`:
+///
+/// * `λ_lower ≥ 1` — a feasible routing of the full demand exists:
+///   answer **routable** (trustworthy);
+/// * `λ_upper < 1` — the instance is certainly short of capacity within
+///   the guarantee: answer **unroutable**;
+/// * otherwise (`λ_lower < 1 ≤ λ_upper`) — the boundary band. For
+///   instances up to [`boundary fallback limit`](Self::with_fallback_limit)
+///   (`|E| · |EH|`) the exact LP decides; above it the backend stays
+///   LP-free and conservatively answers **unroutable**, which can only
+///   cost extra repairs, never plan feasibility (see `DESIGN.md`).
+#[derive(Debug)]
+pub struct ConcurrentFlowApprox {
+    epsilon: f64,
+    fallback_limit: usize,
+    fallback: ExactLp,
+    routability_queries: Counter,
+    satisfaction_queries: Counter,
+    approx_runs: Counter,
+    boundary_fallbacks: Counter,
+}
+
+impl Default for ConcurrentFlowApprox {
+    fn default() -> Self {
+        ConcurrentFlowApprox::new(super::DEFAULT_EPSILON)
+    }
+}
+
+impl ConcurrentFlowApprox {
+    /// Default boundary-band fallback limit: aligned with the
+    /// [`OracleSpec::Auto`](super::OracleSpec::Auto) default threshold so
+    /// CAIDA-scale instances never pay for the dense tableau.
+    pub const DEFAULT_FALLBACK_LIMIT: usize = super::DEFAULT_SIZE_THRESHOLD;
+
+    /// A backend with accuracy `epsilon` and the default fallback limit.
+    pub fn new(epsilon: f64) -> Self {
+        ConcurrentFlowApprox {
+            epsilon,
+            fallback_limit: Self::DEFAULT_FALLBACK_LIMIT,
+            fallback: ExactLp::new(),
+            routability_queries: Counter::default(),
+            satisfaction_queries: Counter::default(),
+            approx_runs: Counter::default(),
+            boundary_fallbacks: Counter::default(),
+        }
+    }
+
+    /// Overrides the `|E| · |EH|` size limit under which boundary-band
+    /// queries fall back to the exact LP (0 disables the fallback,
+    /// `usize::MAX` always falls back).
+    pub fn with_fallback_limit(mut self, limit: usize) -> Self {
+        self.fallback_limit = limit;
+        self
+    }
+
+    /// The configured accuracy parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn in_fallback_budget(&self, view: &View<'_>, active: usize) -> bool {
+        view.enabled_edges().count() * active <= self.fallback_limit
+    }
+}
+
+impl RoutabilityOracle for ConcurrentFlowApprox {
+    fn is_routable(&self, view: &View<'_>, demands: &[Demand]) -> Result<bool, RecoveryError> {
+        self.routability_queries.bump();
+        let active: Vec<Demand> = demands
+            .iter()
+            .copied()
+            .filter(|d| d.amount > 1e-12 && d.source != d.target)
+            .collect();
+        if active.is_empty() {
+            return Ok(true);
+        }
+        if mcf::quick_unroutable(view, &active) {
+            return Ok(false);
+        }
+        for d in &active {
+            if maxflow::max_flow_value(view, d.source, d.target) < d.amount - 1e-9 {
+                return Ok(false);
+            }
+        }
+        self.approx_runs.bump();
+        let config = ConcurrentFlowConfig {
+            epsilon: self.epsilon,
+            target: Some(1.0),
+            ..Default::default()
+        };
+        let r = concurrent::max_concurrent_flow(view, &active, &config);
+        if r.lambda_lower >= 1.0 {
+            return Ok(true);
+        }
+        if r.lambda_upper >= 1.0 && self.in_fallback_budget(view, active.len()) {
+            self.boundary_fallbacks.bump();
+            return self.fallback.is_routable(view, &active);
+        }
+        Ok(false)
+    }
+}
+
+impl SatisfactionOracle for ConcurrentFlowApprox {
+    fn satisfied(&self, view: &View<'_>, demands: &[Demand]) -> Result<Vec<f64>, RecoveryError> {
+        self.satisfaction_queries.bump();
+        // Follow max_satisfied conventions: zero/degenerate demands count
+        // as fully satisfied; disconnected ones as zero.
+        let mut satisfied: Vec<f64> = demands.iter().map(|d| d.amount.max(0.0)).collect();
+        let mut connected_idx: Vec<usize> = Vec::new();
+        for (i, d) in demands.iter().enumerate() {
+            if d.amount <= 0.0 || d.source == d.target {
+                continue;
+            }
+            if view.node_enabled(d.source)
+                && view.node_enabled(d.target)
+                && traversal::connected(view, d.source, d.target)
+            {
+                connected_idx.push(i);
+            } else {
+                satisfied[i] = 0.0;
+            }
+        }
+        if connected_idx.is_empty() {
+            return Ok(satisfied);
+        }
+        let connected: Vec<Demand> = connected_idx.iter().map(|&i| demands[i]).collect();
+        self.approx_runs.bump();
+        let config = ConcurrentFlowConfig {
+            epsilon: self.epsilon,
+            target: Some(1.0),
+            ..Default::default()
+        };
+        let r = concurrent::max_concurrent_flow(view, &connected, &config);
+        if r.lambda_lower >= 1.0 {
+            // Every connected demand fits in full.
+            return Ok(satisfied);
+        }
+        if r.lambda_upper >= 1.0 && self.in_fallback_budget(view, connected.len()) {
+            self.boundary_fallbacks.bump();
+            return self.fallback.satisfied(view, demands);
+        }
+        // Certified concurrent scaling: λ_lower · d_h is simultaneously
+        // routable, so it is a valid per-demand lower bound.
+        let lambda = r.lambda_lower.clamp(0.0, 1.0);
+        for &i in &connected_idx {
+            satisfied[i] = demands[i].amount * lambda;
+        }
+        Ok(satisfied)
+    }
+}
+
+impl EvalOracle for ConcurrentFlowApprox {
+    fn name(&self) -> String {
+        format!("approx:{}", self.epsilon)
+    }
+
+    fn stats(&self) -> OracleStats {
+        let inner = self.fallback.stats();
+        OracleStats {
+            routability_queries: self.routability_queries.get(),
+            satisfaction_queries: self.satisfaction_queries.get(),
+            lp_solves: inner.lp_solves,
+            approx_runs: self.approx_runs.get(),
+            boundary_fallbacks: self.boundary_fallbacks.get(),
+            ..OracleStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::Graph;
+
+    fn square() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(2), 4.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn clear_cases_avoid_the_exact_fallback() {
+        let g = square();
+        let oracle = ConcurrentFlowApprox::new(0.05);
+        assert!(oracle
+            .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(3), 7.0)])
+            .unwrap());
+        // 20 > max flow 14: the single-commodity precheck rejects it.
+        assert!(!oracle
+            .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(3), 20.0)])
+            .unwrap());
+        let stats = oracle.stats();
+        assert_eq!(stats.lp_solves, 0, "no exact solve expected: {stats:?}");
+    }
+
+    #[test]
+    fn boundary_band_falls_back_to_exact() {
+        let g = square();
+        let oracle = ConcurrentFlowApprox::new(0.05);
+        // Demand 13.9 against max flow 14: λ* ≈ 1.007, squarely in the
+        // ε band, so the exact LP must decide — and it says routable.
+        let demands = [Demand::new(g.node(0), g.node(3), 13.9)];
+        assert!(oracle.is_routable(&g.view(), &demands).unwrap());
+        let stats = oracle.stats();
+        assert!(
+            stats.boundary_fallbacks >= 1 || stats.lp_solves == 0,
+            "either the band fallback fired or λ_lower certified directly: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_fallback_stays_conservative() {
+        let g = square();
+        let oracle = ConcurrentFlowApprox::new(0.05).with_fallback_limit(0);
+        let demands = [Demand::new(g.node(0), g.node(3), 13.9)];
+        // Whatever the answer, it must never involve the exact LP...
+        let answer = oracle.is_routable(&g.view(), &demands).unwrap();
+        assert_eq!(oracle.stats().lp_solves, 0);
+        // ...and a positive answer must be genuinely feasible.
+        if answer {
+            assert!(mcf::routability(&g.view(), &demands).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn satisfaction_full_when_routable_and_scaled_when_not() {
+        let g = square();
+        let oracle = ConcurrentFlowApprox::new(0.05);
+        let easy = [Demand::new(g.node(0), g.node(3), 7.0)];
+        let sat = oracle.satisfied(&g.view(), &easy).unwrap();
+        assert!((sat[0] - 7.0).abs() < 1e-9);
+
+        // Far over capacity: the λ-scaled bound must stay below the exact
+        // optimum (14) and above a sane floor.
+        let hard = [Demand::new(g.node(0), g.node(3), 28.0)];
+        let sat = oracle.satisfied(&g.view(), &hard).unwrap();
+        let (exact, _) = mcf::max_satisfied(&g.view(), &hard).unwrap();
+        assert!(
+            sat[0] <= exact[0] + 1e-6,
+            "bound {} > exact {}",
+            sat[0],
+            exact[0]
+        );
+        assert!(
+            sat[0] > 0.25 * exact[0],
+            "bound uselessly loose: {}",
+            sat[0]
+        );
+    }
+
+    #[test]
+    fn disconnected_demands_get_zero_but_others_survive() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 5.0).unwrap();
+        let oracle = ConcurrentFlowApprox::new(0.05);
+        let demands = [
+            Demand::new(g.node(0), g.node(1), 2.0),
+            Demand::new(g.node(2), g.node(3), 9.0),
+        ];
+        let sat = oracle.satisfied(&g.view(), &demands).unwrap();
+        assert!((sat[0] - 2.0).abs() < 1e-9);
+        assert_eq!(sat[1], 0.0);
+    }
+}

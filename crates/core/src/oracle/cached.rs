@@ -1,0 +1,215 @@
+//! The memoizing oracle decorator.
+
+use super::{query_key, EvalOracle, OracleStats, RoutabilityOracle, SatisfactionOracle};
+use crate::RecoveryError;
+use netrec_graph::View;
+use netrec_lp::mcf::Demand;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Memoizes an inner oracle's answers keyed by the working node/edge
+/// masks, effective capacities, and demand set.
+///
+/// The sweet spot is any caller that re-evaluates overlapping network
+/// states: the progressive scheduler (its stage-end evaluation always
+/// repeats the winning candidate's query), repeated what-if probes over
+/// the same damage, or re-running a schedule for reporting. Keys are a
+/// lossless encoding of everything the answer depends on (the two query
+/// kinds live in separate maps), so a hit is exactly as trustworthy as
+/// the inner backend — no hash-collision aliasing is possible.
+pub struct Cached<O> {
+    inner: O,
+    routable: Mutex<HashMap<Vec<u64>, bool>>,
+    satisfied: Mutex<HashMap<Vec<u64>, Vec<f64>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    routability_queries: AtomicUsize,
+    satisfaction_queries: AtomicUsize,
+}
+
+impl<O: EvalOracle> Cached<O> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: O) -> Self {
+        Cached {
+            inner,
+            routable: Mutex::new(HashMap::new()),
+            satisfied: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            routability_queries: AtomicUsize::new(0),
+            satisfaction_queries: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Memoized answers served so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Queries that reached the inner backend so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached answers (both kinds).
+    pub fn len(&self) -> usize {
+        self.routable.lock().expect("cache poisoned").len()
+            + self.satisfied.lock().expect("cache poisoned").len()
+    }
+
+    /// Whether nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached answer (counters are kept).
+    pub fn clear(&self) {
+        self.routable.lock().expect("cache poisoned").clear();
+        self.satisfied.lock().expect("cache poisoned").clear();
+    }
+}
+
+impl<O: EvalOracle> RoutabilityOracle for Cached<O> {
+    fn is_routable(&self, view: &View<'_>, demands: &[Demand]) -> Result<bool, RecoveryError> {
+        self.routability_queries.fetch_add(1, Ordering::Relaxed);
+        let key = query_key(view, demands);
+        if let Some(&answer) = self.routable.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(answer);
+        }
+        // The lock is not held across the solve: a concurrent duplicate
+        // query may solve twice, but both insert the same answer.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let answer = self.inner.is_routable(view, demands)?;
+        self.routable
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, answer);
+        Ok(answer)
+    }
+}
+
+impl<O: EvalOracle> SatisfactionOracle for Cached<O> {
+    fn satisfied(&self, view: &View<'_>, demands: &[Demand]) -> Result<Vec<f64>, RecoveryError> {
+        self.satisfaction_queries.fetch_add(1, Ordering::Relaxed);
+        let key = query_key(view, demands);
+        if let Some(answer) = self.satisfied.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(answer.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let answer = self.inner.satisfied(view, demands)?;
+        self.satisfied
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, answer.clone());
+        Ok(answer)
+    }
+}
+
+impl<O: EvalOracle> EvalOracle for Cached<O> {
+    fn name(&self) -> String {
+        format!("cached({})", self.inner.name())
+    }
+
+    fn stats(&self) -> OracleStats {
+        let mut stats = self.inner.stats();
+        // Query counts reflect what callers asked at the cache boundary;
+        // solve counts reflect what actually reached the inner backend.
+        stats.routability_queries = self.routability_queries.load(Ordering::Relaxed);
+        stats.satisfaction_queries = self.satisfaction_queries.load(Ordering::Relaxed);
+        stats.cache_hits = self.hits();
+        stats.cache_misses = self.misses();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactLp;
+    use netrec_graph::Graph;
+
+    fn square() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(2), 4.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn repeated_queries_hit() {
+        let g = square();
+        let oracle = Cached::new(ExactLp::new());
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        for _ in 0..5 {
+            assert!(oracle.is_routable(&g.view(), &demands).unwrap());
+            let sat = oracle.satisfied(&g.view(), &demands).unwrap();
+            assert!((sat[0] - 8.0).abs() < 1e-9);
+        }
+        assert_eq!(oracle.misses(), 2, "one per query kind");
+        assert_eq!(oracle.hits(), 8);
+        assert_eq!(oracle.inner().stats().routability_queries, 1);
+    }
+
+    #[test]
+    fn different_masks_are_distinct_entries() {
+        let g = square();
+        let oracle = Cached::new(ExactLp::new());
+        let demands = [Demand::new(g.node(0), g.node(3), 3.0)];
+        assert!(oracle.is_routable(&g.view(), &demands).unwrap());
+        let mask = vec![true, false, true, true];
+        let masked = g.view().with_node_mask(&mask);
+        assert!(oracle.is_routable(&masked, &demands).unwrap());
+        assert_eq!(oracle.misses(), 2);
+        assert_eq!(oracle.hits(), 0);
+        assert_eq!(oracle.len(), 2);
+    }
+
+    #[test]
+    fn answers_match_inner_backend_exactly() {
+        let g = square();
+        let cached = Cached::new(ExactLp::new());
+        let plain = ExactLp::new();
+        let cases = [3.0, 8.0, 13.9, 14.1, 20.0];
+        for &amount in &cases {
+            let demands = [Demand::new(g.node(0), g.node(3), amount)];
+            // Query twice so the second answer comes from the cache.
+            for _ in 0..2 {
+                assert_eq!(
+                    cached.is_routable(&g.view(), &demands).unwrap(),
+                    plain.is_routable(&g.view(), &demands).unwrap(),
+                    "amount {amount}"
+                );
+                assert_eq!(
+                    cached.satisfied(&g.view(), &demands).unwrap(),
+                    plain.satisfied(&g.view(), &demands).unwrap(),
+                    "amount {amount}"
+                );
+            }
+        }
+        assert_eq!(cached.hits(), cases.len() * 2);
+    }
+
+    #[test]
+    fn clear_resets_entries_but_not_counters() {
+        let g = square();
+        let oracle = Cached::new(ExactLp::new());
+        let demands = [Demand::new(g.node(0), g.node(3), 2.0)];
+        oracle.is_routable(&g.view(), &demands).unwrap();
+        assert!(!oracle.is_empty());
+        oracle.clear();
+        assert!(oracle.is_empty());
+        assert_eq!(oracle.misses(), 1);
+        oracle.is_routable(&g.view(), &demands).unwrap();
+        assert_eq!(oracle.misses(), 2, "cleared entry must be recomputed");
+    }
+}

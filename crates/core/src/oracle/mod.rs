@@ -1,0 +1,495 @@
+//! The shared evaluation-oracle layer.
+//!
+//! Every consumer of the recovery stack keeps asking the same two
+//! questions about a (partially repaired) damaged network:
+//!
+//! 1. *routability* — can the working subgraph carry every demand?
+//!    (system (2) of the paper);
+//! 2. *satisfaction* — how much of each demand can the working subgraph
+//!    carry? (the maximum-satisfied-demand LP).
+//!
+//! Historically each caller — ISP's decision LPs, the progressive
+//! scheduler, GRD-NC, the sim runner — re-built and re-solved the exact
+//! dense-tableau LP from scratch on every query. This module centralizes
+//! the queries behind the [`RoutabilityOracle`] / [`SatisfactionOracle`]
+//! trait pair with three interchangeable backends:
+//!
+//! * [`ExactLp`] — the paper's exact LPs (the previous behavior);
+//! * [`ConcurrentFlowApprox`] — the Garg–Könemann concurrent-flow
+//!   approximation with an exact-LP fallback near the λ ≈ 1 feasibility
+//!   boundary, so answers stay *conservative* (never "routable" for an
+//!   unroutable instance — see `DESIGN.md`);
+//! * [`Cached`] — a decorator memoizing any backend's answers keyed by
+//!   the working node/edge masks, capacities, and demand set, with
+//!   hit/miss counters.
+//!
+//! Callers select a backend through [`OracleSpec`] (also exposed on the
+//! CLI as `--oracle`) and query through `&dyn EvalOracle`.
+
+mod approx;
+mod cached;
+mod exact;
+
+pub use approx::ConcurrentFlowApprox;
+pub use cached::Cached;
+pub use exact::ExactLp;
+
+use crate::{RecoveryError, RoutabilityMode};
+use netrec_graph::View;
+use netrec_lp::mcf::Demand;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Answers "is this damaged graph routable?".
+pub trait RoutabilityOracle: Send + Sync {
+    /// Whether `demands` can be simultaneously routed in `view`.
+    ///
+    /// A `true` answer is always trustworthy (a feasible routing exists);
+    /// approximate backends may answer `false` for instances that are
+    /// actually routable, which costs extra repairs but never feasibility.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP solver failures.
+    fn is_routable(&self, view: &View<'_>, demands: &[Demand]) -> Result<bool, RecoveryError>;
+}
+
+/// Answers "what fraction of demand is satisfiable?".
+pub trait SatisfactionOracle: Send + Sync {
+    /// Per-demand satisfiable amounts in `view` (same indexing and
+    /// conventions as [`netrec_lp::mcf::max_satisfied`]).
+    ///
+    /// Approximate backends return a certified *lower bound* per demand.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP solver failures.
+    fn satisfied(&self, view: &View<'_>, demands: &[Demand]) -> Result<Vec<f64>, RecoveryError>;
+}
+
+/// A full evaluation oracle: both query kinds plus introspection.
+pub trait EvalOracle: RoutabilityOracle + SatisfactionOracle {
+    /// Backend name for reports (`exact`, `approx`, `cached(exact)`, …).
+    fn name(&self) -> String;
+
+    /// Counters accumulated since construction.
+    fn stats(&self) -> OracleStats;
+}
+
+/// Query/solve counters of an oracle (all backends; cache fields stay
+/// zero outside [`Cached`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleStats {
+    /// Routability queries received.
+    pub routability_queries: usize,
+    /// Satisfaction queries received.
+    pub satisfaction_queries: usize,
+    /// Exact dense-tableau LPs actually solved.
+    pub lp_solves: usize,
+    /// Concurrent-flow approximation runs.
+    pub approx_runs: usize,
+    /// Approximate queries that fell back to the exact LP near λ ≈ 1.
+    pub boundary_fallbacks: usize,
+    /// Memoized answers served ([`Cached`] only).
+    pub cache_hits: usize,
+    /// Queries that reached the inner backend ([`Cached`] only).
+    pub cache_misses: usize,
+}
+
+impl OracleStats {
+    /// Element-wise sum of two counter sets.
+    pub fn merged(&self, other: &OracleStats) -> OracleStats {
+        OracleStats {
+            routability_queries: self.routability_queries + other.routability_queries,
+            satisfaction_queries: self.satisfaction_queries + other.satisfaction_queries,
+            lp_solves: self.lp_solves + other.lp_solves,
+            approx_runs: self.approx_runs + other.approx_runs,
+            boundary_fallbacks: self.boundary_fallbacks + other.boundary_fallbacks,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+        }
+    }
+
+    /// Total queries of both kinds.
+    pub fn queries(&self) -> usize {
+        self.routability_queries + self.satisfaction_queries
+    }
+}
+
+/// Relaxed-ordering counter shared by the backends (contention is
+/// irrelevant; the counters are diagnostics).
+#[derive(Debug, Default)]
+pub(crate) struct Counter(AtomicUsize);
+
+impl Counter {
+    pub(crate) fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Declarative backend selection, carried by configs ([`crate::IspConfig`],
+/// the sim `Scenario`) and the CLI `--oracle` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum OracleSpec {
+    /// The exact LPs (system (2) / maximum satisfied demand).
+    #[default]
+    Exact,
+    /// Concurrent-flow approximation with accuracy ε and conservative
+    /// exact fallback near the feasibility boundary.
+    Approx {
+        /// Accuracy parameter ε ∈ (0, 1/3).
+        epsilon: f64,
+    },
+    /// Exact below the size threshold on `|E| · |EH|`, approximate above.
+    Auto {
+        /// Size threshold (same meaning as [`RoutabilityMode::Auto`]).
+        threshold: usize,
+    },
+    /// Memoizing decorator over the exact backend.
+    CachedExact,
+    /// Memoizing decorator over the approximate backend.
+    CachedApprox {
+        /// Accuracy parameter ε ∈ (0, 1/3).
+        epsilon: f64,
+    },
+}
+
+/// Default ε of approximate backends.
+pub const DEFAULT_EPSILON: f64 = 0.05;
+
+/// Default `|E| · |EH|` size threshold at which the stack switches from
+/// exact to approximate answers — shared by [`OracleSpec::Auto`] parsing,
+/// [`RoutabilityMode::Auto`]'s default, and the approximate backend's
+/// boundary-band fallback limit, so tuning the crossover stays in one
+/// place.
+pub const DEFAULT_SIZE_THRESHOLD: usize = 4_000;
+
+impl OracleSpec {
+    /// Instantiates the backend.
+    pub fn build(&self) -> Box<dyn EvalOracle> {
+        match *self {
+            OracleSpec::Exact => Box::new(ExactLp::new()),
+            OracleSpec::Approx { epsilon } => Box::new(ConcurrentFlowApprox::new(epsilon)),
+            OracleSpec::Auto { threshold } => Box::new(AutoOracle::new(threshold, DEFAULT_EPSILON)),
+            OracleSpec::CachedExact => Box::new(Cached::new(ExactLp::new())),
+            OracleSpec::CachedApprox { epsilon } => {
+                Box::new(Cached::new(ConcurrentFlowApprox::new(epsilon)))
+            }
+        }
+    }
+
+    /// Parses a CLI argument: `exact`, `approx`, `approx:<eps>`, `auto`,
+    /// `auto:<threshold>`, `cached` / `cached-exact`, `cached-approx`,
+    /// `cached-approx:<eps>`.
+    pub fn parse(s: &str) -> Option<OracleSpec> {
+        match s {
+            "exact" => Some(OracleSpec::Exact),
+            "approx" => Some(OracleSpec::Approx {
+                epsilon: DEFAULT_EPSILON,
+            }),
+            "auto" => Some(OracleSpec::Auto {
+                threshold: DEFAULT_SIZE_THRESHOLD,
+            }),
+            "cached" | "cached-exact" => Some(OracleSpec::CachedExact),
+            "cached-approx" => Some(OracleSpec::CachedApprox {
+                epsilon: DEFAULT_EPSILON,
+            }),
+            _ => {
+                // ε must lie in the algorithm's domain (0, 1/3); a NaN or
+                // out-of-range value would silently poison every query.
+                let parse_epsilon = |text: &str| {
+                    text.parse::<f64>()
+                        .ok()
+                        .filter(|eps| eps.is_finite() && *eps > 0.0 && *eps < 1.0 / 3.0)
+                };
+                if let Some(eps) = s.strip_prefix("approx:") {
+                    return parse_epsilon(eps).map(|epsilon| OracleSpec::Approx { epsilon });
+                }
+                if let Some(eps) = s.strip_prefix("cached-approx:") {
+                    return parse_epsilon(eps).map(|epsilon| OracleSpec::CachedApprox { epsilon });
+                }
+                if let Some(t) = s.strip_prefix("auto:") {
+                    return t
+                        .parse()
+                        .ok()
+                        .map(|threshold| OracleSpec::Auto { threshold });
+                }
+                None
+            }
+        }
+    }
+
+    /// Whether ISP's Decision-2 split should use the exact LP for an
+    /// instance of the given size (mirrors
+    /// [`RoutabilityMode::uses_exact`]).
+    pub fn uses_exact_split(&self, enabled_edges: usize, demands: usize) -> bool {
+        match self {
+            OracleSpec::Exact | OracleSpec::CachedExact => true,
+            OracleSpec::Approx { .. } | OracleSpec::CachedApprox { .. } => false,
+            OracleSpec::Auto { threshold } => enabled_edges * demands <= *threshold,
+        }
+    }
+}
+
+impl std::fmt::Display for OracleSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleSpec::Exact => write!(f, "exact"),
+            OracleSpec::Approx { epsilon } => write!(f, "approx:{epsilon}"),
+            OracleSpec::Auto { threshold } => write!(f, "auto:{threshold}"),
+            OracleSpec::CachedExact => write!(f, "cached-exact"),
+            OracleSpec::CachedApprox { epsilon } => write!(f, "cached-approx:{epsilon}"),
+        }
+    }
+}
+
+impl From<RoutabilityMode> for OracleSpec {
+    fn from(mode: RoutabilityMode) -> Self {
+        match mode {
+            RoutabilityMode::Exact => OracleSpec::Exact,
+            RoutabilityMode::Approx { epsilon } => OracleSpec::Approx { epsilon },
+            RoutabilityMode::Auto { threshold } => OracleSpec::Auto { threshold },
+        }
+    }
+}
+
+/// Size-switching backend behind [`OracleSpec::Auto`]: exact below the
+/// `|E| · |EH|` threshold, approximate above it.
+#[derive(Debug, Default)]
+pub struct AutoOracle {
+    exact: ExactLp,
+    approx: ConcurrentFlowApprox,
+    threshold: usize,
+}
+
+impl AutoOracle {
+    /// An auto oracle with the given size threshold and approximation ε.
+    /// The threshold also caps the approximate backend's boundary-band
+    /// exact fallback: above it, no query may build the dense tableau.
+    pub fn new(threshold: usize, epsilon: f64) -> Self {
+        AutoOracle {
+            exact: ExactLp::new(),
+            approx: ConcurrentFlowApprox::new(epsilon).with_fallback_limit(threshold),
+            threshold,
+        }
+    }
+
+    fn pick_exact(&self, view: &View<'_>, demands: &[Demand]) -> bool {
+        let active = demands.iter().filter(|d| d.amount > 0.0).count();
+        view.enabled_edges().count() * active <= self.threshold
+    }
+}
+
+impl RoutabilityOracle for AutoOracle {
+    fn is_routable(&self, view: &View<'_>, demands: &[Demand]) -> Result<bool, RecoveryError> {
+        if self.pick_exact(view, demands) {
+            self.exact.is_routable(view, demands)
+        } else {
+            self.approx.is_routable(view, demands)
+        }
+    }
+}
+
+impl SatisfactionOracle for AutoOracle {
+    fn satisfied(&self, view: &View<'_>, demands: &[Demand]) -> Result<Vec<f64>, RecoveryError> {
+        if self.pick_exact(view, demands) {
+            self.exact.satisfied(view, demands)
+        } else {
+            self.approx.satisfied(view, demands)
+        }
+    }
+}
+
+impl EvalOracle for AutoOracle {
+    fn name(&self) -> String {
+        format!("auto:{}", self.threshold)
+    }
+
+    fn stats(&self) -> OracleStats {
+        self.exact.stats().merged(&self.approx.stats())
+    }
+}
+
+/// A **lossless** encoding of a query — working masks, effective
+/// capacities, and the demand list (order-sensitive, which is fine:
+/// callers keep a stable demand order).
+///
+/// Used directly as the cache key: the map's internal hashing may
+/// collide, but lookups resolve by full-key equality, so two distinct
+/// network states can never alias an answer (a cache hit is exactly as
+/// trustworthy as the inner backend).
+pub(crate) fn query_key(view: &View<'_>, demands: &[Demand]) -> Vec<u64> {
+    let n = view.node_count();
+    let m = view.edge_count();
+    let mut key = Vec::with_capacity(4 + n / 64 + m / 64 + m + 2 * demands.len());
+    key.push(n as u64);
+    key.push(m as u64);
+    // Node mask, packed 64 bits at a time.
+    let mut word = 0u64;
+    for (i, node) in view.graph().nodes().enumerate() {
+        if view.node_enabled(node) {
+            word |= 1 << (i % 64);
+        }
+        if i % 64 == 63 {
+            key.push(word);
+            word = 0;
+        }
+    }
+    key.push(word);
+    // Edge mask, packed 64 bits at a time.
+    let mut word = 0u64;
+    for (i, e) in view.graph().edges().enumerate() {
+        if view.edge_enabled(e) {
+            word |= 1 << (i % 64);
+        }
+        if i % 64 == 63 {
+            key.push(word);
+            word = 0;
+        }
+    }
+    key.push(word);
+    // Effective capacity of every visible edge (hidden edges contribute
+    // nothing beyond their mask bit).
+    for e in view.graph().edges() {
+        if view.edge_enabled(e) {
+            key.push(view.capacity(e).to_bits());
+        }
+    }
+    for d in demands {
+        key.push(((d.source.index() as u64) << 32) | d.target.index() as u64);
+        key.push(d.amount.to_bits());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::Graph;
+
+    fn square() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(2), 4.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        for s in ["exact", "approx", "auto", "cached-exact", "cached-approx"] {
+            let spec = OracleSpec::parse(s).unwrap();
+            let rendered = spec.to_string();
+            assert_eq!(
+                OracleSpec::parse(&rendered).or(Some(spec)),
+                Some(spec),
+                "{s}"
+            );
+        }
+        assert_eq!(
+            OracleSpec::parse("approx:0.1"),
+            Some(OracleSpec::Approx { epsilon: 0.1 })
+        );
+        assert_eq!(
+            OracleSpec::parse("auto:123"),
+            Some(OracleSpec::Auto { threshold: 123 })
+        );
+        assert_eq!(OracleSpec::parse("cached"), Some(OracleSpec::CachedExact));
+        assert!(OracleSpec::parse("magic").is_none());
+        // ε outside (0, 1/3) — including NaN — must be rejected, not
+        // silently accepted.
+        for bad in [
+            "approx:nan",
+            "approx:-1",
+            "approx:0.5",
+            "approx:0",
+            "cached-approx:inf",
+        ] {
+            assert!(OracleSpec::parse(bad).is_none(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_clear_cases() {
+        let g = square();
+        let fits = [Demand::new(g.node(0), g.node(3), 8.0)];
+        let over = [Demand::new(g.node(0), g.node(3), 20.0)];
+        for spec in [
+            OracleSpec::Exact,
+            OracleSpec::Approx { epsilon: 0.05 },
+            OracleSpec::Auto { threshold: 4_000 },
+            OracleSpec::CachedExact,
+            OracleSpec::CachedApprox { epsilon: 0.05 },
+        ] {
+            let oracle = spec.build();
+            assert!(oracle.is_routable(&g.view(), &fits).unwrap(), "{spec}");
+            assert!(!oracle.is_routable(&g.view(), &over).unwrap(), "{spec}");
+            let sat = oracle.satisfied(&g.view(), &fits).unwrap();
+            assert!((sat[0] - 8.0).abs() < 1e-6, "{spec}: {sat:?}");
+        }
+    }
+
+    #[test]
+    fn auto_switches_backend_by_size() {
+        let g = square();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        // Threshold 0: everything goes to the approximation.
+        let tiny = AutoOracle::new(0, 0.05);
+        assert!(tiny.is_routable(&g.view(), &demands).unwrap());
+        assert_eq!(tiny.stats().approx_runs, 1);
+        assert_eq!(tiny.stats().lp_solves, 0);
+        // Large threshold: everything exact.
+        let large = AutoOracle::new(1_000_000, 0.05);
+        assert!(large.is_routable(&g.view(), &demands).unwrap());
+        assert_eq!(large.stats().approx_runs, 0);
+        assert_eq!(large.stats().lp_solves, 1);
+    }
+
+    #[test]
+    fn query_keys_distinguish_masks_capacities_and_demands() {
+        let g = square();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        let base = query_key(&g.view(), &demands);
+        assert_eq!(base, query_key(&g.view(), &demands));
+
+        let mask = vec![true, false, true, true];
+        let masked = g.view().with_node_mask(&mask);
+        assert_ne!(base, query_key(&masked, &demands), "node mask");
+
+        let emask = vec![true, true, false, true];
+        let emasked = g.view().with_edge_mask(&emask);
+        assert_ne!(base, query_key(&emasked, &demands), "edge mask");
+
+        let caps = vec![10.0, 10.0, 4.0, 3.0];
+        let recap = g.view().with_capacities(&caps);
+        assert_ne!(base, query_key(&recap, &demands), "capacities");
+
+        let other = [Demand::new(g.node(0), g.node(3), 7.0)];
+        assert_ne!(base, query_key(&g.view(), &other), "demands");
+
+        // Losslessness: a node mask hiding node 1 also hides its incident
+        // edges; an edge mask hiding the same edges plus the node bit
+        // differs — distinct states can never share a key.
+        let full_caps = g.capacities();
+        let same_caps = g.view().with_capacities(&full_caps);
+        assert_eq!(base, query_key(&same_caps, &demands), "identical state");
+    }
+
+    #[test]
+    fn routability_mode_conversion() {
+        assert_eq!(OracleSpec::from(RoutabilityMode::Exact), OracleSpec::Exact);
+        assert_eq!(
+            OracleSpec::from(RoutabilityMode::Auto { threshold: 9 }),
+            OracleSpec::Auto { threshold: 9 }
+        );
+        assert!(OracleSpec::Exact.uses_exact_split(1_000_000, 10));
+        assert!(!OracleSpec::Approx { epsilon: 0.1 }.uses_exact_split(1, 1));
+        assert!(OracleSpec::Auto { threshold: 10 }.uses_exact_split(5, 2));
+        assert!(!OracleSpec::Auto { threshold: 10 }.uses_exact_split(11, 1));
+    }
+}

@@ -1,3 +1,4 @@
+use crate::oracle::SatisfactionOracle;
 use crate::{RecoveryError, RecoveryProblem};
 use netrec_graph::{EdgeId, NodeId};
 use netrec_lp::mcf;
@@ -71,17 +72,29 @@ impl RecoveryPlan {
     ///
     /// Propagates LP solver failures.
     pub fn satisfied_fraction(&self, problem: &RecoveryProblem) -> Result<f64, RecoveryError> {
+        self.satisfied_fraction_with(problem, &crate::oracle::ExactLp::new())
+    }
+
+    /// [`RecoveryPlan::satisfied_fraction`] evaluated through an explicit
+    /// [evaluation oracle](crate::oracle) — cached backends make repeated
+    /// plan assessments over the same damage cheap, approximate backends
+    /// return a conservative lower bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP solver failures from the oracle.
+    pub fn satisfied_fraction_with(
+        &self,
+        problem: &RecoveryProblem,
+        oracle: &dyn SatisfactionOracle,
+    ) -> Result<f64, RecoveryError> {
         let total = problem.total_demand();
         if total <= 0.0 {
             return Ok(1.0);
         }
         let (nm, em) = self.repaired_masks(problem);
-        let view = problem
-            .full_view()
-            .with_node_mask(&nm)
-            .with_edge_mask(&em);
-        let demands = problem.demands();
-        let (sat, _) = mcf::max_satisfied(&view, &demands)?;
+        let view = problem.full_view().with_node_mask(&nm).with_edge_mask(&em);
+        let sat = oracle.satisfied(&view, &problem.demands())?;
         Ok(sat.iter().sum::<f64>() / total)
     }
 
@@ -93,10 +106,7 @@ impl RecoveryPlan {
     /// Propagates LP solver failures.
     pub fn verify_routable(&self, problem: &RecoveryProblem) -> Result<bool, RecoveryError> {
         let (nm, em) = self.repaired_masks(problem);
-        let view = problem
-            .full_view()
-            .with_node_mask(&nm)
-            .with_edge_mask(&em);
+        let view = problem.full_view().with_node_mask(&nm).with_edge_mask(&em);
         Ok(mcf::routability(&view, &problem.demands())?.is_some())
     }
 
@@ -116,10 +126,7 @@ impl RecoveryPlan {
         problem: &RecoveryProblem,
     ) -> Result<Option<mcf::FlowAssignment>, RecoveryError> {
         let (nm, em) = self.repaired_masks(problem);
-        let view = problem
-            .full_view()
-            .with_node_mask(&nm)
-            .with_edge_mask(&em);
+        let view = problem.full_view().with_node_mask(&nm).with_edge_mask(&em);
         Ok(mcf::routability(&view, &problem.demands())?)
     }
 
@@ -144,7 +151,8 @@ mod tests {
         let e0 = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         let e1 = g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)
+            .unwrap();
         p.break_edge(e0, 2.0).unwrap();
         p.break_edge(e1, 3.0).unwrap();
         p
@@ -202,6 +210,29 @@ mod tests {
         // An infeasible plan yields no routing.
         let partial = RecoveryPlan::new("none");
         assert!(partial.routing(&p).unwrap().is_none());
+    }
+
+    #[test]
+    fn satisfied_fraction_with_matches_exact_and_bounds_approx() {
+        let p = broken_line();
+        let mut full = RecoveryPlan::new("full");
+        full.repaired_edges = vec![EdgeId::new(0), EdgeId::new(1)];
+        for plan in [&RecoveryPlan::new("none"), &full] {
+            let reference = plan.satisfied_fraction(&p).unwrap();
+            let exact = plan
+                .satisfied_fraction_with(&p, &crate::oracle::ExactLp::new())
+                .unwrap();
+            assert_eq!(exact, reference);
+            let approx = plan
+                .satisfied_fraction_with(&p, &crate::oracle::ConcurrentFlowApprox::new(0.05))
+                .unwrap();
+            assert!(approx <= reference + 1e-9, "approx {approx} > {reference}");
+        }
+        let cached = crate::oracle::Cached::new(crate::oracle::ExactLp::new());
+        let first = full.satisfied_fraction_with(&p, &cached).unwrap();
+        let second = full.satisfied_fraction_with(&p, &cached).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cached.hits(), 1);
     }
 
     #[test]

@@ -221,7 +221,8 @@ mod tests {
     #[test]
     fn demand_management() {
         let mut p = line();
-        p.add_demand(p.graph().node(0), p.graph().node(2), 4.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 4.0)
+            .unwrap();
         assert_eq!(p.total_demand(), 4.0);
         assert_eq!(p.demands().len(), 1);
         assert_eq!(p.demand_pairs()[0].2, 4.0);

@@ -8,11 +8,15 @@
 //! so ISP plans remain feasible (it may repair slightly more). This
 //! substitution is documented in `DESIGN.md` and measured by the
 //! `ablation_routability` bench.
+//!
+//! `RoutabilityMode` is the legacy (pre-oracle) selection knob; it now
+//! delegates to the [`crate::oracle`] backends and converts losslessly
+//! into an [`crate::OracleSpec`].
 
+use crate::oracle::{ConcurrentFlowApprox, ExactLp, RoutabilityOracle};
 use crate::RecoveryError;
-use netrec_lp::concurrent::{self, ConcurrentFlowConfig};
-use netrec_lp::mcf::{self, Demand};
 use netrec_graph::View;
+use netrec_lp::mcf::Demand;
 use serde::{Deserialize, Serialize};
 
 /// Which routability backend to use.
@@ -35,7 +39,9 @@ pub enum RoutabilityMode {
 
 impl Default for RoutabilityMode {
     fn default() -> Self {
-        RoutabilityMode::Auto { threshold: 4_000 }
+        RoutabilityMode::Auto {
+            threshold: crate::oracle::DEFAULT_SIZE_THRESHOLD,
+        }
     }
 }
 
@@ -63,31 +69,15 @@ impl RoutabilityMode {
         if active.is_empty() {
             return Ok(true);
         }
-        // Cheap necessary conditions first: endpoint connectivity, then
-        // per-demand single-commodity max flow (each demand alone must fit
-        // before the joint multi-commodity system can).
-        if mcf::quick_unroutable(view, &active) {
-            return Ok(false);
-        }
-        for d in &active {
-            if netrec_graph::maxflow::max_flow_value(view, d.source, d.target) < d.amount - 1e-9 {
-                return Ok(false);
-            }
-        }
         let enabled_edges = view.enabled_edges().count();
         if self.uses_exact(enabled_edges, active.len()) {
-            Ok(mcf::routability(view, &active)?.is_some())
+            ExactLp::new().is_routable(view, &active)
         } else {
             let eps = match self {
                 RoutabilityMode::Approx { epsilon } => *epsilon,
                 _ => 0.05,
             };
-            let config = ConcurrentFlowConfig {
-                epsilon: eps,
-                target: Some(1.0),
-                ..Default::default()
-            };
-            Ok(concurrent::max_concurrent_flow(view, &active, &config).lambda_lower >= 1.0)
+            ConcurrentFlowApprox::new(eps).is_routable(view, &active)
         }
     }
 }

@@ -8,19 +8,26 @@
 //! its repairs into budgeted stages, greedily maximizing the satisfied
 //! demand after each stage.
 //!
-//! The gain of a candidate component is evaluated exactly with the
-//! maximum-satisfied-demand LP, so the schedule is a greedy
+//! The gain of a candidate component is evaluated with the
+//! maximum-satisfied-demand question of the pluggable
+//! [evaluation oracle](crate::oracle), so the schedule is a greedy
 //! marginal-gain ordering (optimal staging is NP-hard — it embeds the
 //! budgeted maximum-coverage problem). Early in a schedule every single
 //! repair has zero marginal gain (a demand only flows once a whole path
 //! is up), so ties are broken by demand-based centrality: the crew works
 //! along the most demand-critical path first, completing one corridor at
 //! a time instead of scattering effort.
+//!
+//! Candidate evaluation mutates a single pair of working masks in place
+//! (apply → query → undo) instead of cloning both masks per candidate,
+//! and with a [`Cached`](crate::oracle::Cached) oracle repeated network
+//! states (e.g. the stage-end evaluation, or re-running a schedule) are
+//! answered from memory instead of fresh LP solves.
 
 use crate::centrality::demand_centrality;
+use crate::oracle::{Cached, EvalOracle, ExactLp};
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_graph::{EdgeId, NodeId};
-use netrec_lp::mcf;
 use serde::{Deserialize, Serialize};
 
 /// One repair stage (e.g. a work day).
@@ -118,6 +125,29 @@ pub fn schedule_recovery(
     plan: &RecoveryPlan,
     budget_per_stage: f64,
 ) -> Result<RecoverySchedule, RecoveryError> {
+    // Memoized exact oracle: identical results to a bare exact LP, but
+    // the stage-end evaluation and any repeated network state are free.
+    let oracle = Cached::new(ExactLp::new());
+    schedule_recovery_with_oracle(problem, plan, budget_per_stage, &oracle)
+}
+
+/// [`schedule_recovery`] with an explicit evaluation oracle.
+///
+/// The oracle answers every satisfied-demand question of the greedy
+/// ordering; pass a [`Cached`] backend to reuse answers across candidate
+/// evaluations and repeated runs, or an approximate backend to schedule
+/// large instances without dense LPs (the greedy ordering then follows
+/// the oracle's conservative gain estimates).
+///
+/// # Errors
+///
+/// Propagates LP solver failures from the oracle.
+pub fn schedule_recovery_with_oracle(
+    problem: &RecoveryProblem,
+    plan: &RecoveryPlan,
+    budget_per_stage: f64,
+    oracle: &dyn EvalOracle,
+) -> Result<RecoverySchedule, RecoveryError> {
     let mut remaining: Vec<Item> = plan
         .repaired_nodes
         .iter()
@@ -130,6 +160,8 @@ pub fn schedule_recovery(
         .collect();
 
     // Current working masks: damage minus already-scheduled repairs.
+    // Candidates are evaluated by mutating these in place (apply → query
+    // → undo); no per-candidate clones.
     let (mut node_mask, mut edge_mask) = problem.working_masks();
     let demands = problem.demands();
     let total_demand = problem.total_demand();
@@ -139,13 +171,12 @@ pub fn schedule_recovery(
             return Ok(1.0);
         }
         let view = problem.full_view().with_node_mask(nm).with_edge_mask(em);
-        let (sat, _) = mcf::max_satisfied(&view, &demands)?;
+        let sat = oracle.satisfied(&view, &demands)?;
         Ok(sat.iter().sum::<f64>() / total_demand)
     };
 
     // Tie-break priority: demand-based centrality on the full graph.
-    let demand_list = problem.demands();
-    let centrality = demand_centrality(&problem.full_view(), &demand_list, |_| 1.0);
+    let centrality = demand_centrality(&problem.full_view(), &demands, |_| 1.0);
     let priority = |item: &Item| -> f64 {
         match item {
             Item::Node(n, _) => centrality.scores[n.index()],
@@ -180,9 +211,10 @@ pub fn schedule_recovery(
             // Greedy marginal gain; ties broken by centrality then cost.
             let mut best: Option<(usize, f64, f64, f64)> = None; // (idx, gain, prio, cost)
             for &i in &candidates {
-                let (mut nm, mut em) = (node_mask.clone(), edge_mask.clone());
-                apply(&remaining[i], &mut nm, &mut em);
-                let gain = satisfied(&nm, &em)?;
+                let undo = apply(&remaining[i], &mut node_mask, &mut edge_mask);
+                let gain = satisfied(&node_mask, &edge_mask);
+                undo.revert(&mut node_mask, &mut edge_mask);
+                let gain = gain?;
                 let prio = priority(&remaining[i]);
                 let cost = remaining[i].cost();
                 let better = match best {
@@ -209,17 +241,37 @@ pub fn schedule_recovery(
                 break;
             }
         }
+        // With a cached oracle this repeats the winning candidate's query
+        // and is served from memory.
         stage.satisfied_fraction = satisfied(&node_mask, &edge_mask)?;
         stages.push(stage);
     }
     Ok(RecoverySchedule { stages })
 }
 
-fn apply(item: &Item, node_mask: &mut [bool], edge_mask: &mut [bool]) {
-    match item {
-        Item::Node(n, _) => node_mask[n.index()] = true,
-        Item::Edge(e, _) => edge_mask[e.index()] = true,
+/// Reverts one [`apply`] (plans are normalized, so an item is never
+/// applied twice — but keeping the prior value makes the pair robust
+/// regardless).
+struct Undo {
+    prior: bool,
+    item: Item,
+}
+
+impl Undo {
+    fn revert(self, node_mask: &mut [bool], edge_mask: &mut [bool]) {
+        match self.item {
+            Item::Node(n, _) => node_mask[n.index()] = self.prior,
+            Item::Edge(e, _) => edge_mask[e.index()] = self.prior,
+        }
     }
+}
+
+fn apply(item: &Item, node_mask: &mut [bool], edge_mask: &mut [bool]) -> Undo {
+    let prior = match item {
+        Item::Node(n, _) => std::mem::replace(&mut node_mask[n.index()], true),
+        Item::Edge(e, _) => std::mem::replace(&mut edge_mask[e.index()], true),
+    };
+    Undo { prior, item: *item }
 }
 
 #[cfg(test)]
@@ -238,8 +290,10 @@ mod tests {
             g.add_edge(g.node(4), g.node(5), 10.0).unwrap(),
         ];
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 6.0).unwrap();
-        p.add_demand(p.graph().node(3), p.graph().node(5), 2.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 6.0)
+            .unwrap();
+        p.add_demand(p.graph().node(3), p.graph().node(5), 2.0)
+            .unwrap();
         for edge in e {
             p.break_edge(edge, 1.0).unwrap();
         }
@@ -290,7 +344,8 @@ mod tests {
         let mut g = Graph::with_nodes(2);
         let e = g.add_edge(g.node(0), g.node(1), 5.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(1), 3.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(1), 3.0)
+            .unwrap();
         p.break_edge(e, 10.0).unwrap(); // costs more than any budget
         let plan = solve_isp(&p, &IspConfig::default()).unwrap();
         let schedule = schedule_recovery(&p, &plan, 1.0).unwrap();
@@ -305,5 +360,83 @@ mod tests {
         let plan = crate::RecoveryPlan::new("noop");
         let schedule = schedule_recovery(&p, &plan, 5.0).unwrap();
         assert!(schedule.is_empty());
+    }
+
+    /// Acceptance criterion of the oracle layer: with the `Cached`
+    /// backend the scheduler performs strictly fewer LP solves than
+    /// stages × candidates on the `two_lines` fixture.
+    #[test]
+    fn cached_oracle_cuts_lp_solves_below_stages_times_candidates() {
+        let p = two_lines();
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        let oracle = Cached::new(ExactLp::new());
+        let schedule = schedule_recovery_with_oracle(&p, &plan, 1.0, &oracle).unwrap();
+        assert_eq!(schedule.len(), 4);
+
+        let stats = oracle.stats();
+        let naive_solves = schedule.len() * plan.total_repairs(); // 4 × 4
+        assert!(
+            stats.lp_solves < naive_solves,
+            "cached scheduler solved {} LPs, naive bound is {naive_solves}",
+            stats.lp_solves
+        );
+        // Every stage-end evaluation repeats the winning candidate's
+        // query and must be served from the cache.
+        assert!(
+            stats.cache_hits >= schedule.len(),
+            "expected ≥ {} hits, got {:?}",
+            schedule.len(),
+            stats
+        );
+        assert_eq!(stats.cache_hits + stats.cache_misses, stats.queries());
+    }
+
+    /// Satellite: `Cached` returns results identical to its inner oracle
+    /// across repeated schedule stages (second run is served from cache
+    /// and must reproduce the exact-oracle schedule bit for bit).
+    #[test]
+    fn cached_schedule_matches_exact_schedule_across_repeats() {
+        let p = two_lines();
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        let exact = ExactLp::new();
+        let reference = schedule_recovery_with_oracle(&p, &plan, 2.0, &exact).unwrap();
+
+        let cached = Cached::new(ExactLp::new());
+        let first = schedule_recovery_with_oracle(&p, &plan, 2.0, &cached).unwrap();
+        let solves_after_first = cached.stats().lp_solves;
+        let second = schedule_recovery_with_oracle(&p, &plan, 2.0, &cached).unwrap();
+        assert_eq!(
+            cached.stats().lp_solves,
+            solves_after_first,
+            "the repeated run must be answered entirely from cache"
+        );
+
+        for (a, b) in [(&reference, &first), (&first, &second)] {
+            assert_eq!(a.len(), b.len());
+            for (sa, sb) in a.stages.iter().zip(&b.stages) {
+                assert_eq!(sa.nodes, sb.nodes);
+                assert_eq!(sa.edges, sb.edges);
+                assert_eq!(sa.cost, sb.cost);
+                assert_eq!(sa.satisfied_fraction, sb.satisfied_fraction);
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_oracle_keeps_curve_monotone_and_complete() {
+        let p = two_lines();
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        let oracle = crate::oracle::ConcurrentFlowApprox::new(0.05);
+        let schedule = schedule_recovery_with_oracle(&p, &plan, 2.0, &oracle).unwrap();
+        let repaired: usize = schedule
+            .stages
+            .iter()
+            .map(|s| s.nodes.len() + s.edges.len())
+            .sum();
+        assert_eq!(repaired, plan.total_repairs());
+        for w in schedule.satisfaction_curve().windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+        assert!((schedule.satisfaction_curve().last().unwrap() - 1.0).abs() < 1e-6);
     }
 }

@@ -309,7 +309,6 @@ impl<'p> IspState<'p> {
         self.demands[h].amount -= k - remaining;
         Some(k - remaining)
     }
-
 }
 
 fn bubble_and(a: &[bool], b: &[bool]) -> Vec<bool> {
@@ -327,7 +326,8 @@ mod tests {
         g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)
+            .unwrap();
         p
     }
 
@@ -350,7 +350,8 @@ mod tests {
         let e0 = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)
+            .unwrap();
         p.break_edge(e0, 1.0).unwrap();
         let mut st = IspState::new(&p);
         assert!(st.prune_once().is_none());
@@ -367,8 +368,10 @@ mod tests {
         g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0).unwrap();
-        p.add_demand(p.graph().node(1), p.graph().node(2), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)
+            .unwrap();
+        p.add_demand(p.graph().node(1), p.graph().node(2), 5.0)
+            .unwrap();
         let mut st = IspState::new(&p);
         // Demand 0 (0→2) has no bubble: its route's inner node is demand
         // 1's endpoint. Demand 1 (1→2) has the direct edge.
@@ -398,7 +401,8 @@ mod tests {
         let mut g = Graph::with_nodes(2);
         let e = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         let mut p = RecoveryProblem::new(g);
-        p.add_demand(p.graph().node(0), p.graph().node(1), 5.0).unwrap();
+        p.add_demand(p.graph().node(0), p.graph().node(1), 5.0)
+            .unwrap();
         p.break_edge(e, 1.0).unwrap();
         p.break_node(p.graph().node(0), 1.0).unwrap();
         let mut st = IspState::new(&p);

@@ -1,7 +1,14 @@
-use netrec_core::heuristics::{all::solve_all, opt::{solve_opt, OptConfig}, srt::solve_srt};
+use netrec_core::heuristics::{
+    all::solve_all,
+    opt::{solve_opt, OptConfig},
+    srt::solve_srt,
+};
 use netrec_core::{solve_isp_with_stats, IspConfig, RecoveryProblem};
 use netrec_disrupt::DisruptionModel;
-use netrec_topology::{bell::bell_canada, demand::{generate_demands, DemandSpec}};
+use netrec_topology::{
+    bell::bell_canada,
+    demand::{generate_demands, DemandSpec},
+};
 use std::time::Instant;
 
 #[test]
@@ -14,30 +21,60 @@ fn bell_canada_full_destruction_smoke() {
         p.add_demand(*s, *t, *d).unwrap();
     }
     for (i, &b) in disruption.broken_nodes.iter().enumerate() {
-        if b { p.break_node(p.graph().node(i), 1.0).unwrap(); }
+        if b {
+            p.break_node(p.graph().node(i), 1.0).unwrap();
+        }
     }
     for (i, &b) in disruption.broken_edges.iter().enumerate() {
-        if b { p.break_edge(netrec_graph::EdgeId::new(i), 1.0).unwrap(); }
+        if b {
+            p.break_edge(netrec_graph::EdgeId::new(i), 1.0).unwrap();
+        }
     }
 
     let t0 = Instant::now();
     let (isp, stats) = solve_isp_with_stats(&p, &IspConfig::default()).unwrap();
     let isp_time = t0.elapsed();
-    eprintln!("ISP: {} repairs in {:?} ({} iters, {} splits, {} prunes, fallback={})",
-        isp.total_repairs(), isp_time, stats.iterations, stats.splits, stats.prunes, stats.used_fallback);
-    assert!(isp.verify_routable(&p).unwrap(), "ISP plan must be feasible");
+    eprintln!(
+        "ISP: {} repairs in {:?} ({} iters, {} splits, {} prunes, fallback={})",
+        isp.total_repairs(),
+        isp_time,
+        stats.iterations,
+        stats.splits,
+        stats.prunes,
+        stats.used_fallback
+    );
+    assert!(
+        isp.verify_routable(&p).unwrap(),
+        "ISP plan must be feasible"
+    );
 
     let t0 = Instant::now();
     let srt = solve_srt(&p);
-    eprintln!("SRT: {} repairs in {:?}, satisfied {:.2}", srt.total_repairs(), t0.elapsed(),
-        srt.satisfied_fraction(&p).unwrap());
+    eprintln!(
+        "SRT: {} repairs in {:?}, satisfied {:.2}",
+        srt.total_repairs(),
+        t0.elapsed(),
+        srt.satisfied_fraction(&p).unwrap()
+    );
 
     let all = solve_all(&p);
     eprintln!("ALL: {} repairs", all.total_repairs());
 
     let t0 = Instant::now();
-    let opt = solve_opt(&p, &OptConfig { node_budget: Some(50), warm_start: true }).unwrap();
-    eprintln!("OPT: {} repairs in {:?} (fallback={})", opt.total_repairs(), t0.elapsed(), opt.used_fallback);
+    let opt = solve_opt(
+        &p,
+        &OptConfig {
+            node_budget: Some(50),
+            warm_start: true,
+        },
+    )
+    .unwrap();
+    eprintln!(
+        "OPT: {} repairs in {:?} (fallback={})",
+        opt.total_repairs(),
+        t0.elapsed(),
+        opt.used_fallback
+    );
 
     assert!(opt.total_repairs() <= isp.total_repairs());
     assert!(isp.total_repairs() < all.total_repairs());

@@ -1,0 +1,132 @@
+//! Property tests of the evaluation-oracle layer: the approximate
+//! backend is conservative w.r.t. the exact one, and the cache decorator
+//! is observationally identical to its inner backend.
+
+use netrec_core::oracle::{Cached, ConcurrentFlowApprox, ExactLp};
+use netrec_core::{RoutabilityOracle, SatisfactionOracle};
+use netrec_graph::Graph;
+use netrec_lp::mcf::Demand;
+use proptest::prelude::*;
+
+/// Random connected graph: a random tree over `n` nodes plus extra
+/// edges, capacities in [0.5, 16].
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..10)
+        .prop_flat_map(|n| {
+            let anchors: Vec<_> = (1..n).map(|v| 0..v).collect();
+            let extra = proptest::collection::vec((0..n, 0..n, 0.5f64..16.0), 0..n);
+            let caps = proptest::collection::vec(0.5f64..16.0, n - 1);
+            (Just(n), anchors, caps, extra)
+        })
+        .prop_map(|(n, anchors, caps, extra)| {
+            let mut g = Graph::with_nodes(n);
+            for (v, (a, c)) in anchors.into_iter().zip(caps).enumerate() {
+                g.add_edge(g.node(v + 1), g.node(a), c).unwrap();
+            }
+            for (a, b, c) in extra {
+                if a != b {
+                    g.add_edge(g.node(a), g.node(b), c).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness (satellite requirement): `ConcurrentFlowApprox` never
+    /// reports routable when `ExactLp` reports unroutable — with or
+    /// without the boundary-band fallback.
+    #[test]
+    fn approx_never_routable_when_exact_unroutable(
+        g in arb_graph(),
+        s1 in 0usize..10,
+        t1 in 0usize..10,
+        s2 in 0usize..10,
+        t2 in 0usize..10,
+        d1 in 0.2f64..20.0,
+        d2 in 0.2f64..20.0,
+    ) {
+        let n = g.node_count();
+        let demands = [
+            Demand::new(g.node(s1 % n), g.node(t1 % n), d1),
+            Demand::new(g.node(s2 % n), g.node(t2 % n), d2),
+        ];
+        let exact = ExactLp::new();
+        let exact_answer = exact.is_routable(&g.view(), &demands).unwrap();
+        for approx in [
+            ConcurrentFlowApprox::new(0.05),
+            ConcurrentFlowApprox::new(0.2),
+            ConcurrentFlowApprox::new(0.05).with_fallback_limit(0),
+        ] {
+            let approx_answer = approx.is_routable(&g.view(), &demands).unwrap();
+            prop_assert!(
+                exact_answer || !approx_answer,
+                "approx(ε={}) certified an unroutable instance",
+                approx.epsilon()
+            );
+        }
+    }
+
+    /// The approximate satisfaction answer is a valid lower bound on the
+    /// exact optimum for the total served demand.
+    #[test]
+    fn approx_satisfaction_never_exceeds_exact(
+        g in arb_graph(),
+        s in 0usize..10,
+        t in 0usize..10,
+        d in 0.2f64..40.0,
+    ) {
+        let n = g.node_count();
+        prop_assume!(s % n != t % n);
+        let demands = [Demand::new(g.node(s % n), g.node(t % n), d)];
+        let exact = ExactLp::new().satisfied(&g.view(), &demands).unwrap();
+        let approx = ConcurrentFlowApprox::new(0.05)
+            .satisfied(&g.view(), &demands)
+            .unwrap();
+        prop_assert!(
+            approx[0] <= exact[0] + 1e-6,
+            "approx bound {} exceeds exact {}",
+            approx[0],
+            exact[0]
+        );
+    }
+
+    /// The cache decorator is observationally identical to its inner
+    /// backend, on cold and warm queries alike.
+    #[test]
+    fn cached_matches_inner_on_masked_views(
+        g in arb_graph(),
+        s in 0usize..10,
+        t in 0usize..10,
+        d in 0.2f64..20.0,
+        mask_bits in proptest::collection::vec(any::<bool>(), 10),
+    ) {
+        let n = g.node_count();
+        prop_assume!(s % n != t % n);
+        let demands = [Demand::new(g.node(s % n), g.node(t % n), d)];
+        let mut mask: Vec<bool> = (0..n).map(|i| mask_bits[i % mask_bits.len()]).collect();
+        mask[s % n] = true;
+        mask[t % n] = true;
+
+        let plain = ExactLp::new();
+        let cached = Cached::new(ExactLp::new());
+        for view in [g.view(), g.view().with_node_mask(&mask)] {
+            for _ in 0..2 {
+                prop_assert_eq!(
+                    cached.is_routable(&view, &demands).unwrap(),
+                    plain.is_routable(&view, &demands).unwrap()
+                );
+                prop_assert_eq!(
+                    cached.satisfied(&view, &demands).unwrap(),
+                    plain.satisfied(&view, &demands).unwrap()
+                );
+            }
+        }
+        // Each view's second round (2 query kinds × 2 views) must hit; an
+        // all-true mask legitimately collides with the full view and adds
+        // more hits on top.
+        prop_assert!(cached.hits() >= 4, "second round must be all hits: {}", cached.hits());
+    }
+}

@@ -93,7 +93,11 @@ impl PartialOrd for HeapEntry {
 /// assert_eq!(tree.dist[2], 2.0);
 /// # Ok::<(), netrec_graph::GraphError>(())
 /// ```
-pub fn dijkstra<F: Fn(EdgeId) -> f64>(view: &View<'_>, root: NodeId, metric: F) -> ShortestPathTree {
+pub fn dijkstra<F: Fn(EdgeId) -> f64>(
+    view: &View<'_>,
+    root: NodeId,
+    metric: F,
+) -> ShortestPathTree {
     let n = view.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut pred: Vec<Option<EdgeId>> = vec![None; n];

@@ -186,11 +186,9 @@ mod tests {
     fn weighted_metric_reorders() {
         let g = diamond();
         // Make the top route (e0, e1) very long.
-        let paths = k_shortest_paths(&g.view(), g.node(0), g.node(3), 4, |e| {
-            match e.index() {
-                0 | 1 => 10.0,
-                _ => 1.0,
-            }
+        let paths = k_shortest_paths(&g.view(), g.node(0), g.node(3), 4, |e| match e.index() {
+            0 | 1 => 10.0,
+            _ => 1.0,
         });
         // Best: 0-2-3 (length 2).
         assert_eq!(paths[0].nodes(&g)[1], g.node(2));

@@ -105,7 +105,7 @@ impl<'a> View<'a> {
     /// Whether node `n` is visible in this view.
     #[inline]
     pub fn node_enabled(&self, n: NodeId) -> bool {
-        self.node_mask.map_or(true, |m| m[n.index()])
+        self.node_mask.is_none_or(|m| m[n.index()])
     }
 
     /// Whether edge `e` is visible: the edge itself and both endpoints must

@@ -223,7 +223,10 @@ mod tests {
         let r = max_concurrent_flow(&g.view(), &demands, &ConcurrentFlowConfig::default());
         assert!(r.lambda_lower <= 2.0 + 1e-9, "lower bound must be valid");
         assert!(r.lambda_upper >= 1.6, "upper bound should be near 2");
-        assert!(r.lambda_lower >= 1.5, "lower bound should be reasonably tight");
+        assert!(
+            r.lambda_lower >= 1.5,
+            "lower bound should be reasonably tight"
+        );
     }
 
     #[test]

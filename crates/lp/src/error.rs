@@ -34,7 +34,10 @@ impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::VarOutOfRange { var, vars } => {
-                write!(f, "variable {var} out of range for model with {vars} variables")
+                write!(
+                    f,
+                    "variable {var} out of range for model with {vars} variables"
+                )
             }
             LpError::NonFiniteNumber => write!(f, "non-finite coefficient, bound, or rhs"),
             LpError::EmptyDomain { lb, ub } => {
@@ -42,7 +45,10 @@ impl fmt::Display for LpError {
             }
             LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
             LpError::NoIncumbent => {
-                write!(f, "branch & bound budget exhausted without a feasible incumbent")
+                write!(
+                    f,
+                    "branch & bound budget exhausted without a feasible incumbent"
+                )
             }
         }
     }

@@ -206,17 +206,12 @@ fn add_conservation<F>(
     }
 }
 
-fn decode_flows(
-    view: &View<'_>,
-    vars: &McfVars,
-    values: &[f64],
-    h_count: usize,
-) -> FlowAssignment {
+fn decode_flows(view: &View<'_>, vars: &McfVars, values: &[f64], h_count: usize) -> FlowAssignment {
     let mut flow = vec![vec![0.0; view.edge_count()]; h_count];
-    for h in 0..h_count {
-        for e in 0..view.edge_count() {
+    for (h, row) in flow.iter_mut().enumerate().take(h_count) {
+        for (e, slot) in row.iter_mut().enumerate() {
             if let Some((f_uv, f_vu)) = vars.pair[h][e] {
-                flow[h][e] = values[f_uv.index()] - values[f_vu.index()];
+                *slot = values[f_uv.index()] - values[f_vu.index()];
             }
         }
     }
@@ -259,19 +254,14 @@ pub fn quick_unroutable(view: &View<'_>, demands: &[Demand]) -> bool {
 /// assert!(too_much.is_none());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn routability(
-    view: &View<'_>,
-    demands: &[Demand],
-) -> Result<Option<FlowAssignment>, LpError> {
+pub fn routability(view: &View<'_>, demands: &[Demand]) -> Result<Option<FlowAssignment>, LpError> {
     let active: Vec<Demand> = demands
         .iter()
         .copied()
         .filter(|d| d.amount > 0.0 && d.source != d.target)
         .collect();
     if active.is_empty() {
-        return Ok(Some(FlowAssignment {
-            flow: vec![vec![0.0; view.edge_count()]; 0],
-        }));
+        return Ok(Some(FlowAssignment { flow: Vec::new() }));
     }
     if quick_unroutable(view, &active) {
         return Ok(None);
@@ -412,12 +402,7 @@ pub fn min_broken_flow(
         .filter(|d| d.amount > 0.0 && d.source != d.target)
         .collect();
     if active.is_empty() {
-        return Ok(Some((
-            0.0,
-            FlowAssignment {
-                flow: vec![vec![0.0; view.edge_count()]; 0],
-            },
-        )));
+        return Ok(Some((0.0, FlowAssignment { flow: Vec::new() })));
     }
     if quick_unroutable(view, &active) {
         return Ok(None);
@@ -492,9 +477,7 @@ pub fn broken_flow_extreme(
         .filter(|d| d.amount > 0.0 && d.source != d.target)
         .collect();
     if active.is_empty() {
-        return Ok(Some(FlowAssignment {
-            flow: vec![vec![0.0; view.edge_count()]; 0],
-        }));
+        return Ok(Some(FlowAssignment { flow: Vec::new() }));
     }
     if quick_unroutable(view, &active) {
         return Ok(None);
@@ -871,7 +854,10 @@ mod tests {
             Demand::new(g.node(1), g.node(2), 10.0),
         ];
         let (sat, _) = max_weighted_satisfied(&g.view(), &demands, &[1.0, 5.0]).unwrap();
-        assert!((sat[1] - 10.0).abs() < 1e-6, "priority demand loses: {sat:?}");
+        assert!(
+            (sat[1] - 10.0).abs() < 1e-6,
+            "priority demand loses: {sat:?}"
+        );
         assert!(sat[0] < 1e-6);
         let (sat_flip, _) = max_weighted_satisfied(&g.view(), &demands, &[5.0, 1.0]).unwrap();
         assert!((sat_flip[0] - 10.0).abs() < 1e-6);

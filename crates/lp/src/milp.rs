@@ -285,7 +285,9 @@ mod tests {
     fn budget_returns_incumbent() {
         // Bigger knapsack where budget 3 still finds something.
         let mut lp = LpProblem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| lp.add_binary_var(1.0 + (i as f64) * 0.3)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| lp.add_binary_var(1.0 + (i as f64) * 0.3))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         lp.add_constraint(terms, Relation::Le, 3.0);
         // Fractional relaxation is integral here; force branching with a

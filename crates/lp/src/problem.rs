@@ -107,7 +107,10 @@ impl LpProblem {
     /// not runtime conditions.)
     pub fn add_var(&mut self, lb: f64, ub: Option<f64>, objective: f64) -> VarId {
         assert!(lb.is_finite(), "lower bound must be finite");
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         if let Some(u) = ub {
             assert!(!u.is_nan(), "upper bound must not be NaN");
             assert!(lb <= u, "variable domain empty: lb {lb} > ub {u}");
@@ -127,7 +130,10 @@ impl LpProblem {
     ///
     /// Panics if `objective` is not finite.
     pub fn add_binary_var(&mut self, objective: f64) -> VarId {
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         self.vars.push(VarDef {
             lb: 0.0,
             ub: Some(1.0),
@@ -163,7 +169,10 @@ impl LpProblem {
 
     /// Overwrites the objective coefficient of `v`.
     pub fn set_objective(&mut self, v: VarId, objective: f64) {
-        assert!(objective.is_finite(), "objective coefficient must be finite");
+        assert!(
+            objective.is_finite(),
+            "objective coefficient must be finite"
+        );
         self.vars[v.index()].objective = objective;
     }
 

@@ -125,7 +125,8 @@ impl StandardForm {
         }
 
         // Collect rows: user constraints plus upper-bound rows.
-        let mut rows: Vec<(Vec<(usize, f64)>, Relation, f64)> = Vec::new();
+        type ShiftedRow = (Vec<(usize, f64)>, Relation, f64);
+        let mut rows: Vec<ShiftedRow> = Vec::new();
         for c in &lp.constraints {
             rows.push(shift_row(c, &shift));
         }
@@ -227,15 +228,15 @@ impl StandardForm {
                 x[col] = tab.b[i];
             }
         }
-        for i in 0..self.n_struct {
-            x[i] += self.shift[i];
+        for (i, xi) in x.iter_mut().enumerate().take(self.n_struct) {
+            *xi += self.shift[i];
             // Clamp tiny numerical noise into the declared bounds.
-            if x[i] < lp.vars[i].lb {
-                x[i] = lp.vars[i].lb;
+            if *xi < lp.vars[i].lb {
+                *xi = lp.vars[i].lb;
             }
             if let Some(ub) = lp.vars[i].ub {
-                if x[i] > ub {
-                    x[i] = ub;
+                if *xi > ub {
+                    *xi = ub;
                 }
             }
         }
@@ -352,7 +353,11 @@ impl Tableau {
     /// Selects the entering column, or `None` at optimality.
     fn entering(&self, phase1: bool, bland: bool) -> Option<usize> {
         // In phase 2 artificial columns are ineligible.
-        let end = if phase1 { self.n } else { self.artificial_start };
+        let end = if phase1 {
+            self.n
+        } else {
+            self.artificial_start
+        };
         if bland {
             (0..end).find(|&j| self.reduced[j] < -TOL)
         } else {
@@ -650,7 +655,9 @@ mod tests {
     fn solution_is_always_feasible_when_optimal() {
         // Cross-check on a slightly larger random-ish instance.
         let mut lp = LpProblem::new(Sense::Maximize);
-        let vars: Vec<_> = (0..6).map(|i| lp.add_var(0.0, Some(10.0), (i % 3) as f64 + 0.5)).collect();
+        let vars: Vec<_> = (0..6)
+            .map(|i| lp.add_var(0.0, Some(10.0), (i % 3) as f64 + 0.5))
+            .collect();
         for k in 0..4 {
             let terms: Vec<_> = vars
                 .iter()

@@ -41,7 +41,9 @@ fn main() {
                 out_dir = args.get(i).map(PathBuf::from);
             }
             "--help" | "-h" => {
-                println!("usage: repro [--figure figN] [--scale smoke|default|paper] [--out-dir DIR]");
+                println!(
+                    "usage: repro [--figure figN] [--scale smoke|default|paper] [--out-dir DIR]"
+                );
                 println!("figures: fig3 fig4 fig5 fig6 fig7 fig9");
                 println!("--out-dir also writes per-metric CSVs and gnuplot scripts");
                 return;
@@ -71,7 +73,11 @@ fn main() {
         println!("{}", render_table(&table));
         if let Some(dir) = &out_dir {
             match export::write_figure(&table, dir) {
-                Ok(files) => eprintln!("wrote {} CSV/gnuplot pairs to {}", files.len(), dir.display()),
+                Ok(files) => eprintln!(
+                    "wrote {} CSV/gnuplot pairs to {}",
+                    files.len(),
+                    dir.display()
+                ),
                 Err(e) => eprintln!("failed to write {}: {e}", dir.display()),
             }
         }

@@ -11,9 +11,9 @@
 
 use crate::scenario::Algorithm;
 use netrec_core::heuristics::{all, greedy, mcf_relax, opt, srt};
-use netrec_core::schedule::schedule_recovery;
+use netrec_core::schedule::{schedule_recovery, schedule_recovery_with_oracle};
 use netrec_core::vulnerability::robustness_report;
-use netrec_core::{solve_isp, IspConfig, RecoveryPlan, RecoveryProblem};
+use netrec_core::{solve_isp, IspConfig, OracleSpec, RecoveryPlan, RecoveryProblem};
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::{generate_demands, DemandSpec};
 use netrec_topology::Topology;
@@ -34,6 +34,9 @@ pub struct CliOptions {
     pub disrupt: DisruptionModel,
     /// Algorithm to run.
     pub algorithm: Algorithm,
+    /// Evaluation-oracle backend for oracle-aware algorithms and the
+    /// schedule (`None` = per-algorithm defaults).
+    pub oracle: Option<OracleSpec>,
     /// RNG seed.
     pub seed: u64,
     /// Optional per-stage budget for a repair schedule.
@@ -80,6 +83,8 @@ usage: netrec-cli [options]
                                                          (default complete)
   --algorithm isp | opt | srt | grd-com | grd-nc | mcb | mcw | all
                                                          (default isp)
+  --oracle exact | approx[:eps] | auto[:threshold] | cached | cached-approx[:eps]
+                       routability/satisfaction backend  (default per-algorithm)
   --seed N             RNG seed                          (default 42)
   --schedule BUDGET    also print a staged repair schedule
   --report             also print the single-failure robustness report
@@ -99,6 +104,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
         demands: Vec::new(),
         disrupt: DisruptionModel::Complete,
         algorithm: Algorithm::Isp,
+        oracle: None,
         seed: 42,
         schedule_budget: None,
         report: false,
@@ -142,6 +148,15 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
                 i += 1;
                 let v = need(i, "--algorithm", args)?;
                 opts.algorithm = parse_algorithm(&v)?;
+            }
+            "--oracle" => {
+                i += 1;
+                let v = need(i, "--oracle", args)?;
+                opts.oracle = Some(OracleSpec::parse(&v).ok_or_else(|| {
+                    UsageError(format!(
+                        "unknown oracle {v}; use exact|approx[:eps]|auto[:threshold]|cached|cached-approx[:eps]"
+                    ))
+                })?);
             }
             "--seed" => {
                 i += 1;
@@ -275,10 +290,14 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
 
     let mut problem = RecoveryProblem::new(topology.graph().clone());
     let demand_list: Vec<(usize, usize, f64)> = if opts.demands.is_empty() {
-        generate_demands(&topology, &DemandSpec::new(opts.pairs, opts.flow), opts.seed)
-            .into_iter()
-            .map(|(s, t, d)| (s.index(), t.index(), d))
-            .collect()
+        generate_demands(
+            &topology,
+            &DemandSpec::new(opts.pairs, opts.flow),
+            opts.seed,
+        )
+        .into_iter()
+        .map(|(s, t, d)| (s.index(), t.index(), d))
+        .collect()
     } else {
         opts.demands.clone()
     };
@@ -325,7 +344,7 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
         out.push_str(&format!("demand: {s} <-> {t}  ({d} units)\n"));
     }
 
-    let plan = match run_algorithm(opts.algorithm, &problem) {
+    let plan = match run_algorithm(opts.algorithm, &problem, opts.oracle) {
         Ok(plan) => plan,
         Err(e) => {
             out.push_str(&format!("\nno recovery plan: {e}\n"));
@@ -334,6 +353,16 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     };
 
     out.push_str(&format!("\nplan ({}):\n", plan.algorithm));
+    if let Some(spec) = opts.oracle {
+        if oracle_aware(opts.algorithm) {
+            out.push_str(&format!("  oracle: {spec}\n"));
+        } else {
+            out.push_str(&format!(
+                "  oracle: {spec} (ignored: {} does not use the oracle layer)\n",
+                plan.algorithm
+            ));
+        }
+    }
     out.push_str(&format!(
         "  repair {} nodes: {:?}\n",
         plan.repaired_nodes.len(),
@@ -351,8 +380,17 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     }
 
     if let Some(budget) = opts.schedule_budget {
-        match schedule_recovery(&problem, &plan, budget) {
-            Ok(schedule) => {
+        let scheduled = match opts.oracle {
+            Some(spec) => {
+                let oracle = spec.build();
+                let schedule =
+                    schedule_recovery_with_oracle(&problem, &plan, budget, oracle.as_ref());
+                schedule.map(|s| (s, Some(oracle.stats())))
+            }
+            None => schedule_recovery(&problem, &plan, budget).map(|s| (s, None)),
+        };
+        match scheduled {
+            Ok((schedule, oracle_stats)) => {
                 out.push_str(&format!("\nschedule (budget {budget}/stage):\n"));
                 for (day, stage) in schedule.stages.iter().enumerate() {
                     out.push_str(&format!(
@@ -362,6 +400,14 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
                         stage.edges.len(),
                         stage.cost,
                         stage.satisfied_fraction * 100.0
+                    ));
+                }
+                if let Some(stats) = oracle_stats {
+                    out.push_str(&format!(
+                        "  oracle stats: {} queries, {} LP solves, {} cache hits\n",
+                        stats.queries(),
+                        stats.lp_solves,
+                        stats.cache_hits
                     ));
                 }
             }
@@ -394,21 +440,48 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     Ok(out)
 }
 
+/// Whether the algorithm routes any of its routability/satisfaction
+/// questions through the oracle layer (OPT, SRT, GRD-COM, ALL, and MCW —
+/// whose only LPs are LP (8) itself — do not).
+fn oracle_aware(alg: Algorithm) -> bool {
+    matches!(alg, Algorithm::Isp | Algorithm::GrdNc | Algorithm::Mcb)
+}
+
 fn run_algorithm(
     alg: Algorithm,
     problem: &RecoveryProblem,
+    oracle: Option<OracleSpec>,
 ) -> Result<RecoveryPlan, netrec_core::RecoveryError> {
     match alg {
-        Algorithm::Isp => solve_isp(problem, &IspConfig::default()),
+        Algorithm::Isp => solve_isp(
+            problem,
+            &IspConfig {
+                oracle,
+                ..Default::default()
+            },
+        ),
         Algorithm::Opt => opt::solve_opt(problem, &opt::OptConfig::default()),
         Algorithm::Srt => Ok(srt::solve_srt(problem)),
-        Algorithm::GrdCom => Ok(greedy::solve_grd_com(problem, &greedy::GreedyConfig::default())),
-        Algorithm::GrdNc => greedy::solve_grd_nc(problem, &greedy::GreedyConfig::default()),
+        Algorithm::GrdCom => Ok(greedy::solve_grd_com(
+            problem,
+            &greedy::GreedyConfig::default(),
+        )),
+        Algorithm::GrdNc => greedy::solve_grd_nc(
+            problem,
+            &greedy::GreedyConfig {
+                oracle,
+                ..Default::default()
+            },
+        ),
         Algorithm::Mcb => mcf_relax::solve_mcf_relax(
             problem,
             mcf_relax::McfExtreme::Best,
-            &mcf_relax::McfRelaxConfig::default(),
+            &mcf_relax::McfRelaxConfig {
+                oracle,
+                ..Default::default()
+            },
         ),
+        // MCW takes no oracle: its only LPs are LP (8) itself.
         Algorithm::Mcw => mcf_relax::solve_mcf_relax(
             problem,
             mcf_relax::McfExtreme::Worst,
@@ -438,13 +511,20 @@ mod tests {
     #[test]
     fn parses_everything() {
         let o = parse_args(&args(&[
-            "--topology", "er:20:0.3",
-            "--pairs", "2",
-            "--flow", "5.5",
-            "--disrupt", "gaussian:40",
-            "--algorithm", "grd-nc",
-            "--seed", "7",
-            "--schedule", "3",
+            "--topology",
+            "er:20:0.3",
+            "--pairs",
+            "2",
+            "--flow",
+            "5.5",
+            "--disrupt",
+            "gaussian:40",
+            "--algorithm",
+            "grd-nc",
+            "--seed",
+            "7",
+            "--schedule",
+            "3",
             "--report",
         ]))
         .unwrap();
@@ -472,17 +552,61 @@ mod tests {
         assert!(parse_args(&args(&["--topology", "er:20"])).is_err());
         assert!(parse_args(&args(&["--disrupt", "asteroid"])).is_err());
         assert!(parse_args(&args(&["--algorithm", "magic"])).is_err());
+        assert!(parse_args(&args(&["--oracle", "tea-leaves"])).is_err());
         assert!(parse_args(&args(&["--seed"])).is_err());
+    }
+
+    #[test]
+    fn parses_oracle_variants() {
+        assert_eq!(parse_args(&[]).unwrap().oracle, None);
+        let o = parse_args(&args(&["--oracle", "cached"])).unwrap();
+        assert_eq!(o.oracle, Some(OracleSpec::CachedExact));
+        let o = parse_args(&args(&["--oracle", "approx:0.1"])).unwrap();
+        assert_eq!(o.oracle, Some(OracleSpec::Approx { epsilon: 0.1 }));
+    }
+
+    #[test]
+    fn oracle_flag_runs_end_to_end() {
+        for oracle in ["exact", "approx", "cached", "cached-approx"] {
+            let o = parse_args(&args(&[
+                "--topology",
+                "er:12:0.5",
+                "--pairs",
+                "2",
+                "--flow",
+                "1",
+                "--algorithm",
+                "isp",
+                "--oracle",
+                oracle,
+                "--schedule",
+                "2",
+            ]))
+            .unwrap();
+            let out = run(&o).unwrap();
+            assert!(out.contains("plan (ISP)"), "{oracle}: {out}");
+            assert!(
+                out.contains(&format!("oracle: {}", o.oracle.unwrap())),
+                "{oracle}: {out}"
+            );
+            assert!(out.contains("satisfied demand: 100.0%"), "{oracle}: {out}");
+            assert!(out.contains("oracle stats:"), "{oracle}: {out}");
+        }
     }
 
     #[test]
     fn runs_end_to_end_on_tiny_er() {
         let o = parse_args(&args(&[
-            "--topology", "er:12:0.5",
-            "--pairs", "2",
-            "--flow", "1",
-            "--disrupt", "complete",
-            "--algorithm", "isp",
+            "--topology",
+            "er:12:0.5",
+            "--pairs",
+            "2",
+            "--flow",
+            "1",
+            "--disrupt",
+            "complete",
+            "--algorithm",
+            "isp",
         ]))
         .unwrap();
         let out = run(&o).unwrap();
@@ -492,11 +616,7 @@ mod tests {
 
     #[test]
     fn run_reports_infeasible_demand() {
-        let o = parse_args(&args(&[
-            "--topology", "er:8:0.9",
-            "--demand", "0,1,99999",
-        ]))
-        .unwrap();
+        let o = parse_args(&args(&["--topology", "er:8:0.9", "--demand", "0,1,99999"])).unwrap();
         let out = run(&o).unwrap();
         assert!(out.contains("no recovery plan"), "{out}");
     }
@@ -510,10 +630,14 @@ mod tests {
     #[test]
     fn schedule_and_report_sections_render() {
         let o = parse_args(&args(&[
-            "--topology", "er:10:0.6",
-            "--pairs", "1",
-            "--flow", "1",
-            "--schedule", "2",
+            "--topology",
+            "er:10:0.6",
+            "--pairs",
+            "1",
+            "--flow",
+            "1",
+            "--schedule",
+            "2",
             "--report",
         ]))
         .unwrap();

@@ -156,10 +156,7 @@ mod tests {
     fn csv_layout() {
         let csv = to_csv(&sample(), "total_repairs");
         let mut lines = csv.lines();
-        assert_eq!(
-            lines.next().unwrap(),
-            "x,ISP_mean,ISP_std,OPT_mean,OPT_std"
-        );
+        assert_eq!(lines.next().unwrap(), "x,ISP_mean,ISP_std,OPT_mean,OPT_std");
         let row1 = lines.next().unwrap();
         assert!(row1.starts_with("1,5.000000,"));
         let row2 = lines.next().unwrap();

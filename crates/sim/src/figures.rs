@@ -92,8 +92,9 @@ pub fn fig3(scale: Scale) -> Figure {
     };
     Figure {
         id: "fig3".into(),
-        title: "Multi-commodity relaxation solution spread (Bell-Canada, 4 pairs, full destruction)"
-            .into(),
+        title:
+            "Multi-commodity relaxation solution spread (Bell-Canada, 4 pairs, full destruction)"
+                .into(),
         x_label: "demand flow per pair".into(),
         scenarios: sweep
             .into_iter()
@@ -103,7 +104,12 @@ pub fn fig3(scale: Scale) -> Figure {
                     flow,
                     DemandSpec::new(4, flow),
                     DisruptionModel::Complete,
-                    vec![Algorithm::Opt, Algorithm::Mcb, Algorithm::Mcw, Algorithm::All],
+                    vec![
+                        Algorithm::Opt,
+                        Algorithm::Mcb,
+                        Algorithm::Mcw,
+                        Algorithm::All,
+                    ],
                     scale,
                 )
             })
@@ -316,7 +322,7 @@ pub fn fig9(scale: Scale) -> Figure {
                 }
                 if scale == Scale::Paper {
                     s.isp = IspConfig {
-                        routability: RoutabilityMode::Auto { threshold: 4_000 },
+                        routability: RoutabilityMode::default(),
                         exact_split_lp: false,
                         ..Default::default()
                     };

@@ -1,4 +1,14 @@
 //! Executes scenarios and aggregates results.
+//!
+//! Runs within a scenario are independent (each builds its own problem
+//! from `seed + run` and owns its oracle instance), so [`run_scenario`]
+//! fans them out across scoped worker threads and merges the
+//! measurements back in run order — results are bit-identical to a
+//! serial execution except for the `time_ms` wall-clock samples, which
+//! concurrent solves bias **upward** (core and memory-bandwidth
+//! contention). When reproducing the paper's timing figures, force the
+//! serial path with `Scenario::threads = Some(1)` so `time_ms` stays
+//! comparable to serially collected baselines.
 
 use crate::scenario::{mcf_extreme, Algorithm, Scenario};
 use crate::stats::{summarize, FigureTable, SeriesPoint};
@@ -6,6 +16,7 @@ use netrec_core::heuristics::{all, greedy, mcf_relax, opt, srt};
 use netrec_core::{solve_isp, RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_topology::demand::generate_demands;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Raw per-run measurements of one scenario.
@@ -64,48 +75,140 @@ fn run_algorithm(
     scenario: &Scenario,
 ) -> Result<RecoveryPlan, RecoveryError> {
     match alg {
-        Algorithm::Isp => solve_isp(problem, &scenario.isp),
+        Algorithm::Isp => {
+            let mut config = scenario.isp.clone();
+            if scenario.oracle.is_some() {
+                config.oracle = scenario.oracle;
+            }
+            solve_isp(problem, &config)
+        }
         Algorithm::Opt => opt::solve_opt(problem, &scenario.opt),
         Algorithm::Srt => Ok(srt::solve_srt(problem)),
         Algorithm::GrdCom => Ok(greedy::solve_grd_com(problem, &scenario.greedy)),
-        Algorithm::GrdNc => greedy::solve_grd_nc(problem, &scenario.greedy),
-        Algorithm::Mcb | Algorithm::Mcw => mcf_relax::solve_mcf_relax(
-            problem,
-            mcf_extreme(alg).expect("mcb/mcw"),
-            &scenario.mcf,
-        ),
+        Algorithm::GrdNc => {
+            let mut config = scenario.greedy.clone();
+            if scenario.oracle.is_some() {
+                config.oracle = scenario.oracle;
+            }
+            greedy::solve_grd_nc(problem, &config)
+        }
+        Algorithm::Mcb | Algorithm::Mcw => {
+            let mut config = scenario.mcf.clone();
+            if scenario.oracle.is_some() {
+                config.oracle = scenario.oracle;
+            }
+            mcf_relax::solve_mcf_relax(problem, mcf_extreme(alg).expect("mcb/mcw"), &config)
+        }
         Algorithm::All => Ok(all::solve_all(problem)),
     }
+}
+
+/// Everything one run contributes, merged into the scenario result in
+/// run order so parallel execution stays deterministic.
+struct RunOutput {
+    samples: Vec<(&'static str, &'static str, f64)>,
+    failures: Vec<&'static str>,
+}
+
+/// Executes every algorithm on one run's problem instance.
+fn execute_run(scenario: &Scenario, run: u64) -> RunOutput {
+    let problem = build_problem(scenario, run);
+    let mut out = RunOutput {
+        samples: Vec::new(),
+        failures: Vec::new(),
+    };
+    // The ALL value also serves as the destruction size reference.
+    for &alg in &scenario.algorithms {
+        let started = Instant::now();
+        match run_algorithm(alg, &problem, scenario) {
+            Ok(plan) => {
+                let elapsed = started.elapsed().as_secs_f64() * 1e3;
+                out.samples
+                    .push(("edge_repairs", alg.name(), plan.repaired_edges.len() as f64));
+                out.samples
+                    .push(("node_repairs", alg.name(), plan.repaired_nodes.len() as f64));
+                out.samples
+                    .push(("total_repairs", alg.name(), plan.total_repairs() as f64));
+                out.samples.push(("time_ms", alg.name(), elapsed));
+                // Measurement stays exact regardless of the algorithms'
+                // oracle, so ablations compare like with like.
+                match plan.satisfied_fraction(&problem) {
+                    Ok(frac) => out
+                        .samples
+                        .push(("satisfied_pct", alg.name(), frac * 100.0)),
+                    Err(_) => out.failures.push(alg.name()),
+                }
+            }
+            Err(_) => out.failures.push(alg.name()),
+        }
+    }
+    out
 }
 
 /// Runs every algorithm of `scenario` over its configured runs and
 /// collects the paper's metrics: `edge_repairs`, `node_repairs`,
 /// `total_repairs`, `satisfied_pct`, and `time_ms`.
 ///
+/// Independent runs execute concurrently on up to
+/// [`Scenario::threads`] workers (default: one per available core).
 /// Runs whose instance is infeasible even fully repaired (possible under
 /// aggressive disruptions) are counted in
 /// [`ScenarioResult::failures`] and skipped.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    let runs = scenario.runs;
+    let workers = scenario
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, runs.max(1));
+
+    let mut outputs: Vec<Option<RunOutput>> = Vec::with_capacity(runs);
+    outputs.resize_with(runs, || None);
+
+    if workers <= 1 {
+        for (run, slot) in outputs.iter_mut().enumerate() {
+            *slot = Some(execute_run(scenario, run as u64));
+        }
+    } else {
+        // Work-stealing over the run indices with scoped threads; each
+        // worker returns (run, output) pairs that are merged afterwards.
+        let next = AtomicUsize::new(0);
+        let collected = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let run = next.fetch_add(1, Ordering::Relaxed);
+                            if run >= runs {
+                                break;
+                            }
+                            local.push((run, execute_run(scenario, run as u64)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scenario worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (run, output) in collected {
+            outputs[run] = Some(output);
+        }
+    }
+
     let mut result = ScenarioResult::default();
-    for run in 0..scenario.runs {
-        let problem = build_problem(scenario, run as u64);
-        // The ALL value also serves as the destruction size reference.
-        for &alg in &scenario.algorithms {
-            let started = Instant::now();
-            match run_algorithm(alg, &problem, scenario) {
-                Ok(plan) => {
-                    let elapsed = started.elapsed().as_secs_f64() * 1e3;
-                    result.record("edge_repairs", alg.name(), plan.repaired_edges.len() as f64);
-                    result.record("node_repairs", alg.name(), plan.repaired_nodes.len() as f64);
-                    result.record("total_repairs", alg.name(), plan.total_repairs() as f64);
-                    result.record("time_ms", alg.name(), elapsed);
-                    match plan.satisfied_fraction(&problem) {
-                        Ok(frac) => result.record("satisfied_pct", alg.name(), frac * 100.0),
-                        Err(_) => result.record_failure(alg.name()),
-                    }
-                }
-                Err(_) => result.record_failure(alg.name()),
-            }
+    for output in outputs.into_iter().flatten() {
+        for (metric, alg, value) in output.samples {
+            result.record(metric, alg, value);
+        }
+        for alg in output.failures {
+            result.record_failure(alg);
         }
     }
     result
@@ -180,15 +283,26 @@ mod tests {
         assert_eq!(a.broken_edge_mask(), b.broken_edge_mask());
         let c = build_problem(&s, 1);
         // Different run ⇒ different demands (same topology).
-        assert!(a.demand_pairs() != c.demand_pairs() || a.broken_node_mask() != c.broken_node_mask());
+        assert!(
+            a.demand_pairs() != c.demand_pairs() || a.broken_node_mask() != c.broken_node_mask()
+        );
     }
 
     #[test]
     fn run_scenario_collects_all_metrics() {
         let s = tiny_scenario(vec![Algorithm::All, Algorithm::Srt]);
         let r = run_scenario(&s);
-        for metric in ["edge_repairs", "node_repairs", "total_repairs", "satisfied_pct", "time_ms"] {
-            let by_alg = r.samples.get(metric).unwrap_or_else(|| panic!("missing {metric}"));
+        for metric in [
+            "edge_repairs",
+            "node_repairs",
+            "total_repairs",
+            "satisfied_pct",
+            "time_ms",
+        ] {
+            let by_alg = r
+                .samples
+                .get(metric)
+                .unwrap_or_else(|| panic!("missing {metric}"));
             assert_eq!(by_alg["ALL"].len(), 2);
             assert_eq!(by_alg["SRT"].len(), 2);
         }
@@ -201,6 +315,72 @@ mod tests {
         let r = run_scenario(&s);
         let totals = &r.samples["total_repairs"]["ALL"];
         assert!(totals.iter().all(|&t| t == 7.0));
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let mut s = tiny_scenario(vec![Algorithm::All, Algorithm::Srt, Algorithm::Isp]);
+        s.runs = 4;
+        let serial = run_scenario(&s.clone().with_threads(1));
+        let parallel = run_scenario(&s.with_threads(4));
+        assert_eq!(serial.failures, parallel.failures);
+        for (metric, by_alg) in &serial.samples {
+            if metric == "time_ms" {
+                continue; // wall clock is the one nondeterministic metric
+            }
+            assert_eq!(Some(by_alg), parallel.samples.get(metric), "{metric}");
+        }
+    }
+
+    #[test]
+    fn scenario_oracle_is_threaded_into_algorithms() {
+        let mut s = tiny_scenario(vec![Algorithm::Isp, Algorithm::GrdNc]);
+        s.oracle = Some(netrec_core::OracleSpec::CachedExact);
+        let r = run_scenario(&s);
+        assert!(r.failures.is_empty(), "{:?}", r.failures);
+        // ISP and GRD-NC guarantee feasibility, so a correctly threaded
+        // oracle must keep satisfaction at 100%.
+        for alg in ["ISP", "GRD-NC"] {
+            for &pct in &r.samples["satisfied_pct"][alg] {
+                assert!((pct - 100.0).abs() < 1e-6, "{alg}: {pct}");
+            }
+        }
+    }
+
+    /// Acceptance criterion: `--oracle approx` produces only feasible
+    /// plans on the fig7 scenarios (conservativeness end to end).
+    #[test]
+    fn approx_oracle_keeps_fig7_plans_feasible() {
+        for scenario in crate::figures::fig7(crate::figures::Scale::Smoke).scenarios {
+            let mut scenario =
+                scenario.with_oracle(netrec_core::OracleSpec::Approx { epsilon: 0.05 });
+            scenario.algorithms = vec![Algorithm::Isp];
+            scenario.runs = 2;
+            for run in 0..scenario.runs {
+                let problem = build_problem(&scenario, run as u64);
+                match run_algorithm(Algorithm::Isp, &problem, &scenario) {
+                    Ok(plan) => {
+                        assert!(
+                            plan.verify_routable(&problem).unwrap(),
+                            "approx-oracle ISP plan infeasible on {} run {run}",
+                            scenario.label
+                        );
+                    }
+                    Err(RecoveryError::InfeasibleEvenIfAllRepaired) => {
+                        // Must genuinely be infeasible on the full graph.
+                        let demands = problem.demands();
+                        assert!(
+                            netrec_lp::mcf::routability(&problem.full_view(), &demands)
+                                .unwrap()
+                                .is_none(),
+                            "{} run {run}: spurious infeasibility",
+                            scenario.label
+                        );
+                    }
+                    Err(e) => panic!("{} run {run}: {e}", scenario.label),
+                }
+            }
+        }
     }
 
     #[test]

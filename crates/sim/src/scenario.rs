@@ -3,7 +3,7 @@
 use netrec_core::heuristics::greedy::GreedyConfig;
 use netrec_core::heuristics::mcf_relax::{McfExtreme, McfRelaxConfig};
 use netrec_core::heuristics::opt::OptConfig;
-use netrec_core::IspConfig;
+use netrec_core::{IspConfig, OracleSpec};
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::DemandSpec;
 use netrec_topology::Topology;
@@ -116,10 +116,21 @@ pub struct Scenario {
     pub greedy: GreedyConfig,
     /// MCB/MCW configuration.
     pub mcf: McfRelaxConfig,
+    /// Evaluation-oracle backend forced onto every oracle-aware
+    /// algorithm of this scenario (ISP, GRD-NC, MCB/MCW). `None` keeps
+    /// each algorithm's own configuration. This is the sim-level ablation
+    /// axis behind the CLI's `--oracle` flag.
+    pub oracle: Option<OracleSpec>,
+    /// Worker threads for the independent runs (`None` = one per
+    /// available core, capped at the run count; `Some(1)` forces the
+    /// serial path). Concurrency inflates the `time_ms` metric through
+    /// contention — use `Some(1)` when timing fidelity matters.
+    pub threads: Option<usize>,
 }
 
 impl Scenario {
     /// A scenario with default algorithm configurations.
+    #[allow(clippy::too_many_arguments)] // mirrors the experiment tuple of the paper
     pub fn new(
         label: impl Into<String>,
         x: f64,
@@ -143,7 +154,22 @@ impl Scenario {
             opt: OptConfig::default(),
             greedy: GreedyConfig::default(),
             mcf: McfRelaxConfig::default(),
+            oracle: None,
+            threads: None,
         }
+    }
+
+    /// Returns the scenario with every oracle-aware algorithm forced onto
+    /// the given backend.
+    pub fn with_oracle(mut self, oracle: OracleSpec) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+
+    /// Returns the scenario with an explicit worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 }
 
@@ -163,10 +189,7 @@ mod tests {
 
     #[test]
     fn topology_specs_build() {
-        assert_eq!(
-            TopologySpec::BellCanada.build(0).graph().node_count(),
-            48
-        );
+        assert_eq!(TopologySpec::BellCanada.build(0).graph().node_count(), 48);
         let er = TopologySpec::ErdosRenyi {
             n: 10,
             p: 0.5,

@@ -107,7 +107,12 @@ pub fn render_table(table: &FigureTable) -> String {
         let algorithms: Vec<String> = table
             .algorithms()
             .into_iter()
-            .filter(|a| table.points.iter().any(|p| &p.algorithm == a && p.metric == metric))
+            .filter(|a| {
+                table
+                    .points
+                    .iter()
+                    .any(|p| &p.algorithm == a && p.metric == metric)
+            })
             .collect();
         // x -> algorithm -> mean±std
         let mut rows: BTreeMap<u64, BTreeMap<String, (f64, f64)>> = BTreeMap::new();
@@ -124,7 +129,8 @@ pub fn render_table(table: &FigureTable) -> String {
             out.push_str(&format!("{a:>18}"));
         }
         out.push('\n');
-        let mut keyed: Vec<(f64, &BTreeMap<String, (f64, f64)>)> = rows
+        type AlgColumns = BTreeMap<String, (f64, f64)>;
+        let mut keyed: Vec<(f64, &AlgColumns)> = rows
             .iter()
             .map(|(bits, m)| (f64::from_bits(*bits), m))
             .collect();
@@ -196,7 +202,10 @@ mod tests {
         let t = sample_table();
         assert_eq!(t.metrics(), vec!["total_repairs"]);
         assert_eq!(t.algorithms(), vec!["ISP", "OPT"]);
-        assert_eq!(t.series("ISP", "total_repairs"), vec![(1.0, 4.0), (2.0, 7.0)]);
+        assert_eq!(
+            t.series("ISP", "total_repairs"),
+            vec![(1.0, 4.0), (2.0, 7.0)]
+        );
         assert!(t.series("GRD-NC", "total_repairs").is_empty());
     }
 

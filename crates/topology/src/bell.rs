@@ -43,8 +43,8 @@ pub fn bell_canada() -> Topology {
     let mut coords = vec![(0.0, 0.0); 48];
 
     // Primary backbone: nodes 0..=15 at y=1.0, x = i.
-    for i in 0..16 {
-        coords[i] = (i as f64, 1.0);
+    for (i, c) in coords.iter_mut().enumerate().take(16) {
+        *c = (i as f64, 1.0);
     }
     for i in 0..15 {
         g.add_edge(g.node(i), g.node(i + 1), PRIMARY_BACKBONE_CAPACITY)
@@ -56,8 +56,12 @@ pub fn bell_canada() -> Topology {
         coords[16 + i] = (i as f64, 0.0);
     }
     for i in 0..15 {
-        g.add_edge(g.node(16 + i), g.node(16 + i + 1), SECONDARY_BACKBONE_CAPACITY)
-            .expect("valid backbone edge");
+        g.add_edge(
+            g.node(16 + i),
+            g.node(16 + i + 1),
+            SECONDARY_BACKBONE_CAPACITY,
+        )
+        .expect("valid backbone edge");
     }
 
     // Cross links between the two backbones.

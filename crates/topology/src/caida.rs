@@ -90,7 +90,8 @@ pub fn caida_sized(nodes: usize, edges: usize, capacity: f64, seed: u64) -> Topo
         if present.contains(&key) {
             continue;
         }
-        g.add_edge(g.node(a), g.node(b), capacity).expect("valid edge");
+        g.add_edge(g.node(a), g.node(b), capacity)
+            .expect("valid edge");
         present.insert(key);
         pool.push(a);
         pool.push(b);
@@ -107,7 +108,8 @@ pub fn caida_sized(nodes: usize, edges: usize, capacity: f64, seed: u64) -> Topo
         if present.contains(&key) {
             continue;
         }
-        g.add_edge(g.node(a), g.node(b), capacity).expect("valid edge");
+        g.add_edge(g.node(a), g.node(b), capacity)
+            .expect("valid edge");
         present.insert(key);
         added += 1;
     }

@@ -73,10 +73,7 @@ pub fn generate_demands(topology: &Topology, spec: &DemandSpec, seed: u64) -> Ve
         for u in topology.graph().nodes() {
             let tree = traversal::bfs(&view, u);
             for v in topology.graph().nodes() {
-                if v.index() > u.index()
-                    && tree.reached(v)
-                    && tree.dist[v.index()] >= threshold
-                {
+                if v.index() > u.index() && tree.reached(v) && tree.dist[v.index()] >= threshold {
                     eligible.push((u, v));
                 }
             }

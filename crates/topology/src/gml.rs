@@ -360,7 +360,10 @@ mod tests {
 
     #[test]
     fn error_on_missing_graph() {
-        assert_eq!(parse("nothing here", 1.0).unwrap_err(), GmlError::MissingGraph);
+        assert_eq!(
+            parse("nothing here", 1.0).unwrap_err(),
+            GmlError::MissingGraph
+        );
     }
 
     #[test]
@@ -377,7 +380,8 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let gml = "graph [ # a comment\n node [ id 0 ] node [ id 1 ]\n edge [ source 0 target 1 ] ]";
+        let gml =
+            "graph [ # a comment\n node [ id 0 ] node [ id 1 ]\n edge [ source 0 target 1 ] ]";
         let t = parse(gml, 2.0).unwrap();
         assert_eq!(t.graph().edge_count(), 1);
     }

@@ -54,7 +54,8 @@ pub fn barabasi_albert(n: usize, m: usize, capacity: f64, seed: u64) -> Topology
     // Seed clique over the first m+1 nodes.
     for i in 0..=m {
         for j in (i + 1)..=m {
-            g.add_edge(g.node(i), g.node(j), capacity).expect("valid edge");
+            g.add_edge(g.node(i), g.node(j), capacity)
+                .expect("valid edge");
             pool.push(i);
             pool.push(j);
         }
@@ -70,7 +71,8 @@ pub fn barabasi_albert(n: usize, m: usize, capacity: f64, seed: u64) -> Topology
             guard += 1;
         }
         for &t in &targets {
-            g.add_edge(g.node(v), g.node(t), capacity).expect("valid edge");
+            g.add_edge(g.node(v), g.node(t), capacity)
+                .expect("valid edge");
             pool.push(v);
             pool.push(t);
         }
@@ -96,7 +98,8 @@ pub fn waxman(n: usize, alpha: f64, beta: f64, capacity: f64, seed: u64) -> Topo
         for j in (i + 1)..n {
             let d = dist(coords[i], coords[j]);
             if rng.gen::<f64>() < alpha * (-d / (beta * max_d)).exp() {
-                g.add_edge(g.node(i), g.node(j), capacity).expect("valid edge");
+                g.add_edge(g.node(i), g.node(j), capacity)
+                    .expect("valid edge");
             }
         }
     }
@@ -117,7 +120,8 @@ pub fn grid(rows: usize, cols: usize, capacity: f64) -> Topology {
         for c in 0..cols {
             let i = r * cols + c;
             if c + 1 < cols {
-                g.add_edge(g.node(i), g.node(i + 1), capacity).expect("valid edge");
+                g.add_edge(g.node(i), g.node(i + 1), capacity)
+                    .expect("valid edge");
             }
             if r + 1 < rows {
                 g.add_edge(g.node(i), g.node(i + cols), capacity)

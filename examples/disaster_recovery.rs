@@ -55,8 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\n{:<10}{:>9}{:>9}{:>9}{:>12}{:>11}", "algorithm", "nodes", "edges", "total", "satisfied", "time");
-    let mut run = |name: &str, plan: netrec::core::RecoveryPlan, elapsed: f64| {
+    println!(
+        "\n{:<10}{:>9}{:>9}{:>9}{:>12}{:>11}",
+        "algorithm", "nodes", "edges", "total", "satisfied", "time"
+    );
+    let run = |name: &str, plan: netrec::core::RecoveryPlan, elapsed: f64| {
         let sat = plan
             .satisfied_fraction(&problem)
             .map(|f| format!("{:.0}%", f * 100.0))

@@ -66,6 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     assert!((schedule.satisfaction_curve().last().unwrap() - 1.0).abs() < 1e-6);
-    println!("\nAll mission-critical demand restored after {} days.", schedule.len());
+    println!(
+        "\nAll mission-critical demand restored after {} days.",
+        schedule.len()
+    );
     Ok(())
 }

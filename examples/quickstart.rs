@@ -52,10 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.total_repairs(),
         plan.repair_cost(&problem)
     );
-    println!(
-        "  splits: {}, prunes: {}",
-        stats.splits, stats.prunes
-    );
+    println!("  splits: {}, prunes: {}", stats.splits, stats.prunes);
 
     // Verify: with those repairs the whole demand must be routable.
     assert!(plan.verify_routable(&problem)?);

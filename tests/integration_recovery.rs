@@ -2,11 +2,11 @@
 //! recovery planning → verification, exercising the public API the way a
 //! downstream user would.
 
+use netrec::core::heuristics::all::solve_all;
 use netrec::core::heuristics::greedy::{solve_grd_com, solve_grd_nc, GreedyConfig};
 use netrec::core::heuristics::mcf_relax::{solve_mcf_relax, McfExtreme, McfRelaxConfig};
 use netrec::core::heuristics::opt::{solve_opt, OptConfig};
 use netrec::core::heuristics::srt::solve_srt;
-use netrec::core::heuristics::all::solve_all;
 use netrec::core::{solve_isp, solve_isp_with_stats, IspConfig, RecoveryProblem};
 use netrec::disrupt::DisruptionModel;
 use netrec::graph::EdgeId;
@@ -101,11 +101,32 @@ fn srt_and_greedy_produce_plans_on_partial_disruption() {
 #[test]
 fn no_disruption_needs_no_repairs_for_any_algorithm() {
     let topo = bell_canada();
-    let p = build_problem(&topo, 3, 10.0, &DisruptionModel::Uniform { probability: 0.0 }, 1);
-    assert_eq!(solve_isp(&p, &IspConfig::default()).unwrap().total_repairs(), 0);
+    let p = build_problem(
+        &topo,
+        3,
+        10.0,
+        &DisruptionModel::Uniform { probability: 0.0 },
+        1,
+    );
+    assert_eq!(
+        solve_isp(&p, &IspConfig::default())
+            .unwrap()
+            .total_repairs(),
+        0
+    );
     assert_eq!(solve_srt(&p).total_repairs(), 0);
-    assert_eq!(solve_grd_nc(&p, &GreedyConfig::default()).unwrap().total_repairs(), 0);
-    assert_eq!(solve_opt(&p, &OptConfig::default()).unwrap().total_repairs(), 0);
+    assert_eq!(
+        solve_grd_nc(&p, &GreedyConfig::default())
+            .unwrap()
+            .total_repairs(),
+        0
+    );
+    assert_eq!(
+        solve_opt(&p, &OptConfig::default())
+            .unwrap()
+            .total_repairs(),
+        0
+    );
     assert_eq!(solve_all(&p).total_repairs(), 0);
 }
 
@@ -138,7 +159,14 @@ fn erdos_renyi_connectivity_regime() {
     let topo = netrec::topology::random::erdos_renyi(20, 0.4, 1000.0, 8);
     let p = build_problem(&topo, 4, 1.0, &DisruptionModel::Complete, 8);
     let isp = solve_isp(&p, &IspConfig::default()).unwrap();
-    let opt = solve_opt(&p, &OptConfig { node_budget: Some(200), warm_start: true }).unwrap();
+    let opt = solve_opt(
+        &p,
+        &OptConfig {
+            node_budget: Some(200),
+            warm_start: true,
+        },
+    )
+    .unwrap();
     assert!(isp.verify_routable(&p).unwrap());
     assert!(opt.total_repairs() <= isp.total_repairs());
     // In the connectivity regime, a tree over the endpoints suffices:
