@@ -1,31 +1,37 @@
 //! Fig. 3 — the multi-commodity relaxation extremes (MCB / MCW) vs OPT on
 //! one representative Bell-Canada point (4 pairs × 10 units, full
 //! destruction). The full sweep is `repro --figure fig3`.
+//!
+//! All three solvers run through the unified `SolverSpec` layer — the
+//! same dispatch the sim runner uses.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use netrec_bench::bell_instance;
-use netrec_core::heuristics::mcf_relax::{solve_mcf_relax, McfExtreme, McfRelaxConfig};
-use netrec_core::heuristics::opt::{solve_opt, OptConfig};
+use netrec_core::solver::{SolveContext, SolverSpec};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let problem = bell_instance(4, 10.0);
-    let mcf = McfRelaxConfig::default();
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
-    g.bench_function("mcb", |b| {
-        b.iter(|| solve_mcf_relax(black_box(&problem), McfExtreme::Best, &mcf).unwrap())
-    });
-    g.bench_function("mcw", |b| {
-        b.iter(|| solve_mcf_relax(black_box(&problem), McfExtreme::Worst, &mcf).unwrap())
-    });
-    g.bench_function("opt_budget40", |b| {
-        let config = OptConfig {
-            node_budget: Some(40),
-            warm_start: true,
+    for spec in [
+        SolverSpec::mcb(),
+        SolverSpec::mcw(),
+        SolverSpec::parse("opt:budget=40").expect("valid spec"),
+    ] {
+        let label = match &spec {
+            SolverSpec::Opt(_) => "opt_budget40".to_string(),
+            other => other.name().to_ascii_lowercase(),
         };
-        b.iter(|| solve_opt(black_box(&problem), &config).unwrap())
-    });
+        let solver = spec.build();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                solver
+                    .solve(black_box(&problem), &mut SolveContext::new())
+                    .unwrap()
+            })
+        });
+    }
     g.finish();
 }
 

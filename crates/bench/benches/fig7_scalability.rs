@@ -1,11 +1,13 @@
 //! Fig. 7 — execution time vs Erdős–Rényi edge probability: ISP stays
 //! flat while OPT's branch & bound blows up. The full sweep is
 //! `repro --figure fig7`.
+//!
+//! Both solvers run through the unified `SolverSpec` layer — the same
+//! dispatch the sim runner uses.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use netrec_bench::problem_for;
-use netrec_core::heuristics::opt::{solve_opt, OptConfig};
-use netrec_core::{solve_isp, IspConfig};
+use netrec_core::solver::{SolveContext, SolverSpec};
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::DemandSpec;
 use netrec_topology::random::erdos_renyi;
@@ -14,6 +16,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
+    let isp = SolverSpec::isp().build();
+    let opt = SolverSpec::parse("opt:budget=30")
+        .expect("valid spec")
+        .build();
     for p_edge in [0.2, 0.5, 0.8] {
         let topo = erdos_renyi(16, p_edge, 1000.0, 42);
         let problem = problem_for(
@@ -23,18 +29,12 @@ fn bench(c: &mut Criterion) {
             42,
         );
         g.bench_with_input(BenchmarkId::new("isp", p_edge), &problem, |b, p| {
-            b.iter(|| solve_isp(black_box(p), &IspConfig::default()).unwrap())
+            b.iter(|| isp.solve(black_box(p), &mut SolveContext::new()).unwrap())
         });
         g.bench_with_input(
             BenchmarkId::new("opt_budget30", p_edge),
             &problem,
-            |b, p| {
-                let config = OptConfig {
-                    node_budget: Some(30),
-                    warm_start: true,
-                };
-                b.iter(|| solve_opt(black_box(p), &config).unwrap())
-            },
+            |b, p| b.iter(|| opt.solve(black_box(p), &mut SolveContext::new()).unwrap()),
         );
     }
     g.finish();

@@ -1,0 +1,69 @@
+//! Dispatch-overhead check for the unified solver layer: running an
+//! algorithm through `Box<dyn RecoverySolver>` (one virtual call plus a
+//! fresh `SolveContext` per solve — exactly what the sim runner does)
+//! must cost the same as calling the old free function directly.
+//!
+//! `BENCH_solver_dispatch.json` records `direct/<alg>` vs `trait/<alg>`
+//! medians on the Bell-Canada full-destruction instance; the acceptance
+//! bar is ≤2% overhead. SRT and GRD-COM are the sensitive probes (their
+//! solves are fastest, so fixed dispatch cost is proportionally
+//! largest); ISP bounds the hot end-to-end path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_bench::bell_instance;
+use netrec_core::heuristics::greedy::{solve_grd_com, GreedyConfig};
+use netrec_core::heuristics::srt::solve_srt;
+use netrec_core::solver::{SolveContext, SolverSpec};
+use netrec_core::{solve_isp, IspConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let problem = bell_instance(4, 10.0);
+    let mut g = c.benchmark_group("solver_dispatch");
+    // The overhead under test is nanoseconds per solve; give the fast
+    // probes enough samples that the medians are stable to well under
+    // the 2% acceptance bar.
+    g.sample_size(40);
+
+    // SRT: microsecond-scale solve, worst case for relative overhead.
+    g.bench_function("direct/srt", |b| b.iter(|| solve_srt(black_box(&problem))));
+    let srt = SolverSpec::srt().build();
+    g.bench_function("trait/srt", |b| {
+        b.iter(|| {
+            srt.solve(black_box(&problem), &mut SolveContext::new())
+                .unwrap()
+        })
+    });
+
+    // GRD-COM: path-pool heuristic, millisecond scale.
+    let greedy_config = GreedyConfig::default();
+    g.bench_function("direct/grd-com", |b| {
+        b.iter(|| solve_grd_com(black_box(&problem), &greedy_config))
+    });
+    let grd_com = SolverSpec::grd_com().build();
+    g.bench_function("trait/grd-com", |b| {
+        b.iter(|| {
+            grd_com
+                .solve(black_box(&problem), &mut SolveContext::new())
+                .unwrap()
+        })
+    });
+
+    // ISP: the paper's heuristic end to end.
+    let isp_config = IspConfig::default();
+    g.bench_function("direct/isp", |b| {
+        b.iter(|| solve_isp(black_box(&problem), &isp_config).unwrap())
+    });
+    let isp = SolverSpec::isp().build();
+    g.bench_function("trait/isp", |b| {
+        b.iter(|| {
+            isp.solve(black_box(&problem), &mut SolveContext::new())
+                .unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -285,7 +285,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// Length specifications accepted by [`vec()`]: a fixed `usize` or a
     /// `Range<usize>`.
     pub trait IntoSizeRange {
         /// Draws a concrete length.
@@ -307,7 +307,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,

@@ -21,6 +21,12 @@ pub enum RecoveryError {
     /// The ISP iteration guard tripped; the returned plan fell back to a
     /// conservative strategy. (Only reported when fallback is disabled.)
     IterationGuard,
+    /// The wall-clock deadline of the [`SolveContext`](crate::solver::SolveContext)
+    /// passed before the solver finished. The run produced no plan.
+    DeadlineExceeded,
+    /// The cancellation flag of the [`SolveContext`](crate::solver::SolveContext)
+    /// was raised while the solver was running. The run produced no plan.
+    Cancelled,
 }
 
 impl fmt::Display for RecoveryError {
@@ -42,6 +48,12 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::IterationGuard => {
                 write!(f, "iteration guard tripped before convergence")
+            }
+            RecoveryError::DeadlineExceeded => {
+                write!(f, "solver deadline exceeded")
+            }
+            RecoveryError::Cancelled => {
+                write!(f, "solver run cancelled")
             }
         }
     }

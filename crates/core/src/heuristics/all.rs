@@ -1,6 +1,7 @@
 //! The trivial `ALL` baseline: repair every broken component.
 
-use crate::{RecoveryPlan, RecoveryProblem};
+use crate::solver::SolveContext;
+use crate::{RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_graph::{EdgeId, NodeId};
 
 /// Repairs everything broken. The paper plots this as the upper envelope
@@ -20,6 +21,22 @@ use netrec_graph::{EdgeId, NodeId};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn solve_all(problem: &RecoveryProblem) -> RecoveryPlan {
+    solve_all_in(problem, &mut SolveContext::new())
+        .expect("a default context imposes no deadline and ALL cannot fail")
+}
+
+/// Runs ALL under an explicit [`SolveContext`] (deadline/cancellation is
+/// checked once on entry; ALL is otherwise instantaneous).
+///
+/// # Errors
+///
+/// [`RecoveryError::DeadlineExceeded`] / [`RecoveryError::Cancelled`]
+/// from the context; ALL itself cannot fail.
+pub fn solve_all_in(
+    problem: &RecoveryProblem,
+    ctx: &mut SolveContext<'_>,
+) -> Result<RecoveryPlan, RecoveryError> {
+    ctx.checkpoint()?;
     let mut plan = RecoveryPlan::new("ALL");
     plan.repaired_nodes = problem
         .broken_node_mask()
@@ -35,7 +52,7 @@ pub fn solve_all(problem: &RecoveryProblem) -> RecoveryPlan {
         .filter(|(_, &b)| b)
         .map(|(i, _)| EdgeId::new(i))
         .collect();
-    plan
+    Ok(plan)
 }
 
 #[cfg(test)]

@@ -18,12 +18,13 @@
 //! large topologies); [`GreedyConfig`] caps the enumeration.
 
 use crate::oracle::OracleSpec;
+use crate::solver::{ProgressEvent, SolveContext};
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem, RoutabilityMode};
 use netrec_graph::{maxflow, path, EdgeId, NodeId, Path};
 use serde::{Deserialize, Serialize};
 
 /// Bounds on the path-pool enumeration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GreedyConfig {
     /// Maximum simple paths enumerated per demand pair.
     pub max_paths_per_pair: usize,
@@ -152,14 +153,42 @@ fn repair_path(
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn solve_grd_com(problem: &RecoveryProblem, config: &GreedyConfig) -> RecoveryPlan {
+    solve_grd_com_in(problem, config, &mut SolveContext::new())
+        .expect("a default context imposes no deadline and GRD-COM solves no LPs")
+}
+
+/// Runs GRD-COM under an explicit [`SolveContext`]: the
+/// deadline/cancellation flag is checked once per ranked-path step.
+/// (GRD-COM asks no oracle questions, so the context's oracle override
+/// does not apply.)
+///
+/// # Errors
+///
+/// [`RecoveryError::DeadlineExceeded`] / [`RecoveryError::Cancelled`]
+/// from the context; GRD-COM itself cannot fail.
+pub fn solve_grd_com_in(
+    problem: &RecoveryProblem,
+    config: &GreedyConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<RecoveryPlan, RecoveryError> {
+    ctx.checkpoint()?;
     let mut plan = RecoveryPlan::new("GRD-COM");
+    ctx.emit(ProgressEvent::Stage {
+        solver: "GRD-COM",
+        stage: "path-pool",
+    });
     let pool = build_pool(problem, config);
+    ctx.emit(ProgressEvent::Stage {
+        solver: "GRD-COM",
+        stage: "commit",
+    });
     let demands = problem.demands();
     let mut remaining: Vec<f64> = demands.iter().map(|d| d.amount).collect();
     let mut residual = problem.graph().capacities();
     let (mut node_enabled, mut edge_enabled) = problem.working_masks();
 
     for ranked in &pool {
+        ctx.checkpoint()?;
         if remaining.iter().all(|&r| r <= 1e-9) {
             break;
         }
@@ -224,10 +253,13 @@ pub fn solve_grd_com(problem: &RecoveryProblem, config: &GreedyConfig) -> Recove
         }
     }
     plan.normalize();
-    plan
+    Ok(plan)
 }
 
 /// Runs Greedy No-Commitment (GRD-NC).
+///
+/// Thin shim over [`solve_grd_nc_in`] with a default [`SolveContext`];
+/// prefer [`crate::solver::SolverSpec`] for new code.
 ///
 /// # Errors
 ///
@@ -236,15 +268,40 @@ pub fn solve_grd_nc(
     problem: &RecoveryProblem,
     config: &GreedyConfig,
 ) -> Result<RecoveryPlan, RecoveryError> {
+    solve_grd_nc_in(problem, config, &mut SolveContext::new())
+}
+
+/// Runs GRD-NC under an explicit [`SolveContext`]: the context's oracle
+/// override (when set) supersedes [`GreedyConfig::oracle`] and
+/// [`GreedyConfig::routability`], and the deadline/cancellation flag is
+/// checked once per repaired path.
+///
+/// # Errors
+///
+/// LP failures from the routability test, plus
+/// [`RecoveryError::DeadlineExceeded`] / [`RecoveryError::Cancelled`]
+/// from the context.
+pub fn solve_grd_nc_in(
+    problem: &RecoveryProblem,
+    config: &GreedyConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<RecoveryPlan, RecoveryError> {
+    ctx.checkpoint()?;
     let mut plan = RecoveryPlan::new("GRD-NC");
+    ctx.emit(ProgressEvent::Stage {
+        solver: "GRD-NC",
+        stage: "path-pool",
+    });
     let pool = build_pool(problem, config);
     let demands = problem.demands();
     let (mut node_enabled, mut edge_enabled) = problem.working_masks();
 
     // One oracle instance serves the whole run's termination tests.
-    let spec = config
-        .oracle
-        .unwrap_or_else(|| OracleSpec::from(config.routability));
+    let spec = ctx.oracle_spec(
+        config
+            .oracle
+            .unwrap_or_else(|| OracleSpec::from(config.routability)),
+    );
     let oracle = spec.build();
 
     // Already routable with no repairs?
@@ -253,8 +310,13 @@ pub fn solve_grd_nc(
         oracle.is_routable(&view, &demands)
     };
 
+    ctx.emit(ProgressEvent::Stage {
+        solver: "GRD-NC",
+        stage: "repair-until-routable",
+    });
     if !routable(&node_enabled, &edge_enabled)? {
         for ranked in &pool {
+            ctx.checkpoint()?;
             plan.iterations += 1;
             repair_path(
                 problem,
@@ -263,11 +325,16 @@ pub fn solve_grd_nc(
                 &mut edge_enabled,
                 &mut plan,
             );
+            ctx.emit(ProgressEvent::Repaired {
+                nodes: plan.repaired_nodes.len(),
+                edges: plan.repaired_edges.len(),
+            });
             if routable(&node_enabled, &edge_enabled)? {
                 break;
             }
         }
     }
+    ctx.emit(ProgressEvent::OracleSnapshot(oracle.stats()));
     plan.normalize();
     Ok(plan)
 }

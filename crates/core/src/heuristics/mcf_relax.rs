@@ -18,6 +18,7 @@
 //! excludes the multi-commodity approach from its main comparison.
 
 use crate::oracle::OracleSpec;
+use crate::solver::{ProgressEvent, SolveContext};
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_lp::mcf::{self, FlowAssignment};
 use serde::{Deserialize, Serialize};
@@ -32,7 +33,7 @@ pub enum McfExtreme {
 }
 
 /// Configuration of the MCB/MCW extraction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct McfRelaxConfig {
     /// Cost-cap slack above `z*` when re-optimizing (tolerance for LP
     /// noise).
@@ -75,6 +76,32 @@ pub fn solve_mcf_relax(
     extreme: McfExtreme,
     config: &McfRelaxConfig,
 ) -> Result<RecoveryPlan, RecoveryError> {
+    solve_mcf_relax_in(problem, extreme, config, &mut SolveContext::new())
+}
+
+/// Runs MCB/MCW under an explicit [`SolveContext`]: the context's oracle
+/// override (when set) supersedes [`McfRelaxConfig::oracle`] for MCB's
+/// elimination pre-screen, and the deadline/cancellation flag is checked
+/// on entry and once per greedy elimination round.
+///
+/// # Errors
+///
+/// See [`solve_mcf_relax`], plus [`RecoveryError::DeadlineExceeded`] /
+/// [`RecoveryError::Cancelled`] from the context.
+pub fn solve_mcf_relax_in(
+    problem: &RecoveryProblem,
+    extreme: McfExtreme,
+    config: &McfRelaxConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<RecoveryPlan, RecoveryError> {
+    ctx.checkpoint()?;
+    ctx.emit(ProgressEvent::Stage {
+        solver: match extreme {
+            McfExtreme::Best => "MCB",
+            McfExtreme::Worst => "MCW",
+        },
+        stage: "relaxation-lp",
+    });
     let demands = problem.demands();
     let view = problem.full_view();
     let broken_cost: Vec<Option<f64>> = problem
@@ -104,10 +131,14 @@ pub fn solve_mcf_relax(
                 .unwrap_or(base_flows);
             // Greedy elimination: zero out used broken edges one at a time
             // by capacity override, keeping the cost cap feasible.
-            let oracle = config.oracle.map(|spec| spec.build());
+            let oracle = ctx
+                .oracle_override()
+                .or(config.oracle)
+                .map(|spec| spec.build());
             let mut capacities = problem.graph().capacities();
             let mut eliminations = 0;
             loop {
+                ctx.checkpoint()?;
                 if eliminations >= config.max_eliminations {
                     break;
                 }
@@ -161,6 +192,10 @@ pub fn solve_mcf_relax(
     });
     collect_repairs(problem, &flows, config.flow_tolerance, &mut plan);
     plan.normalize();
+    ctx.emit(ProgressEvent::Repaired {
+        nodes: plan.repaired_nodes.len(),
+        edges: plan.repaired_edges.len(),
+    });
     Ok(plan)
 }
 

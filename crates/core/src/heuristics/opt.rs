@@ -19,14 +19,15 @@
 //! cost as a cutoff (the returned plan is never worse than the warm
 //! start).
 
-use crate::{solve_isp, IspConfig, RecoveryError, RecoveryPlan, RecoveryProblem};
+use crate::solver::{ProgressEvent, SolveContext};
+use crate::{IspConfig, RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_graph::{EdgeId, NodeId};
 use netrec_lp::milp::{self, BranchBoundConfig};
 use netrec_lp::{LpProblem, LpStatus, Relation, Sense, VarId};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the OPT solver.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OptConfig {
     /// Branch & bound node budget; `None` = exact (can take very long, as
     /// in the paper).
@@ -43,6 +44,35 @@ impl Default for OptConfig {
             warm_start: true,
         }
     }
+}
+
+/// The cheaper of ISP's plan and the MCB extraction (both guaranteed
+/// feasible): OPT's warm start. The MCB LP runs on the full graph, so
+/// it is only attempted on instances the dense simplex handles quickly;
+/// a deadline/cancellation error swallowed by its `.ok()` is re-raised
+/// by the caller's next checkpoint (the condition persists).
+fn warm_start_plan(
+    problem: &RecoveryProblem,
+    demands: &[netrec_lp::mcf::Demand],
+    ctx: &mut SolveContext<'_>,
+) -> Result<RecoveryPlan, RecoveryError> {
+    let (isp, _) = crate::isp::solve_isp_in(problem, &IspConfig::default(), ctx)?;
+    let small = problem.graph().edge_count() * demands.len().max(1) <= 2_000;
+    let mcb = if small {
+        crate::heuristics::mcf_relax::solve_mcf_relax_in(
+            problem,
+            crate::heuristics::mcf_relax::McfExtreme::Best,
+            &crate::heuristics::mcf_relax::McfRelaxConfig::default(),
+            ctx,
+        )
+        .ok()
+    } else {
+        None
+    };
+    Ok(match mcb {
+        Some(mcb) if mcb.repair_cost(problem) < isp.repair_cost(problem) => mcb,
+        _ => isp,
+    })
 }
 
 /// Solves MinR exactly (or to the node budget) and returns the cheapest
@@ -76,6 +106,24 @@ pub fn solve_opt(
     problem: &RecoveryProblem,
     config: &OptConfig,
 ) -> Result<RecoveryPlan, RecoveryError> {
+    solve_opt_in(problem, config, &mut SolveContext::new())
+}
+
+/// Runs OPT under an explicit [`SolveContext`]. Deadline/cancellation
+/// checks are coarse here: on entry, after each warm-start heuristic, and
+/// before the branch & bound — the MILP search itself is bounded by
+/// [`OptConfig::node_budget`], not by wall clock.
+///
+/// # Errors
+///
+/// See [`solve_opt`], plus [`RecoveryError::DeadlineExceeded`] /
+/// [`RecoveryError::Cancelled`] from the context.
+pub fn solve_opt_in(
+    problem: &RecoveryProblem,
+    config: &OptConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<RecoveryPlan, RecoveryError> {
+    ctx.checkpoint()?;
     let demands = problem.demands();
 
     // Warm start: the cheaper of ISP's plan and the MCB extraction (both
@@ -83,25 +131,27 @@ pub fn solve_opt(
     // on the full graph, so it is only worthwhile on instances the dense
     // simplex handles quickly.
     let warm = if config.warm_start {
-        let isp = solve_isp(problem, &IspConfig::default())?;
-        let small = problem.graph().edge_count() * demands.len().max(1) <= 2_000;
-        let mcb = if small {
-            crate::heuristics::mcf_relax::solve_mcf_relax(
-                problem,
-                crate::heuristics::mcf_relax::McfExtreme::Best,
-                &crate::heuristics::mcf_relax::McfRelaxConfig::default(),
-            )
-            .ok()
-        } else {
-            None
-        };
-        match mcb {
-            Some(mcb) if mcb.repair_cost(problem) < isp.repair_cost(problem) => Some(mcb),
-            _ => Some(isp),
-        }
+        ctx.emit(ProgressEvent::Stage {
+            solver: "OPT",
+            stage: "warm-start",
+        });
+        // Context-aware calls so the deadline/cancellation flag reaches
+        // the warm-start heuristics too, not just OPT's own checkpoints —
+        // but without the oracle override: OPT is documented as
+        // oracle-independent, and its warm start must not change under
+        // `--oracle` ablations.
+        let saved_oracle = ctx.take_oracle();
+        let picked = warm_start_plan(problem, &demands, ctx);
+        ctx.restore_oracle(saved_oracle);
+        Some(picked?)
     } else {
         None
     };
+    ctx.checkpoint()?;
+    ctx.emit(ProgressEvent::Stage {
+        solver: "OPT",
+        stage: "branch-and-bound",
+    });
     let cutoff = warm.as_ref().map(|p| p.repair_cost(problem) + 1e-6);
 
     let graph = problem.graph();
@@ -297,6 +347,7 @@ pub fn solve_opt(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::solve_isp;
     use netrec_graph::Graph;
 
     /// Two 2-hop routes (caps 10 / 4), fully broken, unit costs.

@@ -6,7 +6,8 @@
 //! demand, so when several demands pick the same shortest corridor the
 //! repaired capacity may be insufficient and demand is lost (Fig. 4d).
 
-use crate::{RecoveryPlan, RecoveryProblem};
+use crate::solver::{ProgressEvent, SolveContext};
+use crate::{RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_graph::dijkstra;
 
 /// Runs SRT on `problem`.
@@ -35,6 +36,27 @@ use netrec_graph::dijkstra;
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn solve_srt(problem: &RecoveryProblem) -> RecoveryPlan {
+    solve_srt_in(problem, &mut SolveContext::new())
+        .expect("a default context imposes no deadline and SRT solves no LPs")
+}
+
+/// Runs SRT under an explicit [`SolveContext`]: the deadline/cancellation
+/// flag is checked once per demand. (SRT asks no oracle questions, so the
+/// context's oracle override does not apply.)
+///
+/// # Errors
+///
+/// [`RecoveryError::DeadlineExceeded`] / [`RecoveryError::Cancelled`]
+/// from the context; SRT itself cannot fail.
+pub fn solve_srt_in(
+    problem: &RecoveryProblem,
+    ctx: &mut SolveContext<'_>,
+) -> Result<RecoveryPlan, RecoveryError> {
+    ctx.checkpoint()?;
+    ctx.emit(ProgressEvent::Stage {
+        solver: "SRT",
+        stage: "per-demand-paths",
+    });
     let mut plan = RecoveryPlan::new("SRT");
     let mut demands = problem.demands();
     demands.sort_by(|a, b| {
@@ -46,6 +68,7 @@ pub fn solve_srt(problem: &RecoveryProblem) -> RecoveryPlan {
     });
     let view = problem.full_view();
     for d in &demands {
+        ctx.checkpoint()?;
         if d.amount <= 0.0 {
             continue;
         }
@@ -67,7 +90,11 @@ pub fn solve_srt(problem: &RecoveryProblem) -> RecoveryPlan {
         }
     }
     plan.normalize();
-    plan
+    ctx.emit(ProgressEvent::Repaired {
+        nodes: plan.repaired_nodes.len(),
+        edges: plan.repaired_edges.len(),
+    });
+    Ok(plan)
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 
 use crate::centrality::{demand_centrality, DynamicMetric};
 use crate::oracle::{EvalOracle, OracleSpec, OracleStats};
+use crate::solver::{ProgressEvent, SolveContext};
 use crate::state::{IspState, EPS};
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem, RoutabilityMode};
 use netrec_graph::maxflow;
@@ -39,7 +40,7 @@ pub enum MetricMode {
 }
 
 /// Configuration of the ISP solver.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IspConfig {
     /// The `const` term of the dynamic path metric (length of a working
     /// link before dividing by capacity).
@@ -131,6 +132,9 @@ pub fn solve_isp(
 
 /// Runs ISP and returns detailed statistics alongside the plan.
 ///
+/// Thin shim over [`solve_isp_in`] with a default [`SolveContext`];
+/// prefer [`crate::solver::SolverSpec`] for new code.
+///
 /// # Errors
 ///
 /// See [`solve_isp`].
@@ -138,17 +142,42 @@ pub fn solve_isp_with_stats(
     problem: &RecoveryProblem,
     config: &IspConfig,
 ) -> Result<(RecoveryPlan, IspStats), RecoveryError> {
+    solve_isp_in(problem, config, &mut SolveContext::new())
+}
+
+/// Runs ISP under an explicit [`SolveContext`]: the context's oracle
+/// override (when set) supersedes [`IspConfig::oracle`] and
+/// [`IspConfig::routability`], the deadline/cancellation flag is checked
+/// once per main-loop iteration, and progress events are emitted for the
+/// precheck, the main loop, repair growth, and the final oracle counters.
+///
+/// # Errors
+///
+/// See [`solve_isp`], plus [`RecoveryError::DeadlineExceeded`] /
+/// [`RecoveryError::Cancelled`] from the context.
+pub fn solve_isp_in(
+    problem: &RecoveryProblem,
+    config: &IspConfig,
+    ctx: &mut SolveContext<'_>,
+) -> Result<(RecoveryPlan, IspStats), RecoveryError> {
+    ctx.checkpoint()?;
     let mut stats = IspStats::default();
 
     // One oracle instance serves every routability question of this run,
     // so cached backends accumulate reuse across iterations.
-    let spec = config
-        .oracle
-        .unwrap_or_else(|| OracleSpec::from(config.routability));
+    let spec = ctx.oracle_spec(
+        config
+            .oracle
+            .unwrap_or_else(|| OracleSpec::from(config.routability)),
+    );
     let oracle = spec.build();
 
     // Feasibility precheck: the fully repaired network must carry the
     // demand, otherwise no recovery plan exists.
+    ctx.emit(ProgressEvent::Stage {
+        solver: "ISP",
+        stage: "precheck",
+    });
     let initial_demands = problem.demands();
     let full = problem.full_view();
     if !oracle.is_routable(&full, &initial_demands)? {
@@ -169,7 +198,21 @@ pub fn solve_isp_with_stats(
             + 100 * initial_demands.len().max(1)
     });
 
+    ctx.emit(ProgressEvent::Stage {
+        solver: "ISP",
+        stage: "main-loop",
+    });
+    let mut reported_repairs = (0usize, 0usize);
     loop {
+        ctx.checkpoint()?;
+        let repairs_now = (state.repaired_nodes.len(), state.repaired_edges.len());
+        if repairs_now != reported_repairs {
+            reported_repairs = repairs_now;
+            ctx.emit(ProgressEvent::Repaired {
+                nodes: repairs_now.0,
+                edges: repairs_now.1,
+            });
+        }
         stats.iterations += 1;
         if stats.iterations > guard {
             state.repair_all_remaining();
@@ -203,6 +246,11 @@ pub fn solve_isp_with_stats(
     stats.prunes = state.prunes;
     stats.splits = state.splits;
     stats.oracle = oracle.stats();
+    ctx.emit(ProgressEvent::Repaired {
+        nodes: state.repaired_nodes.len(),
+        edges: state.repaired_edges.len(),
+    });
+    ctx.emit(ProgressEvent::OracleSnapshot(stats.oracle));
 
     let mut plan = RecoveryPlan::new("ISP");
     plan.repaired_nodes = state.repaired_nodes.clone();

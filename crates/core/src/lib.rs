@@ -6,27 +6,34 @@
 //! cheapest set of repairs that lets a set of demand flows be routed.
 //! The problem is NP-hard (reduction from Steiner Forest — Theorem 1).
 //!
-//! Solvers, all returning a [`RecoveryPlan`]:
+//! All solvers live behind the unified [`solver`] layer: a
+//! [`SolverSpec`] names an algorithm plus its configuration as data,
+//! `build()` turns it into a [`solver::RecoverySolver`] trait object, and
+//! [`solver::registry`] lists the whole line-up of the paper's §VI:
 //!
-//! * [`solve_isp`] — the paper's contribution: **Iterative Split and
-//!   Prune**, a polynomial-time heuristic built on demand-based
-//!   centrality ([`centrality`]).
-//! * [`heuristics::srt`] — the Shortest-Path heuristic (SRT, §VI-B).
-//! * [`heuristics::greedy`] — Greedy Commitment and Greedy No-Commitment
-//!   (GRD-COM / GRD-NC, §VI-C), knapsack-style path ranking.
-//! * [`heuristics::opt`] — the exact MILP (1) via branch & bound (OPT).
-//! * [`heuristics::mcf_relax`] — the multi-commodity relaxation LP (8)
-//!   with best/worst repair extraction (MCB / MCW, §VI-A).
-//! * [`heuristics::all`] — repair everything (the ALL baseline).
+//! * `isp` — the paper's contribution: **Iterative Split and Prune**, a
+//!   polynomial-time heuristic built on demand-based centrality
+//!   ([`centrality`]); also directly via [`solve_isp`].
+//! * `srt` — the Shortest-Path heuristic (SRT, §VI-B; [`heuristics::srt`]).
+//! * `grd-com` / `grd-nc` — Greedy Commitment and Greedy No-Commitment
+//!   (§VI-C), knapsack-style path ranking ([`heuristics::greedy`]).
+//! * `opt` — the exact MILP (1) via branch & bound ([`heuristics::opt`]).
+//! * `mcb` / `mcw` — the multi-commodity relaxation LP (8) with
+//!   best/worst repair extraction (§VI-A; [`heuristics::mcf_relax`]).
+//! * `all` — repair everything (the ALL baseline; [`heuristics::all`]).
 //!
 //! All solvers answer their routability / satisfied-demand questions
 //! through the pluggable [`oracle`] layer (exact LP, conservative
-//! concurrent-flow approximation, or a memoizing cache — see `DESIGN.md`).
+//! concurrent-flow approximation, or a memoizing cache — see `DESIGN.md`),
+//! and every run threads a [`solver::SolveContext`] carrying the oracle
+//! override, an optional wall-clock deadline, a cancellation flag, and a
+//! progress listener.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use netrec_core::{solve_isp, IspConfig, RecoveryProblem};
+//! use netrec_core::solver::{SolveContext, SolverSpec};
+//! use netrec_core::RecoveryProblem;
 //! use netrec_graph::Graph;
 //!
 //! // A diamond with a broken relay on each route.
@@ -40,7 +47,9 @@
 //! problem.break_node(problem.graph().node(1), 1.0)?;
 //! problem.break_node(problem.graph().node(2), 1.0)?;
 //!
-//! let plan = solve_isp(&problem, &IspConfig::default())?;
+//! // Any CLI-style spec string works: "isp", "grd-nc:paths=8", "mcf:worst".
+//! let solver = SolverSpec::parse("isp")?.build();
+//! let plan = solver.solve(&problem, &mut SolveContext::new())?;
 //! assert_eq!(plan.repaired_nodes.len(), 1); // one relay suffices
 //! assert!(plan.verify_routable(&problem)?);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -60,6 +69,7 @@ pub mod heuristics;
 pub mod isp;
 pub mod oracle;
 pub mod schedule;
+pub mod solver;
 pub mod vulnerability;
 
 pub use error::RecoveryError;
@@ -68,3 +78,4 @@ pub use oracle::{EvalOracle, OracleSpec, OracleStats, RoutabilityOracle, Satisfa
 pub use plan::RecoveryPlan;
 pub use problem::RecoveryProblem;
 pub use routability::RoutabilityMode;
+pub use solver::{RecoverySolver, SolveContext, SolverSpec};

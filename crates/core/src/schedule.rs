@@ -20,7 +20,7 @@
 //!
 //! Candidate evaluation mutates a single pair of working masks in place
 //! (apply → query → undo) instead of cloning both masks per candidate,
-//! and with a [`Cached`](crate::oracle::Cached) oracle repeated network
+//! and with a [`Cached`] oracle repeated network
 //! states (e.g. the stage-end evaluation, or re-running a schedule) are
 //! answered from memory instead of fresh LP solves.
 

@@ -1,0 +1,124 @@
+//! The unified solver layer: one trait, one spec type, one registry.
+//!
+//! The paper evaluates seven recovery algorithms side by side (§VI); this
+//! module makes that line-up *data* instead of code. Every algorithm is a
+//! [`RecoverySolver`] — one `solve` method taking the problem and a
+//! [`SolveContext`] — and is selected declaratively through a
+//! [`SolverSpec`] that carries its configuration inline:
+//!
+//! ```
+//! use netrec_core::solver::{SolveContext, SolverSpec};
+//! use netrec_core::RecoveryProblem;
+//! use netrec_graph::Graph;
+//!
+//! let mut g = Graph::with_nodes(3);
+//! let e0 = g.add_edge(g.node(0), g.node(1), 10.0)?;
+//! let e1 = g.add_edge(g.node(1), g.node(2), 10.0)?;
+//! let mut problem = RecoveryProblem::new(g);
+//! problem.add_demand(problem.graph().node(0), problem.graph().node(2), 5.0)?;
+//! problem.break_edge(e0, 1.0)?;
+//! problem.break_edge(e1, 1.0)?;
+//!
+//! let solver = SolverSpec::parse("isp")?.build();
+//! let plan = solver.solve(&problem, &mut SolveContext::new())?;
+//! assert!(plan.verify_routable(&problem)?);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`SolveContext`] centralizes the cross-cutting state the old free
+//! functions threaded (or failed to thread) ad hoc: the evaluation-oracle
+//! override from the oracle layer, an optional wall-clock deadline, a
+//! cancellation flag, and a progress-event listener. [`registry`] lists
+//! every built-in solver with its default spec and CLI syntax — the sim
+//! runner, the CLI's `--algo` / `--list-algorithms`, the benches, and the
+//! conformance tests all iterate it instead of hard-coding dispatch.
+//!
+//! The old free functions (`solve_isp`, `solve_srt`, …) remain as thin
+//! shims over the context-aware entry points so existing call sites keep
+//! compiling; new code should go through [`SolverSpec`].
+
+mod context;
+pub mod solvers;
+mod spec;
+
+pub use context::{ProgressEvent, SolveContext};
+pub use spec::{registry, SolverInfo, SolverParseError, SolverSpec};
+
+use crate::{RecoveryError, RecoveryPlan, RecoveryProblem};
+
+/// A recovery algorithm: turns a [`RecoveryProblem`] into a
+/// [`RecoveryPlan`] under the cross-cutting rules of a [`SolveContext`].
+///
+/// # Contract
+///
+/// * `solve` is **read-only** on the problem and deterministic for a
+///   fixed problem, configuration, and oracle backend.
+/// * Implementations call [`SolveContext::checkpoint`] on entry and at
+///   every outer-loop iteration, so deadlines and cancellation are
+///   honored within one iteration (a zero deadline always returns
+///   [`RecoveryError::DeadlineExceeded`] before any work).
+/// * Oracle-aware solvers resolve their backend through
+///   [`SolveContext::oracle_spec`], so a context override reaches every
+///   routability/satisfaction question of the run.
+/// * Progress events are advisory; emitting them must not change the
+///   result.
+pub trait RecoverySolver: Send + Sync {
+    /// Display name matching the paper's figures (`ISP`, `GRD-NC`, …).
+    fn name(&self) -> &str;
+
+    /// Solves `problem` under `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// Algorithm-specific failures (infeasibility, LP errors) plus
+    /// [`RecoveryError::DeadlineExceeded`] / [`RecoveryError::Cancelled`]
+    /// from the context.
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::Graph;
+
+    /// 0-1-2 line, both edges broken, demand 0→2.
+    fn broken_line() -> RecoveryProblem {
+        let mut g = Graph::with_nodes(3);
+        let e0 = g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        let e1 = g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(2), 5.0)
+            .unwrap();
+        p.break_edge(e0, 1.0).unwrap();
+        p.break_edge(e1, 1.0).unwrap();
+        p
+    }
+
+    #[test]
+    fn every_registry_solver_repairs_the_broken_line() {
+        let p = broken_line();
+        for entry in registry() {
+            let solver = entry.spec.build();
+            assert_eq!(solver.name(), entry.name());
+            let plan = solver.solve(&p, &mut SolveContext::new()).unwrap();
+            assert_eq!(plan.repaired_edges.len(), 2, "{}", entry.name());
+            assert!(plan.verify_routable(&p).unwrap(), "{}", entry.name());
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_matches_direct_calls() {
+        let p = broken_line();
+        let direct = crate::solve_isp(&p, &crate::IspConfig::default()).unwrap();
+        let via_trait = SolverSpec::isp()
+            .build()
+            .solve(&p, &mut SolveContext::new())
+            .unwrap();
+        assert_eq!(direct.repaired_edges, via_trait.repaired_edges);
+        assert_eq!(direct.repaired_nodes, via_trait.repaired_nodes);
+    }
+}

@@ -1,0 +1,190 @@
+//! [`RecoverySolver`] adapters for the eight built-in algorithms.
+//!
+//! Each adapter owns its algorithm's configuration and forwards to the
+//! context-aware entry point of the corresponding module, so the trait
+//! object honors deadlines, cancellation, oracle overrides, and progress
+//! events uniformly.
+
+use crate::heuristics::greedy::{solve_grd_com_in, solve_grd_nc_in, GreedyConfig};
+use crate::heuristics::mcf_relax::{solve_mcf_relax_in, McfExtreme, McfRelaxConfig};
+use crate::heuristics::opt::{solve_opt_in, OptConfig};
+use crate::heuristics::{all::solve_all_in, srt::solve_srt_in};
+use crate::isp::solve_isp_in;
+use crate::solver::{RecoverySolver, SolveContext};
+use crate::{IspConfig, RecoveryError, RecoveryPlan, RecoveryProblem};
+
+/// Iterative Split and Prune behind the [`RecoverySolver`] trait.
+#[derive(Debug, Clone, Default)]
+pub struct IspSolver {
+    config: IspConfig,
+}
+
+impl IspSolver {
+    /// An ISP solver with the given configuration.
+    pub fn new(config: IspConfig) -> Self {
+        IspSolver { config }
+    }
+}
+
+impl RecoverySolver for IspSolver {
+    fn name(&self) -> &str {
+        "ISP"
+    }
+
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        solve_isp_in(problem, &self.config, ctx).map(|(plan, _)| plan)
+    }
+}
+
+/// The exact/budgeted MILP optimum behind the [`RecoverySolver`] trait.
+#[derive(Debug, Clone, Default)]
+pub struct OptSolver {
+    config: OptConfig,
+}
+
+impl OptSolver {
+    /// An OPT solver with the given configuration.
+    pub fn new(config: OptConfig) -> Self {
+        OptSolver { config }
+    }
+}
+
+impl RecoverySolver for OptSolver {
+    fn name(&self) -> &str {
+        "OPT"
+    }
+
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        solve_opt_in(problem, &self.config, ctx)
+    }
+}
+
+/// The shortest-path heuristic behind the [`RecoverySolver`] trait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SrtSolver;
+
+impl RecoverySolver for SrtSolver {
+    fn name(&self) -> &str {
+        "SRT"
+    }
+
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        solve_srt_in(problem, ctx)
+    }
+}
+
+/// Greedy Commitment behind the [`RecoverySolver`] trait.
+#[derive(Debug, Clone, Default)]
+pub struct GrdComSolver {
+    config: GreedyConfig,
+}
+
+impl GrdComSolver {
+    /// A GRD-COM solver with the given configuration.
+    pub fn new(config: GreedyConfig) -> Self {
+        GrdComSolver { config }
+    }
+}
+
+impl RecoverySolver for GrdComSolver {
+    fn name(&self) -> &str {
+        "GRD-COM"
+    }
+
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        solve_grd_com_in(problem, &self.config, ctx)
+    }
+}
+
+/// Greedy No-Commitment behind the [`RecoverySolver`] trait.
+#[derive(Debug, Clone, Default)]
+pub struct GrdNcSolver {
+    config: GreedyConfig,
+}
+
+impl GrdNcSolver {
+    /// A GRD-NC solver with the given configuration.
+    pub fn new(config: GreedyConfig) -> Self {
+        GrdNcSolver { config }
+    }
+}
+
+impl RecoverySolver for GrdNcSolver {
+    fn name(&self) -> &str {
+        "GRD-NC"
+    }
+
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        solve_grd_nc_in(problem, &self.config, ctx)
+    }
+}
+
+/// The multi-commodity relaxation extremes (MCB/MCW) behind the
+/// [`RecoverySolver`] trait.
+#[derive(Debug, Clone)]
+pub struct McfSolver {
+    extreme: McfExtreme,
+    config: McfRelaxConfig,
+}
+
+impl McfSolver {
+    /// An MCB (`McfExtreme::Best`) or MCW (`McfExtreme::Worst`) solver.
+    pub fn new(extreme: McfExtreme, config: McfRelaxConfig) -> Self {
+        McfSolver { extreme, config }
+    }
+}
+
+impl RecoverySolver for McfSolver {
+    fn name(&self) -> &str {
+        match self.extreme {
+            McfExtreme::Best => "MCB",
+            McfExtreme::Worst => "MCW",
+        }
+    }
+
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        solve_mcf_relax_in(problem, self.extreme, &self.config, ctx)
+    }
+}
+
+/// The repair-everything baseline behind the [`RecoverySolver`] trait.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllSolver;
+
+impl RecoverySolver for AllSolver {
+    fn name(&self) -> &str {
+        "ALL"
+    }
+
+    fn solve(
+        &self,
+        problem: &RecoveryProblem,
+        ctx: &mut SolveContext<'_>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        solve_all_in(problem, ctx)
+    }
+}

@@ -2,18 +2,21 @@
 //!
 //! ```text
 //! netrec-cli --topology bell --pairs 4 --flow 10 --disrupt gaussian:50 \
-//!            --algorithm isp [--schedule 4] [--report] [--seed 7]
+//!            --algo isp [--schedule 4] [--report] [--seed 7]
 //! netrec-cli --topology gml:net.gml --demand 3,17,12.5 --disrupt complete
+//! netrec-cli --list-algorithms
 //! ```
 //!
 //! All parsing and execution logic lives here so it is unit-testable; the
-//! binary is a thin `main`.
+//! binary is a thin `main`. The solver comes from
+//! [`SolverSpec::parse`], so any registry algorithm with any inline
+//! configuration is reachable (`--algo grd-nc:paths=8`,
+//! `--algo mcf:worst`, …) and misspellings get a did-you-mean hint.
 
-use crate::scenario::Algorithm;
-use netrec_core::heuristics::{all, greedy, mcf_relax, opt, srt};
 use netrec_core::schedule::{schedule_recovery, schedule_recovery_with_oracle};
+use netrec_core::solver::{registry, SolveContext, SolverSpec};
 use netrec_core::vulnerability::robustness_report;
-use netrec_core::{solve_isp, IspConfig, OracleSpec, RecoveryPlan, RecoveryProblem};
+use netrec_core::{OracleSpec, RecoveryProblem};
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::{generate_demands, DemandSpec};
 use netrec_topology::Topology;
@@ -32,8 +35,8 @@ pub struct CliOptions {
     pub demands: Vec<(usize, usize, f64)>,
     /// Disruption model.
     pub disrupt: DisruptionModel,
-    /// Algorithm to run.
-    pub algorithm: Algorithm,
+    /// Solver to run (any [`SolverSpec`] string).
+    pub algorithm: SolverSpec,
     /// Evaluation-oracle backend for oracle-aware algorithms and the
     /// schedule (`None` = per-algorithm defaults).
     pub oracle: Option<OracleSpec>,
@@ -43,6 +46,8 @@ pub struct CliOptions {
     pub schedule_budget: Option<f64>,
     /// Whether to print the single-failure robustness report.
     pub report: bool,
+    /// Print the solver registry instead of planning a recovery.
+    pub list_algorithms: bool,
 }
 
 /// Topology selection.
@@ -81,8 +86,10 @@ usage: netrec-cli [options]
   --demand s,t,amount  explicit demand (repeatable; overrides --pairs)
   --disrupt complete | gaussian:<variance> | uniform:<p> | none
                                                          (default complete)
-  --algorithm isp | opt | srt | grd-com | grd-nc | mcb | mcw | all
-                                                         (default isp)
+  --algo SPEC          solver spec, e.g. isp, opt:budget=200, grd-nc:paths=8,
+                       mcf:worst  (alias --algorithm; default isp)
+  --list-algorithms    print every registered solver with its syntax and
+                       default configuration, then exit
   --oracle exact | approx[:eps] | auto[:threshold] | cached | cached-approx[:eps]
                        routability/satisfaction backend  (default per-algorithm)
   --seed N             RNG seed                          (default 42)
@@ -95,7 +102,9 @@ usage: netrec-cli [options]
 ///
 /// # Errors
 ///
-/// Returns a [`UsageError`] describing the first malformed argument.
+/// Returns a [`UsageError`] describing the first malformed argument;
+/// solver misspellings include a did-you-mean suggestion over the
+/// registry names.
 pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
     let mut opts = CliOptions {
         topology: TopologyArg::Bell,
@@ -103,11 +112,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
         flow: 10.0,
         demands: Vec::new(),
         disrupt: DisruptionModel::Complete,
-        algorithm: Algorithm::Isp,
+        algorithm: SolverSpec::isp(),
         oracle: None,
         seed: 42,
         schedule_budget: None,
         report: false,
+        list_algorithms: false,
     };
     let mut i = 0;
     let need = |i: usize, what: &str, args: &[String]| -> Result<String, UsageError> {
@@ -144,11 +154,12 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
                 let v = need(i, "--disrupt", args)?;
                 opts.disrupt = parse_disrupt(&v)?;
             }
-            "--algorithm" | "-a" => {
+            "--algo" | "--algorithm" | "-a" => {
                 i += 1;
-                let v = need(i, "--algorithm", args)?;
-                opts.algorithm = parse_algorithm(&v)?;
+                let v = need(i, "--algo", args)?;
+                opts.algorithm = SolverSpec::parse(&v).map_err(|e| UsageError(e.to_string()))?;
             }
+            "--list-algorithms" => opts.list_algorithms = true,
             "--oracle" => {
                 i += 1;
                 let v = need(i, "--oracle", args)?;
@@ -242,18 +253,19 @@ fn parse_disrupt(v: &str) -> Result<DisruptionModel, UsageError> {
     }
 }
 
-fn parse_algorithm(v: &str) -> Result<Algorithm, UsageError> {
-    match v.to_ascii_lowercase().as_str() {
-        "isp" => Ok(Algorithm::Isp),
-        "opt" => Ok(Algorithm::Opt),
-        "srt" => Ok(Algorithm::Srt),
-        "grd-com" | "grdcom" => Ok(Algorithm::GrdCom),
-        "grd-nc" | "grdnc" => Ok(Algorithm::GrdNc),
-        "mcb" => Ok(Algorithm::Mcb),
-        "mcw" => Ok(Algorithm::Mcw),
-        "all" => Ok(Algorithm::All),
-        _ => Err(UsageError(format!("unknown algorithm {v}"))),
+/// Renders the solver registry: name, parse syntax, default config.
+pub fn render_registry() -> String {
+    let mut out = String::from("registered solvers (--algo SPEC):\n");
+    for entry in registry() {
+        out.push_str(&format!(
+            "  {:<8} {}\n           syntax:  {}\n           default: {}\n",
+            entry.name(),
+            entry.summary,
+            entry.syntax,
+            entry.spec
+        ));
     }
+    out
 }
 
 /// Builds the topology selected by the options.
@@ -277,14 +289,18 @@ pub fn build_topology(opts: &CliOptions) -> Result<Topology, UsageError> {
     }
 }
 
-/// Builds the recovery problem and runs the selected algorithm, returning
-/// the report text.
+/// Builds the recovery problem and runs the selected solver, returning
+/// the report text. With `--list-algorithms`, returns the registry
+/// listing instead.
 ///
 /// # Errors
 ///
 /// Usage errors for bad demand indices; solver errors are rendered into
 /// the report.
 pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
+    if opts.list_algorithms {
+        return Ok(render_registry());
+    }
     let topology = build_topology(opts)?;
     let disruption = opts.disrupt.apply(&topology, opts.seed);
 
@@ -344,7 +360,14 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
         out.push_str(&format!("demand: {s} <-> {t}  ({d} units)\n"));
     }
 
-    let plan = match run_algorithm(opts.algorithm, &problem, opts.oracle) {
+    // One trait-object dispatch: the spec picked any of the registry's
+    // solvers with its inline configuration.
+    let solver = opts.algorithm.build();
+    let mut ctx = SolveContext::new();
+    if let Some(oracle) = opts.oracle {
+        ctx = ctx.with_oracle(oracle);
+    }
+    let plan = match solver.solve(&problem, &mut ctx) {
         Ok(plan) => plan,
         Err(e) => {
             out.push_str(&format!("\nno recovery plan: {e}\n"));
@@ -354,7 +377,7 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
 
     out.push_str(&format!("\nplan ({}):\n", plan.algorithm));
     if let Some(spec) = opts.oracle {
-        if oracle_aware(opts.algorithm) {
+        if opts.algorithm.uses_oracle() {
             out.push_str(&format!("  oracle: {spec}\n"));
         } else {
             out.push_str(&format!(
@@ -440,57 +463,6 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     Ok(out)
 }
 
-/// Whether the algorithm routes any of its routability/satisfaction
-/// questions through the oracle layer (OPT, SRT, GRD-COM, ALL, and MCW —
-/// whose only LPs are LP (8) itself — do not).
-fn oracle_aware(alg: Algorithm) -> bool {
-    matches!(alg, Algorithm::Isp | Algorithm::GrdNc | Algorithm::Mcb)
-}
-
-fn run_algorithm(
-    alg: Algorithm,
-    problem: &RecoveryProblem,
-    oracle: Option<OracleSpec>,
-) -> Result<RecoveryPlan, netrec_core::RecoveryError> {
-    match alg {
-        Algorithm::Isp => solve_isp(
-            problem,
-            &IspConfig {
-                oracle,
-                ..Default::default()
-            },
-        ),
-        Algorithm::Opt => opt::solve_opt(problem, &opt::OptConfig::default()),
-        Algorithm::Srt => Ok(srt::solve_srt(problem)),
-        Algorithm::GrdCom => Ok(greedy::solve_grd_com(
-            problem,
-            &greedy::GreedyConfig::default(),
-        )),
-        Algorithm::GrdNc => greedy::solve_grd_nc(
-            problem,
-            &greedy::GreedyConfig {
-                oracle,
-                ..Default::default()
-            },
-        ),
-        Algorithm::Mcb => mcf_relax::solve_mcf_relax(
-            problem,
-            mcf_relax::McfExtreme::Best,
-            &mcf_relax::McfRelaxConfig {
-                oracle,
-                ..Default::default()
-            },
-        ),
-        // MCW takes no oracle: its only LPs are LP (8) itself.
-        Algorithm::Mcw => mcf_relax::solve_mcf_relax(
-            problem,
-            mcf_relax::McfExtreme::Worst,
-            &mcf_relax::McfRelaxConfig::default(),
-        ),
-        Algorithm::All => Ok(all::solve_all(problem)),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,8 +476,9 @@ mod tests {
         let o = parse_args(&[]).unwrap();
         assert_eq!(o.topology, TopologyArg::Bell);
         assert_eq!(o.pairs, 4);
-        assert_eq!(o.algorithm, Algorithm::Isp);
+        assert_eq!(o.algorithm, SolverSpec::isp());
         assert!(!o.report);
+        assert!(!o.list_algorithms);
     }
 
     #[test]
@@ -519,7 +492,7 @@ mod tests {
             "5.5",
             "--disrupt",
             "gaussian:40",
-            "--algorithm",
+            "--algo",
             "grd-nc",
             "--seed",
             "7",
@@ -531,11 +504,31 @@ mod tests {
         assert_eq!(o.topology, TopologyArg::ErdosRenyi(20, 0.3));
         assert_eq!(o.pairs, 2);
         assert_eq!(o.flow, 5.5);
-        assert_eq!(o.algorithm, Algorithm::GrdNc);
+        assert_eq!(o.algorithm, SolverSpec::grd_nc());
         assert_eq!(o.seed, 7);
         assert_eq!(o.schedule_budget, Some(3.0));
         assert!(o.report);
         assert!(matches!(o.disrupt, DisruptionModel::Gaussian { .. }));
+    }
+
+    #[test]
+    fn algo_specs_carry_inline_config() {
+        let o = parse_args(&args(&["--algo", "grd-nc:paths=8"])).unwrap();
+        match o.algorithm {
+            SolverSpec::GrdNc(config) => assert_eq!(config.max_paths_per_pair, 8),
+            other => panic!("{other:?}"),
+        }
+        // The old flag name stays as an alias.
+        let o = parse_args(&args(&["--algorithm", "mcf:worst"])).unwrap();
+        assert_eq!(o.algorithm, SolverSpec::mcw());
+    }
+
+    #[test]
+    fn misspelled_algo_gets_a_suggestion() {
+        let err = parse_args(&args(&["--algo", "ips"])).unwrap_err();
+        assert!(err.0.contains("did you mean `isp`?"), "{err}");
+        let err = parse_args(&args(&["--algo", "grd-cm"])).unwrap_err();
+        assert!(err.0.contains("did you mean `grd-com`?"), "{err}");
     }
 
     #[test]
@@ -551,7 +544,8 @@ mod tests {
         assert!(parse_args(&args(&["--demand", "1,2"])).is_err());
         assert!(parse_args(&args(&["--topology", "er:20"])).is_err());
         assert!(parse_args(&args(&["--disrupt", "asteroid"])).is_err());
-        assert!(parse_args(&args(&["--algorithm", "magic"])).is_err());
+        assert!(parse_args(&args(&["--algo", "magic"])).is_err());
+        assert!(parse_args(&args(&["--algo", "isp:banana=1"])).is_err());
         assert!(parse_args(&args(&["--oracle", "tea-leaves"])).is_err());
         assert!(parse_args(&args(&["--seed"])).is_err());
     }
@@ -566,6 +560,18 @@ mod tests {
     }
 
     #[test]
+    fn list_algorithms_prints_the_registry() {
+        let o = parse_args(&args(&["--list-algorithms"])).unwrap();
+        assert!(o.list_algorithms);
+        let out = run(&o).unwrap();
+        for entry in registry() {
+            assert!(out.contains(entry.name()), "{out}");
+            assert!(out.contains(entry.syntax), "{out}");
+        }
+        assert!(out.contains("grd-nc[:paths=N"), "{out}");
+    }
+
+    #[test]
     fn oracle_flag_runs_end_to_end() {
         for oracle in ["exact", "approx", "cached", "cached-approx"] {
             let o = parse_args(&args(&[
@@ -575,7 +581,7 @@ mod tests {
                 "2",
                 "--flow",
                 "1",
-                "--algorithm",
+                "--algo",
                 "isp",
                 "--oracle",
                 oracle,
@@ -605,13 +611,32 @@ mod tests {
             "1",
             "--disrupt",
             "complete",
-            "--algorithm",
+            "--algo",
             "isp",
         ]))
         .unwrap();
         let out = run(&o).unwrap();
         assert!(out.contains("plan (ISP)"), "{out}");
         assert!(out.contains("satisfied demand: 100.0%"), "{out}");
+    }
+
+    #[test]
+    fn every_registry_solver_runs_from_the_cli() {
+        for entry in registry() {
+            let o = parse_args(&args(&[
+                "--topology",
+                "er:10:0.6",
+                "--pairs",
+                "1",
+                "--flow",
+                "1",
+                "--algo",
+                &entry.spec.to_string(),
+            ]))
+            .unwrap();
+            let out = run(&o).unwrap();
+            assert!(out.contains(&format!("plan ({})", entry.name())), "{out}");
+        }
     }
 
     #[test]

@@ -12,14 +12,18 @@
 //! | fig7 | Erdős–Rényi, 5 unit pairs, cap 1000, full destruction | edge probability p |
 //! | fig9 | CAIDA-like, 22 units/pair, Gaussian | #pairs |
 //!
-//! Every figure is available at three [`Scale`]s, trading fidelity to the
-//! paper's instance sizes against wall-clock time; `EXPERIMENTS.md`
-//! records which scale produced the reported numbers.
+//! Solver line-ups are plain `Vec<SolverSpec>` — each spec carries its
+//! configuration (OPT budgets, ISP ablations) inline, so a sweep point
+//! is fully declarative. Every figure is available at three [`Scale`]s,
+//! trading fidelity to the paper's instance sizes against wall-clock
+//! time; `EXPERIMENTS.md` records which scale produced the reported
+//! numbers.
 
 use crate::runner::Figure;
-use crate::scenario::{Algorithm, Scenario, TopologySpec};
+use crate::scenario::{Scenario, TopologySpec};
 use netrec_core::heuristics::opt::OptConfig;
-use netrec_core::{IspConfig, RoutabilityMode};
+use netrec_core::solver::SolverSpec;
+use netrec_core::IspConfig;
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::DemandSpec;
 
@@ -53,11 +57,24 @@ impl Scale {
     }
 }
 
-fn opt_config(scale: Scale) -> OptConfig {
-    OptConfig {
+/// The budgeted OPT spec of a scale.
+fn opt_spec(scale: Scale) -> SolverSpec {
+    SolverSpec::Opt(OptConfig {
         node_budget: scale.opt_budget(),
         warm_start: true,
-    }
+    })
+}
+
+/// The full §VI comparison line-up: ISP, OPT, SRT, both greedies, ALL.
+fn comparison_solvers(scale: Scale) -> Vec<SolverSpec> {
+    vec![
+        SolverSpec::isp(),
+        opt_spec(scale),
+        SolverSpec::srt(),
+        SolverSpec::grd_com(),
+        SolverSpec::grd_nc(),
+        SolverSpec::all(),
+    ]
 }
 
 fn base(
@@ -65,21 +82,19 @@ fn base(
     x: f64,
     demand: DemandSpec,
     disruption: DisruptionModel,
-    algorithms: Vec<Algorithm>,
+    solvers: Vec<SolverSpec>,
     scale: Scale,
 ) -> Scenario {
-    let mut s = Scenario::new(
+    Scenario::new(
         format!("{id}@{x}"),
         x,
         TopologySpec::BellCanada,
         demand,
         disruption,
-        algorithms,
+        solvers,
         scale.runs(),
         0xB311,
-    );
-    s.opt = opt_config(scale);
-    s
+    )
 }
 
 /// Fig. 3 — total repairs of the multi-commodity relaxation extremes
@@ -105,10 +120,10 @@ pub fn fig3(scale: Scale) -> Figure {
                     DemandSpec::new(4, flow),
                     DisruptionModel::Complete,
                     vec![
-                        Algorithm::Opt,
-                        Algorithm::Mcb,
-                        Algorithm::Mcw,
-                        Algorithm::All,
+                        opt_spec(scale),
+                        SolverSpec::mcb(),
+                        SolverSpec::mcw(),
+                        SolverSpec::all(),
                     ],
                     scale,
                 )
@@ -137,14 +152,7 @@ pub fn fig4(scale: Scale) -> Figure {
                     pairs as f64,
                     DemandSpec::new(pairs, 10.0),
                     DisruptionModel::Complete,
-                    vec![
-                        Algorithm::Isp,
-                        Algorithm::Opt,
-                        Algorithm::Srt,
-                        Algorithm::GrdCom,
-                        Algorithm::GrdNc,
-                        Algorithm::All,
-                    ],
+                    comparison_solvers(scale),
                     scale,
                 )
             })
@@ -171,14 +179,7 @@ pub fn fig5(scale: Scale) -> Figure {
                     flow,
                     DemandSpec::new(4, flow),
                     DisruptionModel::Complete,
-                    vec![
-                        Algorithm::Isp,
-                        Algorithm::Opt,
-                        Algorithm::Srt,
-                        Algorithm::GrdCom,
-                        Algorithm::GrdNc,
-                        Algorithm::All,
-                    ],
+                    comparison_solvers(scale),
                     scale,
                 )
             })
@@ -206,14 +207,7 @@ pub fn fig6(scale: Scale) -> Figure {
                     variance,
                     DemandSpec::new(4, 10.0),
                     DisruptionModel::gaussian(variance),
-                    vec![
-                        Algorithm::Isp,
-                        Algorithm::Opt,
-                        Algorithm::Srt,
-                        Algorithm::GrdCom,
-                        Algorithm::GrdNc,
-                        Algorithm::All,
-                    ],
+                    comparison_solvers(scale),
                     scale,
                 )
             })
@@ -234,6 +228,15 @@ pub fn fig7(scale: Scale) -> Figure {
         Scale::Default => (30, vec![0.1, 0.3, 0.5, 0.7, 0.9]),
         Scale::Paper => (100, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]),
     };
+    // The MILP grows with p; keep the per-node LP cost bounded.
+    let opt = SolverSpec::Opt(OptConfig {
+        node_budget: Some(match scale {
+            Scale::Smoke => 10,
+            Scale::Default => 12,
+            Scale::Paper => 2_000,
+        }),
+        warm_start: true,
+    });
     Figure {
         id: "fig7".into(),
         title: format!("Erdős–Rényi scalability (n = {n}, 5 unit pairs, capacity 1000)"),
@@ -241,7 +244,7 @@ pub fn fig7(scale: Scale) -> Figure {
         scenarios: sweep
             .into_iter()
             .map(|p| {
-                let mut s = Scenario::new(
+                Scenario::new(
                     format!("fig7@{p}"),
                     p,
                     TopologySpec::ErdosRenyi {
@@ -251,20 +254,10 @@ pub fn fig7(scale: Scale) -> Figure {
                     },
                     DemandSpec::new(5, 1.0),
                     DisruptionModel::Complete,
-                    vec![Algorithm::Isp, Algorithm::Srt, Algorithm::Opt],
+                    vec![SolverSpec::isp(), SolverSpec::srt(), opt.clone()],
                     scale.runs(),
                     0xF167,
-                );
-                // The MILP grows with p; keep the per-node LP cost bounded.
-                s.opt = OptConfig {
-                    node_budget: Some(match scale {
-                        Scale::Smoke => 10,
-                        Scale::Default => 12,
-                        Scale::Paper => 2_000,
-                    }),
-                    warm_start: true,
-                };
-                s
+                )
             })
             .collect(),
     }
@@ -283,6 +276,25 @@ pub fn fig9(scale: Scale) -> Figure {
         Scale::Default => (120, 148, vec![1, 2, 3, 4, 5, 6, 7]),
         Scale::Paper => (825, 1018, vec![1, 2, 3, 4, 5, 6, 7]),
     };
+    let isp = if scale == Scale::Paper {
+        // Large instances: halving-search splits instead of the exact
+        // Decision-2 LP.
+        SolverSpec::Isp(IspConfig {
+            exact_split_lp: false,
+            ..Default::default()
+        })
+    } else {
+        SolverSpec::isp()
+    };
+    // Large flow LPs per node: keep the budget small.
+    let opt = SolverSpec::Opt(OptConfig {
+        node_budget: Some(match scale {
+            Scale::Smoke => 20,
+            Scale::Default => 15,
+            Scale::Paper => 500,
+        }),
+        warm_start: true,
+    });
     Figure {
         id: "fig9".into(),
         title: format!("CAIDA-like topology ({nodes} nodes / {edges} edges, 22 units/pair)"),
@@ -302,30 +314,14 @@ pub fn fig9(scale: Scale) -> Figure {
                     // Unit-square coordinates: σ² = 0.08 wipes out a wide
                     // central region, sparing most far-apart endpoints.
                     DisruptionModel::gaussian(0.08),
-                    vec![Algorithm::Isp, Algorithm::Opt, Algorithm::Srt],
+                    vec![isp.clone(), opt.clone(), SolverSpec::srt()],
                     scale.runs(),
                     0xCA1DA,
                 );
-                // Large flow LPs per node: keep the budget small.
-                s.opt = OptConfig {
-                    node_budget: Some(match scale {
-                        Scale::Smoke => 20,
-                        Scale::Default => 15,
-                        Scale::Paper => 500,
-                    }),
-                    warm_start: true,
-                };
                 if scale == Scale::Default {
                     // Large instances: fewer runs keep the sweep tractable
                     // on one core (documented in EXPERIMENTS.md).
                     s.runs = 3;
-                }
-                if scale == Scale::Paper {
-                    s.isp = IspConfig {
-                        routability: RoutabilityMode::default(),
-                        exact_split_lp: false,
-                        ..Default::default()
-                    };
                 }
                 s
             })
@@ -386,17 +382,45 @@ mod tests {
     }
 
     #[test]
-    fn fig3_uses_relaxation_algorithms() {
+    fn fig3_uses_relaxation_solvers() {
         let f = fig3(Scale::Smoke);
-        let algs = &f.scenarios[0].algorithms;
-        assert!(algs.contains(&Algorithm::Mcb));
-        assert!(algs.contains(&Algorithm::Mcw));
-        assert!(!algs.contains(&Algorithm::Isp));
+        let names: Vec<&str> = f.scenarios[0].solvers.iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"MCB"));
+        assert!(names.contains(&"MCW"));
+        assert!(!names.contains(&"ISP"));
+    }
+
+    #[test]
+    fn opt_budgets_scale_with_fidelity() {
+        for (scale, budget) in [
+            (Scale::Smoke, 40),
+            (Scale::Default, 200),
+            (Scale::Paper, 20_000),
+        ] {
+            let f = fig4(scale);
+            let opt = f.scenarios[0]
+                .solvers
+                .iter()
+                .find_map(|s| match s {
+                    SolverSpec::Opt(config) => Some(config.clone()),
+                    _ => None,
+                })
+                .expect("fig4 runs OPT");
+            assert_eq!(opt.node_budget, Some(budget));
+        }
     }
 
     #[test]
     fn fig9_paper_scale_uses_approximations() {
         let f = fig9(Scale::Paper);
-        assert!(!f.scenarios[0].isp.exact_split_lp);
+        let isp = f.scenarios[0]
+            .solvers
+            .iter()
+            .find_map(|s| match s {
+                SolverSpec::Isp(config) => Some(config.clone()),
+                _ => None,
+            })
+            .expect("fig9 runs ISP");
+        assert!(!isp.exact_split_lp);
     }
 }

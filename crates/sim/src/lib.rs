@@ -30,6 +30,7 @@ pub mod cli;
 pub mod export;
 pub mod figures;
 
+pub use netrec_core::solver::{SolverInfo, SolverSpec};
 pub use runner::{run_figure, run_scenario, Figure, ScenarioResult};
-pub use scenario::{Algorithm, Scenario, TopologySpec};
+pub use scenario::{Scenario, TopologySpec};
 pub use stats::{render_table, summarize, FigureTable, SeriesPoint, Summary};

@@ -1,5 +1,13 @@
 //! Executes scenarios and aggregates results.
 //!
+//! Every solver runs through the unified [`RecoverySolver`] trait: the
+//! runner iterates the scenario's `Vec<SolverSpec>`, builds each spec
+//! once, and gives every run a fresh
+//! [`SolveContext`](netrec_core::solver::SolveContext) carrying the
+//! scenario's oracle override — there is no per-algorithm dispatch left
+//! here, so an eighth algorithm is a new `SolverSpec` variant, not a new
+//! `match` arm.
+//!
 //! Runs within a scenario are independent (each builds its own problem
 //! from `seed + run` and owns its oracle instance), so [`run_scenario`]
 //! fans them out across scoped worker threads and merges the
@@ -10,10 +18,10 @@
 //! serial path with `Scenario::threads = Some(1)` so `time_ms` stays
 //! comparable to serially collected baselines.
 
-use crate::scenario::{mcf_extreme, Algorithm, Scenario};
+use crate::scenario::Scenario;
 use crate::stats::{summarize, FigureTable, SeriesPoint};
-use netrec_core::heuristics::{all, greedy, mcf_relax, opt, srt};
-use netrec_core::{solve_isp, RecoveryError, RecoveryPlan, RecoveryProblem};
+use netrec_core::solver::{RecoverySolver, SolveContext};
+use netrec_core::RecoveryProblem;
 use netrec_topology::demand::generate_demands;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -22,25 +30,35 @@ use std::time::Instant;
 /// Raw per-run measurements of one scenario.
 #[derive(Debug, Clone, Default)]
 pub struct ScenarioResult {
-    /// metric → algorithm → samples over runs.
+    /// metric → solver → samples over runs.
     pub samples: BTreeMap<String, BTreeMap<String, Vec<f64>>>,
-    /// Runs that failed (infeasible instance or solver error), per
-    /// algorithm.
-    pub failures: BTreeMap<String, usize>,
+    /// Runs that failed, per solver: the display string of each run's
+    /// [`RecoveryError`](netrec_core::RecoveryError), in run order, so
+    /// infeasible instances stay distinguishable from solver bugs in
+    /// reports.
+    pub failures: BTreeMap<String, Vec<String>>,
 }
 
 impl ScenarioResult {
-    fn record(&mut self, metric: &str, algorithm: &str, value: f64) {
+    fn record(&mut self, metric: &str, solver: &str, value: f64) {
         self.samples
             .entry(metric.to_string())
             .or_default()
-            .entry(algorithm.to_string())
+            .entry(solver.to_string())
             .or_default()
             .push(value);
     }
 
-    fn record_failure(&mut self, algorithm: &str) {
-        *self.failures.entry(algorithm.to_string()).or_default() += 1;
+    fn record_failure(&mut self, solver: &str, cause: String) {
+        self.failures
+            .entry(solver.to_string())
+            .or_default()
+            .push(cause);
+    }
+
+    /// Total failed runs across all solvers.
+    pub fn failure_count(&self) -> usize {
+        self.failures.values().map(Vec::len).sum()
     }
 }
 
@@ -69,93 +87,72 @@ pub(crate) fn build_problem(scenario: &Scenario, run: u64) -> RecoveryProblem {
     p
 }
 
-fn run_algorithm(
-    alg: Algorithm,
-    problem: &RecoveryProblem,
-    scenario: &Scenario,
-) -> Result<RecoveryPlan, RecoveryError> {
-    match alg {
-        Algorithm::Isp => {
-            let mut config = scenario.isp.clone();
-            if scenario.oracle.is_some() {
-                config.oracle = scenario.oracle;
-            }
-            solve_isp(problem, &config)
-        }
-        Algorithm::Opt => opt::solve_opt(problem, &scenario.opt),
-        Algorithm::Srt => Ok(srt::solve_srt(problem)),
-        Algorithm::GrdCom => Ok(greedy::solve_grd_com(problem, &scenario.greedy)),
-        Algorithm::GrdNc => {
-            let mut config = scenario.greedy.clone();
-            if scenario.oracle.is_some() {
-                config.oracle = scenario.oracle;
-            }
-            greedy::solve_grd_nc(problem, &config)
-        }
-        Algorithm::Mcb | Algorithm::Mcw => {
-            let mut config = scenario.mcf.clone();
-            if scenario.oracle.is_some() {
-                config.oracle = scenario.oracle;
-            }
-            mcf_relax::solve_mcf_relax(problem, mcf_extreme(alg).expect("mcb/mcw"), &config)
-        }
-        Algorithm::All => Ok(all::solve_all(problem)),
-    }
-}
-
 /// Everything one run contributes, merged into the scenario result in
 /// run order so parallel execution stays deterministic.
 struct RunOutput {
-    samples: Vec<(&'static str, &'static str, f64)>,
-    failures: Vec<&'static str>,
+    samples: Vec<(&'static str, String, f64)>,
+    failures: Vec<(String, String)>,
 }
 
-/// Executes every algorithm on one run's problem instance.
-fn execute_run(scenario: &Scenario, run: u64) -> RunOutput {
+/// Executes every solver on one run's problem instance.
+fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u64) -> RunOutput {
     let problem = build_problem(scenario, run);
     let mut out = RunOutput {
         samples: Vec::new(),
         failures: Vec::new(),
     };
     // The ALL value also serves as the destruction size reference.
-    for &alg in &scenario.algorithms {
+    for solver in solvers {
+        let name = solver.name().to_string();
+        let mut ctx = SolveContext::new();
+        if let Some(oracle) = scenario.oracle {
+            ctx = ctx.with_oracle(oracle);
+        }
         let started = Instant::now();
-        match run_algorithm(alg, &problem, scenario) {
+        match solver.solve(&problem, &mut ctx) {
             Ok(plan) => {
                 let elapsed = started.elapsed().as_secs_f64() * 1e3;
+                out.samples.push((
+                    "edge_repairs",
+                    name.clone(),
+                    plan.repaired_edges.len() as f64,
+                ));
+                out.samples.push((
+                    "node_repairs",
+                    name.clone(),
+                    plan.repaired_nodes.len() as f64,
+                ));
                 out.samples
-                    .push(("edge_repairs", alg.name(), plan.repaired_edges.len() as f64));
-                out.samples
-                    .push(("node_repairs", alg.name(), plan.repaired_nodes.len() as f64));
-                out.samples
-                    .push(("total_repairs", alg.name(), plan.total_repairs() as f64));
-                out.samples.push(("time_ms", alg.name(), elapsed));
-                // Measurement stays exact regardless of the algorithms'
+                    .push(("total_repairs", name.clone(), plan.total_repairs() as f64));
+                out.samples.push(("time_ms", name.clone(), elapsed));
+                // Measurement stays exact regardless of the solvers'
                 // oracle, so ablations compare like with like.
                 match plan.satisfied_fraction(&problem) {
-                    Ok(frac) => out
-                        .samples
-                        .push(("satisfied_pct", alg.name(), frac * 100.0)),
-                    Err(_) => out.failures.push(alg.name()),
+                    Ok(frac) => out.samples.push(("satisfied_pct", name, frac * 100.0)),
+                    Err(e) => out.failures.push((name, e.to_string())),
                 }
             }
-            Err(_) => out.failures.push(alg.name()),
+            Err(e) => out.failures.push((name, e.to_string())),
         }
     }
     out
 }
 
-/// Runs every algorithm of `scenario` over its configured runs and
-/// collects the paper's metrics: `edge_repairs`, `node_repairs`,
-/// `total_repairs`, `satisfied_pct`, and `time_ms`.
+/// Runs every solver of `scenario` over its configured runs and collects
+/// the paper's metrics: `edge_repairs`, `node_repairs`, `total_repairs`,
+/// `satisfied_pct`, and `time_ms`.
 ///
 /// Independent runs execute concurrently on up to
 /// [`Scenario::threads`] workers (default: one per available core).
 /// Runs whose instance is infeasible even fully repaired (possible under
-/// aggressive disruptions) are counted in
-/// [`ScenarioResult::failures`] and skipped.
+/// aggressive disruptions) are recorded in
+/// [`ScenarioResult::failures`] with their error cause and skipped.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
     let runs = scenario.runs;
+    // Build each spec once; the trait objects are Sync and shared by all
+    // workers.
+    let solvers: Vec<Box<dyn RecoverySolver>> =
+        scenario.solvers.iter().map(|spec| spec.build()).collect();
     let workers = scenario
         .threads
         .unwrap_or_else(|| {
@@ -170,12 +167,13 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
 
     if workers <= 1 {
         for (run, slot) in outputs.iter_mut().enumerate() {
-            *slot = Some(execute_run(scenario, run as u64));
+            *slot = Some(execute_run(scenario, &solvers, run as u64));
         }
     } else {
         // Work-stealing over the run indices with scoped threads; each
         // worker returns (run, output) pairs that are merged afterwards.
         let next = AtomicUsize::new(0);
+        let solvers = &solvers;
         let collected = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
@@ -186,7 +184,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
                             if run >= runs {
                                 break;
                             }
-                            local.push((run, execute_run(scenario, run as u64)));
+                            local.push((run, execute_run(scenario, solvers, run as u64)));
                         }
                         local
                     })
@@ -204,11 +202,11 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
 
     let mut result = ScenarioResult::default();
     for output in outputs.into_iter().flatten() {
-        for (metric, alg, value) in output.samples {
-            result.record(metric, alg, value);
+        for (metric, solver, value) in output.samples {
+            result.record(metric, &solver, value);
         }
-        for alg in output.failures {
-            result.record_failure(alg);
+        for (solver, cause) in output.failures {
+            result.record_failure(&solver, cause);
         }
     }
     result
@@ -255,10 +253,12 @@ pub fn run_figure(figure: &Figure) -> FigureTable {
 mod tests {
     use super::*;
     use crate::scenario::TopologySpec;
+    use netrec_core::solver::SolverSpec;
+    use netrec_core::RecoveryError;
     use netrec_disrupt::DisruptionModel;
     use netrec_topology::demand::DemandSpec;
 
-    fn tiny_scenario(algorithms: Vec<Algorithm>) -> Scenario {
+    fn tiny_scenario(solvers: Vec<SolverSpec>) -> Scenario {
         Scenario::new(
             "tiny",
             1.0,
@@ -268,7 +268,7 @@ mod tests {
                 nodes: vec![0, 1, 2],
                 edges: vec![0, 1, 2, 3],
             },
-            algorithms,
+            solvers,
             2,
             11,
         )
@@ -276,7 +276,7 @@ mod tests {
 
     #[test]
     fn build_problem_is_deterministic() {
-        let s = tiny_scenario(vec![Algorithm::All]);
+        let s = tiny_scenario(vec![SolverSpec::all()]);
         let a = build_problem(&s, 0);
         let b = build_problem(&s, 0);
         assert_eq!(a.demand_pairs(), b.demand_pairs());
@@ -290,7 +290,7 @@ mod tests {
 
     #[test]
     fn run_scenario_collects_all_metrics() {
-        let s = tiny_scenario(vec![Algorithm::All, Algorithm::Srt]);
+        let s = tiny_scenario(vec![SolverSpec::all(), SolverSpec::srt()]);
         let r = run_scenario(&s);
         for metric in [
             "edge_repairs",
@@ -307,11 +307,12 @@ mod tests {
             assert_eq!(by_alg["SRT"].len(), 2);
         }
         assert!(r.failures.is_empty());
+        assert_eq!(r.failure_count(), 0);
     }
 
     #[test]
     fn all_counts_match_disruption() {
-        let s = tiny_scenario(vec![Algorithm::All]);
+        let s = tiny_scenario(vec![SolverSpec::all()]);
         let r = run_scenario(&s);
         let totals = &r.samples["total_repairs"]["ALL"];
         assert!(totals.iter().all(|&t| t == 7.0));
@@ -319,7 +320,11 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_runs_agree() {
-        let mut s = tiny_scenario(vec![Algorithm::All, Algorithm::Srt, Algorithm::Isp]);
+        let mut s = tiny_scenario(vec![
+            SolverSpec::all(),
+            SolverSpec::srt(),
+            SolverSpec::isp(),
+        ]);
         s.runs = 4;
         let serial = run_scenario(&s.clone().with_threads(1));
         let parallel = run_scenario(&s.with_threads(4));
@@ -333,8 +338,8 @@ mod tests {
     }
 
     #[test]
-    fn scenario_oracle_is_threaded_into_algorithms() {
-        let mut s = tiny_scenario(vec![Algorithm::Isp, Algorithm::GrdNc]);
+    fn scenario_oracle_is_threaded_into_solvers() {
+        let mut s = tiny_scenario(vec![SolverSpec::isp(), SolverSpec::grd_nc()]);
         s.oracle = Some(netrec_core::OracleSpec::CachedExact);
         let r = run_scenario(&s);
         assert!(r.failures.is_empty(), "{:?}", r.failures);
@@ -347,6 +352,24 @@ mod tests {
         }
     }
 
+    #[test]
+    fn failures_record_the_error_cause() {
+        // Demand far beyond the fully repaired capacity: every run is
+        // infeasible, and the cause must say so.
+        let mut s = tiny_scenario(vec![SolverSpec::isp()]);
+        s.demand = DemandSpec::new(2, 1e9);
+        let r = run_scenario(&s);
+        let causes = r.failures.get("ISP").expect("ISP runs must fail");
+        assert_eq!(causes.len(), 2);
+        for cause in causes {
+            assert_eq!(
+                cause,
+                &RecoveryError::InfeasibleEvenIfAllRepaired.to_string()
+            );
+        }
+        assert_eq!(r.failure_count(), 2);
+    }
+
     /// Acceptance criterion: `--oracle approx` produces only feasible
     /// plans on the fig7 scenarios (conservativeness end to end).
     #[test]
@@ -354,11 +377,13 @@ mod tests {
         for scenario in crate::figures::fig7(crate::figures::Scale::Smoke).scenarios {
             let mut scenario =
                 scenario.with_oracle(netrec_core::OracleSpec::Approx { epsilon: 0.05 });
-            scenario.algorithms = vec![Algorithm::Isp];
+            scenario.solvers = vec![SolverSpec::isp()];
             scenario.runs = 2;
+            let solver = SolverSpec::isp().build();
             for run in 0..scenario.runs {
                 let problem = build_problem(&scenario, run as u64);
-                match run_algorithm(Algorithm::Isp, &problem, &scenario) {
+                let mut ctx = SolveContext::new().with_oracle(scenario.oracle.unwrap());
+                match solver.solve(&problem, &mut ctx) {
                     Ok(plan) => {
                         assert!(
                             plan.verify_routable(&problem).unwrap(),
@@ -389,7 +414,7 @@ mod tests {
             id: "t".into(),
             title: "t".into(),
             x_label: "x".into(),
-            scenarios: vec![tiny_scenario(vec![Algorithm::All])],
+            scenarios: vec![tiny_scenario(vec![SolverSpec::all()])],
         };
         let table = run_figure(&fig);
         assert!(!table.points.is_empty());

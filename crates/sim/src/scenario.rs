@@ -1,9 +1,14 @@
 //! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] names everything one figure point needs: topology,
+//! demand, disruption, the solver line-up as `Vec<SolverSpec>` (each
+//! spec carries its algorithm's configuration inline — the historical
+//! `algorithms` list plus per-algorithm config fields collapsed into
+//! it; the serde alias keeps old scenario files deserializing), the run
+//! count, and the base seed.
 
-use netrec_core::heuristics::greedy::GreedyConfig;
-use netrec_core::heuristics::mcf_relax::{McfExtreme, McfRelaxConfig};
-use netrec_core::heuristics::opt::OptConfig;
-use netrec_core::{IspConfig, OracleSpec};
+use netrec_core::solver::SolverSpec;
+use netrec_core::OracleSpec;
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::DemandSpec;
 use netrec_topology::Topology;
@@ -52,43 +57,6 @@ impl TopologySpec {
     }
 }
 
-/// A recovery algorithm to evaluate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Algorithm {
-    /// Iterative Split and Prune (the paper's contribution).
-    Isp,
-    /// The exact/budgeted MILP optimum.
-    Opt,
-    /// Shortest-path repair.
-    Srt,
-    /// Greedy Commitment.
-    GrdCom,
-    /// Greedy No-Commitment.
-    GrdNc,
-    /// Multi-commodity relaxation, best extraction.
-    Mcb,
-    /// Multi-commodity relaxation, worst extraction.
-    Mcw,
-    /// Repair everything.
-    All,
-}
-
-impl Algorithm {
-    /// Display name matching the paper's figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Algorithm::Isp => "ISP",
-            Algorithm::Opt => "OPT",
-            Algorithm::Srt => "SRT",
-            Algorithm::GrdCom => "GRD-COM",
-            Algorithm::GrdNc => "GRD-NC",
-            Algorithm::Mcb => "MCB",
-            Algorithm::Mcw => "MCW",
-            Algorithm::All => "ALL",
-        }
-    }
-}
-
 /// A complete experiment scenario: one point of a figure's sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scenario {
@@ -102,24 +70,25 @@ pub struct Scenario {
     pub demand: DemandSpec,
     /// Disruption model.
     pub disruption: DisruptionModel,
-    /// Algorithms to run.
-    pub algorithms: Vec<Algorithm>,
+    /// Solvers to run, each carrying its configuration inline. Replaces
+    /// the old `algorithms` list plus the per-algorithm `isp` / `opt` /
+    /// `greedy` / `mcf` config fields. The serde alias keeps the old
+    /// *field key* accepted; note that migrating pre-redesign files
+    /// under real serde would additionally need a custom deserializer
+    /// mapping bare `Algorithm` names (`"Isp"`, …) onto `SolverSpec`
+    /// variants — with the offline serde stand-in (DESIGN.md §7) neither
+    /// path is exercised yet.
+    #[serde(alias = "algorithms")]
+    pub solvers: Vec<SolverSpec>,
     /// Independent runs to average over (the paper uses 20).
     pub runs: usize,
     /// Base RNG seed; run `r` uses `seed + r`.
     pub seed: u64,
-    /// ISP configuration.
-    pub isp: IspConfig,
-    /// OPT configuration.
-    pub opt: OptConfig,
-    /// Greedy configuration.
-    pub greedy: GreedyConfig,
-    /// MCB/MCW configuration.
-    pub mcf: McfRelaxConfig,
-    /// Evaluation-oracle backend forced onto every oracle-aware
-    /// algorithm of this scenario (ISP, GRD-NC, MCB/MCW). `None` keeps
-    /// each algorithm's own configuration. This is the sim-level ablation
-    /// axis behind the CLI's `--oracle` flag.
+    /// Evaluation-oracle backend forced onto every oracle-aware solver
+    /// of this scenario (ISP, GRD-NC, MCB) through the run's
+    /// `SolveContext`. `None` keeps each solver's own configuration.
+    /// This is the sim-level ablation axis behind the CLI's `--oracle`
+    /// flag.
     pub oracle: Option<OracleSpec>,
     /// Worker threads for the independent runs (`None` = one per
     /// available core, capped at the run count; `Some(1)` forces the
@@ -129,7 +98,7 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// A scenario with default algorithm configurations.
+    /// A scenario running the given solver specs.
     #[allow(clippy::too_many_arguments)] // mirrors the experiment tuple of the paper
     pub fn new(
         label: impl Into<String>,
@@ -137,7 +106,7 @@ impl Scenario {
         topology: TopologySpec,
         demand: DemandSpec,
         disruption: DisruptionModel,
-        algorithms: Vec<Algorithm>,
+        solvers: Vec<SolverSpec>,
         runs: usize,
         seed: u64,
     ) -> Self {
@@ -147,19 +116,15 @@ impl Scenario {
             topology,
             demand,
             disruption,
-            algorithms,
+            solvers,
             runs,
             seed,
-            isp: IspConfig::default(),
-            opt: OptConfig::default(),
-            greedy: GreedyConfig::default(),
-            mcf: McfRelaxConfig::default(),
             oracle: None,
             threads: None,
         }
     }
 
-    /// Returns the scenario with every oracle-aware algorithm forced onto
+    /// Returns the scenario with every oracle-aware solver forced onto
     /// the given backend.
     pub fn with_oracle(mut self, oracle: OracleSpec) -> Self {
         self.oracle = Some(oracle);
@@ -170,16 +135,6 @@ impl Scenario {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
-    }
-}
-
-/// Helper shared by runner and tests: the extraction extreme per
-/// algorithm.
-pub(crate) fn mcf_extreme(alg: Algorithm) -> Option<McfExtreme> {
-    match alg {
-        Algorithm::Mcb => Some(McfExtreme::Best),
-        Algorithm::Mcw => Some(McfExtreme::Worst),
-        _ => None,
     }
 }
 
@@ -207,10 +162,10 @@ mod tests {
     }
 
     #[test]
-    fn algorithm_names_match_paper() {
-        assert_eq!(Algorithm::Isp.name(), "ISP");
-        assert_eq!(Algorithm::GrdCom.name(), "GRD-COM");
-        assert_eq!(Algorithm::Mcw.name(), "MCW");
+    fn solver_names_match_paper() {
+        assert_eq!(SolverSpec::isp().name(), "ISP");
+        assert_eq!(SolverSpec::grd_com().name(), "GRD-COM");
+        assert_eq!(SolverSpec::mcw().name(), "MCW");
     }
 
     #[test]
@@ -221,11 +176,12 @@ mod tests {
             TopologySpec::BellCanada,
             DemandSpec::new(2, 10.0),
             netrec_disrupt::DisruptionModel::Complete,
-            vec![Algorithm::Isp],
+            vec![SolverSpec::isp()],
             3,
             7,
         );
         assert_eq!(s.runs, 3);
-        assert_eq!(s.algorithms.len(), 1);
+        assert_eq!(s.solvers.len(), 1);
+        assert_eq!(s.oracle, None);
     }
 }

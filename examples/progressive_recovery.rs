@@ -12,7 +12,8 @@
 //! optimizes.
 
 use netrec::core::schedule::schedule_recovery;
-use netrec::core::{solve_isp, IspConfig, RecoveryProblem};
+use netrec::core::solver::{SolveContext, SolverSpec};
+use netrec::core::RecoveryProblem;
 use netrec::disrupt::DisruptionModel;
 use netrec::topology::bell::bell_canada;
 use netrec::topology::demand::{generate_demands, DemandSpec};
@@ -42,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         demands.len()
     );
 
-    let plan = solve_isp(&problem, &IspConfig::default())?;
+    let plan = SolverSpec::isp()
+        .build()
+        .solve(&problem, &mut SolveContext::new())?;
     println!(
         "ISP plan: {} repairs (of {} broken)\n",
         plan.total_repairs(),

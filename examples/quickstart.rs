@@ -1,14 +1,19 @@
-//! Quickstart: plan the recovery of a small damaged network with ISP.
+//! Quickstart: plan the recovery of a small damaged network with ISP
+//! through the unified solver layer.
 //!
 //! Run with `cargo run --example quickstart`.
 //!
 //! The scenario: a six-node metro ring with a cross-link. An incident
 //! knocks out three nodes and four links; two mission-critical services
 //! (say, hospital↔emergency-control and two government sites) must be
-//! restored. We ask ISP for a minimal repair plan and verify it.
+//! restored. We pick the solver as *data* (`SolverSpec::parse("isp")` —
+//! any registry algorithm works here), give the run a deadline and a
+//! progress listener, and verify the plan.
 
-use netrec::core::{solve_isp_with_stats, IspConfig, RecoveryProblem};
+use netrec::core::solver::{ProgressEvent, SolveContext, SolverSpec};
+use netrec::core::RecoveryProblem;
 use netrec::graph::Graph;
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Supply graph: ring 0-1-2-3-4-5-0 plus chord 1-4, capacity 10 each.
@@ -41,10 +46,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         problem.graph().edge_count(),
     );
 
-    // Plan the recovery.
-    let (plan, stats) = solve_isp_with_stats(&problem, &IspConfig::default())?;
+    // Plan the recovery: solver choice is a string, cross-cutting rules
+    // (deadline, progress) live on the context.
+    let solver = SolverSpec::parse("isp")?.build();
+    let mut ctx = SolveContext::new()
+        .with_deadline(Duration::from_secs(10))
+        .with_progress(|event| {
+            if let ProgressEvent::Stage { solver, stage } = event {
+                println!("  [{solver}] {stage}");
+            }
+        });
+    let plan = solver.solve(&problem, &mut ctx)?;
 
-    println!("\nISP recovery plan ({} iterations):", stats.iterations);
+    println!(
+        "\n{} recovery plan ({} iterations):",
+        plan.algorithm, plan.iterations
+    );
     println!("  repair nodes: {:?}", plan.repaired_nodes);
     println!("  repair edges: {:?}", plan.repaired_edges);
     println!(
@@ -52,7 +69,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.total_repairs(),
         plan.repair_cost(&problem)
     );
-    println!("  splits: {}, prunes: {}", stats.splits, stats.prunes);
 
     // Verify: with those repairs the whole demand must be routable.
     assert!(plan.verify_routable(&problem)?);

@@ -8,9 +8,8 @@
 //! reduction). We sweep the edge probability and watch OPT's search
 //! explode while ISP stays flat.
 
-use netrec::core::heuristics::opt::{solve_opt, OptConfig};
-use netrec::core::heuristics::srt::solve_srt;
-use netrec::core::{solve_isp, IspConfig, RecoveryProblem};
+use netrec::core::solver::{SolveContext, SolverSpec};
+use netrec::core::RecoveryProblem;
 use netrec::disrupt::DisruptionModel;
 use netrec::topology::demand::{generate_demands, DemandSpec};
 use netrec::topology::random::erdos_renyi;
@@ -18,6 +17,13 @@ use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 30;
+    // The line-up as data: the same specs a scenario file or `--algo`
+    // would carry.
+    let solvers = [
+        SolverSpec::isp().build(),
+        SolverSpec::parse("opt:budget=100")?.build(),
+        SolverSpec::srt().build(),
+    ];
     println!("Erdős–Rényi n = {n}, 5 unit demand pairs, capacity 1000, full destruction\n");
     println!(
         "{:>6}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}",
@@ -44,32 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
 
-        let t0 = Instant::now();
-        let isp = solve_isp(&problem, &IspConfig::default())?;
-        let isp_t = t0.elapsed().as_secs_f64();
-
-        let t0 = Instant::now();
-        let opt = solve_opt(
-            &problem,
-            &OptConfig {
-                node_budget: Some(100),
-                warm_start: true,
-            },
-        )?;
-        let opt_t = t0.elapsed().as_secs_f64();
-
-        let t0 = Instant::now();
-        let srt = solve_srt(&problem);
-        let srt_t = t0.elapsed().as_secs_f64();
-
+        let mut repairs = Vec::new();
+        let mut times = Vec::new();
+        for solver in &solvers {
+            let t0 = Instant::now();
+            let plan = solver.solve(&problem, &mut SolveContext::new())?;
+            times.push(t0.elapsed().as_secs_f64());
+            repairs.push(plan.total_repairs());
+        }
         println!(
             "{p:>6.1}{:>12}{:>12}{:>12}{:>11.2}s{:>11.2}s{:>11.4}s",
-            isp.total_repairs(),
-            opt.total_repairs(),
-            srt.total_repairs(),
-            isp_t,
-            opt_t,
-            srt_t
+            repairs[0], repairs[1], repairs[2], times[0], times[1], times[2]
         );
     }
 

@@ -20,8 +20,13 @@
 //!
 //! # Quickstart
 //!
+//! Solvers are selected as data through [`core::solver::SolverSpec`]
+//! (`"isp"`, `"grd-nc:paths=8"`, `"mcf:worst"`, …) and run behind the
+//! unified [`core::solver::RecoverySolver`] trait:
+//!
 //! ```
-//! use netrec::core::{IspConfig, RecoveryProblem, solve_isp};
+//! use netrec::core::solver::{SolveContext, SolverSpec};
+//! use netrec::core::RecoveryProblem;
 //! use netrec::graph::Graph;
 //!
 //! // A tiny supply network: a broken relay on the cheap route.
@@ -36,7 +41,8 @@
 //! problem.break_node(problem.graph().node(1), 1.0)?;
 //! problem.break_node(problem.graph().node(2), 1.0)?;
 //!
-//! let plan = solve_isp(&problem, &IspConfig::default())?;
+//! let solver = SolverSpec::parse("isp")?.build();
+//! let plan = solver.solve(&problem, &mut SolveContext::new())?;
 //! // Repairing one of the two relays suffices to route the 5 units.
 //! assert_eq!(plan.repaired_nodes.len(), 1);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
