@@ -63,16 +63,31 @@ impl IntoBenchmarkId for String {
     }
 }
 
+/// Whether the bench binary runs in smoke mode (`cargo bench -- --test`,
+/// matching real criterion's flag): every routine executes exactly once,
+/// nothing is timed, and no `BENCH_*.json` is written — CI uses this so
+/// bench code cannot silently rot without slowing the pipeline or
+/// clobbering committed measurements.
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
 /// Measures closures passed to [`Bencher::iter`].
 pub struct Bencher {
     samples: Vec<f64>,
     sample_size: usize,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Times `routine`, collecting up to `sample_size` samples within the
-    /// measuring budget.
+    /// measuring budget. In smoke mode (`-- --test`) the routine runs
+    /// once, untimed.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
         // One untimed warm-up call.
         let warm = Instant::now();
         std::hint::black_box(routine());
@@ -152,7 +167,15 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Writes the group's `BENCH_<group>.json` and prints a summary.
+    /// In smoke mode (`-- --test`) nothing is written — a 1-iteration
+    /// run must not clobber committed measurements.
     pub fn finish(&mut self) {
+        if smoke_mode() {
+            self.criterion
+                .group_results
+                .push((self.name.clone(), self.results.len()));
+            return;
+        }
         let path = bench_dir().join(format!("BENCH_{}.json", sanitize(&self.name)));
         let mut json = String::from("{\n");
         let _ = writeln!(json, "  \"group\": \"{}\",", self.name);
@@ -200,8 +223,17 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let mut bencher = Bencher {
         samples: Vec::new(),
         sample_size,
+        smoke: smoke_mode(),
     };
     f(&mut bencher);
+    if bencher.smoke {
+        println!("bench {full_name}: smoke ok (1 untimed iteration)");
+        return BenchResult {
+            id: id.to_string(),
+            median_ns: f64::NAN,
+            samples: 0,
+        };
+    }
     let mut samples = bencher.samples;
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let median_ns = if samples.is_empty() {
@@ -250,11 +282,16 @@ impl Criterion {
 
     /// Prints the end-of-run summary.
     pub fn final_summary(&mut self) {
+        let smoke = smoke_mode();
         for (group, n) in &self.group_results {
-            println!(
-                "group {group}: {n} benchmarks written to BENCH_{}.json",
-                sanitize(group)
-            );
+            if smoke {
+                println!("group {group}: {n} benchmarks smoke-tested, nothing written");
+            } else {
+                println!(
+                    "group {group}: {n} benchmarks written to BENCH_{}.json",
+                    sanitize(group)
+                );
+            }
         }
     }
 }

@@ -24,7 +24,9 @@
 //!
 //! All solvers answer their routability / satisfied-demand questions
 //! through the pluggable [`oracle`] layer (exact LP, conservative
-//! concurrent-flow approximation, or a memoizing cache — see `DESIGN.md`),
+//! concurrent-flow approximation, a memoizing cache, or the
+//! warm-starting incremental backend `--oracle incremental` — see
+//! `DESIGN.md`),
 //! and every run threads a [`solver::SolveContext`] carrying the oracle
 //! override, an optional wall-clock deadline, a cancellation flag, and a
 //! progress listener.

@@ -1,0 +1,689 @@
+//! The incremental exact oracle backend.
+//!
+//! The progressive scheduler, GRD-NC, and MCB all probe long sequences of
+//! *nearly identical* network states: the working masks change by one
+//! repaired component per probe (apply → query → undo). A from-scratch
+//! backend pays a full LP per probe; [`Cached`](super::Cached) only
+//! collapses exact repeats. `IncrementalOracle` instead keeps a
+//! **persistent warm-start state** between queries and answers most
+//! probes without any solve, while staying *answer-identical* to
+//! [`ExactLp`]:
+//!
+//! * **Generation** — a fingerprint of the base instance (graph shape +
+//!   demand list). While it matches, state persists across apply/undo
+//!   deltas; on a mismatch the state is discarded and the next answers
+//!   come from full re-solves.
+//! * **Canonical effective state** — answers are keyed by the *effective*
+//!   enabled edge set (masks combined), restricted to the connected
+//!   components that contain both endpoints of at least one active
+//!   demand, with capacities. This is a lossless canonicalization: flow
+//!   conservation confines every demand to its own component, so edges
+//!   in components without a complete demand pair can never carry useful
+//!   flow, and a disabled endpoint is indistinguishable from an
+//!   enabled-but-isolated one. Toggling any component that does not
+//!   change the demand-relevant subgraph — a node whose links are still
+//!   broken, an edge with a broken endpoint, anything in a dead region —
+//!   lands on the same key, so the scheduler's zero-marginal-gain
+//!   frontier collapses to one solve.
+//! * **Monotone witnesses** — warm-start deductions from previous
+//!   solutions. A state that was routable stays routable when components
+//!   are added and capacities grow (the old routing remains feasible);
+//!   an unroutable state stays unroutable when restricted further; a
+//!   fully-satisfied state stays fully satisfied under additions, and its
+//!   answer vector is exactly the demand amounts. All three are exact
+//!   implications, never approximations.
+//!
+//! Full solves also run on the canonical subgraph (dead regions masked
+//! out), so even a cache-cold query builds a smaller LP than a
+//! from-scratch backend would.
+//!
+//! [`EvalOracle::evaluate_batch`] is overridden to score a whole repair
+//! frontier against one shared base state: per candidate it computes just
+//! the *delta* of effective edges (O(degree)) instead of re-deriving the
+//! query from scratch.
+
+use super::{
+    Counter, EvalOracle, ExactLp, OracleStats, Patch, RoutabilityOracle, SatisfactionOracle,
+};
+use crate::RecoveryError;
+use netrec_graph::{Graph, View};
+use netrec_lp::mcf::Demand;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Maximum retained witnesses per kind; older ones are evicted first.
+/// Witness checks are O(|E|) each, so this bounds per-query overhead.
+const MAX_WITNESSES: usize = 16;
+
+/// Maximum entries per memo map before it is cleared wholesale. Each
+/// entry is O(|E|) words, so this bounds memory on huge schedules (an
+/// O(items²) probe sequence) at the cost of rare recomputation; the
+/// witnesses survive a clear, so warm starts keep working.
+const MAX_MEMO_ENTRIES: usize = 65_536;
+
+/// The exact backend with persistent warm-start state (see module docs).
+///
+/// Answers are identical to [`ExactLp`]; only the cost differs. Selected
+/// via [`OracleSpec::Incremental`](super::OracleSpec::Incremental)
+/// (`--oracle incremental` on the CLI).
+#[derive(Debug, Default)]
+pub struct IncrementalOracle {
+    inner: ExactLp,
+    state: Mutex<IncState>,
+    routability_queries: Counter,
+    satisfaction_queries: Counter,
+    memo_hits: Counter,
+    warm_start_hits: Counter,
+    full_solves: Counter,
+    generation_resets: Counter,
+}
+
+/// The warm-start state, valid for one generation.
+#[derive(Debug, Default)]
+struct IncState {
+    /// Fingerprint of the base instance (empty = not initialized yet).
+    generation: Vec<u64>,
+    /// States proven routable (minimal ones preferred).
+    routable: Vec<EffState>,
+    /// States proven unroutable (maximal ones preferred).
+    unroutable: Vec<EffState>,
+    /// States where every demand was fully satisfied.
+    fully_satisfied: Vec<EffState>,
+    memo_routable: HashMap<Vec<u64>, bool>,
+    memo_satisfied: HashMap<Vec<u64>, Vec<f64>>,
+}
+
+/// Inserts into a memo map, clearing it first when it is full (see
+/// [`MAX_MEMO_ENTRIES`]).
+fn memo_insert<V>(map: &mut HashMap<Vec<u64>, V>, key: Vec<u64>, value: V) {
+    if map.len() >= MAX_MEMO_ENTRIES {
+        map.clear();
+    }
+    map.insert(key, value);
+}
+
+/// A canonical effective state: the demand-relevant enabled edges as a
+/// bitset plus their capacities (0.0 where absent).
+#[derive(Debug, Clone)]
+struct EffState {
+    words: Vec<u64>,
+    caps: Vec<f64>,
+}
+
+impl EffState {
+    #[inline]
+    fn enabled(&self, e: usize) -> bool {
+        self.words[e / 64] & (1 << (e % 64)) != 0
+    }
+
+    /// The lossless memo key: the bitset plus the capacity bits of every
+    /// present edge in id order.
+    fn key(&self) -> Vec<u64> {
+        let mut key = self.words.clone();
+        for (e, &c) in self.caps.iter().enumerate() {
+            if self.enabled(e) {
+                key.push(c.to_bits());
+            }
+        }
+        key
+    }
+
+    /// An all-edges-enabled edge mask for re-solving on the canonical
+    /// subgraph.
+    fn edge_mask(&self) -> Vec<bool> {
+        (0..self.caps.len()).map(|e| self.enabled(e)).collect()
+    }
+}
+
+/// The raw effective state of a view before canonicalization: per-edge
+/// enablement (masks combined) and the capacity of *every* edge (so
+/// patch deltas can pick up capacities of edges not yet enabled).
+struct RawState {
+    enabled: Vec<bool>,
+    caps: Vec<f64>,
+}
+
+impl RawState {
+    fn of(view: &View<'_>) -> Self {
+        let m = view.edge_count();
+        let mut enabled = vec![false; m];
+        let mut caps = vec![0.0; m];
+        for e in view.graph().edges() {
+            enabled[e.index()] = view.edge_enabled(e);
+            caps[e.index()] = view.capacity(e);
+        }
+        RawState { enabled, caps }
+    }
+}
+
+/// Union-find with path halving over dense node indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra as u32;
+        }
+    }
+}
+
+/// Canonicalizes a raw effective state: keeps only edges lying in a
+/// connected component that contains both endpoints of at least one
+/// active demand. Exact: every demand's flow is confined to its own
+/// component, so dropped edges can never influence either query kind.
+fn canonicalize(graph: &Graph, demands: &[Demand], enabled: &[bool], caps: &[f64]) -> EffState {
+    let n = graph.node_count();
+    let m = graph.edge_count();
+    let mut uf = UnionFind::new(n);
+    for (e, &on) in enabled.iter().enumerate() {
+        if on {
+            let (u, v) = graph.endpoints(netrec_graph::EdgeId::new(e));
+            uf.union(u.index(), v.index());
+        }
+    }
+    let mut relevant = vec![false; n];
+    for d in demands {
+        if d.amount > 0.0 && d.source != d.target {
+            let (rs, rt) = (uf.find(d.source.index()), uf.find(d.target.index()));
+            if rs == rt {
+                relevant[rs] = true;
+            }
+        }
+    }
+    let mut words = vec![0u64; m.div_ceil(64)];
+    let mut canon_caps = vec![0.0; m];
+    for (e, &on) in enabled.iter().enumerate() {
+        if on {
+            let (u, _) = graph.endpoints(netrec_graph::EdgeId::new(e));
+            if relevant[uf.find(u.index())] {
+                words[e / 64] |= 1 << (e % 64);
+                canon_caps[e] = caps[e];
+            }
+        }
+    }
+    EffState {
+        words,
+        caps: canon_caps,
+    }
+}
+
+/// Whether state `a` offers at least everything state `b` does: every
+/// edge present in `b` is present in `a` with at least `b`'s capacity.
+fn extends(a: &EffState, b: &EffState) -> bool {
+    if b.words.iter().zip(&a.words).any(|(&bw, &aw)| bw & !aw != 0) {
+        return false;
+    }
+    for (e, &bc) in b.caps.iter().enumerate() {
+        if b.enabled(e) && a.caps[e] < bc {
+            return false;
+        }
+    }
+    true
+}
+
+/// Inserts a witness into a list where *smaller* states are stronger
+/// (routable / fully-satisfied): skips dominated inserts, replaces
+/// dominated entries, evicts the oldest past [`MAX_WITNESSES`].
+fn insert_minimal(list: &mut Vec<EffState>, new: EffState) {
+    if list.iter().any(|w| extends(&new, w)) {
+        return; // an existing witness already covers everything `new` would
+    }
+    if let Some(w) = list.iter_mut().find(|w| extends(w, &new)) {
+        *w = new; // `new` is strictly stronger
+        return;
+    }
+    if list.len() >= MAX_WITNESSES {
+        list.remove(0);
+    }
+    list.push(new);
+}
+
+/// Mirror of [`insert_minimal`] for lists where *larger* states are
+/// stronger (unroutable).
+fn insert_maximal(list: &mut Vec<EffState>, new: EffState) {
+    if list.iter().any(|w| extends(w, &new)) {
+        return;
+    }
+    if let Some(w) = list.iter_mut().find(|w| extends(&new, w)) {
+        *w = new;
+        return;
+    }
+    if list.len() >= MAX_WITNESSES {
+        list.remove(0);
+    }
+    list.push(new);
+}
+
+impl IncrementalOracle {
+    /// A fresh backend with empty warm-start state.
+    pub fn new() -> Self {
+        IncrementalOracle::default()
+    }
+
+    /// The base-instance fingerprint: graph shape *including every edge's
+    /// endpoints* plus the demand list. The endpoints matter: two graphs
+    /// with equal node/edge counts but different wiring would otherwise
+    /// produce colliding canonical-state keys and alias each other's
+    /// answers.
+    fn generation_key(view: &View<'_>, demands: &[Demand]) -> Vec<u64> {
+        let graph = view.graph();
+        let mut key = Vec::with_capacity(2 + graph.edge_count() + 2 * demands.len());
+        key.push(graph.node_count() as u64);
+        key.push(graph.edge_count() as u64);
+        for e in graph.edges() {
+            let (u, v) = graph.endpoints(e);
+            key.push(((u.index() as u64) << 32) | v.index() as u64);
+        }
+        for d in demands {
+            key.push(((d.source.index() as u64) << 32) | d.target.index() as u64);
+            key.push(d.amount.to_bits());
+        }
+        key
+    }
+
+    /// Resets the state when the base instance changed ("generation
+    /// mismatch → full re-solve").
+    fn refresh_generation(&self, st: &mut IncState, view: &View<'_>, demands: &[Demand]) {
+        let gen = Self::generation_key(view, demands);
+        if st.generation == gen {
+            return;
+        }
+        if !st.generation.is_empty() {
+            self.generation_resets.bump();
+        }
+        *st = IncState {
+            generation: gen,
+            ..IncState::default()
+        };
+    }
+
+    /// The satisfied vector for canonical state `q`, trying memo →
+    /// witness → full solve on the canonical subgraph; maintains memos
+    /// and witnesses.
+    fn satisfied_for(
+        &self,
+        st: &mut IncState,
+        q: &EffState,
+        graph: &Graph,
+        demands: &[Demand],
+    ) -> Result<Vec<f64>, RecoveryError> {
+        let key = q.key();
+        if let Some(answer) = st.memo_satisfied.get(&key) {
+            self.memo_hits.bump();
+            return Ok(answer.clone());
+        }
+        if st.fully_satisfied.iter().any(|w| extends(q, w)) {
+            self.warm_start_hits.bump();
+            let full: Vec<f64> = demands.iter().map(|d| d.amount.max(0.0)).collect();
+            memo_insert(&mut st.memo_satisfied, key, full.clone());
+            return Ok(full);
+        }
+        self.full_solves.bump();
+        let mask = q.edge_mask();
+        let canon = graph.view().with_edge_mask(&mask).with_capacities(&q.caps);
+        let answer = self.inner.satisfied(&canon, demands)?;
+        if demands.iter().zip(&answer).all(|(d, &s)| s >= d.amount) {
+            insert_minimal(&mut st.fully_satisfied, q.clone());
+        }
+        memo_insert(&mut st.memo_satisfied, key, answer.clone());
+        Ok(answer)
+    }
+}
+
+impl RoutabilityOracle for IncrementalOracle {
+    fn is_routable(&self, view: &View<'_>, demands: &[Demand]) -> Result<bool, RecoveryError> {
+        self.routability_queries.bump();
+        let graph = view.graph();
+        let mut st = self.state.lock().expect("incremental state poisoned");
+        self.refresh_generation(&mut st, view, demands);
+        let raw = RawState::of(view);
+        let q = canonicalize(graph, demands, &raw.enabled, &raw.caps);
+        let key = q.key();
+        if let Some(&answer) = st.memo_routable.get(&key) {
+            self.memo_hits.bump();
+            return Ok(answer);
+        }
+        // Monotone warm starts: a routable state stays routable with more
+        // components/capacity; an unroutable one stays unroutable with
+        // fewer.
+        if st.routable.iter().any(|w| extends(&q, w)) {
+            self.warm_start_hits.bump();
+            memo_insert(&mut st.memo_routable, key, true);
+            return Ok(true);
+        }
+        if st.unroutable.iter().any(|w| extends(w, &q)) {
+            self.warm_start_hits.bump();
+            memo_insert(&mut st.memo_routable, key, false);
+            return Ok(false);
+        }
+        self.full_solves.bump();
+        let mask = q.edge_mask();
+        let canon = graph.view().with_edge_mask(&mask).with_capacities(&q.caps);
+        let answer = self.inner.is_routable(&canon, demands)?;
+        memo_insert(&mut st.memo_routable, key, answer);
+        if answer {
+            insert_minimal(&mut st.routable, q);
+        } else {
+            insert_maximal(&mut st.unroutable, q);
+        }
+        Ok(answer)
+    }
+}
+
+impl SatisfactionOracle for IncrementalOracle {
+    fn satisfied(&self, view: &View<'_>, demands: &[Demand]) -> Result<Vec<f64>, RecoveryError> {
+        self.satisfaction_queries.bump();
+        let graph = view.graph();
+        let mut st = self.state.lock().expect("incremental state poisoned");
+        self.refresh_generation(&mut st, view, demands);
+        let raw = RawState::of(view);
+        let q = canonicalize(graph, demands, &raw.enabled, &raw.caps);
+        self.satisfied_for(&mut st, &q, graph, demands)
+    }
+}
+
+impl EvalOracle for IncrementalOracle {
+    fn name(&self) -> String {
+        "incremental".to_string()
+    }
+
+    fn stats(&self) -> OracleStats {
+        let inner = self.inner.stats();
+        OracleStats {
+            routability_queries: self.routability_queries.get(),
+            satisfaction_queries: self.satisfaction_queries.get(),
+            lp_solves: inner.lp_solves,
+            cache_hits: self.memo_hits.get(),
+            cache_misses: self.full_solves.get(),
+            warm_start_hits: self.warm_start_hits.get(),
+            full_solves: self.full_solves.get(),
+            generation_resets: self.generation_resets.get(),
+            ..OracleStats::default()
+        }
+    }
+
+    /// Frontier scoring against one shared warm state: per candidate only
+    /// the *delta* of effective edges is computed (O(degree)); candidates
+    /// that change no effective edge reuse the base answer outright.
+    fn evaluate_batch(
+        &self,
+        view: &View<'_>,
+        demands: &[Demand],
+        patches: &[Patch],
+    ) -> Result<Vec<f64>, RecoveryError> {
+        let graph = view.graph();
+        let node_enabled: Vec<bool> = graph.nodes().map(|n| view.node_enabled(n)).collect();
+        let edge_mask: Vec<bool> = match view.edge_mask() {
+            Some(m) => m.to_vec(),
+            None => vec![true; graph.edge_count()],
+        };
+
+        let mut st = self.state.lock().expect("incremental state poisoned");
+        self.refresh_generation(&mut st, view, demands);
+        let raw = RawState::of(view);
+        let mut base_total: Option<f64> = None;
+
+        let mut totals = Vec::with_capacity(patches.len());
+        for &patch in patches {
+            self.satisfaction_queries.bump();
+            // Effective edges this candidate would newly enable.
+            let mut added: Vec<usize> = Vec::new();
+            match patch {
+                Patch::Edge(e) => {
+                    let (u, v) = graph.endpoints(e);
+                    if !raw.enabled[e.index()] && node_enabled[u.index()] && node_enabled[v.index()]
+                    {
+                        added.push(e.index());
+                    }
+                }
+                Patch::Node(n) => {
+                    if !node_enabled[n.index()] {
+                        for (e, w) in graph.csr().neighbors(n) {
+                            if edge_mask[e.index()] && node_enabled[w.index()] {
+                                added.push(e.index());
+                            }
+                        }
+                    }
+                }
+            }
+            let sat = if added.is_empty() {
+                // Zero effective delta: exactly the base state's answer.
+                match base_total {
+                    Some(t) => {
+                        self.warm_start_hits.bump();
+                        totals.push(t);
+                        continue;
+                    }
+                    None => {
+                        let q = canonicalize(graph, demands, &raw.enabled, &raw.caps);
+                        let sat = self.satisfied_for(&mut st, &q, graph, demands)?;
+                        base_total = Some(sat.iter().sum());
+                        sat
+                    }
+                }
+            } else {
+                let mut enabled = raw.enabled.clone();
+                for &e in &added {
+                    enabled[e] = true;
+                }
+                let q = canonicalize(graph, demands, &enabled, &raw.caps);
+                self.satisfied_for(&mut st, &q, graph, demands)?
+            };
+            totals.push(sat.iter().sum());
+        }
+        Ok(totals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::{EdgeId, Graph};
+
+    fn square() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(2), 4.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn matches_exact_on_both_sides_of_capacity() {
+        let g = square();
+        let oracle = IncrementalOracle::new();
+        let exact = ExactLp::new();
+        for amount in [3.0, 8.0, 13.9, 14.1, 20.0] {
+            let demands = [Demand::new(g.node(0), g.node(3), amount)];
+            assert_eq!(
+                oracle.is_routable(&g.view(), &demands).unwrap(),
+                exact.is_routable(&g.view(), &demands).unwrap(),
+                "amount {amount}"
+            );
+            let a = oracle.satisfied(&g.view(), &demands).unwrap();
+            let b = exact.satisfied(&g.view(), &demands).unwrap();
+            assert!((a[0] - b[0]).abs() < 1e-9, "amount {amount}: {a:?} {b:?}");
+        }
+    }
+
+    #[test]
+    fn superset_of_routable_state_is_warm_started() {
+        let g = square();
+        let oracle = IncrementalOracle::new();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        // Top route only: routable. Full graph is a superset.
+        let em = vec![true, true, false, false];
+        assert!(oracle
+            .is_routable(&g.view().with_edge_mask(&em), &demands)
+            .unwrap());
+        let solves = oracle.stats().full_solves;
+        assert!(oracle.is_routable(&g.view(), &demands).unwrap());
+        let stats = oracle.stats();
+        assert_eq!(stats.full_solves, solves, "superset must not re-solve");
+        assert_eq!(stats.warm_start_hits, 1);
+    }
+
+    #[test]
+    fn subset_of_unroutable_state_is_warm_started() {
+        let g = square();
+        let oracle = IncrementalOracle::new();
+        let demands = [Demand::new(g.node(0), g.node(3), 20.0)];
+        assert!(!oracle.is_routable(&g.view(), &demands).unwrap());
+        let solves = oracle.stats().full_solves;
+        let em = vec![true, true, true, false];
+        assert!(!oracle
+            .is_routable(&g.view().with_edge_mask(&em), &demands)
+            .unwrap());
+        let stats = oracle.stats();
+        assert_eq!(stats.full_solves, solves, "subset must not re-solve");
+        assert_eq!(stats.warm_start_hits, 1);
+    }
+
+    #[test]
+    fn effective_graph_memo_collapses_mask_noise() {
+        let g = square();
+        let oracle = IncrementalOracle::new();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        // Disable the bottom route via the edge mask; toggling node 2 (now
+        // isolated) changes no effective edge, so the second query is a
+        // memo hit.
+        let em = vec![true, true, false, false];
+        let sat = oracle
+            .satisfied(&g.view().with_edge_mask(&em), &demands)
+            .unwrap();
+        let nm = vec![true, true, false, true];
+        let sat2 = oracle
+            .satisfied(&g.view().with_edge_mask(&em).with_node_mask(&nm), &demands)
+            .unwrap();
+        assert_eq!(sat, sat2);
+        let stats = oracle.stats();
+        assert_eq!(stats.full_solves, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn dead_component_edges_canonicalize_away() {
+        // Line 0-1 (the demand corridor) plus a separate line 2-3: the
+        // 2-3 edge lies in a component with no complete demand pair, so
+        // enabling it lands on the same canonical state.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 5.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 5.0).unwrap();
+        let oracle = IncrementalOracle::new();
+        let demands = [Demand::new(g.node(0), g.node(1), 3.0)];
+        let em = vec![true, false];
+        let sat = oracle
+            .satisfied(&g.view().with_edge_mask(&em), &demands)
+            .unwrap();
+        let sat2 = oracle.satisfied(&g.view(), &demands).unwrap();
+        assert_eq!(sat, sat2);
+        let stats = oracle.stats();
+        assert_eq!(stats.full_solves, 1, "{stats:?}");
+        assert_eq!(stats.cache_hits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn same_shape_different_wiring_does_not_alias() {
+        // Two graphs with identical node/edge counts and capacities but
+        // different endpoints: A = 0-1(4), 1-2(2) is unroutable for
+        // (0→2, 4); B = 0-2(4), 1-2(2) is routable. One reused oracle
+        // must answer both correctly (the generation fingerprint covers
+        // the wiring).
+        let mut a = Graph::with_nodes(3);
+        a.add_edge(a.node(0), a.node(1), 4.0).unwrap();
+        a.add_edge(a.node(1), a.node(2), 2.0).unwrap();
+        let mut b = Graph::with_nodes(3);
+        b.add_edge(b.node(0), b.node(2), 4.0).unwrap();
+        b.add_edge(b.node(1), b.node(2), 2.0).unwrap();
+        let demands = [Demand::new(a.node(0), a.node(2), 4.0)];
+        let oracle = IncrementalOracle::new();
+        assert!(!oracle.is_routable(&a.view(), &demands).unwrap());
+        assert!(oracle.is_routable(&b.view(), &demands).unwrap());
+        assert!(!oracle.is_routable(&a.view(), &demands).unwrap());
+        assert_eq!(oracle.stats().generation_resets, 2);
+    }
+
+    #[test]
+    fn generation_mismatch_resets_the_state() {
+        let g = square();
+        let oracle = IncrementalOracle::new();
+        let d8 = [Demand::new(g.node(0), g.node(3), 8.0)];
+        let d9 = [Demand::new(g.node(0), g.node(3), 9.0)];
+        oracle.is_routable(&g.view(), &d8).unwrap();
+        oracle.is_routable(&g.view(), &d9).unwrap();
+        oracle.is_routable(&g.view(), &d8).unwrap();
+        let stats = oracle.stats();
+        assert_eq!(stats.generation_resets, 2);
+        assert_eq!(stats.full_solves, 3, "every switch re-solves");
+    }
+
+    #[test]
+    fn evaluate_batch_matches_default_scoring() {
+        let g = square();
+        let incremental = IncrementalOracle::new();
+        let exact = ExactLp::new();
+        let demands = [Demand::new(g.node(0), g.node(3), 12.0)];
+        let nm = vec![true, false, false, true];
+        let em = vec![false; 4];
+        let view = g.view().with_node_mask(&nm).with_edge_mask(&em);
+        let patches = vec![
+            Patch::Node(g.node(1)),
+            Patch::Node(g.node(2)),
+            Patch::Edge(EdgeId::new(0)),
+            Patch::Edge(EdgeId::new(3)),
+        ];
+        let a = incremental
+            .evaluate_batch(&view, &demands, &patches)
+            .unwrap();
+        let b = exact.evaluate_batch(&view, &demands, &patches).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+        // Every patch here leaves the demand-relevant subgraph empty
+        // (each enabled component's counterpart is still broken): one
+        // base solve serves the whole frontier.
+        assert_eq!(
+            incremental.stats().full_solves,
+            1,
+            "{:?}",
+            incremental.stats()
+        );
+    }
+
+    #[test]
+    fn full_satisfaction_witness_serves_supersets() {
+        let g = square();
+        let oracle = IncrementalOracle::new();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        let em = vec![true, true, false, false];
+        let sat = oracle
+            .satisfied(&g.view().with_edge_mask(&em), &demands)
+            .unwrap();
+        assert!((sat[0] - 8.0).abs() < 1e-9);
+        let solves = oracle.stats().full_solves;
+        let sat = oracle.satisfied(&g.view(), &demands).unwrap();
+        assert!((sat[0] - 8.0).abs() < 1e-9);
+        assert_eq!(oracle.stats().full_solves, solves);
+        assert_eq!(oracle.stats().warm_start_hits, 1);
+    }
+}

@@ -21,7 +21,13 @@
 //!   unroutable instance — see `DESIGN.md`);
 //! * [`Cached`] — a decorator memoizing any backend's answers keyed by
 //!   the working node/edge masks, capacities, and demand set, with
-//!   hit/miss counters.
+//!   hit/miss counters;
+//! * [`IncrementalOracle`] — an exact backend keeping persistent
+//!   warm-start state across the caller's apply/undo deltas (monotone
+//!   routability witnesses, full-satisfaction witnesses, an
+//!   effective-graph memo) with batched frontier scoring via
+//!   [`EvalOracle::evaluate_batch`]; answers are identical to
+//!   [`ExactLp`], only cheaper.
 //!
 //! Callers select a backend through [`OracleSpec`] (also exposed on the
 //! CLI as `--oracle`) and query through `&dyn EvalOracle`.
@@ -29,16 +35,48 @@
 mod approx;
 mod cached;
 mod exact;
+mod incremental;
 
 pub use approx::ConcurrentFlowApprox;
 pub use cached::Cached;
 pub use exact::ExactLp;
+pub use incremental::IncrementalOracle;
 
 use crate::{RecoveryError, RoutabilityMode};
-use netrec_graph::View;
+use netrec_graph::{EdgeId, NodeId, View};
 use netrec_lp::mcf::Demand;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A single-component *repair* delta against a base view: the candidate
+/// component is enabled on top of the base masks (an already-enabled
+/// component is a no-op). This is the unit of the scheduler's frontier
+/// scoring and of [`EvalOracle::evaluate_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Patch {
+    /// Enable (repair) this node in the base node mask.
+    Node(NodeId),
+    /// Enable (repair) this edge in the base edge mask.
+    Edge(EdgeId),
+}
+
+impl Patch {
+    /// Applies the patch to owned masks, returning the prior value.
+    pub(crate) fn apply(self, node_mask: &mut [bool], edge_mask: &mut [bool]) -> bool {
+        match self {
+            Patch::Node(n) => std::mem::replace(&mut node_mask[n.index()], true),
+            Patch::Edge(e) => std::mem::replace(&mut edge_mask[e.index()], true),
+        }
+    }
+
+    /// Reverts one [`Patch::apply`].
+    pub(crate) fn revert(self, prior: bool, node_mask: &mut [bool], edge_mask: &mut [bool]) {
+        match self {
+            Patch::Node(n) => node_mask[n.index()] = prior,
+            Patch::Edge(e) => edge_mask[e.index()] = prior,
+        }
+    }
+}
 
 /// Answers "is this damaged graph routable?".
 pub trait RoutabilityOracle: Send + Sync {
@@ -67,13 +105,59 @@ pub trait SatisfactionOracle: Send + Sync {
     fn satisfied(&self, view: &View<'_>, demands: &[Demand]) -> Result<Vec<f64>, RecoveryError>;
 }
 
-/// A full evaluation oracle: both query kinds plus introspection.
+/// A full evaluation oracle: both query kinds plus introspection and
+/// batched frontier scoring.
 pub trait EvalOracle: RoutabilityOracle + SatisfactionOracle {
     /// Backend name for reports (`exact`, `approx`, `cached(exact)`, …).
     fn name(&self) -> String;
 
     /// Counters accumulated since construction.
     fn stats(&self) -> OracleStats;
+
+    /// Scores a whole candidate frontier in one call: for each patch, the
+    /// **total** satisfied demand with that one component additionally
+    /// enabled on top of `view`. Semantically identical to applying each
+    /// patch, calling [`SatisfactionOracle::satisfied`], summing, and
+    /// undoing — which is exactly what this default does — but stateful
+    /// backends ([`IncrementalOracle`]) override it to share one warm
+    /// state across the batch instead of re-entering the oracle machinery
+    /// per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP solver failures.
+    fn evaluate_batch(
+        &self,
+        view: &View<'_>,
+        demands: &[Demand],
+        patches: &[Patch],
+    ) -> Result<Vec<f64>, RecoveryError> {
+        let graph = view.graph();
+        let mut node_mask: Vec<bool> = match view.node_mask() {
+            Some(m) => m.to_vec(),
+            None => vec![true; graph.node_count()],
+        };
+        let mut edge_mask: Vec<bool> = match view.edge_mask() {
+            Some(m) => m.to_vec(),
+            None => vec![true; graph.edge_count()],
+        };
+        let caps = view.capacity_overrides();
+        let mut totals = Vec::with_capacity(patches.len());
+        for &patch in patches {
+            let prior = patch.apply(&mut node_mask, &mut edge_mask);
+            let mut patched = graph
+                .view()
+                .with_node_mask(&node_mask)
+                .with_edge_mask(&edge_mask);
+            if let Some(caps) = caps {
+                patched = patched.with_capacities(caps);
+            }
+            let result = self.satisfied(&patched, demands);
+            patch.revert(prior, &mut node_mask, &mut edge_mask);
+            totals.push(result?.iter().sum());
+        }
+        Ok(totals)
+    }
 }
 
 /// Query/solve counters of an oracle (all backends; cache fields stay
@@ -88,12 +172,27 @@ pub struct OracleStats {
     pub lp_solves: usize,
     /// Concurrent-flow approximation runs.
     pub approx_runs: usize,
-    /// Approximate queries that fell back to the exact LP near λ ≈ 1.
+    /// Approximate-backend queries answered by the exact LP because the
+    /// instance sat at or below the size threshold where the dense LP is
+    /// measurably faster than Garg–Könemann.
     pub boundary_fallbacks: usize,
-    /// Memoized answers served ([`Cached`] only).
+    /// Memoized answers served ([`Cached`] and [`IncrementalOracle`]).
     pub cache_hits: usize,
-    /// Queries that reached the inner backend ([`Cached`] only).
+    /// Queries that reached the inner backend ([`Cached`] and
+    /// [`IncrementalOracle`]).
     pub cache_misses: usize,
+    /// Answers derived from the persistent warm-start state without any
+    /// solve ([`IncrementalOracle`] only): monotone routable/unroutable
+    /// witnesses and full-satisfaction witnesses.
+    pub warm_start_hits: usize,
+    /// Queries that fell through every incremental shortcut to a full
+    /// inner solve ([`IncrementalOracle`] only; equals its
+    /// `cache_misses`).
+    pub full_solves: usize,
+    /// Times the incremental state was discarded because the query's base
+    /// instance (graph shape or demand set) changed
+    /// ([`IncrementalOracle`] only).
+    pub generation_resets: usize,
 }
 
 impl OracleStats {
@@ -107,6 +206,9 @@ impl OracleStats {
             boundary_fallbacks: self.boundary_fallbacks + other.boundary_fallbacks,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
+            warm_start_hits: self.warm_start_hits + other.warm_start_hits,
+            full_solves: self.full_solves + other.full_solves,
+            generation_resets: self.generation_resets + other.generation_resets,
         }
     }
 
@@ -156,6 +258,9 @@ pub enum OracleSpec {
         /// Accuracy parameter ε ∈ (0, 1/3).
         epsilon: f64,
     },
+    /// Incremental exact backend: persistent warm-start state across the
+    /// caller's apply/undo deltas (answers identical to [`Exact`](OracleSpec::Exact)).
+    Incremental,
 }
 
 /// Default ε of approximate backends.
@@ -164,9 +269,14 @@ pub const DEFAULT_EPSILON: f64 = 0.05;
 /// Default `|E| · |EH|` size threshold at which the stack switches from
 /// exact to approximate answers — shared by [`OracleSpec::Auto`] parsing,
 /// [`RoutabilityMode::Auto`]'s default, and the approximate backend's
-/// boundary-band fallback limit, so tuning the crossover stays in one
-/// place.
-pub const DEFAULT_SIZE_THRESHOLD: usize = 4_000;
+/// exact-LP fast path, so tuning the crossover stays in one place.
+///
+/// Calibrated from `BENCH_oracle_fig7.json` / `BENCH_routability.json`:
+/// Garg–Könemann at ε = 0.05 was still ~1.3× slower than the dense exact
+/// LP at `|E| · |EH| ≈ 4.4k` (and ~5× slower on Bell-Canada-sized
+/// queries), with the gap closing roughly one size doubling later — so
+/// the approximation is only chosen where it actually wins.
+pub const DEFAULT_SIZE_THRESHOLD: usize = 12_000;
 
 impl OracleSpec {
     /// Instantiates the backend.
@@ -179,15 +289,17 @@ impl OracleSpec {
             OracleSpec::CachedApprox { epsilon } => {
                 Box::new(Cached::new(ConcurrentFlowApprox::new(epsilon)))
             }
+            OracleSpec::Incremental => Box::new(IncrementalOracle::new()),
         }
     }
 
     /// Parses a CLI argument: `exact`, `approx`, `approx:<eps>`, `auto`,
     /// `auto:<threshold>`, `cached` / `cached-exact`, `cached-approx`,
-    /// `cached-approx:<eps>`.
+    /// `cached-approx:<eps>`, `incremental`.
     pub fn parse(s: &str) -> Option<OracleSpec> {
         match s {
             "exact" => Some(OracleSpec::Exact),
+            "incremental" => Some(OracleSpec::Incremental),
             "approx" => Some(OracleSpec::Approx {
                 epsilon: DEFAULT_EPSILON,
             }),
@@ -228,7 +340,7 @@ impl OracleSpec {
     /// [`RoutabilityMode::uses_exact`]).
     pub fn uses_exact_split(&self, enabled_edges: usize, demands: usize) -> bool {
         match self {
-            OracleSpec::Exact | OracleSpec::CachedExact => true,
+            OracleSpec::Exact | OracleSpec::CachedExact | OracleSpec::Incremental => true,
             OracleSpec::Approx { .. } | OracleSpec::CachedApprox { .. } => false,
             OracleSpec::Auto { threshold } => enabled_edges * demands <= *threshold,
         }
@@ -243,6 +355,7 @@ impl std::fmt::Display for OracleSpec {
             OracleSpec::Auto { threshold } => write!(f, "auto:{threshold}"),
             OracleSpec::CachedExact => write!(f, "cached-exact"),
             OracleSpec::CachedApprox { epsilon } => write!(f, "cached-approx:{epsilon}"),
+            OracleSpec::Incremental => write!(f, "incremental"),
         }
     }
 }
@@ -268,8 +381,8 @@ pub struct AutoOracle {
 
 impl AutoOracle {
     /// An auto oracle with the given size threshold and approximation ε.
-    /// The threshold also caps the approximate backend's boundary-band
-    /// exact fallback: above it, no query may build the dense tableau.
+    /// The threshold is shared with the approximate backend's exact-LP
+    /// fast path, so above it no query may build the dense tableau.
     pub fn new(threshold: usize, epsilon: f64) -> Self {
         AutoOracle {
             exact: ExactLp::new(),

@@ -18,14 +18,17 @@
 //! along the most demand-critical path first, completing one corridor at
 //! a time instead of scattering effort.
 //!
-//! Candidate evaluation mutates a single pair of working masks in place
-//! (apply → query → undo) instead of cloning both masks per candidate,
-//! and with a [`Cached`] oracle repeated network
-//! states (e.g. the stage-end evaluation, or re-running a schedule) are
-//! answered from memory instead of fresh LP solves.
+//! Candidate scoring hands the whole affordable frontier to the oracle in
+//! one [`EvalOracle::evaluate_batch`] call per pick, so stateful backends
+//! share a single warm state across the batch. With a [`Cached`] oracle
+//! repeated network states (e.g. the stage-end evaluation, or re-running
+//! a schedule) are answered from memory instead of fresh LP solves; with
+//! the [`IncrementalOracle`](crate::oracle::IncrementalOracle)
+//! (`--oracle incremental`) most candidates are answered from the
+//! persistent warm-start state without any solve at all.
 
 use crate::centrality::demand_centrality;
-use crate::oracle::{Cached, EvalOracle, ExactLp};
+use crate::oracle::{Cached, EvalOracle, ExactLp, Patch};
 use crate::{RecoveryError, RecoveryPlan, RecoveryProblem};
 use netrec_graph::{EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
@@ -208,13 +211,32 @@ pub fn schedule_recovery_with_oracle(
             if candidates.is_empty() {
                 break;
             }
+            // Score the whole frontier in one oracle call: incremental
+            // backends share one warm state across the batch instead of
+            // re-entering the solve machinery per candidate.
+            let gains: Vec<f64> = if total_demand <= 0.0 {
+                vec![1.0; candidates.len()]
+            } else {
+                let patches: Vec<Patch> = candidates
+                    .iter()
+                    .map(|&i| match remaining[i] {
+                        Item::Node(n, _) => Patch::Node(n),
+                        Item::Edge(e, _) => Patch::Edge(e),
+                    })
+                    .collect();
+                let base = problem
+                    .full_view()
+                    .with_node_mask(&node_mask)
+                    .with_edge_mask(&edge_mask);
+                oracle
+                    .evaluate_batch(&base, &demands, &patches)?
+                    .into_iter()
+                    .map(|total| total / total_demand)
+                    .collect()
+            };
             // Greedy marginal gain; ties broken by centrality then cost.
             let mut best: Option<(usize, f64, f64, f64)> = None; // (idx, gain, prio, cost)
-            for &i in &candidates {
-                let undo = apply(&remaining[i], &mut node_mask, &mut edge_mask);
-                let gain = satisfied(&node_mask, &edge_mask);
-                undo.revert(&mut node_mask, &mut edge_mask);
-                let gain = gain?;
+            for (&i, &gain) in candidates.iter().zip(&gains) {
                 let prio = priority(&remaining[i]);
                 let cost = remaining[i].cost();
                 let better = match best {
@@ -249,29 +271,14 @@ pub fn schedule_recovery_with_oracle(
     Ok(RecoverySchedule { stages })
 }
 
-/// Reverts one [`apply`] (plans are normalized, so an item is never
-/// applied twice — but keeping the prior value makes the pair robust
-/// regardless).
-struct Undo {
-    prior: bool,
-    item: Item,
-}
-
-impl Undo {
-    fn revert(self, node_mask: &mut [bool], edge_mask: &mut [bool]) {
-        match self.item {
-            Item::Node(n, _) => node_mask[n.index()] = self.prior,
-            Item::Edge(e, _) => edge_mask[e.index()] = self.prior,
-        }
+/// Marks one picked item repaired in the working masks (candidate
+/// *scoring* goes through [`EvalOracle::evaluate_batch`] and never
+/// touches the masks).
+fn apply(item: &Item, node_mask: &mut [bool], edge_mask: &mut [bool]) {
+    match item {
+        Item::Node(n, _) => node_mask[n.index()] = true,
+        Item::Edge(e, _) => edge_mask[e.index()] = true,
     }
-}
-
-fn apply(item: &Item, node_mask: &mut [bool], edge_mask: &mut [bool]) -> Undo {
-    let prior = match item {
-        Item::Node(n, _) => std::mem::replace(&mut node_mask[n.index()], true),
-        Item::Edge(e, _) => std::mem::replace(&mut edge_mask[e.index()], true),
-    };
-    Undo { prior, item: *item }
 }
 
 #[cfg(test)]
@@ -420,6 +427,40 @@ mod tests {
                 assert_eq!(sa.satisfied_fraction, sb.satisfied_fraction);
             }
         }
+    }
+
+    /// Tentpole acceptance: the incremental oracle reproduces the exact
+    /// oracle's schedule while solving far fewer LPs than the exact
+    /// backend answers queries.
+    #[test]
+    fn incremental_schedule_matches_exact_schedule() {
+        let p = two_lines();
+        let plan = solve_isp(&p, &IspConfig::default()).unwrap();
+        let exact = ExactLp::new();
+        let reference = schedule_recovery_with_oracle(&p, &plan, 1.0, &exact).unwrap();
+
+        let incremental = crate::oracle::IncrementalOracle::new();
+        let schedule = schedule_recovery_with_oracle(&p, &plan, 1.0, &incremental).unwrap();
+        assert_eq!(schedule.len(), reference.len());
+        for (a, b) in schedule.stages.iter().zip(&reference.stages) {
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.edges, b.edges);
+            assert_eq!(a.cost, b.cost);
+            assert!((a.satisfied_fraction - b.satisfied_fraction).abs() < 1e-9);
+        }
+
+        let stats = incremental.stats();
+        let exact_queries = exact.stats().satisfaction_queries;
+        assert!(
+            stats.full_solves < exact_queries,
+            "incremental solved {} of the {} queries the exact run answered",
+            stats.full_solves,
+            exact_queries
+        );
+        assert!(
+            stats.warm_start_hits + stats.cache_hits > 0,
+            "expected warm-start reuse: {stats:?}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! backend is conservative w.r.t. the exact one, and the cache decorator
 //! is observationally identical to its inner backend.
 
-use netrec_core::oracle::{Cached, ConcurrentFlowApprox, ExactLp};
+use netrec_core::oracle::{Cached, ConcurrentFlowApprox, ExactLp, IncrementalOracle};
 use netrec_core::{RoutabilityOracle, SatisfactionOracle};
 use netrec_graph::Graph;
 use netrec_lp::mcf::Demand;
@@ -128,5 +128,57 @@ proptest! {
         // all-true mask legitimately collides with the full view and adds
         // more hits on top.
         prop_assert!(cached.hits() >= 4, "second round must be all hits: {}", cached.hits());
+    }
+
+    /// Tentpole acceptance: `IncrementalOracle` is answer-equivalent to
+    /// `ExactLp` across arbitrary interleaved apply/undo sequences on
+    /// random topologies — identical routability verdicts and identical
+    /// optimal satisfied totals at every step. (Per-demand splits may
+    /// differ between degenerate optima of the same LP, so totals are
+    /// the invariant; the scheduler consumes exactly the totals.)
+    #[test]
+    fn incremental_equals_exact_under_apply_undo(
+        g in arb_graph(),
+        s1 in 0usize..10,
+        t1 in 0usize..10,
+        d1 in 0.2f64..20.0,
+        s2 in 0usize..10,
+        t2 in 0usize..10,
+        d2 in 0.2f64..20.0,
+        toggles in proptest::collection::vec((any::<bool>(), 0usize..64), 1..25),
+    ) {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let demands = [
+            Demand::new(g.node(s1 % n), g.node(t1 % n), d1),
+            Demand::new(g.node(s2 % n), g.node(t2 % n), d2),
+        ];
+        let incremental = IncrementalOracle::new();
+        let exact = ExactLp::new();
+        // Start fully broken; each step toggles one component (an apply
+        // or an undo), querying both oracles on the resulting state.
+        let mut node_mask = vec![false; n];
+        let mut edge_mask = vec![false; m];
+        for &(toggle_node, idx) in &toggles {
+            if toggle_node || m == 0 {
+                let i = idx % n;
+                node_mask[i] = !node_mask[i];
+            } else {
+                let i = idx % m;
+                edge_mask[i] = !edge_mask[i];
+            }
+            let view = g
+                .view()
+                .with_node_mask(&node_mask)
+                .with_edge_mask(&edge_mask);
+            prop_assert_eq!(
+                incremental.is_routable(&view, &demands).unwrap(),
+                exact.is_routable(&view, &demands).unwrap()
+            );
+            let a = incremental.satisfied(&view, &demands).unwrap();
+            let b = exact.satisfied(&view, &demands).unwrap();
+            let (ta, tb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+            prop_assert!((ta - tb).abs() < 1e-6, "totals diverge: {} vs {}", ta, tb);
+        }
     }
 }

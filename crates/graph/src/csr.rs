@@ -1,0 +1,168 @@
+//! Compact struct-of-arrays adjacency index (CSR).
+//!
+//! The recovery stack's hot loops — Dinic layers, Dijkstra relaxations,
+//! BFS sweeps, oracle prechecks — all walk `(edge, neighbor)` pairs around
+//! a node. A Vec-of-Vec adjacency pays one heap indirection per node plus
+//! an `opposite()` branch per edge; this CSR index stores every incidence
+//! list back to back in two parallel flat arrays, so a node's neighborhood
+//! is a pair of contiguous slices and iteration is branch-free.
+//!
+//! [`CsrAdjacency`] is a pure index over an edge list: it never owns
+//! capacities or masks, so capacity patches stay O(1) writes into the
+//! owner's struct-of-arrays storage and never invalidate the index.
+
+use crate::{EdgeId, NodeId};
+
+/// A CSR incidence index: for node `n`, `edges[offsets[n]..offsets[n+1]]`
+/// are the incident edge ids and `neighbors[offsets[n]..offsets[n+1]]`
+/// the corresponding opposite endpoints, in edge-insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CsrAdjacency {
+    /// `n + 1` prefix sums into the flat arrays (u32: a graph with 2³¹
+    /// incidences does not fit the dense-id design anyway).
+    offsets: Vec<u32>,
+    /// Incident edge ids, grouped by node.
+    edges: Vec<EdgeId>,
+    /// Opposite endpoint of the edge at the same flat position.
+    neighbors: Vec<NodeId>,
+}
+
+impl CsrAdjacency {
+    /// Builds the index from an edge list given as parallel endpoint
+    /// arrays (one counting-sort pass; `O(|V| + |E|)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range or the incidence count
+    /// overflows `u32`.
+    pub fn build(node_count: usize, edge_u: &[NodeId], edge_v: &[NodeId]) -> Self {
+        assert_eq!(edge_u.len(), edge_v.len(), "parallel endpoint arrays");
+        let incidences = 2 * edge_u.len();
+        assert!(
+            u32::try_from(incidences).is_ok(),
+            "incidence count {incidences} overflows the CSR u32 offsets"
+        );
+        let mut offsets = vec![0u32; node_count + 1];
+        for (&u, &v) in edge_u.iter().zip(edge_v) {
+            offsets[u.index() + 1] += 1;
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..node_count {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut edges = vec![EdgeId::new(0); incidences];
+        let mut neighbors = vec![NodeId::new(0); incidences];
+        for (i, (&u, &v)) in edge_u.iter().zip(edge_v).enumerate() {
+            let e = EdgeId::new(i);
+            let slot = cursor[u.index()] as usize;
+            edges[slot] = e;
+            neighbors[slot] = v;
+            cursor[u.index()] += 1;
+            let slot = cursor[v.index()] as usize;
+            edges[slot] = e;
+            neighbors[slot] = u;
+            cursor[v.index()] += 1;
+        }
+        CsrAdjacency {
+            offsets,
+            edges,
+            neighbors,
+        }
+    }
+
+    /// Number of nodes indexed.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// The incident edge ids of `n` as one contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range.
+    #[inline]
+    pub fn incident_edges(&self, n: NodeId) -> &[EdgeId] {
+        let (lo, hi) = self.range(n);
+        &self.edges[lo..hi]
+    }
+
+    /// The opposite endpoints parallel to [`CsrAdjacency::incident_edges`].
+    #[inline]
+    pub fn neighbor_nodes(&self, n: NodeId) -> &[NodeId] {
+        let (lo, hi) = self.range(n);
+        &self.neighbors[lo..hi]
+    }
+
+    /// Iterator over `(edge, neighbor)` pairs around `n`.
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> impl ExactSizeIterator<Item = (EdgeId, NodeId)> + '_ {
+        let (lo, hi) = self.range(n);
+        self.edges[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.neighbors[lo..hi].iter().copied())
+    }
+
+    /// Degree of `n` (parallel edges each count once).
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        let (lo, hi) = self.range(n);
+        hi - lo
+    }
+
+    #[inline]
+    fn range(&self, n: NodeId) -> (usize, usize) {
+        let i = n.index();
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(list: &[usize]) -> Vec<NodeId> {
+        list.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn builds_grouped_slices_in_insertion_order() {
+        // Edges: 0-1, 1-2, 2-0, 0-1 (parallel).
+        let u = ids(&[0, 1, 2, 0]);
+        let v = ids(&[1, 2, 0, 1]);
+        let csr = CsrAdjacency::build(3, &u, &v);
+        assert_eq!(csr.node_count(), 3);
+        assert_eq!(
+            csr.incident_edges(NodeId::new(0)),
+            &[EdgeId::new(0), EdgeId::new(2), EdgeId::new(3)]
+        );
+        assert_eq!(
+            csr.neighbor_nodes(NodeId::new(0)),
+            ids(&[1, 2, 1]).as_slice()
+        );
+        assert_eq!(csr.degree(NodeId::new(1)), 3);
+        let around: Vec<_> = csr.neighbors(NodeId::new(2)).collect();
+        assert_eq!(
+            around,
+            vec![
+                (EdgeId::new(1), NodeId::new(1)),
+                (EdgeId::new(2), NodeId::new(0))
+            ]
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_slices() {
+        let csr = CsrAdjacency::build(4, &ids(&[1]), &ids(&[2]));
+        assert!(csr.incident_edges(NodeId::new(0)).is_empty());
+        assert!(csr.incident_edges(NodeId::new(3)).is_empty());
+        assert_eq!(csr.degree(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = CsrAdjacency::build(0, &[], &[]);
+        assert_eq!(csr.node_count(), 0);
+    }
+}

@@ -1,13 +1,7 @@
+use crate::csr::CsrAdjacency;
 use crate::{EdgeId, GraphError, NodeId, View};
 use serde::{Deserialize, Serialize};
-
-/// An edge record: endpoints and capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub(crate) struct EdgeRecord {
-    pub u: NodeId,
-    pub v: NodeId,
-    pub capacity: f64,
-}
+use std::sync::OnceLock;
 
 /// An undirected capacitated multigraph — the *supply graph* `G = (V, E)`
 /// of the MINIMUM RECOVERY problem.
@@ -15,6 +9,14 @@ pub(crate) struct EdgeRecord {
 /// Nodes and edges are addressed by dense [`NodeId`] / [`EdgeId`] indices,
 /// which makes per-node and per-edge state (broken masks, residual
 /// capacities, repair costs) plain `Vec`s in client code.
+///
+/// Storage is struct-of-arrays: endpoints and capacities live in parallel
+/// flat vectors, and the adjacency is a compact [`CsrAdjacency`] index
+/// built lazily on first neighborhood query and invalidated by structural
+/// mutation (`add_node` / `add_edge`). Capacity updates patch one `f64`
+/// in place — O(1), no index rebuild — which is what lets residual
+/// bookkeeping and the incremental oracle re-capacitate a shared graph
+/// cheaply.
 ///
 /// Parallel edges are allowed (real topologies such as the Internet Topology
 /// Zoo contain them); self-loops are not, because a self-loop can never carry
@@ -34,11 +36,26 @@ pub(crate) struct EdgeRecord {
 /// assert_eq!(g.opposite(bc, g.node(1)), Some(g.node(2)));
 /// # Ok::<(), netrec_graph::GraphError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Graph {
-    edges: Vec<EdgeRecord>,
-    /// adjacency[u] lists every edge id incident to u.
-    adjacency: Vec<Vec<EdgeId>>,
+    nodes: usize,
+    edge_u: Vec<NodeId>,
+    edge_v: Vec<NodeId>,
+    capacity: Vec<f64>,
+    /// Lazily built CSR index over the edge list; cleared by structural
+    /// mutation, untouched by capacity patches.
+    adjacency: OnceLock<CsrAdjacency>,
+}
+
+/// Equality is structural (nodes, endpoints, capacities); whether the CSR
+/// index happens to be materialized is an implementation detail.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes
+            && self.edge_u == other.edge_u
+            && self.edge_v == other.edge_v
+            && self.capacity == other.capacity
+    }
 }
 
 impl Graph {
@@ -50,15 +67,22 @@ impl Graph {
     /// Creates a graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
         Graph {
-            edges: Vec::new(),
-            adjacency: vec![Vec::new(); n],
+            nodes: n,
+            ..Graph::default()
         }
     }
 
     /// Adds a new isolated node and returns its id.
     pub fn add_node(&mut self) -> NodeId {
-        self.adjacency.push(Vec::new());
-        NodeId::new(self.adjacency.len() - 1)
+        self.nodes += 1;
+        self.adjacency.take();
+        NodeId::new(self.nodes - 1)
+    }
+
+    /// The CSR adjacency index, (re)built on demand.
+    pub fn csr(&self) -> &CsrAdjacency {
+        self.adjacency
+            .get_or_init(|| CsrAdjacency::build(self.nodes, &self.edge_u, &self.edge_v))
     }
 
     /// Returns the id of node `index`.
@@ -91,10 +115,11 @@ impl Graph {
         if !capacity.is_finite() || capacity < 0.0 {
             return Err(GraphError::InvalidCapacity(capacity));
         }
-        let id = EdgeId::new(self.edges.len());
-        self.edges.push(EdgeRecord { u, v, capacity });
-        self.adjacency[u.index()].push(id);
-        self.adjacency[v.index()].push(id);
+        let id = EdgeId::new(self.edge_u.len());
+        self.edge_u.push(u);
+        self.edge_v.push(v);
+        self.capacity.push(capacity);
+        self.adjacency.take();
         Ok(id)
     }
 
@@ -111,12 +136,12 @@ impl Graph {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.adjacency.len()
+        self.nodes
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.edge_u.len()
     }
 
     /// Iterator over all node ids.
@@ -135,8 +160,7 @@ impl Graph {
     ///
     /// Panics if `e` is out of range.
     pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
-        let rec = &self.edges[e.index()];
-        (rec.u, rec.v)
+        (self.edge_u[e.index()], self.edge_v[e.index()])
     }
 
     /// The endpoint of `e` other than `n`, or `None` if `n` is not an
@@ -158,10 +182,11 @@ impl Graph {
     ///
     /// Panics if `e` is out of range.
     pub fn capacity(&self, e: EdgeId) -> f64 {
-        self.edges[e.index()].capacity
+        self.capacity[e.index()]
     }
 
-    /// Overwrites the capacity of an edge.
+    /// Overwrites the capacity of an edge. O(1): the CSR adjacency index
+    /// is untouched.
     ///
     /// # Errors
     ///
@@ -170,69 +195,70 @@ impl Graph {
         if !capacity.is_finite() || capacity < 0.0 {
             return Err(GraphError::InvalidCapacity(capacity));
         }
-        self.edges[e.index()].capacity = capacity;
+        self.capacity[e.index()] = capacity;
         Ok(())
     }
 
     /// A copy of all edge capacities, indexed by edge id. Useful as the
     /// starting point for residual-capacity bookkeeping.
     pub fn capacities(&self) -> Vec<f64> {
-        self.edges.iter().map(|e| e.capacity).collect()
+        self.capacity.clone()
     }
 
-    /// Ids of the edges incident to `n`.
+    /// The edge capacities as a borrowed slice, indexed by edge id — the
+    /// zero-copy sibling of [`Graph::capacities`].
+    pub fn capacities_slice(&self) -> &[f64] {
+        &self.capacity
+    }
+
+    /// Ids of the edges incident to `n`, as one contiguous CSR slice.
     ///
     /// # Panics
     ///
     /// Panics if `n` is out of range.
     pub fn incident_edges(&self, n: NodeId) -> &[EdgeId] {
-        &self.adjacency[n.index()]
+        self.csr().incident_edges(n)
     }
 
     /// Iterator over `(edge, neighbor)` pairs around `n`.
     pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
-        self.adjacency[n.index()].iter().map(move |&e| {
-            (
-                e,
-                self.opposite(e, n)
-                    .expect("adjacency lists only contain incident edges"),
-            )
-        })
+        self.csr().neighbors(n)
     }
 
     /// Degree of node `n` (parallel edges each count once).
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adjacency[n.index()].len()
+        self.csr().degree(n)
     }
 
     /// The maximum degree `ηmax` over all nodes, or 0 for an empty graph.
     pub fn max_degree(&self) -> usize {
+        let csr = self.csr();
         (0..self.node_count())
-            .map(|i| self.adjacency[i].len())
+            .map(|i| csr.degree(NodeId::new(i)))
             .max()
             .unwrap_or(0)
     }
 
     /// The first edge connecting `u` and `v`, if any.
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        self.adjacency[u.index()]
-            .iter()
-            .copied()
-            .find(|&e| self.opposite(e, u) == Some(v))
+        self.csr()
+            .neighbors(u)
+            .find(|&(_, w)| w == v)
+            .map(|(e, _)| e)
     }
 
     /// All edges connecting `u` and `v` (there may be parallel edges).
     pub fn edges_between(&self, u: NodeId, v: NodeId) -> Vec<EdgeId> {
-        self.adjacency[u.index()]
-            .iter()
-            .copied()
-            .filter(|&e| self.opposite(e, u) == Some(v))
+        self.csr()
+            .neighbors(u)
+            .filter(|&(_, w)| w == v)
+            .map(|(e, _)| e)
             .collect()
     }
 
     /// Sum of all edge capacities.
     pub fn total_capacity(&self) -> f64 {
-        self.edges.iter().map(|e| e.capacity).sum()
+        self.capacity.iter().sum()
     }
 
     /// A view of the whole graph with no masking and graph capacities.

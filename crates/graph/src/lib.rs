@@ -5,7 +5,9 @@
 //! DSN 2016) are built on:
 //!
 //! * [`Graph`] — an undirected multigraph whose edges carry capacities,
-//!   addressed by dense [`NodeId`] / [`EdgeId`] indices.
+//!   addressed by dense [`NodeId`] / [`EdgeId`] indices, stored
+//!   struct-of-arrays with a lazily built [`CsrAdjacency`] incidence
+//!   index (capacity patches are O(1) and never invalidate the index).
 //! * [`View`] — a borrowed sub-view of a graph that masks broken nodes and
 //!   edges and can override capacities (residual capacities), so algorithms
 //!   run on the *working* part of a damaged network without copying it.
@@ -39,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod csr;
 mod error;
 mod graph;
 mod ids;
@@ -51,6 +54,7 @@ pub mod maxflow;
 pub mod path;
 pub mod traversal;
 
+pub use csr::CsrAdjacency;
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{EdgeId, NodeId};

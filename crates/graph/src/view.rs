@@ -102,6 +102,27 @@ impl<'a> View<'a> {
         self.graph
     }
 
+    /// The raw node mask installed on this view, if any (`None` = nothing
+    /// masked). Lets callers re-derive patched views without guessing
+    /// which mask produced an effective enablement.
+    #[inline]
+    pub fn node_mask(&self) -> Option<&'a [bool]> {
+        self.node_mask
+    }
+
+    /// The raw edge mask installed on this view, if any.
+    #[inline]
+    pub fn edge_mask(&self) -> Option<&'a [bool]> {
+        self.edge_mask
+    }
+
+    /// The capacity override installed on this view, if any (`None` = the
+    /// graph's own capacities apply).
+    #[inline]
+    pub fn capacity_overrides(&self) -> Option<&'a [f64]> {
+        self.capacities
+    }
+
     /// Whether node `n` is visible in this view.
     #[inline]
     pub fn node_enabled(&self, n: NodeId) -> bool {

@@ -165,4 +165,47 @@ proptest! {
             }
         }
     }
+
+    /// CSR round trip: querying the adjacency (forcing the index), then
+    /// mutating the graph (new nodes, edges, capacity patches), then
+    /// querying again yields exactly the adjacency of a graph built
+    /// directly in its final shape.
+    #[test]
+    fn csr_rebuild_after_mutation_equals_direct_build(
+        g in arb_graph(),
+        extra in proptest::collection::vec((0usize..20, 0usize..20, 0.5f64..16.0), 1..6),
+        recap in proptest::collection::vec(0.5f64..16.0, 1..4),
+    ) {
+        let mut mutated = g.clone();
+        // Force the CSR index so the mutations below must invalidate it.
+        let _ = mutated.max_degree();
+
+        let grown = mutated.add_node();
+        let mut direct = g.clone();
+        direct.add_node();
+        for &(a, b, c) in &extra {
+            let (a, b) = (a % mutated.node_count(), b % mutated.node_count());
+            if a == b {
+                continue;
+            }
+            mutated.add_edge(mutated.node(a), mutated.node(b), c).unwrap();
+            direct.add_edge(direct.node(a), direct.node(b), c).unwrap();
+        }
+        for (i, &c) in recap.iter().enumerate() {
+            let e = netrec_graph::EdgeId::new(i % mutated.edge_count());
+            mutated.set_capacity(e, c).unwrap();
+            direct.set_capacity(e, c).unwrap();
+        }
+
+        prop_assert_eq!(&mutated, &direct);
+        prop_assert_eq!(mutated.csr(), direct.csr());
+        prop_assert_eq!(mutated.capacities(), direct.capacities());
+        for v in mutated.nodes() {
+            prop_assert_eq!(mutated.incident_edges(v), direct.incident_edges(v));
+            let a: Vec<_> = mutated.neighbors(v).collect();
+            let b: Vec<_> = direct.neighbors(v).collect();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(mutated.degree(grown), direct.degree(grown));
+    }
 }

@@ -14,9 +14,9 @@
 //! `--algo mcf:worst`, …) and misspellings get a did-you-mean hint.
 
 use netrec_core::schedule::{schedule_recovery, schedule_recovery_with_oracle};
-use netrec_core::solver::{registry, SolveContext, SolverSpec};
+use netrec_core::solver::{registry, ProgressEvent, SolveContext, SolverSpec};
 use netrec_core::vulnerability::robustness_report;
-use netrec_core::{OracleSpec, RecoveryProblem};
+use netrec_core::{OracleSpec, OracleStats, RecoveryProblem};
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::{generate_demands, DemandSpec};
 use netrec_topology::Topology;
@@ -44,6 +44,8 @@ pub struct CliOptions {
     pub seed: u64,
     /// Optional per-stage budget for a repair schedule.
     pub schedule_budget: Option<f64>,
+    /// Whether to print the solver's evaluation-oracle counters.
+    pub oracle_stats: bool,
     /// Whether to print the single-failure robustness report.
     pub report: bool,
     /// Print the solver registry instead of planning a recovery.
@@ -91,7 +93,10 @@ usage: netrec-cli [options]
   --list-algorithms    print every registered solver with its syntax and
                        default configuration, then exit
   --oracle exact | approx[:eps] | auto[:threshold] | cached | cached-approx[:eps]
+           | incremental
                        routability/satisfaction backend  (default per-algorithm)
+  --oracle-stats       also print the solver's oracle counters (queries,
+                       LP solves, cache hits, warm starts)
   --seed N             RNG seed                          (default 42)
   --schedule BUDGET    also print a staged repair schedule
   --report             also print the single-failure robustness report
@@ -116,6 +121,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
         oracle: None,
         seed: 42,
         schedule_budget: None,
+        oracle_stats: false,
         report: false,
         list_algorithms: false,
     };
@@ -165,10 +171,11 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
                 let v = need(i, "--oracle", args)?;
                 opts.oracle = Some(OracleSpec::parse(&v).ok_or_else(|| {
                     UsageError(format!(
-                        "unknown oracle {v}; use exact|approx[:eps]|auto[:threshold]|cached|cached-approx[:eps]"
+                        "unknown oracle {v}; use exact|approx[:eps]|auto[:threshold]|cached|cached-approx[:eps]|incremental"
                     ))
                 })?);
             }
+            "--oracle-stats" => opts.oracle_stats = true,
             "--seed" => {
                 i += 1;
                 opts.seed = need(i, "--seed", args)?
@@ -251,6 +258,27 @@ fn parse_disrupt(v: &str) -> Result<DisruptionModel, UsageError> {
         }
         _ => Err(UsageError(format!("unknown disruption {v}"))),
     }
+}
+
+/// Renders an oracle counter snapshot on one line: queries and LP solves
+/// always, cache and incremental warm-start counters when present.
+pub fn render_oracle_stats(stats: &OracleStats) -> String {
+    let mut line = format!(
+        "{} queries, {} LP solves, {} cache hits",
+        stats.queries(),
+        stats.lp_solves,
+        stats.cache_hits
+    );
+    if stats.warm_start_hits > 0 || stats.full_solves > 0 {
+        line.push_str(&format!(
+            ", {} warm starts, {} full solves",
+            stats.warm_start_hits, stats.full_solves
+        ));
+    }
+    if stats.generation_resets > 0 {
+        line.push_str(&format!(", {} generation resets", stats.generation_resets));
+    }
+    line
 }
 
 /// Renders the solver registry: name, parse syntax, default config.
@@ -361,17 +389,27 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     }
 
     // One trait-object dispatch: the spec picked any of the registry's
-    // solvers with its inline configuration.
+    // solvers with its inline configuration. The progress listener
+    // captures the solver's final oracle-counter snapshot for
+    // --oracle-stats.
     let solver = opts.algorithm.build();
-    let mut ctx = SolveContext::new();
-    if let Some(oracle) = opts.oracle {
-        ctx = ctx.with_oracle(oracle);
-    }
-    let plan = match solver.solve(&problem, &mut ctx) {
-        Ok(plan) => plan,
-        Err(e) => {
-            out.push_str(&format!("\nno recovery plan: {e}\n"));
-            return Ok(out);
+    let mut solver_oracle_stats: Option<OracleStats> = None;
+    let plan = {
+        let mut ctx = SolveContext::new();
+        if let Some(oracle) = opts.oracle {
+            ctx = ctx.with_oracle(oracle);
+        }
+        let mut ctx = ctx.with_progress(|event| {
+            if let ProgressEvent::OracleSnapshot(stats) = event {
+                solver_oracle_stats = Some(*stats);
+            }
+        });
+        match solver.solve(&problem, &mut ctx) {
+            Ok(plan) => plan,
+            Err(e) => {
+                out.push_str(&format!("\nno recovery plan: {e}\n"));
+                return Ok(out);
+            }
         }
     };
 
@@ -401,6 +439,18 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
         Ok(f) => out.push_str(&format!("  satisfied demand: {:.1}%\n", f * 100.0)),
         Err(e) => out.push_str(&format!("  satisfied demand: <error: {e}>\n")),
     }
+    if opts.oracle_stats {
+        match solver_oracle_stats {
+            Some(stats) => out.push_str(&format!(
+                "  oracle stats: {}\n",
+                render_oracle_stats(&stats)
+            )),
+            None => out.push_str(&format!(
+                "  oracle stats: not reported ({} does not use the oracle layer)\n",
+                plan.algorithm
+            )),
+        }
+    }
 
     if let Some(budget) = opts.schedule_budget {
         let scheduled = match opts.oracle {
@@ -427,10 +477,8 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
                 }
                 if let Some(stats) = oracle_stats {
                     out.push_str(&format!(
-                        "  oracle stats: {} queries, {} LP solves, {} cache hits\n",
-                        stats.queries(),
-                        stats.lp_solves,
-                        stats.cache_hits
+                        "  oracle stats: {}\n",
+                        render_oracle_stats(&stats)
                     ));
                 }
             }
@@ -557,6 +605,54 @@ mod tests {
         assert_eq!(o.oracle, Some(OracleSpec::CachedExact));
         let o = parse_args(&args(&["--oracle", "approx:0.1"])).unwrap();
         assert_eq!(o.oracle, Some(OracleSpec::Approx { epsilon: 0.1 }));
+        let o = parse_args(&args(&["--oracle", "incremental", "--oracle-stats"])).unwrap();
+        assert_eq!(o.oracle, Some(OracleSpec::Incremental));
+        assert!(o.oracle_stats);
+        assert!(!parse_args(&[]).unwrap().oracle_stats);
+    }
+
+    /// Satellite: `--oracle-stats` surfaces the solver's cache-hit and
+    /// warm-start counters end to end.
+    #[test]
+    fn oracle_stats_flag_prints_solver_counters() {
+        for oracle in ["cached", "incremental"] {
+            let o = parse_args(&args(&[
+                "--topology",
+                "er:12:0.5",
+                "--pairs",
+                "2",
+                "--flow",
+                "1",
+                "--algo",
+                "isp",
+                "--oracle",
+                oracle,
+                "--oracle-stats",
+            ]))
+            .unwrap();
+            let out = run(&o).unwrap();
+            assert!(out.contains("oracle stats:"), "{oracle}: {out}");
+            assert!(out.contains("queries"), "{oracle}: {out}");
+            if oracle == "incremental" {
+                assert!(out.contains("full solves"), "{oracle}: {out}");
+            }
+        }
+        // A solver outside the oracle layer says so instead of faking
+        // counters.
+        let o = parse_args(&args(&[
+            "--topology",
+            "er:12:0.5",
+            "--pairs",
+            "1",
+            "--flow",
+            "1",
+            "--algo",
+            "srt",
+            "--oracle-stats",
+        ]))
+        .unwrap();
+        let out = run(&o).unwrap();
+        assert!(out.contains("oracle stats: not reported"), "{out}");
     }
 
     #[test]

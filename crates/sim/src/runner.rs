@@ -20,8 +20,8 @@
 
 use crate::scenario::Scenario;
 use crate::stats::{summarize, FigureTable, SeriesPoint};
-use netrec_core::solver::{RecoverySolver, SolveContext};
-use netrec_core::RecoveryProblem;
+use netrec_core::solver::{ProgressEvent, RecoverySolver, SolveContext};
+use netrec_core::{OracleStats, RecoveryProblem};
 use netrec_topology::demand::generate_demands;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,14 +104,24 @@ fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u6
     // The ALL value also serves as the destruction size reference.
     for solver in solvers {
         let name = solver.name().to_string();
-        let mut ctx = SolveContext::new();
-        if let Some(oracle) = scenario.oracle {
-            ctx = ctx.with_oracle(oracle);
-        }
-        let started = Instant::now();
-        match solver.solve(&problem, &mut ctx) {
-            Ok(plan) => {
-                let elapsed = started.elapsed().as_secs_f64() * 1e3;
+        // Oracle-aware solvers snapshot their counters as a progress
+        // event; the per-run report surfaces them as metrics.
+        let mut oracle_stats: Option<OracleStats> = None;
+        let outcome = {
+            let mut ctx = SolveContext::new();
+            if let Some(oracle) = scenario.oracle {
+                ctx = ctx.with_oracle(oracle);
+            }
+            let mut ctx = ctx.with_progress(|event| {
+                if let ProgressEvent::OracleSnapshot(stats) = event {
+                    oracle_stats = Some(*stats);
+                }
+            });
+            let started = Instant::now();
+            (solver.solve(&problem, &mut ctx), started.elapsed())
+        };
+        match outcome {
+            (Ok(plan), elapsed) => {
                 out.samples.push((
                     "edge_repairs",
                     name.clone(),
@@ -124,7 +134,21 @@ fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u6
                 ));
                 out.samples
                     .push(("total_repairs", name.clone(), plan.total_repairs() as f64));
-                out.samples.push(("time_ms", name.clone(), elapsed));
+                out.samples
+                    .push(("time_ms", name.clone(), elapsed.as_secs_f64() * 1e3));
+                if let Some(stats) = oracle_stats {
+                    out.samples
+                        .push(("oracle_queries", name.clone(), stats.queries() as f64));
+                    out.samples
+                        .push(("oracle_lp_solves", name.clone(), stats.lp_solves as f64));
+                    out.samples
+                        .push(("oracle_cache_hits", name.clone(), stats.cache_hits as f64));
+                    out.samples.push((
+                        "oracle_warm_starts",
+                        name.clone(),
+                        stats.warm_start_hits as f64,
+                    ));
+                }
                 // Measurement stays exact regardless of the solvers'
                 // oracle, so ablations compare like with like.
                 match plan.satisfied_fraction(&problem) {
@@ -132,7 +156,7 @@ fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u6
                     Err(e) => out.failures.push((name, e.to_string())),
                 }
             }
-            Err(e) => out.failures.push((name, e.to_string())),
+            (Err(e), _) => out.failures.push((name, e.to_string())),
         }
     }
     out
@@ -140,7 +164,9 @@ fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u6
 
 /// Runs every solver of `scenario` over its configured runs and collects
 /// the paper's metrics: `edge_repairs`, `node_repairs`, `total_repairs`,
-/// `satisfied_pct`, and `time_ms`.
+/// `satisfied_pct`, and `time_ms` — plus, for oracle-aware solvers, the
+/// per-run oracle counters `oracle_queries`, `oracle_lp_solves`,
+/// `oracle_cache_hits`, and `oracle_warm_starts`.
 ///
 /// Independent runs execute concurrently on up to
 /// [`Scenario::threads`] workers (default: one per available core).
@@ -350,6 +376,31 @@ mod tests {
                 assert!((pct - 100.0).abs() < 1e-6, "{alg}: {pct}");
             }
         }
+    }
+
+    /// Satellite: the per-run report carries the oracle counters of every
+    /// oracle-aware solver.
+    #[test]
+    fn oracle_counters_land_in_the_per_run_report() {
+        let mut s = tiny_scenario(vec![SolverSpec::isp(), SolverSpec::srt()]);
+        s.oracle = Some(netrec_core::OracleSpec::Incremental);
+        let r = run_scenario(&s);
+        for metric in [
+            "oracle_queries",
+            "oracle_lp_solves",
+            "oracle_cache_hits",
+            "oracle_warm_starts",
+        ] {
+            let by_alg = r
+                .samples
+                .get(metric)
+                .unwrap_or_else(|| panic!("missing {metric}"));
+            assert_eq!(by_alg["ISP"].len(), 2, "{metric}");
+            // SRT never enters the oracle layer and must not fake counts.
+            assert!(!by_alg.contains_key("SRT"), "{metric}");
+        }
+        let queries = &r.samples["oracle_queries"]["ISP"];
+        assert!(queries.iter().all(|&q| q > 0.0), "{queries:?}");
     }
 
     #[test]
