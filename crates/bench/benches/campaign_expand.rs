@@ -1,0 +1,118 @@
+//! Campaign-engine overhead benchmarks: grid expansion and report
+//! rendering must stay negligible next to scenario execution, even for
+//! fleet-sized grids (thousands of scenarios).
+//!
+//! `BENCH_campaign.json` records medians for expanding a ~3.8k-scenario
+//! grid (with exclusions and overrides applied per point) and for
+//! rendering + re-parsing a 500-scenario report — the orchestration
+//! fixed costs of `netrec-cli campaign run`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_sim::campaign::{CampaignReport, CampaignSpec};
+use std::hint::black_box;
+
+/// A fleet-scale grid: 4 topologies × 4 disruptions × 3 demands ×
+/// 4 oracles × 20 seeds = 3840 scenarios before exclusions.
+const FLEET_SPEC: &str = r#"{
+    "name": "fleet",
+    "topologies": [
+        "bell",
+        "grid:rows=8,cols=8,capacity=50",
+        "er:n=60,p=0.15,capacity=1000",
+        "ba:n=60,m=2,capacity=1000"
+    ],
+    "disruptions": ["complete", "uniform:0.3", "gaussian:0.5", "gaussian:2"],
+    "demands": ["pairs=2,flow=5", "pairs=4,flow=10", "pairs=6,flow=2"],
+    "solvers": ["isp", "srt", "grd-nc", "all"],
+    "oracles": ["default", "exact", "cached-exact", "incremental"],
+    "seeds": {"base": 100, "count": 20},
+    "runs": 5,
+    "threads": 1,
+    "exclude": [
+        {"solver": "all", "oracle": "incremental"},
+        {"topology": "ba:n=60,m=2,capacity=1000", "disruption": "complete"}
+    ],
+    "overrides": [
+        {"when": {"topology": "er:n=60,p=0.15,capacity=1000"}, "budget_ms": 60000},
+        {"when": {"oracle": "incremental"}, "runs": 10}
+    ]
+}"#;
+
+fn bench(c: &mut Criterion) {
+    let spec = CampaignSpec::parse_json(FLEET_SPEC).expect("fleet spec parses");
+    let scenarios = spec.expand().expect("fleet spec expands");
+    assert!(scenarios.len() > 3000, "{}", scenarios.len());
+
+    let mut g = c.benchmark_group("campaign");
+    g.sample_size(20);
+
+    g.bench_function("parse_spec", |b| {
+        b.iter(|| CampaignSpec::parse_json(black_box(FLEET_SPEC)).unwrap())
+    });
+    g.bench_function("expand_3800", |b| {
+        b.iter(|| black_box(&spec).expand().unwrap().len())
+    });
+    g.bench_function("fingerprint_3800", |b| {
+        b.iter(|| black_box(&spec).fingerprint().unwrap())
+    });
+
+    // Report rendering + parsing on a 500-scenario report built from
+    // synthetic records (report size, not solver time, is under test).
+    let report = synthetic_report(500);
+    let text = report.to_json();
+    g.bench_function("render_report_500", |b| {
+        b.iter(|| black_box(&report).to_json().len())
+    });
+    g.bench_function("parse_report_500", |b| {
+        b.iter(|| {
+            CampaignReport::from_json(black_box(&text))
+                .unwrap()
+                .scenarios
+                .len()
+        })
+    });
+    g.finish();
+}
+
+fn synthetic_report(scenarios: usize) -> CampaignReport {
+    use netrec_sim::campaign::ScenarioReport;
+    use netrec_sim::summarize;
+    use std::collections::BTreeMap;
+
+    let scenarios = (0..scenarios)
+        .map(|i| {
+            let mut metrics: BTreeMap<String, BTreeMap<String, _>> = BTreeMap::new();
+            for metric in [
+                "total_repairs",
+                "satisfied_pct",
+                "time_ms",
+                "oracle_queries",
+            ] {
+                let mut by_solver = BTreeMap::new();
+                for solver in ["ISP", "SRT", "GRD-NC"] {
+                    let base = (i as f64) + solver.len() as f64;
+                    by_solver.insert(
+                        solver.to_string(),
+                        summarize(&[base, base + 0.5, base + 1.25]),
+                    );
+                }
+                metrics.insert(metric.to_string(), by_solver);
+            }
+            ScenarioReport {
+                id: format!("bell/uniform:0.3/pairs=2,flow=5/default/seed={i}"),
+                fingerprint: format!("{i:016x}"),
+                metrics,
+                failures: BTreeMap::new(),
+            }
+        })
+        .collect();
+    CampaignReport {
+        version: netrec_sim::campaign::REPORT_VERSION,
+        name: "synthetic".into(),
+        spec_fingerprint: "0123456789abcdef".into(),
+        scenarios,
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,220 +3,13 @@
 //! with an `id` and a `median_ns`, so a broken bench writer (or a
 //! hand-edited file) cannot land silently.
 //!
-//! The workspace is offline (no serde_json), so a minimal recursive-
-//! descent JSON parser lives here — it validates structure, it does not
-//! try to be a general-purpose library.
+//! The workspace is offline (no serde_json); parsing goes through the
+//! campaign engine's hand-rolled JSON layer
+//! ([`netrec_sim::campaign::json::Json`]) — this file used to carry its
+//! own copy of the parser, which predated that layer.
 
-use std::collections::BTreeMap;
+use netrec_sim::campaign::json::Json;
 use std::path::PathBuf;
-
-/// A parsed JSON value (numbers kept as f64, like the real thing).
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Json>),
-    Object(BTreeMap<String, Json>),
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser::new(text);
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing bytes at offset {}", p.pos));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b" \t\r\n".contains(b))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!(
-                "expected {:?} at offset {}, found {:?}",
-                b as char,
-                self.pos,
-                self.peek().map(|c| c as char)
-            ))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(format!(
-                "unexpected {:?} at offset {}",
-                other.map(|c| c as char),
-                self.pos
-            )),
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at offset {}", self.pos))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(map));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            map.insert(key, self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(map));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or '}}' at offset {}, found {:?}",
-                        self.pos,
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                other => {
-                    return Err(format!(
-                        "expected ',' or ']' at offset {}, found {:?}",
-                        self.pos,
-                        other.map(|c| c as char)
-                    ))
-                }
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let escaped = self
-                        .peek()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
-                    self.pos += 1;
-                    match escaped {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        other => return Err(format!("unsupported escape \\{}", other as char)),
-                    }
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 is copied through byte by byte; the
-                    // input came from a &str so it is valid UTF-8.
-                    let start = self.pos;
-                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
-                        self.pos += 1;
-                    }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .map_err(|e| e.to_string())?,
-                    );
-                }
-                None => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
-        text.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|e| format!("bad number {text:?}: {e}"))
-    }
-}
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -239,28 +32,23 @@ fn committed_bench_files_parse_and_are_nonempty() {
         }
         checked += 1;
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let json = Parser::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
-        let Json::Object(top) = json else {
-            panic!("{name}: top level is not an object");
-        };
+        let json = Json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(
-            matches!(top.get("group"), Some(Json::String(g)) if !g.is_empty()),
+            matches!(json.get("group").and_then(Json::as_str), Some(g) if !g.is_empty()),
             "{name}: missing group"
         );
-        let Some(Json::Array(benchmarks)) = top.get("benchmarks") else {
-            panic!("{name}: missing benchmarks array");
-        };
+        let benchmarks = json
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .unwrap_or_else(|| panic!("{name}: missing benchmarks array"));
         assert!(!benchmarks.is_empty(), "{name}: no benchmark entries");
         for bench in benchmarks {
-            let Json::Object(bench) = bench else {
-                panic!("{name}: benchmark entry is not an object");
-            };
             assert!(
-                matches!(bench.get("id"), Some(Json::String(id)) if !id.is_empty()),
+                matches!(bench.get("id").and_then(Json::as_str), Some(id) if !id.is_empty()),
                 "{name}: benchmark without id"
             );
             assert!(
-                matches!(bench.get("median_ns"), Some(Json::Number(ns)) if ns.is_finite()),
+                matches!(bench.get("median_ns").and_then(Json::as_f64), Some(ns) if ns.is_finite()),
                 "{name}: benchmark without a finite median_ns"
             );
         }
@@ -283,16 +71,21 @@ fn parser_rejects_malformed_inputs() {
         "\"unterminated",
         "{\"a\" 1}",
     ] {
-        assert!(Parser::parse(bad).is_err(), "accepted {bad:?}");
+        assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
     }
 }
 
 #[test]
 fn parser_accepts_the_bench_shape() {
-    let json = Parser::parse(
+    let json = Json::parse(
         "{ \"group\": \"g\", \"benchmarks\": [ { \"id\": \"a/1\", \"median_ns\": 12.5, \"samples\": 10 } ] }",
     )
     .unwrap();
-    let Json::Object(top) = json else { panic!() };
-    assert_eq!(top.get("group"), Some(&Json::String("g".into())));
+    assert_eq!(json.get("group").and_then(Json::as_str), Some("g"));
+    assert_eq!(
+        json.get("benchmarks")
+            .and_then(Json::as_array)
+            .map(<[Json]>::len),
+        Some(1)
+    );
 }

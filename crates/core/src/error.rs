@@ -29,6 +29,20 @@ pub enum RecoveryError {
     Cancelled,
 }
 
+impl RecoveryError {
+    /// Whether this error is an *interruption* — the run was stopped by
+    /// the [`SolveContext`](crate::solver::SolveContext) deadline or
+    /// cancellation flag rather than failing on the instance itself.
+    /// Campaign reports use this to keep budget exhaustion
+    /// distinguishable from genuine infeasibility.
+    pub fn is_interruption(&self) -> bool {
+        matches!(
+            self,
+            RecoveryError::DeadlineExceeded | RecoveryError::Cancelled
+        )
+    }
+}
+
 impl fmt::Display for RecoveryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -91,6 +105,14 @@ mod tests {
         assert!(e.to_string().contains("lp error"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&RecoveryError::UnknownDemandEndpoint).is_none());
+    }
+
+    #[test]
+    fn interruption_classification() {
+        assert!(RecoveryError::DeadlineExceeded.is_interruption());
+        assert!(RecoveryError::Cancelled.is_interruption());
+        assert!(!RecoveryError::InfeasibleEvenIfAllRepaired.is_interruption());
+        assert!(!RecoveryError::IterationGuard.is_interruption());
     }
 
     #[test]

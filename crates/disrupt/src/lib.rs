@@ -103,6 +103,129 @@ impl DisruptionModel {
         }
     }
 
+    /// Parses the canonical string encoding (also the CLI's `--disrupt`
+    /// syntax and the campaign-spec axis format):
+    ///
+    /// * `complete`
+    /// * `none` (alias for `uniform:0`)
+    /// * `gaussian:<variance>[,peak=P][,epicenter=X/Y]`
+    /// * `uniform:<p>`
+    /// * `explicit[:nodes=A+B+…][,edges=C+D+…]`
+    ///
+    /// `Display` renders the same form, so `parse(model.to_string())`
+    /// round-trips.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending token.
+    pub fn parse(s: &str) -> Result<DisruptionModel, String> {
+        let s = s.trim();
+        match s {
+            "complete" => return Ok(DisruptionModel::Complete),
+            "none" => return Ok(DisruptionModel::Uniform { probability: 0.0 }),
+            "explicit" => {
+                return Ok(DisruptionModel::Explicit {
+                    nodes: Vec::new(),
+                    edges: Vec::new(),
+                })
+            }
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("gaussian:") {
+            let mut tokens = rest.split(',');
+            let variance: f64 = tokens
+                .next()
+                .unwrap_or("")
+                .trim()
+                .parse()
+                .map_err(|_| format!("gaussian variance in `{s}` is not a number"))?;
+            if !variance.is_finite() || variance <= 0.0 {
+                return Err(format!("gaussian variance {variance} must be positive"));
+            }
+            let mut peak = 1.0f64;
+            let mut epicenter = None;
+            for token in tokens {
+                let token = token.trim();
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| format!("gaussian option `{token}` is not key=value"))?;
+                match key.trim() {
+                    "peak" => {
+                        peak = value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("gaussian peak `{value}` is not a number"))?;
+                        if !(0.0..=1.0).contains(&peak) {
+                            return Err(format!("gaussian peak {peak} must lie in [0, 1]"));
+                        }
+                    }
+                    "epicenter" => {
+                        let (x, y) = value
+                            .trim()
+                            .split_once('/')
+                            .ok_or_else(|| format!("epicenter `{value}` is not X/Y"))?;
+                        let parse = |t: &str| {
+                            t.trim()
+                                .parse::<f64>()
+                                .map_err(|_| format!("epicenter coordinate `{t}` is not a number"))
+                        };
+                        epicenter = Some((parse(x)?, parse(y)?));
+                    }
+                    other => return Err(format!("unknown gaussian option `{other}`")),
+                }
+            }
+            return Ok(DisruptionModel::Gaussian {
+                epicenter,
+                variance,
+                peak,
+            });
+        }
+        if let Some(p) = s.strip_prefix("uniform:") {
+            let probability: f64 = p
+                .trim()
+                .parse()
+                .map_err(|_| format!("uniform probability `{p}` is not a number"))?;
+            if !(0.0..=1.0).contains(&probability) {
+                return Err(format!(
+                    "uniform probability {probability} must lie in [0, 1]"
+                ));
+            }
+            return Ok(DisruptionModel::Uniform { probability });
+        }
+        if let Some(rest) = s.strip_prefix("explicit:") {
+            let mut nodes = Vec::new();
+            let mut edges = Vec::new();
+            for token in rest.split(',') {
+                let token = token.trim();
+                if token.is_empty() {
+                    continue;
+                }
+                let (key, value) = token
+                    .split_once('=')
+                    .ok_or_else(|| format!("explicit option `{token}` is not key=value"))?;
+                let list: &mut Vec<usize> = match key.trim() {
+                    "nodes" => &mut nodes,
+                    "edges" => &mut edges,
+                    other => return Err(format!("unknown explicit option `{other}`")),
+                };
+                for idx in value.split('+') {
+                    let idx = idx.trim();
+                    if idx.is_empty() {
+                        continue;
+                    }
+                    list.push(
+                        idx.parse()
+                            .map_err(|_| format!("explicit index `{idx}` is not an integer"))?,
+                    );
+                }
+            }
+            return Ok(DisruptionModel::Explicit { nodes, edges });
+        }
+        Err(format!(
+            "unknown disruption `{s}`; use complete|none|gaussian:<variance>|uniform:<p>|explicit:nodes=..,edges=.."
+        ))
+    }
+
     /// Applies the model to `topology` with the given RNG seed.
     ///
     /// Edges fail either through the model directly (midpoint distance for
@@ -174,11 +297,106 @@ impl DisruptionModel {
     }
 }
 
+impl std::fmt::Display for DisruptionModel {
+    /// The canonical encoding accepted by [`DisruptionModel::parse`];
+    /// defaulted Gaussian options (barycenter epicenter, peak 1.0) are
+    /// omitted.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DisruptionModel::Complete => write!(f, "complete"),
+            DisruptionModel::Gaussian {
+                epicenter,
+                variance,
+                peak,
+            } => {
+                write!(f, "gaussian:{variance}")?;
+                if *peak != 1.0 {
+                    write!(f, ",peak={peak}")?;
+                }
+                if let Some((x, y)) = epicenter {
+                    write!(f, ",epicenter={x}/{y}")?;
+                }
+                Ok(())
+            }
+            DisruptionModel::Uniform { probability } => write!(f, "uniform:{probability}"),
+            DisruptionModel::Explicit { nodes, edges } => {
+                write!(f, "explicit")?;
+                let join = |list: &[usize]| {
+                    list.iter()
+                        .map(|i| i.to_string())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                };
+                match (nodes.is_empty(), edges.is_empty()) {
+                    (true, true) => Ok(()),
+                    (false, true) => write!(f, ":nodes={}", join(nodes)),
+                    (true, false) => write!(f, ":edges={}", join(edges)),
+                    (false, false) => {
+                        write!(f, ":nodes={},edges={}", join(nodes), join(edges))
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use netrec_topology::bell::bell_canada;
     use netrec_topology::random::grid;
+
+    /// Satellite: the string encoding round-trips (with the offline
+    /// serde stand-in this *is* the serialization format used by
+    /// campaign specs).
+    #[test]
+    fn string_encoding_round_trips() {
+        for s in [
+            "complete",
+            "gaussian:50",
+            "gaussian:0.5,peak=0.8",
+            "gaussian:2,peak=0.5,epicenter=0.3/0.7",
+            "uniform:0.25",
+            "uniform:0",
+            "explicit",
+            "explicit:nodes=0+1+2",
+            "explicit:edges=4",
+            "explicit:nodes=1,edges=0+3",
+        ] {
+            let model = DisruptionModel::parse(s).unwrap();
+            assert_eq!(model.to_string(), s, "{s}");
+            assert_eq!(
+                DisruptionModel::parse(&model.to_string()).unwrap(),
+                model,
+                "{s}"
+            );
+        }
+        // `none` normalizes to the zero-probability uniform model.
+        assert_eq!(
+            DisruptionModel::parse("none").unwrap(),
+            DisruptionModel::Uniform { probability: 0.0 }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_models() {
+        for bad in [
+            "",
+            "asteroid",
+            "gaussian:",
+            "gaussian:-1",
+            "gaussian:abc",
+            "gaussian:1,peak=2",
+            "gaussian:1,epicenter=3",
+            "gaussian:1,banana=2",
+            "uniform:1.5",
+            "uniform:x",
+            "explicit:nodes=a",
+            "explicit:banana=1",
+        ] {
+            assert!(DisruptionModel::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
 
     #[test]
     fn complete_breaks_everything() {

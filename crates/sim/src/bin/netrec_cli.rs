@@ -1,11 +1,30 @@
 //! Thin entry point for the `netrec-cli` tool; all logic lives in
-//! [`netrec_sim::cli`] where it is unit-tested.
+//! [`netrec_sim::cli`] and [`netrec_sim::campaign::cli`], where it is
+//! unit-tested.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!("{}", netrec_sim::cli::HELP);
+        if args.first().map(String::as_str) == Some("campaign") {
+            print!("\n{}", netrec_sim::campaign::cli::HELP);
+        }
         return;
+    }
+    // `campaign …` subcommands carry their own exit semantics: `diff`
+    // exits 1 on a detected regression (the CI gate).
+    if args.first().map(String::as_str) == Some("campaign") {
+        match netrec_sim::campaign::cli::run(&args[1..]) {
+            Ok((report, code)) => {
+                print!("{report}");
+                std::process::exit(code);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("run `netrec-cli campaign --help` for usage");
+                std::process::exit(2);
+            }
+        }
     }
     match netrec_sim::cli::parse_args(&args).and_then(|o| netrec_sim::cli::run(&o)) {
         Ok(report) => print!("{report}"),

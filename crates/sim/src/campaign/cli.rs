@@ -1,0 +1,391 @@
+//! The `netrec-cli campaign` subcommand family.
+//!
+//! ```text
+//! netrec-cli campaign run <spec.json> [--shards N] [--resume] [--out DIR]
+//! netrec-cli campaign expand <spec.json>
+//! netrec-cli campaign diff <baseline.json> <candidate.json> [--tolerance T]
+//! ```
+//!
+//! All logic lives here (unit-tested); the binary maps the returned
+//! exit code straight to `std::process::exit`. `diff` is the CI
+//! regression gate: exit 0 when the candidate report matches the
+//! baseline within tolerance, exit 1 with one line per regression
+//! otherwise.
+
+use crate::campaign::executor::{self, CampaignOptions, JOURNAL_FILE};
+use crate::campaign::report;
+use crate::campaign::spec::CampaignSpec;
+use crate::cli::UsageError;
+use crate::export::write_campaign_report;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Exit code for a detected regression (`campaign diff`).
+pub const EXIT_REGRESSION: i32 = 1;
+
+/// The `campaign` help text (appended to the main `--help`).
+pub const HELP: &str = "\
+netrec-cli campaign — declarative scenario sweeps (see DESIGN.md §10)
+
+usage:
+  netrec-cli campaign run <spec.json> [options]
+      --shards N       scenario worker threads     (default: one per core)
+      --resume         skip scenarios already in the out dir's journal
+      --out DIR        output directory            (default campaign-out)
+      writes campaign.report.json, campaign.metrics.csv,
+      campaign.failures.csv, and the append-only campaign.journal.jsonl
+
+  netrec-cli campaign expand <spec.json>
+      print the expanded scenario grid without running it
+
+  netrec-cli campaign diff <baseline.json> <candidate.json> [options]
+      --tolerance T    relative mean tolerance     (default 1e-9)
+      exit 1 when the candidate regresses against the baseline
+      (wall-clock metrics are always tolerated)
+";
+
+/// Runs a `campaign …` invocation (`args` excludes the leading
+/// `campaign`). Returns the report text and the process exit code.
+///
+/// # Errors
+///
+/// A [`UsageError`] for malformed invocations, unreadable files, and
+/// campaign failures.
+pub fn run(args: &[String]) -> Result<(String, i32), UsageError> {
+    match args.first().map(String::as_str) {
+        Some("run") => run_subcommand(&args[1..]),
+        Some("expand") => expand_subcommand(&args[1..]),
+        Some("diff") => diff_subcommand(&args[1..]),
+        Some(other) => Err(UsageError(format!(
+            "unknown campaign subcommand `{other}`; use run|expand|diff"
+        ))),
+        None => Err(UsageError(
+            "campaign needs a subcommand: run|expand|diff".into(),
+        )),
+    }
+}
+
+fn load_spec(path: &str) -> Result<CampaignSpec, UsageError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
+    CampaignSpec::parse_json(&text).map_err(|e| UsageError(format!("{path}: {e}")))
+}
+
+fn run_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
+    let mut spec_path: Option<&String> = None;
+    let mut options = CampaignOptions {
+        shards: None,
+        resume: false,
+        out_dir: PathBuf::from("campaign-out"),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| UsageError("missing value for --shards".into()))?;
+                let shards: usize = v
+                    .parse()
+                    .map_err(|_| UsageError("--shards needs a positive integer".into()))?;
+                if shards == 0 {
+                    return Err(UsageError("--shards needs a positive integer".into()));
+                }
+                options.shards = Some(shards);
+            }
+            "--resume" => options.resume = true,
+            "--out" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| UsageError("missing value for --out".into()))?;
+                options.out_dir = PathBuf::from(v);
+            }
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(&args[i]);
+            }
+            other => return Err(UsageError(format!("unknown campaign run argument {other}"))),
+        }
+        i += 1;
+    }
+    let spec_path = spec_path.ok_or_else(|| {
+        UsageError("campaign run needs a spec file: campaign run <spec.json>".into())
+    })?;
+    let spec = load_spec(spec_path)?;
+    let outcome =
+        executor::run_campaign(&spec, &options, None).map_err(|e| UsageError(e.to_string()))?;
+    let files = write_campaign_report(&outcome.report, &options.out_dir)
+        .map_err(|e| UsageError(format!("cannot write report: {e}")))?;
+
+    let mut out = String::new();
+    let total = outcome.executed + outcome.skipped + outcome.cancelled;
+    let _ = writeln!(
+        out,
+        "campaign {}: {} scenarios ({} executed, {} skipped, {} cancelled{})",
+        spec.name,
+        total,
+        outcome.executed,
+        outcome.skipped,
+        outcome.cancelled,
+        if outcome.stale > 0 {
+            format!(", {} stale re-run", outcome.stale)
+        } else {
+            String::new()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "journal: {}",
+        options.out_dir.join(JOURNAL_FILE).display()
+    );
+    for file in files {
+        let _ = writeln!(out, "wrote: {}", options.out_dir.join(file).display());
+    }
+    let _ = writeln!(out, "failed runs: {}", outcome.report.failure_count());
+    Ok((out, 0))
+}
+
+fn expand_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
+    let [spec_path] = args else {
+        return Err(UsageError(
+            "campaign expand needs exactly one spec file".into(),
+        ));
+    };
+    let spec = load_spec(spec_path)?;
+    let scenarios = spec.expand().map_err(|e| UsageError(e.to_string()))?;
+    let fingerprint = crate::campaign::spec::campaign_fingerprint(&scenarios);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign {}: {} scenarios (spec fingerprint {fingerprint})",
+        spec.name,
+        scenarios.len()
+    );
+    for s in &scenarios {
+        let solvers: Vec<String> = s.scenario.solvers.iter().map(|x| x.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "{}  [{}] runs={} fingerprint={}{}",
+            s.id,
+            solvers.join(" "),
+            s.scenario.runs,
+            s.fingerprint,
+            match s.budget {
+                Some(budget) => format!(" budget={}ms", budget.as_millis()),
+                None => String::new(),
+            }
+        );
+    }
+    Ok((out, 0))
+}
+
+fn diff_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut tolerance = 1e-9f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or_else(|| UsageError("missing value for --tolerance".into()))?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| UsageError("--tolerance needs a number".into()))?;
+                if !tolerance.is_finite() || tolerance < 0.0 {
+                    return Err(UsageError(
+                        "--tolerance must be a finite non-negative number".into(),
+                    ));
+                }
+            }
+            other if !other.starts_with('-') => paths.push(&args[i]),
+            other => {
+                return Err(UsageError(format!(
+                    "unknown campaign diff argument {other}"
+                )))
+            }
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths[..] else {
+        return Err(UsageError(
+            "campaign diff needs two report files: diff <baseline.json> <candidate.json>".into(),
+        ));
+    };
+    let baseline =
+        executor::load_report(baseline_path.as_ref()).map_err(|e| UsageError(e.to_string()))?;
+    let candidate =
+        executor::load_report(candidate_path.as_ref()).map_err(|e| UsageError(e.to_string()))?;
+    let regressions = report::diff(&baseline, &candidate, tolerance);
+    if regressions.is_empty() {
+        return Ok((
+            format!(
+                "no regressions: {} scenarios within tolerance {tolerance}\n",
+                baseline.scenarios.len()
+            ),
+            0,
+        ));
+    }
+    let mut out = format!(
+        "{} regression(s) against {baseline_path} (tolerance {tolerance}):\n",
+        regressions.len()
+    );
+    for r in &regressions {
+        let _ = writeln!(out, "  {r}");
+    }
+    Ok((out, EXIT_REGRESSION))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("netrec_campaign_cli_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_spec(dir: &Path) -> PathBuf {
+        let path = dir.join("spec.json");
+        std::fs::write(
+            &path,
+            r#"{
+                "name": "cli-test",
+                "topologies": ["bell"],
+                "disruptions": ["uniform:0.4"],
+                "demands": ["pairs=2,flow=5"],
+                "solvers": ["srt", "all"],
+                "seeds": [11, 12],
+                "runs": 2,
+                "threads": 1
+            }"#,
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn run_expand_diff_end_to_end() {
+        let dir = temp_dir("end_to_end");
+        let spec = write_spec(&dir);
+        let out = dir.join("out");
+
+        let (text, code) = run(&args(&["expand", spec.to_str().unwrap()])).unwrap();
+        assert_eq!(code, 0);
+        assert!(text.contains("2 scenarios"), "{text}");
+        assert!(text.contains("seed=11"), "{text}");
+
+        let (text, code) = run(&args(&[
+            "run",
+            spec.to_str().unwrap(),
+            "--shards",
+            "2",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(text.contains("2 executed, 0 skipped"), "{text}");
+        assert!(out.join("campaign.report.json").exists());
+        assert!(out.join("campaign.metrics.csv").exists());
+        assert!(out.join("campaign.failures.csv").exists());
+        assert!(out.join(JOURNAL_FILE).exists());
+        let first_report = std::fs::read_to_string(out.join("campaign.report.json")).unwrap();
+
+        // Resume: zero executed, byte-identical report.
+        let (text, code) = run(&args(&[
+            "run",
+            spec.to_str().unwrap(),
+            "--resume",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(text.contains("0 executed, 2 skipped"), "{text}");
+        let second_report = std::fs::read_to_string(out.join("campaign.report.json")).unwrap();
+        assert_eq!(first_report, second_report);
+
+        // Self-diff is clean.
+        let report_path = out.join("campaign.report.json");
+        let (text, code) = run(&args(&[
+            "diff",
+            report_path.to_str().unwrap(),
+            report_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("no regressions"), "{text}");
+
+        // An injected metric regression exits nonzero.
+        let mut doctored = crate::campaign::CampaignReport::from_json(&first_report).unwrap();
+        let summary = doctored.scenarios[0]
+            .metrics
+            .get_mut("total_repairs")
+            .unwrap()
+            .get_mut("SRT")
+            .unwrap();
+        summary.mean += 1.0;
+        let doctored_path = dir.join("doctored.json");
+        std::fs::write(&doctored_path, doctored.to_json()).unwrap();
+        let (text, code) = run(&args(&[
+            "diff",
+            report_path.to_str().unwrap(),
+            doctored_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, EXIT_REGRESSION, "{text}");
+        assert!(text.contains("regression"), "{text}");
+
+        // A generous tolerance accepts the same drift.
+        let (_, code) = run(&args(&[
+            "diff",
+            report_path.to_str().unwrap(),
+            doctored_path.to_str().unwrap(),
+            "--tolerance",
+            "0.9",
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(run(&args(&[])).is_err());
+        assert!(run(&args(&["fly"])).is_err());
+        assert!(run(&args(&["run"])).is_err());
+        assert!(run(&args(&["run", "/nonexistent/spec.json"])).is_err());
+        assert!(run(&args(&["run", "a.json", "--shards", "0"])).is_err());
+        assert!(run(&args(&["run", "a.json", "--banana"])).is_err());
+        assert!(run(&args(&["expand"])).is_err());
+        assert!(run(&args(&["diff", "only-one.json"])).is_err());
+        assert!(run(&args(&["diff", "a.json", "b.json", "--tolerance", "x"])).is_err());
+        assert!(run(&args(&["diff", "a.json", "b.json", "--tolerance", "-1"])).is_err());
+    }
+
+    #[test]
+    fn diff_rejects_unversioned_reports() {
+        let dir = temp_dir("unversioned");
+        let path = dir.join("report.json");
+        std::fs::write(&path, "{\"scenarios\": []}").unwrap();
+        let err = run(&args(&[
+            "diff",
+            path.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("campaign_report_version"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

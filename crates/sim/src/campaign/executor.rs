@@ -1,0 +1,503 @@
+//! The sharded campaign executor.
+//!
+//! Scenarios fan out across shard worker threads (work-stealing over
+//! the expansion order), each shard running its scenario through the
+//! existing per-scenario parallel runner — two nested levels of
+//! parallelism, so pin `threads: 1` in the spec when sharding wide.
+//! Completed scenarios are journaled immediately; with
+//! [`CampaignOptions::resume`] the executor skips every journaled
+//! scenario whose fingerprint still matches and rebuilds its aggregates
+//! from the journal, making re-runs byte-identical and crash recovery
+//! free. A per-scenario wall-clock budget reaches every run as a
+//! `SolveContext` deadline, and a campaign-wide cancellation flag stops
+//! new scenarios between grid points and running solvers at their next
+//! checkpoint.
+
+use crate::campaign::journal::{self, JournalRecord, JournalWriter};
+use crate::campaign::report::{CampaignReport, ScenarioReport, REPORT_VERSION};
+use crate::campaign::spec::{CampaignScenario, CampaignSpec, CampaignSpecError};
+use crate::runner::{run_scenario_bounded, RunLimits};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The journal file name inside the output directory.
+pub const JOURNAL_FILE: &str = "campaign.journal.jsonl";
+
+/// Execution options for [`run_campaign`].
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Shard worker threads over scenarios (`None` = one per core,
+    /// capped at the scenario count).
+    pub shards: Option<usize>,
+    /// Skip scenarios already journaled in the output directory.
+    /// Without this, an existing journal is truncated and everything
+    /// re-runs.
+    pub resume: bool,
+    /// Output directory (journal + report files).
+    pub out_dir: PathBuf,
+}
+
+/// What a campaign run produced.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The aggregated report over every completed scenario.
+    pub report: CampaignReport,
+    /// Scenarios executed in this invocation.
+    pub executed: usize,
+    /// Scenarios skipped because their journal record was reused.
+    pub skipped: usize,
+    /// Scenarios left unexecuted by cancellation (resumable).
+    pub cancelled: usize,
+    /// Journal records ignored because their fingerprint no longer
+    /// matched the spec (the scenario was re-run).
+    pub stale: usize,
+}
+
+/// A campaign execution failure (spec, journal, or IO), as a display
+/// string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignError(pub String);
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<CampaignSpecError> for CampaignError {
+    fn from(e: CampaignSpecError) -> Self {
+        CampaignError(e.0)
+    }
+}
+
+/// Runs (or resumes) a campaign: expands the spec, executes every
+/// un-journaled scenario across the shard workers, journals each
+/// completion, and aggregates the report in expansion order.
+///
+/// `cancel` is the graceful-stop handle: once raised, no new scenario
+/// starts, and in-flight solvers abort at their next checkpoint (their
+/// partial scenarios are *not* journaled, so a later `--resume` re-runs
+/// them).
+///
+/// # Errors
+///
+/// Spec expansion problems, unreadable journals, and IO failures.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    options: &CampaignOptions,
+    cancel: Option<&AtomicBool>,
+) -> Result<CampaignOutcome, CampaignError> {
+    let scenarios = spec.expand()?;
+    let spec_fingerprint = crate::campaign::spec::campaign_fingerprint(&scenarios);
+    std::fs::create_dir_all(&options.out_dir)
+        .map_err(|e| CampaignError(format!("cannot create {}: {e}", options.out_dir.display())))?;
+    let journal_path = options.out_dir.join(JOURNAL_FILE);
+
+    let mut journaled = if options.resume {
+        journal::load(&journal_path).map_err(CampaignError)?
+    } else {
+        Default::default()
+    };
+
+    // Split the expansion into reusable records and pending work
+    // (each pending entry carries its expansion index, so completed
+    // records slot straight back without an id search).
+    let mut records: Vec<Option<JournalRecord>> = Vec::with_capacity(scenarios.len());
+    let mut pending: Vec<(usize, &CampaignScenario)> = Vec::new();
+    let mut stale = 0;
+    for (at, scenario) in scenarios.iter().enumerate() {
+        match journaled.remove(&scenario.id) {
+            Some(record) if record.fingerprint == scenario.fingerprint => {
+                records.push(Some(record));
+            }
+            Some(_) => {
+                stale += 1;
+                records.push(None);
+                pending.push((at, scenario));
+            }
+            None => {
+                records.push(None);
+                pending.push((at, scenario));
+            }
+        }
+    }
+    let skipped = scenarios.len() - pending.len();
+
+    let writer = JournalWriter::open(&journal_path, !options.resume)
+        .map_err(|e| CampaignError(format!("cannot open {}: {e}", journal_path.display())))?;
+    // A fresh (non-resume) run truncated the journal — re-seed it with
+    // nothing; a resumed run keeps its history and only appends.
+
+    let shards = options
+        .shards
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        })
+        .clamp(1, pending.len().max(1));
+
+    let executed = AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let io_error: Mutex<Option<String>> = Mutex::new(None);
+    let fresh: Mutex<Vec<(usize, JournalRecord)>> = Mutex::new(Vec::new());
+    // A scenario interrupted by the cancel flag mid-flight reflects the
+    // stop request, not the scenario: it is NOT journaled (returns
+    // `None`), so a later `--resume` re-runs it — Cancelled failures
+    // must never become a permanent part of the record.
+    let run_one = |scenario: &CampaignScenario| -> Option<JournalRecord> {
+        let limits = RunLimits {
+            deadline: scenario.budget.map(|budget| Instant::now() + budget),
+            cancel,
+        };
+        let result = run_scenario_bounded(&scenario.scenario, limits);
+        if result.was_cancelled() {
+            return None;
+        }
+        Some(JournalRecord::new(
+            &scenario.id,
+            &scenario.fingerprint,
+            &result,
+        ))
+    };
+
+    if shards <= 1 {
+        for &(at, scenario) in &pending {
+            if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                break;
+            }
+            let Some(record) = run_one(scenario) else {
+                break; // cancelled mid-scenario; the flag is raised
+            };
+            writer
+                .append(&record)
+                .map_err(|e| CampaignError(format!("journal write failed: {e}")))?;
+            executed.fetch_add(1, Ordering::Relaxed);
+            fresh.lock().expect("collector poisoned").push((at, record));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..shards {
+                scope.spawn(|| loop {
+                    if cancel.is_some_and(|flag| flag.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                    // A journal failure in any shard dooms the run to
+                    // Err — stop claiming new scenarios instead of
+                    // burning solver time on unreportable work.
+                    if io_error.lock().expect("error slot poisoned").is_some() {
+                        break;
+                    }
+                    let at = next.fetch_add(1, Ordering::Relaxed);
+                    if at >= pending.len() {
+                        break;
+                    }
+                    let (slot, scenario) = pending[at];
+                    let Some(record) = run_one(scenario) else {
+                        break; // cancelled mid-scenario; the flag is raised
+                    };
+                    if let Err(e) = writer.append(&record) {
+                        *io_error.lock().expect("error slot poisoned") =
+                            Some(format!("journal write failed: {e}"));
+                        break;
+                    }
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    fresh
+                        .lock()
+                        .expect("collector poisoned")
+                        .push((slot, record));
+                });
+            }
+        });
+    }
+    if let Some(e) = io_error.into_inner().expect("error slot poisoned") {
+        return Err(CampaignError(e));
+    }
+
+    for (at, record) in fresh.into_inner().expect("collector poisoned") {
+        records[at] = Some(record);
+    }
+    let executed = executed.into_inner();
+    let cancelled = pending.len() - executed;
+
+    let report = CampaignReport {
+        version: REPORT_VERSION,
+        name: spec.name.clone(),
+        spec_fingerprint,
+        scenarios: records
+            .iter()
+            .flatten()
+            .map(ScenarioReport::from_record)
+            .collect(),
+    };
+    Ok(CampaignOutcome {
+        report,
+        executed,
+        skipped,
+        cancelled,
+        stale,
+    })
+}
+
+/// Loads and parses a report file.
+///
+/// # Errors
+///
+/// IO and schema errors, with the path in the message.
+pub fn load_report(path: &Path) -> Result<CampaignReport, CampaignError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CampaignError(format!("cannot read {}: {e}", path.display())))?;
+    CampaignReport::from_json(&text).map_err(|e| CampaignError(format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::parse_json(
+            r#"{
+                "name": "exec-test",
+                "topologies": ["bell"],
+                "disruptions": ["uniform:0.4"],
+                "demands": ["pairs=2,flow=5"],
+                "solvers": ["srt", "all"],
+                "seeds": [11, 12, 13],
+                "runs": 2,
+                "threads": 1
+            }"#,
+        )
+        .unwrap()
+    }
+
+    fn temp_out(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("netrec_executor_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fresh_run_executes_everything_and_journals_it() {
+        let spec = tiny_spec();
+        let out_dir = temp_out("fresh");
+        let options = CampaignOptions {
+            shards: Some(2),
+            resume: false,
+            out_dir: out_dir.clone(),
+        };
+        let outcome = run_campaign(&spec, &options, None).unwrap();
+        assert_eq!(outcome.executed, 3);
+        assert_eq!(outcome.skipped, 0);
+        assert_eq!(outcome.cancelled, 0);
+        assert_eq!(outcome.report.scenarios.len(), 3);
+        let journal = journal::load(&out_dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(journal.len(), 3);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn resume_skips_journaled_scenarios_and_reproduces_the_report() {
+        let spec = tiny_spec();
+        let out_dir = temp_out("resume");
+        let fresh = run_campaign(
+            &spec,
+            &CampaignOptions {
+                shards: Some(1),
+                resume: false,
+                out_dir: out_dir.clone(),
+            },
+            None,
+        )
+        .unwrap();
+        let resumed = run_campaign(
+            &spec,
+            &CampaignOptions {
+                shards: Some(4),
+                resume: true,
+                out_dir: out_dir.clone(),
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.executed, 0);
+        assert_eq!(resumed.skipped, 3);
+        // Byte-identical aggregate output, wall-clock metrics included:
+        // every record came from the journal.
+        assert_eq!(resumed.report.to_json(), fresh.report.to_json());
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn stale_fingerprints_force_reexecution() {
+        let spec = tiny_spec();
+        let out_dir = temp_out("stale");
+        let options = |resume| CampaignOptions {
+            shards: Some(1),
+            resume,
+            out_dir: out_dir.clone(),
+        };
+        run_campaign(&spec, &options(false), None).unwrap();
+        // Same ids, different run count ⇒ different fingerprints.
+        let mut changed = tiny_spec();
+        changed.runs = 3;
+        let outcome = run_campaign(&changed, &options(true), None).unwrap();
+        assert_eq!(outcome.stale, 3);
+        assert_eq!(outcome.executed, 3);
+        assert_eq!(outcome.skipped, 0);
+        for s in &outcome.report.scenarios {
+            assert_eq!(s.metrics["total_repairs"]["SRT"].n, 3, "{}", s.id);
+        }
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn cancellation_stops_between_scenarios_and_is_resumable() {
+        let spec = tiny_spec();
+        let out_dir = temp_out("cancel");
+        let flag = AtomicBool::new(true); // raised before the first scenario
+        let outcome = run_campaign(
+            &spec,
+            &CampaignOptions {
+                shards: Some(1),
+                resume: false,
+                out_dir: out_dir.clone(),
+            },
+            Some(&flag),
+        )
+        .unwrap();
+        assert_eq!(outcome.executed, 0);
+        assert_eq!(outcome.cancelled, 3);
+        assert!(outcome.report.scenarios.is_empty());
+        // The same out dir resumes cleanly once the flag is lowered.
+        flag.store(false, Ordering::Relaxed);
+        let resumed = run_campaign(
+            &spec,
+            &CampaignOptions {
+                shards: Some(2),
+                resume: true,
+                out_dir: out_dir.clone(),
+            },
+            Some(&flag),
+        )
+        .unwrap();
+        assert_eq!(resumed.executed, 3);
+        assert_eq!(resumed.report.scenarios.len(), 3);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    /// A scenario interrupted mid-flight by the cancel flag must never
+    /// be journaled: whatever the flag's timing, every journal record
+    /// is a fully completed scenario (no `Cancelled` causes) and the
+    /// executed count matches the journal exactly, so `--resume` later
+    /// re-runs precisely the interrupted work.
+    #[test]
+    fn mid_flight_cancellation_is_never_journaled() {
+        let mut spec = tiny_spec();
+        spec.solvers = vec![netrec_core::solver::SolverSpec::isp()];
+        spec.runs = 8; // long enough that the flag can land mid-scenario
+        let out_dir = temp_out("midflight");
+        let flag = AtomicBool::new(false);
+        let outcome = std::thread::scope(|scope| {
+            let flag = &flag;
+            scope.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                flag.store(true, Ordering::Relaxed);
+            });
+            run_campaign(
+                &spec,
+                &CampaignOptions {
+                    shards: Some(1),
+                    resume: false,
+                    out_dir: out_dir.clone(),
+                },
+                Some(flag),
+            )
+            .unwrap()
+        });
+        assert_eq!(outcome.executed + outcome.cancelled, 3);
+        let journal = journal::load(&out_dir.join(JOURNAL_FILE)).unwrap();
+        assert_eq!(journal.len(), outcome.executed);
+        let cancelled_cause = netrec_core::RecoveryError::Cancelled.to_string();
+        for record in journal.values() {
+            assert!(
+                record
+                    .failures
+                    .values()
+                    .flatten()
+                    .all(|cause| cause != &cancelled_cause),
+                "journaled record carries a Cancelled run: {record:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn serial_and_sharded_runs_agree_canonically() {
+        let spec = tiny_spec();
+        let out_a = temp_out("serial");
+        let out_b = temp_out("sharded");
+        let serial = run_campaign(
+            &spec,
+            &CampaignOptions {
+                shards: Some(1),
+                resume: false,
+                out_dir: out_a.clone(),
+            },
+            None,
+        )
+        .unwrap();
+        let sharded = run_campaign(
+            &spec,
+            &CampaignOptions {
+                shards: Some(4),
+                resume: false,
+                out_dir: out_b.clone(),
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            serial.report.canonical_json(),
+            sharded.report.canonical_json()
+        );
+        let _ = std::fs::remove_dir_all(&out_a);
+        let _ = std::fs::remove_dir_all(&out_b);
+    }
+
+    #[test]
+    fn zero_budget_scenarios_complete_with_interruption_failures() {
+        let mut spec = tiny_spec();
+        spec.budget_ms = Some(1);
+        spec.solvers = vec![netrec_core::solver::SolverSpec::isp()];
+        spec.seeds = vec![11];
+        let out_dir = temp_out("budget");
+        // A 1 ms budget may let the first run slip through on a fast
+        // machine, but a scenario cannot take unbounded time: every run
+        // either completes or records DeadlineExceeded.
+        let outcome = run_campaign(
+            &spec,
+            &CampaignOptions {
+                shards: Some(1),
+                resume: false,
+                out_dir: out_dir.clone(),
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.executed, 1);
+        let scenario = &outcome.report.scenarios[0];
+        let completed = scenario
+            .metrics
+            .get("total_repairs")
+            .and_then(|m| m.get("ISP"))
+            .map_or(0, |s| s.n);
+        let failed = scenario.failure_count();
+        assert_eq!(completed + failed, 2, "{scenario:?}");
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+}

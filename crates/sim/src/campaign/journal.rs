@@ -1,0 +1,341 @@
+//! The append-only campaign journal (`campaign.journal.jsonl`).
+//!
+//! One line per *completed* scenario, written and flushed as soon as the
+//! scenario finishes, carrying the raw per-run samples (not summaries) —
+//! so a resumed campaign rebuilds exactly the same aggregates from the
+//! journal that the original run computed, and the re-rendered report is
+//! byte-identical. Scenarios in flight when a campaign dies simply have
+//! no line and are re-executed on resume. Records are keyed by scenario
+//! id and guarded by the scenario fingerprint: when the spec changes
+//! under an id (different solver line-up, run count, or budget), the
+//! stale record is ignored and the scenario re-runs.
+
+use crate::campaign::json::{object, Json};
+use crate::runner::ScenarioResult;
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One journal line: a completed scenario with its raw samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Scenario id (see `CampaignScenario::id`).
+    pub id: String,
+    /// Scenario fingerprint at execution time.
+    pub fingerprint: String,
+    /// metric → solver → per-run samples (the runner's raw output).
+    pub samples: BTreeMap<String, BTreeMap<String, Vec<f64>>>,
+    /// solver → failure causes, in run order.
+    pub failures: BTreeMap<String, Vec<String>>,
+}
+
+impl JournalRecord {
+    /// Packages a runner result as a journal record.
+    pub fn new(id: &str, fingerprint: &str, result: &ScenarioResult) -> Self {
+        JournalRecord {
+            id: id.to_string(),
+            fingerprint: fingerprint.to_string(),
+            samples: result.samples.clone(),
+            failures: result.failures.clone(),
+        }
+    }
+
+    /// Renders the record as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let samples = Json::Object(
+            self.samples
+                .iter()
+                .map(|(metric, by_solver)| {
+                    (
+                        metric.clone(),
+                        Json::Object(
+                            by_solver
+                                .iter()
+                                .map(|(solver, values)| {
+                                    (
+                                        solver.clone(),
+                                        Json::Array(
+                                            values.iter().map(|&v| Json::Number(v)).collect(),
+                                        ),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+        let failures = Json::Object(
+            self.failures
+                .iter()
+                .map(|(solver, causes)| {
+                    (
+                        solver.clone(),
+                        Json::Array(causes.iter().map(|c| Json::String(c.clone())).collect()),
+                    )
+                })
+                .collect(),
+        );
+        object(vec![
+            ("id", Json::String(self.id.clone())),
+            ("fingerprint", Json::String(self.fingerprint.clone())),
+            ("samples", samples),
+            ("failures", failures),
+        ])
+        .to_line()
+    }
+
+    /// Parses one journal line.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed part.
+    pub fn parse_line(line: &str) -> Result<JournalRecord, String> {
+        let root = Json::parse(line)?;
+        let id = root
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("journal record without id")?
+            .to_string();
+        let fingerprint = root
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("journal record without fingerprint")?
+            .to_string();
+        let mut samples = BTreeMap::new();
+        for (metric, by_solver) in root
+            .get("samples")
+            .and_then(Json::as_object)
+            .ok_or("journal record without samples object")?
+        {
+            let mut solver_map = BTreeMap::new();
+            for (solver, values) in by_solver
+                .as_object()
+                .ok_or("journal samples entry is not an object")?
+            {
+                let values = values
+                    .as_array()
+                    .ok_or("journal sample list is not an array")?
+                    .iter()
+                    .map(|v| v.as_f64().ok_or("journal sample is not a number"))
+                    .collect::<Result<Vec<f64>, _>>()?;
+                solver_map.insert(solver.clone(), values);
+            }
+            samples.insert(metric.clone(), solver_map);
+        }
+        let mut failures = BTreeMap::new();
+        for (solver, causes) in root
+            .get("failures")
+            .and_then(Json::as_object)
+            .ok_or("journal record without failures object")?
+        {
+            let causes = causes
+                .as_array()
+                .ok_or("journal failure list is not an array")?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or("journal failure cause is not a string")
+                })
+                .collect::<Result<Vec<String>, _>>()?;
+            failures.insert(solver.clone(), causes);
+        }
+        Ok(JournalRecord {
+            id,
+            fingerprint,
+            samples,
+            failures,
+        })
+    }
+
+    /// Rebuilds the runner result the record was made from.
+    pub fn to_result(&self) -> ScenarioResult {
+        ScenarioResult {
+            samples: self.samples.clone(),
+            failures: self.failures.clone(),
+        }
+    }
+}
+
+/// Reads a journal file into an id-keyed map (last record per id wins —
+/// append-only files may carry superseded records after a spec change).
+/// A missing file is an empty journal. A malformed **final** line is
+/// tolerated and skipped: a campaign killed mid-append leaves a torn
+/// last line, and resume must treat that scenario as simply not
+/// journaled rather than refusing the whole journal.
+///
+/// # Errors
+///
+/// IO errors and any malformed non-final line (with its line number —
+/// corruption in the middle of the file is not crash debris).
+pub fn load(path: &Path) -> Result<BTreeMap<String, JournalRecord>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+    };
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .collect();
+    let mut out = BTreeMap::new();
+    for (at, &(lineno, line)) in lines.iter().enumerate() {
+        match JournalRecord::parse_line(line) {
+            Ok(record) => {
+                out.insert(record.id.clone(), record);
+            }
+            Err(_) if at == lines.len() - 1 => {} // torn trailing write
+            Err(e) => return Err(format!("{}:{}: {e}", path.display(), lineno + 1)),
+        }
+    }
+    Ok(out)
+}
+
+/// A thread-shared append-only journal writer. Every
+/// [`JournalWriter::append`] writes one line and flushes it, so a
+/// record is durable the moment the call returns — a campaign killed
+/// mid-flight loses at most the scenarios still running.
+pub struct JournalWriter {
+    inner: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl JournalWriter {
+    /// Opens the journal for appending (`truncate` starts it fresh — a
+    /// non-resuming run must not inherit stale records).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open(path: &Path, truncate: bool) -> std::io::Result<JournalWriter> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(!truncate)
+            .truncate(truncate)
+            .write(true)
+            .open(path)?;
+        Ok(JournalWriter {
+            inner: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one record and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(&self, record: &JournalRecord) -> std::io::Result<()> {
+        let mut writer = self.inner.lock().expect("journal writer poisoned");
+        writeln!(writer, "{}", record.to_line())?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> JournalRecord {
+        let mut samples = BTreeMap::new();
+        let mut by_solver = BTreeMap::new();
+        by_solver.insert("ISP".to_string(), vec![4.0, 6.5]);
+        by_solver.insert("SRT".to_string(), vec![7.0, 7.0]);
+        samples.insert("total_repairs".to_string(), by_solver);
+        let mut failures = BTreeMap::new();
+        failures.insert(
+            "OPT".to_string(),
+            vec!["solver deadline exceeded".to_string()],
+        );
+        JournalRecord {
+            id: "bell/complete/pairs=2,flow=5/default/seed=11".into(),
+            fingerprint: "00ff00ff00ff00ff".into(),
+            samples,
+            failures,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_its_line() {
+        let record = sample_record();
+        let line = record.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(JournalRecord::parse_line(&line).unwrap(), record);
+        // The line form is stable (byte-identity depends on it).
+        assert_eq!(JournalRecord::parse_line(&line).unwrap().to_line(), line);
+    }
+
+    #[test]
+    fn writer_appends_and_load_reads_back() {
+        let dir = std::env::temp_dir().join("netrec_journal_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal.jsonl");
+        let writer = JournalWriter::open(&path, true).unwrap();
+        let mut a = sample_record();
+        writer.append(&a).unwrap();
+        let mut b = sample_record();
+        b.id = "other/id".into();
+        writer.append(&b).unwrap();
+        drop(writer);
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[&a.id], a);
+        assert_eq!(loaded[&b.id], b);
+
+        // Re-opening without truncation appends; a newer record for the
+        // same id supersedes the old one on load.
+        let writer = JournalWriter::open(&path, false).unwrap();
+        a.fingerprint = "1111111111111111".into();
+        writer.append(&a).unwrap();
+        drop(writer);
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded[&a.id].fingerprint, "1111111111111111");
+
+        // Truncation starts fresh.
+        let writer = JournalWriter::open(&path, true).unwrap();
+        drop(writer);
+        assert!(load(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        assert!(load(Path::new("/nonexistent/campaign.journal.jsonl"))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_but_midfile_corruption_errors() {
+        let dir = std::env::temp_dir().join("netrec_journal_bad_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("j.jsonl");
+        let good = sample_record().to_line();
+        // A record torn mid-append (no closing brace, no newline): crash
+        // debris — resume keeps the intact records and re-runs the rest.
+        let torn = &good[..good.len() / 2];
+        std::fs::write(&path, format!("{good}\n{torn}")).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.contains_key(&sample_record().id));
+        // The same garbage *before* intact records is real corruption.
+        std::fs::write(&path, format!("not json\n{good}\n")).unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_round_trip_preserves_runner_results() {
+        let record = sample_record();
+        let result = record.to_result();
+        assert_eq!(
+            JournalRecord::new(&record.id, &record.fingerprint, &result),
+            record
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! The campaign engine: declarative scenario sweeps at fleet scale.
+//!
+//! A campaign turns the repo from "reproduces figure points" into "runs
+//! evaluation fleets": a serde-annotated [`CampaignSpec`] (JSON via the
+//! offline [`json`] layer) declares a cartesian grid — topologies ×
+//! disruption models × demand specs × oracles × seed ranges, with the
+//! solver line-up on every point, per-axis overrides, and an exclusion
+//! list — and [`CampaignSpec::expand`] deterministically flattens it
+//! into stably-ordered, content-addressed scenarios. The sharded
+//! [`run_campaign`] executor fans scenarios across worker threads on
+//! top of the per-scenario parallel runner, enforces a wall-clock
+//! budget per scenario through `SolveContext` deadlines, cancels
+//! gracefully, and journals every completion to the append-only
+//! `campaign.journal.jsonl` — so campaigns resume for free and resumed
+//! reports are byte-identical. Results aggregate into the versioned
+//! [`CampaignReport`] (JSON + CSV through [`crate::export`]), and
+//! [`report::diff`] is the regression gate CI drives through
+//! `netrec-cli campaign diff`.
+//!
+//! See `DESIGN.md` §10 for the data model, journal format, resume
+//! semantics, and what `diff` tolerates.
+
+pub mod cli;
+pub mod executor;
+pub mod journal;
+pub mod json;
+pub mod report;
+pub mod spec;
+
+pub use executor::{run_campaign, CampaignError, CampaignOptions, CampaignOutcome, JOURNAL_FILE};
+pub use report::{diff, CampaignReport, Regression, ScenarioReport, REPORT_VERSION};
+pub use spec::{AxisMatch, AxisOverride, CampaignScenario, CampaignSpec, CampaignSpecError};

@@ -1,0 +1,549 @@
+//! The versioned machine-readable campaign report and its regression
+//! diff.
+//!
+//! A [`CampaignReport`] aggregates every completed scenario's per-solver
+//! metric summaries (mean/std/n over the runs) and preserves failure
+//! causes. The JSON rendering is **stable**: scenarios in expansion
+//! order, maps in sorted key order, floats through the writer's
+//! canonical formatting — so re-rendering the same data is
+//! byte-identical, which is what the resume guarantee and the CI gate
+//! compare. Wall-clock metrics (`time_ms`) are carried in the report
+//! but ignored by [`diff`] and stripped by
+//! [`CampaignReport::canonical_json`], the determinism-comparison form.
+
+use crate::campaign::journal::JournalRecord;
+use crate::campaign::json::{object, Json};
+use crate::stats::{summarize, Summary};
+use std::collections::BTreeMap;
+
+/// The report schema version this build writes and reads.
+pub const REPORT_VERSION: u64 = 1;
+
+/// Metrics that are wall-clock measurements: nondeterministic across
+/// machines, loads, and shard layouts. Present in reports, excluded
+/// from [`CampaignReport::canonical_json`] and tolerated by [`diff`].
+pub const VOLATILE_METRICS: &[&str] = &["time_ms"];
+
+/// One scenario's aggregated results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario id (`CampaignScenario::id`).
+    pub id: String,
+    /// Scenario fingerprint at execution time.
+    pub fingerprint: String,
+    /// metric → solver → summary over the runs.
+    pub metrics: BTreeMap<String, BTreeMap<String, Summary>>,
+    /// solver → failure causes, in run order (preserved so infeasible
+    /// runs stay visible in campaign output).
+    pub failures: BTreeMap<String, Vec<String>>,
+}
+
+impl ScenarioReport {
+    /// Aggregates one journal record.
+    pub fn from_record(record: &JournalRecord) -> ScenarioReport {
+        let metrics = record
+            .samples
+            .iter()
+            .map(|(metric, by_solver)| {
+                (
+                    metric.clone(),
+                    by_solver
+                        .iter()
+                        .map(|(solver, values)| (solver.clone(), summarize(values)))
+                        .collect(),
+                )
+            })
+            .collect();
+        ScenarioReport {
+            id: record.id.clone(),
+            fingerprint: record.fingerprint.clone(),
+            metrics,
+            failures: record.failures.clone(),
+        }
+    }
+
+    /// Total failed runs across all solvers.
+    pub fn failure_count(&self) -> usize {
+        self.failures.values().map(Vec::len).sum()
+    }
+}
+
+/// The whole campaign's aggregated, versioned report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Schema version ([`REPORT_VERSION`]).
+    pub version: u64,
+    /// Campaign name from the spec.
+    pub name: String,
+    /// Fingerprint of the expanded campaign (`CampaignSpec::fingerprint`).
+    pub spec_fingerprint: String,
+    /// Completed scenarios, in expansion order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl CampaignReport {
+    /// Total failed runs across the campaign.
+    pub fn failure_count(&self) -> usize {
+        self.scenarios
+            .iter()
+            .map(ScenarioReport::failure_count)
+            .sum()
+    }
+
+    fn to_json_value(&self, include_volatile: bool) -> Json {
+        let scenarios = self
+            .scenarios
+            .iter()
+            .map(|s| {
+                let metrics = Json::Object(
+                    s.metrics
+                        .iter()
+                        .filter(|(metric, _)| {
+                            include_volatile || !VOLATILE_METRICS.contains(&metric.as_str())
+                        })
+                        .map(|(metric, by_solver)| {
+                            (
+                                metric.clone(),
+                                Json::Object(
+                                    by_solver
+                                        .iter()
+                                        .map(|(solver, summary)| {
+                                            (
+                                                solver.clone(),
+                                                object(vec![
+                                                    ("mean", Json::Number(summary.mean)),
+                                                    ("std", Json::Number(summary.std)),
+                                                    ("n", Json::Number(summary.n as f64)),
+                                                ]),
+                                            )
+                                        })
+                                        .collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                );
+                let failures = Json::Object(
+                    s.failures
+                        .iter()
+                        .map(|(solver, causes)| {
+                            (
+                                solver.clone(),
+                                Json::Array(
+                                    causes.iter().map(|c| Json::String(c.clone())).collect(),
+                                ),
+                            )
+                        })
+                        .collect(),
+                );
+                object(vec![
+                    ("id", Json::String(s.id.clone())),
+                    ("fingerprint", Json::String(s.fingerprint.clone())),
+                    ("metrics", metrics),
+                    ("failures", failures),
+                ])
+            })
+            .collect();
+        object(vec![
+            ("campaign_report_version", Json::Number(self.version as f64)),
+            ("name", Json::String(self.name.clone())),
+            (
+                "spec_fingerprint",
+                Json::String(self.spec_fingerprint.clone()),
+            ),
+            ("scenario_count", Json::Number(self.scenarios.len() as f64)),
+            ("scenarios", Json::Array(scenarios)),
+        ])
+    }
+
+    /// The full report JSON (pretty, stable) — what `campaign run`
+    /// writes to disk.
+    pub fn to_json(&self) -> String {
+        self.to_json_value(true).to_pretty()
+    }
+
+    /// The determinism-comparison form: identical to [`to_json`] minus
+    /// the [`VOLATILE_METRICS`]. Two runs of the same spec — serial or
+    /// sharded, fresh or resumed — must produce byte-identical
+    /// canonical JSON.
+    ///
+    /// [`to_json`]: CampaignReport::to_json
+    pub fn canonical_json(&self) -> String {
+        self.to_json_value(false).to_pretty()
+    }
+
+    /// Parses a report produced by [`CampaignReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed part; a version mismatch is an
+    /// error (the schema is CI-enforced, not sniffed).
+    pub fn from_json(text: &str) -> Result<CampaignReport, String> {
+        let root = Json::parse(text)?;
+        let version = root
+            .get("campaign_report_version")
+            .and_then(Json::as_u64)
+            .ok_or("report without campaign_report_version")?;
+        if version != REPORT_VERSION {
+            return Err(format!(
+                "report version {version} is not supported (this build reads {REPORT_VERSION})"
+            ));
+        }
+        let name = root
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("report without name")?
+            .to_string();
+        let spec_fingerprint = root
+            .get("spec_fingerprint")
+            .and_then(Json::as_str)
+            .ok_or("report without spec_fingerprint")?
+            .to_string();
+        let mut scenarios = Vec::new();
+        for entry in root
+            .get("scenarios")
+            .and_then(Json::as_array)
+            .ok_or("report without scenarios array")?
+        {
+            let id = entry
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or("scenario without id")?
+                .to_string();
+            let fingerprint = entry
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .ok_or("scenario without fingerprint")?
+                .to_string();
+            let mut metrics: BTreeMap<String, BTreeMap<String, Summary>> = BTreeMap::new();
+            for (metric, by_solver) in entry
+                .get("metrics")
+                .and_then(Json::as_object)
+                .ok_or("scenario without metrics")?
+            {
+                let mut solver_map = BTreeMap::new();
+                for (solver, summary) in by_solver
+                    .as_object()
+                    .ok_or("metric entry is not an object")?
+                {
+                    let field = |key: &str| {
+                        summary
+                            .get(key)
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("summary without {key}"))
+                    };
+                    solver_map.insert(
+                        solver.clone(),
+                        Summary {
+                            mean: field("mean")?,
+                            std: field("std")?,
+                            n: field("n")? as usize,
+                        },
+                    );
+                }
+                metrics.insert(metric.clone(), solver_map);
+            }
+            let mut failures = BTreeMap::new();
+            for (solver, causes) in entry
+                .get("failures")
+                .and_then(Json::as_object)
+                .ok_or("scenario without failures")?
+            {
+                failures.insert(
+                    solver.clone(),
+                    causes
+                        .as_array()
+                        .ok_or("failure causes are not an array")?
+                        .iter()
+                        .map(|c| {
+                            c.as_str()
+                                .map(str::to_string)
+                                .ok_or("failure cause is not a string")
+                        })
+                        .collect::<Result<Vec<String>, _>>()?,
+                );
+            }
+            scenarios.push(ScenarioReport {
+                id,
+                fingerprint,
+                metrics,
+                failures,
+            });
+        }
+        if let Some(count) = root.get("scenario_count").and_then(Json::as_usize) {
+            if count != scenarios.len() {
+                return Err(format!(
+                    "scenario_count {count} does not match the {} scenarios present",
+                    scenarios.len()
+                ));
+            }
+        }
+        Ok(CampaignReport {
+            version,
+            name,
+            spec_fingerprint,
+            scenarios,
+        })
+    }
+}
+
+/// One out-of-tolerance difference found by [`diff`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Scenario id.
+    pub scenario: String,
+    /// What differs (`metric <name>/<solver>`, `failures <solver>`,
+    /// `missing scenario`, …).
+    pub what: String,
+    /// Baseline rendering.
+    pub baseline: String,
+    /// Candidate rendering.
+    pub candidate: String,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}: baseline {} vs candidate {}",
+            self.scenario, self.what, self.baseline, self.candidate
+        )
+    }
+}
+
+/// Compares a candidate report against a baseline.
+///
+/// Deterministic metric means must agree within `tolerance` (relative,
+/// against the larger magnitude, with the same value as an absolute
+/// floor near zero); sample counts and failure causes must match
+/// exactly; scenarios missing from the candidate are regressions, extra
+/// candidate scenarios are ignored (a widened campaign is not a
+/// regression). [`VOLATILE_METRICS`] are skipped entirely — wall-clock
+/// time is not comparable across machines.
+pub fn diff(
+    baseline: &CampaignReport,
+    candidate: &CampaignReport,
+    tolerance: f64,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let by_id: BTreeMap<&str, &ScenarioReport> = candidate
+        .scenarios
+        .iter()
+        .map(|s| (s.id.as_str(), s))
+        .collect();
+    for base in &baseline.scenarios {
+        let Some(cand) = by_id.get(base.id.as_str()) else {
+            out.push(Regression {
+                scenario: base.id.clone(),
+                what: "missing scenario".into(),
+                baseline: "present".into(),
+                candidate: "absent".into(),
+            });
+            continue;
+        };
+        for (metric, base_solvers) in &base.metrics {
+            if VOLATILE_METRICS.contains(&metric.as_str()) {
+                continue;
+            }
+            let cand_solvers = cand.metrics.get(metric);
+            for (solver, base_summary) in base_solvers {
+                let what = format!("metric {metric}/{solver}");
+                let Some(cand_summary) = cand_solvers.and_then(|m| m.get(solver)) else {
+                    out.push(Regression {
+                        scenario: base.id.clone(),
+                        what,
+                        baseline: format!("mean {}", base_summary.mean),
+                        candidate: "absent".into(),
+                    });
+                    continue;
+                };
+                let scale = base_summary
+                    .mean
+                    .abs()
+                    .max(cand_summary.mean.abs())
+                    .max(1.0);
+                if (base_summary.mean - cand_summary.mean).abs() > tolerance * scale
+                    || base_summary.n != cand_summary.n
+                {
+                    out.push(Regression {
+                        scenario: base.id.clone(),
+                        what,
+                        baseline: format!("mean {} (n={})", base_summary.mean, base_summary.n),
+                        candidate: format!("mean {} (n={})", cand_summary.mean, cand_summary.n),
+                    });
+                }
+            }
+        }
+        // Failure causes are part of the schema: a run that used to
+        // succeed and now fails (or vice versa) is a regression even if
+        // the surviving means happen to agree.
+        if base.failures != cand.failures {
+            out.push(Regression {
+                scenario: base.id.clone(),
+                what: "failures".into(),
+                baseline: format!("{} failed runs", base.failure_count()),
+                candidate: format!("{} failed runs", cand.failure_count()),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> CampaignReport {
+        let mut metrics: BTreeMap<String, BTreeMap<String, Summary>> = BTreeMap::new();
+        metrics.insert(
+            "total_repairs".into(),
+            [
+                ("ISP".to_string(), summarize(&[4.0, 6.0])),
+                ("SRT".to_string(), summarize(&[7.0, 9.0])),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        metrics.insert(
+            "time_ms".into(),
+            [("ISP".to_string(), summarize(&[1.25, 2.5]))]
+                .into_iter()
+                .collect(),
+        );
+        let mut failures = BTreeMap::new();
+        failures.insert("OPT".to_string(), vec!["lp error: x".to_string()]);
+        CampaignReport {
+            version: REPORT_VERSION,
+            name: "tiny".into(),
+            spec_fingerprint: "abcdef0123456789".into(),
+            scenarios: vec![ScenarioReport {
+                id: "bell/complete/pairs=2,flow=5/default/seed=11".into(),
+                fingerprint: "00ff00ff00ff00ff".into(),
+                metrics,
+                failures,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let report = sample_report();
+        let text = report.to_json();
+        let parsed = CampaignReport::from_json(&text).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.to_json(), text);
+        assert!(text.contains("\"campaign_report_version\": 1"), "{text}");
+        assert!(text.contains("\"scenario_count\": 1"), "{text}");
+        // Failure causes are present in the export (satellite bugfix).
+        assert!(text.contains("lp error: x"), "{text}");
+    }
+
+    #[test]
+    fn canonical_json_strips_volatile_metrics_only() {
+        let report = sample_report();
+        let canonical = report.canonical_json();
+        assert!(!canonical.contains("time_ms"), "{canonical}");
+        assert!(canonical.contains("total_repairs"), "{canonical}");
+        assert!(canonical.contains("lp error: x"), "{canonical}");
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let text = sample_report().to_json().replace(
+            "\"campaign_report_version\": 1",
+            "\"campaign_report_version\": 2",
+        );
+        let err = CampaignReport::from_json(&text).unwrap_err();
+        assert!(err.contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn scenario_count_mismatch_is_rejected() {
+        let text = sample_report()
+            .to_json()
+            .replace("\"scenario_count\": 1", "\"scenario_count\": 3");
+        assert!(CampaignReport::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn diff_is_clean_for_identical_reports() {
+        let report = sample_report();
+        assert!(diff(&report, &report, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn diff_ignores_wall_clock_drift() {
+        let baseline = sample_report();
+        let mut candidate = sample_report();
+        candidate.scenarios[0]
+            .metrics
+            .get_mut("time_ms")
+            .unwrap()
+            .insert("ISP".into(), summarize(&[99.0, 1000.0]));
+        assert!(diff(&baseline, &candidate, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_metric_regressions() {
+        let baseline = sample_report();
+        let mut candidate = sample_report();
+        candidate.scenarios[0]
+            .metrics
+            .get_mut("total_repairs")
+            .unwrap()
+            .insert("ISP".into(), summarize(&[5.0, 7.0]));
+        let regressions = diff(&baseline, &candidate, 1e-9);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].what.contains("total_repairs/ISP"));
+        assert!(regressions[0].to_string().contains("baseline"));
+        // A generous tolerance accepts the same drift.
+        assert!(diff(&baseline, &candidate, 0.5).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_missing_scenarios_solvers_and_failure_changes() {
+        let baseline = sample_report();
+        let mut candidate = sample_report();
+        candidate.scenarios.clear();
+        let regressions = diff(&baseline, &candidate, 1e-9);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].what, "missing scenario");
+
+        let mut candidate = sample_report();
+        candidate.scenarios[0]
+            .metrics
+            .get_mut("total_repairs")
+            .unwrap()
+            .remove("SRT");
+        let regressions = diff(&baseline, &candidate, 1e-9);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].candidate, "absent");
+
+        let mut candidate = sample_report();
+        candidate.scenarios[0].failures.clear();
+        let regressions = diff(&baseline, &candidate, 1e-9);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].what, "failures");
+
+        // Extra candidate scenarios are not regressions.
+        let mut widened = sample_report();
+        let mut extra = widened.scenarios[0].clone();
+        extra.id = "extra/scenario".into();
+        widened.scenarios.push(extra);
+        assert!(diff(&baseline, &widened, 1e-9).is_empty());
+    }
+
+    #[test]
+    fn diff_flags_sample_count_changes() {
+        let baseline = sample_report();
+        let mut candidate = sample_report();
+        candidate.scenarios[0]
+            .metrics
+            .get_mut("total_repairs")
+            .unwrap()
+            .insert("ISP".into(), summarize(&[5.0])); // same ballpark, n=1
+        let regressions = diff(&baseline, &candidate, 0.5);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+    }
+}

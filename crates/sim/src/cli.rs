@@ -13,6 +13,7 @@
 //! configuration is reachable (`--algo grd-nc:paths=8`,
 //! `--algo mcf:worst`, …) and misspellings get a did-you-mean hint.
 
+use crate::scenario::TopologySpec;
 use netrec_core::schedule::{schedule_recovery, schedule_recovery_with_oracle};
 use netrec_core::solver::{registry, ProgressEvent, SolveContext, SolverSpec};
 use netrec_core::vulnerability::robustness_report;
@@ -25,8 +26,9 @@ use std::fmt;
 /// Parsed CLI options.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
-    /// Topology source.
-    pub topology: TopologyArg,
+    /// Topology source (any [`TopologySpec`] encoding, plus the legacy
+    /// `er:<n>:<p>` shorthand).
+    pub topology: TopologySpec,
     /// Generated demand (pairs × flow), unless explicit demands given.
     pub pairs: usize,
     /// Flow per generated pair.
@@ -52,19 +54,6 @@ pub struct CliOptions {
     pub list_algorithms: bool,
 }
 
-/// Topology selection.
-#[derive(Debug, Clone, PartialEq)]
-pub enum TopologyArg {
-    /// The built-in Bell-Canada-like topology.
-    Bell,
-    /// The built-in CAIDA-like topology (825 / 1018).
-    Caida,
-    /// Erdős–Rényi `n`, `p` (capacity 1000).
-    ErdosRenyi(usize, f64),
-    /// A GML file path.
-    Gml(String),
-}
-
 /// A CLI usage error with a message for the user.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UsageError(pub String);
@@ -82,7 +71,10 @@ pub const HELP: &str = "\
 netrec-cli — plan a network recovery after massive failures (DSN'16)
 
 usage: netrec-cli [options]
-  --topology bell | caida | er:<n>:<p> | gml:<file>     (default bell)
+  --topology SPEC      bell | caida[:nodes=N,edges=E,capacity=C] |
+                       er:n=N,p=P[,capacity=C] (or legacy er:<n>:<p>) |
+                       ba:n=N,m=M | waxman:n=N | grid:rows=R,cols=C |
+                       ring:n=N | gml:<file>             (default bell)
   --pairs N            generated demand pairs            (default 4)
   --flow F             flow units per generated pair     (default 10)
   --demand s,t,amount  explicit demand (repeatable; overrides --pairs)
@@ -101,6 +93,11 @@ usage: netrec-cli [options]
   --schedule BUDGET    also print a staged repair schedule
   --report             also print the single-failure robustness report
   --help
+
+campaign subcommands (declarative scenario sweeps, DESIGN.md §10):
+  netrec-cli campaign run <spec.json> [--shards N] [--resume] [--out DIR]
+  netrec-cli campaign expand <spec.json>
+  netrec-cli campaign diff <baseline.json> <candidate.json> [--tolerance T]
 ";
 
 /// Parses argv (without the program name).
@@ -112,7 +109,7 @@ usage: netrec-cli [options]
 /// registry names.
 pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
     let mut opts = CliOptions {
-        topology: TopologyArg::Bell,
+        topology: TopologySpec::BellCanada,
         pairs: 4,
         flow: 10.0,
         demands: Vec::new(),
@@ -198,26 +195,24 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
     Ok(opts)
 }
 
-fn parse_topology(v: &str) -> Result<TopologyArg, UsageError> {
-    match v {
-        "bell" => Ok(TopologyArg::Bell),
-        "caida" => Ok(TopologyArg::Caida),
-        _ if v.starts_with("er:") => {
-            let parts: Vec<&str> = v[3..].split(':').collect();
-            if parts.len() != 2 {
-                return Err(UsageError("er topology needs er:<n>:<p>".into()));
+fn parse_topology(v: &str) -> Result<TopologySpec, UsageError> {
+    // Legacy positional shorthand `er:<n>:<p>` (capacity 1000) predates
+    // the canonical key=value encoding and stays accepted.
+    if let Some(rest) = v.strip_prefix("er:") {
+        if let [n, p] = rest.split(':').collect::<Vec<_>>()[..] {
+            if let (Ok(n), Ok(p)) = (n.parse(), p.parse()) {
+                return Ok(TopologySpec::ErdosRenyi {
+                    n,
+                    p,
+                    capacity: 1000.0,
+                });
             }
-            let n = parts[0]
-                .parse()
-                .map_err(|_| UsageError("er:<n> must be an integer".into()))?;
-            let p = parts[1]
-                .parse()
-                .map_err(|_| UsageError("er:<p> must be a number".into()))?;
-            Ok(TopologyArg::ErdosRenyi(n, p))
         }
-        _ if v.starts_with("gml:") => Ok(TopologyArg::Gml(v[4..].to_string())),
-        _ => Err(UsageError(format!("unknown topology {v}"))),
     }
+    // Everything else goes through the canonical TopologySpec encoding
+    // (shared with campaign-spec axes), so the CLI reaches every
+    // generator: bell, caida, er, ba, waxman, grid, ring, gml:<path>.
+    TopologySpec::parse(v).map_err(UsageError)
 }
 
 fn parse_demand(v: &str) -> Result<(usize, usize, f64), UsageError> {
@@ -241,23 +236,9 @@ fn parse_demand(v: &str) -> Result<(usize, usize, f64), UsageError> {
 }
 
 fn parse_disrupt(v: &str) -> Result<DisruptionModel, UsageError> {
-    match v {
-        "complete" => Ok(DisruptionModel::Complete),
-        "none" => Ok(DisruptionModel::Uniform { probability: 0.0 }),
-        _ if v.starts_with("gaussian:") => {
-            let variance = v[9..]
-                .parse()
-                .map_err(|_| UsageError("gaussian:<variance> must be a number".into()))?;
-            Ok(DisruptionModel::gaussian(variance))
-        }
-        _ if v.starts_with("uniform:") => {
-            let probability = v[8..]
-                .parse()
-                .map_err(|_| UsageError("uniform:<p> must be a number".into()))?;
-            Ok(DisruptionModel::Uniform { probability })
-        }
-        _ => Err(UsageError(format!("unknown disruption {v}"))),
-    }
+    // The canonical parser lives next to the model (shared with the
+    // campaign-spec axis format); the CLI just wraps its message.
+    DisruptionModel::parse(v).map_err(UsageError)
 }
 
 /// Renders an oracle counter snapshot on one line: queries and LP solves
@@ -302,19 +283,7 @@ pub fn render_registry() -> String {
 ///
 /// Reports GML file problems as usage errors.
 pub fn build_topology(opts: &CliOptions) -> Result<Topology, UsageError> {
-    match &opts.topology {
-        TopologyArg::Bell => Ok(netrec_topology::bell::bell_canada()),
-        TopologyArg::Caida => Ok(netrec_topology::caida::caida_like(opts.seed)),
-        TopologyArg::ErdosRenyi(n, p) => Ok(netrec_topology::random::erdos_renyi(
-            *n, *p, 1000.0, opts.seed,
-        )),
-        TopologyArg::Gml(path) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| UsageError(format!("cannot read {path}: {e}")))?;
-            netrec_topology::gml::parse(&text, 20.0)
-                .map_err(|e| UsageError(format!("cannot parse {path}: {e}")))
-        }
-    }
+    opts.topology.try_build(opts.seed).map_err(UsageError)
 }
 
 /// Builds the recovery problem and runs the selected solver, returning
@@ -522,7 +491,7 @@ mod tests {
     #[test]
     fn defaults() {
         let o = parse_args(&[]).unwrap();
-        assert_eq!(o.topology, TopologyArg::Bell);
+        assert_eq!(o.topology, TopologySpec::BellCanada);
         assert_eq!(o.pairs, 4);
         assert_eq!(o.algorithm, SolverSpec::isp());
         assert!(!o.report);
@@ -549,7 +518,14 @@ mod tests {
             "--report",
         ]))
         .unwrap();
-        assert_eq!(o.topology, TopologyArg::ErdosRenyi(20, 0.3));
+        assert_eq!(
+            o.topology,
+            TopologySpec::ErdosRenyi {
+                n: 20,
+                p: 0.3,
+                capacity: 1000.0
+            }
+        );
         assert_eq!(o.pairs, 2);
         assert_eq!(o.flow, 5.5);
         assert_eq!(o.algorithm, SolverSpec::grd_nc());

@@ -1,11 +1,29 @@
-//! Export of figure tables to CSV and gnuplot scripts.
+//! Export of figure tables and campaign reports to CSV / JSON / gnuplot.
 //!
 //! `repro --out-dir DIR` writes, per figure and metric, a CSV with one
 //! row per x-value and one `mean`/`std` column pair per algorithm, plus a
 //! ready-to-run gnuplot script reproducing the paper's plot layout.
+//! Failed runs get their own `figN_failures.csv` — they used to be
+//! silently dropped between the runner and the files on disk.
+//!
+//! `netrec-cli campaign run --out DIR` writes the versioned
+//! [`CampaignReport`] as `campaign.report.json` plus two CSVs
+//! (`campaign.metrics.csv`, `campaign.failures.csv`) via
+//! [`write_campaign_report`].
 
+use crate::campaign::CampaignReport;
 use crate::stats::FigureTable;
 use std::fmt::Write as _;
+
+/// Escapes one CSV cell: quoted when it contains a comma, quote, or
+/// newline (error causes are free-form display strings).
+fn csv_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
 
 /// Renders one metric of a figure as CSV text.
 ///
@@ -97,8 +115,24 @@ pub fn to_gnuplot(table: &FigureTable, metric: &str, csv_file: &str) -> String {
     out
 }
 
+/// Renders the figure's failed runs as CSV (`x,algorithm,cause`), one
+/// row per failed run.
+pub fn failures_to_csv(table: &FigureTable) -> String {
+    let mut out = String::from("x,algorithm,cause\n");
+    for f in &table.failures {
+        let _ = writeln!(
+            out,
+            "{},{},{}",
+            f.x,
+            csv_cell(&f.algorithm),
+            csv_cell(&f.cause)
+        );
+    }
+    out
+}
+
 /// Writes all metrics of a figure into `dir` as `figN_metric.csv` +
-/// `figN_metric.gp`.
+/// `figN_metric.gp`, plus `figN_failures.csv` when any run failed.
 ///
 /// # Errors
 ///
@@ -116,7 +150,82 @@ pub fn write_figure(table: &FigureTable, dir: &std::path::Path) -> std::io::Resu
         )?;
         written.push(base);
     }
+    if !table.failures.is_empty() {
+        let base = format!("{}_failures", table.figure);
+        std::fs::write(dir.join(format!("{base}.csv")), failures_to_csv(table))?;
+        written.push(base);
+    }
     Ok(written)
+}
+
+/// Writes a campaign report into `dir`: the versioned JSON
+/// (`campaign.report.json`), the per-scenario metric CSV
+/// (`campaign.metrics.csv`, rows `scenario,solver,metric,mean,std,n`),
+/// and the failure CSV (`campaign.failures.csv`, rows
+/// `scenario,solver,cause` — always written, header-only when clean, so
+/// "no failures" is distinguishable from "failures not exported").
+/// Returns the file names written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_campaign_report(
+    report: &CampaignReport,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<String>> {
+    std::fs::create_dir_all(dir)?;
+    let files = [
+        ("campaign.report.json", report.to_json()),
+        ("campaign.metrics.csv", campaign_metrics_csv(report)),
+        ("campaign.failures.csv", campaign_failures_csv(report)),
+    ];
+    let mut written = Vec::new();
+    for (name, content) in files {
+        std::fs::write(dir.join(name), content)?;
+        written.push(name.to_string());
+    }
+    Ok(written)
+}
+
+/// The campaign metric CSV: one row per scenario × solver × metric.
+pub fn campaign_metrics_csv(report: &CampaignReport) -> String {
+    let mut out = String::from("scenario,solver,metric,mean,std,n\n");
+    for scenario in &report.scenarios {
+        for (metric, by_solver) in &scenario.metrics {
+            for (solver, summary) in by_solver {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{}",
+                    csv_cell(&scenario.id),
+                    csv_cell(solver),
+                    csv_cell(metric),
+                    summary.mean,
+                    summary.std,
+                    summary.n
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The campaign failure CSV: one row per failed run, cause preserved.
+pub fn campaign_failures_csv(report: &CampaignReport) -> String {
+    let mut out = String::from("scenario,solver,cause\n");
+    for scenario in &report.scenarios {
+        for (solver, causes) in &scenario.failures {
+            for cause in causes {
+                let _ = writeln!(
+                    out,
+                    "{},{},{}",
+                    csv_cell(&scenario.id),
+                    csv_cell(solver),
+                    csv_cell(cause)
+                );
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -149,6 +258,11 @@ mod tests {
                     value: summarize(&[4.0]),
                 },
             ],
+            failures: vec![crate::stats::FailurePoint {
+                x: 2.0,
+                algorithm: "OPT".into(),
+                cause: "lp error, with a \"quoted\" part".into(),
+            }],
         }
     }
 
@@ -180,9 +294,34 @@ mod tests {
         let dir = std::env::temp_dir().join("netrec_export_test");
         let _ = std::fs::remove_dir_all(&dir);
         let written = write_figure(&sample(), &dir).unwrap();
-        assert_eq!(written, vec!["figT_total_repairs"]);
+        assert_eq!(written, vec!["figT_total_repairs", "figT_failures"]);
         assert!(dir.join("figT_total_repairs.csv").exists());
         assert!(dir.join("figT_total_repairs.gp").exists());
+        // Satellite bugfix: failures land on disk next to the metrics.
+        let failures = std::fs::read_to_string(dir.join("figT_failures.csv")).unwrap();
+        assert!(failures.starts_with("x,algorithm,cause\n"), "{failures}");
+        assert!(failures.contains("2,OPT,"), "{failures}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_csv_quotes_free_form_causes() {
+        let csv = failures_to_csv(&sample());
+        assert!(
+            csv.contains("\"lp error, with a \"\"quoted\"\" part\""),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn clean_figures_skip_the_failure_file() {
+        let dir = std::env::temp_dir().join("netrec_export_clean_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut table = sample();
+        table.failures.clear();
+        let written = write_figure(&table, &dir).unwrap();
+        assert_eq!(written, vec!["figT_total_repairs"]);
+        assert!(!dir.join("figT_failures.csv").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

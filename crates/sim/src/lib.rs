@@ -10,6 +10,11 @@
 //! `netrec-cli` binary ([`cli`]) plans a single recovery end to end.
 //! `EXPERIMENTS.md` records paper-vs-measured values.
 //!
+//! Above single scenarios sits the [`campaign`] engine: declarative
+//! cartesian sweeps (`netrec-cli campaign run spec.json`) with sharded
+//! execution, resumable journals, and a versioned, diffable report —
+//! see `DESIGN.md` §10.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -26,11 +31,15 @@ mod runner;
 mod scenario;
 mod stats;
 
+pub mod campaign;
 pub mod cli;
 pub mod export;
 pub mod figures;
 
+pub use campaign::{run_campaign, CampaignOptions, CampaignReport, CampaignSpec};
 pub use netrec_core::solver::{SolverInfo, SolverSpec};
-pub use runner::{run_figure, run_scenario, Figure, ScenarioResult};
+pub use runner::{
+    run_figure, run_scenario, run_scenario_bounded, Figure, RunLimits, ScenarioResult,
+};
 pub use scenario::{Scenario, TopologySpec};
-pub use stats::{render_table, summarize, FigureTable, SeriesPoint, Summary};
+pub use stats::{render_table, summarize, FailurePoint, FigureTable, SeriesPoint, Summary};

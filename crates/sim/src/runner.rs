@@ -19,12 +19,12 @@
 //! comparable to serially collected baselines.
 
 use crate::scenario::Scenario;
-use crate::stats::{summarize, FigureTable, SeriesPoint};
+use crate::stats::{summarize, FailurePoint, FigureTable, SeriesPoint};
 use netrec_core::solver::{ProgressEvent, RecoverySolver, SolveContext};
 use netrec_core::{OracleStats, RecoveryProblem};
 use netrec_topology::demand::generate_demands;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Raw per-run measurements of one scenario.
@@ -60,12 +60,57 @@ impl ScenarioResult {
     pub fn failure_count(&self) -> usize {
         self.failures.values().map(Vec::len).sum()
     }
+
+    /// Whether any run was stopped by the [`RunLimits`] cancellation
+    /// flag. Such a result reflects the stop request, not the scenario —
+    /// the campaign executor must treat the scenario as *not completed*
+    /// (in particular: never journal it, so a resume re-runs it).
+    pub fn was_cancelled(&self) -> bool {
+        let cancelled = netrec_core::RecoveryError::Cancelled.to_string();
+        self.failures
+            .values()
+            .flatten()
+            .any(|cause| cause == &cancelled)
+    }
+}
+
+/// Execution limits the campaign executor threads into every run of a
+/// scenario: an absolute wall-clock deadline shared by the whole
+/// scenario and a cancellation flag shared by the whole campaign. Both
+/// reach the solvers through their run's
+/// [`SolveContext`](netrec_core::solver::SolveContext), so an exhausted
+/// budget surfaces as a per-run `DeadlineExceeded` failure instead of a
+/// hung shard.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunLimits<'a> {
+    /// Absolute deadline for every run of the scenario (`None` = no
+    /// budget).
+    pub deadline: Option<Instant>,
+    /// Campaign-wide cancellation flag (`None` = not cancellable).
+    pub cancel: Option<&'a AtomicBool>,
+}
+
+impl<'a> RunLimits<'a> {
+    fn apply(&self, mut ctx: SolveContext<'a>) -> SolveContext<'a> {
+        if let Some(deadline) = self.deadline {
+            ctx = ctx.with_deadline_at(deadline);
+        }
+        if let Some(flag) = self.cancel {
+            ctx = ctx.with_cancel_flag(flag);
+        }
+        ctx
+    }
 }
 
 /// Builds the [`RecoveryProblem`] of one run of a scenario.
-pub(crate) fn build_problem(scenario: &Scenario, run: u64) -> RecoveryProblem {
+///
+/// # Errors
+///
+/// Topology build failures (bad generator parameters, unreadable GML
+/// files) as display strings.
+pub(crate) fn build_problem(scenario: &Scenario, run: u64) -> Result<RecoveryProblem, String> {
     let seed = scenario.seed.wrapping_add(run);
-    let topo = scenario.topology.build(seed);
+    let topo = scenario.topology.try_build(seed)?;
     let demands = generate_demands(&topo, &scenario.demand, seed ^ 0x9e3779b97f4a7c15);
     let disruption = scenario.disruption.apply(&topo, seed ^ 0x3243f6a8885a308d);
     let mut p = RecoveryProblem::new(topo.graph().clone());
@@ -84,7 +129,7 @@ pub(crate) fn build_problem(scenario: &Scenario, run: u64) -> RecoveryProblem {
                 .expect("valid edge index");
         }
     }
-    p
+    Ok(p)
 }
 
 /// Everything one run contributes, merged into the scenario result in
@@ -95,11 +140,28 @@ struct RunOutput {
 }
 
 /// Executes every solver on one run's problem instance.
-fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u64) -> RunOutput {
-    let problem = build_problem(scenario, run);
+fn execute_run(
+    scenario: &Scenario,
+    solvers: &[Box<dyn RecoverySolver>],
+    run: u64,
+    limits: RunLimits<'_>,
+) -> RunOutput {
     let mut out = RunOutput {
         samples: Vec::new(),
         failures: Vec::new(),
+    };
+    let problem = match build_problem(scenario, run) {
+        Ok(problem) => problem,
+        Err(cause) => {
+            // A topology that cannot be built fails every solver of the
+            // run identically — the cause stays visible per solver in
+            // the report instead of panicking the worker thread.
+            for solver in solvers {
+                out.failures
+                    .push((solver.name().to_string(), format!("topology: {cause}")));
+            }
+            return out;
+        }
     };
     // The ALL value also serves as the destruction size reference.
     for solver in solvers {
@@ -112,6 +174,7 @@ fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u6
             if let Some(oracle) = scenario.oracle {
                 ctx = ctx.with_oracle(oracle);
             }
+            let ctx = limits.apply(ctx);
             let mut ctx = ctx.with_progress(|event| {
                 if let ProgressEvent::OracleSnapshot(stats) = event {
                     oracle_stats = Some(*stats);
@@ -174,6 +237,15 @@ fn execute_run(scenario: &Scenario, solvers: &[Box<dyn RecoverySolver>], run: u6
 /// aggressive disruptions) are recorded in
 /// [`ScenarioResult::failures`] with their error cause and skipped.
 pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
+    run_scenario_bounded(scenario, RunLimits::default())
+}
+
+/// [`run_scenario`] under campaign execution limits: every run's
+/// [`SolveContext`](netrec_core::solver::SolveContext) carries the
+/// scenario-wide deadline and the campaign-wide cancellation flag, so a
+/// scenario over budget degrades into per-run `DeadlineExceeded` /
+/// `Cancelled` failure records rather than blocking its shard.
+pub fn run_scenario_bounded(scenario: &Scenario, limits: RunLimits<'_>) -> ScenarioResult {
     let runs = scenario.runs;
     // Build each spec once; the trait objects are Sync and shared by all
     // workers.
@@ -193,7 +265,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
 
     if workers <= 1 {
         for (run, slot) in outputs.iter_mut().enumerate() {
-            *slot = Some(execute_run(scenario, &solvers, run as u64));
+            *slot = Some(execute_run(scenario, &solvers, run as u64, limits));
         }
     } else {
         // Work-stealing over the run indices with scoped threads; each
@@ -210,7 +282,7 @@ pub fn run_scenario(scenario: &Scenario) -> ScenarioResult {
                             if run >= runs {
                                 break;
                             }
-                            local.push((run, execute_run(scenario, solvers, run as u64)));
+                            local.push((run, execute_run(scenario, solvers, run as u64, limits)));
                         }
                         local
                     })
@@ -251,9 +323,13 @@ pub struct Figure {
     pub scenarios: Vec<Scenario>,
 }
 
-/// Runs a whole figure sweep into a [`FigureTable`].
+/// Runs a whole figure sweep into a [`FigureTable`]. Failed runs are
+/// carried through as [`FailurePoint`]s — historically they were
+/// silently dropped here, so infeasible sweeps looked like thin but
+/// healthy data in the CSV/JSON exports.
 pub fn run_figure(figure: &Figure) -> FigureTable {
     let mut points = Vec::new();
+    let mut failures = Vec::new();
     for scenario in &figure.scenarios {
         let result = run_scenario(scenario);
         for (metric, by_alg) in &result.samples {
@@ -266,12 +342,22 @@ pub fn run_figure(figure: &Figure) -> FigureTable {
                 });
             }
         }
+        for (alg, causes) in &result.failures {
+            for cause in causes {
+                failures.push(FailurePoint {
+                    x: scenario.x,
+                    algorithm: alg.clone(),
+                    cause: cause.clone(),
+                });
+            }
+        }
     }
     FigureTable {
         figure: figure.id.clone(),
         title: figure.title.clone(),
         x_label: figure.x_label.clone(),
         points,
+        failures,
     }
 }
 
@@ -303,11 +389,11 @@ mod tests {
     #[test]
     fn build_problem_is_deterministic() {
         let s = tiny_scenario(vec![SolverSpec::all()]);
-        let a = build_problem(&s, 0);
-        let b = build_problem(&s, 0);
+        let a = build_problem(&s, 0).unwrap();
+        let b = build_problem(&s, 0).unwrap();
         assert_eq!(a.demand_pairs(), b.demand_pairs());
         assert_eq!(a.broken_edge_mask(), b.broken_edge_mask());
-        let c = build_problem(&s, 1);
+        let c = build_problem(&s, 1).unwrap();
         // Different run ⇒ different demands (same topology).
         assert!(
             a.demand_pairs() != c.demand_pairs() || a.broken_node_mask() != c.broken_node_mask()
@@ -432,7 +518,7 @@ mod tests {
             scenario.runs = 2;
             let solver = SolverSpec::isp().build();
             for run in 0..scenario.runs {
-                let problem = build_problem(&scenario, run as u64);
+                let problem = build_problem(&scenario, run as u64).unwrap();
                 let mut ctx = SolveContext::new().with_oracle(scenario.oracle.unwrap());
                 match solver.solve(&problem, &mut ctx) {
                     Ok(plan) => {
@@ -469,6 +555,82 @@ mod tests {
         };
         let table = run_figure(&fig);
         assert!(!table.points.is_empty());
+        assert!(table.failures.is_empty());
         assert_eq!(table.series("ALL", "total_repairs"), vec![(1.0, 7.0)]);
+    }
+
+    /// Satellite bugfix: failed runs reach the figure table instead of
+    /// being silently dropped between the runner and the exporters.
+    #[test]
+    fn run_figure_carries_failures() {
+        let mut s = tiny_scenario(vec![SolverSpec::isp()]);
+        s.demand = DemandSpec::new(2, 1e9); // every run infeasible
+        let fig = Figure {
+            id: "t".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            scenarios: vec![s],
+        };
+        let table = run_figure(&fig);
+        assert_eq!(table.failures.len(), 2);
+        for f in &table.failures {
+            assert_eq!(f.algorithm, "ISP");
+            assert_eq!(f.x, 1.0);
+            assert_eq!(
+                f.cause,
+                RecoveryError::InfeasibleEvenIfAllRepaired.to_string()
+            );
+        }
+    }
+
+    /// Tentpole plumbing: a zero deadline fails every run with
+    /// `DeadlineExceeded`, and a raised cancel flag with `Cancelled`.
+    #[test]
+    fn run_limits_reach_every_run() {
+        let s = tiny_scenario(vec![SolverSpec::isp()]);
+        let r = run_scenario_bounded(
+            &s,
+            RunLimits {
+                deadline: Some(Instant::now()),
+                cancel: None,
+            },
+        );
+        assert!(r.samples.is_empty());
+        let causes = &r.failures["ISP"];
+        assert_eq!(causes.len(), 2);
+        assert!(
+            causes
+                .iter()
+                .all(|c| c == &RecoveryError::DeadlineExceeded.to_string()),
+            "{causes:?}"
+        );
+
+        let flag = AtomicBool::new(true);
+        let r = run_scenario_bounded(
+            &s,
+            RunLimits {
+                deadline: None,
+                cancel: Some(&flag),
+            },
+        );
+        assert!(r.failures["ISP"]
+            .iter()
+            .all(|c| c == &RecoveryError::Cancelled.to_string()));
+    }
+
+    /// An unbuildable topology becomes per-solver failures, not a panic.
+    #[test]
+    fn unbuildable_topology_is_recorded_per_solver() {
+        let mut s = tiny_scenario(vec![SolverSpec::srt(), SolverSpec::all()]);
+        s.topology = TopologySpec::Gml {
+            path: "/nonexistent/net.gml".into(),
+        };
+        s.disruption = DisruptionModel::Complete;
+        let r = run_scenario(&s);
+        for alg in ["SRT", "ALL"] {
+            let causes = &r.failures[alg];
+            assert_eq!(causes.len(), 2, "{alg}");
+            assert!(causes[0].starts_with("topology: "), "{causes:?}");
+        }
     }
 }

@@ -48,6 +48,19 @@ pub struct SeriesPoint {
     pub value: Summary,
 }
 
+/// One failed run of a figure sweep: which x-coordinate and algorithm,
+/// and the error cause. Kept alongside the aggregated points so the
+/// exporters can no longer silently drop infeasible runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailurePoint {
+    /// The x-coordinate of the failing scenario.
+    pub x: f64,
+    /// Algorithm name (`ISP`, `OPT`, …).
+    pub algorithm: String,
+    /// Display string of the run's error.
+    pub cause: String,
+}
+
 /// All series of one reproduced figure.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FigureTable {
@@ -59,6 +72,8 @@ pub struct FigureTable {
     pub x_label: String,
     /// Data points.
     pub points: Vec<SeriesPoint>,
+    /// Failed runs, in scenario order (empty when every run succeeded).
+    pub failures: Vec<FailurePoint>,
 }
 
 impl FigureTable {
@@ -146,6 +161,12 @@ pub fn render_table(table: &FigureTable) -> String {
             out.push('\n');
         }
     }
+    if !table.failures.is_empty() {
+        out.push_str(&format!("\n## failures ({} runs)\n", table.failures.len()));
+        for f in &table.failures {
+            out.push_str(&format!("{:>10.2}  {}: {}\n", f.x, f.algorithm, f.cause));
+        }
+    }
     out
 }
 
@@ -194,6 +215,11 @@ mod tests {
                     value: summarize(&[3.0]),
                 },
             ],
+            failures: vec![FailurePoint {
+                x: 2.0,
+                algorithm: "OPT".into(),
+                cause: "demand exceeds the capacity of the fully repaired network".into(),
+            }],
         }
     }
 
@@ -217,5 +243,15 @@ mod tests {
         assert!(text.contains("ISP"));
         assert!(text.contains("OPT"));
         assert!(text.contains("4.00"));
+        // Satellite bugfix: failures are rendered, not dropped.
+        assert!(text.contains("failures (1 runs)"), "{text}");
+        assert!(text.contains("fully repaired network"), "{text}");
+    }
+
+    #[test]
+    fn rendering_omits_empty_failure_section() {
+        let mut table = sample_table();
+        table.failures.clear();
+        assert!(!render_table(&table).contains("failures"));
     }
 }

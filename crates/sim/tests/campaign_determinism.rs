@@ -1,0 +1,126 @@
+//! Campaign determinism guarantees (tentpole acceptance tests):
+//!
+//! * the same spec + seeds yields a **byte-identical** report — serial
+//!   vs sharded (canonical form, i.e. minus wall-clock metrics) and
+//!   fresh vs resumed (full file bytes, wall-clock included, because a
+//!   resumed run re-reads the journal instead of re-measuring);
+//! * `CampaignSpec::expand` is stable under reordering of the spec's
+//!   axis arrays (property-based, random permutations).
+
+use netrec_sim::campaign::{run_campaign, CampaignOptions, CampaignSpec};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const SPEC: &str = r#"{
+    "version": 1,
+    "name": "determinism",
+    "topologies": ["bell", "grid:rows=3,cols=3,capacity=50"],
+    "disruptions": ["uniform:0.4"],
+    "demands": ["pairs=2,flow=5"],
+    "solvers": ["isp", "srt", "all"],
+    "oracles": ["default", "incremental"],
+    "seeds": [11, 12],
+    "runs": 2,
+    "threads": 1,
+    "exclude": [{"solver": "all", "oracle": "incremental"}]
+}"#;
+
+fn out_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netrec_campaign_determinism_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn options(dir: &std::path::Path, shards: usize, resume: bool) -> CampaignOptions {
+    CampaignOptions {
+        shards: Some(shards),
+        resume,
+        out_dir: dir.to_path_buf(),
+    }
+}
+
+/// Golden test: serial vs sharded byte-identical (canonical JSON), and
+/// fresh vs resumed byte-identical (full JSON), on one fixed spec.
+#[test]
+fn campaign_reports_are_byte_identical() {
+    let spec = CampaignSpec::parse_json(SPEC).unwrap();
+    let serial_dir = out_dir("serial");
+    let sharded_dir = out_dir("sharded");
+
+    let serial = run_campaign(&spec, &options(&serial_dir, 1, false), None).unwrap();
+    let sharded = run_campaign(&spec, &options(&sharded_dir, 4, false), None).unwrap();
+    assert_eq!(serial.executed, 8);
+    assert_eq!(sharded.executed, 8);
+    // Shard layout must not leak into the deterministic metrics.
+    assert_eq!(
+        serial.report.canonical_json(),
+        sharded.report.canonical_json()
+    );
+
+    // Resuming re-executes nothing and reproduces the *full* report
+    // bytes (wall-clock metrics included — they come from the journal).
+    let resumed = run_campaign(&spec, &options(&sharded_dir, 4, true), None).unwrap();
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.skipped, 8);
+    assert_eq!(resumed.report.to_json(), sharded.report.to_json());
+
+    // The exclusion bit: ALL never runs under the incremental oracle.
+    for scenario in &serial.report.scenarios {
+        let has_all = scenario
+            .metrics
+            .get("total_repairs")
+            .is_some_and(|m| m.contains_key("ALL"));
+        assert_eq!(
+            has_all,
+            !scenario.id.contains("/incremental/"),
+            "{}",
+            scenario.id
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&serial_dir);
+    let _ = std::fs::remove_dir_all(&sharded_dir);
+}
+
+/// Shuffles a JSON array's rendering inside the spec text.
+fn shuffle<T: Clone>(items: &[T], order_seed: u64) -> Vec<T> {
+    let mut out: Vec<T> = items.to_vec();
+    let mut state = order_seed | 1;
+    for i in (1..out.len()).rev() {
+        // xorshift64 — cheap, deterministic permutation driver.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.swap(i, (state as usize) % (i + 1));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Property: permuting every axis array leaves the expansion —
+    /// ids, order, fingerprints, and solver line-ups — unchanged.
+    #[test]
+    fn expansion_is_invariant_under_axis_permutations(order_seed in proptest::arbitrary::any::<u64>()) {
+        let base = CampaignSpec::parse_json(SPEC).unwrap();
+        let mut permuted = CampaignSpec::parse_json(SPEC).unwrap();
+        permuted.topologies = shuffle(&permuted.topologies, order_seed);
+        permuted.disruptions = shuffle(&permuted.disruptions, order_seed ^ 0xa5a5);
+        permuted.demands = shuffle(&permuted.demands, order_seed ^ 0x5a5a);
+        permuted.solvers = shuffle(&permuted.solvers, order_seed ^ 0xff00);
+        permuted.oracles = shuffle(&permuted.oracles, order_seed ^ 0x00ff);
+        permuted.seeds = shuffle(&permuted.seeds, order_seed ^ 0xf0f0);
+
+        let a = base.expand().unwrap();
+        let b = permuted.expand().unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.id, &y.id);
+            prop_assert_eq!(&x.fingerprint, &y.fingerprint);
+            prop_assert_eq!(&x.scenario.solvers, &y.scenario.solvers);
+            prop_assert_eq!(x.scenario.seed, y.scenario.seed);
+        }
+        prop_assert_eq!(base.fingerprint().unwrap(), permuted.fingerprint().unwrap());
+    }
+}

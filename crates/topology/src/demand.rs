@@ -38,6 +38,78 @@ impl DemandSpec {
             min_distance_factor: 0.5,
         }
     }
+
+    /// Parses the canonical string encoding
+    /// `pairs=N,flow=F[,min-dist=FACTOR]` (the campaign-spec axis
+    /// format; `Display` renders the same form, so
+    /// `parse(spec.to_string())` round-trips).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending token; `pairs` and `flow` are
+    /// mandatory, `min-dist` defaults to the paper's 0.5.
+    pub fn parse(s: &str) -> Result<DemandSpec, String> {
+        let mut pairs: Option<usize> = None;
+        let mut flow: Option<f64> = None;
+        let mut factor = 0.5f64;
+        for token in s.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("demand option `{token}` is not key=value"))?;
+            match key.trim() {
+                "pairs" => {
+                    pairs = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("demand pairs `{value}` is not an integer"))?,
+                    )
+                }
+                "flow" => {
+                    let f: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("demand flow `{value}` is not a number"))?;
+                    if !f.is_finite() || f < 0.0 {
+                        return Err(format!("demand flow {f} must be finite and non-negative"));
+                    }
+                    flow = Some(f);
+                }
+                "min-dist" => {
+                    let f: f64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("demand min-dist `{value}` is not a number"))?;
+                    if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                        return Err(format!("demand min-dist {f} must lie in [0, 1]"));
+                    }
+                    factor = f;
+                }
+                other => return Err(format!("unknown demand option `{other}`")),
+            }
+        }
+        Ok(DemandSpec {
+            pairs: pairs.ok_or("demand spec needs pairs=N")?,
+            flow_per_pair: flow.ok_or("demand spec needs flow=F")?,
+            min_distance_factor: factor,
+        })
+    }
+}
+
+impl std::fmt::Display for DemandSpec {
+    /// The canonical encoding accepted by [`DemandSpec::parse`];
+    /// `min-dist` is omitted at the paper's default 0.5.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pairs={},flow={}", self.pairs, self.flow_per_pair)?;
+        if self.min_distance_factor != 0.5 {
+            write!(f, ",min-dist={}", self.min_distance_factor)?;
+        }
+        Ok(())
+    }
 }
 
 /// Generates demand pairs on `topology` according to `spec`.
@@ -153,6 +225,44 @@ mod tests {
     fn zero_pairs_and_tiny_graphs() {
         let topo = ring(3, 1.0);
         assert!(generate_demands(&topo, &DemandSpec::new(0, 1.0), 0).is_empty());
+    }
+
+    /// Satellite: the string encoding round-trips (the offline serde
+    /// stand-in derives nothing, so this *is* the serialization format —
+    /// campaign specs carry demand axes as these strings).
+    #[test]
+    fn string_encoding_round_trips() {
+        for s in [
+            "pairs=4,flow=10",
+            "pairs=0,flow=0.5",
+            "pairs=7,flow=2.25,min-dist=0.4",
+        ] {
+            let spec = DemandSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s, "{s}");
+            let again = DemandSpec::parse(&spec.to_string()).unwrap();
+            assert_eq!(again.pairs, spec.pairs);
+            assert_eq!(again.flow_per_pair, spec.flow_per_pair);
+            assert_eq!(again.min_distance_factor, spec.min_distance_factor);
+        }
+        // Default factor is omitted from the rendering.
+        assert_eq!(DemandSpec::new(3, 1.0).to_string(), "pairs=3,flow=1");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "pairs=4",
+            "flow=10",
+            "pairs=x,flow=1",
+            "pairs=1,flow=abc",
+            "pairs=1,flow=-2",
+            "pairs=1,flow=1,min-dist=1.5",
+            "pairs=1,flow=1,banana=2",
+            "pairs",
+        ] {
+            assert!(DemandSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]
