@@ -1,0 +1,128 @@
+//! LP engine benchmarks: sparse revised simplex vs the dense-tableau
+//! reference, cold and warm (DESIGN.md §11).
+//!
+//! Writes `BENCH_lp.json` with three pairings:
+//!
+//! * `isp_dense` / `isp_revised` — the full ISP solve on the Bell-Canada
+//!   full-destruction instance (the `isp_exact` workload of
+//!   `BENCH_routability.json`), engine pinned through [`SolveContext`];
+//! * `routability_fig7_dense` / `routability_fig7_revised` — one
+//!   routability LP on the fig7-style n = 60 Erdős–Rényi topology;
+//! * `schedule_patches_cold` / `schedule_patches_warm` — the scheduler
+//!   capacity-patch workload: edges of the destroyed Bell instance come
+//!   back one at a time and every state asks "routable yet?". Cold
+//!   rebuilds and re-solves the LP from scratch per state; warm re-solves
+//!   one fixed-structure [`WarmRoutability`] system from the previous
+//!   basis (dual-simplex repair of the patched rows).
+//!
+//! The committed baseline is gated by `tests/perf_gate.rs` (ratios only,
+//! so machine speed cancels out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_bench::{bell_instance, problem_for};
+use netrec_core::isp::solve_isp_in;
+use netrec_core::solver::SolveContext;
+use netrec_core::{IspConfig, RoutabilityMode};
+use netrec_disrupt::DisruptionModel;
+use netrec_lp::mcf::{self, WarmRoutability};
+use netrec_lp::LpEngine;
+use netrec_topology::demand::DemandSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let bell = bell_instance(4, 10.0);
+    let fig7 = problem_for(
+        &netrec_topology::random::erdos_renyi(60, 0.5, 1000.0, 0xF167),
+        &DemandSpec::new(5, 1.0),
+        &DisruptionModel::Uniform { probability: 0.0 },
+        0xF167,
+    );
+    let fig7_demands = fig7.demands();
+
+    let mut g = c.benchmark_group("lp");
+    g.sample_size(10);
+
+    for (id, engine) in [
+        ("isp_dense", LpEngine::Dense),
+        ("isp_revised", LpEngine::Revised),
+    ] {
+        g.bench_function(id, |b| {
+            let config = IspConfig {
+                routability: RoutabilityMode::Exact,
+                ..Default::default()
+            };
+            b.iter(|| {
+                let mut ctx = SolveContext::new().with_lp_engine(engine);
+                solve_isp_in(black_box(&bell), &config, &mut ctx).unwrap()
+            })
+        });
+    }
+
+    for (id, engine) in [
+        ("routability_fig7_dense", LpEngine::Dense),
+        ("routability_fig7_revised", LpEngine::Revised),
+    ] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                mcf::routability_with(
+                    black_box(&fig7.full_view()),
+                    black_box(&fig7_demands),
+                    engine,
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // The capacity-patch workload mirrors the scheduler's probes: the
+    // network is up, and each probe perturbs one edge — halve its
+    // capacity, knock it out, restore it — then re-asks "routable?".
+    // Every state is connected, so each probe is a genuine LP re-solve
+    // (a mix of feasible and infeasible answers), differing from its
+    // predecessor in a single capacity row.
+    let graph = bell.graph();
+    let demands = bell.demands();
+    let base_caps = graph.capacities();
+    let mut states: Vec<Vec<f64>> = Vec::new();
+    for e in 0..graph.edge_count() {
+        for scale in [0.5, 0.0] {
+            let mut caps = base_caps.clone();
+            caps[e] *= scale;
+            states.push(caps);
+        }
+        states.push(base_caps.clone());
+    }
+
+    g.bench_function("schedule_patches_cold", |b| {
+        b.iter(|| {
+            let mut routable = 0usize;
+            for caps in &states {
+                let view = graph.view().with_capacities(caps);
+                if mcf::routability_with(black_box(&view), &demands, LpEngine::Revised)
+                    .unwrap()
+                    .is_some()
+                {
+                    routable += 1;
+                }
+            }
+            routable
+        })
+    });
+    g.bench_function("schedule_patches_warm", |b| {
+        b.iter(|| {
+            let mut system = WarmRoutability::build(graph, &demands);
+            let mut routable = 0usize;
+            for caps in &states {
+                if system.solve(black_box(caps)).unwrap() {
+                    routable += 1;
+                }
+            }
+            routable
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

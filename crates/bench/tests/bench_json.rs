@@ -51,6 +51,15 @@ fn committed_bench_files_parse_and_are_nonempty() {
                 matches!(bench.get("median_ns").and_then(Json::as_f64), Some(ns) if ns.is_finite()),
                 "{name}: benchmark without a finite median_ns"
             );
+            // A committed median must rest on at least 3 observations
+            // (the criterion stand-in enforces the same floor when
+            // measuring), so a single noisy run can never land as a
+            // baseline.
+            let samples = bench.get("samples").and_then(Json::as_f64);
+            assert!(
+                matches!(samples, Some(s) if s >= 3.0),
+                "{name}: benchmark with samples < 3 ({samples:?})"
+            );
         }
     }
     assert!(

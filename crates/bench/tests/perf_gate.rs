@@ -1,0 +1,63 @@
+//! Perf-smoke gate over a freshly measured `BENCH_lp.json`.
+//!
+//! CI's `perf-smoke` step runs the `lp` bench into a scratch directory
+//! and points `NETREC_PERF_GATE_DIR` at it; this test then checks the
+//! *ratios* that the committed baseline claims, at half strength (a 2×
+//! tolerance). Ratios between benchmarks of the same run are
+//! machine-speed-independent, so the gate catches gross regressions —
+//! an accidental dense fallback, a warm-start path that stopped warm
+//! starting — without flaking on slow or noisy runners.
+//!
+//! Without `NETREC_PERF_GATE_DIR` set (plain `cargo test`) the gate is
+//! skipped: measuring inside a debug test run would be meaningless.
+
+use netrec_sim::campaign::json::Json;
+use std::collections::HashMap;
+
+/// Committed claims (see `BENCH_lp.json`) at 2× tolerance: the measured
+/// ratio must stay above half the claimed one.
+const GATES: &[(&str, &str, f64)] = &[
+    // Revised-engine ISP ≥ 3× faster than dense ⇒ gate at 1.5×.
+    ("isp_dense", "isp_revised", 1.5),
+    // Warm capacity-patch re-solves ≥ 5× faster than cold ⇒ gate at 2.5×.
+    ("schedule_patches_cold", "schedule_patches_warm", 2.5),
+    // The fig7 routability LP is ~90× faster revised; even half of a
+    // conservative 10× claim catches a dense fallback instantly.
+    ("routability_fig7_dense", "routability_fig7_revised", 5.0),
+];
+
+#[test]
+fn lp_engine_speedup_ratios_hold() {
+    let Some(dir) = std::env::var_os("NETREC_PERF_GATE_DIR") else {
+        eprintln!("NETREC_PERF_GATE_DIR not set; perf gate skipped");
+        return;
+    };
+    let path = std::path::Path::new(&dir).join("BENCH_lp.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let json = Json::parse(&text).expect("BENCH_lp.json parses");
+    let mut medians: HashMap<String, f64> = HashMap::new();
+    for bench in json
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array")
+    {
+        let id = bench.get("id").and_then(Json::as_str).expect("bench id");
+        let ns = bench
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .expect("median_ns");
+        medians.insert(id.to_string(), ns);
+    }
+    for &(slow, fast, min_ratio) in GATES {
+        let slow_ns = medians[slow];
+        let fast_ns = medians[fast];
+        let ratio = slow_ns / fast_ns;
+        assert!(
+            ratio >= min_ratio,
+            "{slow} / {fast} = {ratio:.2}x, below the {min_ratio}x gate \
+             ({slow_ns:.0} ns vs {fast_ns:.0} ns) — did the revised engine \
+             or the warm-start path regress?"
+        );
+    }
+}

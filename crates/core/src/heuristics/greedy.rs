@@ -302,7 +302,7 @@ pub fn solve_grd_nc_in(
             .oracle
             .unwrap_or_else(|| OracleSpec::from(config.routability)),
     );
-    let oracle = spec.build();
+    let oracle = spec.build_with_engine(ctx.lp_engine());
 
     // Already routable with no repairs?
     let routable = |nm: &[bool], em: &[bool]| -> Result<bool, RecoveryError> {

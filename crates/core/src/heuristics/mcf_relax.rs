@@ -117,24 +117,30 @@ pub fn solve_mcf_relax_in(
         .collect();
 
     // Step 1: optimal flow cost z*.
-    let Some((z_star, base_flows)) = mcf::min_broken_flow(&view, &demands, &broken_cost)? else {
+    let engine = ctx.lp_engine();
+    let Some((z_star, base_flows)) =
+        mcf::min_broken_flow_with(&view, &demands, &broken_cost, engine)?
+    else {
         return Err(RecoveryError::InfeasibleEvenIfAllRepaired);
     };
     let cap = z_star + config.cost_tolerance;
 
     // Step 2: push to the requested extreme at fixed cost.
     let flows = match extreme {
-        McfExtreme::Worst => mcf::broken_flow_extreme(&view, &demands, &broken_cost, cap, true)?
-            .unwrap_or(base_flows),
+        McfExtreme::Worst => {
+            mcf::broken_flow_extreme_with(&view, &demands, &broken_cost, cap, true, engine)?
+                .unwrap_or(base_flows)
+        }
         McfExtreme::Best => {
-            let mut flows = mcf::broken_flow_extreme(&view, &demands, &broken_cost, cap, false)?
-                .unwrap_or(base_flows);
+            let mut flows =
+                mcf::broken_flow_extreme_with(&view, &demands, &broken_cost, cap, false, engine)?
+                    .unwrap_or(base_flows);
             // Greedy elimination: zero out used broken edges one at a time
             // by capacity override, keeping the cost cap feasible.
             let oracle = ctx
                 .oracle_override()
                 .or(config.oracle)
-                .map(|spec| spec.build());
+                .map(|spec| spec.build_with_engine(engine));
             let mut capacities = problem.graph().capacities();
             let mut eliminations = 0;
             loop {
@@ -170,7 +176,14 @@ pub fn solve_mcf_relax_in(
                         break;
                     }
                 }
-                match mcf::broken_flow_extreme(&masked, &demands, &broken_cost, cap, false)? {
+                match mcf::broken_flow_extreme_with(
+                    &masked,
+                    &demands,
+                    &broken_cost,
+                    cap,
+                    false,
+                    engine,
+                )? {
                     Some(better) => {
                         flows = better;
                         eliminations += 1;

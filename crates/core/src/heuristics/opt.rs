@@ -277,6 +277,7 @@ pub fn solve_opt_in(
     let bb = BranchBoundConfig {
         node_budget: config.node_budget,
         cutoff,
+        engine: Some(ctx.lp_engine()),
         ..Default::default()
     };
     let result = milp::solve(&lp, &bb);

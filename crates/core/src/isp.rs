@@ -170,7 +170,8 @@ pub fn solve_isp_in(
             .oracle
             .unwrap_or_else(|| OracleSpec::from(config.routability)),
     );
-    let oracle = spec.build();
+    let engine = ctx.lp_engine();
+    let oracle = spec.build_with_engine(engine);
 
     // Feasibility precheck: the fully repaired network must carry the
     // demand, otherwise no recovery plan exists.
@@ -187,7 +188,7 @@ pub fn solve_isp_in(
         // error here is worse than one dense solve on this rare path.
         let answered_exactly =
             spec.uses_exact_split(full.enabled_edges().count(), initial_demands.len());
-        if answered_exactly || mcf::routability(&full, &initial_demands)?.is_none() {
+        if answered_exactly || mcf::routability_with(&full, &initial_demands, engine)?.is_none() {
             return Err(RecoveryError::InfeasibleEvenIfAllRepaired);
         }
     }
@@ -231,7 +232,7 @@ pub fn solve_isp_in(
         if state.repair_direct_edges() {
             continue;
         }
-        if !split_step(&mut state, config, spec, oracle.as_ref())? {
+        if !split_step(&mut state, config, spec, oracle.as_ref(), engine)? {
             // No productive split: force progress by repairing the most
             // central still-broken element, or give up conservatively.
             if !force_repair(&mut state, config) {
@@ -268,6 +269,7 @@ fn split_step(
     config: &IspConfig,
     spec: OracleSpec,
     oracle: &dyn EvalOracle,
+    engine: netrec_lp::LpEngine,
 ) -> Result<bool, RecoveryError> {
     // Centrality on the full graph with residual capacities.
     let node_cost: Vec<f64> = (0..state.problem.graph().node_count())
@@ -330,7 +332,7 @@ fn split_step(
         let upper = state.demands[h]
             .amount
             .min(centrality.capacity_through(h, vbc, &full));
-        let dx = decide_split_amount(state, config, spec, oracle, h, vbc, upper)?;
+        let dx = decide_split_amount(state, config, spec, oracle, engine, h, vbc, upper)?;
         if dx > EPS {
             state.repair_node(vbc);
             state.split(h, vbc, dx);
@@ -342,11 +344,13 @@ fn split_step(
 
 /// Decision 2: exact LP when configured and small enough, halving search
 /// against the routability oracle otherwise.
+#[allow(clippy::too_many_arguments)]
 fn decide_split_amount(
     state: &IspState<'_>,
     config: &IspConfig,
     spec: OracleSpec,
     oracle: &dyn EvalOracle,
+    engine: netrec_lp::LpEngine,
     h: usize,
     vbc: netrec_graph::NodeId,
     upper: f64,
@@ -356,7 +360,7 @@ fn decide_split_amount(
     let use_lp =
         config.exact_split_lp && spec.uses_exact_split(enabled_edges, state.demands.len() + 2);
     if use_lp {
-        let dx = mcf::max_shared_split(&full, &state.demands, h, vbc, upper)?;
+        let dx = mcf::max_shared_split_with(&full, &state.demands, h, vbc, upper, engine)?;
         return Ok(dx.unwrap_or(0.0));
     }
     // Halving search with the (conservative) routability oracle.

@@ -8,15 +8,18 @@ use netrec_lp::mcf::{self, Demand};
 
 /// Approximate backend built on the Garg–Könemann maximum-concurrent-flow
 /// algorithm, with an exact-LP fast path below the size threshold where
-/// the dense LP is measurably *faster* than the approximation.
+/// exact answers are both affordable and strictly better.
 ///
-/// Measured on this codebase (`BENCH_routability.json` /
-/// `BENCH_oracle_fig7.json`), Garg–Könemann at ε = 0.05 only overtakes
-/// the dense exact LP well beyond `|E| · |EH| ≈ 10⁴`: on the Bell-Canada
-/// instance it is ~5× *slower* (15 ms vs 3 ms), and still ~1.3× slower
-/// on the n = 60 fig7 topology. Queries at or below
+/// With threshold-mode early termination
+/// ([`concurrent::max_concurrent_flow_threshold`]) Garg–Könemann now
+/// answers clearly-feasible queries in a phase or two (~7 µs on the Bell
+/// routability query, `BENCH_routability.json`), but its *near-boundary*
+/// behavior is unchanged: a λ ≈ 1 query runs the full `O(ε⁻²)` phase
+/// schedule and then answers a conservative "unroutable", which costs
+/// the caller extra repairs. Queries at or below
 /// [`the size limit`](Self::with_fallback_limit) therefore go straight to
-/// the exact LP — same answers, strictly faster.
+/// the (revised-simplex) exact LP — affordable at this size, never
+/// conservative.
 ///
 /// Above the limit the approximation runs. It certifies a lower bound
 /// `λ_lower ≤ λ*` and implies an upper bound
@@ -74,6 +77,12 @@ impl ConcurrentFlowApprox {
         self
     }
 
+    /// Pins the exact-LP fast path to an explicit LP engine.
+    pub fn with_engine(mut self, engine: netrec_lp::LpEngine) -> Self {
+        self.fallback = ExactLp::with_engine(engine);
+        self
+    }
+
     /// The configured accuracy parameter.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
@@ -103,22 +112,24 @@ impl RoutabilityOracle for ConcurrentFlowApprox {
                 return Ok(false);
             }
         }
-        // Small instances: the dense exact LP is measurably faster than
-        // the approximation (and exact) — use it directly.
+        // Small instances: exact answers are affordable and never
+        // conservative — use the LP directly.
         if self.in_fallback_budget(view, active.len()) {
             self.boundary_fallbacks.bump();
             return self.fallback.is_routable(view, &active);
         }
         self.approx_runs.bump();
-        let config = ConcurrentFlowConfig {
-            epsilon: self.epsilon,
-            target: Some(1.0),
-            ..Default::default()
-        };
-        let r = concurrent::max_concurrent_flow(view, &active, &config);
-        // λ_lower ≥ 1 certifies routability; anything else — including
-        // the λ ≈ 1 boundary band — answers a conservative "unroutable".
-        Ok(r.lambda_lower >= 1.0)
+        // Threshold query with early termination: the oracle only needs
+        // the λ ≥ 1 verdict, certified by explicit-flow congestion after
+        // a phase or two on comfortably feasible instances. A `false` —
+        // including the λ ≈ 1 boundary band — stays a conservative
+        // "unroutable".
+        Ok(concurrent::max_concurrent_flow_threshold(
+            view,
+            &active,
+            1.0,
+            self.epsilon,
+        ))
     }
 }
 
@@ -208,9 +219,9 @@ mod tests {
     fn small_instances_use_the_exact_lp_directly() {
         let g = square();
         let oracle = ConcurrentFlowApprox::new(0.05);
-        // The square is far below the size threshold, where the dense LP
-        // is measurably faster than Garg–Könemann: the query must go
-        // straight to the exact backend.
+        // The square is far below the size threshold, where exact
+        // answers are affordable and never conservative: the query must
+        // go straight to the exact backend.
         assert!(oracle
             .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(3), 7.0)])
             .unwrap());

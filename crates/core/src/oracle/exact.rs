@@ -3,25 +3,70 @@
 use super::{Counter, EvalOracle, OracleStats, RoutabilityOracle, SatisfactionOracle};
 use crate::RecoveryError;
 use netrec_graph::{maxflow, View};
-use netrec_lp::mcf::{self, Demand};
+use netrec_lp::mcf::{self, Demand, WarmRoutability};
+use netrec_lp::LpEngine;
+use std::sync::Mutex;
 
 /// Exact backend: system (2) for routability, the maximum-satisfied-demand
 /// LP for satisfaction.
 ///
 /// Cheap necessary conditions run first (endpoint connectivity, then
-/// per-demand single-commodity max flow), so the dense tableau is only
-/// built when the instance has a chance of being routable.
-#[derive(Debug, Default)]
+/// per-demand single-commodity max flow), so an LP is only solved when
+/// the instance has a chance of being routable.
+///
+/// Under the revised engine (the default) the backend keeps a
+/// **per-generation [`WarmRoutability`] system**: consecutive routability
+/// queries against the same `(graph, demands)` instance are pure
+/// capacity patches of one fixed-structure LP, re-solved warm from the
+/// previous optimal basis. Routability answers are a property of the
+/// instance alone, so the warm state can never change an answer — only
+/// its cost. Satisfaction queries stay stateless (their per-demand optima
+/// are degenerate, and a history-dependent split would make two equally
+/// configured backends disagree).
+#[derive(Debug)]
 pub struct ExactLp {
+    engine: LpEngine,
     routability_queries: Counter,
     satisfaction_queries: Counter,
     lp_solves: Counter,
+    warm_start_hits: Counter,
+    warm: Mutex<Option<WarmState>>,
+}
+
+#[derive(Debug)]
+struct WarmState {
+    generation: Vec<u64>,
+    system: WarmRoutability,
+}
+
+impl Default for ExactLp {
+    fn default() -> Self {
+        ExactLp::new()
+    }
 }
 
 impl ExactLp {
-    /// A fresh backend with zeroed counters.
+    /// A fresh backend with zeroed counters, on the process default
+    /// engine.
     pub fn new() -> Self {
-        ExactLp::default()
+        ExactLp::with_engine(netrec_lp::global_engine())
+    }
+
+    /// A fresh backend pinned to an explicit LP engine.
+    pub fn with_engine(engine: LpEngine) -> Self {
+        ExactLp {
+            engine,
+            routability_queries: Counter::default(),
+            satisfaction_queries: Counter::default(),
+            lp_solves: Counter::default(),
+            warm_start_hits: Counter::default(),
+            warm: Mutex::new(None),
+        }
+    }
+
+    /// The engine this backend solves with.
+    pub fn engine(&self) -> LpEngine {
+        self.engine
     }
 }
 
@@ -45,7 +90,28 @@ impl RoutabilityOracle for ExactLp {
             }
         }
         self.lp_solves.bump();
-        Ok(mcf::routability(view, &active)?.is_some())
+        match self.engine {
+            LpEngine::Dense => Ok(mcf::routability_with(view, &active, LpEngine::Dense)?.is_some()),
+            LpEngine::Revised => {
+                let generation = super::generation_key_of(view.graph(), &active);
+                let mut guard = self.warm.lock().expect("exact warm state poisoned");
+                let state = match guard.as_mut() {
+                    Some(s) if s.generation == generation => s,
+                    _ => {
+                        *guard = Some(WarmState {
+                            generation,
+                            system: WarmRoutability::build(view.graph(), &active),
+                        });
+                        guard.as_mut().expect("just installed")
+                    }
+                };
+                if state.system.has_basis() {
+                    self.warm_start_hits.bump();
+                }
+                let caps = super::effective_capacities(view);
+                Ok(state.system.solve(&caps)?)
+            }
+        }
     }
 }
 
@@ -58,7 +124,8 @@ impl SatisfactionOracle for ExactLp {
         {
             self.lp_solves.bump();
         }
-        let (sat, _) = mcf::max_satisfied(view, demands)?;
+        let weights = vec![1.0; demands.len()];
+        let (sat, _) = mcf::max_weighted_satisfied_with(view, demands, &weights, self.engine)?;
         Ok(sat)
     }
 }
@@ -73,6 +140,7 @@ impl EvalOracle for ExactLp {
             routability_queries: self.routability_queries.get(),
             satisfaction_queries: self.satisfaction_queries.get(),
             lp_solves: self.lp_solves.get(),
+            warm_start_hits: self.warm_start_hits.get(),
             ..OracleStats::default()
         }
     }
@@ -92,14 +160,16 @@ mod tests {
 
     #[test]
     fn matches_the_lp_on_both_sides_of_capacity() {
-        let g = line();
-        let oracle = ExactLp::new();
-        assert!(oracle
-            .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(2), 4.0)])
-            .unwrap());
-        assert!(!oracle
-            .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(2), 6.0)])
-            .unwrap());
+        for engine in [LpEngine::Dense, LpEngine::Revised] {
+            let g = line();
+            let oracle = ExactLp::with_engine(engine);
+            assert!(oracle
+                .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(2), 4.0)])
+                .unwrap());
+            assert!(!oracle
+                .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(2), 6.0)])
+                .unwrap());
+        }
     }
 
     #[test]
@@ -127,5 +197,48 @@ mod tests {
         assert!((sat[0] - 5.0).abs() < 1e-6);
         assert_eq!(oracle.stats().satisfaction_queries, 1);
         assert_eq!(oracle.stats().lp_solves, 1);
+    }
+
+    #[test]
+    fn repeated_capacity_patched_queries_warm_start() {
+        let g = line();
+        let oracle = ExactLp::with_engine(LpEngine::Revised);
+        // Two demands sharing edge 0: every query below survives the
+        // single-commodity prechecks, so each one reaches the LP.
+        let demands = [
+            Demand::new(g.node(0), g.node(2), 3.0),
+            Demand::new(g.node(0), g.node(1), 3.0),
+        ];
+        // Same generation, different capacity states: later queries
+        // re-solve the same fixed-structure LP warm.
+        let caps = vec![10.0, 10.0];
+        assert!(oracle
+            .is_routable(&g.view().with_capacities(&caps), &demands)
+            .unwrap());
+        let caps = vec![6.0, 3.0];
+        assert!(oracle
+            .is_routable(&g.view().with_capacities(&caps), &demands)
+            .unwrap());
+        // Both prechecks pass (per-demand max flow ≥ 3) but the shared
+        // edge cannot carry 6: only the multicommodity LP can say no.
+        let caps = vec![5.0, 5.0];
+        assert!(!oracle
+            .is_routable(&g.view().with_capacities(&caps), &demands)
+            .unwrap());
+        let stats = oracle.stats();
+        assert_eq!(stats.lp_solves, 3, "{stats:?}");
+        assert_eq!(stats.warm_start_hits, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn generation_change_rebuilds_the_warm_system() {
+        let g = line();
+        let oracle = ExactLp::with_engine(LpEngine::Revised);
+        let d4 = [Demand::new(g.node(0), g.node(2), 4.0)];
+        let d5 = [Demand::new(g.node(0), g.node(2), 5.0)];
+        assert!(oracle.is_routable(&g.view(), &d4).unwrap());
+        assert!(oracle.is_routable(&g.view(), &d5).unwrap());
+        // New demand set = new generation: no warm basis to start from.
+        assert_eq!(oracle.stats().warm_start_hits, 0);
     }
 }

@@ -6,8 +6,14 @@
 //! backend pays a full LP per probe; [`Cached`](super::Cached) only
 //! collapses exact repeats. `IncrementalOracle` instead keeps a
 //! **persistent warm-start state** between queries and answers most
-//! probes without any solve, while staying *answer-identical* to
-//! [`ExactLp`]:
+//! probes without any solve. Its answer contract relative to
+//! [`ExactLp`]: routability verdicts and **optimal satisfied totals**
+//! are identical (both are unique properties of the instance);
+//! *per-demand* satisfaction splits may differ — the maximum-satisfied
+//! LP has degenerate optima, and this backend's warm re-solves pick the
+//! vertex reachable from the previous basis, so the split depends on
+//! query history. Every consumer in the stack (the scheduler's frontier
+//! scoring, `satisfied_fraction`) consumes totals. The state:
 //!
 //! * **Generation** — a fingerprint of the base instance (graph shape +
 //!   demand list). While it matches, state persists across apply/undo
@@ -33,9 +39,13 @@
 //!   answer vector is exactly the demand amounts. All three are exact
 //!   implications, never approximations.
 //!
-//! Full solves also run on the canonical subgraph (dead regions masked
-//! out), so even a cache-cold query builds a smaller LP than a
-//! from-scratch backend would.
+//! Under the revised engine (the default), full solves go through
+//! per-generation fixed-structure warm systems
+//! ([`WarmRoutability`]/[`WarmMaxSatisfied`], DESIGN.md §11): every
+//! capacity state of the generation is an RHS patch of one LP, re-solved
+//! from the previous basis by the dual simplex. Under the dense escape
+//! hatch they run cold on the canonical subgraph (dead regions masked
+//! out) exactly as before.
 //!
 //! [`EvalOracle::evaluate_batch`] is overridden to score a whole repair
 //! frontier against one shared base state: per candidate it computes just
@@ -47,7 +57,8 @@ use super::{
 };
 use crate::RecoveryError;
 use netrec_graph::{Graph, View};
-use netrec_lp::mcf::Demand;
+use netrec_lp::mcf::{self, Demand, WarmMaxSatisfied, WarmRoutability};
+use netrec_lp::LpEngine;
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -63,11 +74,15 @@ const MAX_MEMO_ENTRIES: usize = 65_536;
 
 /// The exact backend with persistent warm-start state (see module docs).
 ///
-/// Answers are identical to [`ExactLp`]; only the cost differs. Selected
+/// Routability verdicts and satisfied totals are identical to
+/// [`ExactLp`]; per-demand splits of degenerate satisfaction optima may
+/// differ (see the module docs) — only the cost differs for every
+/// quantity the stack consumes. Selected
 /// via [`OracleSpec::Incremental`](super::OracleSpec::Incremental)
 /// (`--oracle incremental` on the CLI).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IncrementalOracle {
+    engine: LpEngine,
     inner: ExactLp,
     state: Mutex<IncState>,
     routability_queries: Counter,
@@ -75,7 +90,16 @@ pub struct IncrementalOracle {
     memo_hits: Counter,
     warm_start_hits: Counter,
     full_solves: Counter,
+    /// Warm-system LP solves (revised engine only; the dense path solves
+    /// through `inner` and is counted there).
+    warm_lp_solves: Counter,
     generation_resets: Counter,
+}
+
+impl Default for IncrementalOracle {
+    fn default() -> Self {
+        IncrementalOracle::new()
+    }
 }
 
 /// The warm-start state, valid for one generation.
@@ -91,6 +115,11 @@ struct IncState {
     fully_satisfied: Vec<EffState>,
     memo_routable: HashMap<Vec<u64>, bool>,
     memo_satisfied: HashMap<Vec<u64>, Vec<f64>>,
+    /// Fixed-structure routability system re-solved warm per capacity
+    /// state (revised engine only; built lazily per generation).
+    warm_rout: Option<WarmRoutability>,
+    /// Satisfaction counterpart of `warm_rout`.
+    warm_sat: Option<WarmMaxSatisfied>,
 }
 
 /// Inserts into a memo map, clearing it first when it is full (see
@@ -273,30 +302,32 @@ fn insert_maximal(list: &mut Vec<EffState>, new: EffState) {
 }
 
 impl IncrementalOracle {
-    /// A fresh backend with empty warm-start state.
+    /// A fresh backend with empty warm-start state, on the process
+    /// default engine.
     pub fn new() -> Self {
-        IncrementalOracle::default()
+        IncrementalOracle::with_engine(netrec_lp::global_engine())
     }
 
-    /// The base-instance fingerprint: graph shape *including every edge's
-    /// endpoints* plus the demand list. The endpoints matter: two graphs
-    /// with equal node/edge counts but different wiring would otherwise
-    /// produce colliding canonical-state keys and alias each other's
-    /// answers.
+    /// A fresh backend pinned to an explicit LP engine.
+    pub fn with_engine(engine: LpEngine) -> Self {
+        IncrementalOracle {
+            engine,
+            inner: ExactLp::with_engine(engine),
+            state: Mutex::new(IncState::default()),
+            routability_queries: Counter::default(),
+            satisfaction_queries: Counter::default(),
+            memo_hits: Counter::default(),
+            warm_start_hits: Counter::default(),
+            full_solves: Counter::default(),
+            warm_lp_solves: Counter::default(),
+            generation_resets: Counter::default(),
+        }
+    }
+
+    /// The base-instance fingerprint (see
+    /// [`super::generation_key_of`]).
     fn generation_key(view: &View<'_>, demands: &[Demand]) -> Vec<u64> {
-        let graph = view.graph();
-        let mut key = Vec::with_capacity(2 + graph.edge_count() + 2 * demands.len());
-        key.push(graph.node_count() as u64);
-        key.push(graph.edge_count() as u64);
-        for e in graph.edges() {
-            let (u, v) = graph.endpoints(e);
-            key.push(((u.index() as u64) << 32) | v.index() as u64);
-        }
-        for d in demands {
-            key.push(((d.source.index() as u64) << 32) | d.target.index() as u64);
-            key.push(d.amount.to_bits());
-        }
-        key
+        super::generation_key_of(view.graph(), demands)
     }
 
     /// Resets the state when the base instance changed ("generation
@@ -337,9 +368,20 @@ impl IncrementalOracle {
             return Ok(full);
         }
         self.full_solves.bump();
-        let mask = q.edge_mask();
-        let canon = graph.view().with_edge_mask(&mask).with_capacities(&q.caps);
-        let answer = self.inner.satisfied(&canon, demands)?;
+        let answer = match self.engine {
+            LpEngine::Dense => {
+                let mask = q.edge_mask();
+                let canon = graph.view().with_edge_mask(&mask).with_capacities(&q.caps);
+                self.inner.satisfied(&canon, demands)?
+            }
+            LpEngine::Revised => {
+                self.warm_lp_solves.bump();
+                let system = st
+                    .warm_sat
+                    .get_or_insert_with(|| WarmMaxSatisfied::build(graph, demands));
+                system.solve(&q.caps)?
+            }
+        };
         if demands.iter().zip(&answer).all(|(d, &s)| s >= d.amount) {
             insert_minimal(&mut st.fully_satisfied, q.clone());
         }
@@ -375,9 +417,33 @@ impl RoutabilityOracle for IncrementalOracle {
             return Ok(false);
         }
         self.full_solves.bump();
-        let mask = q.edge_mask();
-        let canon = graph.view().with_edge_mask(&mask).with_capacities(&q.caps);
-        let answer = self.inner.is_routable(&canon, demands)?;
+        let answer = match self.engine {
+            LpEngine::Dense => {
+                let mask = q.edge_mask();
+                let canon = graph.view().with_edge_mask(&mask).with_capacities(&q.caps);
+                self.inner.is_routable(&canon, demands)?
+            }
+            LpEngine::Revised => {
+                // Cheap necessary condition first (mirrors `ExactLp`),
+                // then a warm re-solve of the fixed-structure system.
+                let mask = q.edge_mask();
+                let canon = graph.view().with_edge_mask(&mask).with_capacities(&q.caps);
+                let active: Vec<Demand> = demands
+                    .iter()
+                    .copied()
+                    .filter(|d| d.amount > 1e-12 && d.source != d.target)
+                    .collect();
+                if mcf::quick_unroutable(&canon, &active) {
+                    false
+                } else {
+                    self.warm_lp_solves.bump();
+                    let system = st
+                        .warm_rout
+                        .get_or_insert_with(|| WarmRoutability::build(graph, demands));
+                    system.solve(&q.caps)?
+                }
+            }
+        };
         memo_insert(&mut st.memo_routable, key, answer);
         if answer {
             insert_minimal(&mut st.routable, q);
@@ -410,7 +476,7 @@ impl EvalOracle for IncrementalOracle {
         OracleStats {
             routability_queries: self.routability_queries.get(),
             satisfaction_queries: self.satisfaction_queries.get(),
-            lp_solves: inner.lp_solves,
+            lp_solves: inner.lp_solves + self.warm_lp_solves.get(),
             cache_hits: self.memo_hits.get(),
             cache_misses: self.full_solves.get(),
             warm_start_hits: self.warm_start_hits.get(),

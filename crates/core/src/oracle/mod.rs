@@ -43,10 +43,49 @@ pub use exact::ExactLp;
 pub use incremental::IncrementalOracle;
 
 use crate::{RecoveryError, RoutabilityMode};
-use netrec_graph::{EdgeId, NodeId, View};
+use netrec_graph::{EdgeId, Graph, NodeId, View};
 use netrec_lp::mcf::Demand;
+use netrec_lp::LpEngine;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The base-instance fingerprint shared by the stateful backends: graph
+/// shape *including every edge's endpoints* plus the demand list. The
+/// endpoints matter: two graphs with equal node/edge counts but different
+/// wiring would otherwise alias each other's warm state.
+pub(crate) fn generation_key_of(graph: &Graph, demands: &[Demand]) -> Vec<u64> {
+    let mut key = Vec::with_capacity(2 + graph.edge_count() + 2 * demands.len());
+    key.push(graph.node_count() as u64);
+    key.push(graph.edge_count() as u64);
+    for e in graph.edges() {
+        let (u, v) = graph.endpoints(e);
+        key.push(((u.index() as u64) << 32) | v.index() as u64);
+    }
+    for d in demands {
+        key.push(((d.source.index() as u64) << 32) | d.target.index() as u64);
+        key.push(d.amount.to_bits());
+    }
+    key
+}
+
+/// Flattens a view's masks and overrides into per-edge *effective*
+/// capacities: `0.0` for a disabled edge or one with a disabled endpoint,
+/// the effective capacity otherwise. This is the RHS vector of the
+/// fixed-structure warm systems ([`netrec_lp::mcf::WarmRoutability`]).
+pub(crate) fn effective_capacities(view: &View<'_>) -> Vec<f64> {
+    let graph = view.graph();
+    let mut caps = vec![0.0; graph.edge_count()];
+    for e in graph.edges() {
+        if !view.edge_enabled(e) {
+            continue;
+        }
+        let (u, v) = graph.endpoints(e);
+        if view.node_enabled(u) && view.node_enabled(v) {
+            caps[e.index()] = view.capacity(e).max(0.0);
+        }
+    }
+    caps
+}
 
 /// A single-component *repair* delta against a base view: the candidate
 /// component is enabled on top of the base masks (an already-enabled
@@ -181,9 +220,11 @@ pub struct OracleStats {
     /// Queries that reached the inner backend ([`Cached`] and
     /// [`IncrementalOracle`]).
     pub cache_misses: usize,
-    /// Answers derived from the persistent warm-start state without any
-    /// solve ([`IncrementalOracle`] only): monotone routable/unroutable
-    /// witnesses and full-satisfaction witnesses.
+    /// Warm-start wins: answers derived from persistent state without a
+    /// cold solve. For [`IncrementalOracle`] these are monotone
+    /// routable/unroutable witnesses and full-satisfaction witnesses;
+    /// for [`ExactLp`] under the revised engine, routability re-solves
+    /// that started from the previous generation basis.
     pub warm_start_hits: usize,
     /// Queries that fell through every incremental shortcut to a full
     /// inner solve ([`IncrementalOracle`] only; equals its
@@ -271,25 +312,41 @@ pub const DEFAULT_EPSILON: f64 = 0.05;
 /// [`RoutabilityMode::Auto`]'s default, and the approximate backend's
 /// exact-LP fast path, so tuning the crossover stays in one place.
 ///
-/// Calibrated from `BENCH_oracle_fig7.json` / `BENCH_routability.json`:
-/// Garg–Könemann at ε = 0.05 was still ~1.3× slower than the dense exact
-/// LP at `|E| · |EH| ≈ 4.4k` (and ~5× slower on Bell-Canada-sized
-/// queries), with the gap closing roughly one size doubling later — so
-/// the approximation is only chosen where it actually wins.
-pub const DEFAULT_SIZE_THRESHOLD: usize = 12_000;
+/// Recalibrated for the revised-simplex engine from
+/// `BENCH_routability.json` / `BENCH_oracle_fig7.json`: the exact LP is
+/// now ~5× faster across the board (0.78 ms on the Bell routability
+/// query that cost the dense tableau 3.05 ms), while Garg–Könemann's
+/// *worst case* — a near-boundary query that cannot early-terminate and
+/// then answers conservatively — is unchanged. Exact answers therefore
+/// stay affordable roughly two size doublings beyond the dense engine's
+/// 12k crossover, and they never cost the extra repairs a conservative
+/// `false` does. (Clearly-feasible queries above the threshold are still
+/// cheap: the λ ≥ 1 congestion certificate fires within a phase or two.)
+pub const DEFAULT_SIZE_THRESHOLD: usize = 48_000;
 
 impl OracleSpec {
-    /// Instantiates the backend.
+    /// Instantiates the backend on the process default LP engine.
     pub fn build(&self) -> Box<dyn EvalOracle> {
+        self.build_with_engine(netrec_lp::global_engine())
+    }
+
+    /// Instantiates the backend on an explicit LP engine (the dense
+    /// escape hatch pins every solve the backend makes; the revised
+    /// default additionally enables the warm-start state).
+    pub fn build_with_engine(&self, engine: LpEngine) -> Box<dyn EvalOracle> {
         match *self {
-            OracleSpec::Exact => Box::new(ExactLp::new()),
-            OracleSpec::Approx { epsilon } => Box::new(ConcurrentFlowApprox::new(epsilon)),
-            OracleSpec::Auto { threshold } => Box::new(AutoOracle::new(threshold, DEFAULT_EPSILON)),
-            OracleSpec::CachedExact => Box::new(Cached::new(ExactLp::new())),
-            OracleSpec::CachedApprox { epsilon } => {
-                Box::new(Cached::new(ConcurrentFlowApprox::new(epsilon)))
+            OracleSpec::Exact => Box::new(ExactLp::with_engine(engine)),
+            OracleSpec::Approx { epsilon } => {
+                Box::new(ConcurrentFlowApprox::new(epsilon).with_engine(engine))
             }
-            OracleSpec::Incremental => Box::new(IncrementalOracle::new()),
+            OracleSpec::Auto { threshold } => {
+                Box::new(AutoOracle::new(threshold, DEFAULT_EPSILON).with_engine(engine))
+            }
+            OracleSpec::CachedExact => Box::new(Cached::new(ExactLp::with_engine(engine))),
+            OracleSpec::CachedApprox { epsilon } => Box::new(Cached::new(
+                ConcurrentFlowApprox::new(epsilon).with_engine(engine),
+            )),
+            OracleSpec::Incremental => Box::new(IncrementalOracle::with_engine(engine)),
         }
     }
 
@@ -389,6 +446,13 @@ impl AutoOracle {
             approx: ConcurrentFlowApprox::new(epsilon).with_fallback_limit(threshold),
             threshold,
         }
+    }
+
+    /// Pins both inner backends to an explicit LP engine.
+    pub fn with_engine(mut self, engine: LpEngine) -> Self {
+        self.exact = ExactLp::with_engine(engine);
+        self.approx = self.approx.with_engine(engine);
+        self
     }
 
     fn pick_exact(&self, view: &View<'_>, demands: &[Demand]) -> bool {

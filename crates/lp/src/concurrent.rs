@@ -120,6 +120,12 @@ pub fn max_concurrent_flow(
 
     let mut phases = 0usize;
     let mut iterations = 0usize;
+    // Accumulated (unscaled) flow per edge: after k completed phases it
+    // routes k·d_h of every demand, so scaling by the worst congestion
+    // max_e flow(e)/c(e) yields an explicitly feasible concurrent flow —
+    // a second certified lower bound `k / μ` that certifies thresholds
+    // hundreds of phases before the classical `k / scale` bound does.
+    let mut flow = vec![0.0f64; view.edge_count()];
     // D(l) = Σ l(e)·c(e); starts at δ·m < 1.
     let d_of = |length: &[f64]| -> f64 {
         view.enabled_edges()
@@ -132,6 +138,17 @@ pub fn max_concurrent_flow(
                 }
             })
             .sum()
+    };
+    let congestion_bound = |flow: &[f64], phases: usize| -> f64 {
+        let mu = view
+            .enabled_edges()
+            .map(|e| flow[e.index()] / view.capacity(e))
+            .fold(0.0f64, f64::max);
+        if mu > 0.0 {
+            phases as f64 / mu
+        } else {
+            0.0
+        }
     };
 
     'outer: while d_of(&length) < 1.0 && phases < config.max_phases {
@@ -159,19 +176,24 @@ pub fn max_concurrent_flow(
                 for &e in path.edges() {
                     let c = view.capacity(e);
                     length[e.index()] *= 1.0 + eps * f / c;
+                    flow[e.index()] += f;
                 }
                 remaining -= f;
             }
         }
         phases += 1;
         if let Some(target) = config.target {
-            if phases as f64 / scale >= target {
+            // Either certificate suffices: the classical phase-count
+            // bound, or the explicit-flow congestion bound (much
+            // earlier on comfortably-feasible instances — the oracle's
+            // common case).
+            if phases as f64 / scale >= target || congestion_bound(&flow, phases) >= target {
                 break;
             }
         }
     }
 
-    let lambda_lower = phases as f64 / scale;
+    let lambda_lower = (phases as f64 / scale).max(congestion_bound(&flow, phases));
     ConcurrentFlow {
         lambda_lower,
         lambda_upper: lambda_lower / (1.0 - 3.0 * eps).max(1e-6),
@@ -189,16 +211,38 @@ fn zero_flow() -> ConcurrentFlow {
     }
 }
 
+/// Threshold query: is `λ* ≥ threshold` *certifiably* true?
+///
+/// Runs [`max_concurrent_flow`] with early termination at `threshold`:
+/// the loop stops as soon as either certificate (classical phase count or
+/// explicit-flow congestion) clears the bar, which on comfortably
+/// feasible instances takes a phase or two instead of the hundreds a
+/// full λ* approximation needs. This is the right entry point for
+/// routability-style oracles, which only need the `λ ≥ 1` verdict, never
+/// the optimum.
+///
+/// `true` is always trustworthy (a feasible concurrent flow of value
+/// `threshold` exists); `false` may be a conservative false negative
+/// within the ε gap.
+pub fn max_concurrent_flow_threshold(
+    view: &View<'_>,
+    demands: &[Demand],
+    threshold: f64,
+    epsilon: f64,
+) -> bool {
+    let config = ConcurrentFlowConfig {
+        epsilon,
+        target: Some(threshold),
+        ..Default::default()
+    };
+    max_concurrent_flow(view, demands, &config).lambda_lower >= threshold
+}
+
 /// Conservative approximate routability: `true` guarantees the demands are
 /// routable in `view` (a feasible flow of value ≥ 1·d exists); `false` may
 /// occasionally be a false negative within the ε gap.
 pub fn routable_approx(view: &View<'_>, demands: &[Demand], epsilon: f64) -> bool {
-    let config = ConcurrentFlowConfig {
-        epsilon,
-        target: Some(1.0),
-        ..Default::default()
-    };
-    max_concurrent_flow(view, demands, &config).lambda_lower >= 1.0
+    max_concurrent_flow_threshold(view, demands, 1.0, epsilon)
 }
 
 #[cfg(test)]
@@ -281,6 +325,70 @@ mod tests {
             Demand::new(g.node(1), g.node(2), 2.0),
         ];
         assert!(routable_approx(&g.view(), &demands, 0.05));
+    }
+
+    #[test]
+    fn threshold_query_certifies_in_few_phases() {
+        // λ* = 2 on the square with demand 7: the congestion certificate
+        // clears the λ ≥ 1 bar after a phase or two, where the classical
+        // phase-count bound needs hundreds of phases (scale ≈ ε⁻² ln m).
+        let g = square();
+        let demands = [Demand::new(g.node(0), g.node(3), 7.0)];
+        assert!(max_concurrent_flow_threshold(
+            &g.view(),
+            &demands,
+            1.0,
+            0.05
+        ));
+        let config = ConcurrentFlowConfig {
+            epsilon: 0.05,
+            target: Some(1.0),
+            ..Default::default()
+        };
+        let r = max_concurrent_flow(&g.view(), &demands, &config);
+        assert!(
+            r.phases <= 4,
+            "threshold certification took {} phases",
+            r.phases
+        );
+        // The certified value stays a valid lower bound.
+        assert!(r.lambda_lower <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn threshold_query_rejects_infeasible_thresholds() {
+        let g = square();
+        // λ* = 2: a threshold of 3 can never be certified.
+        let demands = [Demand::new(g.node(0), g.node(3), 7.0)];
+        assert!(!max_concurrent_flow_threshold(
+            &g.view(),
+            &demands,
+            3.0,
+            0.05
+        ));
+    }
+
+    #[test]
+    fn congestion_bound_is_feasible() {
+        // Whatever λ_lower the run reports, scaling the demand to it must
+        // remain routable (cross-checked by the exact LP).
+        let g = square();
+        for amount in [3.0, 7.0, 13.0] {
+            let demands = [Demand::new(g.node(0), g.node(3), amount)];
+            let r = max_concurrent_flow(&g.view(), &demands, &ConcurrentFlowConfig::default());
+            let scaled = [Demand::new(
+                g.node(0),
+                g.node(3),
+                amount * r.lambda_lower * 0.999,
+            )];
+            assert!(
+                crate::mcf::routability(&g.view(), &scaled)
+                    .unwrap()
+                    .is_some(),
+                "λ_lower {} infeasible for demand {amount}",
+                r.lambda_lower
+            );
+        }
     }
 
     #[test]

@@ -19,8 +19,8 @@
 //! demand endpoints, which keeps LPs small on heavily damaged networks.
 
 use crate::problem::{LinTerm, LpProblem, Relation, Sense, VarId};
-use crate::{simplex, LpError, LpStatus};
-use netrec_graph::{traversal, EdgeId, NodeId, View};
+use crate::{revised, simplex, LpEngine, LpError, LpStatus};
+use netrec_graph::{traversal, EdgeId, Graph, NodeId, View};
 
 /// A demand pair `(s_h, t_h)` with its flow requirement `d_h`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -100,6 +100,9 @@ struct McfVars {
     pair: Vec<Vec<Option<(VarId, VarId)>>>,
     /// Whether each node takes part in the model.
     node_active: Vec<bool>,
+    /// Constraint index of each edge's capacity row (for RHS patching by
+    /// the warm systems).
+    cap_row: Vec<Option<usize>>,
 }
 
 /// Builds flow variables and capacity constraints shared by all models.
@@ -141,6 +144,7 @@ fn build_mcf_vars(lp: &mut LpProblem, view: &View<'_>, demands: &[Demand]) -> Mc
     }
 
     // Capacity constraints: Σ_h (f_uv + f_vu) ≤ c_e.
+    let mut cap_row = vec![None; view.edge_count()];
     for e in view.enabled_edges() {
         let mut terms = Vec::new();
         for row in &pair {
@@ -151,10 +155,15 @@ fn build_mcf_vars(lp: &mut LpProblem, view: &View<'_>, demands: &[Demand]) -> Mc
         }
         if !terms.is_empty() {
             lp.add_constraint(terms, Relation::Le, view.capacity(e));
+            cap_row[e.index()] = Some(lp.num_constraints() - 1);
         }
     }
 
-    McfVars { pair, node_active }
+    McfVars {
+        pair,
+        node_active,
+        cap_row,
+    }
 }
 
 /// Adds flow-conservation rows `Σ out − Σ in − Σ extra = rhs` for demand
@@ -255,6 +264,19 @@ pub fn quick_unroutable(view: &View<'_>, demands: &[Demand]) -> bool {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn routability(view: &View<'_>, demands: &[Demand]) -> Result<Option<FlowAssignment>, LpError> {
+    routability_with(view, demands, crate::global_engine())
+}
+
+/// [`routability`] with an explicit LP engine.
+///
+/// # Errors
+///
+/// Propagates simplex numerical failures.
+pub fn routability_with(
+    view: &View<'_>,
+    demands: &[Demand],
+    engine: LpEngine,
+) -> Result<Option<FlowAssignment>, LpError> {
     let active: Vec<Demand> = demands
         .iter()
         .copied()
@@ -286,7 +308,7 @@ pub fn routability(view: &View<'_>, demands: &[Demand]) -> Result<Option<FlowAss
             &[],
         );
     }
-    let sol = simplex::solve(&lp)?;
+    let sol = simplex::solve_with(&lp, engine)?;
     match sol.status {
         LpStatus::Optimal => Ok(Some(decode_flows(view, &vars, &sol.values, active.len()))),
         LpStatus::Infeasible => Ok(None),
@@ -310,6 +332,26 @@ pub fn max_shared_split(
     h: usize,
     via: NodeId,
     cap: f64,
+) -> Result<Option<f64>, LpError> {
+    max_shared_split_with(view, demands, h, via, cap, crate::global_engine())
+}
+
+/// [`max_shared_split`] with an explicit LP engine.
+///
+/// # Errors
+///
+/// Propagates simplex numerical failures.
+///
+/// # Panics
+///
+/// Panics if `h` is out of range for `demands`.
+pub fn max_shared_split_with(
+    view: &View<'_>,
+    demands: &[Demand],
+    h: usize,
+    via: NodeId,
+    cap: f64,
+    engine: LpEngine,
 ) -> Result<Option<f64>, LpError> {
     assert!(h < demands.len(), "demand index out of range");
     let split = demands[h];
@@ -373,7 +415,7 @@ pub fn max_shared_split(
         );
     }
 
-    let sol = simplex::solve(&lp)?;
+    let sol = simplex::solve_with(&lp, engine)?;
     match sol.status {
         LpStatus::Optimal => Ok(Some(sol.value(dx).clamp(0.0, cap))),
         _ => Ok(None),
@@ -390,6 +432,24 @@ pub fn min_broken_flow(
     view: &View<'_>,
     demands: &[Demand],
     broken_cost: &[Option<f64>],
+) -> Result<Option<(f64, FlowAssignment)>, LpError> {
+    min_broken_flow_with(view, demands, broken_cost, crate::global_engine())
+}
+
+/// [`min_broken_flow`] with an explicit LP engine.
+///
+/// # Errors
+///
+/// Propagates simplex numerical failures.
+///
+/// # Panics
+///
+/// Panics if `broken_cost` does not have one entry per edge.
+pub fn min_broken_flow_with(
+    view: &View<'_>,
+    demands: &[Demand],
+    broken_cost: &[Option<f64>],
+    engine: LpEngine,
 ) -> Result<Option<(f64, FlowAssignment)>, LpError> {
     assert_eq!(
         broken_cost.len(),
@@ -437,7 +497,7 @@ pub fn min_broken_flow(
             &[],
         );
     }
-    let sol = simplex::solve(&lp)?;
+    let sol = simplex::solve_with(&lp, engine)?;
     match sol.status {
         LpStatus::Optimal => Ok(Some((
             sol.objective,
@@ -465,6 +525,33 @@ pub fn broken_flow_extreme(
     broken_cost: &[Option<f64>],
     cost_cap: f64,
     maximize_broken: bool,
+) -> Result<Option<FlowAssignment>, LpError> {
+    broken_flow_extreme_with(
+        view,
+        demands,
+        broken_cost,
+        cost_cap,
+        maximize_broken,
+        crate::global_engine(),
+    )
+}
+
+/// [`broken_flow_extreme`] with an explicit LP engine.
+///
+/// # Errors
+///
+/// Propagates simplex numerical failures.
+///
+/// # Panics
+///
+/// Panics if `broken_cost` does not have one entry per edge.
+pub fn broken_flow_extreme_with(
+    view: &View<'_>,
+    demands: &[Demand],
+    broken_cost: &[Option<f64>],
+    cost_cap: f64,
+    maximize_broken: bool,
+    engine: LpEngine,
 ) -> Result<Option<FlowAssignment>, LpError> {
     assert_eq!(
         broken_cost.len(),
@@ -555,7 +642,7 @@ pub fn broken_flow_extreme(
             &[],
         );
     }
-    let sol = simplex::solve(&lp)?;
+    let sol = simplex::solve_with(&lp, engine)?;
     match sol.status {
         LpStatus::Optimal => Ok(Some(decode_flows(view, &vars, &sol.values, active.len()))),
         _ => Ok(None),
@@ -589,6 +676,25 @@ pub fn max_weighted_satisfied(
     view: &View<'_>,
     demands: &[Demand],
     weights: &[f64],
+) -> Result<(Vec<f64>, FlowAssignment), LpError> {
+    max_weighted_satisfied_with(view, demands, weights, crate::global_engine())
+}
+
+/// [`max_weighted_satisfied`] with an explicit LP engine.
+///
+/// # Errors
+///
+/// Propagates simplex numerical failures.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != demands.len()` or any weight is negative
+/// or non-finite.
+pub fn max_weighted_satisfied_with(
+    view: &View<'_>,
+    demands: &[Demand],
+    weights: &[f64],
+    engine: LpEngine,
 ) -> Result<(Vec<f64>, FlowAssignment), LpError> {
     assert_eq!(
         weights.len(),
@@ -630,7 +736,7 @@ pub fn max_weighted_satisfied(
         let extra = vec![(d.source, t[k], -1.0), (d.target, t[k], 1.0)];
         add_conservation(&mut lp, view, &vars, k, |_| 0.0, &extra);
     }
-    let sol = simplex::solve(&lp)?;
+    let sol = simplex::solve_with(&lp, engine)?;
     if sol.status != LpStatus::Optimal {
         // Degenerate fallback: nothing satisfiable.
         for &i in &active_idx {
@@ -650,6 +756,199 @@ pub fn max_weighted_satisfied(
         flow[i] = decoded.flow[k].clone();
     }
     Ok((satisfied, FlowAssignment { flow }))
+}
+
+/// A routability system (2) with **fixed structure**, re-solvable under
+/// capacity patches with a warm-started basis.
+///
+/// The LP is built once over the *full* graph (restricted to connected
+/// components reachable from a demand endpoint), with one capacity row
+/// per edge. Masked-out or damaged edges are expressed as a capacity of
+/// `0.0` instead of being removed, so every network state of the same
+/// `(graph, demands)` generation is a pure RHS patch of the same LP —
+/// exactly the perturbation the revised engine's dual simplex repairs in
+/// a handful of pivots from the previous optimal [`revised::Basis`].
+///
+/// Answers are identical to [`routability`] on the equivalently-masked
+/// view: zero-capacity edges can carry no flow, so the extra columns are
+/// inert.
+#[derive(Debug)]
+pub struct WarmRoutability {
+    solver: revised::WarmSolver,
+    cap_row: Vec<Option<usize>>,
+    active: usize,
+}
+
+impl WarmRoutability {
+    /// Builds the fixed-structure system for `demands` on the full
+    /// `graph`.
+    pub fn build(graph: &Graph, demands: &[Demand]) -> WarmRoutability {
+        let active: Vec<Demand> = demands
+            .iter()
+            .copied()
+            .filter(|d| d.amount > 0.0 && d.source != d.target)
+            .collect();
+        // Unit capacities during construction: every edge of a relevant
+        // component gets flow variables and a capacity row, even ones
+        // whose *current* capacity is zero — later patches may raise it.
+        let ones = vec![1.0; graph.edge_count()];
+        let view = graph.view().with_capacities(&ones);
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let vars = build_mcf_vars(&mut lp, &view, &active);
+        for (h, d) in active.iter().enumerate() {
+            add_conservation(
+                &mut lp,
+                &view,
+                &vars,
+                h,
+                |n| {
+                    if n == d.source {
+                        d.amount
+                    } else if n == d.target {
+                        -d.amount
+                    } else {
+                        0.0
+                    }
+                },
+                &[],
+            );
+        }
+        WarmRoutability {
+            solver: revised::WarmSolver::new(lp),
+            cap_row: vars.cap_row,
+            active: active.len(),
+        }
+    }
+
+    /// Whether the demands are routable under the given *effective*
+    /// per-edge capacities (`0.0` = broken/masked edge), warm-starting
+    /// from the previous solve's basis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simplex numerical failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff_caps` does not have one entry per edge of the
+    /// graph the system was built on.
+    pub fn solve(&mut self, eff_caps: &[f64]) -> Result<bool, LpError> {
+        assert_eq!(
+            eff_caps.len(),
+            self.cap_row.len(),
+            "one effective capacity per edge required"
+        );
+        if self.active == 0 {
+            return Ok(true);
+        }
+        for (e, row) in self.cap_row.iter().enumerate() {
+            if let Some(row) = *row {
+                self.solver.set_rhs(row, eff_caps[e].max(0.0));
+            }
+        }
+        let sol = self.solver.solve()?;
+        Ok(sol.status == LpStatus::Optimal)
+    }
+
+    /// Whether a warm basis is currently cached (diagnostics).
+    pub fn has_basis(&self) -> bool {
+        self.solver.is_warm()
+    }
+}
+
+/// The maximum-satisfied-demand LP with **fixed structure**, re-solvable
+/// under capacity patches with a warm-started basis (the satisfaction
+/// counterpart of [`WarmRoutability`]).
+///
+/// Per-demand satisfied amounts of degenerate optima may differ between
+/// engines or solve orders; the optimal *total* is unique, which is the
+/// quantity the scheduler's frontier scoring consumes.
+#[derive(Debug)]
+pub struct WarmMaxSatisfied {
+    solver: revised::WarmSolver,
+    cap_row: Vec<Option<usize>>,
+    t: Vec<VarId>,
+    /// Indices into the original demand list for each LP-active demand.
+    active_idx: Vec<usize>,
+    amounts: Vec<f64>,
+}
+
+impl WarmMaxSatisfied {
+    /// Builds the fixed-structure system for `demands` on the full
+    /// `graph`.
+    pub fn build(graph: &Graph, demands: &[Demand]) -> WarmMaxSatisfied {
+        let active_idx: Vec<usize> = (0..demands.len())
+            .filter(|&i| demands[i].amount > 0.0 && demands[i].source != demands[i].target)
+            .collect();
+        let active: Vec<Demand> = active_idx.iter().map(|&i| demands[i]).collect();
+        // Unit capacities for the same reason as in `WarmRoutability`.
+        let ones = vec![1.0; graph.edge_count()];
+        let view = graph.view().with_capacities(&ones);
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let t: Vec<VarId> = active
+            .iter()
+            .map(|d| {
+                // Demands disconnected in the *full* graph can never be
+                // served in any capacity state of this generation.
+                let reachable = traversal::connected(&view, d.source, d.target);
+                let ub = if reachable { d.amount } else { 0.0 };
+                lp.add_var(0.0, Some(ub), 1.0)
+            })
+            .collect();
+        let vars = build_mcf_vars(&mut lp, &view, &active);
+        for (k, d) in active.iter().enumerate() {
+            let extra = vec![(d.source, t[k], -1.0), (d.target, t[k], 1.0)];
+            add_conservation(&mut lp, &view, &vars, k, |_| 0.0, &extra);
+        }
+        WarmMaxSatisfied {
+            solver: revised::WarmSolver::new(lp),
+            cap_row: vars.cap_row,
+            t,
+            active_idx,
+            amounts: demands.iter().map(|d| d.amount.max(0.0)).collect(),
+        }
+    }
+
+    /// Per-demand satisfiable amounts (same indexing conventions as
+    /// [`max_satisfied`]) under the given effective capacities,
+    /// warm-starting from the previous solve's basis.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simplex numerical failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eff_caps` does not have one entry per edge of the
+    /// graph the system was built on.
+    pub fn solve(&mut self, eff_caps: &[f64]) -> Result<Vec<f64>, LpError> {
+        assert_eq!(
+            eff_caps.len(),
+            self.cap_row.len(),
+            "one effective capacity per edge required"
+        );
+        let mut satisfied = self.amounts.clone();
+        if self.active_idx.is_empty() {
+            return Ok(satisfied);
+        }
+        for (e, row) in self.cap_row.iter().enumerate() {
+            if let Some(row) = *row {
+                self.solver.set_rhs(row, eff_caps[e].max(0.0));
+            }
+        }
+        let sol = self.solver.solve()?;
+        if sol.status != LpStatus::Optimal {
+            // Mirrors `max_weighted_satisfied`'s degenerate fallback.
+            for &i in &self.active_idx {
+                satisfied[i] = 0.0;
+            }
+            return Ok(satisfied);
+        }
+        for (k, &i) in self.active_idx.iter().enumerate() {
+            satisfied[i] = sol.value(self.t[k]);
+        }
+        Ok(satisfied)
+    }
 }
 
 #[cfg(test)]
@@ -870,6 +1169,62 @@ mod tests {
         g.add_edge(g.node(0), g.node(1), 1.0).unwrap();
         let demands = [Demand::new(g.node(0), g.node(1), 1.0)];
         let _ = max_weighted_satisfied(&g.view(), &demands, &[]);
+    }
+
+    #[test]
+    fn warm_routability_matches_cold_across_capacity_patches() {
+        let g = square();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        let mut warm = WarmRoutability::build(&g, &demands);
+        // A repair-like sequence: edges come up one at a time, then a
+        // capacity degrade.
+        let states: [[f64; 4]; 5] = [
+            [0.0, 0.0, 0.0, 0.0],
+            [10.0, 0.0, 0.0, 0.0],
+            [10.0, 10.0, 0.0, 0.0],
+            [10.0, 10.0, 4.0, 4.0],
+            [4.0, 4.0, 4.0, 4.0],
+        ];
+        for caps in states {
+            let cold = routability(&g.view().with_capacities(&caps), &demands)
+                .unwrap()
+                .is_some();
+            assert_eq!(warm.solve(&caps).unwrap(), cold, "caps {caps:?}");
+        }
+        assert!(warm.has_basis());
+    }
+
+    #[test]
+    fn warm_max_satisfied_matches_cold_totals() {
+        let g = square();
+        let demands = [
+            Demand::new(g.node(0), g.node(3), 9.0),
+            Demand::new(g.node(1), g.node(2), 3.0),
+        ];
+        let mut warm = WarmMaxSatisfied::build(&g, &demands);
+        let states: [[f64; 4]; 4] = [
+            [10.0, 10.0, 4.0, 4.0],
+            [10.0, 0.0, 4.0, 4.0],
+            [0.0, 0.0, 0.0, 4.0],
+            [10.0, 10.0, 0.0, 4.0],
+        ];
+        for caps in states {
+            let (cold, _) = max_satisfied(&g.view().with_capacities(&caps), &demands).unwrap();
+            let w = warm.solve(&caps).unwrap();
+            let (tw, tc): (f64, f64) = (w.iter().sum(), cold.iter().sum());
+            assert!((tw - tc).abs() < 1e-6, "caps {caps:?}: {w:?} vs {cold:?}");
+        }
+    }
+
+    #[test]
+    fn warm_systems_handle_degenerate_demands() {
+        let g = square();
+        let mut warm = WarmRoutability::build(&g, &[]);
+        assert!(warm.solve(&[0.0; 4]).unwrap());
+        let degenerate = [Demand::new(g.node(1), g.node(1), 5.0)];
+        let mut warm = WarmMaxSatisfied::build(&g, &degenerate);
+        let sat = warm.solve(&[0.0; 4]).unwrap();
+        assert_eq!(sat, vec![5.0]);
     }
 
     #[test]

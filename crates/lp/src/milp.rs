@@ -9,7 +9,8 @@
 //! comparison (OPT cost ≤ heuristic cost).
 
 use crate::problem::{LpProblem, LpSolution, LpStatus, Sense};
-use crate::{simplex, LpError};
+use crate::{revised, simplex, LpEngine, LpError};
+use std::rc::Rc;
 
 /// Configuration for [`solve`].
 #[derive(Debug, Clone)]
@@ -25,6 +26,11 @@ pub struct BranchBoundConfig {
     /// relaxation bound is not strictly better are pruned. For
     /// minimization this means `bound ≥ cutoff` prunes.
     pub cutoff: Option<f64>,
+    /// LP engine for the node relaxations; `None` follows the process
+    /// default ([`crate::global_engine`]). Under [`LpEngine::Revised`]
+    /// every child node warm-starts from its parent's optimal basis — a
+    /// bound flip repaired by the dual simplex — instead of a cold solve.
+    pub engine: Option<LpEngine>,
 }
 
 impl Default for BranchBoundConfig {
@@ -34,6 +40,7 @@ impl Default for BranchBoundConfig {
             int_tol: 1e-6,
             gap: 1e-9,
             cutoff: None,
+            engine: None,
         }
     }
 }
@@ -84,15 +91,20 @@ pub fn solve(
     let mut stats = BranchBoundStats::default();
     let binaries = lp.binary_vars();
     let minimize = matches!(lp.sense(), Sense::Minimize);
+    let engine = config.engine.unwrap_or_else(crate::global_engine);
 
     // Incumbent: best integral solution so far.
     let mut best: Option<LpSolution> = None;
 
-    // DFS stack of subproblems, each a set of fixed binaries.
-    // (var_index, value) pairs applied on top of `lp`.
-    let mut stack: Vec<Vec<(usize, f64)>> = vec![Vec::new()];
+    // DFS stack of subproblems: a set of fixed binaries (var_index,
+    // value) applied on top of `lp`, plus — under the revised engine —
+    // the parent node's optimal basis for a dual-simplex warm start
+    // (fixing a binary is a pure bound change, so the parent basis stays
+    // structurally valid and dual feasible).
+    type Node = (Vec<(usize, f64)>, Option<Rc<revised::Basis>>);
+    let mut stack: Vec<Node> = vec![(Vec::new(), None)];
 
-    while let Some(fixings) = stack.pop() {
+    while let Some((fixings, parent_basis)) = stack.pop() {
         if let Some(budget) = config.node_budget {
             if stats.nodes >= budget {
                 // Put the unexplored node back conceptually; we simply stop.
@@ -106,7 +118,13 @@ pub fn solve(
         for &(vi, val) in &fixings {
             sub.set_bounds(crate::VarId(vi as u32), val, Some(val))?;
         }
-        let relax = simplex::solve(&sub)?;
+        let (relax, node_basis) = match engine {
+            LpEngine::Dense => (simplex::solve_dense(&sub)?, None),
+            LpEngine::Revised => {
+                let ws = revised::solve_warm(&sub, parent_basis.as_deref())?;
+                (ws.solution, ws.basis.map(Rc::new))
+            }
+        };
         match relax.status {
             LpStatus::Infeasible => continue,
             LpStatus::Unbounded => {
@@ -180,15 +198,16 @@ pub fn solve(
             Some(vi) => {
                 let x = relax.values[vi];
                 // Explore the "nearer" value first (DFS order: push far
-                // branch first so near branch pops first).
+                // branch first so near branch pops first). Both children
+                // share the parent's basis for their warm start.
                 let near = x.round().clamp(0.0, 1.0);
                 let far = 1.0 - near;
                 let mut far_fix = fixings.clone();
                 far_fix.push((vi, far));
-                stack.push(far_fix);
+                stack.push((far_fix, node_basis.clone()));
                 let mut near_fix = fixings;
                 near_fix.push((vi, near));
-                stack.push(near_fix);
+                stack.push((near_fix, node_basis));
             }
         }
     }
@@ -315,6 +334,35 @@ mod tests {
         lp.add_constraint(vec![(a, 1.0), (b, 1.0)], Relation::Le, 1.0);
         let (_, stats) = solve(&lp, &BranchBoundConfig::default()).unwrap();
         assert!(stats.incumbents >= 1);
+    }
+
+    #[test]
+    fn engines_agree_on_a_branching_instance() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8)
+            .map(|i| lp.add_binary_var(1.0 + (i as f64) * 0.3))
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(terms, Relation::Le, 3.0);
+        let terms2: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + (i % 2) as f64))
+            .collect();
+        lp.add_constraint(terms2, Relation::Le, 4.0);
+        let dense_cfg = BranchBoundConfig {
+            engine: Some(crate::LpEngine::Dense),
+            ..Default::default()
+        };
+        let revised_cfg = BranchBoundConfig {
+            engine: Some(crate::LpEngine::Revised),
+            ..Default::default()
+        };
+        let (d, _) = solve(&lp, &dense_cfg).unwrap();
+        let (r, _) = solve(&lp, &revised_cfg).unwrap();
+        assert_eq!(d.status, r.status);
+        assert!((d.objective - r.objective).abs() < 1e-6);
+        assert!(lp.is_feasible(&r.values, 1e-6));
     }
 
     #[test]

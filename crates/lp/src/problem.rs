@@ -233,6 +233,30 @@ impl LpProblem {
         Ok(())
     }
 
+    /// Overwrites the right-hand side of constraint `idx`.
+    ///
+    /// The constraint's terms and relation are untouched, so a
+    /// [`crate::revised::Basis`] extracted before the patch remains
+    /// structurally valid — this is the entry point for warm-started
+    /// capacity re-solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range or `rhs` is not finite.
+    pub fn set_constraint_rhs(&mut self, idx: usize, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint rhs must be finite");
+        self.constraints[idx].rhs = rhs;
+    }
+
+    /// The right-hand side of constraint `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn constraint_rhs(&self, idx: usize) -> f64 {
+        self.constraints[idx].rhs
+    }
+
     /// Evaluates the objective at a point.
     pub fn objective_value(&self, values: &[f64]) -> f64 {
         self.vars

@@ -1,9 +1,14 @@
-//! Exact two-phase dense-tableau simplex.
+//! The LP solve entry point plus the exact two-phase dense-tableau
+//! simplex reference implementation.
 //!
-//! This is the workhorse behind the routability test (system (2) of the
-//! paper), ISP's Decision 2 LP, the LP relaxation inside branch & bound, and
-//! the flow-cost relaxation LP (8). It is a textbook primal simplex on a
-//! dense tableau with:
+//! [`solve`] is the workhorse behind the routability test (system (2) of
+//! the paper), ISP's Decision 2 LP, the LP relaxation inside branch &
+//! bound, and the flow-cost relaxation LP (8). It is a thin wrapper that
+//! dispatches on an [`LpEngine`]: by default the sparse revised simplex
+//! ([`crate::revised`]), with the dense tableau ([`solve_dense`]) kept as
+//! the reference implementation and escape hatch (`--lp dense`).
+//!
+//! The dense engine is a textbook primal simplex on a dense tableau with:
 //!
 //! * two phases (artificial variables driven out after phase 1, redundant
 //!   rows dropped),
@@ -15,13 +20,16 @@
 //! Binary variables are relaxed to `[0, 1]`; use [`crate::milp::solve`] for
 //! integral solutions.
 
+use crate::engine::{global_engine, LpEngine};
 use crate::problem::{ConstraintDef, LpProblem, LpSolution, LpStatus, Relation, Sense};
 use crate::LpError;
 
 /// Feasibility / optimality tolerance used throughout the solver.
 pub const TOL: f64 = 1e-9;
 
-/// Solves `lp` exactly (binary variables relaxed to `[0, 1]`).
+/// Solves `lp` exactly (binary variables relaxed to `[0, 1]`) with the
+/// process default engine — the sparse revised simplex unless
+/// [`crate::set_global_engine`] picked the dense escape hatch.
 ///
 /// # Errors
 ///
@@ -43,6 +51,27 @@ pub const TOL: f64 = 1e-9;
 /// # Ok::<(), netrec_lp::LpError>(())
 /// ```
 pub fn solve(lp: &LpProblem) -> Result<LpSolution, LpError> {
+    solve_with(lp, global_engine())
+}
+
+/// Solves `lp` with an explicit engine.
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot limit is exceeded.
+pub fn solve_with(lp: &LpProblem, engine: LpEngine) -> Result<LpSolution, LpError> {
+    match engine {
+        LpEngine::Dense => solve_dense(lp),
+        LpEngine::Revised => crate::revised::solve(lp),
+    }
+}
+
+/// Solves `lp` with the dense-tableau reference implementation.
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] if the pivot limit is exceeded.
+pub fn solve_dense(lp: &LpProblem) -> Result<LpSolution, LpError> {
     let std_form = StandardForm::build(lp);
     let mut tab = Tableau::new(&std_form);
 
@@ -489,7 +518,7 @@ mod tests {
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
         lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
         lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 36.0);
         assert_close(sol.value(x), 2.0);
@@ -504,7 +533,7 @@ mod tests {
         let y = lp.add_var(0.0, None, 3.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
         lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 2.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         // Best: x=3, y=1 -> 9.
         assert_close(sol.objective, 9.0);
@@ -517,7 +546,7 @@ mod tests {
         let x = lp.add_var(0.0, None, 1.0);
         let y = lp.add_var(0.0, None, 1.0);
         lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 2.0);
         assert_close(sol.value(y), 2.0);
@@ -529,7 +558,7 @@ mod tests {
         let x = lp.add_var(0.0, None, 1.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 3.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Infeasible);
     }
 
@@ -539,7 +568,7 @@ mod tests {
         let x = lp.add_var(0.0, None, 1.0);
         let y = lp.add_var(0.0, None, 0.0);
         lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Unbounded);
     }
 
@@ -547,7 +576,7 @@ mod tests {
     fn respects_upper_bounds() {
         let mut lp = LpProblem::new(Sense::Maximize);
         let _x = lp.add_var(0.0, Some(2.5), 1.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_close(sol.objective, 2.5);
     }
 
@@ -556,7 +585,7 @@ mod tests {
         // min x  s.t. x >= 1.5 (as a bound)
         let mut lp = LpProblem::new(Sense::Minimize);
         let x = lp.add_var(1.5, None, 1.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_close(sol.objective, 1.5);
         assert_close(sol.value(x), 1.5);
     }
@@ -567,7 +596,7 @@ mod tests {
         let mut lp = LpProblem::new(Sense::Minimize);
         let x = lp.add_var(-3.0, None, 1.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Ge, -5.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_close(sol.value(x), -3.0);
     }
 
@@ -578,7 +607,7 @@ mod tests {
         let x = lp.add_var(0.0, Some(1.0), 0.0);
         let y = lp.add_var(0.0, None, 1.0);
         lp.add_constraint(vec![(x, -1.0), (y, -1.0)], Relation::Le, -2.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_close(sol.objective, 1.0);
     }
 
@@ -601,7 +630,7 @@ mod tests {
             0.0,
         );
         lp.add_constraint(vec![(x3, 1.0)], Relation::Le, 1.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, -0.05);
     }
@@ -614,7 +643,7 @@ mod tests {
         let y = lp.add_var(0.0, None, 0.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 0.0);
         assert_close(sol.value(y), 2.0);
@@ -626,14 +655,14 @@ mod tests {
         let mut lp = LpProblem::new(Sense::Minimize);
         let x = lp.add_var(0.0, None, 1.0);
         lp.add_constraint(vec![(x, 1.0), (x, 1.0)], Relation::Ge, 3.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_close(sol.value(x), 1.5);
     }
 
     #[test]
     fn zero_variable_problem() {
         let lp = LpProblem::new(Sense::Minimize);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert_close(sol.objective, 0.0);
     }
@@ -646,7 +675,7 @@ mod tests {
         let y = lp.add_var(0.0, None, 0.0);
         lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 5.0);
         lp.add_constraint(vec![(x, 1.0)], Relation::Le, 3.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(lp.is_feasible(&sol.values, 1e-7));
     }
@@ -666,7 +695,7 @@ mod tests {
                 .collect();
             lp.add_constraint(terms, Relation::Le, 10.0 + k as f64);
         }
-        let sol = solve(&lp).unwrap();
+        let sol = solve_dense(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(lp.is_feasible(&sol.values, 1e-6));
     }

@@ -1,0 +1,185 @@
+//! Compressed-sparse-column (CSC) storage for LP constraint matrices.
+//!
+//! Multi-commodity-flow LPs are extremely sparse — a flow variable
+//! appears in one capacity row and two conservation rows, so a column
+//! carries ~3 nonzeros regardless of instance size. The dense tableau
+//! stores (and pivots over) all `m × n` entries anyway; the revised
+//! simplex in [`crate::revised`] instead walks these columns directly,
+//! which makes pricing and FTRAN cost proportional to the nonzero count.
+
+/// An immutable sparse matrix in compressed-sparse-column form.
+///
+/// Built once from `(row, col, value)` triplets; duplicate coordinates
+/// are summed (matching [`crate::LpProblem::add_constraint`]'s
+/// duplicate-term semantics) and explicit zeros are dropped.
+#[derive(Debug, Clone)]
+pub struct CscMatrix {
+    nrows: usize,
+    ncols: usize,
+    /// `col_ptr[j]..col_ptr[j + 1]` indexes column `j`'s entries.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds an `nrows × ncols` matrix from coordinate triplets.
+    ///
+    /// Duplicates are summed; entries that are (or sum to) zero are
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a triplet lies outside the declared shape.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> CscMatrix {
+        for &(r, c, _) in triplets {
+            assert!(r < nrows && c < ncols, "triplet ({r}, {c}) out of bounds");
+        }
+        // Counting sort by column.
+        let mut counts = vec![0usize; ncols + 1];
+        for &(_, c, _) in triplets {
+            counts[c + 1] += 1;
+        }
+        for j in 0..ncols {
+            counts[j + 1] += counts[j];
+        }
+        let mut slot = counts.clone();
+        let mut rows = vec![0usize; triplets.len()];
+        let mut vals = vec![0.0f64; triplets.len()];
+        for &(r, c, v) in triplets {
+            rows[slot[c]] = r;
+            vals[slot[c]] = v;
+            slot[c] += 1;
+        }
+        // Per column: sort by row, merge duplicates, drop zeros.
+        let mut col_ptr = Vec::with_capacity(ncols + 1);
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        col_ptr.push(0);
+        let mut order: Vec<usize> = Vec::new();
+        for j in 0..ncols {
+            let (start, end) = (counts[j], counts[j + 1]);
+            order.clear();
+            order.extend(start..end);
+            order.sort_unstable_by_key(|&k| rows[k]);
+            let mut i = 0;
+            while i < order.len() {
+                let r = rows[order[i]];
+                let mut v = 0.0;
+                while i < order.len() && rows[order[i]] == r {
+                    v += vals[order[i]];
+                    i += 1;
+                }
+                if v != 0.0 {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(row, value)` entries of column `j`.
+    #[inline]
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.col_ptr[j]..self.col_ptr[j + 1];
+        self.row_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Nonzero count of column `j`.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    #[inline]
+    pub fn col_dot(&self, j: usize, x: &[f64]) -> f64 {
+        self.col(j).map(|(i, v)| v * x[i]).sum()
+    }
+
+    /// Scatters `scale ×` column `j` into a dense vector (`x += s·Aⱼ`).
+    #[inline]
+    pub fn scatter_col(&self, j: usize, scale: f64, x: &mut [f64]) {
+        for (i, v) in self.col(j) {
+            x[i] += scale * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_reads_columns() {
+        let m = CscMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (2, 0, -2.0), (1, 1, 3.0)]);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 2);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, -2.0)]);
+        assert_eq!(m.col(1).collect::<Vec<_>>(), vec![(1, 3.0)]);
+        assert_eq!(m.col_nnz(0), 2);
+    }
+
+    #[test]
+    fn duplicates_sum_and_zeros_drop() {
+        let m =
+            CscMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (0, 0, 2.5), (1, 0, 4.0), (1, 0, -4.0)]);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 3.5)]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn col_dot_and_scatter() {
+        let m = CscMatrix::from_triplets(3, 1, &[(0, 0, 2.0), (2, 0, -1.0)]);
+        assert_eq!(m.col_dot(0, &[1.0, 10.0, 4.0]), -2.0);
+        let mut x = vec![0.0; 3];
+        m.scatter_col(0, 2.0, &mut x);
+        assert_eq!(x, vec![4.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CscMatrix::from_triplets(0, 0, &[]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_bounds() {
+        let _ = CscMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Degeneracy regression: forces the revised engine's Bland fallback and
+//! checks it still reaches the dense engine's optimum.
+//!
+//! Lives in its own integration-test binary because it configures the
+//! Bland trigger through the `NETREC_LP_BLAND_LIMIT` environment
+//! variable, which is process-wide — sharing a binary with other LP
+//! tests would leak the tiny trigger into them.
+
+use netrec_lp::{revised, simplex, LpProblem, LpStatus, Relation, Sense};
+
+/// A heavily degenerate LP: Beale's classic cycling instance plus
+/// redundant copies of its rows, so the vertex at the origin is massively
+/// degenerate and the first pivots make no primal progress.
+fn degenerate_lp() -> LpProblem {
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let x1 = lp.add_var(0.0, None, -0.75);
+    let x2 = lp.add_var(0.0, None, 150.0);
+    let x3 = lp.add_var(0.0, None, -0.02);
+    let x4 = lp.add_var(0.0, None, 6.0);
+    for _ in 0..3 {
+        lp.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+    }
+    lp.add_constraint(vec![(x3, 1.0)], Relation::Le, 1.0);
+    lp
+}
+
+#[test]
+fn bland_fallback_engages_and_terminates_at_the_optimum() {
+    // Trigger Bland on the very first degenerate pivot.
+    std::env::set_var("NETREC_LP_BLAND_LIMIT", "1");
+    let lp = degenerate_lp();
+    let warm = revised::solve_warm(&lp, None).unwrap();
+    std::env::remove_var("NETREC_LP_BLAND_LIMIT");
+
+    assert_eq!(warm.solution.status, LpStatus::Optimal);
+    assert!(
+        warm.stats.bland_engaged,
+        "degenerate instance must exercise the Bland fallback: {:?}",
+        warm.stats
+    );
+    let dense = simplex::solve_dense(&lp).unwrap();
+    assert!(
+        (warm.solution.objective - dense.objective).abs() < 1e-6,
+        "revised-under-Bland {} vs dense {}",
+        warm.solution.objective,
+        dense.objective
+    );
+}
+
+#[test]
+fn default_trigger_still_solves_degenerate_instances() {
+    let lp = degenerate_lp();
+    let sol = revised::solve(&lp).unwrap();
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.objective - (-0.05)).abs() < 1e-6);
+}

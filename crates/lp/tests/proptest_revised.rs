@@ -1,0 +1,228 @@
+//! Differential property tests of the sparse revised simplex against the
+//! dense-tableau reference engine (`revised ≡ dense`), plus
+//! warm-vs-cold equivalence across capacity-patch sequences.
+
+use netrec_graph::Graph;
+use netrec_lp::mcf::{self, Demand, WarmMaxSatisfied, WarmRoutability};
+use netrec_lp::{revised, simplex, LpEngine, LpProblem, LpStatus, Relation, Sense};
+use proptest::prelude::*;
+
+/// Random bounded LP: up to 6 variables (mixed bounds, some negative
+/// lower bounds, some unbounded above) and up to 6 rows of mixed
+/// relation, both senses.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    sense: Sense,
+    vars: Vec<(f64, Option<f64>, f64)>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    // The offline proptest stand-in has no `prop_oneof`/`option`, so
+    // discrete choices are encoded as integer ranges.
+    let var = (-3.0f64..3.0, 0usize..10, 0.0f64..8.0, -4.0f64..4.0)
+        .prop_map(|(lb, has_ub, span, obj)| (lb, (has_ub < 7).then_some(lb + span), obj));
+    let row = (
+        proptest::collection::vec(-3.0f64..3.0, 6),
+        0usize..3,
+        -10.0f64..10.0,
+    )
+        .prop_map(|(coefs, rel, rhs)| {
+            let rel = match rel {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            (coefs, rel, rhs)
+        });
+    (
+        0usize..2,
+        proptest::collection::vec(var, 1..6),
+        proptest::collection::vec(row, 0..6),
+    )
+        .prop_map(|(sense, vars, rows)| RandomLp {
+            sense: if sense == 0 {
+                Sense::Minimize
+            } else {
+                Sense::Maximize
+            },
+            vars,
+            rows,
+        })
+}
+
+fn build(spec: &RandomLp) -> LpProblem {
+    let mut lp = LpProblem::new(spec.sense);
+    let ids: Vec<_> = spec
+        .vars
+        .iter()
+        .map(|&(lb, ub, obj)| lp.add_var(lb, ub, obj))
+        .collect();
+    for (coefs, rel, rhs) in &spec.rows {
+        let terms: Vec<_> = ids
+            .iter()
+            .zip(coefs)
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_constraint(terms, *rel, *rhs);
+        }
+    }
+    lp
+}
+
+/// Random connected graph: a random tree plus extra edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..9)
+        .prop_flat_map(|n| {
+            let anchors: Vec<_> = (1..n).map(|v| 0..v).collect();
+            let extra = proptest::collection::vec((0..n, 0..n, 0.5f64..16.0), 0..n);
+            let caps = proptest::collection::vec(0.5f64..16.0, n - 1);
+            (Just(n), anchors, caps, extra)
+        })
+        .prop_map(|(n, anchors, caps, extra)| {
+            let mut g = Graph::with_nodes(n);
+            for (v, (a, c)) in anchors.into_iter().zip(caps).enumerate() {
+                g.add_edge(g.node(v + 1), g.node(a), c).unwrap();
+            }
+            for (a, b, c) in extra {
+                if a != b {
+                    g.add_edge(g.node(a), g.node(b), c).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Tentpole acceptance: on arbitrary bounded LPs the revised engine
+    /// reports the same `LpStatus` as the dense reference, the same
+    /// optimal objective within 1e-6, and a primal-feasible point.
+    #[test]
+    fn revised_matches_dense_on_random_bounded_lps(spec in arb_lp()) {
+        let lp = build(&spec);
+        let dense = simplex::solve_with(&lp, LpEngine::Dense).unwrap();
+        let rev = simplex::solve_with(&lp, LpEngine::Revised).unwrap();
+        prop_assert_eq!(rev.status, dense.status, "status diverged");
+        if dense.status == LpStatus::Optimal {
+            prop_assert!(
+                (rev.objective - dense.objective).abs() < 1e-6,
+                "objective diverged: revised {} vs dense {}",
+                rev.objective,
+                dense.objective
+            );
+            prop_assert!(lp.is_feasible(&rev.values, 1e-6), "revised point infeasible");
+        }
+    }
+
+    /// `revised ≡ dense` on the flow models: routability verdicts match
+    /// and the max-satisfied optimum totals agree on random topologies
+    /// and demand loads.
+    #[test]
+    fn revised_matches_dense_on_random_mcf_systems(
+        g in arb_graph(),
+        s1 in 0usize..16,
+        t1 in 0usize..16,
+        d1 in 0.2f64..24.0,
+        s2 in 0usize..16,
+        t2 in 0usize..16,
+        d2 in 0.2f64..24.0,
+    ) {
+        let n = g.node_count();
+        let demands = [
+            Demand::new(g.node(s1 % n), g.node(t1 % n), d1),
+            Demand::new(g.node(s2 % n), g.node(t2 % n), d2),
+        ];
+        let view = g.view();
+        let dense_routable = mcf::routability_with(&view, &demands, LpEngine::Dense)
+            .unwrap()
+            .is_some();
+        let revised_routable = mcf::routability_with(&view, &demands, LpEngine::Revised)
+            .unwrap()
+            .is_some();
+        prop_assert_eq!(revised_routable, dense_routable, "routability diverged");
+
+        let weights = vec![1.0; demands.len()];
+        let (dense_sat, _) =
+            mcf::max_weighted_satisfied_with(&view, &demands, &weights, LpEngine::Dense).unwrap();
+        let (rev_sat, rev_flows) =
+            mcf::max_weighted_satisfied_with(&view, &demands, &weights, LpEngine::Revised).unwrap();
+        let (td, tr): (f64, f64) = (dense_sat.iter().sum(), rev_sat.iter().sum());
+        prop_assert!((td - tr).abs() < 1e-6, "satisfied totals diverged: {} vs {}", td, tr);
+        // The revised flows respect capacities.
+        for e in g.edges() {
+            prop_assert!(rev_flows.edge_load(e) <= g.capacity(e) + 1e-6);
+        }
+    }
+
+    /// Warm-vs-cold equivalence: across a random capacity-patch sequence
+    /// the warm-started fixed-structure systems answer exactly like cold
+    /// solves of the equivalent masked instance at every step.
+    #[test]
+    fn warm_equals_cold_across_capacity_patch_sequences(
+        g in arb_graph(),
+        s in 0usize..16,
+        t in 0usize..16,
+        d in 0.2f64..24.0,
+        patches in proptest::collection::vec((0usize..32, 0.0f64..16.0), 1..12),
+    ) {
+        let n = g.node_count();
+        prop_assume!(s % n != t % n);
+        let demands = [Demand::new(g.node(s % n), g.node(t % n), d)];
+        let mut warm_rout = WarmRoutability::build(&g, &demands);
+        let mut warm_sat = WarmMaxSatisfied::build(&g, &demands);
+        let mut caps = g.capacities();
+        let m = caps.len();
+        for &(e, c) in &patches {
+            caps[e % m] = c;
+            let view = g.view().with_capacities(&caps);
+            let cold_routable = mcf::routability_with(&view, &demands, LpEngine::Revised)
+                .unwrap()
+                .is_some();
+            prop_assert_eq!(
+                warm_rout.solve(&caps).unwrap(),
+                cold_routable,
+                "routability diverged at caps {:?}",
+                caps
+            );
+            let (cold_sat, _) = mcf::max_satisfied(&view, &demands).unwrap();
+            let w = warm_sat.solve(&caps).unwrap();
+            let (tw, tc): (f64, f64) = (w.iter().sum(), cold_sat.iter().sum());
+            prop_assert!(
+                (tw - tc).abs() < 1e-6,
+                "satisfied totals diverged at caps {:?}: warm {} vs cold {}",
+                caps,
+                tw,
+                tc
+            );
+        }
+    }
+
+    /// Chained warm bases across RHS perturbations of a plain LP match
+    /// cold solves (status and objective).
+    #[test]
+    fn chained_warm_rhs_patches_match_cold(
+        rhs_seq in proptest::collection::vec(0.5f64..12.0, 1..8),
+    ) {
+        // min 2x + 3y  s.t.  x + y >= b,  x - y <= 2,  x,y >= 0.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var(0.0, None, 2.0);
+        let y = lp.add_var(0.0, None, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 2.0);
+        let mut basis: Option<revised::Basis> = None;
+        for &b in &rhs_seq {
+            lp.set_constraint_rhs(0, b);
+            let warm = revised::solve_warm(&lp, basis.as_ref()).unwrap();
+            let cold = revised::solve(&lp).unwrap();
+            prop_assert_eq!(warm.solution.status, cold.status);
+            prop_assert!((warm.solution.objective - cold.objective).abs() < 1e-6);
+            if warm.basis.is_some() {
+                basis = warm.basis;
+            }
+        }
+    }
+}
