@@ -69,6 +69,92 @@ fn committed_bench_files_parse_and_are_nonempty() {
     );
 }
 
+/// Least-squares slope of `ln t` against `ln n` — the fitted time-vs-n
+/// exponent of one workload's scaling series.
+fn fitted_exponent(points: &[(usize, f64)]) -> f64 {
+    let xs: Vec<f64> = points.iter().map(|&(n, _)| (n as f64).ln()).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, t)| t.ln()).collect();
+    let xm = xs.iter().sum::<f64>() / xs.len() as f64;
+    let ym = ys.iter().sum::<f64>() / ys.len() as f64;
+    let num: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - xm) * (y - ym)).sum();
+    let den: f64 = xs.iter().map(|x| (x - xm) * (x - xm)).sum();
+    num / den
+}
+
+/// The committed `BENCH_scale.json` carries the full time-vs-n story
+/// (DESIGN.md §12): every system workload at every sweep point, the
+/// pricing A/B at the large points with devex ≥ 2× ahead, a fitted
+/// time-vs-n exponent below quadratic, and an n=50k routability median
+/// that fits the campaign per-scenario budget with room to spare.
+#[test]
+fn committed_scale_baseline_covers_the_sweep() {
+    const NS: [usize; 5] = [1_000, 5_000, 10_000, 50_000, 100_000];
+    const LP_NS: [usize; 3] = [10_000, 50_000, 100_000];
+
+    let path = repo_root().join("BENCH_scale.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed BENCH_scale.json: {e}"));
+    let json = Json::parse(&text).expect("BENCH_scale.json parses");
+    let mut medians = std::collections::HashMap::new();
+    for bench in json
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array")
+    {
+        let id = bench.get("id").and_then(Json::as_str).expect("id");
+        let ns = bench
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .expect("median_ns");
+        medians.insert(id.to_string(), ns);
+    }
+
+    let median = |workload: &str, n: usize| -> f64 {
+        *medians
+            .get(&format!("{workload}/{n}"))
+            .unwrap_or_else(|| panic!("BENCH_scale.json lacks {workload}/{n}"))
+    };
+
+    // Coverage: 3 system workloads × 5 points + 2 pricing rules × 3.
+    for workload in ["routability", "isp", "sched_step"] {
+        for n in NS {
+            median(workload, n);
+        }
+        // The exponent fitted across the whole series stays below
+        // quadratic (the committed twin of the fresh-run perf_gate
+        // check). A regression over all five points absorbs the
+        // instance-to-instance variance a single adjacent pair shows —
+        // ISP's iteration count, for one, jumps with the damage layout.
+        let points: Vec<(usize, f64)> = NS.iter().map(|&n| (n, median(workload, n))).collect();
+        let exponent = fitted_exponent(&points);
+        assert!(
+            exponent <= 2.0,
+            "{workload}: committed fitted time-vs-n exponent {exponent:.2} \
+             is superquadratic over {points:?}"
+        );
+    }
+    for n in LP_NS {
+        let ratio = median("lp_dantzig", n) / median("lp_devex", n);
+        assert!(
+            ratio >= 2.0,
+            "lp_dantzig / lp_devex = {ratio:.2}x at n={n}: the committed \
+             baseline must show devex ≥ 2x ahead"
+        );
+    }
+
+    // The n=50k routability query must fit the campaign budget the
+    // smoke scenarios run under (120 s per scenario) with two orders of
+    // magnitude to spare — one query is one of hundreds per scenario.
+    let budget_ns = 120_000.0 * 1e6;
+    let r50k = median("routability", 50_000);
+    assert!(
+        r50k <= budget_ns / 100.0,
+        "routability/50000 = {:.1} ms cannot fit hundreds of queries in \
+         the 120 s per-scenario budget",
+        r50k / 1e6
+    );
+}
+
 #[test]
 fn parser_rejects_malformed_inputs() {
     for bad in [

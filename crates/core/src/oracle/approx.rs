@@ -41,6 +41,7 @@ pub struct ConcurrentFlowApprox {
     satisfaction_queries: Counter,
     approx_runs: Counter,
     boundary_fallbacks: Counter,
+    threshold_certified: Counter,
 }
 
 impl Default for ConcurrentFlowApprox {
@@ -55,6 +56,15 @@ impl ConcurrentFlowApprox {
     /// the measured size below which the dense LP beats Garg–Könemann.
     pub const DEFAULT_FALLBACK_LIMIT: usize = super::DEFAULT_SIZE_THRESHOLD;
 
+    /// Per-demand Dinic precheck budget on `|E| · |EH|`. Below it every
+    /// demand gets an exact single-commodity max-flow screen (cheap, and
+    /// it rejects per-demand overloads before the expensive full
+    /// Garg–Könemann schedule runs); above it the screen would itself
+    /// dominate the query — a 100k-node view times hundreds of demands is
+    /// hundreds of full max-flow runs — so only `quick_unroutable` and
+    /// the concurrent-flow certificates are consulted.
+    pub const PRECHECK_BUDGET: usize = 1 << 22;
+
     /// A backend with accuracy `epsilon` and the default exact-path limit.
     pub fn new(epsilon: f64) -> Self {
         ConcurrentFlowApprox {
@@ -65,6 +75,7 @@ impl ConcurrentFlowApprox {
             satisfaction_queries: Counter::default(),
             approx_runs: Counter::default(),
             boundary_fallbacks: Counter::default(),
+            threshold_certified: Counter::default(),
         }
     }
 
@@ -107,9 +118,13 @@ impl RoutabilityOracle for ConcurrentFlowApprox {
         if mcf::quick_unroutable(view, &active) {
             return Ok(false);
         }
-        for d in &active {
-            if maxflow::max_flow_value(view, d.source, d.target) < d.amount - 1e-9 {
-                return Ok(false);
+        // Per-demand exact screen, gated by size: at internet scale the
+        // screen itself would cost |EH| full max-flow runs per query.
+        if view.enabled_edges().count() * active.len() <= Self::PRECHECK_BUDGET {
+            for d in &active {
+                if maxflow::max_flow_value(view, d.source, d.target) < d.amount - 1e-9 {
+                    return Ok(false);
+                }
             }
         }
         // Small instances: exact answers are affordable and never
@@ -124,12 +139,17 @@ impl RoutabilityOracle for ConcurrentFlowApprox {
         // a phase or two on comfortably feasible instances. A `false` —
         // including the λ ≈ 1 boundary band — stays a conservative
         // "unroutable".
-        Ok(concurrent::max_concurrent_flow_threshold(
-            view,
-            &active,
-            1.0,
-            self.epsilon,
-        ))
+        let config = ConcurrentFlowConfig {
+            epsilon: self.epsilon,
+            target: Some(1.0),
+            ..Default::default()
+        };
+        let r = concurrent::max_concurrent_flow(view, &active, &config);
+        if r.lambda_lower >= 1.0 {
+            self.threshold_certified.bump();
+            return Ok(true);
+        }
+        Ok(false)
     }
 }
 
@@ -171,6 +191,7 @@ impl SatisfactionOracle for ConcurrentFlowApprox {
         let r = concurrent::max_concurrent_flow(view, &connected, &config);
         if r.lambda_lower >= 1.0 {
             // Every connected demand fits in full.
+            self.threshold_certified.bump();
             return Ok(satisfied);
         }
         // Certified concurrent scaling: λ_lower · d_h is simultaneously
@@ -196,6 +217,7 @@ impl EvalOracle for ConcurrentFlowApprox {
             lp_solves: inner.lp_solves,
             approx_runs: self.approx_runs.get(),
             boundary_fallbacks: self.boundary_fallbacks.get(),
+            threshold_certified: self.threshold_certified.get(),
             ..OracleStats::default()
         }
     }
@@ -252,6 +274,22 @@ mod tests {
         if answer {
             assert!(mcf::routability(&g.view(), &demands).unwrap().is_some());
         }
+    }
+
+    #[test]
+    fn stats_record_which_path_answered() {
+        let g = square();
+        // Force the approximation everywhere: a comfortably feasible
+        // demand must be answered by the threshold certificate, and the
+        // stats must say so.
+        let oracle = ConcurrentFlowApprox::new(0.05).with_fallback_limit(0);
+        assert!(oracle
+            .is_routable(&g.view(), &[Demand::new(g.node(0), g.node(3), 7.0)])
+            .unwrap());
+        let stats = oracle.stats();
+        assert_eq!(stats.approx_runs, 1, "{stats:?}");
+        assert_eq!(stats.threshold_certified, 1, "{stats:?}");
+        assert_eq!(stats.boundary_fallbacks, 0, "{stats:?}");
     }
 
     #[test]

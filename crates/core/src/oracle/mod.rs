@@ -215,6 +215,16 @@ pub struct OracleStats {
     /// instance sat at or below the size threshold where the dense LP is
     /// measurably faster than Garg–Könemann.
     pub boundary_fallbacks: usize,
+    /// Approximation runs that early-terminated on a certificate (λ ≥
+    /// target via explicit-flow congestion or the phase-count bound)
+    /// instead of running the full `O(ε⁻²)` phase schedule. Together with
+    /// [`boundary_fallbacks`](Self::boundary_fallbacks) and
+    /// [`approx_runs`](Self::approx_runs) this records which path — exact
+    /// LP, threshold-certified, or full approximation — answered each
+    /// query: full-schedule runs are
+    /// `approx_runs − threshold_certified`.
+    #[serde(default)]
+    pub threshold_certified: usize,
     /// Memoized answers served ([`Cached`] and [`IncrementalOracle`]).
     pub cache_hits: usize,
     /// Queries that reached the inner backend ([`Cached`] and
@@ -245,6 +255,7 @@ impl OracleStats {
             lp_solves: self.lp_solves + other.lp_solves,
             approx_runs: self.approx_runs + other.approx_runs,
             boundary_fallbacks: self.boundary_fallbacks + other.boundary_fallbacks,
+            threshold_certified: self.threshold_certified + other.threshold_certified,
             cache_hits: self.cache_hits + other.cache_hits,
             cache_misses: self.cache_misses + other.cache_misses,
             warm_start_hits: self.warm_start_hits + other.warm_start_hits,
@@ -312,17 +323,23 @@ pub const DEFAULT_EPSILON: f64 = 0.05;
 /// [`RoutabilityMode::Auto`]'s default, and the approximate backend's
 /// exact-LP fast path, so tuning the crossover stays in one place.
 ///
-/// Recalibrated for the revised-simplex engine from
-/// `BENCH_routability.json` / `BENCH_oracle_fig7.json`: the exact LP is
-/// now ~5× faster across the board (0.78 ms on the Bell routability
-/// query that cost the dense tableau 3.05 ms), while Garg–Könemann's
-/// *worst case* — a near-boundary query that cannot early-terminate and
-/// then answers conservatively — is unchanged. Exact answers therefore
-/// stay affordable roughly two size doublings beyond the dense engine's
-/// 12k crossover, and they never cost the extra repairs a conservative
-/// `false` does. (Clearly-feasible queries above the threshold are still
-/// cheap: the λ ≥ 1 congestion certificate fires within a phase or two.)
-pub const DEFAULT_SIZE_THRESHOLD: usize = 48_000;
+/// Recalibrated from the committed `BENCH_scale.json` time-vs-n sweep
+/// (the previous 48k figure was extrapolated from warm *routability*
+/// re-solves on figure-sized instances and badly overestimated what
+/// exact *satisfaction* queries afford): at the smallest scale point
+/// (n = 1k Barabási–Albert, `|E| · |EH|` = 16,000) one exact
+/// maximum-satisfied-demand LP costs seconds, so a 16-candidate
+/// scheduler frontier blew the campaign per-scenario budget, while the
+/// approximate path serves the same step in milliseconds. The largest
+/// committed point the exact path demonstrably serves in sub-millisecond
+/// time is fig7-sized (≈ 4.5k, `BENCH_lp.json`). The threshold sits at
+/// the geometric middle of that measured band — below the smallest
+/// product where exact answers measured unaffordable, above the largest
+/// where they measured cheap — and `tests/perf_gate.rs` in
+/// `netrec-bench` gates it against the committed data. (Queries above
+/// the threshold stay cheap *and* conservative: clearly-feasible ones
+/// terminate on the λ ≥ 1 congestion certificate within a phase or two.)
+pub const DEFAULT_SIZE_THRESHOLD: usize = 8_000;
 
 impl OracleSpec {
     /// Instantiates the backend on the process default LP engine.

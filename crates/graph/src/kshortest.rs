@@ -54,6 +54,11 @@ pub fn k_shortest_paths<F: Fn(EdgeId) -> f64>(
 
     // Candidate pool: (length, path), deduplicated by edge list.
     let mut candidates: Vec<(f64, Path)> = Vec::new();
+    // Spur scratch, hoisted out of the loops: the spur count across a
+    // run is `k · path-length`, and re-allocating an `n`-sized mask per
+    // spur dominated on large sparse graphs.
+    let mut banned_edges: Vec<EdgeId> = Vec::new();
+    let mut banned_nodes = vec![false; view.node_count()];
 
     while confirmed.len() < k {
         let last = confirmed.last().expect("at least the first path").clone();
@@ -66,7 +71,7 @@ pub fn k_shortest_paths<F: Fn(EdgeId) -> f64>(
 
             // Edges to hide: the next edge of every confirmed path that
             // shares this root.
-            let mut banned_edges: Vec<EdgeId> = Vec::new();
+            banned_edges.clear();
             for p in &confirmed {
                 if p.len() > spur_idx && p.edges()[..spur_idx] == *root_edges {
                     banned_edges.push(p.edges()[spur_idx]);
@@ -74,7 +79,6 @@ pub fn k_shortest_paths<F: Fn(EdgeId) -> f64>(
             }
             // Nodes of the root (except the spur node) are off limits —
             // looplessness.
-            let mut banned_nodes = vec![false; view.node_count()];
             for &n in &last_nodes[..spur_idx] {
                 banned_nodes[n.index()] = true;
             }
@@ -89,6 +93,12 @@ pub fn k_shortest_paths<F: Fn(EdgeId) -> f64>(
                 }
                 metric(e)
             });
+            // Un-mark immediately — the mask is only read by the
+            // dijkstra metric above, and the `continue`s below must
+            // leave it clean for the next spur.
+            for &n in &last_nodes[..spur_idx] {
+                banned_nodes[n.index()] = false;
+            }
             let Some(spur_path) = tree.path_to(t, view) else {
                 continue;
             };

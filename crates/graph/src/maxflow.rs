@@ -89,6 +89,7 @@ impl MaxFlow {
 }
 
 /// Internal arc representation for Dinic.
+#[derive(Default)]
 struct Arcs {
     /// head[a]: node the arc points to.
     head: Vec<u32>,
@@ -105,14 +106,15 @@ struct Arcs {
 const NONE: u32 = u32::MAX;
 
 impl Arcs {
-    fn new(nodes: usize) -> Self {
-        Arcs {
-            head: Vec::new(),
-            next: Vec::new(),
-            first: vec![NONE; nodes],
-            cap: Vec::new(),
-            edge: Vec::new(),
-        }
+    /// Empties the arc lists and re-sizes the per-node heads, keeping
+    /// every allocation for the next solve.
+    fn reset(&mut self, nodes: usize) {
+        self.head.clear();
+        self.next.clear();
+        self.cap.clear();
+        self.edge.clear();
+        self.first.clear();
+        self.first.resize(nodes, NONE);
     }
 
     /// Adds the arc pair (u→v cap `c_uv`, v→u cap `c_vu`); returns the
@@ -169,106 +171,155 @@ pub fn max_flow(view: &View<'_>, source: NodeId, sink: NodeId) -> MaxFlow {
     if source == sink || !view.node_enabled(source) || !view.node_enabled(sink) {
         return flow;
     }
-    let mut arcs = Arcs::new(n);
-    let mut forward_arc_of_edge = vec![NONE; view.edge_count()];
-    for e in view.enabled_edges() {
-        let c = view.capacity(e);
-        if c <= 0.0 {
-            continue;
-        }
-        let (u, v) = view.graph().endpoints(e);
-        forward_arc_of_edge[e.index()] = arcs.add_pair(u, v, c, c, e.index() as u32);
-    }
-
-    let mut level = vec![NONE; n];
-    let mut iter_arc = vec![NONE; n];
-    loop {
-        // BFS to build the level graph on residual arcs.
-        for l in level.iter_mut() {
-            *l = NONE;
-        }
-        level[source.index()] = 0;
-        let mut queue = VecDeque::new();
-        queue.push_back(source.index() as u32);
-        while let Some(u) = queue.pop_front() {
-            let mut a = arcs.first[u as usize];
-            while a != NONE {
-                let v = arcs.head[a as usize];
-                if arcs.cap[a as usize] > 1e-12 && level[v as usize] == NONE {
-                    level[v as usize] = level[u as usize] + 1;
-                    queue.push_back(v);
-                }
-                a = arcs.next[a as usize];
+    SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        s.arcs.reset(n);
+        s.forward_arc_of_edge.clear();
+        s.forward_arc_of_edge.resize(view.edge_count(), NONE);
+        for e in view.enabled_edges() {
+            let c = view.capacity(e);
+            if c <= 0.0 {
+                continue;
             }
+            let (u, v) = view.graph().endpoints(e);
+            s.forward_arc_of_edge[e.index()] = s.arcs.add_pair(u, v, c, c, e.index() as u32);
         }
-        if level[sink.index()] == NONE {
-            break;
-        }
-        iter_arc.copy_from_slice(&arcs.first);
-        // DFS blocking flow.
+
+        s.level.clear();
+        s.level.resize(n, NONE);
+        s.iter_arc.clear();
+        s.iter_arc.resize(n, NONE);
         loop {
-            let pushed = dinic_dfs(
-                &mut arcs,
-                &level,
-                &mut iter_arc,
-                source.index() as u32,
-                sink.index() as u32,
-                f64::INFINITY,
-            );
-            if pushed <= 1e-12 {
+            // BFS to build the level graph on residual arcs.
+            for l in s.level.iter_mut() {
+                *l = NONE;
+            }
+            s.level[source.index()] = 0;
+            s.queue.clear();
+            s.queue.push_back(source.index() as u32);
+            while let Some(u) = s.queue.pop_front() {
+                let mut a = s.arcs.first[u as usize];
+                while a != NONE {
+                    let v = s.arcs.head[a as usize];
+                    if s.arcs.cap[a as usize] > 1e-12 && s.level[v as usize] == NONE {
+                        s.level[v as usize] = s.level[u as usize] + 1;
+                        s.queue.push_back(v);
+                    }
+                    a = s.arcs.next[a as usize];
+                }
+            }
+            if s.level[sink.index()] == NONE {
                 break;
             }
-            flow.value += pushed;
+            s.iter_arc.copy_from_slice(&s.arcs.first);
+            flow.value += blocking_flow(
+                &mut s.arcs,
+                &s.level,
+                &mut s.iter_arc,
+                &mut s.path,
+                source.index() as u32,
+                sink.index() as u32,
+            );
         }
-    }
 
-    // Recover net per-edge flows from residual capacities.
-    for (ei, &a) in forward_arc_of_edge.iter().enumerate() {
-        if a == NONE {
-            continue;
+        // Recover net per-edge flows from residual capacities.
+        for (ei, &a) in s.forward_arc_of_edge.iter().enumerate() {
+            if a == NONE {
+                continue;
+            }
+            let c = view.capacity(EdgeId::new(ei));
+            // forward residual = c - f_uv + f_vu; reverse residual = c - f_vu + f_uv
+            // net u→v flow = (reverse_residual - forward_residual) / 2
+            let net = (s.arcs.cap[(a ^ 1) as usize] - s.arcs.cap[a as usize]) / 2.0;
+            debug_assert!(net.abs() <= c + 1e-6);
+            flow.edge_flow[ei] = net;
         }
-        let c = view.capacity(EdgeId::new(ei));
-        // forward residual = c - f_uv + f_vu; reverse residual = c - f_vu + f_uv
-        // net u→v flow = (reverse_residual - forward_residual) / 2
-        let net = (arcs.cap[(a ^ 1) as usize] - arcs.cap[a as usize]) / 2.0;
-        debug_assert!(net.abs() <= c + 1e-6);
-        flow.edge_flow[ei] = net;
-    }
+    });
     flow
 }
 
-fn dinic_dfs(
+/// Reusable per-thread Dinic state. Hot paths — the approx oracle's
+/// per-demand prechecks, ISP's Decision-1 denominators, Theorem-3 prunes
+/// — run thousands of max-flow solves over same-shaped graphs; recycling
+/// the arc arrays and traversal buffers makes each solve allocation-free
+/// after the first call on a thread.
+#[derive(Default)]
+struct DinicScratch {
+    arcs: Arcs,
+    forward_arc_of_edge: Vec<u32>,
+    level: Vec<u32>,
+    iter_arc: Vec<u32>,
+    queue: VecDeque<u32>,
+    /// DFS path of the iterative blocking flow, as arc indices.
+    path: Vec<u32>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<DinicScratch> =
+        std::cell::RefCell::new(DinicScratch::default());
+}
+
+/// One Dinic phase: finds a blocking flow in the level graph with an
+/// explicit-stack DFS (`path` holds the current arc chain), so 100k-node
+/// topologies cannot overflow the call stack. Returns the total value
+/// pushed this phase.
+fn blocking_flow(
     arcs: &mut Arcs,
     level: &[u32],
     iter_arc: &mut [u32],
-    u: u32,
+    path: &mut Vec<u32>,
+    source: u32,
     sink: u32,
-    limit: f64,
 ) -> f64 {
-    if u == sink {
-        return limit;
-    }
-    while iter_arc[u as usize] != NONE {
+    let mut total = 0.0;
+    path.clear();
+    loop {
+        let u = match path.last() {
+            Some(&a) => arcs.head[a as usize],
+            None => source,
+        };
+        if u == sink {
+            // Augment by the path bottleneck, then retreat to the first
+            // saturated arc (everything before it stays usable).
+            let mut limit = f64::INFINITY;
+            for &a in path.iter() {
+                limit = limit.min(arcs.cap[a as usize]);
+            }
+            for &a in path.iter() {
+                arcs.cap[a as usize] -= limit;
+                arcs.cap[(a ^ 1) as usize] += limit;
+            }
+            total += limit;
+            // The bottleneck arc's residual is exactly zero (x − x = 0),
+            // so a saturated prefix cut always exists.
+            let cut = path
+                .iter()
+                .position(|&a| arcs.cap[a as usize] <= 1e-12)
+                .unwrap_or(path.len().saturating_sub(1));
+            path.truncate(cut);
+            continue;
+        }
         let a = iter_arc[u as usize];
+        if a == NONE {
+            // u is exhausted: retreat, advancing the parent past the
+            // arc that led here.
+            match path.pop() {
+                Some(last) => {
+                    let parent = arcs.head[(last ^ 1) as usize];
+                    iter_arc[parent as usize] = arcs.next[last as usize];
+                }
+                None => break,
+            }
+            continue;
+        }
         let v = arcs.head[a as usize];
         if arcs.cap[a as usize] > 1e-12 && level[v as usize] == level[u as usize] + 1 {
-            let pushed = dinic_dfs(
-                arcs,
-                level,
-                iter_arc,
-                v,
-                sink,
-                limit.min(arcs.cap[a as usize]),
-            );
-            if pushed > 1e-12 {
-                arcs.cap[a as usize] -= pushed;
-                arcs.cap[(a ^ 1) as usize] += pushed;
-                return pushed;
-            }
+            path.push(a);
+        } else {
+            iter_arc[u as usize] = arcs.next[a as usize];
         }
-        iter_arc[u as usize] = arcs.next[a as usize];
     }
-    0.0
+    total
 }
 
 /// Maximum flow value only (convenience wrapper over [`max_flow`]).

@@ -126,8 +126,13 @@ pub fn max_concurrent_flow(
     // a second certified lower bound `k / μ` that certifies thresholds
     // hundreds of phases before the classical `k / scale` bound does.
     let mut flow = vec![0.0f64; view.edge_count()];
-    // D(l) = Σ l(e)·c(e); starts at δ·m < 1.
-    let d_of = |length: &[f64]| -> f64 {
+    // D(l) = Σ l(e)·c(e); starts at δ·m < 1. Maintained *incrementally*:
+    // an augmentation multiplies l(e) by (1 + ε·f/c), so the term l·c
+    // grows by exactly l·ε·f — an O(1) update per touched edge instead of
+    // the O(m) full re-sum the termination check used to pay on every
+    // shortest-path iteration. The exact re-sum runs once per phase to
+    // keep floating-point drift bounded by the phase count.
+    let recompute_d = |length: &[f64]| -> f64 {
         view.enabled_edges()
             .map(|e| {
                 let l = length[e.index()];
@@ -139,6 +144,7 @@ pub fn max_concurrent_flow(
             })
             .sum()
     };
+    let mut d = recompute_d(&length);
     let congestion_bound = |flow: &[f64], phases: usize| -> f64 {
         let mu = view
             .enabled_edges()
@@ -151,16 +157,16 @@ pub fn max_concurrent_flow(
         }
     };
 
-    'outer: while d_of(&length) < 1.0 && phases < config.max_phases {
-        for d in &active {
-            let mut remaining = d.amount;
+    'outer: while d < 1.0 && phases < config.max_phases {
+        for dem in &active {
+            let mut remaining = dem.amount;
             while remaining > 1e-12 {
-                if d_of(&length) >= 1.0 {
+                if d >= 1.0 {
                     break 'outer;
                 }
                 iterations += 1;
-                let tree = dijkstra::dijkstra(view, d.source, |e| length[e.index()]);
-                let Some(path) = tree.path_to(d.target, view) else {
+                let tree = dijkstra::dijkstra(view, dem.source, |e| length[e.index()]);
+                let Some(path) = tree.path_to(dem.target, view) else {
                     // Disconnected demand: λ* = 0.
                     return zero_flow();
                 };
@@ -175,13 +181,16 @@ pub fn max_concurrent_flow(
                 let f = remaining.min(bottleneck);
                 for &e in path.edges() {
                     let c = view.capacity(e);
-                    length[e.index()] *= 1.0 + eps * f / c;
+                    let l = length[e.index()];
+                    d += l * eps * f;
+                    length[e.index()] = l * (1.0 + eps * f / c);
                     flow[e.index()] += f;
                 }
                 remaining -= f;
             }
         }
         phases += 1;
+        d = recompute_d(&length);
         if let Some(target) = config.target {
             // Either certificate suffices: the classical phase-count
             // bound, or the explicit-flow congestion bound (much

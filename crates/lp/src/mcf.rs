@@ -854,6 +854,12 @@ impl WarmRoutability {
     pub fn has_basis(&self) -> bool {
         self.solver.is_warm()
     }
+
+    /// Overrides the pricing strategy for subsequent solves (see
+    /// [`revised::WarmSolver::set_pricing`]).
+    pub fn set_pricing(&mut self, pricing: revised::Pricing) {
+        self.solver.set_pricing(pricing);
+    }
 }
 
 /// The maximum-satisfied-demand LP with **fixed structure**, re-solvable
@@ -948,6 +954,12 @@ impl WarmMaxSatisfied {
             satisfied[i] = sol.value(self.t[k]);
         }
         Ok(satisfied)
+    }
+
+    /// Overrides the pricing strategy for subsequent solves (see
+    /// [`revised::WarmSolver::set_pricing`]).
+    pub fn set_pricing(&mut self, pricing: revised::Pricing) {
+        self.solver.set_pricing(pricing);
     }
 }
 

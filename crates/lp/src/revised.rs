@@ -17,9 +17,14 @@
 //!   eta file: refactorization pivots the basis columns in
 //!   sparsity-preserving order (network bases are near-triangular, so
 //!   fill-in stays tiny) and every simplex pivot appends one eta;
-//!   FTRAN/BTRAN apply the file forward/backward. The file is rebuilt
-//!   every `REFACTOR_INTERVAL` (96) pivots, which also resets
-//!   accumulated floating-point drift.
+//!   FTRAN/BTRAN apply the file forward/backward. Growth of the file is
+//!   bounded **adaptively**: a rebuild triggers when the accumulated eta
+//!   nonzeros exceed a fixed multiple of the refactored base size, when
+//!   several dense transformed pivot columns signal fill-in, or — as a
+//!   drift backstop — after `REFACTOR_INTERVAL` (96) pivots, whichever
+//!   comes first. The same budget governs eta files carried across
+//!   [`WarmSolver`] patch sequences, so the inverse representation stays
+//!   compact no matter how many re-solves reuse it.
 //! * **Warm starts** — a [`Basis`] snapshot (one status byte per column
 //!   plus a structural fingerprint) can prime the next solve. A
 //!   dual-feasible basis (the common case after an RHS/capacity patch or
@@ -29,7 +34,13 @@
 //!   no longer matches the LP's structure is simply discarded — a stale
 //!   basis can cost time, never correctness.
 //!
-//! Pricing is Dantzig (most-negative reduced cost) with an automatic
+//! Pricing is **devex** (reference-framework weights, Forrest–Goldfarb
+//! update) over a **partial candidate list**: each iteration prices only
+//! the ~√n columns of the current list, refilled by a cyclic scan when it
+//! runs dry — a full wrap that finds no violator proves optimality, so
+//! partial pricing never changes answers, only which violator enters.
+//! The classic Dantzig full scan is kept behind
+//! `NETREC_LP_PRICING=dantzig` (see [`Pricing`]) and both strategies
 //! switch to Bland's rule under sustained degeneracy, mirroring the
 //! dense engine's anti-cycling guarantee.
 
@@ -45,10 +56,24 @@ const FEAS_TOL: f64 = 1e-7;
 const DUAL_TOL: f64 = 1e-7;
 /// Entries below this are dropped from eta vectors.
 const DROP_TOL: f64 = 1e-12;
-/// Pivots between refactorizations of the eta file.
+/// Pivot-count backstop between refactorizations. The adaptive nonzero
+/// and density triggers below usually fire first on instances that fill
+/// in; this cap bounds accumulated floating-point drift regardless.
 const REFACTOR_INTERVAL: usize = 96;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 const DEGENERATE_LIMIT: usize = 400;
+/// Eta-file nonzero budget: refactorize once the file holds more than
+/// `ETA_NNZ_FACTOR × (base factorization nonzeros + m)` entries. The
+/// `+ m` floor keeps tiny instances from refactorizing every pivot.
+const ETA_NNZ_FACTOR: usize = 4;
+/// A transformed pivot column carrying more than `m / DENSE_COL_DIVISOR`
+/// nonzeros counts as dense — evidence the inverse representation is
+/// filling in.
+const DENSE_COL_DIVISOR: usize = 4;
+/// Dense transformed pivot columns tolerated before refactorizing.
+const DENSE_PIVOT_LIMIT: usize = 4;
+/// Devex weights above this trigger a reference-framework reset.
+const GAMMA_RESET: f64 = 1e8;
 
 /// Where a column currently sits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -219,6 +244,38 @@ struct Engine<'i> {
     etas: Vec<Eta>,
     /// Eta count right after the last refactorization.
     base_etas: usize,
+    /// Nonzeros currently held by the eta file (pivot + off-pivot).
+    eta_nnz: usize,
+    /// Eta-file nonzeros right after the last refactorization.
+    base_nnz: usize,
+    /// Dense transformed pivot columns since the last refactorization.
+    dense_pivots: usize,
+    /// Refactorizations performed by this engine (diagnostics).
+    refactorizations: usize,
+    /// Largest eta-file nonzero count ever observed at a trigger check.
+    peak_eta_nnz: usize,
+    /// Nonzero budget in force when the peak was recorded.
+    peak_eta_budget: usize,
+    /// Entering-column pricing strategy.
+    pricing: Pricing,
+    /// Devex reference weights, one per column (all 1 at a framework
+    /// reset; only nonbasic entries are meaningful).
+    gamma: Vec<f64>,
+    /// Partial-pricing candidate list (columns last seen violating).
+    candidates: Vec<usize>,
+    /// Cyclic cursor of the candidate-list refill scan.
+    scan_pos: usize,
+    /// Forces the full Dantzig scan regardless of `pricing`. Set inside
+    /// composite phase 1: its gradient changes with every pivot, and a
+    /// myopic ~√n candidate window was measured to inflate phase-1
+    /// pivot counts by 20–50× on feasibility-only MCF instances (the
+    /// candidates offer only tiny or degenerate infeasibility
+    /// reductions while the globally best column sits outside the
+    /// window). Devex partial pricing applies to phase 2, whose fixed
+    /// objective is what the reference framework assumes.
+    full_pricing: bool,
+    /// Scratch for the devex pivotal row BTRAN.
+    rho: Vec<f64>,
     /// Total pivots since construction (drives the iteration limit).
     pivots: usize,
     /// Consecutive degenerate pivots (drives the Bland switch).
@@ -240,10 +297,89 @@ fn degenerate_limit() -> usize {
         .unwrap_or(DEGENERATE_LIMIT)
 }
 
+/// Entering-column pricing strategy of the primal phases.
+///
+/// Both strategies select among dual-violating columns only, so they
+/// reach the same optimum — the choice affects pivot counts and
+/// per-iteration cost, never answers. Bland's anti-cycling rule
+/// overrides either strategy while engaged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Pricing {
+    /// Devex reference-framework pricing over a partial candidate list:
+    /// per iteration only ~√n candidates are priced, and the entering
+    /// column maximizes `d_j² / γ_j` over steepest-edge-approximating
+    /// weights γ. The default — full-scan pricing is the asymptotic
+    /// bottleneck on 10k–100k-node flow LPs.
+    #[default]
+    Devex,
+    /// Classic Dantzig pricing: full scan, most-violated reduced cost.
+    /// Kept for differential testing and as a diagnostic baseline
+    /// (`NETREC_LP_PRICING=dantzig`).
+    Dantzig,
+}
+
+/// Pricing strategy from the `NETREC_LP_PRICING` environment variable:
+/// `dantzig` restores the full-scan baseline, anything else (including
+/// unset) selects devex.
+pub fn pricing_from_env() -> Pricing {
+    match std::env::var("NETREC_LP_PRICING") {
+        Ok(v) if v.eq_ignore_ascii_case("dantzig") => Pricing::Dantzig,
+        _ => Pricing::Devex,
+    }
+}
+
+/// Partial-pricing candidate list size: ~√n keeps the per-iteration
+/// pricing cost sublinear while the list typically survives several
+/// pivots between cyclic refill scans.
+fn partial_list_cap(n: usize) -> usize {
+    ((n as f64).sqrt() as usize).clamp(16, 2048).min(n.max(1))
+}
+
 impl<'i> Engine<'i> {
+    /// Shared constructor: wires up an engine around a given basis/eta
+    /// state, recomputing the eta nonzero counters from the file itself
+    /// (so resumed files fall under the same growth budget as fresh
+    /// ones).
+    fn with_state(
+        inst: &'i Instance,
+        status: Vec<VarStatus>,
+        basis: Vec<usize>,
+        etas: Vec<Eta>,
+        base_etas: usize,
+        pricing: Pricing,
+    ) -> Engine<'i> {
+        let base_nnz: usize = etas[..base_etas].iter().map(|e| e.entries.len() + 1).sum();
+        let update_nnz: usize = etas[base_etas..].iter().map(|e| e.entries.len() + 1).sum();
+        Engine {
+            inst,
+            status,
+            basis,
+            xb: vec![0.0; inst.m],
+            etas,
+            base_etas,
+            eta_nnz: base_nnz + update_nnz,
+            base_nnz,
+            dense_pivots: 0,
+            refactorizations: 0,
+            peak_eta_nnz: 0,
+            peak_eta_budget: 0,
+            pricing,
+            gamma: vec![1.0; inst.n],
+            candidates: Vec::new(),
+            scan_pos: 0,
+            full_pricing: false,
+            rho: Vec::new(),
+            pivots: 0,
+            degenerate_run: 0,
+            degenerate_limit: degenerate_limit(),
+            bland: false,
+            bland_engaged: false,
+        }
+    }
+
     /// A cold engine: all-logical basis, structural variables at their
     /// (finite) lower bound.
-    fn cold(inst: &'i Instance) -> Engine<'i> {
+    fn cold(inst: &'i Instance, pricing: Pricing) -> Engine<'i> {
         let mut status = Vec::with_capacity(inst.n);
         for j in 0..inst.n_struct {
             // `add_var` guarantees a finite lower bound.
@@ -254,19 +390,7 @@ impl<'i> Engine<'i> {
             status.push(VarStatus::Basic);
         }
         let basis: Vec<usize> = (0..inst.m).map(|i| inst.n_struct + i).collect();
-        let mut e = Engine {
-            inst,
-            status,
-            basis,
-            xb: vec![0.0; inst.m],
-            etas: Vec::new(),
-            base_etas: 0,
-            pivots: 0,
-            degenerate_run: 0,
-            degenerate_limit: degenerate_limit(),
-            bland: false,
-            bland_engaged: false,
-        };
+        let mut e = Engine::with_state(inst, status, basis, Vec::new(), 0, pricing);
         e.compute_xb();
         e
     }
@@ -274,7 +398,7 @@ impl<'i> Engine<'i> {
     /// Tries to install a warm basis; returns `None` when the snapshot
     /// cannot produce a usable (non-singular, consistently-bounded)
     /// starting point, in which case the caller cold-starts.
-    fn warm(inst: &'i Instance, basis: &Basis) -> Option<Engine<'i>> {
+    fn warm(inst: &'i Instance, basis: &Basis, pricing: Pricing) -> Option<Engine<'i>> {
         if basis.status.len() != inst.n {
             return None;
         }
@@ -303,19 +427,7 @@ impl<'i> Engine<'i> {
         if basic_cols.len() != inst.m {
             return None;
         }
-        let mut e = Engine {
-            inst,
-            status,
-            basis: basic_cols,
-            xb: vec![0.0; inst.m],
-            etas: Vec::new(),
-            base_etas: 0,
-            pivots: 0,
-            degenerate_run: 0,
-            degenerate_limit: degenerate_limit(),
-            bland: false,
-            bland_engaged: false,
-        };
+        let mut e = Engine::with_state(inst, status, basic_cols, Vec::new(), 0, pricing);
         if !e.refactorize() {
             return None;
         }
@@ -325,21 +437,18 @@ impl<'i> Engine<'i> {
 
     /// Resumes from a [`SavedState`] whose eta file is still valid (the
     /// basis did not change since it was saved — RHS and bound patches
-    /// keep `B` intact). Only `x_B` needs recomputing.
-    fn resume(inst: &'i Instance, saved: SavedState) -> Engine<'i> {
-        let mut e = Engine {
+    /// keep `B` intact). Only `x_B` needs recomputing; the inherited eta
+    /// file re-enters the adaptive growth budget, so a long patch
+    /// sequence keeps compacting through the usual triggers.
+    fn resume(inst: &'i Instance, saved: SavedState, pricing: Pricing) -> Engine<'i> {
+        let mut e = Engine::with_state(
             inst,
-            status: saved.status,
-            basis: saved.basis,
-            xb: vec![0.0; inst.m],
-            etas: saved.etas,
-            base_etas: saved.base_etas,
-            pivots: 0,
-            degenerate_run: 0,
-            degenerate_limit: degenerate_limit(),
-            bland: false,
-            bland_engaged: false,
-        };
+            saved.status,
+            saved.basis,
+            saved.etas,
+            saved.base_etas,
+            pricing,
+        );
         // Bound patches may have moved a nonbasic column's pinned bound
         // to infinity: re-pin it to the finite side.
         for j in 0..inst.n {
@@ -412,7 +521,10 @@ impl<'i> Engine<'i> {
         }
     }
 
-    /// Appends the eta of pivoting transformed column `w` in at row `p`.
+    /// Appends the eta of pivoting transformed column `w` in at row `p`,
+    /// feeding the adaptive refactorization triggers: the file's nonzero
+    /// count grows by the eta size, and a dense transformed column
+    /// (fill-in evidence) bumps the density counter.
     fn push_eta(&mut self, p: usize, w: &[f64]) {
         let entries: Vec<(usize, f64)> = w
             .iter()
@@ -420,6 +532,11 @@ impl<'i> Engine<'i> {
             .filter(|&(i, &x)| i != p && x.abs() > DROP_TOL)
             .map(|(i, &x)| (i, x))
             .collect();
+        let nnz = entries.len() + 1;
+        self.eta_nnz += nnz;
+        if nnz > self.inst.m / DENSE_COL_DIVISOR + 1 {
+            self.dense_pivots += 1;
+        }
         self.etas.push(Eta {
             pivot: p,
             pivot_val: w[p],
@@ -433,6 +550,7 @@ impl<'i> Engine<'i> {
     /// if the basis is singular beyond repair by logical substitution.
     fn refactorize(&mut self) -> bool {
         self.etas.clear();
+        self.eta_nnz = 0;
         let m = self.inst.m;
         let mut cols: Vec<usize> = self.basis.clone();
         cols.sort_unstable_by_key(|&j| (self.inst.a.col_nnz(j), j));
@@ -504,6 +622,12 @@ impl<'i> Engine<'i> {
         }
         self.basis = new_basis;
         self.base_etas = self.etas.len();
+        self.base_nnz = self.eta_nnz;
+        self.dense_pivots = 0;
+        self.refactorizations += 1;
+        // A repaired refactorization may have swapped basis members, so
+        // candidate membership is stale; values are re-priced anyway.
+        self.candidates.clear();
         true
     }
 
@@ -522,9 +646,32 @@ impl<'i> Engine<'i> {
         self.xb = r;
     }
 
-    /// Refactorizes when the eta file has grown past the interval.
+    /// Nonzero budget of the eta file: a multiple of the refactored base
+    /// size plus an `m` floor. Exceeding it means the update etas carry
+    /// more data than a fresh factorization would — refactorizing is
+    /// then cheaper than dragging the file through every FTRAN/BTRAN.
+    fn eta_budget(&self) -> usize {
+        ETA_NNZ_FACTOR * (self.base_nnz + self.inst.m)
+    }
+
+    /// Whether any adaptive trigger (nonzero budget, transformed-column
+    /// density, pivot-count backstop) demands a refactorization.
+    fn needs_refactorize(&self) -> bool {
+        self.eta_nnz > self.eta_budget()
+            || self.dense_pivots >= DENSE_PIVOT_LIMIT
+            || self.etas.len() > self.base_etas + REFACTOR_INTERVAL
+    }
+
+    /// Refactorizes when an adaptive trigger fires. Called once per
+    /// simplex iteration, so between checks the file grows by at most
+    /// one eta (≤ m + 1 nonzeros) — the invariant the regression tests
+    /// assert via [`SolveStats::peak_eta_nnz`].
     fn maybe_refactorize(&mut self) -> Result<(), LpError> {
-        if self.etas.len() > self.base_etas + REFACTOR_INTERVAL {
+        if self.eta_nnz > self.peak_eta_nnz {
+            self.peak_eta_nnz = self.eta_nnz;
+            self.peak_eta_budget = self.eta_budget();
+        }
+        if self.needs_refactorize() {
             if !self.refactorize() {
                 return Err(LpError::IterationLimit);
             }
@@ -567,31 +714,170 @@ impl<'i> Engine<'i> {
         }
     }
 
-    /// Picks the entering column among eligible nonbasic columns, or
-    /// `None` at (phase) optimality.
-    fn choose_entering(&self, d: &[f64]) -> Option<usize> {
+    /// Whether column `j` is eligible to enter (nonbasic, non-fixed).
+    #[inline]
+    fn priceable(&self, j: usize) -> bool {
+        self.status[j] != VarStatus::Basic && self.inst.ub[j] - self.inst.lb[j] > 0.0
+    }
+
+    /// Dual violation of nonbasic column `j` under simplex multipliers
+    /// `y`: positive iff moving `j` off its bound improves the phase
+    /// objective.
+    #[inline]
+    fn violation(&self, j: usize, costs: &[f64], y: &[f64]) -> f64 {
+        let dj = costs[j] - self.inst.a.col_dot(j, y);
+        match self.status[j] {
+            VarStatus::AtLower => -dj,
+            VarStatus::AtUpper => dj,
+            VarStatus::Basic => unreachable!("basic column priced"),
+        }
+    }
+
+    /// Prices the nonbasic columns and picks the entering column, or
+    /// `None` at (phase) optimality. `costs` is the phase cost vector,
+    /// `cb` its restriction to the basis, `y` a reusable `m`-scratch.
+    ///
+    /// Under [`Pricing::Devex`] only the partial candidate list is
+    /// priced; when it runs dry, a cyclic scan refills it with up to
+    /// ~√n violating columns. Optimality is only ever declared after a
+    /// full wrap finds no violator, so partial pricing never changes
+    /// answers. [`Pricing::Dantzig`], the Bland anti-cycling fallback,
+    /// and composite phase 1 (`full_pricing`) scan every column.
+    fn price(&mut self, cb: &[f64], costs: &[f64], y: &mut Vec<f64>) -> Option<usize> {
+        y.clear();
+        y.extend_from_slice(cb);
+        self.btran(y);
+        let n = self.inst.n;
+        if self.bland {
+            // Lowest-index violating column — Bland's rule needs the
+            // full scan to keep its termination guarantee.
+            return (0..n).find(|&j| self.priceable(j) && self.violation(j, costs, y) > DUAL_TOL);
+        }
+        if self.pricing == Pricing::Dantzig || self.full_pricing {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n {
+                if !self.priceable(j) {
+                    continue;
+                }
+                let viol = self.violation(j, costs, y);
+                if viol <= DUAL_TOL {
+                    continue;
+                }
+                match best {
+                    Some((_, bv)) if bv >= viol => {}
+                    _ => best = Some((j, viol)),
+                }
+            }
+            return best.map(|(j, _)| j);
+        }
+        // Devex: re-price the candidate list, dropping clean columns.
+        let mut cands = std::mem::take(&mut self.candidates);
         let mut best: Option<(usize, f64)> = None;
-        for (j, &dj) in d.iter().enumerate().take(self.inst.n) {
-            if self.status[j] == VarStatus::Basic || self.inst.ub[j] - self.inst.lb[j] <= 0.0 {
-                continue;
+        cands.retain(|&j| {
+            if !self.priceable(j) {
+                return false;
             }
-            let viol = match self.status[j] {
-                VarStatus::AtLower => -dj,
-                VarStatus::AtUpper => dj,
-                VarStatus::Basic => unreachable!(),
-            };
+            let viol = self.violation(j, costs, y);
             if viol <= DUAL_TOL {
+                return false;
+            }
+            let score = viol * viol / self.gamma[j];
+            if best.is_none_or(|(_, bs)| score > bs) {
+                best = Some((j, score));
+            }
+            true
+        });
+        if best.is_none() {
+            // List ran dry: cyclic refill. Stopping early once the list
+            // is full keeps the scan amortized; a full wrap that finds
+            // nothing is the optimality certificate.
+            cands.clear();
+            let cap = partial_list_cap(n);
+            let mut pos = if n == 0 { 0 } else { self.scan_pos % n };
+            for _ in 0..n {
+                let j = pos;
+                pos += 1;
+                if pos == n {
+                    pos = 0;
+                }
+                if !self.priceable(j) {
+                    continue;
+                }
+                let viol = self.violation(j, costs, y);
+                if viol <= DUAL_TOL {
+                    continue;
+                }
+                let score = viol * viol / self.gamma[j];
+                if best.is_none_or(|(_, bs)| score > bs) {
+                    best = Some((j, score));
+                }
+                cands.push(j);
+                if cands.len() >= cap {
+                    break;
+                }
+            }
+            self.scan_pos = pos;
+        }
+        self.candidates = cands;
+        best.map(|(j, _)| j)
+    }
+
+    /// Resets the devex reference framework: all weights to 1, candidate
+    /// list emptied. Run at every phase start (the phase objective
+    /// defines the framework) and whenever a weight overflows.
+    fn reset_devex(&mut self) {
+        for g in self.gamma.iter_mut() {
+            *g = 1.0;
+        }
+        self.candidates.clear();
+    }
+
+    /// Devex weight maintenance for one basis change (Forrest–Goldfarb):
+    /// with entering column `q` pivoting in at row `p` of transformed
+    /// column `w`, every candidate's weight rises to the estimate implied
+    /// by the pivotal row, and the leaving column re-enters the nonbasic
+    /// pool carrying the transferred weight. Must run *before* the pivot
+    /// is applied — it reads the pre-pivot basis and eta file.
+    fn devex_update(&mut self, q: usize, p: usize, w: &[f64]) {
+        let alpha_p = w[p];
+        if alpha_p.abs() <= PIVOT_TOL {
+            return;
+        }
+        let gamma_q = self.gamma[q].max(1.0);
+        let inv = 1.0 / alpha_p;
+        let mut rho = std::mem::take(&mut self.rho);
+        rho.clear();
+        rho.resize(self.inst.m, 0.0);
+        rho[p] = 1.0;
+        self.btran(&mut rho);
+        let mut overflow = false;
+        let cands = std::mem::take(&mut self.candidates);
+        for &j in &cands {
+            if j == q || self.status[j] == VarStatus::Basic {
                 continue;
             }
-            if self.bland {
-                return Some(j);
+            let alpha_j = self.inst.a.col_dot(j, &rho);
+            if alpha_j == 0.0 {
+                continue;
             }
-            match best {
-                Some((_, bv)) if bv >= viol => {}
-                _ => best = Some((j, viol)),
+            let est = (alpha_j * inv) * (alpha_j * inv) * gamma_q;
+            if est > self.gamma[j] {
+                self.gamma[j] = est;
+            }
+            overflow |= self.gamma[j] > GAMMA_RESET;
+        }
+        self.candidates = cands;
+        let leaving = self.basis[p];
+        self.gamma[leaving] = (gamma_q * inv * inv).max(1.0);
+        overflow |= self.gamma[leaving] > GAMMA_RESET;
+        self.rho = rho;
+        if overflow {
+            // Framework reset: weights back to 1. The candidate list
+            // stays — its members are re-priced next iteration anyway.
+            for g in self.gamma.iter_mut() {
+                *g = 1.0;
             }
         }
-        best.map(|(j, _)| j)
     }
 
     /// The primal ratio test. Returns `(t, blocker)` where `blocker` is
@@ -687,6 +973,9 @@ impl<'i> Engine<'i> {
                 self.note_pivot(t);
             }
             Some((p, hit)) => {
+                if self.pricing == Pricing::Devex && !self.bland && !self.full_pricing {
+                    self.devex_update(q, p, w);
+                }
                 let enter_val = self.nonbasic_value(q) + dir * t;
                 for (i, &wi) in w.iter().enumerate() {
                     if i != p && wi != 0.0 {
@@ -726,12 +1015,23 @@ impl<'i> Engine<'i> {
 
     /// Composite phase 1: minimizes the sum of bound violations of the
     /// basic variables until primal feasible or provably infeasible.
+    ///
+    /// Prices with the full scan under every strategy (see
+    /// `full_pricing`).
     fn phase1(&mut self) -> Result<Phase1Exit, LpError> {
+        self.full_pricing = true;
+        let exit = self.phase1_composite();
+        self.full_pricing = false;
+        exit
+    }
+
+    fn phase1_composite(&mut self) -> Result<Phase1Exit, LpError> {
         let limit = self.pivot_limit();
         let zero_costs = vec![0.0; self.inst.n];
         let mut cb = vec![0.0; self.inst.m];
-        let mut d = vec![0.0; self.inst.n];
+        let mut y = Vec::with_capacity(self.inst.m);
         let mut w = vec![0.0; self.inst.m];
+        self.reset_devex();
         loop {
             if self.pivots >= limit {
                 return Err(LpError::IterationLimit);
@@ -741,8 +1041,7 @@ impl<'i> Engine<'i> {
             if total <= 1e-7 {
                 return Ok(Phase1Exit::Feasible);
             }
-            self.reduced_costs(&cb, &zero_costs, &mut d);
-            let Some(q) = self.choose_entering(&d) else {
+            let Some(q) = self.price(&cb, &zero_costs, &mut y) else {
                 return Ok(Phase1Exit::Infeasible);
             };
             let dir = match self.status[q] {
@@ -773,9 +1072,11 @@ impl<'i> Engine<'i> {
     /// Primal simplex on the real costs from a feasible basis.
     fn phase2(&mut self) -> Result<PrimalExit, LpError> {
         let limit = self.pivot_limit();
-        let mut cb = vec![0.0; self.inst.m];
-        let mut d = vec![0.0; self.inst.n];
-        let mut w = vec![0.0; self.inst.m];
+        let inst = self.inst;
+        let mut cb = vec![0.0; inst.m];
+        let mut y = Vec::with_capacity(inst.m);
+        let mut w = vec![0.0; inst.m];
+        self.reset_devex();
         loop {
             if self.pivots >= limit {
                 return Err(LpError::IterationLimit);
@@ -795,10 +1096,9 @@ impl<'i> Engine<'i> {
                 }
             }
             for (i, c) in cb.iter_mut().enumerate() {
-                *c = self.inst.cost[self.basis[i]];
+                *c = inst.cost[self.basis[i]];
             }
-            self.reduced_costs(&cb, &self.inst.cost, &mut d);
-            let Some(q) = self.choose_entering(&d) else {
+            let Some(q) = self.price(&cb, &inst.cost, &mut y) else {
                 return Ok(PrimalExit::Optimal);
             };
             let dir = match self.status[q] {
@@ -1000,6 +1300,9 @@ impl<'i> Engine<'i> {
             pivots: self.pivots,
             warm_started,
             bland_engaged: self.bland_engaged,
+            refactorizations: self.refactorizations,
+            peak_eta_nnz: self.peak_eta_nnz,
+            eta_budget: self.peak_eta_budget,
         }
     }
 }
@@ -1013,6 +1316,15 @@ pub struct SolveStats {
     pub warm_started: bool,
     /// Whether the Bland anti-cycling fallback ever engaged.
     pub bland_engaged: bool,
+    /// Eta-file rebuilds (adaptive triggers + warm-install rebuilds).
+    pub refactorizations: usize,
+    /// Largest eta-file nonzero count observed at a trigger check.
+    pub peak_eta_nnz: usize,
+    /// Nonzero budget in force when that peak was recorded. The growth
+    /// invariant is `peak_eta_nnz ≤ eta_budget + m + 1`: the check runs
+    /// once per iteration, and one pivot appends at most `m + 1`
+    /// nonzeros past the budget before the next check compacts the file.
+    pub eta_budget: usize,
 }
 
 /// Saved engine state carried between [`WarmSolver`] solves: the basis
@@ -1040,6 +1352,7 @@ pub struct WarmSolver {
     lp: LpProblem,
     inst: Instance,
     state: Option<SavedState>,
+    pricing: Pricing,
 }
 
 impl std::fmt::Debug for WarmSolver {
@@ -1053,14 +1366,23 @@ impl std::fmt::Debug for WarmSolver {
 }
 
 impl WarmSolver {
-    /// Captures `lp` (structure fixed from here on).
+    /// Captures `lp` (structure fixed from here on). Pricing follows
+    /// `NETREC_LP_PRICING`; see [`WarmSolver::set_pricing`].
     pub fn new(lp: LpProblem) -> WarmSolver {
         let inst = Instance::build(&lp);
         WarmSolver {
             lp,
             inst,
             state: None,
+            pricing: pricing_from_env(),
         }
+    }
+
+    /// Overrides the pricing strategy for subsequent solves (benchmarks
+    /// and differential tests pick explicitly to avoid environment
+    /// races; production callers keep the env-derived default).
+    pub fn set_pricing(&mut self, pricing: Pricing) {
+        self.pricing = pricing;
     }
 
     /// Patches the right-hand side of constraint `row`.
@@ -1100,8 +1422,8 @@ impl WarmSolver {
     pub fn solve(&mut self) -> Result<LpSolution, LpError> {
         let resumed = self.state.is_some();
         let mut engine = match self.state.take() {
-            Some(saved) => Engine::resume(&self.inst, saved),
-            None => Engine::cold(&self.inst),
+            Some(saved) => Engine::resume(&self.inst, saved, self.pricing),
+            None => Engine::cold(&self.inst, self.pricing),
         };
         let solution = run_phases(&mut engine, &self.lp, resumed)?;
         self.state = Some(engine.save());
@@ -1147,6 +1469,17 @@ pub fn solve(lp: &LpProblem) -> Result<LpSolution, LpError> {
     solve_warm(lp, None).map(|ws| ws.solution)
 }
 
+/// Solves `lp` with an explicit [`Pricing`] strategy, bypassing the
+/// `NETREC_LP_PRICING` environment default. Differential tests use this
+/// to compare devex against Dantzig without environment races.
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] on pivot-limit exhaustion.
+pub fn solve_with(lp: &LpProblem, pricing: Pricing) -> Result<LpSolution, LpError> {
+    solve_warm_with(lp, None, pricing).map(|ws| ws.solution)
+}
+
 /// Solves `lp`, optionally warm-starting from a previous [`Basis`].
 ///
 /// A structurally mismatched (or numerically singular) basis is ignored
@@ -1157,6 +1490,20 @@ pub fn solve(lp: &LpProblem) -> Result<LpSolution, LpError> {
 ///
 /// Returns [`LpError::IterationLimit`] on pivot-limit exhaustion.
 pub fn solve_warm(lp: &LpProblem, warm: Option<&Basis>) -> Result<WarmSolve, LpError> {
+    solve_warm_with(lp, warm, pricing_from_env())
+}
+
+/// [`solve_warm`] with an explicit [`Pricing`] strategy instead of the
+/// `NETREC_LP_PRICING` environment default.
+///
+/// # Errors
+///
+/// Returns [`LpError::IterationLimit`] on pivot-limit exhaustion.
+pub fn solve_warm_with(
+    lp: &LpProblem,
+    warm: Option<&Basis>,
+    pricing: Pricing,
+) -> Result<WarmSolve, LpError> {
     let inst = Instance::build(lp);
     let fingerprint = structure_fingerprint(lp);
 
@@ -1164,13 +1511,13 @@ pub fn solve_warm(lp: &LpProblem, warm: Option<&Basis>) -> Result<WarmSolve, LpE
     let mut warm_installed = false;
     if let Some(basis) = warm {
         if basis.fingerprint == fingerprint {
-            if let Some(e) = Engine::warm(&inst, basis) {
+            if let Some(e) = Engine::warm(&inst, basis, pricing) {
                 engine = Some(e);
                 warm_installed = true;
             }
         }
     }
-    let mut engine = engine.unwrap_or_else(|| Engine::cold(&inst));
+    let mut engine = engine.unwrap_or_else(|| Engine::cold(&inst, pricing));
     let solution = run_phases(&mut engine, lp, warm_installed)?;
     let stats = engine.stats(warm_installed);
     // The terminal basis of an *infeasible* solve is still a consistent
@@ -1487,6 +1834,59 @@ mod tests {
         let sol = solve(&lp).unwrap();
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!(lp.is_feasible(&sol.values, 1e-7));
+    }
+
+    #[test]
+    fn dantzig_and_devex_agree() {
+        // Same instances as the scattered tests above, solved under both
+        // pricing strategies explicitly (the heavyweight differential
+        // property tests live in tests/proptest_pricing.rs).
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var(0.0, Some(4.0), 3.0);
+        let y = lp.add_var(0.0, None, 5.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let devex = solve_with(&lp, Pricing::Devex).unwrap();
+        let dantzig = solve_with(&lp, Pricing::Dantzig).unwrap();
+        assert_eq!(devex.status, dantzig.status);
+        assert_close(devex.objective, dantzig.objective);
+    }
+
+    #[test]
+    fn env_pricing_parse() {
+        // Only exercises the parser (the env itself is process-global,
+        // so tests must not set it).
+        assert_eq!(Pricing::default(), Pricing::Devex);
+    }
+
+    #[test]
+    fn stats_track_eta_growth_invariant() {
+        // A chained instance forces a nontrivial pivot sequence; the
+        // recorded peak must respect the adaptive budget plus one
+        // pivot's worth of slack.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let n = 40;
+        let vars: Vec<_> = (0..n)
+            .map(|i| lp.add_var(0.0, None, 1.0 + (i % 5) as f64))
+            .collect();
+        for i in 0..n - 1 {
+            lp.add_constraint(
+                vec![(vars[i], 1.0), (vars[i + 1], 1.0)],
+                Relation::Ge,
+                1.0 + (i % 3) as f64,
+            );
+        }
+        let ws = solve_warm(&lp, None).unwrap();
+        assert_eq!(ws.solution.status, LpStatus::Optimal);
+        let m = lp.num_constraints();
+        assert!(ws.stats.pivots > 0);
+        assert!(
+            ws.stats.peak_eta_nnz <= ws.stats.eta_budget + m + 1,
+            "eta file outgrew its budget: peak {} budget {} m {}",
+            ws.stats.peak_eta_nnz,
+            ws.stats.eta_budget,
+            m
+        );
     }
 
     #[test]

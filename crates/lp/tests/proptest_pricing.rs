@@ -1,0 +1,214 @@
+//! Differential property tests of devex reference-framework pricing
+//! against the Dantzig full-scan baseline (`devex ≡ dantzig`), plus the
+//! adaptive-refactorization nonzero-budget regression.
+//!
+//! Pricing only changes *which* improving column enters each pivot, never
+//! the optimality conditions: both rules must report the same `LpStatus`
+//! and the same optimal objective on every instance. Degenerate optima
+//! may assign different variable values, so the assertions compare
+//! status, objective, and feasibility — not points.
+
+use netrec_graph::Graph;
+use netrec_lp::mcf::{Demand, WarmMaxSatisfied, WarmRoutability};
+use netrec_lp::revised::{self, Pricing};
+use netrec_lp::{LpProblem, LpStatus, Relation, Sense};
+use proptest::prelude::*;
+
+/// Random bounded LP: up to 8 variables (mixed bounds, some unbounded
+/// above) and up to 8 rows of mixed relation, both senses — the same
+/// shape family `proptest_revised.rs` uses for `revised ≡ dense`.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    sense: Sense,
+    vars: Vec<(f64, Option<f64>, f64)>,
+    rows: Vec<(Vec<f64>, Relation, f64)>,
+}
+
+fn arb_lp() -> impl Strategy<Value = RandomLp> {
+    let var = (-3.0f64..3.0, 0usize..10, 0.0f64..8.0, -4.0f64..4.0)
+        .prop_map(|(lb, has_ub, span, obj)| (lb, (has_ub < 7).then_some(lb + span), obj));
+    let row = (
+        proptest::collection::vec(-3.0f64..3.0, 8),
+        0usize..3,
+        -10.0f64..10.0,
+    )
+        .prop_map(|(coefs, rel, rhs)| {
+            let rel = match rel {
+                0 => Relation::Le,
+                1 => Relation::Ge,
+                _ => Relation::Eq,
+            };
+            (coefs, rel, rhs)
+        });
+    (
+        0usize..2,
+        proptest::collection::vec(var, 1..8),
+        proptest::collection::vec(row, 0..8),
+    )
+        .prop_map(|(sense, vars, rows)| RandomLp {
+            sense: if sense == 0 {
+                Sense::Minimize
+            } else {
+                Sense::Maximize
+            },
+            vars,
+            rows,
+        })
+}
+
+fn build(spec: &RandomLp) -> LpProblem {
+    let mut lp = LpProblem::new(spec.sense);
+    let ids: Vec<_> = spec
+        .vars
+        .iter()
+        .map(|&(lb, ub, obj)| lp.add_var(lb, ub, obj))
+        .collect();
+    for (coefs, rel, rhs) in &spec.rows {
+        let terms: Vec<_> = ids
+            .iter()
+            .zip(coefs)
+            .filter(|(_, &c)| c != 0.0)
+            .map(|(&v, &c)| (v, c))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_constraint(terms, *rel, *rhs);
+        }
+    }
+    lp
+}
+
+/// Random connected graph: a random tree plus extra edges.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..9)
+        .prop_flat_map(|n| {
+            let anchors: Vec<_> = (1..n).map(|v| 0..v).collect();
+            let extra = proptest::collection::vec((0..n, 0..n, 0.5f64..16.0), 0..n);
+            let caps = proptest::collection::vec(0.5f64..16.0, n - 1);
+            (Just(n), anchors, caps, extra)
+        })
+        .prop_map(|(n, anchors, caps, extra)| {
+            let mut g = Graph::with_nodes(n);
+            for (v, (a, c)) in anchors.into_iter().zip(caps).enumerate() {
+                g.add_edge(g.node(v + 1), g.node(a), c).unwrap();
+            }
+            for (a, b, c) in extra {
+                if a != b {
+                    g.add_edge(g.node(a), g.node(b), c).unwrap();
+                }
+            }
+            g
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `devex ≡ dantzig` on arbitrary bounded LPs: same status, same
+    /// optimal objective within 1e-6, and a primal-feasible point from
+    /// each rule.
+    #[test]
+    fn devex_matches_dantzig_on_random_bounded_lps(spec in arb_lp()) {
+        let lp = build(&spec);
+        let devex = revised::solve_with(&lp, Pricing::Devex).unwrap();
+        let dantzig = revised::solve_with(&lp, Pricing::Dantzig).unwrap();
+        prop_assert_eq!(devex.status, dantzig.status, "status diverged");
+        if dantzig.status == LpStatus::Optimal {
+            prop_assert!(
+                (devex.objective - dantzig.objective).abs() < 1e-6,
+                "objective diverged: devex {} vs dantzig {}",
+                devex.objective,
+                dantzig.objective
+            );
+            prop_assert!(lp.is_feasible(&devex.values, 1e-6), "devex point infeasible");
+            prop_assert!(lp.is_feasible(&dantzig.values, 1e-6), "dantzig point infeasible");
+        }
+    }
+
+    /// `devex ≡ dantzig` on the MCF systems, including across a random
+    /// capacity-patch sequence: routability verdicts and max-satisfied
+    /// totals agree at every step, so warm-start state never bakes a
+    /// pricing-dependent answer in.
+    #[test]
+    fn devex_matches_dantzig_on_mcf_patch_sequences(
+        g in arb_graph(),
+        s1 in 0usize..16,
+        t1 in 0usize..16,
+        d1 in 0.2f64..24.0,
+        s2 in 0usize..16,
+        t2 in 0usize..16,
+        d2 in 0.2f64..24.0,
+        patches in proptest::collection::vec((0usize..32, 0.0f64..16.0), 1..8),
+    ) {
+        let n = g.node_count();
+        let demands = [
+            Demand::new(g.node(s1 % n), g.node(t1 % n), d1),
+            Demand::new(g.node(s2 % n), g.node(t2 % n), d2),
+        ];
+        let mut rout_devex = WarmRoutability::build(&g, &demands);
+        rout_devex.set_pricing(Pricing::Devex);
+        let mut rout_dantzig = WarmRoutability::build(&g, &demands);
+        rout_dantzig.set_pricing(Pricing::Dantzig);
+        let mut sat_devex = WarmMaxSatisfied::build(&g, &demands);
+        sat_devex.set_pricing(Pricing::Devex);
+        let mut sat_dantzig = WarmMaxSatisfied::build(&g, &demands);
+        sat_dantzig.set_pricing(Pricing::Dantzig);
+
+        let mut caps = g.capacities();
+        let m = caps.len();
+        for &(e, c) in &patches {
+            caps[e % m] = c;
+            prop_assert_eq!(
+                rout_devex.solve(&caps).unwrap(),
+                rout_dantzig.solve(&caps).unwrap(),
+                "routability diverged at caps {:?}",
+                caps
+            );
+            let (td, tz): (f64, f64) = (
+                sat_devex.solve(&caps).unwrap().iter().sum(),
+                sat_dantzig.solve(&caps).unwrap().iter().sum(),
+            );
+            prop_assert!(
+                (td - tz).abs() < 1e-6,
+                "satisfied totals diverged at caps {:?}: devex {} vs dantzig {}",
+                caps,
+                td,
+                tz
+            );
+        }
+    }
+
+    /// Adaptive-refactorization budget: random dense LPs force dense eta
+    /// columns, and under both pricing rules the inverse representation
+    /// must stay within the nonzero budget (one pivot of slack — the
+    /// check runs before each pivot's eta is appended).
+    #[test]
+    fn eta_file_stays_within_budget_on_dense_lps(
+        objs in proptest::collection::vec(-4.0f64..4.0, 12),
+        rhs in proptest::collection::vec(1.0f64..20.0, 12),
+        coefs in proptest::collection::vec(0.1f64..3.0, 144),
+    ) {
+        // Fully dense Ge rows over all 12 variables: every transformed
+        // column is dense, so the eta-nonzero trigger, the dense-pivot
+        // trigger, or both must keep refactorizing.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let ids: Vec<_> = objs.iter().map(|&o| lp.add_var(0.0, None, o.abs())).collect();
+        for (r, &b) in rhs.iter().enumerate() {
+            let terms: Vec<_> = ids
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| (v, coefs[r * 12 + j]))
+                .collect();
+            lp.add_constraint(terms, Relation::Ge, b);
+        }
+        for pricing in [Pricing::Devex, Pricing::Dantzig] {
+            let warm = revised::solve_warm_with(&lp, None, pricing).unwrap();
+            let stats = warm.stats;
+            prop_assert!(
+                stats.peak_eta_nnz <= stats.eta_budget + 12 + 1,
+                "{pricing:?}: eta file peaked at {} nonzeros against a budget of {}",
+                stats.peak_eta_nnz,
+                stats.eta_budget
+            );
+        }
+    }
+}

@@ -94,7 +94,11 @@ usage: netrec-cli [options]
                        LP solves, cache hits, warm starts)
   --lp revised | dense LP engine: sparse revised simplex with warm-started
                        bases (default), or the dense-tableau reference
-                       implementation as an escape hatch
+                       implementation as an escape hatch; the revised
+                       engine prices with devex partial candidate lists
+                       (NETREC_LP_PRICING=dantzig restores the full-scan
+                       baseline; time-vs-n tracked by the scale bench,
+                       BENCH_scale.json)
   --seed N             RNG seed                          (default 42)
   --schedule BUDGET    also print a staged repair schedule
   --report             also print the single-failure robustness report
@@ -272,6 +276,16 @@ pub fn render_oracle_stats(stats: &OracleStats) -> String {
     }
     if stats.generation_resets > 0 {
         line.push_str(&format!(", {} generation resets", stats.generation_resets));
+    }
+    if stats.approx_runs > 0 || stats.boundary_fallbacks > 0 {
+        // Which path answered: exact LP fast path, certificate-terminated
+        // approximation, or the full Garg–Könemann phase schedule.
+        line.push_str(&format!(
+            ", paths: exact={} threshold={} approx-full={}",
+            stats.boundary_fallbacks,
+            stats.threshold_certified,
+            stats.approx_runs.saturating_sub(stats.threshold_certified)
+        ));
     }
     line
 }

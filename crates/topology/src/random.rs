@@ -9,11 +9,20 @@ use netrec_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Largest `n` for which [`waxman`] uses the classical exact `O(n²)`
+/// pairwise sampler. Above this the generator switches to the
+/// cell-grid sparse variant, which is linear in `n`.
+pub const WAXMAN_EXACT_MAX: usize = 4096;
+
 /// Erdős–Rényi `G(n, p)`: every pair connected independently with
 /// probability `p`. Coordinates are uniform in the unit square.
 ///
 /// All edges get capacity `capacity` — the paper's second scenario uses
 /// 1000 so that only connectivity matters.
+///
+/// Inherently `Θ(n²)`: every pair is sampled. This matches the paper's
+/// small scenarios; for 10k–100k-node workloads use [`barabasi_albert`]
+/// or [`waxman`], which stay (near-)linear.
 ///
 /// # Example
 ///
@@ -39,6 +48,11 @@ pub fn erdos_renyi(n: usize, p: f64, capacity: f64, seed: u64) -> Topology {
 /// Barabási–Albert preferential attachment: starts from a small clique and
 /// attaches each new node to `m` existing nodes with probability
 /// proportional to degree.
+///
+/// Runs in `O(n · m)` expected time: attachment samples uniformly from a
+/// degree-weighted endpoint pool (each accepted edge appends both
+/// endpoints), so no per-node scan over existing nodes ever happens.
+/// This is the generator the 10k–100k-node scaling benchmarks build on.
 ///
 /// # Panics
 ///
@@ -83,23 +97,81 @@ pub fn barabasi_albert(n: usize, m: usize, capacity: f64, seed: u64) -> Topology
 /// Waxman random geometric graph: nodes uniform in the unit square,
 /// edge probability `alpha · exp(−dist / (beta · L))` with `L` the maximum
 /// pairwise distance.
+///
+/// Up to [`WAXMAN_EXACT_MAX`] nodes this is the classical exact sampler
+/// (every pair drawn — `Θ(n²)`, and bit-identical to previous releases
+/// for a given seed). Above it, the classical model itself stops making
+/// sense: at fixed `alpha`/`beta` its expected edge count grows as
+/// `Θ(n²)`, which neither real ISP topologies nor a linear-time
+/// generator can follow. The large-`n` variant therefore switches to
+/// the standard sparse reading of the model (constant expected degree,
+/// as in BRITE-style generators): the interaction length `ℓ` is chosen
+/// so the expected degree is `≈ 40 · alpha · beta` (preserving both
+/// knobs' monotone roles; ≈4.8 at the classical defaults 0.8/0.15),
+/// pairs beyond the cutoff radius `18ℓ` — where the edge probability is
+/// below `alpha · e⁻¹⁸ ≈ 1.2e-8` — are never sampled, and a uniform
+/// cell grid of cutoff-sized cells yields the `O(n)` expected runtime.
+/// Generation stays deterministic per seed in both regimes.
 pub fn waxman(n: usize, alpha: f64, beta: f64, capacity: f64, seed: u64) -> Topology {
     let mut rng = StdRng::seed_from_u64(seed);
     let coords: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
-    let mut max_d: f64 = 1e-12;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = dist(coords[i], coords[j]);
-            max_d = max_d.max(d);
-        }
-    }
     let mut g = Graph::with_nodes(n);
+    if n <= WAXMAN_EXACT_MAX {
+        let mut max_d: f64 = 1e-12;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(coords[i], coords[j]);
+                max_d = max_d.max(d);
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(coords[i], coords[j]);
+                if rng.gen::<f64>() < alpha * (-d / (beta * max_d)).exp() {
+                    g.add_edge(g.node(i), g.node(j), capacity)
+                        .expect("valid edge");
+                }
+            }
+        }
+        return Topology::new(format!("waxman-{n}"), g, coords).expect("coords match");
+    }
+    // Sparse regime: constant expected degree `deg ≈ n·alpha·2πℓ²`.
+    let deg_target = (40.0 * alpha * beta).max(2.0);
+    let ell = (deg_target / (2.0 * std::f64::consts::PI * alpha.max(1e-9) * n as f64)).sqrt();
+    let cutoff = 18.0 * ell;
+    // Cell side ≥ cutoff, so the 3×3 neighborhood covers every
+    // candidate pair exactly once (via the j > i ordering below).
+    let cells = ((1.0 / cutoff).floor() as usize).max(1);
+    let cell_of = |x: f64| ((x * cells as f64) as usize).min(cells - 1);
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); cells * cells];
+    for (i, &(x, y)) in coords.iter().enumerate() {
+        grid[cell_of(y) * cells + cell_of(x)].push(i);
+    }
     for i in 0..n {
-        for j in (i + 1)..n {
-            let d = dist(coords[i], coords[j]);
-            if rng.gen::<f64>() < alpha * (-d / (beta * max_d)).exp() {
-                g.add_edge(g.node(i), g.node(j), capacity)
-                    .expect("valid edge");
+        let (cx, cy) = (cell_of(coords[i].0), cell_of(coords[i].1));
+        for dy in -1i64..=1 {
+            let ny = cy as i64 + dy;
+            if ny < 0 || ny >= cells as i64 {
+                continue;
+            }
+            for dx in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                if nx < 0 || nx >= cells as i64 {
+                    continue;
+                }
+                for &j in &grid[ny as usize * cells + nx as usize] {
+                    if j <= i {
+                        continue;
+                    }
+                    let d = dist(coords[i], coords[j]);
+                    if d > cutoff {
+                        continue;
+                    }
+                    if rng.gen::<f64>() < alpha * (-d / ell).exp() {
+                        g.add_edge(g.node(i), g.node(j), capacity)
+                            .expect("valid edge");
+                    }
+                }
             }
         }
     }
@@ -218,6 +290,29 @@ mod tests {
             }
         }
         assert!(short > long);
+    }
+
+    #[test]
+    fn waxman_large_is_sparse_and_deterministic() {
+        // Above WAXMAN_EXACT_MAX the cell-grid sparse path kicks in:
+        // linear edge counts (constant expected degree), per-seed
+        // determinism, and no edge past the cutoff radius.
+        let n = 20_000;
+        let a = waxman(n, 0.8, 0.15, 1.0, 21);
+        let b = waxman(n, 0.8, 0.15, 1.0, 21);
+        assert_eq!(a.graph(), b.graph());
+        let c = waxman(n, 0.8, 0.15, 1.0, 22);
+        assert_ne!(a.graph(), c.graph());
+        let avg_deg = 2.0 * a.graph().edge_count() as f64 / n as f64;
+        assert!(
+            (1.5..=9.0).contains(&avg_deg),
+            "expected constant average degree near 4.8, got {avg_deg}"
+        );
+        // cutoff = 18·ℓ with ℓ = sqrt(deg/(2π·alpha·n)) ≈ 0.0069 here.
+        for e in a.graph().edges() {
+            let (u, v) = a.graph().endpoints(e);
+            assert!(a.distance(u, v) <= 0.13, "edge past the cutoff radius");
+        }
     }
 
     #[test]
