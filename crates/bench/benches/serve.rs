@@ -1,0 +1,74 @@
+//! The daemon's value proposition, measured: a routability question
+//! against a warm resident session versus the one-shot equivalent that
+//! rebuilds the damaged problem and a cold oracle for every question.
+//!
+//! The warm path goes through the full wire surface — JSON parse,
+//! dispatch, session lock, warm witness/memo check, response rendering —
+//! so the committed ratio is end-to-end, not an oracle micro-benchmark.
+//! The instance is sized so the cold answer needs a real LP solve (a
+//! moderately damaged random graph with live demands), which is exactly
+//! the regime the daemon exists for. `BENCH_serve.json` records both
+//! medians; the `bench_json` test enforces the ≥10x separation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_bench::problem_for;
+use netrec_core::oracle::{IncrementalOracle, RoutabilityOracle};
+use netrec_core::solver::SolverSpec;
+use netrec_core::RecoveryProblem;
+use netrec_disrupt::DisruptionModel;
+use netrec_serve::Engine;
+use netrec_topology::demand::DemandSpec;
+use netrec_topology::random::erdos_renyi;
+use std::hint::black_box;
+
+/// A 1500-node random network, 24 demand pairs, 10% component damage:
+/// routability is a genuine flow question, not a reachability triviality.
+fn instance() -> RecoveryProblem {
+    let topo = erdos_renyi(1500, 0.006, 40.0, 7);
+    problem_for(
+        &topo,
+        &DemandSpec::new(24, 8.0),
+        &DisruptionModel::Uniform { probability: 0.10 },
+        7,
+    )
+}
+
+/// One-shot: what a fresh CLI invocation pays per question — a fresh
+/// problem state, a cold oracle, a full answer.
+fn oneshot_routability(base: &RecoveryProblem) -> bool {
+    let problem = base.clone();
+    let oracle = IncrementalOracle::new();
+    let (nm, em) = problem.working_masks();
+    let view = problem.full_view().with_node_mask(&nm).with_edge_mask(&em);
+    oracle.is_routable(&view, &problem.demands()).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let base = instance();
+
+    // The resident daemon: the session state already holds the damage;
+    // the first query warms witnesses and memo, every later one rides
+    // them through the full wire path.
+    let engine = Engine::new(base.clone(), SolverSpec::isp());
+    let query = "{\"v\":1,\"id\":\"q\",\"op\":\"query_routability\"}";
+    let warmup = engine.process_line(query);
+    assert!(warmup.contains("\"ok\":true"), "{warmup}");
+
+    // Both paths must agree before either median means anything.
+    let cold_verdict = oneshot_routability(&base);
+    let warm_verdict = engine.process_line(query).contains("\"routable\":true");
+    assert_eq!(cold_verdict, warm_verdict, "paths disagree on routability");
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(20);
+    g.bench_function("warm_daemon", |b| {
+        b.iter(|| black_box(engine.process_line(black_box(query))))
+    });
+    g.bench_function("oneshot_cold", |b| {
+        b.iter(|| black_box(oneshot_routability(black_box(&base))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -155,6 +155,53 @@ fn committed_scale_baseline_covers_the_sweep() {
     );
 }
 
+/// The committed `BENCH_serve.json` pins the daemon's reason to exist:
+/// a warm in-session routability query must be at least 10x faster at
+/// the median than the one-shot equivalent that rebuilds state and a
+/// cold oracle per question (DESIGN.md §13). The warm figure is
+/// end-to-end — JSON parse, dispatch, session lock, cached answer,
+/// response rendering — not an oracle micro-benchmark.
+#[test]
+fn committed_serve_baseline_keeps_the_warm_cold_separation() {
+    let path = repo_root().join("BENCH_serve.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed BENCH_serve.json: {e}"));
+    let json = Json::parse(&text).expect("BENCH_serve.json parses");
+    assert_eq!(json.get("group").and_then(Json::as_str), Some("serve"));
+    let mut medians = std::collections::HashMap::new();
+    for bench in json
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array")
+    {
+        let id = bench.get("id").and_then(Json::as_str).expect("id");
+        let ns = bench
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .expect("median_ns");
+        medians.insert(id.to_string(), ns);
+    }
+    let warm = *medians
+        .get("warm_daemon")
+        .expect("BENCH_serve.json lacks warm_daemon");
+    let cold = *medians
+        .get("oneshot_cold")
+        .expect("BENCH_serve.json lacks oneshot_cold");
+    assert!(warm > 0.0 && cold > 0.0, "degenerate medians");
+    let ratio = cold / warm;
+    assert!(
+        ratio >= 10.0,
+        "oneshot_cold / warm_daemon = {ratio:.1}x: the committed serve \
+         baseline no longer shows the daemon's ≥10x warm advantage"
+    );
+    // A warm answer is a sub-millisecond answer, with a wide margin for
+    // slow CI machines.
+    assert!(
+        warm <= 1_000_000.0,
+        "warm_daemon median {warm:.0} ns exceeds 1 ms"
+    );
+}
+
 #[test]
 fn parser_rejects_malformed_inputs() {
     for bad in [

@@ -41,6 +41,26 @@ impl RecoveryError {
             RecoveryError::DeadlineExceeded | RecoveryError::Cancelled
         )
     }
+
+    /// A stable machine-readable name for this error variant, in
+    /// snake_case. This is a *wire format*: the `netrec-serve` JSONL
+    /// protocol reports failed requests as `{"error": {"kind": ...}}`
+    /// using exactly these strings, so clients can match on them — e.g.
+    /// a `deadline_exceeded` reply to an over-budget `query_plan` means
+    /// "retry with a larger deadline", while `infeasible` means "no
+    /// plan exists". Renaming one is a protocol break.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RecoveryError::Graph(_) => "graph",
+            RecoveryError::Lp(_) => "lp",
+            RecoveryError::InfeasibleEvenIfAllRepaired => "infeasible",
+            RecoveryError::UnknownDemandEndpoint => "unknown_endpoint",
+            RecoveryError::InvalidCost(_) => "invalid_cost",
+            RecoveryError::IterationGuard => "iteration_guard",
+            RecoveryError::DeadlineExceeded => "deadline_exceeded",
+            RecoveryError::Cancelled => "cancelled",
+        }
+    }
 }
 
 impl fmt::Display for RecoveryError {
@@ -113,6 +133,32 @@ mod tests {
         assert!(RecoveryError::Cancelled.is_interruption());
         assert!(!RecoveryError::InfeasibleEvenIfAllRepaired.is_interruption());
         assert!(!RecoveryError::IterationGuard.is_interruption());
+    }
+
+    #[test]
+    fn kinds_are_stable_snake_case_names() {
+        let all = [
+            (
+                RecoveryError::Graph(GraphError::InvalidCapacity(-1.0)),
+                "graph",
+            ),
+            (RecoveryError::Lp(LpError::IterationLimit), "lp"),
+            (RecoveryError::InfeasibleEvenIfAllRepaired, "infeasible"),
+            (RecoveryError::UnknownDemandEndpoint, "unknown_endpoint"),
+            (RecoveryError::InvalidCost(-1.0), "invalid_cost"),
+            (RecoveryError::IterationGuard, "iteration_guard"),
+            (RecoveryError::DeadlineExceeded, "deadline_exceeded"),
+            (RecoveryError::Cancelled, "cancelled"),
+        ];
+        for (err, kind) in all {
+            assert_eq!(err.kind(), kind);
+            // Interruptions map to the two kinds a resident session
+            // treats as retryable rather than fatal.
+            assert_eq!(
+                err.is_interruption(),
+                matches!(err.kind(), "deadline_exceeded" | "cancelled")
+            );
+        }
     }
 
     #[test]

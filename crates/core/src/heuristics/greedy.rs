@@ -303,6 +303,10 @@ pub fn solve_grd_nc_in(
             .unwrap_or_else(|| OracleSpec::from(config.routability)),
     );
     let oracle = spec.build_with_engine(ctx.lp_engine());
+    // Snapshots report deltas against the solve-start baseline (see the
+    // matching comment in `isp.rs`): per-solve counters stay correct
+    // even for an oracle instance that outlives this run.
+    let oracle_baseline = oracle.stats();
 
     // Already routable with no repairs?
     let routable = |nm: &[bool], em: &[bool]| -> Result<bool, RecoveryError> {
@@ -334,7 +338,9 @@ pub fn solve_grd_nc_in(
             }
         }
     }
-    ctx.emit(ProgressEvent::OracleSnapshot(oracle.stats()));
+    ctx.emit(ProgressEvent::OracleSnapshot(
+        oracle.stats().delta_since(&oracle_baseline),
+    ));
     plan.normalize();
     Ok(plan)
 }

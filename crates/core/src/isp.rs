@@ -172,6 +172,12 @@ pub fn solve_isp_in(
     );
     let engine = ctx.lp_engine();
     let oracle = spec.build_with_engine(engine);
+    // Oracle counters are cumulative for the backend's whole lifetime;
+    // snapshots report the *delta* against this solve-start baseline
+    // (captured before the precheck issues the first query), so they
+    // stay per-solve even when the oracle instance outlives the solve
+    // (a resident process reusing warm state across requests).
+    let oracle_baseline = oracle.stats();
 
     // Feasibility precheck: the fully repaired network must carry the
     // demand, otherwise no recovery plan exists.
@@ -213,6 +219,11 @@ pub fn solve_isp_in(
                 nodes: repairs_now.0,
                 edges: repairs_now.1,
             });
+            // Keep the listener's counters fresh mid-run: cumulative
+            // within the solve, superseded by each later snapshot.
+            ctx.emit(ProgressEvent::OracleSnapshot(
+                oracle.stats().delta_since(&oracle_baseline),
+            ));
         }
         stats.iterations += 1;
         if stats.iterations > guard {
@@ -246,7 +257,7 @@ pub fn solve_isp_in(
 
     stats.prunes = state.prunes;
     stats.splits = state.splits;
-    stats.oracle = oracle.stats();
+    stats.oracle = oracle.stats().delta_since(&oracle_baseline);
     ctx.emit(ProgressEvent::Repaired {
         nodes: state.repaired_nodes.len(),
         edges: state.repaired_edges.len(),

@@ -78,6 +78,6 @@ pub use error::RecoveryError;
 pub use isp::{solve_isp, solve_isp_with_stats, IspConfig, IspStats, MetricMode};
 pub use oracle::{EvalOracle, OracleSpec, OracleStats, RoutabilityOracle, SatisfactionOracle};
 pub use plan::RecoveryPlan;
-pub use problem::RecoveryProblem;
+pub use problem::{RecoveryProblem, StatePatch};
 pub use routability::RoutabilityMode;
 pub use solver::{RecoverySolver, SolveContext, SolverSpec};

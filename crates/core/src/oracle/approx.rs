@@ -221,6 +221,15 @@ impl EvalOracle for ConcurrentFlowApprox {
             ..OracleStats::default()
         }
     }
+
+    fn reset_stats(&self) {
+        self.routability_queries.reset();
+        self.satisfaction_queries.reset();
+        self.approx_runs.reset();
+        self.boundary_fallbacks.reset();
+        self.threshold_certified.reset();
+        self.fallback.reset_stats();
+    }
 }
 
 #[cfg(test)]

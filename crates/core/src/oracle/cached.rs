@@ -128,6 +128,14 @@ impl<O: EvalOracle> EvalOracle for Cached<O> {
         stats.cache_misses = self.misses();
         stats
     }
+
+    fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.routability_queries.store(0, Ordering::Relaxed);
+        self.satisfaction_queries.store(0, Ordering::Relaxed);
+        self.inner.reset_stats();
+    }
 }
 
 #[cfg(test)]

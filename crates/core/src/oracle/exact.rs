@@ -144,6 +144,13 @@ impl EvalOracle for ExactLp {
             ..OracleStats::default()
         }
     }
+
+    fn reset_stats(&self) {
+        self.routability_queries.reset();
+        self.satisfaction_queries.reset();
+        self.lp_solves.reset();
+        self.warm_start_hits.reset();
+    }
 }
 
 #[cfg(test)]

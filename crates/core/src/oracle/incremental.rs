@@ -102,6 +102,32 @@ impl Default for IncrementalOracle {
     }
 }
 
+/// An opaque, cloneable snapshot of an [`IncrementalOracle`]'s
+/// transferable warm state (generation fingerprint + monotone witness
+/// lists). Produced by [`IncrementalOracle::snapshot_state`], consumed
+/// by [`IncrementalOracle::restore_state`]; a resident session uses the
+/// pair to fork per-session oracle state without sharing mutable state.
+#[derive(Debug, Clone)]
+pub struct IncSnapshot {
+    generation: Vec<u64>,
+    routable: Vec<EffState>,
+    unroutable: Vec<EffState>,
+    fully_satisfied: Vec<EffState>,
+}
+
+impl IncSnapshot {
+    /// Number of witnesses the snapshot carries (all three kinds).
+    pub fn witness_count(&self) -> usize {
+        self.routable.len() + self.unroutable.len() + self.fully_satisfied.len()
+    }
+
+    /// Whether the snapshot was taken before any query initialized the
+    /// state.
+    pub fn is_empty(&self) -> bool {
+        self.generation.is_empty()
+    }
+}
+
 /// The warm-start state, valid for one generation.
 #[derive(Debug, Default)]
 struct IncState {
@@ -330,6 +356,41 @@ impl IncrementalOracle {
         super::generation_key_of(view.graph(), demands)
     }
 
+    /// Captures the transferable part of the warm state: the generation
+    /// fingerprint and the monotone witness lists (bounded by
+    /// `MAX_WITNESSES` each, so a snapshot is small). The memo maps
+    /// and warm LP systems are deliberately excluded — they can be
+    /// arbitrarily large, and both rebuild lazily from queries — so
+    /// restoring a snapshot transfers the *deductions*, not the caches.
+    /// This is what lets a resident session fork: the forked session
+    /// starts with every routable/unroutable/fully-satisfied fact the
+    /// parent had proven.
+    pub fn snapshot_state(&self) -> IncSnapshot {
+        let st = self.state.lock().expect("incremental state poisoned");
+        IncSnapshot {
+            generation: st.generation.clone(),
+            routable: st.routable.clone(),
+            unroutable: st.unroutable.clone(),
+            fully_satisfied: st.fully_satisfied.clone(),
+        }
+    }
+
+    /// Replaces the warm state with a snapshot's. Memo maps start empty
+    /// and the warm LP systems rebuild on the next full solve; answers
+    /// are unaffected either way (witnesses are exact implications).
+    /// Restoring a snapshot from a different generation is safe: the
+    /// next query's fingerprint check discards it like any stale state.
+    pub fn restore_state(&self, snapshot: &IncSnapshot) {
+        let mut st = self.state.lock().expect("incremental state poisoned");
+        *st = IncState {
+            generation: snapshot.generation.clone(),
+            routable: snapshot.routable.clone(),
+            unroutable: snapshot.unroutable.clone(),
+            fully_satisfied: snapshot.fully_satisfied.clone(),
+            ..IncState::default()
+        };
+    }
+
     /// Resets the state when the base instance changed ("generation
     /// mismatch → full re-solve").
     fn refresh_generation(&self, st: &mut IncState, view: &View<'_>, demands: &[Demand]) {
@@ -484,6 +545,17 @@ impl EvalOracle for IncrementalOracle {
             generation_resets: self.generation_resets.get(),
             ..OracleStats::default()
         }
+    }
+
+    fn reset_stats(&self) {
+        self.routability_queries.reset();
+        self.satisfaction_queries.reset();
+        self.memo_hits.reset();
+        self.warm_start_hits.reset();
+        self.full_solves.reset();
+        self.warm_lp_solves.reset();
+        self.generation_resets.reset();
+        self.inner.reset_stats();
     }
 
     /// Frontier scoring against one shared warm state: per candidate only
@@ -734,6 +806,63 @@ mod tests {
             "{:?}",
             incremental.stats()
         );
+    }
+
+    #[test]
+    fn snapshot_restore_transfers_witnesses() {
+        let g = square();
+        let parent = IncrementalOracle::new();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        // Prove routability on the top route; full graph is a superset.
+        let em = vec![true, true, false, false];
+        assert!(parent
+            .is_routable(&g.view().with_edge_mask(&em), &demands)
+            .unwrap());
+        let snap = parent.snapshot_state();
+        assert!(!snap.is_empty());
+        assert!(snap.witness_count() >= 1);
+
+        // A forked oracle restored from the snapshot answers the
+        // superset from the transferred witness — zero full solves.
+        let fork = IncrementalOracle::new();
+        fork.restore_state(&snap);
+        assert!(fork.is_routable(&g.view(), &demands).unwrap());
+        let stats = fork.stats();
+        assert_eq!(stats.full_solves, 0, "{stats:?}");
+        assert_eq!(stats.warm_start_hits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn restored_stale_snapshot_is_discarded_on_generation_mismatch() {
+        let g = square();
+        let parent = IncrementalOracle::new();
+        let d8 = [Demand::new(g.node(0), g.node(3), 8.0)];
+        assert!(parent.is_routable(&g.view(), &d8).unwrap());
+        let snap = parent.snapshot_state();
+
+        // Different demand set = different generation: the restored
+        // state must not leak answers across generations.
+        let fork = IncrementalOracle::new();
+        fork.restore_state(&snap);
+        let d20 = [Demand::new(g.node(0), g.node(3), 20.0)];
+        assert!(!fork.is_routable(&g.view(), &d20).unwrap());
+        assert_eq!(fork.stats().generation_resets, 1);
+    }
+
+    #[test]
+    fn reset_stats_keeps_warm_state() {
+        let g = square();
+        let oracle = IncrementalOracle::new();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        assert!(oracle.is_routable(&g.view(), &demands).unwrap());
+        assert!(oracle.stats().full_solves > 0);
+        oracle.reset_stats();
+        assert_eq!(oracle.stats(), OracleStats::default());
+        // The memoized answer survives the counter reset.
+        assert!(oracle.is_routable(&g.view(), &demands).unwrap());
+        let stats = oracle.stats();
+        assert_eq!(stats.full_solves, 0, "{stats:?}");
+        assert_eq!(stats.cache_hits, 1, "{stats:?}");
     }
 
     #[test]

@@ -40,7 +40,7 @@ mod incremental;
 pub use approx::ConcurrentFlowApprox;
 pub use cached::Cached;
 pub use exact::ExactLp;
-pub use incremental::IncrementalOracle;
+pub use incremental::{IncSnapshot, IncrementalOracle};
 
 use crate::{RecoveryError, RoutabilityMode};
 use netrec_graph::{EdgeId, Graph, NodeId, View};
@@ -150,8 +150,18 @@ pub trait EvalOracle: RoutabilityOracle + SatisfactionOracle {
     /// Backend name for reports (`exact`, `approx`, `cached(exact)`, …).
     fn name(&self) -> String;
 
-    /// Counters accumulated since construction.
+    /// Counters accumulated since construction (or since the last
+    /// [`EvalOracle::reset_stats`]). Cumulative: a resident process can
+    /// capture a baseline and report per-window deltas via
+    /// [`OracleStats::delta_since`].
     fn stats(&self) -> OracleStats;
+
+    /// Zeroes every counter, leaving warm state (caches, witnesses,
+    /// bases) intact — answers and their cost are unaffected, only the
+    /// accounting restarts. Resident sessions call this at generation
+    /// boundaries so per-generation counters cannot drift into each
+    /// other.
+    fn reset_stats(&self);
 
     /// Scores a whole candidate frontier in one call: for each patch, the
     /// **total** satisfied demand with that one component additionally
@@ -268,6 +278,41 @@ impl OracleStats {
     pub fn queries(&self) -> usize {
         self.routability_queries + self.satisfaction_queries
     }
+
+    /// Element-wise difference against an earlier snapshot of the *same*
+    /// backend: "what happened since `baseline` was captured". Counters
+    /// are monotone while a backend lives, so the subtraction saturates
+    /// at zero only to stay safe against a baseline taken from a
+    /// different (or later-reset) backend. This is how a resident
+    /// session reports per-request and per-generation counters without
+    /// drift: keep the cumulative [`EvalOracle::stats`] and diff.
+    pub fn delta_since(&self, baseline: &OracleStats) -> OracleStats {
+        OracleStats {
+            routability_queries: self
+                .routability_queries
+                .saturating_sub(baseline.routability_queries),
+            satisfaction_queries: self
+                .satisfaction_queries
+                .saturating_sub(baseline.satisfaction_queries),
+            lp_solves: self.lp_solves.saturating_sub(baseline.lp_solves),
+            approx_runs: self.approx_runs.saturating_sub(baseline.approx_runs),
+            boundary_fallbacks: self
+                .boundary_fallbacks
+                .saturating_sub(baseline.boundary_fallbacks),
+            threshold_certified: self
+                .threshold_certified
+                .saturating_sub(baseline.threshold_certified),
+            cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(baseline.cache_misses),
+            warm_start_hits: self
+                .warm_start_hits
+                .saturating_sub(baseline.warm_start_hits),
+            full_solves: self.full_solves.saturating_sub(baseline.full_solves),
+            generation_resets: self
+                .generation_resets
+                .saturating_sub(baseline.generation_resets),
+        }
+    }
 }
 
 /// Relaxed-ordering counter shared by the backends (contention is
@@ -282,6 +327,10 @@ impl Counter {
 
     pub(crate) fn get(&self) -> usize {
         self.0.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
     }
 }
 
@@ -506,6 +555,11 @@ impl EvalOracle for AutoOracle {
     fn stats(&self) -> OracleStats {
         self.exact.stats().merged(&self.approx.stats())
     }
+
+    fn reset_stats(&self) {
+        self.exact.reset_stats();
+        self.approx.reset_stats();
+    }
 }
 
 /// A **lossless** encoding of a query — working masks, effective
@@ -672,6 +726,46 @@ mod tests {
         let full_caps = g.capacities();
         let same_caps = g.view().with_capacities(&full_caps);
         assert_eq!(base, query_key(&same_caps, &demands), "identical state");
+    }
+
+    #[test]
+    fn delta_since_reports_the_window() {
+        let g = square();
+        let oracle = OracleSpec::Exact.build();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        oracle.is_routable(&g.view(), &demands).unwrap();
+        let baseline = oracle.stats();
+        oracle.satisfied(&g.view(), &demands).unwrap();
+        oracle.satisfied(&g.view(), &demands).unwrap();
+        let delta = oracle.stats().delta_since(&baseline);
+        assert_eq!(delta.routability_queries, 0);
+        assert_eq!(delta.satisfaction_queries, 2);
+        // delta + baseline = cumulative (the no-drift identity).
+        assert_eq!(baseline.merged(&delta), oracle.stats());
+        // A baseline from a *later* state saturates instead of wrapping.
+        let future = oracle.stats();
+        let zero = baseline.delta_since(&future);
+        assert_eq!(zero.satisfaction_queries, 0);
+    }
+
+    #[test]
+    fn reset_stats_zeroes_every_backend() {
+        let g = square();
+        let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
+        for spec in [
+            OracleSpec::Exact,
+            OracleSpec::Approx { epsilon: 0.05 },
+            OracleSpec::Auto { threshold: 0 },
+            OracleSpec::CachedExact,
+            OracleSpec::Incremental,
+        ] {
+            let oracle = spec.build();
+            oracle.is_routable(&g.view(), &demands).unwrap();
+            oracle.satisfied(&g.view(), &demands).unwrap();
+            assert!(oracle.stats().queries() > 0, "{spec}");
+            oracle.reset_stats();
+            assert_eq!(oracle.stats(), OracleStats::default(), "{spec}");
+        }
     }
 
     #[test]

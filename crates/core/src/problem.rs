@@ -45,6 +45,53 @@ struct Demand2 {
     amount: f64,
 }
 
+/// One mutation of a [`RecoveryProblem`]'s damage/demand state — the
+/// unit of a live event stream. Where [`super::oracle::Patch`] describes
+/// a *hypothetical* single-component repair for frontier scoring,
+/// `StatePatch` **commits** a change: a resident session
+/// (`netrec-serve`) turns each protocol event into one patch and applies
+/// it via [`RecoveryProblem::apply`] / [`RecoveryProblem::apply_stream`],
+/// so the session state after a replayed stream is exactly the state of
+/// building a fresh problem with the same calls (replay determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatePatch {
+    /// Mark a node broken with a repair cost.
+    BreakNode {
+        /// The node to break.
+        node: NodeId,
+        /// Its repair cost.
+        cost: f64,
+    },
+    /// Mark an edge broken with a repair cost.
+    BreakEdge {
+        /// The edge to break.
+        edge: EdgeId,
+        /// Its repair cost.
+        cost: f64,
+    },
+    /// Un-break a node.
+    RepairNode {
+        /// The node to repair.
+        node: NodeId,
+    },
+    /// Un-break an edge.
+    RepairEdge {
+        /// The edge to repair.
+        edge: EdgeId,
+    },
+    /// Append a demand pair.
+    AddDemand {
+        /// Demand source.
+        source: NodeId,
+        /// Demand target.
+        target: NodeId,
+        /// Requested flow.
+        amount: f64,
+    },
+    /// Drop every demand pair.
+    ClearDemands,
+}
+
 impl RecoveryProblem {
     /// Creates a problem over `graph` with no demands and nothing broken.
     /// Repair costs default to 1 per component (the paper's homogeneous
@@ -91,6 +138,13 @@ impl RecoveryProblem {
         Ok(())
     }
 
+    /// Drops every demand pair (the supply graph and broken sets are
+    /// kept). A resident session uses this when a `demand` event
+    /// replaces the demand set wholesale.
+    pub fn clear_demands(&mut self) {
+        self.demands.clear();
+    }
+
     /// Marks node `n` broken with repair cost `cost`.
     ///
     /// # Errors
@@ -123,6 +177,81 @@ impl RecoveryProblem {
         self.broken_edges[e.index()] = true;
         self.edge_cost[e.index()] = cost;
         Ok(())
+    }
+
+    /// Un-breaks node `n` (the inverse of [`RecoveryProblem::break_node`]).
+    /// Repairing a working node is a no-op, matching the semantics of a
+    /// repair crew arriving at an intact site.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range nodes.
+    pub fn repair_node(&mut self, n: NodeId) -> Result<(), RecoveryError> {
+        if n.index() >= self.graph.node_count() {
+            return Err(RecoveryError::UnknownDemandEndpoint);
+        }
+        self.broken_nodes[n.index()] = false;
+        Ok(())
+    }
+
+    /// Un-breaks edge `e` (the inverse of [`RecoveryProblem::break_edge`]).
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range edges.
+    pub fn repair_edge(&mut self, e: EdgeId) -> Result<(), RecoveryError> {
+        if e.index() >= self.graph.edge_count() {
+            return Err(RecoveryError::UnknownDemandEndpoint);
+        }
+        self.broken_edges[e.index()] = false;
+        Ok(())
+    }
+
+    /// Applies one state patch; see [`StatePatch`] for the catalogue.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range components and invalid costs/amounts —
+    /// the problem is unchanged on error, so a rejected patch in a
+    /// stream leaves a consistent state behind.
+    pub fn apply(&mut self, patch: &StatePatch) -> Result<(), RecoveryError> {
+        match *patch {
+            StatePatch::BreakNode { node, cost } => self.break_node(node, cost),
+            StatePatch::BreakEdge { edge, cost } => self.break_edge(edge, cost),
+            StatePatch::RepairNode { node } => self.repair_node(node),
+            StatePatch::RepairEdge { edge } => self.repair_edge(edge),
+            StatePatch::AddDemand {
+                source,
+                target,
+                amount,
+            } => self.add_demand(source, target, amount),
+            StatePatch::ClearDemands => {
+                self.clear_demands();
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies a patch stream in order, stopping at the first invalid
+    /// patch. Returns the number of patches applied; on error, every
+    /// patch before the offending one has already taken effect (exactly
+    /// the replay semantics a journaled event log needs — a bad event
+    /// is rejected, the state reflects the valid prefix).
+    ///
+    /// # Errors
+    ///
+    /// The first patch rejection, wrapped with its stream position via
+    /// the returned count being `Err((index, error))`.
+    pub fn apply_stream<'a, I>(&mut self, patches: I) -> Result<usize, (usize, RecoveryError)>
+    where
+        I: IntoIterator<Item = &'a StatePatch>,
+    {
+        let mut applied = 0;
+        for patch in patches {
+            self.apply(patch).map_err(|e| (applied, e))?;
+            applied += 1;
+        }
+        Ok(applied)
     }
 
     /// The demand list in the LP crate's format.
@@ -259,6 +388,82 @@ mod tests {
         let mut p = line();
         assert!(p.break_node(p.graph().node(0), -2.0).is_err());
         assert!(p.break_edge(EdgeId::new(0), f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn repair_undoes_break() {
+        let mut p = line();
+        p.break_node(p.graph().node(1), 3.0).unwrap();
+        p.break_edge(EdgeId::new(0), 2.0).unwrap();
+        p.repair_node(p.graph().node(1)).unwrap();
+        p.repair_edge(EdgeId::new(0)).unwrap();
+        assert_eq!(p.broken_node_count(), 0);
+        assert_eq!(p.broken_edge_count(), 0);
+        // Repairing an intact component is a no-op, not an error.
+        p.repair_node(p.graph().node(0)).unwrap();
+        // Out-of-range components are rejected.
+        assert!(p.repair_node(NodeId::new(99)).is_err());
+        assert!(p.repair_edge(EdgeId::new(99)).is_err());
+    }
+
+    #[test]
+    fn patch_stream_replays_to_the_same_state() {
+        let mut direct = line();
+        direct.break_edge(EdgeId::new(1), 2.0).unwrap();
+        direct
+            .add_demand(direct.graph().node(0), direct.graph().node(2), 4.0)
+            .unwrap();
+        direct.repair_edge(EdgeId::new(1)).unwrap();
+
+        let mut streamed = line();
+        let patches = [
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(1),
+                cost: 2.0,
+            },
+            StatePatch::AddDemand {
+                source: streamed.graph().node(0),
+                target: streamed.graph().node(2),
+                amount: 4.0,
+            },
+            StatePatch::RepairEdge {
+                edge: EdgeId::new(1),
+            },
+        ];
+        assert_eq!(streamed.apply_stream(&patches), Ok(3));
+        assert_eq!(streamed.broken_edge_mask(), direct.broken_edge_mask());
+        assert_eq!(streamed.broken_node_mask(), direct.broken_node_mask());
+        assert_eq!(streamed.demand_pairs(), direct.demand_pairs());
+        assert_eq!(streamed.edge_cost(EdgeId::new(1)), 2.0);
+    }
+
+    #[test]
+    fn patch_stream_stops_at_the_first_invalid_patch() {
+        let mut p = line();
+        let patches = [
+            StatePatch::BreakNode {
+                node: NodeId::new(1),
+                cost: 1.0,
+            },
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(99),
+                cost: 1.0,
+            },
+            StatePatch::ClearDemands,
+        ];
+        let err = p.apply_stream(&patches).unwrap_err();
+        assert_eq!(err.0, 1, "one patch applied before the rejection");
+        assert!(p.is_node_broken(p.graph().node(1)), "prefix took effect");
+    }
+
+    #[test]
+    fn clear_demands_empties_the_demand_set() {
+        let mut p = line();
+        p.add_demand(p.graph().node(0), p.graph().node(2), 4.0)
+            .unwrap();
+        p.apply(&StatePatch::ClearDemands).unwrap();
+        assert!(p.demands().is_empty());
+        assert_eq!(p.total_demand(), 0.0);
     }
 
     #[test]

@@ -27,8 +27,12 @@ pub enum ProgressEvent {
         /// Broken edges selected for repair so far.
         edges: usize,
     },
-    /// A snapshot of the evaluation-oracle counters (emitted by
-    /// oracle-aware solvers, typically once at the end of the run).
+    /// A snapshot of the evaluation-oracle counters **for this solve**:
+    /// cumulative within the run (the delta against the solve-start
+    /// baseline, so a long-lived oracle instance cannot leak earlier
+    /// runs' counts into it). Oracle-aware solvers emit one alongside
+    /// each progress point and a final one at the end; each snapshot
+    /// supersedes the previous, so listeners keep the latest.
     OracleSnapshot(OracleStats),
 }
 

@@ -1,14 +1,15 @@
-//! Minimal JSON reading/writing for the campaign engine.
+//! Minimal JSON reading/writing for the `netrec` workspace.
 //!
 //! The workspace is offline (no `serde_json`; the serde derives are
 //! no-op stand-ins, see `DESIGN.md` §7), so campaign specs, journal
-//! lines, and reports go through this hand-rolled value type instead: a
-//! recursive-descent parser (the same approach as the committed
-//! `bench_json` guard test, promoted to library code) and a **stable**
-//! writer — object members keep insertion order, numbers render through
-//! Rust's shortest-round-trip `f64` formatting — so re-serializing
-//! unchanged data is byte-identical, which is what makes resumed
-//! campaign reports reproducible at the byte level.
+//! lines, reports, and the `netrec-serve` JSONL protocol go through
+//! this hand-rolled value type instead: a recursive-descent parser (the
+//! same approach as the committed `bench_json` guard test, promoted to
+//! library code) and a **stable** writer — object members keep
+//! insertion order, numbers render through Rust's shortest-round-trip
+//! `f64` formatting — so re-serializing unchanged data is
+//! byte-identical, which is what makes resumed campaign reports
+//! reproducible and daemon replies diffable at the byte level.
 
 use std::fmt::Write as _;
 
@@ -41,6 +42,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -216,12 +218,30 @@ fn write_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Containers deeper than this are rejected rather than recursed into:
+/// the parser is recursive-descent, and unbounded nesting from hostile
+/// input (e.g. `[[[[…`) would otherwise overflow the stack. Real
+/// payloads in this workspace nest a handful of levels.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn descend(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at offset {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn skip_ws(&mut self) {
         while self
             .bytes
@@ -277,11 +297,13 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.expect(b'{')?;
         let mut members: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Object(members));
         }
         loop {
@@ -300,6 +322,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Object(members));
                 }
                 other => {
@@ -314,11 +337,13 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
+        self.descend()?;
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Array(items));
         }
         loop {
@@ -329,6 +354,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Array(items));
                 }
                 other => {
@@ -427,6 +453,22 @@ pub fn object(members: Vec<(&str, Json)>) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hostile_nesting_is_an_error_not_a_stack_overflow() {
+        let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.contains("nesting"), "{err}");
+        // Anything at or under the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).is_err());
+    }
 
     #[test]
     fn parse_round_trips_through_the_writer() {

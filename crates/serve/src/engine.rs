@@ -1,0 +1,552 @@
+//! Request dispatch: the bridge from protocol values to session state.
+//!
+//! [`Engine::process_line`] is the daemon's whole behavior as one
+//! synchronous, deterministic function — parse a request line, route it
+//! to its session, render a response line. The server wraps it with
+//! transports and a worker pool; tests and the replay bench call it
+//! directly, so the golden streams CI diffs exercise exactly the code
+//! the daemon runs.
+//!
+//! Mutating events pre-validate every component id against the topology
+//! **before** applying anything, so a protocol event is atomic: either
+//! the whole event commits or the session state is untouched and a
+//! structured error comes back. (The underlying
+//! [`RecoveryProblem::apply_stream`] is prefix-applied; the
+//! pre-validation is what lifts that to all-or-nothing at the protocol
+//! layer.)
+
+use crate::protocol::{Op, Request, Response};
+use crate::session::Session;
+use netrec_core::oracle::OracleStats;
+use netrec_core::solver::SolverSpec;
+use netrec_core::{RecoveryError, RecoveryPlan, RecoveryProblem, StatePatch};
+use netrec_graph::{EdgeId, NodeId};
+use netrec_json::{object, Json};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The resident dispatcher: shared base topology, the session table,
+/// and the shutdown latch.
+pub struct Engine {
+    base: Arc<RecoveryProblem>,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    default_solver: SolverSpec,
+    shutdown: AtomicBool,
+}
+
+impl Engine {
+    /// Boots an engine over `base`. `default_solver` answers
+    /// `query_plan` requests that name no solver.
+    pub fn new(base: RecoveryProblem, default_solver: SolverSpec) -> Self {
+        Engine {
+            base: Arc::new(base),
+            sessions: Mutex::new(HashMap::new()),
+            default_solver,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether a `shutdown` request has been accepted.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The shared base topology.
+    pub fn base(&self) -> &Arc<RecoveryProblem> {
+        &self.base
+    }
+
+    /// Number of open sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.lock().expect("session table poisoned").len()
+    }
+
+    /// The session handle for `name`, created on first use. The table
+    /// lock is held only for the lookup — solves run under the
+    /// individual session's lock, so a long `query_plan` in one session
+    /// never blocks another session's queries.
+    fn session(&self, name: &str) -> Arc<Mutex<Session>> {
+        let mut table = self.sessions.lock().expect("session table poisoned");
+        Arc::clone(
+            table
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Mutex::new(Session::new(Arc::clone(&self.base))))),
+        )
+    }
+
+    /// Processes one request line and returns the response line
+    /// (without trailing newline). Total: any input produces exactly
+    /// one well-formed response line; nothing panics the caller's loop.
+    pub fn process_line(&self, line: &str) -> String {
+        match Request::parse(line) {
+            Ok(req) => self.dispatch(&req).to_line(),
+            Err(e) => Response::from(&e).to_line(),
+        }
+    }
+
+    /// Routes a parsed request to its session.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        let session_name = req.session_name();
+        let handle = self.session(session_name);
+        let mut session = handle.lock().expect("session poisoned");
+        match &req.op {
+            Op::Disrupt { nodes, edges, cost } => self.mutate(req, &mut session, |problem| {
+                if !cost.is_finite() || *cost < 0.0 {
+                    return Err(RecoveryError::InvalidCost(*cost));
+                }
+                let mut patches = Vec::with_capacity(nodes.len() + edges.len());
+                for &n in nodes {
+                    check_node(problem, n)?;
+                    patches.push(StatePatch::BreakNode {
+                        node: NodeId::new(n),
+                        cost: *cost,
+                    });
+                }
+                for &e in edges {
+                    check_edge(problem, e)?;
+                    patches.push(StatePatch::BreakEdge {
+                        edge: EdgeId::new(e),
+                        cost: *cost,
+                    });
+                }
+                Ok(patches)
+            }),
+            Op::Repair { nodes, edges } => self.mutate(req, &mut session, |problem| {
+                let mut patches = Vec::with_capacity(nodes.len() + edges.len());
+                for &n in nodes {
+                    check_node(problem, n)?;
+                    patches.push(StatePatch::RepairNode {
+                        node: NodeId::new(n),
+                    });
+                }
+                for &e in edges {
+                    check_edge(problem, e)?;
+                    patches.push(StatePatch::RepairEdge {
+                        edge: EdgeId::new(e),
+                    });
+                }
+                Ok(patches)
+            }),
+            Op::Demand { pairs, replace } => self.mutate(req, &mut session, |problem| {
+                let mut patches = Vec::with_capacity(pairs.len() + 1);
+                if *replace {
+                    patches.push(StatePatch::ClearDemands);
+                }
+                for &(s, t, amount) in pairs {
+                    check_node(problem, s)?;
+                    check_node(problem, t)?;
+                    if s == t {
+                        return Err(RecoveryError::UnknownDemandEndpoint);
+                    }
+                    if !amount.is_finite() || amount < 0.0 {
+                        return Err(RecoveryError::InvalidCost(amount));
+                    }
+                    patches.push(StatePatch::AddDemand {
+                        source: NodeId::new(s),
+                        target: NodeId::new(t),
+                        amount,
+                    });
+                }
+                Ok(patches)
+            }),
+            Op::QueryRoutability => match session.query_routability() {
+                Ok((routable, cost)) => Response::ok(
+                    &req.id,
+                    "query_routability",
+                    vec![
+                        ("generation", generation(&session)),
+                        ("routable", Json::Bool(routable)),
+                        ("oracle", stats_json(&cost)),
+                    ],
+                ),
+                Err(e) => recovery_error(req, &e),
+            },
+            Op::QueryPlan {
+                solver,
+                deadline_ms,
+            } => {
+                let spec = match solver {
+                    None => self.default_solver.clone(),
+                    Some(s) => match SolverSpec::parse(s) {
+                        Ok(spec) => spec,
+                        Err(e) => {
+                            return Response::error(
+                                Some(&req.id),
+                                "bad_request",
+                                &format!("invalid solver spec: {e}"),
+                            )
+                        }
+                    },
+                };
+                let baseline = session.oracle_stats();
+                match session.query_plan(&spec, *deadline_ms) {
+                    Ok(plan) => Response::ok(
+                        &req.id,
+                        "query_plan",
+                        vec![
+                            ("generation", generation(&session)),
+                            ("solver", Json::String(spec.to_string())),
+                            ("plan", plan_json(&plan, session.problem())),
+                            (
+                                "oracle",
+                                stats_json(&session.oracle_stats().delta_since(&baseline)),
+                            ),
+                        ],
+                    ),
+                    Err(e) => recovery_error(req, &e),
+                }
+            }
+            Op::Snapshot { fork } => {
+                let mut body = vec![
+                    ("generation", generation(&session)),
+                    (
+                        "nodes",
+                        Json::Number(session.problem().graph().node_count() as f64),
+                    ),
+                    (
+                        "edges",
+                        Json::Number(session.problem().graph().edge_count() as f64),
+                    ),
+                    (
+                        "broken_nodes",
+                        Json::Number(session.problem().broken_node_count() as f64),
+                    ),
+                    (
+                        "broken_edges",
+                        Json::Number(session.problem().broken_edge_count() as f64),
+                    ),
+                    (
+                        "demands",
+                        Json::Number(session.problem().demand_pairs().len() as f64),
+                    ),
+                    (
+                        "total_demand",
+                        Json::Number(session.problem().total_demand()),
+                    ),
+                    (
+                        "events_applied",
+                        Json::Number(session.events_applied() as f64),
+                    ),
+                    (
+                        "warm_witnesses",
+                        Json::Number(session.warm_witnesses() as f64),
+                    ),
+                    ("oracle", stats_json(&session.oracle_stats())),
+                ];
+                if let Some(fork_name) = fork {
+                    if fork_name == session_name {
+                        return Response::error(
+                            Some(&req.id),
+                            "bad_request",
+                            "cannot fork a session onto itself",
+                        );
+                    }
+                    let mut table = self.sessions.lock().expect("session table poisoned");
+                    if table.contains_key(fork_name) {
+                        return Response::error(
+                            Some(&req.id),
+                            "bad_request",
+                            &format!("session {fork_name:?} already exists"),
+                        );
+                    }
+                    table.insert(fork_name.clone(), Arc::new(Mutex::new(session.fork())));
+                    body.push(("forked", Json::String(fork_name.clone())));
+                }
+                Response::ok(&req.id, "snapshot", body)
+            }
+            Op::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::ok(
+                    &req.id,
+                    "shutdown",
+                    vec![("sessions", Json::Number(self.session_count() as f64))],
+                )
+            }
+        }
+    }
+
+    /// Shared shape of the three mutating ops: validate and build the
+    /// patch list against the current state, apply it atomically,
+    /// answer with the new generation.
+    fn mutate(
+        &self,
+        req: &Request,
+        session: &mut Session,
+        build: impl FnOnce(&RecoveryProblem) -> Result<Vec<StatePatch>, RecoveryError>,
+    ) -> Response {
+        let patches = match build(session.problem()) {
+            Ok(p) => p,
+            Err(e) => return recovery_error(req, &e),
+        };
+        match session.apply_stream(&patches) {
+            Ok(applied) => Response::ok(
+                &req.id,
+                req.op.name(),
+                vec![
+                    ("generation", generation(session)),
+                    ("applied", Json::Number(applied as f64)),
+                    (
+                        "broken_nodes",
+                        Json::Number(session.problem().broken_node_count() as f64),
+                    ),
+                    (
+                        "broken_edges",
+                        Json::Number(session.problem().broken_edge_count() as f64),
+                    ),
+                ],
+            ),
+            // Unreachable given pre-validation, but keep the session
+            // consistent and the reply structured if it ever fires.
+            Err((_, e)) => recovery_error(req, &e),
+        }
+    }
+}
+
+fn check_node(problem: &RecoveryProblem, n: usize) -> Result<(), RecoveryError> {
+    if n >= problem.graph().node_count() {
+        return Err(RecoveryError::UnknownDemandEndpoint);
+    }
+    Ok(())
+}
+
+fn check_edge(problem: &RecoveryProblem, e: usize) -> Result<(), RecoveryError> {
+    if e >= problem.graph().edge_count() {
+        return Err(RecoveryError::UnknownDemandEndpoint);
+    }
+    Ok(())
+}
+
+/// The generation fingerprint as a fixed-width hex string (JSON numbers
+/// are f64 and cannot carry 64 bits losslessly).
+fn generation(session: &Session) -> Json {
+    Json::String(format!("{:016x}", session.fingerprint()))
+}
+
+/// A solver-layer failure as a typed error reply. Interruptions
+/// (deadline, cancellation) use the same path: the kind string tells
+/// the client, and the session stays open.
+fn recovery_error(req: &Request, e: &RecoveryError) -> Response {
+    Response::error(Some(&req.id), e.kind(), &e.to_string())
+}
+
+/// The subset of oracle counters a client can act on.
+fn stats_json(stats: &OracleStats) -> Json {
+    object(vec![
+        (
+            "routability_queries",
+            Json::Number(stats.routability_queries as f64),
+        ),
+        (
+            "satisfaction_queries",
+            Json::Number(stats.satisfaction_queries as f64),
+        ),
+        ("lp_solves", Json::Number(stats.lp_solves as f64)),
+        (
+            "warm_start_hits",
+            Json::Number(stats.warm_start_hits as f64),
+        ),
+        ("cache_hits", Json::Number(stats.cache_hits as f64)),
+        ("full_solves", Json::Number(stats.full_solves as f64)),
+    ])
+}
+
+/// A plan in wire form: sorted component ids (the plan is normalized),
+/// totals, and the solver's run counters.
+fn plan_json(plan: &RecoveryPlan, problem: &RecoveryProblem) -> Json {
+    object(vec![
+        ("algorithm", Json::String(plan.algorithm.clone())),
+        (
+            "repaired_nodes",
+            Json::Array(
+                plan.repaired_nodes
+                    .iter()
+                    .map(|n| Json::Number(n.index() as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "repaired_edges",
+            Json::Array(
+                plan.repaired_edges
+                    .iter()
+                    .map(|e| Json::Number(e.index() as f64))
+                    .collect(),
+            ),
+        ),
+        ("total_repairs", Json::Number(plan.total_repairs() as f64)),
+        ("repair_cost", Json::Number(plan.repair_cost(problem))),
+        ("iterations", Json::Number(plan.iterations as f64)),
+        ("used_fallback", Json::Bool(plan.used_fallback)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::Graph;
+
+    fn engine() -> Engine {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(3), 10.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(3), 5.0)
+            .unwrap();
+        Engine::new(p, SolverSpec::parse("isp").unwrap())
+    }
+
+    fn ok(engine: &Engine, line: &str) -> Response {
+        let reply = Response::parse(&engine.process_line(line)).unwrap();
+        assert!(reply.is_ok(), "{line} -> {}", reply.to_line());
+        reply
+    }
+
+    fn err(engine: &Engine, line: &str) -> Response {
+        let reply = Response::parse(&engine.process_line(line)).unwrap();
+        assert!(!reply.is_ok(), "{line} -> {}", reply.to_line());
+        reply
+    }
+
+    #[test]
+    fn disrupt_query_repair_round() {
+        let e = engine();
+        let r = ok(&e, r#"{"v":1,"id":"q0","op":"query_routability"}"#);
+        assert_eq!(r.json().get("routable"), Some(&Json::Bool(true)));
+        ok(
+            &e,
+            r#"{"v":1,"id":"d1","op":"disrupt","edges":[1,3],"cost":2.0}"#,
+        );
+        let r = ok(&e, r#"{"v":1,"id":"q1","op":"query_routability"}"#);
+        assert_eq!(r.json().get("routable"), Some(&Json::Bool(false)));
+        ok(&e, r#"{"v":1,"id":"r1","op":"repair","edges":[3]}"#);
+        let r = ok(&e, r#"{"v":1,"id":"q2","op":"query_routability"}"#);
+        assert_eq!(r.json().get("routable"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn mutating_events_are_atomic() {
+        let e = engine();
+        let before = ok(&e, r#"{"v":1,"id":"s0","op":"snapshot"}"#);
+        let gen_before = before.json().get("generation").cloned();
+        // Edge 99 is out of range: the whole event must be rejected,
+        // including the valid edge 1 before it.
+        let r = err(&e, r#"{"v":1,"id":"d1","op":"disrupt","edges":[1,99]}"#);
+        assert_eq!(r.error_kind(), Some("unknown_endpoint"));
+        let after = ok(&e, r#"{"v":1,"id":"s1","op":"snapshot"}"#);
+        assert_eq!(after.json().get("generation").cloned(), gen_before);
+        assert_eq!(after.json().get("broken_edges"), Some(&Json::Number(0.0)));
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_forkable() {
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d1","session":"a","op":"disrupt","edges":[0],"cost":1.0}"#,
+        );
+        let r = ok(
+            &e,
+            r#"{"v":1,"id":"q1","session":"b","op":"query_routability"}"#,
+        );
+        assert_eq!(r.json().get("routable"), Some(&Json::Bool(true)));
+        let r = ok(
+            &e,
+            r#"{"v":1,"id":"s1","session":"a","op":"snapshot","fork":"a2"}"#,
+        );
+        assert_eq!(r.json().get("forked").and_then(Json::as_str), Some("a2"));
+        // Fork carries the damage; diverging it leaves "a" untouched.
+        ok(
+            &e,
+            r#"{"v":1,"id":"d2","session":"a2","op":"disrupt","edges":[3],"cost":1.0}"#,
+        );
+        let a = ok(&e, r#"{"v":1,"id":"s2","session":"a","op":"snapshot"}"#);
+        assert_eq!(a.json().get("broken_edges"), Some(&Json::Number(1.0)));
+        let a2 = ok(&e, r#"{"v":1,"id":"s3","session":"a2","op":"snapshot"}"#);
+        assert_eq!(a2.json().get("broken_edges"), Some(&Json::Number(2.0)));
+        // Forking onto an existing name is rejected.
+        let r = err(
+            &e,
+            r#"{"v":1,"id":"s4","session":"a","op":"snapshot","fork":"a2"}"#,
+        );
+        assert_eq!(r.error_kind(), Some("bad_request"));
+    }
+
+    #[test]
+    fn query_plan_solves_and_reports() {
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d1","op":"disrupt","edges":[1,3],"cost":1.0}"#,
+        );
+        let r = ok(&e, r#"{"v":1,"id":"p1","op":"query_plan","solver":"isp"}"#);
+        let plan = r.json().get("plan").unwrap();
+        assert_eq!(plan.get("algorithm").and_then(Json::as_str), Some("ISP"));
+        assert!(plan.get("total_repairs").and_then(Json::as_usize).unwrap() >= 1);
+        let r = err(
+            &e,
+            r#"{"v":1,"id":"p2","op":"query_plan","solver":"warp-drive"}"#,
+        );
+        assert_eq!(r.error_kind(), Some("bad_request"));
+    }
+
+    #[test]
+    fn deadline_exceeded_is_typed_and_survivable() {
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d1","op":"disrupt","edges":[1,3],"cost":1.0}"#,
+        );
+        let r = err(&e, r#"{"v":1,"id":"p1","op":"query_plan","deadline_ms":0}"#);
+        assert_eq!(r.error_kind(), Some("deadline_exceeded"));
+        // The session survives the interruption.
+        let r = ok(&e, r#"{"v":1,"id":"p2","op":"query_plan"}"#);
+        assert!(r.is_ok(), "{}", r.to_line());
+    }
+
+    #[test]
+    fn demand_replace_swaps_the_demand_set() {
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"m1","op":"demand","pairs":[[1,2,3.0]],"replace":true}"#,
+        );
+        let s = ok(&e, r#"{"v":1,"id":"s1","op":"snapshot"}"#);
+        assert_eq!(s.json().get("demands"), Some(&Json::Number(1.0)));
+        assert_eq!(s.json().get("total_demand"), Some(&Json::Number(3.0)));
+        // Self-demand is rejected atomically.
+        let r = err(
+            &e,
+            r#"{"v":1,"id":"m2","op":"demand","pairs":[[0,3,1.0],[2,2,1.0]]}"#,
+        );
+        assert_eq!(r.error_kind(), Some("unknown_endpoint"));
+        let s = ok(&e, r#"{"v":1,"id":"s2","op":"snapshot"}"#);
+        assert_eq!(s.json().get("demands"), Some(&Json::Number(1.0)));
+    }
+
+    #[test]
+    fn shutdown_latches() {
+        let e = engine();
+        assert!(!e.is_shutting_down());
+        ok(&e, r#"{"v":1,"id":"z","op":"shutdown"}"#);
+        assert!(e.is_shutting_down());
+    }
+
+    #[test]
+    fn malformed_lines_never_panic_and_always_answer() {
+        let e = engine();
+        for line in [
+            "",
+            "{",
+            "[]",
+            r#"{"v":9,"id":"x","op":"shutdown"}"#,
+            "\u{0}",
+        ] {
+            let reply = Response::parse(&e.process_line(line)).unwrap();
+            assert!(!reply.is_ok());
+        }
+        assert!(!e.is_shutting_down(), "bad version must not shut down");
+    }
+}

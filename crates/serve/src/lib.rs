@@ -1,0 +1,48 @@
+//! Resident recovery-as-a-service: the `netrec-cli serve` daemon.
+//!
+//! One-shot CLI invocations pay topology parsing, graph construction,
+//! and cold LP solves on every question. For operators steering a live
+//! recovery — "is the network routable *now*? what if we also lose
+//! substation 17? which repairs next?" — that boot cost dominates. This
+//! crate keeps everything warm instead: load the topology **once**,
+//! then answer a stream of events and queries at millisecond latency
+//! from per-session incremental-oracle state.
+//!
+//! The daemon speaks a versioned JSONL protocol (one JSON object per
+//! line, `"v":1`) over stdin/stdout and, optionally, a TCP listener —
+//! see [`protocol`] for the grammar and `DESIGN.md` §13 for the full
+//! specification. Events mutate named sessions (`disrupt`, `repair`,
+//! `demand`, `snapshot`/fork); queries read them (`query_routability`,
+//! `query_plan`); `shutdown` drains and exits.
+//!
+//! Three properties anchor the design:
+//!
+//! * **Replay determinism** — a `query_plan` answer is byte-identical
+//!   to solving the same prefix state from scratch with the same
+//!   [`SolverSpec`](netrec_core::solver::SolverSpec): plan requests use
+//!   a fresh solver and context every time, and only the *oracle* is
+//!   warm (its verdicts are exact regardless of history). Replaying a
+//!   recorded stream therefore reproduces responses byte-for-byte.
+//! * **Isolation** — sessions share one immutable base topology behind
+//!   an `Arc` and own private overlays; a fork copies the overlay plus
+//!   the oracle's transferable witnesses, so what-if exploration never
+//!   perturbs the main line.
+//! * **Fairness** — a bounded worker pool with per-session FIFO and
+//!   round-robin across sessions, plus per-connection output
+//!   sequencing: stdout order always equals request order (CI diffs it
+//!   against goldens), yet a slow `query_plan` cannot starve another
+//!   session's routability queries. Per-request deadlines surface as
+//!   typed `deadline_exceeded` responses; the session survives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use engine::Engine;
+pub use protocol::{Op, ProtocolError, Request, Response, DEFAULT_SESSION, PROTOCOL_VERSION};
+pub use server::{run_stream, OpLatency, ServeReport, Server};
+pub use session::Session;

@@ -1,0 +1,687 @@
+//! The versioned JSONL request/response protocol (`DESIGN.md` §13).
+//!
+//! One JSON object per line in both directions. Every request carries
+//! the protocol version (`"v": 1`), a caller-chosen request id echoed
+//! verbatim in the reply, an operation (`"op"`), and optionally a
+//! session name (default session: `"default"`). [`Request::parse`] and
+//! [`Request::to_line`] are exact inverses on valid requests (the
+//! round-trip property the proptest suite pins), and parsing is total:
+//! malformed input becomes a structured error value, never a panic —
+//! the daemon's event loop stays alive on any byte stream.
+//!
+//! Responses are built through [`Response`] so every reply has the same
+//! envelope: `{"v":1,"id":...,"ok":true,...}` on success,
+//! `{"v":1,"id":...,"ok":false,"error":{"kind":...,"message":...}}` on
+//! failure. Error kinds are stable wire strings: protocol-level kinds
+//! from this module (`parse`, `version`, `bad_request`, `unknown_op`)
+//! and solver-level kinds from
+//! [`RecoveryError::kind`](netrec_core::RecoveryError::kind)
+//! (`deadline_exceeded`, `infeasible`, …).
+
+use netrec_json::{object, Json};
+
+/// The protocol version this build speaks.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// The session a request without an explicit `"session"` lands on.
+pub const DEFAULT_SESSION: &str = "default";
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen id, echoed in the response.
+    pub id: String,
+    /// Target session (`None` = [`DEFAULT_SESSION`]).
+    pub session: Option<String>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// The operation catalogue of protocol v1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Break components (cost applies to every component in the event).
+    Disrupt {
+        /// Node ids to break.
+        nodes: Vec<usize>,
+        /// Edge ids to break.
+        edges: Vec<usize>,
+        /// Repair cost recorded for each broken component.
+        cost: f64,
+    },
+    /// Un-break components.
+    Repair {
+        /// Node ids to repair.
+        nodes: Vec<usize>,
+        /// Edge ids to repair.
+        edges: Vec<usize>,
+    },
+    /// Append demand pairs, optionally replacing the current set.
+    Demand {
+        /// `(source, target, amount)` triples.
+        pairs: Vec<(usize, usize, f64)>,
+        /// Whether to clear the existing demand set first.
+        replace: bool,
+    },
+    /// "Is the current state routable?" — served from warm state.
+    QueryRoutability,
+    /// "Best recovery plan now" — a fresh solve of the session state.
+    QueryPlan {
+        /// Solver spec string (`isp`, `grd-nc:...`, …); the daemon
+        /// default applies when empty.
+        solver: Option<String>,
+        /// Per-request wall-clock budget in milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Report session state; with `fork`, clone the session (problem
+    /// overlay + oracle witnesses) under the new name.
+    Snapshot {
+        /// Name of the session to create as a copy of this one.
+        fork: Option<String>,
+    },
+    /// Stop accepting input and exit once queued work drains.
+    Shutdown,
+}
+
+impl Op {
+    /// The wire name of the operation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Disrupt { .. } => "disrupt",
+            Op::Repair { .. } => "repair",
+            Op::Demand { .. } => "demand",
+            Op::QueryRoutability => "query_routability",
+            Op::QueryPlan { .. } => "query_plan",
+            Op::Snapshot { .. } => "snapshot",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A protocol-level request rejection: the line never reached a session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// Stable wire kind: `parse`, `version`, `bad_request`, `unknown_op`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+    /// The request id, when the line was parseable enough to carry one.
+    pub id: Option<String>,
+}
+
+impl ProtocolError {
+    fn new(kind: &'static str, message: impl Into<String>, id: Option<String>) -> Self {
+        ProtocolError {
+            kind,
+            message: message.into(),
+            id,
+        }
+    }
+}
+
+/// Reads a non-negative integer id list member (`"nodes"`, `"edges"`).
+fn id_list(obj: &Json, key: &str, id: &Option<String>) -> Result<Vec<usize>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(Vec::new()),
+        Some(value) => {
+            let items = value.as_array().ok_or_else(|| {
+                ProtocolError::new(
+                    "bad_request",
+                    format!("{key:?} must be an array"),
+                    id.clone(),
+                )
+            })?;
+            items
+                .iter()
+                .map(|v| {
+                    v.as_usize().ok_or_else(|| {
+                        ProtocolError::new(
+                            "bad_request",
+                            format!("{key:?} entries must be non-negative integers"),
+                            id.clone(),
+                        )
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+impl Request {
+    /// Parses one request line. Total: every failure is a structured
+    /// [`ProtocolError`] carrying the id when one was recoverable, so
+    /// the caller can still address its reply.
+    ///
+    /// # Errors
+    ///
+    /// `parse` for malformed JSON or a missing/ill-typed envelope,
+    /// `version` for a wrong `"v"`, `unknown_op` for an unrecognized
+    /// operation, `bad_request` for ill-typed operation fields.
+    pub fn parse(line: &str) -> Result<Request, ProtocolError> {
+        let doc = Json::parse(line)
+            .map_err(|e| ProtocolError::new("parse", format!("invalid JSON: {e}"), None))?;
+        if doc.as_object().is_none() {
+            return Err(ProtocolError::new(
+                "parse",
+                "request must be a JSON object",
+                None,
+            ));
+        }
+        // The id is extracted first so later failures can carry it.
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ProtocolError::new("parse", "missing string \"id\"", None))?;
+        let id_some = Some(id.clone());
+        match doc.get("v").and_then(Json::as_u64) {
+            Some(PROTOCOL_VERSION) => {}
+            Some(v) => {
+                return Err(ProtocolError::new(
+                    "version",
+                    format!(
+                        "protocol version {v} unsupported (this build speaks {PROTOCOL_VERSION})"
+                    ),
+                    id_some,
+                ))
+            }
+            None => {
+                return Err(ProtocolError::new(
+                    "version",
+                    "missing integer \"v\"",
+                    id_some,
+                ))
+            }
+        }
+        let session = match doc.get("session") {
+            None => None,
+            Some(s) => Some(
+                s.as_str()
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .ok_or_else(|| {
+                        ProtocolError::new(
+                            "bad_request",
+                            "\"session\" must be a non-empty string",
+                            id_some.clone(),
+                        )
+                    })?,
+            ),
+        };
+        let op_name = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtocolError::new("parse", "missing string \"op\"", id_some.clone()))?;
+        let op = match op_name {
+            "disrupt" => {
+                let cost = match doc.get("cost") {
+                    None => 1.0,
+                    Some(c) => c.as_f64().ok_or_else(|| {
+                        ProtocolError::new(
+                            "bad_request",
+                            "\"cost\" must be a number",
+                            id_some.clone(),
+                        )
+                    })?,
+                };
+                Op::Disrupt {
+                    nodes: id_list(&doc, "nodes", &id_some)?,
+                    edges: id_list(&doc, "edges", &id_some)?,
+                    cost,
+                }
+            }
+            "repair" => Op::Repair {
+                nodes: id_list(&doc, "nodes", &id_some)?,
+                edges: id_list(&doc, "edges", &id_some)?,
+            },
+            "demand" => {
+                let pairs = match doc.get("pairs") {
+                    None => Vec::new(),
+                    Some(value) => {
+                        let items = value.as_array().ok_or_else(|| {
+                            ProtocolError::new(
+                                "bad_request",
+                                "\"pairs\" must be an array",
+                                id_some.clone(),
+                            )
+                        })?;
+                        let mut pairs = Vec::with_capacity(items.len());
+                        for item in items {
+                            let triple = item.as_array().filter(|t| t.len() == 3);
+                            let parsed = triple.and_then(|t| {
+                                Some((t[0].as_usize()?, t[1].as_usize()?, t[2].as_f64()?))
+                            });
+                            match parsed {
+                                Some(p) => pairs.push(p),
+                                None => {
+                                    return Err(ProtocolError::new(
+                                        "bad_request",
+                                        "\"pairs\" entries must be [source, target, amount]",
+                                        id_some,
+                                    ))
+                                }
+                            }
+                        }
+                        pairs
+                    }
+                };
+                let replace = match doc.get("replace") {
+                    None => false,
+                    Some(Json::Bool(b)) => *b,
+                    Some(_) => {
+                        return Err(ProtocolError::new(
+                            "bad_request",
+                            "\"replace\" must be a boolean",
+                            id_some,
+                        ))
+                    }
+                };
+                Op::Demand { pairs, replace }
+            }
+            "query_routability" => Op::QueryRoutability,
+            "query_plan" => {
+                let solver = match doc.get("solver") {
+                    None => None,
+                    Some(s) => Some(
+                        s.as_str()
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .ok_or_else(|| {
+                                ProtocolError::new(
+                                    "bad_request",
+                                    "\"solver\" must be a non-empty string",
+                                    id_some.clone(),
+                                )
+                            })?,
+                    ),
+                };
+                let deadline_ms = match doc.get("deadline_ms") {
+                    None => None,
+                    Some(d) => Some(d.as_u64().ok_or_else(|| {
+                        ProtocolError::new(
+                            "bad_request",
+                            "\"deadline_ms\" must be a non-negative integer",
+                            id_some.clone(),
+                        )
+                    })?),
+                };
+                Op::QueryPlan {
+                    solver,
+                    deadline_ms,
+                }
+            }
+            "snapshot" => {
+                let fork = match doc.get("fork") {
+                    None => None,
+                    Some(s) => Some(
+                        s.as_str()
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string)
+                            .ok_or_else(|| {
+                                ProtocolError::new(
+                                    "bad_request",
+                                    "\"fork\" must be a non-empty string",
+                                    id_some.clone(),
+                                )
+                            })?,
+                    ),
+                };
+                Op::Snapshot { fork }
+            }
+            "shutdown" => Op::Shutdown,
+            other => {
+                return Err(ProtocolError::new(
+                    "unknown_op",
+                    format!("unknown op {other:?}"),
+                    id_some,
+                ))
+            }
+        };
+        Ok(Request { id, session, op })
+    }
+
+    /// Renders the canonical one-line encoding ([`Request::parse`]'s
+    /// exact inverse: parse ∘ to_line = identity on valid requests).
+    pub fn to_line(&self) -> String {
+        let mut members = vec![
+            ("v", Json::Number(PROTOCOL_VERSION as f64)),
+            ("id", Json::String(self.id.clone())),
+        ];
+        if let Some(session) = &self.session {
+            members.push(("session", Json::String(session.clone())));
+        }
+        members.push(("op", Json::String(self.op.name().to_string())));
+        let ids =
+            |list: &[usize]| Json::Array(list.iter().map(|&i| Json::Number(i as f64)).collect());
+        match &self.op {
+            Op::Disrupt { nodes, edges, cost } => {
+                members.push(("nodes", ids(nodes)));
+                members.push(("edges", ids(edges)));
+                members.push(("cost", Json::Number(*cost)));
+            }
+            Op::Repair { nodes, edges } => {
+                members.push(("nodes", ids(nodes)));
+                members.push(("edges", ids(edges)));
+            }
+            Op::Demand { pairs, replace } => {
+                members.push((
+                    "pairs",
+                    Json::Array(
+                        pairs
+                            .iter()
+                            .map(|&(s, t, a)| {
+                                Json::Array(vec![
+                                    Json::Number(s as f64),
+                                    Json::Number(t as f64),
+                                    Json::Number(a),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
+                members.push(("replace", Json::Bool(*replace)));
+            }
+            Op::QueryRoutability | Op::Shutdown => {}
+            Op::QueryPlan {
+                solver,
+                deadline_ms,
+            } => {
+                if let Some(solver) = solver {
+                    members.push(("solver", Json::String(solver.clone())));
+                }
+                if let Some(ms) = deadline_ms {
+                    members.push(("deadline_ms", Json::Number(*ms as f64)));
+                }
+            }
+            Op::Snapshot { fork } => {
+                if let Some(fork) = fork {
+                    members.push(("fork", Json::String(fork.clone())));
+                }
+            }
+        }
+        object(members).to_line()
+    }
+
+    /// The effective session name.
+    pub fn session_name(&self) -> &str {
+        self.session.as_deref().unwrap_or(DEFAULT_SESSION)
+    }
+}
+
+impl std::fmt::Display for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+/// A response line under construction. Always renders the full
+/// envelope; the writer is the byte-stable [`Json`] writer, so replying
+/// twice to identical state is byte-identical (the golden-diff
+/// property CI leans on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response(Json);
+
+impl Response {
+    /// A success reply: the envelope plus `body` members in order.
+    pub fn ok(id: &str, op: &'static str, body: Vec<(&str, Json)>) -> Response {
+        let mut members = vec![
+            ("v", Json::Number(PROTOCOL_VERSION as f64)),
+            ("id", Json::String(id.to_string())),
+            ("ok", Json::Bool(true)),
+            ("op", Json::String(op.to_string())),
+        ];
+        members.extend(body);
+        Response(object(members))
+    }
+
+    /// An error reply. `id` is `null` when the line was too malformed
+    /// to carry one.
+    pub fn error(id: Option<&str>, kind: &str, message: &str) -> Response {
+        Response(object(vec![
+            ("v", Json::Number(PROTOCOL_VERSION as f64)),
+            (
+                "id",
+                id.map_or(Json::Null, |id| Json::String(id.to_string())),
+            ),
+            ("ok", Json::Bool(false)),
+            (
+                "error",
+                object(vec![
+                    ("kind", Json::String(kind.to_string())),
+                    ("message", Json::String(message.to_string())),
+                ]),
+            ),
+        ]))
+    }
+
+    /// The one-line wire encoding.
+    pub fn to_line(&self) -> String {
+        self.0.to_line()
+    }
+
+    /// The underlying JSON value (tests and clients).
+    pub fn json(&self) -> &Json {
+        &self.0
+    }
+
+    /// Parses a response line back into its JSON value, validating the
+    /// envelope (version, id, `ok` flag, error shape).
+    ///
+    /// # Errors
+    ///
+    /// A message describing the envelope violation.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = Json::parse(line)?;
+        if doc.get("v").and_then(Json::as_u64) != Some(PROTOCOL_VERSION) {
+            return Err("missing or unsupported \"v\"".to_string());
+        }
+        match doc.get("id") {
+            Some(Json::String(_)) | Some(Json::Null) => {}
+            _ => return Err("missing \"id\"".to_string()),
+        }
+        match doc.get("ok") {
+            Some(Json::Bool(true)) => {}
+            Some(Json::Bool(false)) => {
+                let error = doc.get("error").ok_or("error reply without \"error\"")?;
+                if error.get("kind").and_then(Json::as_str).is_none() {
+                    return Err("\"error\" without string \"kind\"".to_string());
+                }
+            }
+            _ => return Err("missing boolean \"ok\"".to_string()),
+        }
+        Ok(Response(doc))
+    }
+
+    /// Whether this is a success reply.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.0.get("ok"), Some(Json::Bool(true)))
+    }
+
+    /// The echoed request id (`None` for unaddressable parse errors).
+    pub fn id(&self) -> Option<&str> {
+        self.0.get("id").and_then(Json::as_str)
+    }
+
+    /// The error kind of a failure reply.
+    pub fn error_kind(&self) -> Option<&str> {
+        self.0
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+    }
+}
+
+impl From<&ProtocolError> for Response {
+    fn from(e: &ProtocolError) -> Self {
+        Response::error(e.id.as_deref(), e.kind, &e.message)
+    }
+}
+
+impl std::fmt::Display for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(req: Request) {
+        let line = req.to_line();
+        let parsed = Request::parse(&line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        assert_eq!(parsed, req, "{line}");
+        assert_eq!(parsed.to_line(), line, "re-render is byte-stable");
+    }
+
+    #[test]
+    fn every_op_round_trips() {
+        round_trips(Request {
+            id: "a-1".into(),
+            session: None,
+            op: Op::Disrupt {
+                nodes: vec![1, 2],
+                edges: vec![0],
+                cost: 2.5,
+            },
+        });
+        round_trips(Request {
+            id: "r".into(),
+            session: Some("ops".into()),
+            op: Op::Repair {
+                nodes: vec![],
+                edges: vec![3],
+            },
+        });
+        round_trips(Request {
+            id: "d".into(),
+            session: None,
+            op: Op::Demand {
+                pairs: vec![(0, 5, 3.25), (2, 4, 1.0)],
+                replace: true,
+            },
+        });
+        round_trips(Request {
+            id: "q".into(),
+            session: Some("what-if".into()),
+            op: Op::QueryRoutability,
+        });
+        round_trips(Request {
+            id: "p".into(),
+            session: None,
+            op: Op::QueryPlan {
+                solver: Some("grd-nc".into()),
+                deadline_ms: Some(250),
+            },
+        });
+        round_trips(Request {
+            id: "p2".into(),
+            session: None,
+            op: Op::QueryPlan {
+                solver: None,
+                deadline_ms: None,
+            },
+        });
+        round_trips(Request {
+            id: "s".into(),
+            session: None,
+            op: Op::Snapshot {
+                fork: Some("backup".into()),
+            },
+        });
+        round_trips(Request {
+            id: "s2".into(),
+            session: None,
+            op: Op::Snapshot { fork: None },
+        });
+        round_trips(Request {
+            id: "bye".into(),
+            session: None,
+            op: Op::Shutdown,
+        });
+    }
+
+    #[test]
+    fn malformed_lines_are_structured_errors() {
+        for (line, kind) in [
+            ("", "parse"),
+            ("not json", "parse"),
+            ("[1,2]", "parse"),
+            ("{}", "parse"),
+            (r#"{"id": 7, "v": 1, "op": "shutdown"}"#, "parse"),
+            (r#"{"id": "x", "op": "shutdown"}"#, "version"),
+            (r#"{"id": "x", "v": 2, "op": "shutdown"}"#, "version"),
+            (r#"{"id": "x", "v": 1}"#, "parse"),
+            (r#"{"id": "x", "v": 1, "op": "reboot"}"#, "unknown_op"),
+            (
+                r#"{"id": "x", "v": 1, "op": "disrupt", "nodes": "all"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "op": "disrupt", "nodes": [-1]}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "op": "disrupt", "cost": "big"}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "op": "demand", "pairs": [[1, 2]]}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "op": "demand", "replace": 1}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "op": "query_plan", "deadline_ms": -5}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "op": "query_plan", "solver": ""}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "session": "", "op": "shutdown"}"#,
+                "bad_request",
+            ),
+        ] {
+            let err = Request::parse(line).expect_err(line);
+            assert_eq!(err.kind, kind, "{line}: {err:?}");
+            // Every error renders as a valid error response line.
+            let rendered = Response::from(&err).to_line();
+            let reply = Response::parse(&rendered).unwrap();
+            assert!(!reply.is_ok());
+            assert_eq!(reply.error_kind(), Some(kind));
+        }
+    }
+
+    #[test]
+    fn recoverable_ids_are_carried_into_the_error() {
+        let err = Request::parse(r#"{"id": "x-9", "v": 1, "op": "reboot"}"#).unwrap_err();
+        assert_eq!(err.id.as_deref(), Some("x-9"));
+        let err = Request::parse("garbage").unwrap_err();
+        assert_eq!(err.id, None);
+        assert!(Response::from(&err).to_line().contains("\"id\":null"));
+    }
+
+    #[test]
+    fn response_envelope_is_validated() {
+        let ok = Response::ok(
+            "q1",
+            "query_routability",
+            vec![("routable", Json::Bool(true))],
+        );
+        let parsed = Response::parse(&ok.to_line()).unwrap();
+        assert!(parsed.is_ok());
+        assert_eq!(parsed.id(), Some("q1"));
+        assert!(
+            Response::parse(r#"{"id":"x","ok":true}"#).is_err(),
+            "no version"
+        );
+        assert!(
+            Response::parse(r#"{"v":1,"id":"x","ok":false}"#).is_err(),
+            "no error"
+        );
+    }
+}

@@ -1,0 +1,635 @@
+//! Transports and scheduling around the [`Engine`].
+//!
+//! A [`Server`] owns a bounded worker pool fed by a per-session FIFO
+//! scheduler: requests for the same session execute strictly in arrival
+//! order (one at a time — the state-machine semantics clients rely on),
+//! while distinct sessions round-robin across workers, so a slow
+//! `query_plan` in one session cannot starve another session's
+//! routability queries.
+//!
+//! Responses go through a per-connection **output sequencer**: every
+//! request gets a sequence number at read time, and response lines are
+//! written strictly in that order regardless of which worker finishes
+//! first. Daemon output for a given input stream is therefore
+//! byte-deterministic — the property the CI golden diff and the replay
+//! determinism test pin — without giving up parallelism across
+//! sessions.
+//!
+//! Latency is recorded per operation as each request is processed and
+//! summarized (count, p50, p99) in a [`ServeReport`]; the CLI prints it
+//! to stderr so stdout stays pure protocol.
+
+use crate::engine::Engine;
+use crate::protocol::{Op, Request, Response};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::io::{BufRead, Read, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Wire name used in latency accounting for lines rejected before
+/// dispatch (parse/version errors have no [`Op`]).
+const PROTOCOL_ERROR_OP: &str = "protocol_error";
+
+/// One queued request: where to answer (connection + slot) and what to
+/// run.
+struct Job {
+    conn: Arc<ConnOut>,
+    seq: u64,
+    req: Request,
+}
+
+/// Per-session FIFO scheduler state (guarded by [`Scheduler::state`]).
+#[derive(Default)]
+struct SchedState {
+    /// Pending jobs per session, in arrival order.
+    per_session: HashMap<String, VecDeque<Job>>,
+    /// Sessions with pending work that no worker currently owns.
+    run_queue: VecDeque<String>,
+    /// Membership index for `run_queue` (no duplicate entries).
+    queued: HashSet<String>,
+    /// Sessions a worker is currently executing.
+    active: HashSet<String>,
+    /// Jobs submitted and not yet completed.
+    in_flight: usize,
+    /// Set by [`Server::finish`]: workers exit once drained.
+    stopping: bool,
+}
+
+struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new() -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn submit(&self, session: String, job: Job) {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        st.per_session
+            .entry(session.clone())
+            .or_default()
+            .push_back(job);
+        if !st.active.contains(&session) && st.queued.insert(session.clone()) {
+            st.run_queue.push_back(session);
+        }
+        st.in_flight += 1;
+        self.cv.notify_one();
+    }
+
+    /// Blocks for the next runnable job; `None` means drained-and-stopping.
+    fn next(&self) -> Option<(String, Job)> {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        loop {
+            if let Some(session) = st.run_queue.pop_front() {
+                st.queued.remove(&session);
+                let job = st
+                    .per_session
+                    .get_mut(&session)
+                    .and_then(VecDeque::pop_front)
+                    .expect("queued session without pending jobs");
+                st.active.insert(session.clone());
+                return Some((session, job));
+            }
+            if st.stopping && st.in_flight == 0 {
+                return None;
+            }
+            st = self.cv.wait(st).expect("scheduler poisoned");
+        }
+    }
+
+    /// Marks a job finished; re-queues the session if it has more work.
+    fn complete(&self, session: String) {
+        let mut st = self.state.lock().expect("scheduler poisoned");
+        st.active.remove(&session);
+        let more = st.per_session.get(&session).is_some_and(|q| !q.is_empty());
+        if more {
+            if st.queued.insert(session.clone()) {
+                st.run_queue.push_back(session);
+            }
+        } else {
+            st.per_session.remove(&session);
+        }
+        st.in_flight -= 1;
+        self.cv.notify_all();
+    }
+
+    fn stop(&self) {
+        self.state.lock().expect("scheduler poisoned").stopping = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-connection response sequencer: responses are buffered until
+/// every earlier slot has been written, so output order equals request
+/// order no matter which worker finishes first.
+struct ConnOut {
+    inner: Mutex<ConnOutInner>,
+}
+
+struct ConnOutInner {
+    next: u64,
+    buffered: BTreeMap<u64, String>,
+    sink: Box<dyn Write + Send>,
+}
+
+impl ConnOut {
+    fn new(sink: Box<dyn Write + Send>) -> Self {
+        ConnOut {
+            inner: Mutex::new(ConnOutInner {
+                next: 0,
+                buffered: BTreeMap::new(),
+                sink,
+            }),
+        }
+    }
+
+    /// Hands in the response for slot `seq`; writes every response line
+    /// that is now contiguous. Write failures are swallowed — a client
+    /// that hung up cannot take the daemon down.
+    fn deliver(&self, seq: u64, line: String) {
+        let mut inner = self.inner.lock().expect("connection sink poisoned");
+        inner.buffered.insert(seq, line);
+        loop {
+            let next = inner.next;
+            match inner.buffered.remove(&next) {
+                Some(line) => {
+                    inner.next += 1;
+                    let _ = writeln!(inner.sink, "{line}");
+                }
+                None => break,
+            }
+        }
+        let _ = inner.sink.flush();
+    }
+}
+
+/// Per-op latency samples in microseconds.
+#[derive(Default)]
+struct Latencies(Mutex<HashMap<String, Vec<u64>>>);
+
+impl Latencies {
+    fn record(&self, op: &str, elapsed: Duration) {
+        self.0
+            .lock()
+            .expect("latency table poisoned")
+            .entry(op.to_string())
+            .or_default()
+            .push(elapsed.as_micros() as u64);
+    }
+}
+
+/// Latency summary for one operation class.
+#[derive(Debug, Clone)]
+pub struct OpLatency {
+    /// Operation wire name (or `protocol_error`).
+    pub op: String,
+    /// Requests processed.
+    pub count: usize,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// What a server run did, rendered to stderr by the CLI on shutdown.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Total requests processed (including rejected lines).
+    pub requests: usize,
+    /// Per-op latency summaries, sorted by op name.
+    pub per_op: Vec<OpLatency>,
+}
+
+impl ServeReport {
+    /// Renders the stderr summary, one `serve: op=… count=… p50_us=…
+    /// p99_us=…` line per op (stable order) — the format the CI latency
+    /// gate parses.
+    pub fn render(&self) -> String {
+        let mut out = format!("serve: requests={}\n", self.requests);
+        for op in &self.per_op {
+            out.push_str(&format!(
+                "serve: op={} count={} p50_us={} p99_us={}\n",
+                op.op, op.count, op.p50_us, op.p99_us
+            ));
+        }
+        out
+    }
+
+    /// The summary for `op`, if any requests of that class ran.
+    pub fn op(&self, op: &str) -> Option<&OpLatency> {
+        self.per_op.iter().find(|l| l.op == op)
+    }
+}
+
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as u64 * pct).div_euclid(100) as usize;
+    sorted[idx]
+}
+
+/// The resident server: an [`Engine`] plus its worker pool.
+pub struct Server {
+    engine: Arc<Engine>,
+    sched: Arc<Scheduler>,
+    latencies: Arc<Latencies>,
+    workers: Vec<JoinHandle<()>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Spawns `workers` worker threads over `engine` (clamped to ≥ 1).
+    pub fn new(engine: Arc<Engine>, workers: usize) -> Self {
+        let sched = Arc::new(Scheduler::new());
+        let latencies = Arc::new(Latencies::default());
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let sched = Arc::clone(&sched);
+                let latencies = Arc::clone(&latencies);
+                std::thread::spawn(move || {
+                    while let Some((session, job)) = sched.next() {
+                        let started = Instant::now();
+                        let response = engine.dispatch(&job.req);
+                        latencies.record(job.req.op.name(), started.elapsed());
+                        job.conn.deliver(job.seq, response.to_line());
+                        sched.complete(session);
+                    }
+                })
+            })
+            .collect();
+        Server {
+            engine,
+            sched,
+            latencies,
+            workers,
+            conn_threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Serves one connection on the calling thread until EOF or a
+    /// `shutdown` request is read. Returns the number of lines read.
+    ///
+    /// Lines are sequenced as they arrive: protocol rejections answer
+    /// immediately through the sequencer, valid requests queue for the
+    /// pool. After a `shutdown` line the reader stops consuming input
+    /// ("stop accepting"); its response still flushes once the queue
+    /// drains.
+    pub fn serve_connection(&self, reader: impl BufRead, sink: Box<dyn Write + Send>) -> usize {
+        let conn = Arc::new(ConnOut::new(sink));
+        let mut seq = 0u64;
+        for line in reader.lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let slot = seq;
+            seq += 1;
+            match Request::parse(&line) {
+                Ok(req) => {
+                    let is_shutdown = matches!(req.op, Op::Shutdown);
+                    self.sched.submit(
+                        req.session_name().to_string(),
+                        Job {
+                            conn: Arc::clone(&conn),
+                            seq: slot,
+                            req,
+                        },
+                    );
+                    if is_shutdown {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    let started = Instant::now();
+                    let response = Response::from(&e);
+                    self.latencies.record(PROTOCOL_ERROR_OP, started.elapsed());
+                    conn.deliver(slot, response.to_line());
+                }
+            }
+        }
+        seq as usize
+    }
+
+    /// Accepts TCP connections until the engine shuts down, one thread
+    /// per connection. The listener is polled (non-blocking + sleep) so
+    /// a `shutdown` arriving on any transport stops the accept loop
+    /// within one poll interval.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener configuration failures.
+    pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.engine.is_shutting_down() {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    stream.set_nonblocking(false)?;
+                    // Finite read timeout so the connection thread
+                    // notices shutdown even when its client stays
+                    // silent with the socket open.
+                    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+                    let sink = Box::new(stream.try_clone()?);
+                    let handle = {
+                        let engine = Arc::clone(&self.engine);
+                        let sched = Arc::clone(&self.sched);
+                        let latencies = Arc::clone(&self.latencies);
+                        std::thread::spawn(move || {
+                            serve_tcp_connection(engine, sched, latencies, stream, sink);
+                        })
+                    };
+                    self.conn_threads
+                        .lock()
+                        .expect("connection table poisoned")
+                        .push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains queued work, stops the pool, joins every thread, and
+    /// returns the latency report.
+    pub fn finish(self) -> ServeReport {
+        self.sched.stop();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        let conn_threads = self
+            .conn_threads
+            .into_inner()
+            .expect("connection table poisoned");
+        for t in conn_threads {
+            let _ = t.join();
+        }
+        let table = self.latencies.0.lock().expect("latency table poisoned");
+        let mut per_op: Vec<OpLatency> = table
+            .iter()
+            .map(|(op, samples)| {
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                OpLatency {
+                    op: op.clone(),
+                    count: sorted.len(),
+                    p50_us: percentile(&sorted, 50),
+                    p99_us: percentile(&sorted, 99),
+                }
+            })
+            .collect();
+        per_op.sort_by(|a, b| a.op.cmp(&b.op));
+        ServeReport {
+            requests: per_op.iter().map(|l| l.count).sum(),
+            per_op,
+        }
+    }
+}
+
+/// The TCP connection loop: like [`Server::serve_connection`] but
+/// tolerant of read timeouts (used to poll the shutdown latch).
+fn serve_tcp_connection(
+    engine: Arc<Engine>,
+    sched: Arc<Scheduler>,
+    latencies: Arc<Latencies>,
+    stream: std::net::TcpStream,
+    sink: Box<dyn Write + Send>,
+) {
+    let conn = Arc::new(ConnOut::new(sink));
+    let mut seq = 0u64;
+    let mut buf = Vec::new();
+    let mut byte = [0u8; 1];
+    let mut reader = std::io::BufReader::new(stream);
+    'outer: loop {
+        // Byte-at-a-time through a BufReader: simple, timeout-safe
+        // line framing (read_line would lose partial data on timeout).
+        buf.clear();
+        loop {
+            match reader.read(&mut byte) {
+                Ok(0) => break 'outer,
+                Ok(_) => {
+                    if byte[0] == b'\n' {
+                        break;
+                    }
+                    buf.push(byte[0]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if engine.is_shutting_down() {
+                        break 'outer;
+                    }
+                }
+                Err(_) => break 'outer,
+            }
+        }
+        let line = String::from_utf8_lossy(&buf).into_owned();
+        if line.trim().is_empty() {
+            continue;
+        }
+        let slot = seq;
+        seq += 1;
+        match Request::parse(&line) {
+            Ok(req) => {
+                let is_shutdown = matches!(req.op, Op::Shutdown);
+                sched.submit(
+                    req.session_name().to_string(),
+                    Job {
+                        conn: Arc::clone(&conn),
+                        seq: slot,
+                        req,
+                    },
+                );
+                if is_shutdown {
+                    break;
+                }
+            }
+            Err(e) => {
+                let started = Instant::now();
+                let response = Response::from(&e);
+                latencies.record(PROTOCOL_ERROR_OP, started.elapsed());
+                conn.deliver(slot, response.to_line());
+            }
+        }
+    }
+}
+
+/// Convenience harness: run `input` (a whole JSONL stream) through a
+/// fresh pool over `engine` and return `(stdout bytes, report)`.
+/// The replay tests and the bench drive the daemon through this.
+pub fn run_stream(engine: Arc<Engine>, workers: usize, input: &str) -> (String, ServeReport) {
+    let server = Server::new(engine, workers);
+    let out = SharedBuf::default();
+    server.serve_connection(input.as_bytes(), Box::new(out.clone()));
+    let report = server.finish();
+    (out.take(), report)
+}
+
+/// A `Write` handle over a shared byte buffer (test/bench sink).
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuf {
+    fn take(&self) -> String {
+        let bytes = std::mem::take(&mut *self.0.lock().expect("buffer poisoned"));
+        String::from_utf8(bytes).expect("responses are UTF-8")
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0
+            .lock()
+            .expect("buffer poisoned")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_core::solver::SolverSpec;
+    use netrec_core::RecoveryProblem;
+    use netrec_graph::Graph;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    fn engine() -> Arc<Engine> {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(3), 10.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(3), 5.0)
+            .unwrap();
+        Arc::new(Engine::new(p, SolverSpec::parse("isp").unwrap()))
+    }
+
+    const STREAM: &str = r#"{"v":1,"id":"q0","op":"query_routability"}
+{"v":1,"id":"d1","op":"disrupt","edges":[1,3],"cost":1.0}
+not json at all
+{"v":1,"id":"q1","op":"query_routability"}
+{"v":1,"id":"p1","op":"query_plan","solver":"isp"}
+{"v":1,"id":"z","op":"shutdown"}
+"#;
+
+    #[test]
+    fn output_order_matches_input_order_at_any_worker_count() {
+        let expected_ids = [
+            Some("q0"),
+            Some("d1"),
+            None,
+            Some("q1"),
+            Some("p1"),
+            Some("z"),
+        ];
+        let mut outputs = Vec::new();
+        for workers in [1, 4] {
+            let (out, report) = run_stream(engine(), workers, STREAM);
+            let ids: Vec<Option<String>> = out
+                .lines()
+                .map(|l| Response::parse(l).unwrap().id().map(str::to_string))
+                .collect();
+            assert_eq!(
+                ids,
+                expected_ids
+                    .iter()
+                    .map(|o| o.map(str::to_string))
+                    .collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+            assert_eq!(report.requests, 6);
+            assert!(report.op("query_routability").unwrap().count == 2);
+            assert!(report.op("protocol_error").is_some());
+            outputs.push(out);
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "stdout is byte-identical regardless of pool size"
+        );
+    }
+
+    #[test]
+    fn sessions_make_progress_despite_a_slow_neighbor() {
+        // A heavy plan request on session "slow" queues first; queries
+        // on session "fast" still answer (round-robin across sessions)
+        // and the final output order is the input order.
+        let stream = r#"{"v":1,"id":"a","session":"slow","op":"disrupt","edges":[1,3],"cost":1.0}
+{"v":1,"id":"b","session":"slow","op":"query_plan","solver":"opt"}
+{"v":1,"id":"c","session":"fast","op":"query_routability"}
+{"v":1,"id":"d","session":"fast","op":"query_routability"}
+{"v":1,"id":"z","op":"shutdown"}
+"#;
+        let (out, _) = run_stream(engine(), 2, stream);
+        let ids: Vec<&str> = out
+            .lines()
+            .map(|l| {
+                let r = Response::parse(l).unwrap();
+                assert!(r.is_ok(), "{l}");
+                ""
+            })
+            .collect();
+        assert_eq!(ids.len(), 5);
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let engine = engine();
+        let server = Arc::new(Server::new(Arc::clone(&engine), 2));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve_tcp(listener).unwrap())
+        };
+
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(
+                b"{\"v\":1,\"id\":\"t1\",\"op\":\"query_routability\"}\n{\"v\":1,\"id\":\"t2\",\"op\":\"shutdown\"}\n",
+            )
+            .unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r = Response::parse(line.trim_end()).unwrap();
+        assert!(r.is_ok());
+        assert_eq!(r.id(), Some("t1"));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::parse(line.trim_end()).unwrap().id(), Some("t2"));
+
+        acceptor.join().unwrap();
+        assert!(engine.is_shutting_down());
+        let report = Arc::try_unwrap(server)
+            .ok()
+            .expect("acceptor joined; sole owner")
+            .finish();
+        assert_eq!(report.op("shutdown").unwrap().count, 1);
+    }
+}

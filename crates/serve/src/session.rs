@@ -1,0 +1,424 @@
+//! Per-session warm state.
+//!
+//! Every session owns a private [`RecoveryProblem`] overlay — cloned
+//! once from the shared immutable base topology when the session is
+//! created — plus a persistent [`IncrementalOracle`] whose witnesses
+//! and warm LP bases survive across requests. That persistence is the
+//! daemon's whole value proposition: the first routability query after
+//! a disruption pays a solve, subsequent queries on nearby states are
+//! answered from monotone witnesses or a dual-simplex re-solve of the
+//! same warm system, orders of magnitude cheaper than booting a
+//! process and solving cold (`BENCH_serve.json` pins the ratio).
+//!
+//! `query_plan` deliberately does **not** reuse warm solver state: each
+//! plan request builds a fresh solver from its [`SolverSpec`] and a
+//! fresh [`SolveContext`], so the produced plan is byte-identical to
+//! solving the same prefix state from scratch — the replay-determinism
+//! contract. Only the *oracle* is warm, and the incremental backend's
+//! routability verdicts and satisfied totals are exact regardless of
+//! history.
+
+use netrec_core::oracle::{EvalOracle, IncrementalOracle, OracleStats, RoutabilityOracle};
+use netrec_core::solver::{SolveContext, SolverSpec};
+use netrec_core::{RecoveryError, RecoveryPlan, RecoveryProblem, StatePatch};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One live session: a problem overlay plus warm oracle state.
+pub struct Session {
+    base: Arc<RecoveryProblem>,
+    problem: RecoveryProblem,
+    oracle: IncrementalOracle,
+    /// Protocol events successfully applied since creation (forks
+    /// inherit the parent's count — it measures state lineage depth,
+    /// not per-session traffic).
+    events_applied: usize,
+    /// Memoized routability verdict, valid while `events_applied`
+    /// matches the recorded value. Every mutation goes through
+    /// [`Session::apply_stream`], so an unchanged counter proves the
+    /// observable state is unchanged and the verdict can be replayed in
+    /// O(1) — repeat monitoring queries skip even the O(|V|+|E|)
+    /// canonicalization the warm oracle would pay.
+    routability_cache: std::cell::Cell<Option<(usize, bool)>>,
+    /// Memoized [`Session::fingerprint`] under the same invalidation
+    /// rule — every response carries the generation, and recomputing an
+    /// O(|V|+|E|) hash per reply would dominate cheap queries.
+    fingerprint_cache: std::cell::Cell<Option<(usize, u64)>>,
+}
+
+impl Session {
+    /// Opens a session on the shared base topology. The overlay is a
+    /// one-time clone: sessions pay O(|V|+|E|) memory each for fully
+    /// independent mutation, which keeps every query lock-free with
+    /// respect to other sessions.
+    pub fn new(base: Arc<RecoveryProblem>) -> Self {
+        Session {
+            problem: (*base).clone(),
+            oracle: IncrementalOracle::new(),
+            base,
+            events_applied: 0,
+            routability_cache: std::cell::Cell::new(None),
+            fingerprint_cache: std::cell::Cell::new(None),
+        }
+    }
+
+    /// Forks this session: the overlay is cloned and the oracle's
+    /// transferable warm state (generation fingerprint + monotone
+    /// witnesses) is carried over, so the fork answers its first
+    /// queries warm instead of cold.
+    pub fn fork(&self) -> Session {
+        let oracle = IncrementalOracle::new();
+        oracle.restore_state(&self.oracle.snapshot_state());
+        Session {
+            base: Arc::clone(&self.base),
+            problem: self.problem.clone(),
+            oracle,
+            events_applied: self.events_applied,
+            // The fork shares the parent's state, so its verdict too.
+            routability_cache: self.routability_cache.clone(),
+            fingerprint_cache: self.fingerprint_cache.clone(),
+        }
+    }
+
+    /// The current overlay state.
+    pub fn problem(&self) -> &RecoveryProblem {
+        &self.problem
+    }
+
+    /// Events successfully applied along this session's lineage.
+    pub fn events_applied(&self) -> usize {
+        self.events_applied
+    }
+
+    /// Applies a patch stream; prefix-applied on error (the protocol
+    /// rejects the whole event, but [`RecoveryProblem::apply_stream`]
+    /// semantics mean a multi-component event is atomic only when every
+    /// component validates — the engine pre-validates ids against the
+    /// topology so in practice rejection happens before mutation).
+    ///
+    /// # Errors
+    ///
+    /// The first patch rejection with its position.
+    pub fn apply_stream(
+        &mut self,
+        patches: &[StatePatch],
+    ) -> Result<usize, (usize, RecoveryError)> {
+        let applied = self.problem.apply_stream(patches)?;
+        self.events_applied += 1;
+        Ok(applied)
+    }
+
+    /// FNV-1a fingerprint of the session's *observable* state: topology
+    /// shape, capacities, broken masks, repair costs of broken
+    /// components, and the demand list. Two sessions with equal
+    /// fingerprints answer every query identically, so responses carry
+    /// it as the generation witness for replay verification.
+    pub fn fingerprint(&self) -> u64 {
+        if let Some((at, fp)) = self.fingerprint_cache.get() {
+            if at == self.events_applied {
+                return fp;
+            }
+        }
+        let fp = self.fingerprint_uncached();
+        self.fingerprint_cache.set(Some((self.events_applied, fp)));
+        fp
+    }
+
+    /// The full O(|V|+|E|) hash behind [`Session::fingerprint`] (also
+    /// exercised directly by tests to prove the cache never desyncs).
+    fn fingerprint_uncached(&self) -> u64 {
+        let mut h = Fnv::new();
+        let g = self.problem.graph();
+        h.usize(g.node_count());
+        h.usize(g.edge_count());
+        for e in 0..g.edge_count() {
+            let id = netrec_graph::EdgeId::new(e);
+            let (u, v) = g.endpoints(id);
+            h.usize(u.index());
+            h.usize(v.index());
+            h.f64(g.capacity(id));
+        }
+        for (i, &broken) in self.problem.broken_node_mask().iter().enumerate() {
+            if broken {
+                h.usize(i);
+                h.f64(self.problem.node_cost(g.node(i)));
+            }
+        }
+        h.u8(0xff); // domain separator: broken nodes / broken edges
+        for (i, &broken) in self.problem.broken_edge_mask().iter().enumerate() {
+            if broken {
+                h.usize(i);
+                h.f64(self.problem.edge_cost(netrec_graph::EdgeId::new(i)));
+            }
+        }
+        h.u8(0xfe);
+        for (s, t, amount) in self.problem.demand_pairs() {
+            h.usize(s.index());
+            h.usize(t.index());
+            h.f64(amount);
+        }
+        h.finish()
+    }
+
+    /// Answers "is the current state routable?" from warm state,
+    /// returning the verdict plus the oracle work this request cost
+    /// (the delta against the pre-request counters).
+    ///
+    /// # Errors
+    ///
+    /// LP-level failures from the oracle.
+    pub fn query_routability(&self) -> Result<(bool, OracleStats), RecoveryError> {
+        // Unchanged state ⇒ unchanged verdict: answer in O(1) with a
+        // zero-work stats delta (the oracle was not consulted).
+        if let Some((at, verdict)) = self.routability_cache.get() {
+            if at == self.events_applied {
+                return Ok((verdict, OracleStats::default()));
+            }
+        }
+        let baseline = self.oracle.stats();
+        let (nm, em) = self.problem.working_masks();
+        let view = self
+            .problem
+            .full_view()
+            .with_node_mask(&nm)
+            .with_edge_mask(&em);
+        let routable = self.oracle.is_routable(&view, &self.problem.demands())?;
+        self.routability_cache
+            .set(Some((self.events_applied, routable)));
+        Ok((routable, self.oracle.stats().delta_since(&baseline)))
+    }
+
+    /// Solves the current state with a fresh solver and a fresh
+    /// context (plus an optional per-request deadline). Determinism:
+    /// nothing warm flows into the solve, so the plan equals a
+    /// from-scratch solve of the same state with the same spec.
+    ///
+    /// # Errors
+    ///
+    /// Solver failures, including [`RecoveryError::DeadlineExceeded`]
+    /// when the per-request budget runs out — the caller maps that to a
+    /// typed response and the session survives.
+    pub fn query_plan(
+        &self,
+        spec: &SolverSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<RecoveryPlan, RecoveryError> {
+        let solver = spec.build();
+        let mut ctx = SolveContext::new();
+        if let Some(ms) = deadline_ms {
+            ctx = ctx.with_deadline(Duration::from_millis(ms));
+        }
+        let mut plan = solver.solve(&self.problem, &mut ctx)?;
+        plan.normalize();
+        Ok(plan)
+    }
+
+    /// Cumulative oracle counters since the session opened.
+    pub fn oracle_stats(&self) -> OracleStats {
+        self.oracle.stats()
+    }
+
+    /// Witness count of the warm oracle state (diagnostics).
+    pub fn warm_witnesses(&self) -> usize {
+        self.oracle.snapshot_state().witness_count()
+    }
+}
+
+/// FNV-1a, 64-bit. Tiny, dependency-free, stable across platforms —
+/// exactly what a wire-visible fingerprint needs (`DefaultHasher` is
+/// explicitly unstable across releases).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u8(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    fn usize(&mut self, v: usize) {
+        for b in (v as u64).to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn f64(&mut self, v: f64) {
+        for b in v.to_bits().to_le_bytes() {
+            self.u8(b);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_graph::{EdgeId, Graph, NodeId};
+
+    fn base() -> Arc<RecoveryProblem> {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(3), 10.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(3), 5.0)
+            .unwrap();
+        Arc::new(p)
+    }
+
+    #[test]
+    fn fingerprint_tracks_observable_state() {
+        let mut a = Session::new(base());
+        let b = Session::new(base());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same state, same print");
+        let before = a.fingerprint();
+        a.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(3),
+            cost: 2.0,
+        }])
+        .unwrap();
+        assert_ne!(a.fingerprint(), before, "a break changes the print");
+        a.apply_stream(&[StatePatch::RepairEdge {
+            edge: EdgeId::new(3),
+        }])
+        .unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            before,
+            "repair restores the observable state (costs of intact components are unobservable)"
+        );
+    }
+
+    #[test]
+    fn routability_flips_with_damage() {
+        let mut s = Session::new(base());
+        assert!(s.query_routability().unwrap().0);
+        s.apply_stream(&[
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(3),
+                cost: 1.0,
+            },
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(1),
+                cost: 1.0,
+            },
+        ])
+        .unwrap();
+        let (routable, cost) = s.query_routability().unwrap();
+        assert!(!routable);
+        assert!(cost.routability_queries >= 1, "delta covers this request");
+        s.apply_stream(&[StatePatch::RepairEdge {
+            edge: EdgeId::new(1),
+        }])
+        .unwrap();
+        assert!(s.query_routability().unwrap().0);
+    }
+
+    #[test]
+    fn repeat_queries_are_replayed_without_oracle_work() {
+        let mut s = Session::new(base());
+        let (first, cost) = s.query_routability().unwrap();
+        assert!(first);
+        assert!(cost.routability_queries >= 1, "first query pays");
+        // Same state: the verdict replays, the oracle is not consulted.
+        let (again, cost) = s.query_routability().unwrap();
+        assert!(again);
+        assert_eq!(cost, OracleStats::default(), "cached verdict is free");
+        // Any mutation invalidates the cache.
+        s.apply_stream(&[
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(3),
+                cost: 1.0,
+            },
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(1),
+                cost: 1.0,
+            },
+        ])
+        .unwrap();
+        let (after, cost) = s.query_routability().unwrap();
+        assert!(!after);
+        assert!(cost.routability_queries >= 1, "mutation forces a re-answer");
+        // The fingerprint cache obeys the same invalidation rule.
+        assert_eq!(s.fingerprint(), s.fingerprint_uncached());
+        assert_eq!(s.fingerprint(), s.fingerprint_uncached());
+    }
+
+    #[test]
+    fn forks_inherit_state_and_diverge_independently() {
+        let mut a = Session::new(base());
+        a.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(0),
+            cost: 1.0,
+        }])
+        .unwrap();
+        a.query_routability().unwrap();
+        let mut b = a.fork();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(b.warm_witnesses() > 0, "fork starts warm");
+        b.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(3),
+            cost: 1.0,
+        }])
+        .unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert!(a.query_routability().unwrap().0, "parent unaffected");
+        assert!(!b.query_routability().unwrap().0);
+    }
+
+    #[test]
+    fn plans_match_from_scratch_solves() {
+        let mut s = Session::new(base());
+        s.apply_stream(&[
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(3),
+                cost: 1.0,
+            },
+            StatePatch::BreakNode {
+                node: NodeId::new(1),
+                cost: 1.0,
+            },
+        ])
+        .unwrap();
+        // Warm the oracle so any state leak would show.
+        s.query_routability().unwrap();
+        let spec = SolverSpec::parse("isp").unwrap();
+        let warm = s.query_plan(&spec, None).unwrap();
+
+        let mut scratch = (*base()).clone();
+        scratch.break_edge(EdgeId::new(3), 1.0).unwrap();
+        scratch.break_node(NodeId::new(1), 1.0).unwrap();
+        let mut cold = spec
+            .build()
+            .solve(&scratch, &mut SolveContext::new())
+            .unwrap();
+        cold.normalize();
+        assert_eq!(warm.repaired_nodes, cold.repaired_nodes);
+        assert_eq!(warm.repaired_edges, cold.repaired_edges);
+        assert_eq!(warm.algorithm, cold.algorithm);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_typed_interruption() {
+        let mut s = Session::new(base());
+        s.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(0),
+            cost: 1.0,
+        }])
+        .unwrap();
+        let spec = SolverSpec::parse("isp").unwrap();
+        let err = s.query_plan(&spec, Some(0)).unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert!(err.is_interruption());
+        // The session is still serviceable afterwards.
+        assert!(s.query_routability().is_ok());
+        assert!(s.query_plan(&spec, None).is_ok());
+    }
+}

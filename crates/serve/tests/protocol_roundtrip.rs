@@ -1,0 +1,120 @@
+//! Property tests of the wire protocol: for every representable
+//! request, `parse(to_line(r)) == r` — the canonical rendering and the
+//! parser are exact inverses — and parsing never panics on arbitrary
+//! byte soup.
+
+use netrec_serve::{Op, Request, Response};
+use proptest::prelude::*;
+
+/// Builds a request from flat generator choices (the compat proptest
+/// has no string or enum strategies, so structure comes from indices).
+#[allow(clippy::too_many_arguments)]
+fn build_request(
+    kind: usize,
+    id_num: u64,
+    sess: usize,
+    nodes: Vec<usize>,
+    edges: Vec<usize>,
+    cost: f64,
+    pairs: Vec<(usize, usize, f64)>,
+    knobs: (usize, usize, u64, usize),
+) -> Request {
+    let (replace, solver_pick, deadline, fork_pick) = knobs;
+    let op = match kind % 7 {
+        0 => Op::Disrupt { nodes, edges, cost },
+        1 => Op::Repair { nodes, edges },
+        2 => Op::Demand {
+            pairs,
+            replace: replace % 2 == 1,
+        },
+        3 => Op::QueryRoutability,
+        4 => Op::QueryPlan {
+            solver: match solver_pick % 3 {
+                0 => None,
+                1 => Some("isp".to_string()),
+                _ => Some(format!("grd-nc:{}", solver_pick)),
+            },
+            deadline_ms: if deadline == 0 { None } else { Some(deadline) },
+        },
+        5 => Op::Snapshot {
+            fork: if fork_pick % 2 == 0 {
+                None
+            } else {
+                Some(format!("fork-{fork_pick}"))
+            },
+        },
+        _ => Op::Shutdown,
+    };
+    Request {
+        id: format!("id-{id_num}"),
+        session: match sess % 3 {
+            0 => None,
+            1 => Some("default".to_string()),
+            _ => Some(format!("s{sess}")),
+        },
+        op,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The canonical line of any request parses back to an equal value.
+    #[test]
+    fn parse_inverts_to_line(
+        kind in 0usize..7,
+        id_num in any::<u64>(),
+        sess in 0usize..3,
+        nodes in proptest::collection::vec(0usize..5000, 0..5),
+        edges in proptest::collection::vec(0usize..5000, 0..5),
+        cost in 0.001f64..1e6,
+        pairs in proptest::collection::vec((0usize..500, 0usize..500, 0.001f64..1e4), 0..4),
+        knobs in (0usize..4, 0usize..3, 0u64..5000, 0usize..4),
+    ) {
+        let req = build_request(kind, id_num, sess, nodes, edges, cost, pairs, knobs);
+        let line = req.to_line();
+        let parsed = Request::parse(&line)
+            .unwrap_or_else(|e| panic!("canonical line rejected: {line} ({})", e.message));
+        prop_assert_eq!(parsed, req, "round trip diverged for {}", line);
+    }
+
+    /// Double round trip is a fixed point: render → parse → render is
+    /// byte-identical (the rendering is canonical).
+    #[test]
+    fn rendering_is_canonical(
+        kind in 0usize..7,
+        id_num in any::<u64>(),
+        sess in 0usize..3,
+        nodes in proptest::collection::vec(0usize..5000, 0..5),
+        edges in proptest::collection::vec(0usize..5000, 0..5),
+        cost in 0.001f64..1e6,
+        pairs in proptest::collection::vec((0usize..500, 0usize..500, 0.001f64..1e4), 0..4),
+        knobs in (0usize..4, 0usize..3, 0u64..5000, 0usize..4),
+    ) {
+        let req = build_request(kind, id_num, sess, nodes, edges, cost, pairs, knobs);
+        let line = req.to_line();
+        let again = Request::parse(&line).unwrap().to_line();
+        prop_assert_eq!(line, again);
+    }
+
+    /// Arbitrary byte soup never panics the parser; failures are typed.
+    #[test]
+    fn parser_is_total_on_garbage(
+        bytes in proptest::collection::vec(0u32..=255, 0..120),
+    ) {
+        let bytes: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        match Request::parse(&line) {
+            Ok(req) => {
+                // Anything accepted must re-render and re-parse cleanly.
+                let again = Request::parse(&req.to_line()).unwrap();
+                prop_assert_eq!(again, req);
+            }
+            Err(e) => {
+                prop_assert!(!e.kind.is_empty());
+                let rendered = Response::from(&e).to_line();
+                prop_assert!(rendered.contains("\"ok\":false"), "{}", rendered);
+            }
+        }
+    }
+}

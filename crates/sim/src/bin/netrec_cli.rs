@@ -1,13 +1,17 @@
 //! Thin entry point for the `netrec-cli` tool; all logic lives in
-//! [`netrec_sim::cli`] and [`netrec_sim::campaign::cli`], where it is
-//! unit-tested.
+//! [`netrec_sim::cli`], [`netrec_sim::campaign::cli`], and
+//! [`netrec_sim::serve`], where it is unit-tested.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        print!("{}", netrec_sim::cli::HELP);
-        if args.first().map(String::as_str) == Some("campaign") {
-            print!("\n{}", netrec_sim::campaign::cli::HELP);
+        match args.first().map(String::as_str) {
+            Some("serve") => print!("{}", netrec_sim::serve::HELP),
+            Some("campaign") => {
+                print!("{}", netrec_sim::cli::HELP);
+                print!("\n{}", netrec_sim::campaign::cli::HELP);
+            }
+            _ => print!("{}", netrec_sim::cli::HELP),
         }
         return;
     }
@@ -22,6 +26,18 @@ fn main() {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("run `netrec-cli campaign --help` for usage");
+                std::process::exit(2);
+            }
+        }
+    }
+    // `serve` runs the resident daemon: stdout is pure protocol, the
+    // boot banner and latency summary go to stderr.
+    if args.first().map(String::as_str) == Some("serve") {
+        match netrec_sim::serve::run(&args[1..]) {
+            Ok(code) => std::process::exit(code),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("run `netrec-cli serve --help` for usage");
                 std::process::exit(2);
             }
         }

@@ -42,6 +42,14 @@ usage:
       --tolerance T    relative mean tolerance     (default 1e-9)
       exit 1 when the candidate regresses against the baseline
       (wall-clock metrics are always tolerated)
+
+  netrec-cli campaign merge <journal.jsonl>... [options]
+      --out FILE       write the merged journal to FILE (default stdout)
+      --spec SPEC      verify every merged record's fingerprint against
+                       the expanded spec and report coverage
+      deterministically merges sharded campaign journals (sorted by
+      scenario id); identical duplicates collapse, conflicting records
+      (same id, different fingerprint or divergent samples) error out
 ";
 
 /// Runs a `campaign …` invocation (`args` excludes the leading
@@ -56,11 +64,12 @@ pub fn run(args: &[String]) -> Result<(String, i32), UsageError> {
         Some("run") => run_subcommand(&args[1..]),
         Some("expand") => expand_subcommand(&args[1..]),
         Some("diff") => diff_subcommand(&args[1..]),
+        Some("merge") => merge_subcommand(&args[1..]),
         Some(other) => Err(UsageError(format!(
-            "unknown campaign subcommand `{other}`; use run|expand|diff"
+            "unknown campaign subcommand `{other}`; use run|expand|diff|merge"
         ))),
         None => Err(UsageError(
-            "campaign needs a subcommand: run|expand|diff".into(),
+            "campaign needs a subcommand: run|expand|diff|merge".into(),
         )),
     }
 }
@@ -238,6 +247,128 @@ fn diff_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
     Ok((out, EXIT_REGRESSION))
 }
 
+fn merge_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
+    let mut journal_paths: Vec<&String> = Vec::new();
+    let mut out_path: Option<&String> = None;
+    let mut spec_path: Option<&String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| UsageError("missing value for --out".into()))?,
+                );
+            }
+            "--spec" => {
+                i += 1;
+                spec_path = Some(
+                    args.get(i)
+                        .ok_or_else(|| UsageError("missing value for --spec".into()))?,
+                );
+            }
+            other if !other.starts_with('-') => journal_paths.push(&args[i]),
+            other => {
+                return Err(UsageError(format!(
+                    "unknown campaign merge argument {other}"
+                )))
+            }
+        }
+        i += 1;
+    }
+    if journal_paths.is_empty() {
+        return Err(UsageError(
+            "campaign merge needs at least one journal: merge <journal.jsonl>...".into(),
+        ));
+    }
+    let mut journals = Vec::with_capacity(journal_paths.len());
+    for path in &journal_paths {
+        if !std::path::Path::new(path.as_str()).exists() {
+            // `journal::load` treats a missing file as an empty journal
+            // (resume semantics); for an explicit merge argument that
+            // would silently drop a shard — reject it instead.
+            return Err(UsageError(format!("cannot read {path}: no such file")));
+        }
+        let records = crate::campaign::journal::load(path.as_ref()).map_err(UsageError)?;
+        journals.push(((*path).clone(), records));
+    }
+    let merged = crate::campaign::journal::merge(&journals).map_err(UsageError)?;
+
+    let mut summary = String::new();
+    if let Some(spec_path) = spec_path {
+        let spec = load_spec(spec_path)?;
+        let scenarios = spec.expand().map_err(|e| UsageError(e.to_string()))?;
+        let mut stale = Vec::new();
+        let mut unknown = Vec::new();
+        let mut missing = 0usize;
+        for s in &scenarios {
+            match merged.get(&s.id) {
+                Some(record) if record.fingerprint == s.fingerprint => {}
+                Some(record) => stale.push(format!(
+                    "{}: journal fingerprint {} != spec fingerprint {}",
+                    s.id, record.fingerprint, s.fingerprint
+                )),
+                None => missing += 1,
+            }
+        }
+        let known: std::collections::BTreeSet<&str> =
+            scenarios.iter().map(|s| s.id.as_str()).collect();
+        for id in merged.keys() {
+            if !known.contains(id.as_str()) {
+                unknown.push(id.clone());
+            }
+        }
+        if !stale.is_empty() || !unknown.is_empty() {
+            let mut msg = format!(
+                "merged journal does not match {spec_path}: {} stale, {} unknown record(s)",
+                stale.len(),
+                unknown.len()
+            );
+            for line in stale.iter().chain(
+                unknown
+                    .iter()
+                    .map(|id| format!("{id}: not in the expanded spec"))
+                    .collect::<Vec<_>>()
+                    .iter(),
+            ) {
+                let _ = write!(msg, "\n  {line}");
+            }
+            return Err(UsageError(msg));
+        }
+        let _ = writeln!(
+            summary,
+            "spec {}: {}/{} scenarios journaled, {} missing",
+            spec.name,
+            scenarios.len() - missing,
+            scenarios.len(),
+            missing
+        );
+    }
+
+    let mut lines = String::new();
+    for record in merged.values() {
+        let _ = writeln!(lines, "{}", record.to_line());
+    }
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &lines)
+                .map_err(|e| UsageError(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(
+                summary,
+                "merged {} record(s) from {} journal(s) into {path}",
+                merged.len(),
+                journal_paths.len()
+            );
+            Ok((summary, 0))
+        }
+        // Without --out the merged journal itself is the output
+        // (pipeable); the coverage summary would corrupt it, so it is
+        // only printed in --out mode.
+        None => Ok((lines, 0)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +489,141 @@ mod tests {
         assert_eq!(code, 0);
 
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Golden property of `campaign merge`: merging per-seed shard
+    /// journals reproduces, byte for byte, the sorted journal of the
+    /// unsharded campaign — and `--spec` verifies full coverage.
+    #[test]
+    fn merge_reassembles_sharded_journals_byte_identically() {
+        let dir = temp_dir("merge_golden");
+        let full_spec = dir.join("full.json");
+        std::fs::write(
+            &full_spec,
+            r#"{
+                "name": "merge-test",
+                "topologies": ["bell"],
+                "disruptions": ["uniform:0.4"],
+                "demands": ["pairs=2,flow=5"],
+                "solvers": ["srt", "all"],
+                "seeds": [11, 12],
+                "runs": 2,
+                "threads": 1
+            }"#,
+        )
+        .unwrap();
+        let (_, code) = run(&args(&[
+            "run",
+            full_spec.to_str().unwrap(),
+            "--out",
+            dir.join("full").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        let journal = |out: &str| dir.join(out).join(JOURNAL_FILE);
+
+        // Shard the full run's journal by seed, as `campaign expand
+        // --shard` execution would have split the work. (Re-running the
+        // shards would not reproduce the same bytes: `time_ms` samples
+        // are wall-clock.)
+        let full = crate::campaign::journal::load(&journal("full")).unwrap();
+        assert_eq!(full.len(), 2, "two scenarios expected");
+        for (shard, seed) in [("a", "seed=11"), ("b", "seed=12")] {
+            let lines: String = full
+                .values()
+                .filter(|r| r.id.ends_with(seed))
+                .map(|r| format!("{}\n", r.to_line()))
+                .collect();
+            assert!(!lines.is_empty(), "shard {shard} covers {seed}");
+            std::fs::create_dir_all(dir.join(shard)).unwrap();
+            std::fs::write(journal(shard), lines).unwrap();
+        }
+
+        // The golden: the full run's journal, sorted by scenario id
+        // (merge output order is id order; an unsharded journal is in
+        // completion order).
+        let golden: String = full
+            .values()
+            .map(|r| format!("{}\n", r.to_line()))
+            .collect();
+
+        let (merged, code) = run(&args(&[
+            "merge",
+            journal("a").to_str().unwrap(),
+            journal("b").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        assert_eq!(merged, golden, "sharded merge == sorted unsharded journal");
+
+        // Merging is idempotent and overlap-tolerant: the full journal
+        // plus one shard adds nothing.
+        let (remerged, _) = run(&args(&[
+            "merge",
+            journal("full").to_str().unwrap(),
+            journal("a").to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(remerged, golden);
+
+        // --out + --spec: write the merged journal, verify coverage.
+        let merged_path = dir.join("merged.jsonl");
+        let (text, code) = run(&args(&[
+            "merge",
+            journal("a").to_str().unwrap(),
+            journal("b").to_str().unwrap(),
+            "--out",
+            merged_path.to_str().unwrap(),
+            "--spec",
+            full_spec.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(
+            text.contains("2/2 scenarios journaled, 0 missing"),
+            "{text}"
+        );
+        assert_eq!(std::fs::read_to_string(&merged_path).unwrap(), golden);
+
+        // A shard alone leaves a gap the spec check reports.
+        let (text, _) = run(&args(&[
+            "merge",
+            journal("a").to_str().unwrap(),
+            "--out",
+            dir.join("partial.jsonl").to_str().unwrap(),
+            "--spec",
+            full_spec.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(
+            text.contains("1/2 scenarios journaled, 1 missing"),
+            "{text}"
+        );
+
+        // A doctored fingerprint fails --spec verification.
+        let mut doctored: Vec<String> = golden.lines().map(str::to_string).collect();
+        doctored[0] = doctored[0].replacen("\"fingerprint\":\"", "\"fingerprint\":\"ff", 1);
+        let doctored_path = dir.join("doctored.jsonl");
+        std::fs::write(&doctored_path, format!("{}\n", doctored.join("\n"))).unwrap();
+        let err = run(&args(&[
+            "merge",
+            doctored_path.to_str().unwrap(),
+            "--spec",
+            full_spec.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("stale"), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_usage_errors() {
+        assert!(run(&args(&["merge"])).is_err());
+        assert!(run(&args(&["merge", "/nonexistent/shard.jsonl"])).is_err());
+        assert!(run(&args(&["merge", "a.jsonl", "--banana"])).is_err());
+        assert!(run(&args(&["merge", "a.jsonl", "--out"])).is_err());
+        assert!(run(&args(&["merge", "a.jsonl", "--spec"])).is_err());
     }
 
     #[test]

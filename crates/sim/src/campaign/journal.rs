@@ -194,6 +194,60 @@ pub fn load(path: &Path) -> Result<BTreeMap<String, JournalRecord>, String> {
     Ok(out)
 }
 
+/// Merges sharded journals into one id-keyed map (`campaign merge`).
+///
+/// Shards produced by splitting one campaign across machines journal
+/// disjoint scenario ids, but reruns and overlapping shards are legal —
+/// a record appearing in several journals must be *identical* (same
+/// fingerprint, samples, and failures). Anything else is flagged, not
+/// silently resolved: a fingerprint clash means the shards ran
+/// different spec versions under one id, and divergent samples under
+/// one fingerprint mean nondeterminism upstream — both invalidate the
+/// merged campaign.
+///
+/// # Errors
+///
+/// One message per conflict, naming the id, the two source journals,
+/// and what disagreed.
+pub fn merge(
+    journals: &[(String, BTreeMap<String, JournalRecord>)],
+) -> Result<BTreeMap<String, JournalRecord>, String> {
+    let mut merged: BTreeMap<String, (String, JournalRecord)> = BTreeMap::new();
+    let mut conflicts = Vec::new();
+    for (label, records) in journals {
+        for (id, record) in records {
+            match merged.get(id) {
+                None => {
+                    merged.insert(id.clone(), (label.clone(), record.clone()));
+                }
+                Some((prev_label, prev)) if prev == record => {
+                    let _ = prev_label; // identical duplicate: fine
+                }
+                Some((prev_label, prev)) if prev.fingerprint != record.fingerprint => {
+                    conflicts.push(format!(
+                        "{id}: fingerprint {} in {prev_label} vs {} in {label}",
+                        prev.fingerprint, record.fingerprint
+                    ));
+                }
+                Some((prev_label, _)) => {
+                    conflicts.push(format!(
+                        "{id}: same fingerprint but divergent samples/failures \
+                         in {prev_label} vs {label}"
+                    ));
+                }
+            }
+        }
+    }
+    if !conflicts.is_empty() {
+        return Err(format!(
+            "{} conflicting record(s):\n  {}",
+            conflicts.len(),
+            conflicts.join("\n  ")
+        ));
+    }
+    Ok(merged.into_iter().map(|(id, (_, r))| (id, r)).collect())
+}
+
 /// A thread-shared append-only journal writer. Every
 /// [`JournalWriter::append`] writes one line and flushes it, so a
 /// record is durable the moment the call returns — a campaign killed
@@ -327,6 +381,60 @@ mod tests {
         let err = load(&path).unwrap_err();
         assert!(err.contains(":1:"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_combines_shards_and_flags_conflicts() {
+        let a = sample_record();
+        let mut b = sample_record();
+        b.id = "zz/other".into();
+        let mut shard1 = BTreeMap::new();
+        shard1.insert(a.id.clone(), a.clone());
+        let mut shard2 = BTreeMap::new();
+        shard2.insert(b.id.clone(), b.clone());
+        // Identical overlap is deduplicated.
+        shard2.insert(a.id.clone(), a.clone());
+        let merged = merge(&[
+            ("s1.jsonl".into(), shard1.clone()),
+            ("s2.jsonl".into(), shard2.clone()),
+        ])
+        .unwrap();
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[&a.id], a);
+        assert_eq!(
+            merged.keys().collect::<Vec<_>>(),
+            vec![&a.id, &b.id],
+            "deterministic id order"
+        );
+
+        // A fingerprint clash under one id is a hard conflict.
+        let mut clashing = a.clone();
+        clashing.fingerprint = "deadbeefdeadbeef".into();
+        let mut shard3 = BTreeMap::new();
+        shard3.insert(clashing.id.clone(), clashing);
+        let err = merge(&[
+            ("s1.jsonl".into(), shard1.clone()),
+            ("s3.jsonl".into(), shard3),
+        ])
+        .unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        assert!(
+            err.contains("s1.jsonl") && err.contains("s3.jsonl"),
+            "{err}"
+        );
+
+        // Same fingerprint, different samples: nondeterminism upstream.
+        let mut divergent = a.clone();
+        divergent
+            .samples
+            .get_mut("total_repairs")
+            .unwrap()
+            .get_mut("ISP")
+            .unwrap()[0] += 1.0;
+        let mut shard4 = BTreeMap::new();
+        shard4.insert(divergent.id.clone(), divergent);
+        let err = merge(&[("s1.jsonl".into(), shard1), ("s4.jsonl".into(), shard4)]).unwrap_err();
+        assert!(err.contains("divergent"), "{err}");
     }
 
     #[test]

@@ -23,7 +23,10 @@
 pub mod cli;
 pub mod executor;
 pub mod journal;
-pub mod json;
+/// The offline JSON layer, hoisted to [`netrec_json`] so the
+/// `netrec-serve` protocol can share it; re-exported here so existing
+/// `campaign::json::...` paths keep working.
+pub use netrec_json as json;
 pub mod report;
 pub mod spec;
 

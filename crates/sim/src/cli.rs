@@ -108,6 +108,16 @@ campaign subcommands (declarative scenario sweeps, DESIGN.md §10):
   netrec-cli campaign run <spec.json> [--shards N] [--resume] [--out DIR]
   netrec-cli campaign expand <spec.json>
   netrec-cli campaign diff <baseline.json> <candidate.json> [--tolerance T]
+  netrec-cli campaign merge <journal.jsonl>... [--out FILE] [--spec spec.json]
+
+serve — resident recovery-as-a-service daemon (DESIGN.md §13):
+  netrec-cli serve [--topology SPEC] [--pairs N] [--flow F] [--demand s,t,a]
+                   [--disrupt MODEL] [--seed N] [--algo SPEC]
+                   [--workers N] [--tcp ADDR]
+  loads the topology once, then answers a JSONL event stream
+  (disrupt/repair/demand/query_routability/query_plan/snapshot/shutdown)
+  on stdin/stdout — and on ADDR with --tcp — from warm per-session
+  state; run `netrec-cli serve --help` for the quickstart
 ";
 
 /// Parses argv (without the program name).
@@ -314,18 +324,26 @@ pub fn build_topology(opts: &CliOptions) -> Result<Topology, UsageError> {
     opts.topology.try_build(opts.seed).map_err(UsageError)
 }
 
-/// Builds the recovery problem and runs the selected solver, returning
-/// the report text. With `--list-algorithms`, returns the registry
-/// listing instead.
+/// Everything [`build_problem`] assembles from a set of CLI options:
+/// the topology, the applied disruption, the disrupted problem, and
+/// the demand list as `(source, target, amount)` index triples.
+pub type BuiltProblem = (
+    Topology,
+    netrec_disrupt::Disruption,
+    RecoveryProblem,
+    Vec<(usize, usize, f64)>,
+);
+
+/// Builds the topology, applies the disruption model, and assembles
+/// the disrupted [`RecoveryProblem`] the options describe. Returns the
+/// topology and disruption alongside the problem and the demand list
+/// so callers can report what they built (`run` here, and the `serve`
+/// daemon boot in [`crate::serve`]).
 ///
 /// # Errors
 ///
-/// Usage errors for bad demand indices; solver errors are rendered into
-/// the report.
-pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
-    if opts.list_algorithms {
-        return Ok(render_registry());
-    }
+/// Usage errors for unbuildable topologies and bad demand indices.
+pub fn build_problem(opts: &CliOptions) -> Result<BuiltProblem, UsageError> {
     let topology = build_topology(opts)?;
     let disruption = opts.disrupt.apply(&topology, opts.seed);
 
@@ -368,6 +386,22 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
                 .map_err(|e| UsageError(e.to_string()))?;
         }
     }
+    Ok((topology, disruption, problem, demand_list))
+}
+
+/// Builds the recovery problem and runs the selected solver, returning
+/// the report text. With `--list-algorithms`, returns the registry
+/// listing instead.
+///
+/// # Errors
+///
+/// Usage errors for bad demand indices; solver errors are rendered into
+/// the report.
+pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
+    if opts.list_algorithms {
+        return Ok(render_registry());
+    }
+    let (topology, disruption, problem, demand_list) = build_problem(opts)?;
 
     let mut out = String::new();
     out.push_str(&format!(

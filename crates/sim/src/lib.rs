@@ -13,7 +13,9 @@
 //! Above single scenarios sits the [`campaign`] engine: declarative
 //! cartesian sweeps (`netrec-cli campaign run spec.json`) with sharded
 //! execution, resumable journals, and a versioned, diffable report —
-//! see `DESIGN.md` §10.
+//! see `DESIGN.md` §10. `netrec-cli serve` ([`serve`]) boots the
+//! resident recovery-as-a-service daemon over the same topology and
+//! demand flags — see `DESIGN.md` §13.
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ pub mod campaign;
 pub mod cli;
 pub mod export;
 pub mod figures;
+pub mod serve;
 
 pub use campaign::{run_campaign, CampaignOptions, CampaignReport, CampaignSpec};
 pub use netrec_core::solver::{SolverInfo, SolverSpec};

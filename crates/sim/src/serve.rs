@@ -1,0 +1,279 @@
+//! The `netrec-cli serve` subcommand: boot the resident daemon.
+//!
+//! Argument parsing and daemon assembly live here (unit-tested); the
+//! binary hands `serve …` argv straight to [`run`]. The topology,
+//! demand, and disruption flags mirror the one-shot CLI — the daemon
+//! starts from exactly the problem a one-shot invocation would solve —
+//! except that `--disrupt` defaults to `none`: a resident process
+//! receives its damage as live `disrupt` events rather than at boot.
+
+use crate::cli::{build_problem, CliOptions, UsageError};
+use netrec_core::solver::SolverSpec;
+use netrec_disrupt::DisruptionModel;
+use netrec_serve::{Engine, Server};
+use std::sync::Arc;
+
+/// The `serve --help` quickstart.
+pub const HELP: &str = "\
+netrec-cli serve — resident recovery-as-a-service daemon
+
+usage: netrec-cli serve [options]
+  --topology SPEC      topology to load once (same specs as the
+                       one-shot CLI)                     (default bell)
+  --pairs N / --flow F generated demand                  (default 4 x 10)
+  --demand s,t,amount  explicit demand (repeatable; overrides --pairs)
+  --disrupt MODEL      damage applied at boot            (default none —
+                       stream `disrupt` events instead)
+  --seed N             RNG seed for topology/demand      (default 42)
+  --algo SPEC          default solver for query_plan     (default isp)
+  --workers N          worker threads                    (default 4)
+  --tcp ADDR           also listen on ADDR (e.g. 127.0.0.1:7007);
+                       the bound address is printed to stderr
+  --help
+
+protocol: one JSON object per line on stdin (and per TCP connection),
+one response line per request on stdout, in request order. Every
+request carries {\"v\":1,\"id\":...,\"op\":...} and an optional
+\"session\" (default \"default\"); sessions are independent overlays
+of the loaded topology. Ops:
+
+  {\"v\":1,\"id\":\"d1\",\"op\":\"disrupt\",\"nodes\":[3],\"edges\":[7,9],\"cost\":2.0}
+  {\"v\":1,\"id\":\"r1\",\"op\":\"repair\",\"edges\":[7]}
+  {\"v\":1,\"id\":\"m1\",\"op\":\"demand\",\"pairs\":[[0,9,5.0]],\"replace\":true}
+  {\"v\":1,\"id\":\"q1\",\"op\":\"query_routability\"}
+  {\"v\":1,\"id\":\"p1\",\"op\":\"query_plan\",\"solver\":\"isp\",\"deadline_ms\":250}
+  {\"v\":1,\"id\":\"s1\",\"op\":\"snapshot\",\"fork\":\"what-if\"}
+  {\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}
+
+Responses echo the id and carry the session's generation fingerprint
+plus per-request oracle counters; errors are typed
+({\"ok\":false,\"error\":{\"kind\":\"deadline_exceeded\",...}}) and never
+tear down the session. A latency summary (p50/p99 per op) is printed
+to stderr on shutdown. See DESIGN.md §13 for the full grammar.
+";
+
+/// Parsed `serve` options: the shared problem flags plus daemon knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Problem construction (topology, demand, boot disruption, seed).
+    pub problem: CliOptions,
+    /// Default solver for `query_plan` requests naming none.
+    pub default_algo: SolverSpec,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Optional TCP listen address.
+    pub tcp: Option<String>,
+}
+
+/// Parses `serve` argv (without the leading `serve`).
+///
+/// # Errors
+///
+/// A [`UsageError`] for the first malformed argument.
+pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
+    // Reuse the one-shot parser for the shared problem flags by
+    // splitting daemon-only flags out first.
+    let mut problem_args: Vec<String> = Vec::new();
+    let mut workers = 4usize;
+    let mut tcp = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&w: &usize| w > 0)
+                    .ok_or_else(|| UsageError("--workers needs a positive integer".into()))?;
+            }
+            "--tcp" => {
+                i += 1;
+                tcp = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| UsageError("missing value for --tcp".into()))?,
+                );
+            }
+            _ => problem_args.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    let mut problem = crate::cli::parse_args(&problem_args)?;
+    // The daemon default: no boot damage unless explicitly asked for.
+    if !problem_args.iter().any(|a| a == "--disrupt") {
+        problem.disrupt = DisruptionModel::Uniform { probability: 0.0 };
+    }
+    if problem.list_algorithms || problem.report || problem.schedule_budget.is_some() {
+        return Err(UsageError(
+            "serve does not take --list-algorithms/--report/--schedule".into(),
+        ));
+    }
+    let default_algo = problem.algorithm.clone();
+    Ok(ServeOptions {
+        problem,
+        default_algo,
+        workers,
+        tcp,
+    })
+}
+
+/// Boots the engine the options describe (shared by [`run`] and the
+/// integration tests, which drive it without process IO).
+///
+/// # Errors
+///
+/// Usage errors from problem construction.
+pub fn boot_engine(opts: &ServeOptions) -> Result<(Arc<Engine>, String), UsageError> {
+    let (topology, disruption, problem, demands) = build_problem(&opts.problem)?;
+    let banner = format!(
+        "serve: loaded {} ({} nodes, {} edges), {} demand pairs, {} nodes + {} edges broken at boot",
+        topology.name(),
+        topology.graph().node_count(),
+        topology.graph().edge_count(),
+        demands.len(),
+        disruption.node_count(),
+        disruption.edge_count(),
+    );
+    Ok((
+        Arc::new(Engine::new(problem, opts.default_algo.clone())),
+        banner,
+    ))
+}
+
+/// Runs the daemon over stdin/stdout (and `--tcp` when given) until a
+/// `shutdown` request or stdin EOF with no TCP listener. Returns the
+/// process exit code; the boot banner and the shutdown latency summary
+/// go to stderr so stdout stays pure protocol.
+///
+/// # Errors
+///
+/// Usage errors for malformed argv or an unbindable TCP address.
+pub fn run(args: &[String]) -> Result<i32, UsageError> {
+    let opts = parse_args(args)?;
+    let (engine, banner) = boot_engine(&opts)?;
+    eprintln!("{banner}");
+
+    let server = Arc::new(Server::new(Arc::clone(&engine), opts.workers));
+    let acceptor = match &opts.tcp {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| UsageError(format!("cannot listen on {addr}: {e}")))?;
+            let bound = listener
+                .local_addr()
+                .map_err(|e| UsageError(e.to_string()))?;
+            eprintln!("serve: listening on {bound}");
+            let server = Arc::clone(&server);
+            Some(std::thread::spawn(move || server.serve_tcp(listener)))
+        }
+        None => None,
+    };
+
+    let stdin = std::io::stdin();
+    let stdout = StdoutSink;
+    server.serve_connection(stdin.lock(), Box::new(stdout));
+
+    if let Some(acceptor) = acceptor {
+        // Stdin is done; keep serving TCP until a shutdown arrives.
+        let _ = acceptor.join();
+    }
+    let report = Arc::try_unwrap(server)
+        .ok()
+        .expect("all transports stopped; sole owner")
+        .finish();
+    eprint!("{}", report.render());
+    Ok(0)
+}
+
+/// A `Send` stdout handle (the daemon's output sequencer owns its sink).
+struct StdoutSink;
+
+impl std::io::Write for StdoutSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        std::io::stdout().write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        std::io::stdout().flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netrec_serve::run_stream;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_daemon_shaped() {
+        let o = parse_args(&[]).unwrap();
+        assert_eq!(
+            o.problem.topology,
+            crate::scenario::TopologySpec::BellCanada
+        );
+        assert!(matches!(
+            o.problem.disrupt,
+            DisruptionModel::Uniform { probability } if probability == 0.0
+        ));
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.tcp, None);
+        assert_eq!(o.default_algo, SolverSpec::isp());
+    }
+
+    #[test]
+    fn parses_daemon_flags_alongside_problem_flags() {
+        let o = parse_args(&args(&[
+            "--topology",
+            "er:12:0.5",
+            "--workers",
+            "2",
+            "--tcp",
+            "127.0.0.1:0",
+            "--disrupt",
+            "uniform:0.3",
+            "--algo",
+            "grd-nc",
+        ]))
+        .unwrap();
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.tcp.as_deref(), Some("127.0.0.1:0"));
+        assert!(matches!(o.problem.disrupt, DisruptionModel::Uniform { .. }));
+        assert_eq!(o.default_algo, SolverSpec::grd_nc());
+    }
+
+    #[test]
+    fn rejects_one_shot_only_flags_and_bad_values() {
+        assert!(parse_args(&args(&["--workers", "0"])).is_err());
+        assert!(parse_args(&args(&["--workers", "x"])).is_err());
+        assert!(parse_args(&args(&["--tcp"])).is_err());
+        assert!(parse_args(&args(&["--report"])).is_err());
+        assert!(parse_args(&args(&["--schedule", "2"])).is_err());
+        assert!(parse_args(&args(&["--banana"])).is_err());
+    }
+
+    #[test]
+    fn booted_engine_serves_the_loaded_topology() {
+        let opts = parse_args(&args(&[
+            "--topology",
+            "er:12:0.5",
+            "--pairs",
+            "2",
+            "--flow",
+            "1",
+        ]))
+        .unwrap();
+        let (engine, banner) = boot_engine(&opts).unwrap();
+        assert!(banner.contains("12 nodes"), "{banner}");
+        assert!(banner.contains("0 nodes + 0 edges broken"), "{banner}");
+        let (out, report) = run_stream(
+            engine,
+            2,
+            "{\"v\":1,\"id\":\"q\",\"op\":\"query_routability\"}\n{\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n",
+        );
+        assert!(out.contains("\"routable\":true"), "{out}");
+        assert_eq!(report.requests, 2);
+    }
+}
