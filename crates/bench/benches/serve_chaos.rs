@@ -1,0 +1,95 @@
+//! Overload control, measured: the same 2x-overloaded request burst
+//! against a daemon that sheds past a bounded queue versus one that
+//! admits everything (DESIGN.md §14).
+//!
+//! A seeded latency fault (2 ms per dispatched request) makes one worker
+//! the bottleneck; the burst offers twice what the bounded queue admits.
+//! Shedding turns the excess into instant `overloaded` replies with a
+//! `retry_after_ms` hint, so the bounded daemon finishes the burst in
+//! roughly half the unbounded wall-clock — `BENCH_serve_chaos.json`
+//! commits both medians and the `bench_json` test enforces the
+//! separation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_core::solver::SolverSpec;
+use netrec_core::{FaultPlan, RecoveryProblem};
+use netrec_serve::{run_stream_with, Engine, ServerConfig};
+use netrec_topology::bell::bell_canada;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Requests in the burst. The bounded queue admits half of them.
+const BURST: usize = 64;
+
+/// The small warm instance: answer latency is dominated by the injected
+/// fault, not the solve, so the bench isolates queueing policy.
+fn base_problem() -> RecoveryProblem {
+    let topo = bell_canada();
+    let mut p = RecoveryProblem::new(topo.graph().clone());
+    let n = p.graph().node_count();
+    p.add_demand(p.graph().node(0), p.graph().node(n - 1), 3.0)
+        .unwrap();
+    p
+}
+
+/// An engine with 2 ms injected latency on every dispatched request.
+fn engine() -> Arc<Engine> {
+    Arc::new(
+        Engine::new(base_problem(), SolverSpec::isp())
+            .with_faults(FaultPlan::parse("seed=7;latency=1:2").unwrap()),
+    )
+}
+
+/// The burst: `BURST` routability questions, then the drain.
+fn burst_input() -> String {
+    let mut input = String::new();
+    for i in 0..BURST {
+        input.push_str(&format!(
+            "{{\"v\":1,\"id\":\"q{i}\",\"op\":\"query_routability\"}}\n"
+        ));
+    }
+    input.push_str("{\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n");
+    input
+}
+
+fn config(max_queue: usize) -> ServerConfig {
+    ServerConfig {
+        max_queue,
+        max_session_queue: max_queue,
+        read_timeout: Duration::from_millis(200),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let input = burst_input();
+
+    // Sanity before either median means anything: the bounded daemon
+    // sheds with typed hints, the unbounded one answers everything.
+    let (shed_out, _) = run_stream_with(engine(), 1, &input, config(BURST / 2));
+    assert!(shed_out.contains("\"overloaded\""), "bounded queue sheds");
+    assert!(shed_out.contains("retry_after_ms"), "shed carries a hint");
+    assert_eq!(
+        shed_out.lines().count(),
+        BURST + 1,
+        "every request answered"
+    );
+    let (serve_out, _) = run_stream_with(engine(), 1, &input, config(BURST * 4));
+    assert!(
+        !serve_out.contains("\"overloaded\""),
+        "unbounded queue serves all"
+    );
+
+    let mut g = c.benchmark_group("serve_chaos");
+    g.sample_size(10);
+    g.bench_function("shed_2x_overload", |b| {
+        b.iter(|| black_box(run_stream_with(engine(), 1, &input, config(BURST / 2))))
+    });
+    g.bench_function("serve_2x_overload", |b| {
+        b.iter(|| black_box(run_stream_with(engine(), 1, &input, config(BURST * 4))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -202,6 +202,51 @@ fn committed_serve_baseline_keeps_the_warm_cold_separation() {
     );
 }
 
+/// The committed `BENCH_serve_chaos.json` pins the overload-control
+/// payoff (DESIGN.md §14): under the same 2x-overloaded burst, the
+/// daemon that sheds past a bounded queue must finish well ahead of the
+/// one that admits everything — shed work is answered instantly with a
+/// typed `overloaded` reply instead of waiting out the queue.
+#[test]
+fn committed_serve_chaos_baseline_shows_shedding_pays() {
+    let path = repo_root().join("BENCH_serve_chaos.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed BENCH_serve_chaos.json: {e}"));
+    let json = Json::parse(&text).expect("BENCH_serve_chaos.json parses");
+    assert_eq!(
+        json.get("group").and_then(Json::as_str),
+        Some("serve_chaos")
+    );
+    let mut medians = std::collections::HashMap::new();
+    for bench in json
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array")
+    {
+        let id = bench.get("id").and_then(Json::as_str).expect("id");
+        let ns = bench
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .expect("median_ns");
+        medians.insert(id.to_string(), ns);
+    }
+    let shed = *medians
+        .get("shed_2x_overload")
+        .expect("BENCH_serve_chaos.json lacks shed_2x_overload");
+    let serve = *medians
+        .get("serve_2x_overload")
+        .expect("BENCH_serve_chaos.json lacks serve_2x_overload");
+    assert!(shed > 0.0 && serve > 0.0, "degenerate medians");
+    // The bounded queue admits half the burst, so the shed run should
+    // take roughly half the wall-clock; 1.5x is the conservative floor.
+    let ratio = serve / shed;
+    assert!(
+        ratio >= 1.5,
+        "serve_2x_overload / shed_2x_overload = {ratio:.2}x: the committed \
+         baseline no longer shows overload shedding paying off"
+    );
+}
+
 #[test]
 fn parser_rejects_malformed_inputs() {
     for bad in [

@@ -27,6 +27,10 @@ pub enum RecoveryError {
     /// The cancellation flag of the [`SolveContext`](crate::solver::SolveContext)
     /// was raised while the solver was running. The run produced no plan.
     Cancelled,
+    /// A deliberately injected failure from the fault-injection plane
+    /// ([`FaultPlan`](crate::fault::FaultPlan)): the solve was forced to
+    /// fail for chaos testing. Never produced outside fault injection.
+    InjectedFault,
 }
 
 impl RecoveryError {
@@ -59,6 +63,7 @@ impl RecoveryError {
             RecoveryError::IterationGuard => "iteration_guard",
             RecoveryError::DeadlineExceeded => "deadline_exceeded",
             RecoveryError::Cancelled => "cancelled",
+            RecoveryError::InjectedFault => "injected_fault",
         }
     }
 }
@@ -88,6 +93,9 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::Cancelled => {
                 write!(f, "solver run cancelled")
+            }
+            RecoveryError::InjectedFault => {
+                write!(f, "injected fault (chaos plane forced this solve to fail)")
             }
         }
     }
@@ -133,6 +141,10 @@ mod tests {
         assert!(RecoveryError::Cancelled.is_interruption());
         assert!(!RecoveryError::InfeasibleEvenIfAllRepaired.is_interruption());
         assert!(!RecoveryError::IterationGuard.is_interruption());
+        // An injected fault is a genuine (simulated) failure, not a
+        // budget interruption — retrying it must not look like a
+        // deadline bump would help.
+        assert!(!RecoveryError::InjectedFault.is_interruption());
     }
 
     #[test]
@@ -149,6 +161,7 @@ mod tests {
             (RecoveryError::IterationGuard, "iteration_guard"),
             (RecoveryError::DeadlineExceeded, "deadline_exceeded"),
             (RecoveryError::Cancelled, "cancelled"),
+            (RecoveryError::InjectedFault, "injected_fault"),
         ];
         for (err, kind) in all {
             assert_eq!(err.kind(), kind);

@@ -1,0 +1,394 @@
+//! Seeded deterministic fault injection (the chaos plane).
+//!
+//! A [`FaultPlan`] is a compact, order-independent description of
+//! *which* faults fire at *which request indices*: worker panics,
+//! forced solve errors, torn file writes, and injected latency. The
+//! daemon asks [`FaultPlan::faults_at`] once per dispatched request;
+//! everything else — what a "panic" or a "torn write" means — is the
+//! caller's business (`netrec-serve` wires panics through the worker
+//! pool's `catch_unwind` isolation and torn writes through
+//! [`fsio`](crate::fsio)).
+//!
+//! Determinism is the whole point. A fault schedule is a pure function
+//! of `(seed, request index, fault kind)` — no clocks, no global RNG —
+//! so replaying a recorded stream under the same plan injects exactly
+//! the same faults at exactly the same requests, regardless of worker
+//! count or machine speed. That is what lets the chaos suite assert the
+//! containment theorem: every non-faulted response is byte-identical to
+//! the fault-free run, every faulted one is a well-typed error.
+//!
+//! # Spec grammar (`NETREC_FAULTS`)
+//!
+//! Clauses separated by `;` (whitespace ignored):
+//!
+//! ```text
+//! seed=N                       seed for rate draws        (default 42)
+//! panic@I1,I2,...              panic at exact request indices
+//! panic=RATE                   panic with probability RATE per request
+//! solve_error@I / solve_error=RATE    forced solver/oracle failure
+//! torn@I       / torn=RATE            torn (failed mid-write) file IO
+//! latency@I1,I2:MS / latency=RATE:MS  sleep MS ms before dispatch
+//! ```
+//!
+//! Example: `seed=7; latency=1:1; solve_error@4,18; panic@60`.
+
+use std::fmt;
+
+/// The fault kinds the plane can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside request execution (tests worker isolation).
+    Panic,
+    /// Force the solve/oracle path to fail with
+    /// [`RecoveryError::InjectedFault`](crate::RecoveryError::InjectedFault).
+    SolveError,
+    /// Fail a file write midway (tests atomic tmp+rename IO).
+    Torn,
+    /// Sleep before dispatch (tests deadline/overload accounting;
+    /// never changes response bytes).
+    Latency,
+}
+
+impl FaultKind {
+    /// Stable per-kind tag mixed into the rate-draw hash, so the four
+    /// kinds draw independently at the same index.
+    fn tag(self) -> u8 {
+        match self {
+            FaultKind::Panic => 1,
+            FaultKind::SolveError => 2,
+            FaultKind::Torn => 3,
+            FaultKind::Latency => 4,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::SolveError => "solve_error",
+            FaultKind::Torn => "torn",
+            FaultKind::Latency => "latency",
+        }
+    }
+}
+
+/// Which requests a rule selects.
+#[derive(Debug, Clone, PartialEq)]
+enum Selector {
+    /// Exact request indices (0-based, in stream order).
+    Indices(Vec<u64>),
+    /// Independent per-request probability in `[0, 1]`.
+    Rate(f64),
+}
+
+/// One parsed clause: a kind, a selector, and (for latency) a duration.
+#[derive(Debug, Clone, PartialEq)]
+struct Rule {
+    kind: FaultKind,
+    selector: Selector,
+    latency_ms: u64,
+}
+
+/// The faults scheduled for one request index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Faults {
+    /// Panic during execution.
+    pub panic: bool,
+    /// Force the solve path to fail.
+    pub solve_error: bool,
+    /// Tear the next file write.
+    pub torn: bool,
+    /// Sleep this long before dispatch.
+    pub latency_ms: Option<u64>,
+}
+
+impl Faults {
+    /// Whether any fault fires at this index.
+    pub fn any(&self) -> bool {
+        self.panic || self.solve_error || self.torn || self.latency_ms.is_some()
+    }
+
+    /// How many distinct faults fire at this index.
+    pub fn count(&self) -> usize {
+        usize::from(self.panic)
+            + usize::from(self.solve_error)
+            + usize::from(self.torn)
+            + usize::from(self.latency_ms.is_some())
+    }
+}
+
+/// A seeded, deterministic fault schedule (see the module docs for the
+/// spec grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// The environment variable the daemon reads a plan from.
+    pub const ENV_VAR: &'static str = "NETREC_FAULTS";
+
+    /// Parses a spec string.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first malformed clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 42u64;
+        let mut rules = Vec::new();
+        for raw in spec.split(';') {
+            let clause = raw.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            if let Some(v) = clause.strip_prefix("seed=") {
+                seed = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad seed in fault clause {clause:?}"))?;
+                continue;
+            }
+            rules.push(parse_rule(clause)?);
+        }
+        Ok(FaultPlan { seed, rules })
+    }
+
+    /// Reads a plan from [`FaultPlan::ENV_VAR`]; `Ok(None)` when unset
+    /// or empty.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from the variable's value.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The faults scheduled for request `index`. Pure: same plan + same
+    /// index ⇒ same answer, on every call, thread, and machine.
+    pub fn faults_at(&self, index: u64) -> Faults {
+        let mut out = Faults::default();
+        for rule in &self.rules {
+            let fires = match &rule.selector {
+                Selector::Indices(ids) => ids.contains(&index),
+                Selector::Rate(rate) => draw(self.seed, index, rule.kind.tag()) < *rate,
+            };
+            if !fires {
+                continue;
+            }
+            match rule.kind {
+                FaultKind::Panic => out.panic = true,
+                FaultKind::SolveError => out.solve_error = true,
+                FaultKind::Torn => out.torn = true,
+                FaultKind::Latency => out.latency_ms = Some(rule.latency_ms),
+            }
+        }
+        out
+    }
+
+    /// Total faults fired over request indices `0..n` (chaos suites
+    /// assert their schedules meet a floor before trusting a run).
+    pub fn count_fired(&self, n: u64) -> usize {
+        (0..n).map(|i| self.faults_at(i).count()).sum()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        for r in &self.rules {
+            write!(f, "; {}", r.kind.name())?;
+            match &r.selector {
+                Selector::Indices(ids) => {
+                    let ids: Vec<String> = ids.iter().map(u64::to_string).collect();
+                    write!(f, "@{}", ids.join(","))?;
+                }
+                Selector::Rate(rate) => write!(f, "={rate}")?,
+            }
+            if r.kind == FaultKind::Latency {
+                write!(f, ":{}", r.latency_ms)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_rule(clause: &str) -> Result<Rule, String> {
+    let (kind, rest) = if let Some(rest) = clause.strip_prefix("panic") {
+        (FaultKind::Panic, rest)
+    } else if let Some(rest) = clause.strip_prefix("solve_error") {
+        (FaultKind::SolveError, rest)
+    } else if let Some(rest) = clause.strip_prefix("torn") {
+        (FaultKind::Torn, rest)
+    } else if let Some(rest) = clause.strip_prefix("latency") {
+        (FaultKind::Latency, rest)
+    } else {
+        return Err(format!(
+            "unknown fault clause {clause:?} (want seed=/panic/solve_error/torn/latency)"
+        ));
+    };
+    // Latency carries a trailing `:MS`; split it off first.
+    let (rest, latency_ms) = if kind == FaultKind::Latency {
+        let (head, ms) = rest
+            .rsplit_once(':')
+            .ok_or_else(|| format!("latency clause {clause:?} needs a trailing :MS"))?;
+        let ms: u64 = ms
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad latency ms in {clause:?}"))?;
+        (head, ms)
+    } else {
+        (rest, 0)
+    };
+    let selector = if let Some(ids) = rest.strip_prefix('@') {
+        let ids = ids
+            .split(',')
+            .map(|i| {
+                i.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad index list in fault clause {clause:?}"))
+            })
+            .collect::<Result<Vec<u64>, String>>()?;
+        if ids.is_empty() {
+            return Err(format!("empty index list in fault clause {clause:?}"));
+        }
+        Selector::Indices(ids)
+    } else if let Some(rate) = rest.strip_prefix('=') {
+        let rate: f64 = rate
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad rate in fault clause {clause:?}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("rate out of [0,1] in fault clause {clause:?}"));
+        }
+        Selector::Rate(rate)
+    } else {
+        return Err(format!(
+            "fault clause {clause:?} needs @indices or =rate after the kind"
+        ));
+    };
+    Ok(Rule {
+        kind,
+        selector,
+        latency_ms,
+    })
+}
+
+/// Deterministic uniform draw in `[0, 1)` from `(seed, index, tag)`
+/// via FNV-1a — no shared RNG state, so schedules are identical across
+/// threads, worker counts, and platforms.
+fn draw(seed: u64, index: u64, tag: u8) -> f64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for b in seed.to_le_bytes() {
+        mix(b);
+    }
+    for b in index.to_le_bytes() {
+        mix(b);
+    }
+    mix(tag);
+    // FNV alone leaves the last mixed byte (the kind tag) in the low
+    // bits; a splitmix64 finalizer avalanches it across the word so the
+    // four kinds draw independently.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    // 53 high-entropy bits → an exact double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_indices_fire_exactly_there() {
+        let plan = FaultPlan::parse("seed=9; panic@3,7; solve_error@7; latency@2:25").unwrap();
+        assert_eq!(plan.faults_at(0), Faults::default());
+        assert!(plan.faults_at(3).panic);
+        assert!(!plan.faults_at(3).solve_error);
+        let both = plan.faults_at(7);
+        assert!(both.panic && both.solve_error);
+        assert_eq!(both.count(), 2);
+        assert_eq!(plan.faults_at(2).latency_ms, Some(25));
+        assert_eq!(plan.count_fired(10), 4);
+    }
+
+    #[test]
+    fn rates_are_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::parse("seed=123; torn=0.25").unwrap();
+        let again = FaultPlan::parse("seed=123; torn=0.25").unwrap();
+        let fired: Vec<u64> = (0..1000).filter(|&i| plan.faults_at(i).torn).collect();
+        let fired2: Vec<u64> = (0..1000).filter(|&i| again.faults_at(i).torn).collect();
+        assert_eq!(fired, fired2, "same seed, same schedule");
+        assert!(
+            (150..350).contains(&fired.len()),
+            "rate 0.25 fired {} / 1000",
+            fired.len()
+        );
+        // A different seed draws a different schedule.
+        let other = FaultPlan::parse("seed=124; torn=0.25").unwrap();
+        let fired3: Vec<u64> = (0..1000).filter(|&i| other.faults_at(i).torn).collect();
+        assert_ne!(fired, fired3);
+    }
+
+    #[test]
+    fn kinds_draw_independently() {
+        let plan = FaultPlan::parse("seed=5; panic=0.5; solve_error=0.5").unwrap();
+        let panics: Vec<bool> = (0..200).map(|i| plan.faults_at(i).panic).collect();
+        let solves: Vec<bool> = (0..200).map(|i| plan.faults_at(i).solve_error).collect();
+        assert_ne!(panics, solves, "kind tag decorrelates the draws");
+    }
+
+    #[test]
+    fn rate_one_fires_everywhere_and_zero_nowhere() {
+        let plan = FaultPlan::parse("latency=1:3; panic=0").unwrap();
+        for i in 0..50 {
+            assert_eq!(plan.faults_at(i).latency_ms, Some(3));
+            assert!(!plan.faults_at(i).panic);
+        }
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for spec in [
+            "seed=7; panic@1,2; latency=0.5:10",
+            "seed=42; torn=1",
+            "seed=1; solve_error@0",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
+            assert_eq!(plan, reparsed, "{spec}");
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_named_errors() {
+        for bad in [
+            "frobnicate@1",
+            "panic",
+            "panic@",
+            "panic@x",
+            "panic=2.0",
+            "panic=-0.1",
+            "latency@3",
+            "latency=0.5",
+            "latency=0.5:ms",
+            "seed=banana",
+        ] {
+            let err = FaultPlan::parse(bad).expect_err(bad);
+            assert!(!err.is_empty(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_is_an_empty_plan() {
+        let plan = FaultPlan::parse("  ;  ; ").unwrap();
+        assert_eq!(plan.count_fired(100), 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Crash-safe file writes: tmp + rename, with an explicit torn-write
+//! fail point for fault injection.
+//!
+//! [`atomic_write`] never exposes a half-written destination: content
+//! goes to a sibling `.tmp` file first and reaches the target path only
+//! through a same-directory rename (atomic on POSIX). A crash — or an
+//! injected [`torn`](atomic_write_torn) failure — can leave `.tmp`
+//! debris, but the destination always holds either the previous
+//! complete content or the new complete content, never a prefix. The
+//! serve snapshot files and the campaign report/CSV exports both write
+//! through here; the campaign journal gets the same guarantee
+//! line-wise from its append-and-tolerate-torn-tail format.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Atomically replaces `path` with `contents` (tmp + rename). With
+/// `durable`, the file is fsynced before the rename and the parent
+/// directory after it, so the replacement survives power loss, not just
+/// process death.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; on error the destination is untouched.
+pub fn atomic_write(path: &Path, contents: &[u8], durable: bool) -> std::io::Result<()> {
+    atomic_write_torn(path, contents, durable, false)
+}
+
+/// [`atomic_write`] with a fault-injection switch: with `torn`, the
+/// write stops halfway through the tmp file and fails — simulating a
+/// crash mid-write. The partial `.tmp` is left on disk exactly like
+/// real crash debris; the destination is untouched either way.
+///
+/// # Errors
+///
+/// Filesystem errors, or an [`std::io::ErrorKind::Interrupted`] error
+/// ("injected torn write") when `torn` is set.
+pub fn atomic_write_torn(
+    path: &Path,
+    contents: &[u8],
+    durable: bool,
+    torn: bool,
+) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other(format!("{} has no file name", path.display())))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let mut file = std::fs::File::create(&tmp)?;
+    if torn {
+        file.write_all(&contents[..contents.len() / 2])?;
+        file.flush()?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "injected torn write",
+        ));
+    }
+    file.write_all(contents)?;
+    if durable {
+        file.sync_all()?;
+    }
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    if durable {
+        // The rename itself must survive power loss: fsync the
+        // directory entry (opening a directory read-only is enough to
+        // sync it on the platforms we run on).
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::File::open(parent)?.sync_all()?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("netrec_fsio_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_complete_and_replace_cleanly() {
+        let dir = scratch("basic");
+        let path = dir.join("report.json");
+        atomic_write(&path, b"{\"v\":1}", false).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":1}");
+        atomic_write(&path, b"{\"v\":2,\"more\":true}", true).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":2,\"more\":true}");
+        assert!(!dir.join("report.json.tmp").exists(), "tmp cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_write_never_touches_the_destination() {
+        let dir = scratch("torn");
+        let path = dir.join("report.json");
+        atomic_write(&path, b"old complete content", false).unwrap();
+        let err = atomic_write_torn(&path, b"new content that tears", false, true).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"old complete content",
+            "destination holds the previous complete content"
+        );
+        // The crash debris is the partial tmp, never the target.
+        let debris = std::fs::read(dir.join("report.json.tmp")).unwrap();
+        assert_eq!(debris, &b"new content that tears"[..11]);
+        // A fresh path torn on first write simply never appears.
+        let fresh = dir.join("fresh.json");
+        atomic_write_torn(&fresh, b"xx", false, true).unwrap_err();
+        assert!(!fresh.exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pathological_paths_error_without_side_effects() {
+        assert!(atomic_write(Path::new("/"), b"x", false).is_err());
+    }
+}

@@ -67,6 +67,8 @@ mod routability;
 mod state;
 
 pub mod centrality;
+pub mod fault;
+pub mod fsio;
 pub mod heuristics;
 pub mod isp;
 pub mod oracle;
@@ -75,6 +77,7 @@ pub mod solver;
 pub mod vulnerability;
 
 pub use error::RecoveryError;
+pub use fault::{FaultPlan, Faults};
 pub use isp::{solve_isp, solve_isp_with_stats, IspConfig, IspStats, MetricMode};
 pub use oracle::{EvalOracle, OracleSpec, OracleStats, RoutabilityOracle, SatisfactionOracle};
 pub use plan::RecoveryPlan;

@@ -59,6 +59,7 @@ pub struct SolveContext<'a> {
     deadline: Option<Instant>,
     cancel: Option<&'a AtomicBool>,
     progress: Option<ProgressListener<'a>>,
+    injected_fault: bool,
 }
 
 /// Boxed progress callback installed via [`SolveContext::with_progress`].
@@ -107,6 +108,17 @@ impl<'a> SolveContext<'a> {
     /// the next checkpoint return [`RecoveryError::Cancelled`].
     pub fn with_cancel_flag(mut self, flag: &'a AtomicBool) -> Self {
         self.cancel = Some(flag);
+        self
+    }
+
+    /// Arms the fault-injection hook: the very first checkpoint fails
+    /// with [`RecoveryError::InjectedFault`], so the forced failure
+    /// travels the same cooperative-interruption path a real deadline
+    /// or cancellation would (the chaos plane wires
+    /// [`FaultPlan`](crate::fault::FaultPlan) solve errors through
+    /// this).
+    pub fn with_injected_fault(mut self) -> Self {
+        self.injected_fault = true;
         self
     }
 
@@ -160,10 +172,14 @@ impl<'a> SolveContext<'a> {
     ///
     /// # Errors
     ///
-    /// [`RecoveryError::Cancelled`] when the flag is raised,
-    /// [`RecoveryError::DeadlineExceeded`] when the deadline has passed
-    /// (cancellation is checked first).
+    /// [`RecoveryError::InjectedFault`] when the fault-injection hook is
+    /// armed (checked first — a chaos schedule must fire regardless of
+    /// budgets), [`RecoveryError::Cancelled`] when the flag is raised,
+    /// [`RecoveryError::DeadlineExceeded`] when the deadline has passed.
     pub fn checkpoint(&self) -> Result<(), RecoveryError> {
+        if self.injected_fault {
+            return Err(RecoveryError::InjectedFault);
+        }
         if let Some(flag) = self.cancel {
             if flag.load(Ordering::Relaxed) {
                 return Err(RecoveryError::Cancelled);
@@ -224,6 +240,21 @@ mod tests {
         assert_eq!(ctx.checkpoint(), Err(RecoveryError::DeadlineExceeded));
         flag.store(true, Ordering::Relaxed);
         assert_eq!(ctx.checkpoint(), Err(RecoveryError::Cancelled));
+    }
+
+    #[test]
+    fn injected_fault_beats_every_budget() {
+        let ctx = SolveContext::new().with_injected_fault();
+        assert_eq!(ctx.checkpoint(), Err(RecoveryError::InjectedFault));
+        // Armed alongside a dead deadline and a raised flag, the
+        // injected fault still reports first: chaos schedules are
+        // deterministic even under pressure.
+        let flag = AtomicBool::new(true);
+        let ctx = SolveContext::new()
+            .with_deadline(Duration::ZERO)
+            .with_cancel_flag(&flag)
+            .with_injected_fault();
+        assert_eq!(ctx.checkpoint(), Err(RecoveryError::InjectedFault));
     }
 
     #[test]

@@ -17,22 +17,31 @@
 
 use crate::protocol::{Op, Request, Response};
 use crate::session::Session;
+use netrec_core::fault::{FaultPlan, Faults};
 use netrec_core::oracle::OracleStats;
 use netrec_core::solver::SolverSpec;
 use netrec_core::{RecoveryError, RecoveryPlan, RecoveryProblem, StatePatch};
 use netrec_graph::{EdgeId, NodeId};
 use netrec_json::{object, Json};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// The resident dispatcher: shared base topology, the session table,
-/// and the shutdown latch.
+/// the shutdown latch, and (under chaos testing) the fault plan.
 pub struct Engine {
     base: Arc<RecoveryProblem>,
     sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
     default_solver: SolverSpec,
     shutdown: AtomicBool,
+    faults: Option<FaultPlan>,
+    /// Request index source for callers that dispatch without a
+    /// transport (tests, benches, the CLI's inline loop): the server
+    /// assigns indices at read time instead, so fault schedules hit the
+    /// same requests at any worker count.
+    dispatch_counter: AtomicU64,
 }
 
 impl Engine {
@@ -44,7 +53,21 @@ impl Engine {
             sessions: Mutex::new(HashMap::new()),
             default_solver,
             shutdown: AtomicBool::new(false),
+            faults: None,
+            dispatch_counter: AtomicU64::new(0),
         }
+    }
+
+    /// Arms the deterministic fault-injection plane: dispatched
+    /// requests are matched against `plan` by their read-order index.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Whether a `shutdown` request has been accepted.
@@ -59,7 +82,14 @@ impl Engine {
 
     /// Number of open sessions.
     pub fn session_count(&self) -> usize {
-        self.sessions.lock().expect("session table poisoned").len()
+        // A worker panic can only poison an individual session lock —
+        // the table lock is never held across user code — but recover
+        // anyway: the table itself (a name→handle map) cannot be left
+        // half-mutated by our lock holders.
+        self.sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// The session handle for `name`, created on first use. The table
@@ -67,7 +97,7 @@ impl Engine {
     /// individual session's lock, so a long `query_plan` in one session
     /// never blocks another session's queries.
     fn session(&self, name: &str) -> Arc<Mutex<Session>> {
-        let mut table = self.sessions.lock().expect("session table poisoned");
+        let mut table = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
         Arc::clone(
             table
                 .entry(name.to_string())
@@ -77,7 +107,9 @@ impl Engine {
 
     /// Processes one request line and returns the response line
     /// (without trailing newline). Total: any input produces exactly
-    /// one well-formed response line; nothing panics the caller's loop.
+    /// one well-formed response line; nothing panics the caller's loop
+    /// (except a deliberately injected panic fault, which the server's
+    /// worker isolation converts to a typed `internal_error`).
     pub fn process_line(&self, line: &str) -> String {
         match Request::parse(line) {
             Ok(req) => self.dispatch(&req).to_line(),
@@ -85,13 +117,89 @@ impl Engine {
         }
     }
 
-    /// Routes a parsed request to its session.
+    /// Routes a parsed request to its session, drawing the request
+    /// index from the engine's own counter (transportless callers).
     pub fn dispatch(&self, req: &Request) -> Response {
+        let index = self.dispatch_counter.fetch_add(1, Ordering::SeqCst);
+        self.dispatch_indexed(req, index, None)
+    }
+
+    /// Routes a parsed request to its session. `index` is the
+    /// read-order request index the fault plan keys on; `enqueued_at`
+    /// anchors deadline accounting (a request's `deadline_ms` budget
+    /// includes its queue wait, so an overloaded daemon sheds work via
+    /// `deadline_exceeded` instead of solving for clients that gave
+    /// up).
+    pub fn dispatch_indexed(
+        &self,
+        req: &Request,
+        index: u64,
+        enqueued_at: Option<Instant>,
+    ) -> Response {
+        let faults = match &self.faults {
+            Some(plan) => plan.faults_at(index),
+            None => Faults::default(),
+        };
+        if let Some(ms) = faults.latency_ms {
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        // Shutdown is handled before any session lock: the drain path
+        // must stay reachable even when every session is poisoned, and
+        // an injected panic must not be able to wedge it.
+        if matches!(req.op, Op::Shutdown) {
+            self.shutdown.store(true, Ordering::SeqCst);
+            return Response::ok(
+                &req.id,
+                "shutdown",
+                vec![("sessions", Json::Number(self.session_count() as f64))],
+            );
+        }
         let session_name = req.session_name();
         let handle = self.session(session_name);
-        let mut session = handle.lock().expect("session poisoned");
+        let mut session = match handle.lock() {
+            Ok(guard) => guard,
+            // A previous panic died while mutating this session: its
+            // state is suspect, so every later request against it gets
+            // a typed rejection instead of suspect answers. Other
+            // sessions are unaffected — poisoning is the containment
+            // boundary.
+            Err(_) => {
+                return Response::error(
+                    Some(&req.id),
+                    "session_poisoned",
+                    &format!(
+                        "session {session_name:?} was poisoned by an earlier panic; \
+                         open a fresh session or restore from a snapshot"
+                    ),
+                )
+            }
+        };
+        let reply = self.execute(req, &mut session, session_name, &faults, enqueued_at);
+        // The injected panic fires *after* the op executed, while the
+        // session guard is still held — modeling a panic in response
+        // rendering, the worst case for state consistency: side effects
+        // landed, the reply is lost, and the lock poisons so the
+        // containment above kicks in for every later request.
+        if faults.panic {
+            panic!(
+                "injected panic after {} (request index {index})",
+                req.op.name()
+            );
+        }
+        reply
+    }
+
+    /// Executes one non-shutdown op under its session lock.
+    fn execute(
+        &self,
+        req: &Request,
+        session: &mut Session,
+        session_name: &str,
+        faults: &Faults,
+        enqueued_at: Option<Instant>,
+    ) -> Response {
         match &req.op {
-            Op::Disrupt { nodes, edges, cost } => self.mutate(req, &mut session, |problem| {
+            Op::Disrupt { nodes, edges, cost } => self.mutate(req, session, |problem| {
                 if !cost.is_finite() || *cost < 0.0 {
                     return Err(RecoveryError::InvalidCost(*cost));
                 }
@@ -112,7 +220,7 @@ impl Engine {
                 }
                 Ok(patches)
             }),
-            Op::Repair { nodes, edges } => self.mutate(req, &mut session, |problem| {
+            Op::Repair { nodes, edges } => self.mutate(req, session, |problem| {
                 let mut patches = Vec::with_capacity(nodes.len() + edges.len());
                 for &n in nodes {
                     check_node(problem, n)?;
@@ -128,7 +236,7 @@ impl Engine {
                 }
                 Ok(patches)
             }),
-            Op::Demand { pairs, replace } => self.mutate(req, &mut session, |problem| {
+            Op::Demand { pairs, replace } => self.mutate(req, session, |problem| {
                 let mut patches = Vec::with_capacity(pairs.len() + 1);
                 if *replace {
                     patches.push(StatePatch::ClearDemands);
@@ -150,21 +258,49 @@ impl Engine {
                 }
                 Ok(patches)
             }),
-            Op::QueryRoutability => match session.query_routability() {
-                Ok((routable, cost)) => Response::ok(
-                    &req.id,
-                    "query_routability",
-                    vec![
-                        ("generation", generation(&session)),
-                        ("routable", Json::Bool(routable)),
-                        ("oracle", stats_json(&cost)),
-                    ],
-                ),
-                Err(e) => recovery_error(req, &e),
-            },
+            Op::QueryRoutability { degraded_ok } => {
+                let reply = if *degraded_ok {
+                    match session.query_routability_degraded() {
+                        Ok((routable, certificate)) => Response::ok(
+                            &req.id,
+                            "query_routability",
+                            vec![
+                                ("generation", generation(session)),
+                                ("routable", Json::Bool(routable)),
+                                ("degraded", Json::Bool(true)),
+                                ("certificate", Json::String(certificate.to_string())),
+                            ],
+                        ),
+                        Err(e) => recovery_error(req, &e),
+                    }
+                } else {
+                    match session.query_routability() {
+                        Ok((routable, cost)) => Response::ok(
+                            &req.id,
+                            "query_routability",
+                            vec![
+                                ("generation", generation(session)),
+                                ("routable", Json::Bool(routable)),
+                                ("oracle", stats_json(&cost)),
+                            ],
+                        ),
+                        Err(e) => recovery_error(req, &e),
+                    }
+                };
+                // A solve-error fault *replaces* the reply after the
+                // query ran normally: warm oracle state and the verdict
+                // cache evolve exactly as in the fault-free run, so
+                // every non-faulted response downstream stays
+                // byte-identical.
+                if faults.solve_error {
+                    return recovery_error(req, &RecoveryError::InjectedFault);
+                }
+                reply
+            }
             Op::QueryPlan {
                 solver,
                 deadline_ms,
+                degraded_ok,
             } => {
                 let spec = match solver {
                     None => self.default_solver.clone(),
@@ -179,13 +315,19 @@ impl Engine {
                         }
                     },
                 };
+                let deadline_at = deadline_ms
+                    .map(|ms| enqueued_at.unwrap_or_else(Instant::now) + Duration::from_millis(ms));
                 let baseline = session.oracle_stats();
-                match session.query_plan(&spec, *deadline_ms) {
+                // query_plan side effects are a fresh solver + fresh
+                // context, so a solve-error fault can be injected
+                // genuinely (the context hook): it fails on the first
+                // checkpoint with zero side effects.
+                match session.query_plan(&spec, deadline_at, faults.solve_error) {
                     Ok(plan) => Response::ok(
                         &req.id,
                         "query_plan",
                         vec![
-                            ("generation", generation(&session)),
+                            ("generation", generation(session)),
                             ("solver", Json::String(spec.to_string())),
                             ("plan", plan_json(&plan, session.problem())),
                             (
@@ -194,12 +336,45 @@ impl Engine {
                             ),
                         ],
                     ),
+                    Err(e)
+                        if *degraded_ok
+                            && (e.is_interruption() || e == RecoveryError::InjectedFault) =>
+                    {
+                        // Degraded answer: the last known-good plan with
+                        // staleness metadata, instead of a bare typed
+                        // error the client can do nothing with.
+                        match session.last_plan() {
+                            Some(stale) => Response::ok(
+                                &req.id,
+                                "query_plan",
+                                vec![
+                                    ("generation", generation(session)),
+                                    ("degraded", Json::Bool(true)),
+                                    ("reason", Json::String(e.kind().to_string())),
+                                    ("solver", Json::String(stale.solver.clone())),
+                                    ("plan", plan_json(&stale.plan, session.problem())),
+                                    (
+                                        "stale_events",
+                                        Json::Number(
+                                            (session.events_applied() - stale.events_applied)
+                                                as f64,
+                                        ),
+                                    ),
+                                    (
+                                        "stale_generation",
+                                        Json::String(format!("{:016x}", stale.fingerprint)),
+                                    ),
+                                ],
+                            ),
+                            None => recovery_error(req, &e),
+                        }
+                    }
                     Err(e) => recovery_error(req, &e),
                 }
             }
-            Op::Snapshot { fork } => {
+            Op::Snapshot { fork, path } => {
                 let mut body = vec![
-                    ("generation", generation(&session)),
+                    ("generation", generation(session)),
                     (
                         "nodes",
                         Json::Number(session.problem().graph().node_count() as f64),
@@ -242,7 +417,7 @@ impl Engine {
                             "cannot fork a session onto itself",
                         );
                     }
-                    let mut table = self.sessions.lock().expect("session table poisoned");
+                    let mut table = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
                     if table.contains_key(fork_name) {
                         return Response::error(
                             Some(&req.id),
@@ -253,8 +428,33 @@ impl Engine {
                     table.insert(fork_name.clone(), Arc::new(Mutex::new(session.fork())));
                     body.push(("forked", Json::String(fork_name.clone())));
                 }
+                if let Some(path) = path {
+                    let doc = persist_json(session_name, session);
+                    let mut bytes = doc.to_line().into_bytes();
+                    bytes.push(b'\n');
+                    match netrec_core::fsio::atomic_write_torn(
+                        Path::new(path),
+                        &bytes,
+                        false,
+                        faults.torn,
+                    ) {
+                        Ok(()) => body.push(("persisted", Json::String(path.clone()))),
+                        // The write is atomic: on failure the path holds
+                        // its previous complete content (or nothing), so
+                        // a typed error is the whole story.
+                        Err(e) => {
+                            return Response::error(
+                                Some(&req.id),
+                                "io_error",
+                                &format!("snapshot persist to {path:?} failed: {e}"),
+                            )
+                        }
+                    }
+                }
                 Response::ok(&req.id, "snapshot", body)
             }
+            // Handled before the session lock in dispatch_indexed;
+            // latch again rather than panic if a caller routes one here.
             Op::Shutdown => {
                 self.shutdown.store(true, Ordering::SeqCst);
                 Response::ok(
@@ -264,6 +464,78 @@ impl Engine {
                 )
             }
         }
+    }
+
+    /// Restores a session persisted by `snapshot` with `path` into the
+    /// table under its recorded name. The recorded generation is
+    /// re-verified against the rebuilt state — a snapshot against a
+    /// different base topology (or a corrupted complete file) is
+    /// rejected rather than silently served.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason: unreadable file, malformed or
+    /// wrong-kind JSON, component ids outside the base topology,
+    /// fingerprint mismatch, or a name collision with a live session.
+    pub fn restore_from_file(&self, path: &Path) -> Result<String, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = Json::parse(text.trim())
+            .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+        if doc.get("kind").and_then(Json::as_str) != Some(SNAPSHOT_KIND) {
+            return Err(format!(
+                "{} is not a session snapshot (missing kind {SNAPSHOT_KIND:?})",
+                path.display()
+            ));
+        }
+        if doc.get("v").and_then(Json::as_u64) != Some(crate::protocol::PROTOCOL_VERSION) {
+            return Err(format!("{}: unsupported snapshot version", path.display()));
+        }
+        let name = doc
+            .get("session")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{}: missing session name", path.display()))?
+            .to_string();
+        let generation = doc
+            .get("generation")
+            .and_then(Json::as_str)
+            .and_then(|g| u64::from_str_radix(g, 16).ok())
+            .ok_or_else(|| format!("{}: missing or malformed generation", path.display()))?;
+        let events_applied = doc
+            .get("events_applied")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| format!("{}: missing events_applied", path.display()))?;
+        let broken_nodes =
+            cost_pairs(&doc, "broken_nodes").map_err(|e| format!("{}: {e}", path.display()))?;
+        let broken_edges =
+            cost_pairs(&doc, "broken_edges").map_err(|e| format!("{}: {e}", path.display()))?;
+        let demands = demand_triples(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+        let session = Session::restore(
+            Arc::clone(&self.base),
+            &broken_nodes,
+            &broken_edges,
+            &demands,
+            events_applied,
+        )
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+        if session.fingerprint() != generation {
+            return Err(format!(
+                "{}: generation mismatch (snapshot {:016x}, rebuilt {:016x}) — \
+                 wrong base topology or corrupted snapshot",
+                path.display(),
+                generation,
+                session.fingerprint()
+            ));
+        }
+        let mut table = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+        if table.contains_key(&name) {
+            return Err(format!(
+                "{}: session {name:?} already exists",
+                path.display()
+            ));
+        }
+        table.insert(name.clone(), Arc::new(Mutex::new(session)));
+        Ok(name)
     }
 
     /// Shared shape of the three mutating ops: validate and build the
@@ -315,6 +587,99 @@ fn check_edge(problem: &RecoveryProblem, e: usize) -> Result<(), RecoveryError> 
         return Err(RecoveryError::UnknownDemandEndpoint);
     }
     Ok(())
+}
+
+/// The `"kind"` discriminator of a persisted session snapshot file.
+const SNAPSHOT_KIND: &str = "netrec-session-snapshot";
+
+/// Renders the crash-safe persisted form of a session: everything
+/// needed to rebuild its *observable* state on the same base topology
+/// (damage with costs, the demand set, lineage depth) plus the
+/// generation for restore-time verification. Warm oracle state is
+/// deliberately not persisted — it is a cache, and caches are rebuilt,
+/// not trusted across crashes.
+fn persist_json(session_name: &str, session: &Session) -> Json {
+    let problem = session.problem();
+    let graph = problem.graph();
+    let mut broken_nodes = Vec::new();
+    for (i, &broken) in problem.broken_node_mask().iter().enumerate() {
+        if broken {
+            broken_nodes.push(Json::Array(vec![
+                Json::Number(i as f64),
+                Json::Number(problem.node_cost(graph.node(i))),
+            ]));
+        }
+    }
+    let mut broken_edges = Vec::new();
+    for (i, &broken) in problem.broken_edge_mask().iter().enumerate() {
+        if broken {
+            broken_edges.push(Json::Array(vec![
+                Json::Number(i as f64),
+                Json::Number(problem.edge_cost(EdgeId::new(i))),
+            ]));
+        }
+    }
+    let demands = problem
+        .demand_pairs()
+        .iter()
+        .map(|&(s, t, amount)| {
+            Json::Array(vec![
+                Json::Number(s.index() as f64),
+                Json::Number(t.index() as f64),
+                Json::Number(amount),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("v", Json::Number(crate::protocol::PROTOCOL_VERSION as f64)),
+        ("kind", Json::String(SNAPSHOT_KIND.to_string())),
+        ("session", Json::String(session_name.to_string())),
+        (
+            "generation",
+            Json::String(format!("{:016x}", session.fingerprint())),
+        ),
+        (
+            "events_applied",
+            Json::Number(session.events_applied() as f64),
+        ),
+        ("broken_nodes", Json::Array(broken_nodes)),
+        ("broken_edges", Json::Array(broken_edges)),
+        ("demands", Json::Array(demands)),
+    ])
+}
+
+/// Reads a `[[id, cost], ...]` member of a snapshot file.
+fn cost_pairs(doc: &Json, key: &str) -> Result<Vec<(usize, f64)>, String> {
+    let items = doc
+        .get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("missing array {key:?}"))?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_array()
+                .filter(|pair| pair.len() == 2)
+                .and_then(|pair| Some((pair[0].as_usize()?, pair[1].as_f64()?)))
+                .ok_or_else(|| format!("{key:?} entries must be [id, cost]"))
+        })
+        .collect()
+}
+
+/// Reads the `[[source, target, amount], ...]` demand member.
+fn demand_triples(doc: &Json) -> Result<Vec<(usize, usize, f64)>, String> {
+    let items = doc
+        .get("demands")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing array \"demands\"".to_string())?;
+    items
+        .iter()
+        .map(|item| {
+            item.as_array()
+                .filter(|t| t.len() == 3)
+                .and_then(|t| Some((t[0].as_usize()?, t[1].as_usize()?, t[2].as_f64()?)))
+                .ok_or_else(|| "\"demands\" entries must be [source, target, amount]".to_string())
+        })
+        .collect()
 }
 
 /// The generation fingerprint as a fixed-width hex string (JSON numbers
@@ -548,5 +913,240 @@ mod tests {
             assert!(!reply.is_ok());
         }
         assert!(!e.is_shutting_down(), "bad version must not shut down");
+    }
+
+    fn faulty(spec: &str) -> Engine {
+        let e = engine();
+        Engine::with_faults(e, FaultPlan::parse(spec).unwrap())
+    }
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "netrec-engine-test-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn injected_solve_error_is_typed_and_preserves_warm_state() {
+        // solve_error@1 hits q1. The faulted run and a fault-free run
+        // must agree byte-for-byte on every *other* response — the
+        // fault replaces q1's reply but never perturbs session state.
+        let script = [
+            r#"{"v":1,"id":"d0","op":"disrupt","edges":[1],"cost":1.0}"#,
+            r#"{"v":1,"id":"q1","op":"query_routability"}"#,
+            r#"{"v":1,"id":"q2","op":"query_routability"}"#,
+            r#"{"v":1,"id":"p3","op":"query_plan","solver":"isp"}"#,
+        ];
+        let clean: Vec<String> = {
+            let e = engine();
+            script.iter().map(|l| e.process_line(l)).collect()
+        };
+        let e = faulty("solve_error@1");
+        let faulted: Vec<String> = script.iter().map(|l| e.process_line(l)).collect();
+        let r = Response::parse(&faulted[1]).unwrap();
+        assert_eq!(r.error_kind(), Some("injected_fault"), "{}", faulted[1]);
+        for i in [0usize, 2, 3] {
+            assert_eq!(clean[i], faulted[i], "non-faulted response {i} diverged");
+        }
+    }
+
+    #[test]
+    fn injected_panic_poisons_only_its_session() {
+        let e = faulty("panic@1");
+        ok(&e, r#"{"v":1,"id":"q0","op":"query_routability"}"#);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.process_line(r#"{"v":1,"id":"d1","op":"disrupt","edges":[1],"cost":1.0}"#)
+        }));
+        assert!(panicked.is_err(), "the panic fault must actually unwind");
+        // The default session is now poisoned; the mutation landed
+        // before the panic fired but its state is suspect by policy.
+        let r = err(&e, r#"{"v":1,"id":"q1","op":"query_routability"}"#);
+        assert_eq!(r.error_kind(), Some("session_poisoned"));
+        // Other sessions and the drain path are untouched.
+        ok(
+            &e,
+            r#"{"v":1,"id":"q2","session":"side","op":"query_routability"}"#,
+        );
+        ok(&e, r#"{"v":1,"id":"z","op":"shutdown"}"#);
+        assert!(e.is_shutting_down());
+    }
+
+    #[test]
+    fn degraded_routability_reports_a_certificate_without_oracle_mutation() {
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d0","op":"disrupt","edges":[1,3],"cost":1.0}"#,
+        );
+        // Two exact queries: the second is a verdict-cache hit whose
+        // oracle delta is the steady state repeat queries report.
+        ok(&e, r#"{"v":1,"id":"q0","op":"query_routability"}"#);
+        let exact_before = ok(&e, r#"{"v":1,"id":"q0","op":"query_routability"}"#);
+        let r = ok(
+            &e,
+            r#"{"v":1,"id":"q1","op":"query_routability","degraded_ok":true}"#,
+        );
+        assert_eq!(r.json().get("degraded"), Some(&Json::Bool(true)));
+        let cert = r
+            .json()
+            .get("error")
+            .map(|_| "")
+            .or_else(|| r.json().get("certificate").and_then(Json::as_str))
+            .unwrap();
+        assert!(
+            ["exact", "certified", "conservative"].contains(&cert),
+            "{}",
+            r.to_line()
+        );
+        assert!(
+            r.json().get("oracle").is_none(),
+            "degraded answers carry no oracle counters: {}",
+            r.to_line()
+        );
+        // The degraded path never touches the exact cache or the warm
+        // oracle: the exact answer is unchanged, byte for byte.
+        let exact_after = ok(&e, r#"{"v":1,"id":"q0","op":"query_routability"}"#);
+        assert_eq!(exact_before.to_line(), exact_after.to_line());
+    }
+
+    #[test]
+    fn degraded_query_plan_serves_the_last_known_good_plan() {
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d0","op":"disrupt","edges":[1],"cost":1.0}"#,
+        );
+        // No prior plan: a degraded-tolerant request still gets the
+        // typed error — there is nothing to degrade to.
+        let r = err(
+            &e,
+            r#"{"v":1,"id":"p0","op":"query_plan","deadline_ms":0,"degraded_ok":true}"#,
+        );
+        assert_eq!(r.error_kind(), Some("deadline_exceeded"));
+        // Solve once for real, mutate, then ask again with a dead
+        // deadline: the stale plan comes back with staleness metadata.
+        ok(&e, r#"{"v":1,"id":"p1","op":"query_plan","solver":"isp"}"#);
+        ok(
+            &e,
+            r#"{"v":1,"id":"d1","op":"disrupt","edges":[3],"cost":1.0}"#,
+        );
+        let r = ok(
+            &e,
+            r#"{"v":1,"id":"p2","op":"query_plan","deadline_ms":0,"degraded_ok":true}"#,
+        );
+        assert_eq!(r.json().get("degraded"), Some(&Json::Bool(true)));
+        assert_eq!(
+            r.json().get("reason").and_then(Json::as_str),
+            Some("deadline_exceeded")
+        );
+        assert_eq!(r.json().get("stale_events"), Some(&Json::Number(1.0)));
+        assert!(r.json().get("plan").is_some(), "{}", r.to_line());
+        // Without degraded_ok the same request stays a typed error.
+        let r = err(&e, r#"{"v":1,"id":"p3","op":"query_plan","deadline_ms":0}"#);
+        assert_eq!(r.error_kind(), Some("deadline_exceeded"));
+    }
+
+    #[test]
+    fn snapshot_persists_and_restores_across_engines() {
+        let path = tmp_path("roundtrip");
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d0","session":"ops","op":"disrupt","edges":[1,3],"cost":2.5}"#,
+        );
+        ok(
+            &e,
+            r#"{"v":1,"id":"m1","session":"ops","op":"demand","pairs":[[1,2,4.0]]}"#,
+        );
+        let line = format!(
+            r#"{{"v":1,"id":"s1","session":"ops","op":"snapshot","path":{:?}}}"#,
+            path.to_str().unwrap()
+        );
+        let snap = ok(&e, &line);
+        let generation = snap.json().get("generation").cloned().unwrap();
+        assert_eq!(
+            snap.json().get("persisted").and_then(Json::as_str),
+            path.to_str()
+        );
+
+        let e2 = engine();
+        let name = e2.restore_from_file(&path).unwrap();
+        assert_eq!(name, "ops");
+        let snap2 = ok(&e2, r#"{"v":1,"id":"s2","session":"ops","op":"snapshot"}"#);
+        assert_eq!(
+            snap2.json().get("generation").cloned(),
+            Some(generation),
+            "restored session reproduces the persisted generation"
+        );
+        assert_eq!(snap2.json().get("broken_edges"), Some(&Json::Number(2.0)));
+        assert_eq!(snap2.json().get("events_applied"), Some(&Json::Number(2.0)));
+        // A second restore collides with the live session.
+        let collision = e2.restore_from_file(&path).unwrap_err();
+        assert!(collision.contains("already exists"), "{collision}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_base_topology() {
+        let path = tmp_path("mismatch");
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d0","session":"ops","op":"disrupt","edges":[1],"cost":1.0}"#,
+        );
+        let line = format!(
+            r#"{{"v":1,"id":"s1","session":"ops","op":"snapshot","path":{:?}}}"#,
+            path.to_str().unwrap()
+        );
+        ok(&e, &line);
+
+        // A different base: same shape but a different edge capacity,
+        // which the generation fingerprint covers — so the rebuilt
+        // fingerprint cannot match the recorded one.
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
+        g.add_edge(g.node(1), g.node(2), 7.0).unwrap();
+        g.add_edge(g.node(2), g.node(3), 10.0).unwrap();
+        g.add_edge(g.node(0), g.node(3), 10.0).unwrap();
+        let mut p = RecoveryProblem::new(g);
+        p.add_demand(p.graph().node(0), p.graph().node(3), 5.0)
+            .unwrap();
+        let other = Engine::new(p, SolverSpec::parse("isp").unwrap());
+        let e = other.restore_from_file(&path).unwrap_err();
+        assert!(e.contains("generation mismatch"), "{e}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_snapshot_write_is_a_typed_io_error_and_the_target_survives() {
+        let path = tmp_path("torn");
+        let e = faulty("torn@1");
+        ok(
+            &e,
+            r#"{"v":1,"id":"d0","op":"disrupt","edges":[1],"cost":1.0}"#,
+        );
+        let line = format!(
+            r#"{{"v":1,"id":"s1","op":"snapshot","path":{:?}}}"#,
+            path.to_str().unwrap()
+        );
+        let r = err(&e, &line);
+        assert_eq!(r.error_kind(), Some("io_error"), "{}", r.to_line());
+        assert!(
+            !path.exists(),
+            "a torn write must never leave a partial snapshot at the target"
+        );
+        // The session itself is fine; a retry (no fault at this index)
+        // persists a complete, restorable snapshot.
+        let retry = format!(
+            r#"{{"v":1,"id":"s2","op":"snapshot","path":{:?}}}"#,
+            path.to_str().unwrap()
+        );
+        ok(&e, &retry);
+        let e2 = engine();
+        assert_eq!(e2.restore_from_file(&path).unwrap(), "default");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -33,6 +33,16 @@
 //!   against goldens), yet a slow `query_plan` cannot starve another
 //!   session's routability queries. Per-request deadlines surface as
 //!   typed `deadline_exceeded` responses; the session survives.
+//! * **Failure containment** — a panic while a request executes becomes
+//!   a typed `internal_error` reply and poisons only that session
+//!   (later requests against it answer `session_poisoned`); queue
+//!   bounds shed excess load with `overloaded` + `retry_after_ms`;
+//!   degraded answers (`"degraded":true`) fall back to the certified
+//!   oracle threshold path or the last known-good plan; `snapshot` can
+//!   persist sessions atomically and `--restore` rebuilds them after a
+//!   crash. A seeded fault-injection plane
+//!   ([`netrec_core::FaultPlan`], `NETREC_FAULTS`) makes all of it
+//!   deterministically testable — see `DESIGN.md` §14.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,5 +54,5 @@ pub mod session;
 
 pub use engine::Engine;
 pub use protocol::{Op, ProtocolError, Request, Response, DEFAULT_SESSION, PROTOCOL_VERSION};
-pub use server::{run_stream, OpLatency, ServeReport, Server};
-pub use session::Session;
+pub use server::{run_stream, run_stream_with, OpLatency, ServeReport, Server, ServerConfig};
+pub use session::{Session, StalePlan};

@@ -13,10 +13,14 @@
 //! envelope: `{"v":1,"id":...,"ok":true,...}` on success,
 //! `{"v":1,"id":...,"ok":false,"error":{"kind":...,"message":...}}` on
 //! failure. Error kinds are stable wire strings: protocol-level kinds
-//! from this module (`parse`, `version`, `bad_request`, `unknown_op`)
-//! and solver-level kinds from
-//! [`RecoveryError::kind`](netrec_core::RecoveryError::kind)
-//! (`deadline_exceeded`, `infeasible`, …).
+//! from this module (`parse`, `version`, `bad_request`, `unknown_op`),
+//! containment kinds from the failure-containment layer
+//! (`internal_error` for an isolated worker panic, `session_poisoned`
+//! for requests against a session a panic corrupted, `overloaded` for
+//! load-shed rejections — these carry `retry_after_ms` — and
+//! `io_error` for failed snapshot persistence), and solver-level kinds
+//! from [`RecoveryError::kind`](netrec_core::RecoveryError::kind)
+//! (`deadline_exceeded`, `infeasible`, `injected_fault`, …).
 
 use netrec_json::{object, Json};
 
@@ -64,20 +68,35 @@ pub enum Op {
         replace: bool,
     },
     /// "Is the current state routable?" — served from warm state.
-    QueryRoutability,
+    QueryRoutability {
+        /// Accept a degraded answer: when the session's O(1) verdict
+        /// cache cannot answer, reply from the certified Garg–Könemann
+        /// threshold path (`"degraded":true` + a certificate level)
+        /// instead of paying an exact incremental solve.
+        degraded_ok: bool,
+    },
     /// "Best recovery plan now" — a fresh solve of the session state.
     QueryPlan {
         /// Solver spec string (`isp`, `grd-nc:...`, …); the daemon
         /// default applies when empty.
         solver: Option<String>,
-        /// Per-request wall-clock budget in milliseconds.
+        /// Per-request wall-clock budget in milliseconds, measured from
+        /// *enqueue* — time spent queued counts against it.
         deadline_ms: Option<u64>,
+        /// Accept a degraded answer: when the deadline interrupts the
+        /// solve, reply with the session's last known-good plan plus
+        /// staleness metadata instead of a bare `deadline_exceeded`.
+        degraded_ok: bool,
     },
     /// Report session state; with `fork`, clone the session (problem
-    /// overlay + oracle witnesses) under the new name.
+    /// overlay + oracle witnesses) under the new name; with `path`,
+    /// also persist the session state to a file (atomic tmp+rename).
     Snapshot {
         /// Name of the session to create as a copy of this one.
         fork: Option<String>,
+        /// File to persist the session snapshot to (crash-safe; the
+        /// daemon's `--restore` resurrects sessions from these files).
+        path: Option<String>,
     },
     /// Stop accepting input and exit once queued work drains.
     Shutdown,
@@ -90,7 +109,7 @@ impl Op {
             Op::Disrupt { .. } => "disrupt",
             Op::Repair { .. } => "repair",
             Op::Demand { .. } => "demand",
-            Op::QueryRoutability => "query_routability",
+            Op::QueryRoutability { .. } => "query_routability",
             Op::QueryPlan { .. } => "query_plan",
             Op::Snapshot { .. } => "snapshot",
             Op::Shutdown => "shutdown",
@@ -116,6 +135,41 @@ impl ProtocolError {
             message: message.into(),
             id,
         }
+    }
+}
+
+/// Reads an optional boolean member, defaulting to `false`.
+fn bool_member(obj: &Json, key: &str, id: &Option<String>) -> Result<bool, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(false),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(ProtocolError::new(
+            "bad_request",
+            format!("{key:?} must be a boolean"),
+            id.clone(),
+        )),
+    }
+}
+
+/// Reads an optional non-empty string member.
+fn string_member(
+    obj: &Json,
+    key: &str,
+    id: &Option<String>,
+) -> Result<Option<String>, ProtocolError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(s) => s
+            .as_str()
+            .filter(|s| !s.is_empty())
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| {
+                ProtocolError::new(
+                    "bad_request",
+                    format!("{key:?} must be a non-empty string"),
+                    id.clone(),
+                )
+            }),
     }
 }
 
@@ -278,23 +332,11 @@ impl Request {
                 };
                 Op::Demand { pairs, replace }
             }
-            "query_routability" => Op::QueryRoutability,
+            "query_routability" => Op::QueryRoutability {
+                degraded_ok: bool_member(&doc, "degraded_ok", &id_some)?,
+            },
             "query_plan" => {
-                let solver = match doc.get("solver") {
-                    None => None,
-                    Some(s) => Some(
-                        s.as_str()
-                            .filter(|s| !s.is_empty())
-                            .map(str::to_string)
-                            .ok_or_else(|| {
-                                ProtocolError::new(
-                                    "bad_request",
-                                    "\"solver\" must be a non-empty string",
-                                    id_some.clone(),
-                                )
-                            })?,
-                    ),
-                };
+                let solver = string_member(&doc, "solver", &id_some)?;
                 let deadline_ms = match doc.get("deadline_ms") {
                     None => None,
                     Some(d) => Some(d.as_u64().ok_or_else(|| {
@@ -308,26 +350,13 @@ impl Request {
                 Op::QueryPlan {
                     solver,
                     deadline_ms,
+                    degraded_ok: bool_member(&doc, "degraded_ok", &id_some)?,
                 }
             }
-            "snapshot" => {
-                let fork = match doc.get("fork") {
-                    None => None,
-                    Some(s) => Some(
-                        s.as_str()
-                            .filter(|s| !s.is_empty())
-                            .map(str::to_string)
-                            .ok_or_else(|| {
-                                ProtocolError::new(
-                                    "bad_request",
-                                    "\"fork\" must be a non-empty string",
-                                    id_some.clone(),
-                                )
-                            })?,
-                    ),
-                };
-                Op::Snapshot { fork }
-            }
+            "snapshot" => Op::Snapshot {
+                fork: string_member(&doc, "fork", &id_some)?,
+                path: string_member(&doc, "path", &id_some)?,
+            },
             "shutdown" => Op::Shutdown,
             other => {
                 return Err(ProtocolError::new(
@@ -381,10 +410,18 @@ impl Request {
                 ));
                 members.push(("replace", Json::Bool(*replace)));
             }
-            Op::QueryRoutability | Op::Shutdown => {}
+            Op::Shutdown => {}
+            Op::QueryRoutability { degraded_ok } => {
+                // Rendered only when set, so pre-existing streams and
+                // goldens keep their exact bytes.
+                if *degraded_ok {
+                    members.push(("degraded_ok", Json::Bool(true)));
+                }
+            }
             Op::QueryPlan {
                 solver,
                 deadline_ms,
+                degraded_ok,
             } => {
                 if let Some(solver) = solver {
                     members.push(("solver", Json::String(solver.clone())));
@@ -392,10 +429,16 @@ impl Request {
                 if let Some(ms) = deadline_ms {
                     members.push(("deadline_ms", Json::Number(*ms as f64)));
                 }
+                if *degraded_ok {
+                    members.push(("degraded_ok", Json::Bool(true)));
+                }
             }
-            Op::Snapshot { fork } => {
+            Op::Snapshot { fork, path } => {
                 if let Some(fork) = fork {
                     members.push(("fork", Json::String(fork.clone())));
+                }
+                if let Some(path) = path {
+                    members.push(("path", Json::String(path.clone())));
                 }
             }
         }
@@ -437,6 +480,22 @@ impl Response {
     /// An error reply. `id` is `null` when the line was too malformed
     /// to carry one.
     pub fn error(id: Option<&str>, kind: &str, message: &str) -> Response {
+        Response::error_with(id, kind, message, Vec::new())
+    }
+
+    /// An error reply with additional members inside the `"error"`
+    /// object (e.g. `retry_after_ms` on an `overloaded` rejection).
+    pub fn error_with(
+        id: Option<&str>,
+        kind: &str,
+        message: &str,
+        extra: Vec<(&str, Json)>,
+    ) -> Response {
+        let mut error = vec![
+            ("kind", Json::String(kind.to_string())),
+            ("message", Json::String(message.to_string())),
+        ];
+        error.extend(extra);
         Response(object(vec![
             ("v", Json::Number(PROTOCOL_VERSION as f64)),
             (
@@ -444,13 +503,7 @@ impl Response {
                 id.map_or(Json::Null, |id| Json::String(id.to_string())),
             ),
             ("ok", Json::Bool(false)),
-            (
-                "error",
-                object(vec![
-                    ("kind", Json::String(kind.to_string())),
-                    ("message", Json::String(message.to_string())),
-                ]),
-            ),
+            ("error", object(error)),
         ]))
     }
 
@@ -564,7 +617,12 @@ mod tests {
         round_trips(Request {
             id: "q".into(),
             session: Some("what-if".into()),
-            op: Op::QueryRoutability,
+            op: Op::QueryRoutability { degraded_ok: false },
+        });
+        round_trips(Request {
+            id: "qd".into(),
+            session: None,
+            op: Op::QueryRoutability { degraded_ok: true },
         });
         round_trips(Request {
             id: "p".into(),
@@ -572,6 +630,7 @@ mod tests {
             op: Op::QueryPlan {
                 solver: Some("grd-nc".into()),
                 deadline_ms: Some(250),
+                degraded_ok: true,
             },
         });
         round_trips(Request {
@@ -580,6 +639,7 @@ mod tests {
             op: Op::QueryPlan {
                 solver: None,
                 deadline_ms: None,
+                degraded_ok: false,
             },
         });
         round_trips(Request {
@@ -587,12 +647,16 @@ mod tests {
             session: None,
             op: Op::Snapshot {
                 fork: Some("backup".into()),
+                path: Some("/tmp/snap.json".into()),
             },
         });
         round_trips(Request {
             id: "s2".into(),
             session: None,
-            op: Op::Snapshot { fork: None },
+            op: Op::Snapshot {
+                fork: None,
+                path: None,
+            },
         });
         round_trips(Request {
             id: "bye".into(),
@@ -645,6 +709,14 @@ mod tests {
                 r#"{"id": "x", "v": 1, "session": "", "op": "shutdown"}"#,
                 "bad_request",
             ),
+            (
+                r#"{"id": "x", "v": 1, "op": "query_routability", "degraded_ok": 1}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"id": "x", "v": 1, "op": "snapshot", "path": ""}"#,
+                "bad_request",
+            ),
         ] {
             let err = Request::parse(line).expect_err(line);
             assert_eq!(err.kind, kind, "{line}: {err:?}");
@@ -682,6 +754,27 @@ mod tests {
         assert!(
             Response::parse(r#"{"v":1,"id":"x","ok":false}"#).is_err(),
             "no error"
+        );
+    }
+
+    #[test]
+    fn error_with_carries_extra_members() {
+        let reply = Response::error_with(
+            Some("r1"),
+            "overloaded",
+            "queue full",
+            vec![("retry_after_ms", Json::Number(40.0))],
+        );
+        let parsed = Response::parse(&reply.to_line()).unwrap();
+        assert!(!parsed.is_ok());
+        assert_eq!(parsed.error_kind(), Some("overloaded"));
+        assert_eq!(
+            parsed
+                .json()
+                .get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Json::as_u64),
+            Some(40)
         );
     }
 }

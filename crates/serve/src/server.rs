@@ -15,16 +15,33 @@
 //! determinism test pin — without giving up parallelism across
 //! sessions.
 //!
+//! # Failure containment (`DESIGN.md` §14)
+//!
+//! Workers run each dispatch under [`std::panic::catch_unwind`]: a
+//! panic while a request executes becomes a typed `internal_error`
+//! reply, poisons only that request's session (later requests against
+//! it get `session_poisoned`), and leaves every other session and the
+//! pool itself untouched. A worker that dies *outside* the protected
+//! region respawns, so pool capacity cannot decay. The scheduler is
+//! bounded ([`ServerConfig`]): past the global or per-session queue
+//! limits, requests are shed at read time with a typed `overloaded`
+//! error carrying a `retry_after_ms` hint from an EWMA of recent
+//! service times — only `shutdown` bypasses the bound, so the drain
+//! path survives any overload.
+//!
 //! Latency is recorded per operation as each request is processed and
 //! summarized (count, p50, p99) in a [`ServeReport`]; the CLI prints it
 //! to stderr so stdout stays pure protocol.
 
 use crate::engine::Engine;
 use crate::protocol::{Op, Request, Response};
+use netrec_json::Json;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, Read, Write};
 use std::net::TcpListener;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -32,16 +49,45 @@ use std::time::{Duration, Instant};
 /// dispatch (parse/version errors have no [`Op`]).
 const PROTOCOL_ERROR_OP: &str = "protocol_error";
 
-/// One queued request: where to answer (connection + slot) and what to
-/// run.
+/// Tuning knobs for the server's containment behavior.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Global bound on requests admitted and not yet completed
+    /// (queued + executing). Past it, non-shutdown requests are shed
+    /// with `overloaded`.
+    pub max_queue: usize,
+    /// Per-session bound on *pending* (not yet started) requests. A
+    /// single chatty session fills its own queue and gets shed without
+    /// consuming the global budget other sessions need.
+    pub max_session_queue: usize,
+    /// TCP read timeout: how often an idle connection thread wakes to
+    /// check the shutdown latch. Also the bound on how long a hung
+    /// client can delay its own connection thread's exit.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_queue: 1024,
+            max_session_queue: 256,
+            read_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// One queued request: where to answer (connection + slot), the
+/// read-order request index (fault-schedule key), when it was admitted
+/// (deadline accounting starts here), and what to run.
 struct Job {
     conn: Arc<ConnOut>,
     seq: u64,
+    index: u64,
+    enqueued_at: Instant,
     req: Request,
 }
 
 /// Per-session FIFO scheduler state (guarded by [`Scheduler::state`]).
-#[derive(Default)]
 struct SchedState {
     /// Pending jobs per session, in arrival order.
     per_session: HashMap<String, VecDeque<Job>>,
@@ -53,25 +99,75 @@ struct SchedState {
     active: HashSet<String>,
     /// Jobs submitted and not yet completed.
     in_flight: usize,
+    /// EWMA of per-job service time in microseconds (retry hints).
+    ewma_us: f64,
     /// Set by [`Server::finish`]: workers exit once drained.
     stopping: bool,
+}
+
+impl Default for SchedState {
+    fn default() -> Self {
+        SchedState {
+            per_session: HashMap::new(),
+            run_queue: VecDeque::new(),
+            queued: HashSet::new(),
+            active: HashSet::new(),
+            in_flight: 0,
+            // Seed estimate: a cheap warm query. The EWMA converges to
+            // the real mix within a handful of completions.
+            ewma_us: 1_000.0,
+            stopping: false,
+        }
+    }
 }
 
 struct Scheduler {
     state: Mutex<SchedState>,
     cv: Condvar,
+    workers: usize,
+    max_queue: usize,
+    max_session_queue: usize,
 }
 
 impl Scheduler {
-    fn new() -> Self {
+    fn new(workers: usize, config: &ServerConfig) -> Self {
         Scheduler {
             state: Mutex::new(SchedState::default()),
             cv: Condvar::new(),
+            workers: workers.max(1),
+            max_queue: config.max_queue.max(1),
+            max_session_queue: config.max_session_queue.max(1),
         }
     }
 
-    fn submit(&self, session: String, job: Job) {
-        let mut st = self.state.lock().expect("scheduler poisoned");
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        // Worker panics are caught around dispatch, never while holding
+        // this lock; recover defensively anyway — scheduler state is
+        // only mutated under short, panic-free critical sections.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Admits a job, or rejects it when the queue bounds are exceeded.
+    /// `force` (shutdown) bypasses both bounds: the drain path must
+    /// stay reachable under any overload.
+    ///
+    /// # Errors
+    ///
+    /// The rejected job plus a `retry_after_ms` hint — the estimated
+    /// time for the pool to drain the current backlog.
+    // The Err variant hands the whole job back so the shed path can
+    // render the reply; shedding is the cold path, so its size is fine.
+    #[allow(clippy::result_large_err)]
+    fn submit(&self, session: String, job: Job, force: bool) -> Result<(), (Job, u64)> {
+        let mut st = self.lock();
+        if !force {
+            let session_pending = st.per_session.get(&session).map_or(0, VecDeque::len);
+            if st.in_flight >= self.max_queue || session_pending >= self.max_session_queue {
+                let backlog = st.in_flight.max(1) as f64;
+                let retry_ms = (backlog * st.ewma_us / self.workers as f64 / 1_000.0).ceil() as u64;
+                return Err((job, retry_ms.clamp(1, 30_000)));
+            }
+        }
         st.per_session
             .entry(session.clone())
             .or_default()
@@ -81,32 +177,47 @@ impl Scheduler {
         }
         st.in_flight += 1;
         self.cv.notify_one();
+        Ok(())
     }
 
     /// Blocks for the next runnable job; `None` means drained-and-stopping.
     fn next(&self) -> Option<(String, Job)> {
-        let mut st = self.state.lock().expect("scheduler poisoned");
+        let mut st = self.lock();
         loop {
-            if let Some(session) = st.run_queue.pop_front() {
+            while let Some(session) = st.run_queue.pop_front() {
                 st.queued.remove(&session);
-                let job = st
+                // Invariant: a queued session has pending jobs. If the
+                // invariant is ever violated, a phantom entry must not
+                // take the whole daemon down (this was a hard panic
+                // once) — log it, skip it, keep serving.
+                match st
                     .per_session
                     .get_mut(&session)
                     .and_then(VecDeque::pop_front)
-                    .expect("queued session without pending jobs");
-                st.active.insert(session.clone());
-                return Some((session, job));
+                {
+                    Some(job) => {
+                        st.active.insert(session.clone());
+                        return Some((session, job));
+                    }
+                    None => {
+                        eprintln!(
+                            "serve: scheduler invariant violation: queued session \
+                             {session:?} has no pending jobs (skipped)"
+                        );
+                        st.per_session.remove(&session);
+                    }
+                }
             }
             if st.stopping && st.in_flight == 0 {
                 return None;
             }
-            st = self.cv.wait(st).expect("scheduler poisoned");
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Marks a job finished; re-queues the session if it has more work.
-    fn complete(&self, session: String) {
-        let mut st = self.state.lock().expect("scheduler poisoned");
+    fn complete(&self, session: String, service_time: Duration) {
+        let mut st = self.lock();
         st.active.remove(&session);
         let more = st.per_session.get(&session).is_some_and(|q| !q.is_empty());
         if more {
@@ -117,11 +228,12 @@ impl Scheduler {
             st.per_session.remove(&session);
         }
         st.in_flight -= 1;
+        st.ewma_us = 0.8 * st.ewma_us + 0.2 * service_time.as_micros() as f64;
         self.cv.notify_all();
     }
 
     fn stop(&self) {
-        self.state.lock().expect("scheduler poisoned").stopping = true;
+        self.lock().stopping = true;
         self.cv.notify_all();
     }
 }
@@ -154,7 +266,7 @@ impl ConnOut {
     /// that is now contiguous. Write failures are swallowed — a client
     /// that hung up cannot take the daemon down.
     fn deliver(&self, seq: u64, line: String) {
-        let mut inner = self.inner.lock().expect("connection sink poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.buffered.insert(seq, line);
         loop {
             let next = inner.next;
@@ -178,7 +290,7 @@ impl Latencies {
     fn record(&self, op: &str, elapsed: Duration) {
         self.0
             .lock()
-            .expect("latency table poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .entry(op.to_string())
             .or_default()
             .push(elapsed.as_micros() as u64);
@@ -236,58 +348,192 @@ fn percentile(sorted: &[u64], pct: u64) -> u64 {
     sorted[idx]
 }
 
+/// State shared by the reader threads and the worker pool.
+struct Shared {
+    engine: Arc<Engine>,
+    sched: Scheduler,
+    latencies: Latencies,
+    /// Read-order index source for dispatched requests (fault-schedule
+    /// key): assigned at *read* time, before any queueing, so the same
+    /// input stream maps indices identically at any worker count.
+    request_counter: AtomicU64,
+    /// Test hook: request index after which the executing worker
+    /// panics *post-delivery* (exercises the respawn path; `u64::MAX`
+    /// disarms). Fires once.
+    #[cfg(test)]
+    panic_after: AtomicU64,
+}
+
+impl Shared {
+    #[cfg(test)]
+    fn take_post_delivery_panic(&self, index: u64) -> bool {
+        self.panic_after
+            .compare_exchange(index, u64::MAX, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+}
+
+/// Renders a panic payload into the deterministic part of an
+/// `internal_error` message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Spawns one pool worker and records its handle for `finish` to join.
+fn spawn_worker(shared: Arc<Shared>, handles: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    let handle = {
+        let handles = Arc::clone(&handles);
+        std::thread::spawn(move || worker_loop(shared, handles))
+    };
+    handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(handle);
+}
+
+/// Re-arms pool capacity when a worker dies outside the catch_unwind
+/// region (deliver/complete — our own code, but a respawn is cheap
+/// insurance against capacity decay in a long-lived daemon).
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("serve: worker died outside dispatch isolation; respawning");
+            spawn_worker(Arc::clone(&self.shared), Arc::clone(&self.handles));
+        }
+    }
+}
+
+/// Guarantees `Scheduler::complete` runs exactly once per claimed job,
+/// even if delivery panics — a stuck `active` session would silently
+/// stall every later request against it.
+struct CompleteGuard<'a> {
+    sched: &'a Scheduler,
+    session: Option<String>,
+    started: Instant,
+}
+
+impl Drop for CompleteGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.sched.complete(session, self.started.elapsed());
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, handles: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    let _respawn = RespawnGuard {
+        shared: Arc::clone(&shared),
+        handles,
+    };
+    while let Some((session, job)) = shared.sched.next() {
+        let started = Instant::now();
+        let completer = CompleteGuard {
+            sched: &shared.sched,
+            session: Some(session),
+            started,
+        };
+        // Panic isolation: a panicking dispatch unwinds through the
+        // session's MutexGuard (poisoning exactly that session) and is
+        // converted here into a typed reply. The message keeps only the
+        // panic text, which for injected faults is deterministic — the
+        // chaos replay diffs these lines byte-for-byte across worker
+        // counts.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            shared
+                .engine
+                .dispatch_indexed(&job.req, job.index, Some(job.enqueued_at))
+        }));
+        let line = match result {
+            Ok(response) => response.to_line(),
+            Err(payload) => Response::error(
+                Some(&job.req.id),
+                "internal_error",
+                &format!("worker panicked: {}", panic_message(payload)),
+            )
+            .to_line(),
+        };
+        shared
+            .latencies
+            .record(job.req.op.name(), started.elapsed());
+        job.conn.deliver(job.seq, line);
+        drop(completer);
+        #[cfg(test)]
+        if shared.take_post_delivery_panic(job.index) {
+            panic!("test hook: post-delivery worker crash");
+        }
+    }
+}
+
 /// The resident server: an [`Engine`] plus its worker pool.
 pub struct Server {
-    engine: Arc<Engine>,
-    sched: Arc<Scheduler>,
-    latencies: Arc<Latencies>,
-    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    worker_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Spawns `workers` worker threads over `engine` (clamped to ≥ 1).
+    /// Spawns `workers` worker threads over `engine` (clamped to ≥ 1)
+    /// with the default [`ServerConfig`].
     pub fn new(engine: Arc<Engine>, workers: usize) -> Self {
-        let sched = Arc::new(Scheduler::new());
-        let latencies = Arc::new(Latencies::default());
-        let workers = (0..workers.max(1))
-            .map(|_| {
-                let engine = Arc::clone(&engine);
-                let sched = Arc::clone(&sched);
-                let latencies = Arc::clone(&latencies);
-                std::thread::spawn(move || {
-                    while let Some((session, job)) = sched.next() {
-                        let started = Instant::now();
-                        let response = engine.dispatch(&job.req);
-                        latencies.record(job.req.op.name(), started.elapsed());
-                        job.conn.deliver(job.seq, response.to_line());
-                        sched.complete(session);
-                    }
-                })
-            })
-            .collect();
-        Server {
+        Server::with_config(engine, workers, ServerConfig::default())
+    }
+
+    /// Spawns `workers` worker threads over `engine` (clamped to ≥ 1).
+    pub fn with_config(engine: Arc<Engine>, workers: usize, config: ServerConfig) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
             engine,
-            sched,
-            latencies,
-            workers,
+            sched: Scheduler::new(workers, &config),
+            latencies: Latencies::default(),
+            request_counter: AtomicU64::new(0),
+            #[cfg(test)]
+            panic_after: AtomicU64::new(u64::MAX),
+        });
+        let worker_handles = Arc::new(Mutex::new(Vec::with_capacity(workers)));
+        for _ in 0..workers {
+            spawn_worker(Arc::clone(&shared), Arc::clone(&worker_handles));
+        }
+        Server {
+            shared,
+            worker_handles,
             conn_threads: Mutex::new(Vec::new()),
+            config,
         }
     }
 
     /// The engine behind this server.
     pub fn engine(&self) -> &Arc<Engine> {
-        &self.engine
+        &self.shared.engine
+    }
+
+    /// Test hook: the executing worker panics (post-delivery) after the
+    /// request with read-order index `index` — exercises worker
+    /// respawn.
+    #[cfg(test)]
+    fn panic_worker_after(&self, index: u64) {
+        self.shared.panic_after.store(index, Ordering::SeqCst);
     }
 
     /// Serves one connection on the calling thread until EOF or a
     /// `shutdown` request is read. Returns the number of lines read.
     ///
-    /// Lines are sequenced as they arrive: protocol rejections answer
-    /// immediately through the sequencer, valid requests queue for the
-    /// pool. After a `shutdown` line the reader stops consuming input
-    /// ("stop accepting"); its response still flushes once the queue
-    /// drains.
+    /// Lines are sequenced as they arrive: protocol rejections and
+    /// overload sheds answer immediately through the sequencer, valid
+    /// requests queue for the pool. After a `shutdown` line the reader
+    /// stops consuming input ("stop accepting"); its response still
+    /// flushes once the queue drains.
     pub fn serve_connection(&self, reader: impl BufRead, sink: Box<dyn Write + Send>) -> usize {
         let conn = Arc::new(ConnOut::new(sink));
         let mut seq = 0u64;
@@ -301,27 +547,8 @@ impl Server {
             }
             let slot = seq;
             seq += 1;
-            match Request::parse(&line) {
-                Ok(req) => {
-                    let is_shutdown = matches!(req.op, Op::Shutdown);
-                    self.sched.submit(
-                        req.session_name().to_string(),
-                        Job {
-                            conn: Arc::clone(&conn),
-                            seq: slot,
-                            req,
-                        },
-                    );
-                    if is_shutdown {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    let started = Instant::now();
-                    let response = Response::from(&e);
-                    self.latencies.record(PROTOCOL_ERROR_OP, started.elapsed());
-                    conn.deliver(slot, response.to_line());
-                }
+            if read_one_line(&self.shared, &conn, slot, &line) {
+                break;
             }
         }
         seq as usize
@@ -337,26 +564,26 @@ impl Server {
     /// Propagates listener configuration failures.
     pub fn serve_tcp(&self, listener: TcpListener) -> std::io::Result<()> {
         listener.set_nonblocking(true)?;
-        while !self.engine.is_shutting_down() {
+        while !self.shared.engine.is_shutting_down() {
             match listener.accept() {
                 Ok((stream, _addr)) => {
                     stream.set_nonblocking(false)?;
                     // Finite read timeout so the connection thread
                     // notices shutdown even when its client stays
-                    // silent with the socket open.
-                    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+                    // silent with the socket open (half-open hardening:
+                    // a hung or vanished client costs one parked
+                    // connection thread, never a pool worker).
+                    stream.set_read_timeout(Some(self.config.read_timeout))?;
                     let sink = Box::new(stream.try_clone()?);
                     let handle = {
-                        let engine = Arc::clone(&self.engine);
-                        let sched = Arc::clone(&self.sched);
-                        let latencies = Arc::clone(&self.latencies);
+                        let shared = Arc::clone(&self.shared);
                         std::thread::spawn(move || {
-                            serve_tcp_connection(engine, sched, latencies, stream, sink);
+                            serve_tcp_connection(shared, stream, sink);
                         })
                     };
                     self.conn_threads
                         .lock()
-                        .expect("connection table poisoned")
+                        .unwrap_or_else(PoisonError::into_inner)
                         .push(handle);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -368,21 +595,39 @@ impl Server {
         Ok(())
     }
 
-    /// Drains queued work, stops the pool, joins every thread, and
-    /// returns the latency report.
+    /// Drains queued work, stops the pool, joins every thread
+    /// (including respawned workers), and returns the latency report.
     pub fn finish(self) -> ServeReport {
-        self.sched.stop();
-        for worker in self.workers {
-            let _ = worker.join();
+        self.shared.sched.stop();
+        // Joining pops one handle at a time: a worker that dies during
+        // drain pushes its replacement before its own join returns, so
+        // the loop always sees (and joins) respawns too.
+        loop {
+            let handle = self
+                .worker_handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop();
+            match handle {
+                Some(handle) => {
+                    let _ = handle.join();
+                }
+                None => break,
+            }
         }
         let conn_threads = self
             .conn_threads
             .into_inner()
-            .expect("connection table poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         for t in conn_threads {
             let _ = t.join();
         }
-        let table = self.latencies.0.lock().expect("latency table poisoned");
+        let table = self
+            .shared
+            .latencies
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let mut per_op: Vec<OpLatency> = table
             .iter()
             .map(|(op, samples)| {
@@ -404,12 +649,53 @@ impl Server {
     }
 }
 
+/// Handles one read line: parse, index, admit (or shed), and reply
+/// inline for protocol errors. Returns `true` when the line was a
+/// `shutdown` request (the reader should stop consuming input).
+fn read_one_line(shared: &Arc<Shared>, conn: &Arc<ConnOut>, slot: u64, line: &str) -> bool {
+    match Request::parse(line) {
+        Ok(req) => {
+            let is_shutdown = matches!(req.op, Op::Shutdown);
+            let op_name = req.op.name();
+            let index = shared.request_counter.fetch_add(1, Ordering::SeqCst);
+            let session = req.session_name().to_string();
+            let job = Job {
+                conn: Arc::clone(conn),
+                seq: slot,
+                index,
+                enqueued_at: Instant::now(),
+                req,
+            };
+            if let Err((job, retry_after_ms)) = shared.sched.submit(session, job, is_shutdown) {
+                let response = Response::error_with(
+                    Some(&job.req.id),
+                    "overloaded",
+                    "queue full; retry after the hinted backoff",
+                    vec![("retry_after_ms", Json::Number(retry_after_ms as f64))],
+                );
+                shared.latencies.record(op_name, Duration::ZERO);
+                conn.deliver(slot, response.to_line());
+            }
+            is_shutdown
+        }
+        Err(e) => {
+            let started = Instant::now();
+            let response = Response::from(&e);
+            shared
+                .latencies
+                .record(PROTOCOL_ERROR_OP, started.elapsed());
+            conn.deliver(slot, response.to_line());
+            false
+        }
+    }
+}
+
 /// The TCP connection loop: like [`Server::serve_connection`] but
-/// tolerant of read timeouts (used to poll the shutdown latch).
+/// tolerant of read timeouts (used to poll the shutdown latch) and of
+/// clients that disconnect mid-request — a torn trailing line without
+/// its newline is dropped, never dispatched.
 fn serve_tcp_connection(
-    engine: Arc<Engine>,
-    sched: Arc<Scheduler>,
-    latencies: Arc<Latencies>,
+    shared: Arc<Shared>,
     stream: std::net::TcpStream,
     sink: Box<dyn Write + Send>,
 ) {
@@ -435,7 +721,7 @@ fn serve_tcp_connection(
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    if engine.is_shutting_down() {
+                    if shared.engine.is_shutting_down() {
                         break 'outer;
                     }
                 }
@@ -448,27 +734,8 @@ fn serve_tcp_connection(
         }
         let slot = seq;
         seq += 1;
-        match Request::parse(&line) {
-            Ok(req) => {
-                let is_shutdown = matches!(req.op, Op::Shutdown);
-                sched.submit(
-                    req.session_name().to_string(),
-                    Job {
-                        conn: Arc::clone(&conn),
-                        seq: slot,
-                        req,
-                    },
-                );
-                if is_shutdown {
-                    break;
-                }
-            }
-            Err(e) => {
-                let started = Instant::now();
-                let response = Response::from(&e);
-                latencies.record(PROTOCOL_ERROR_OP, started.elapsed());
-                conn.deliver(slot, response.to_line());
-            }
+        if read_one_line(&shared, &conn, slot, &line) {
+            break;
         }
     }
 }
@@ -477,7 +744,18 @@ fn serve_tcp_connection(
 /// fresh pool over `engine` and return `(stdout bytes, report)`.
 /// The replay tests and the bench drive the daemon through this.
 pub fn run_stream(engine: Arc<Engine>, workers: usize, input: &str) -> (String, ServeReport) {
-    let server = Server::new(engine, workers);
+    run_stream_with(engine, workers, input, ServerConfig::default())
+}
+
+/// [`run_stream`] with explicit [`ServerConfig`] knobs (chaos and
+/// overload tests).
+pub fn run_stream_with(
+    engine: Arc<Engine>,
+    workers: usize,
+    input: &str,
+    config: ServerConfig,
+) -> (String, ServeReport) {
+    let server = Server::with_config(engine, workers, config);
     let out = SharedBuf::default();
     server.serve_connection(input.as_bytes(), Box::new(out.clone()));
     let report = server.finish();
@@ -490,7 +768,7 @@ struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl SharedBuf {
     fn take(&self) -> String {
-        let bytes = std::mem::take(&mut *self.0.lock().expect("buffer poisoned"));
+        let bytes = std::mem::take(&mut *self.0.lock().unwrap_or_else(PoisonError::into_inner));
         String::from_utf8(bytes).expect("responses are UTF-8")
     }
 }
@@ -499,7 +777,7 @@ impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
         self.0
             .lock()
-            .expect("buffer poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .extend_from_slice(buf);
         Ok(buf.len())
     }
@@ -513,12 +791,12 @@ impl Write for SharedBuf {
 mod tests {
     use super::*;
     use netrec_core::solver::SolverSpec;
-    use netrec_core::RecoveryProblem;
+    use netrec_core::{FaultPlan, RecoveryProblem};
     use netrec_graph::Graph;
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
 
-    fn engine() -> Arc<Engine> {
+    fn problem() -> RecoveryProblem {
         let mut g = Graph::with_nodes(4);
         g.add_edge(g.node(0), g.node(1), 10.0).unwrap();
         g.add_edge(g.node(1), g.node(2), 10.0).unwrap();
@@ -527,7 +805,18 @@ mod tests {
         let mut p = RecoveryProblem::new(g);
         p.add_demand(p.graph().node(0), p.graph().node(3), 5.0)
             .unwrap();
-        Arc::new(Engine::new(p, SolverSpec::parse("isp").unwrap()))
+        p
+    }
+
+    fn engine() -> Arc<Engine> {
+        Arc::new(Engine::new(problem(), SolverSpec::parse("isp").unwrap()))
+    }
+
+    fn faulty_engine(spec: &str) -> Arc<Engine> {
+        Arc::new(
+            Engine::new(problem(), SolverSpec::parse("isp").unwrap())
+                .with_faults(FaultPlan::parse(spec).unwrap()),
+        )
     }
 
     const STREAM: &str = r#"{"v":1,"id":"q0","op":"query_routability"}
@@ -598,6 +887,113 @@ not json at all
     }
 
     #[test]
+    fn injected_panic_is_contained_to_its_session() {
+        // panic@1 fires during d1 (session "default"): the mutation
+        // lands, the reply is replaced by internal_error, the session
+        // poisons. Later default-session requests get session_poisoned;
+        // the "side" session keeps answering; shutdown still drains.
+        let stream = r#"{"v":1,"id":"q0","op":"query_routability"}
+{"v":1,"id":"d1","op":"disrupt","edges":[1,3],"cost":1.0}
+{"v":1,"id":"q1","op":"query_routability"}
+{"v":1,"id":"s1","session":"side","op":"query_routability"}
+{"v":1,"id":"z","op":"shutdown"}
+"#;
+        let mut outputs = Vec::new();
+        for workers in [1, 4] {
+            let (out, _) = run_stream(faulty_engine("panic@1"), workers, stream);
+            let replies: Vec<Response> = out.lines().map(|l| Response::parse(l).unwrap()).collect();
+            assert_eq!(
+                replies.len(),
+                5,
+                "workers={workers}: every request answered"
+            );
+            assert!(replies[0].is_ok());
+            assert_eq!(replies[1].error_kind(), Some("internal_error"));
+            assert!(
+                replies[1]
+                    .to_line()
+                    .contains("injected panic after disrupt (request index 1)"),
+                "deterministic panic message: {}",
+                replies[1].to_line()
+            );
+            assert_eq!(replies[2].error_kind(), Some("session_poisoned"));
+            assert!(replies[3].is_ok(), "other sessions unaffected");
+            assert!(replies[4].is_ok(), "shutdown drains past poisoned sessions");
+            outputs.push(out);
+        }
+        assert_eq!(outputs[0], outputs[1], "containment is byte-deterministic");
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_retry_hints_and_never_sheds_shutdown() {
+        // latency@0 holds the single worker for 300ms while the reader
+        // (same thread, instant) floods the queue past max_queue=2.
+        let stream = r#"{"v":1,"id":"a","op":"query_routability"}
+{"v":1,"id":"b","op":"query_routability"}
+{"v":1,"id":"c","op":"query_routability"}
+{"v":1,"id":"d","op":"query_routability"}
+{"v":1,"id":"z","op":"shutdown"}
+"#;
+        let config = ServerConfig {
+            max_queue: 2,
+            ..ServerConfig::default()
+        };
+        let (out, _) = run_stream_with(faulty_engine("latency@0:300"), 1, stream, config);
+        let replies: Vec<Response> = out.lines().map(|l| Response::parse(l).unwrap()).collect();
+        assert_eq!(replies.len(), 5, "shed requests still get replies in order");
+        assert!(replies[0].is_ok());
+        let shed: Vec<&Response> = replies
+            .iter()
+            .filter(|r| r.error_kind() == Some("overloaded"))
+            .collect();
+        assert!(!shed.is_empty(), "the flood must shed: {out}");
+        for r in &shed {
+            let retry = r
+                .json()
+                .get("error")
+                .and_then(|e| e.get("retry_after_ms"))
+                .and_then(Json::as_u64)
+                .unwrap();
+            assert!(retry >= 1, "{}", r.to_line());
+        }
+        let z = replies.last().unwrap();
+        assert!(z.is_ok(), "shutdown bypasses the bound: {}", z.to_line());
+    }
+
+    #[test]
+    fn worker_respawns_after_a_post_delivery_crash() {
+        // One worker, a crash after request index 1: without respawn
+        // the remaining requests would never execute and finish() would
+        // hang on an undrained queue.
+        let server = Server::with_config(engine(), 1, ServerConfig::default());
+        server.panic_worker_after(1);
+        let out = SharedBuf::default();
+        server.serve_connection(STREAM.as_bytes(), Box::new(out.clone()));
+        let report = server.finish();
+        let out = out.take();
+        assert_eq!(out.lines().count(), 6, "all requests answered:\n{out}");
+        for line in out.lines() {
+            Response::parse(line).unwrap();
+        }
+        assert_eq!(report.requests, 6);
+    }
+
+    #[test]
+    fn scheduler_skips_phantom_queue_entries() {
+        // Regression: a queued session with no pending jobs was a hard
+        // `.expect` panic in the worker loop. Inject the corrupt state
+        // directly and prove next() skips it and still drains.
+        let sched = Scheduler::new(1, &ServerConfig::default());
+        {
+            let mut st = sched.lock();
+            st.queued.insert("ghost".to_string());
+            st.run_queue.push_back("ghost".to_string());
+        }
+        sched.stop();
+        assert!(sched.next().is_none(), "phantom skipped, drain reported");
+    }
+
+    #[test]
     fn tcp_round_trip_and_shutdown() {
         let engine = engine();
         let server = Arc::new(Server::new(Arc::clone(&engine), 2));
@@ -631,5 +1027,69 @@ not json at all
             .expect("acceptor joined; sole owner")
             .finish();
         assert_eq!(report.op("shutdown").unwrap().count, 1);
+    }
+
+    #[test]
+    fn hung_and_half_open_clients_cannot_wedge_the_daemon() {
+        let engine = engine();
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(25),
+            ..ServerConfig::default()
+        };
+        let server = Arc::new(Server::with_config(Arc::clone(&engine), 1, config));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let acceptor = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.serve_tcp(listener).unwrap())
+        };
+
+        // Client A: sends half a request (no newline) and goes silent —
+        // a hung, half-open connection.
+        let mut hung = TcpStream::connect(addr).unwrap();
+        hung.write_all(b"{\"v\":1,\"id\":\"h1\",\"op\":\"query_rou")
+            .unwrap();
+
+        // Client B: full service while A hangs — the worker pool is
+        // never parked on A's socket, only A's own reader thread is.
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .write_all(b"{\"v\":1,\"id\":\"b1\",\"op\":\"query_routability\"}\n")
+            .unwrap();
+        let mut reader = BufReader::new(client.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r = Response::parse(line.trim_end()).unwrap();
+        assert!(r.is_ok(), "served while a client hangs: {line}");
+        assert_eq!(r.id(), Some("b1"));
+
+        // Client C disconnects mid-request: the torn line is dropped,
+        // nothing dispatches, nothing crashes.
+        let mut torn = TcpStream::connect(addr).unwrap();
+        torn.write_all(b"{\"v\":1,\"id\":\"t1\",\"op\":\"disrupt\"")
+            .unwrap();
+        drop(torn);
+
+        client
+            .write_all(b"{\"v\":1,\"id\":\"b2\",\"op\":\"shutdown\"}\n")
+            .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(Response::parse(line.trim_end()).unwrap().id(), Some("b2"));
+
+        drop(hung);
+        acceptor.join().unwrap();
+        // finish() joins A's and C's connection threads: the read
+        // timeout guarantees they notice the shutdown latch.
+        let report = Arc::try_unwrap(server)
+            .ok()
+            .expect("acceptor joined; sole owner")
+            .finish();
+        assert_eq!(report.op("query_routability").unwrap().count, 1);
+        assert_eq!(
+            report.op("disrupt").map(|l| l.count),
+            None,
+            "the torn request never dispatched"
+        );
     }
 }

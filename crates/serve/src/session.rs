@@ -18,11 +18,29 @@
 //! routability verdicts and satisfied totals are exact regardless of
 //! history.
 
-use netrec_core::oracle::{EvalOracle, IncrementalOracle, OracleStats, RoutabilityOracle};
+use netrec_core::oracle::{
+    ConcurrentFlowApprox, EvalOracle, IncrementalOracle, OracleStats, RoutabilityOracle,
+};
 use netrec_core::solver::{SolveContext, SolverSpec};
 use netrec_core::{RecoveryError, RecoveryPlan, RecoveryProblem, StatePatch};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::Instant;
+
+/// The last known-good plan a session produced, kept so a later
+/// deadline-interrupted `query_plan` with `degraded_ok` can answer
+/// *something* — stale but honest, with staleness metadata attached.
+#[derive(Debug, Clone)]
+pub struct StalePlan {
+    /// The normalized plan as originally produced.
+    pub plan: RecoveryPlan,
+    /// The solver spec string that produced it.
+    pub solver: String,
+    /// `events_applied` at production time (staleness =
+    /// current − this).
+    pub events_applied: usize,
+    /// The session fingerprint at production time.
+    pub fingerprint: u64,
+}
 
 /// One live session: a problem overlay plus warm oracle state.
 pub struct Session {
@@ -44,6 +62,10 @@ pub struct Session {
     /// rule — every response carries the generation, and recomputing an
     /// O(|V|+|E|) hash per reply would dominate cheap queries.
     fingerprint_cache: std::cell::Cell<Option<(usize, u64)>>,
+    /// Last known-good plan (degraded `query_plan` fallback). Never
+    /// consulted on the normal path, so it cannot perturb replay
+    /// determinism of fault-free streams.
+    last_plan: std::cell::RefCell<Option<StalePlan>>,
 }
 
 impl Session {
@@ -59,7 +81,58 @@ impl Session {
             events_applied: 0,
             routability_cache: std::cell::Cell::new(None),
             fingerprint_cache: std::cell::Cell::new(None),
+            last_plan: std::cell::RefCell::new(None),
         }
+    }
+
+    /// Rebuilds a session from persisted snapshot parts: stored damage,
+    /// the stored demand set (replacing the base's), and the lineage
+    /// depth. The oracle starts cold — warm witnesses are a cache, not
+    /// state, so dropping them is correct (just slower on first query).
+    ///
+    /// # Errors
+    ///
+    /// Component ids out of range for the base topology, or invalid
+    /// costs/amounts.
+    pub fn restore(
+        base: Arc<RecoveryProblem>,
+        broken_nodes: &[(usize, f64)],
+        broken_edges: &[(usize, f64)],
+        demands: &[(usize, usize, f64)],
+        events_applied: usize,
+    ) -> Result<Session, RecoveryError> {
+        let mut session = Session::new(base);
+        let node_count = session.problem.graph().node_count();
+        let edge_count = session.problem.graph().edge_count();
+        session.problem.clear_demands();
+        for &(s, t, amount) in demands {
+            if s >= node_count || t >= node_count {
+                return Err(RecoveryError::UnknownDemandEndpoint);
+            }
+            session.problem.add_demand(
+                session.problem.graph().node(s),
+                session.problem.graph().node(t),
+                amount,
+            )?;
+        }
+        for &(n, cost) in broken_nodes {
+            if n >= node_count {
+                return Err(RecoveryError::UnknownDemandEndpoint);
+            }
+            session
+                .problem
+                .break_node(netrec_graph::NodeId::new(n), cost)?;
+        }
+        for &(e, cost) in broken_edges {
+            if e >= edge_count {
+                return Err(RecoveryError::UnknownDemandEndpoint);
+            }
+            session
+                .problem
+                .break_edge(netrec_graph::EdgeId::new(e), cost)?;
+        }
+        session.events_applied = events_applied;
+        Ok(session)
     }
 
     /// Forks this session: the overlay is cloned and the oracle's
@@ -77,6 +150,7 @@ impl Session {
             // The fork shares the parent's state, so its verdict too.
             routability_cache: self.routability_cache.clone(),
             fingerprint_cache: self.fingerprint_cache.clone(),
+            last_plan: self.last_plan.clone(),
         }
     }
 
@@ -188,29 +262,91 @@ impl Session {
         Ok((routable, self.oracle.stats().delta_since(&baseline)))
     }
 
+    /// Answers routability *degradedly*: a fresh conservative
+    /// concurrent-flow oracle instead of the warm exact path. Returns
+    /// the verdict plus a certificate level — `"exact"` (verdict cache
+    /// hit or exact-LP fast path answered), `"certified"` (the
+    /// Garg–Könemann threshold certificate proved feasibility), or
+    /// `"conservative"` (an unroutable verdict that may be a boundary
+    /// artifact — only extra repairs at stake, never correctness).
+    ///
+    /// Isolation: the warm oracle is not consulted, and neither the
+    /// verdict cache nor the warm state is updated — a conservative
+    /// degraded verdict must never poison the exact path, and a
+    /// fault-free replay must be byte-identical whether or not degraded
+    /// queries ran in between.
+    ///
+    /// # Errors
+    ///
+    /// LP-level failures from the fallback oracle.
+    pub fn query_routability_degraded(&self) -> Result<(bool, &'static str), RecoveryError> {
+        if let Some((at, verdict)) = self.routability_cache.get() {
+            if at == self.events_applied {
+                return Ok((verdict, "exact"));
+            }
+        }
+        let oracle = ConcurrentFlowApprox::default();
+        let (nm, em) = self.problem.working_masks();
+        let view = self
+            .problem
+            .full_view()
+            .with_node_mask(&nm)
+            .with_edge_mask(&em);
+        let routable = oracle.is_routable(&view, &self.problem.demands())?;
+        let stats = oracle.stats();
+        let certificate = if stats.boundary_fallbacks > 0 {
+            "exact"
+        } else if routable {
+            "certified"
+        } else {
+            "conservative"
+        };
+        Ok((routable, certificate))
+    }
+
     /// Solves the current state with a fresh solver and a fresh
-    /// context (plus an optional per-request deadline). Determinism:
-    /// nothing warm flows into the solve, so the plan equals a
-    /// from-scratch solve of the same state with the same spec.
+    /// context (plus an optional absolute deadline — absolute so queue
+    /// wait counts against the request budget). Determinism: nothing
+    /// warm flows into the solve, so the plan equals a from-scratch
+    /// solve of the same state with the same spec. With `inject_fault`
+    /// the context's chaos hook is armed and the solve fails on its
+    /// first checkpoint with zero side effects.
     ///
     /// # Errors
     ///
     /// Solver failures, including [`RecoveryError::DeadlineExceeded`]
-    /// when the per-request budget runs out — the caller maps that to a
-    /// typed response and the session survives.
+    /// when the per-request budget runs out and
+    /// [`RecoveryError::InjectedFault`] under the chaos plane — the
+    /// caller maps both to typed responses and the session survives.
     pub fn query_plan(
         &self,
         spec: &SolverSpec,
-        deadline_ms: Option<u64>,
+        deadline_at: Option<Instant>,
+        inject_fault: bool,
     ) -> Result<RecoveryPlan, RecoveryError> {
         let solver = spec.build();
         let mut ctx = SolveContext::new();
-        if let Some(ms) = deadline_ms {
-            ctx = ctx.with_deadline(Duration::from_millis(ms));
+        if let Some(at) = deadline_at {
+            ctx = ctx.with_deadline_at(at);
+        }
+        if inject_fault {
+            ctx = ctx.with_injected_fault();
         }
         let mut plan = solver.solve(&self.problem, &mut ctx)?;
         plan.normalize();
+        self.last_plan.replace(Some(StalePlan {
+            plan: plan.clone(),
+            solver: spec.to_string(),
+            events_applied: self.events_applied,
+            fingerprint: self.fingerprint(),
+        }));
         Ok(plan)
+    }
+
+    /// The last known-good plan, if any (degraded `query_plan`
+    /// fallback).
+    pub fn last_plan(&self) -> Option<StalePlan> {
+        self.last_plan.borrow().clone()
     }
 
     /// Cumulative oracle counters since the session opened.
@@ -390,7 +526,7 @@ mod tests {
         // Warm the oracle so any state leak would show.
         s.query_routability().unwrap();
         let spec = SolverSpec::parse("isp").unwrap();
-        let warm = s.query_plan(&spec, None).unwrap();
+        let warm = s.query_plan(&spec, None, false).unwrap();
 
         let mut scratch = (*base()).clone();
         scratch.break_edge(EdgeId::new(3), 1.0).unwrap();
@@ -414,11 +550,119 @@ mod tests {
         }])
         .unwrap();
         let spec = SolverSpec::parse("isp").unwrap();
-        let err = s.query_plan(&spec, Some(0)).unwrap_err();
+        let err = s
+            .query_plan(&spec, Some(Instant::now()), false)
+            .unwrap_err();
         assert_eq!(err.kind(), "deadline_exceeded");
         assert!(err.is_interruption());
         // The session is still serviceable afterwards.
         assert!(s.query_routability().is_ok());
-        assert!(s.query_plan(&spec, None).is_ok());
+        assert!(s.query_plan(&spec, None, false).is_ok());
+    }
+
+    #[test]
+    fn injected_fault_fails_the_solve_with_no_side_effects() {
+        let mut s = Session::new(base());
+        s.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(0),
+            cost: 1.0,
+        }])
+        .unwrap();
+        let spec = SolverSpec::parse("isp").unwrap();
+        let err = s.query_plan(&spec, None, true).unwrap_err();
+        assert_eq!(err.kind(), "injected_fault");
+        assert!(s.last_plan().is_none(), "a failed solve records no plan");
+        // The same session then solves normally.
+        assert!(s.query_plan(&spec, None, false).is_ok());
+        assert!(s.last_plan().is_some());
+    }
+
+    #[test]
+    fn last_plan_tracks_staleness() {
+        let mut s = Session::new(base());
+        s.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(0),
+            cost: 1.0,
+        }])
+        .unwrap();
+        let spec = SolverSpec::parse("isp").unwrap();
+        let plan = s.query_plan(&spec, None, false).unwrap();
+        let stale = s.last_plan().unwrap();
+        assert_eq!(stale.plan.repaired_edges, plan.repaired_edges);
+        assert_eq!(stale.events_applied, s.events_applied());
+        assert_eq!(stale.fingerprint, s.fingerprint());
+        // Mutations age the stored plan but do not drop it.
+        s.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(3),
+            cost: 1.0,
+        }])
+        .unwrap();
+        let stale = s.last_plan().unwrap();
+        assert_eq!(s.events_applied() - stale.events_applied, 1);
+        assert_ne!(stale.fingerprint, s.fingerprint());
+    }
+
+    #[test]
+    fn degraded_routability_is_isolated_from_the_exact_path() {
+        let mut s = Session::new(base());
+        s.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(3),
+            cost: 1.0,
+        }])
+        .unwrap();
+        // No prior exact query: the degraded path answers without
+        // touching the warm oracle or the verdict cache.
+        let (routable, certificate) = s.query_routability_degraded().unwrap();
+        assert!(routable, "one broken edge of the square leaves a path");
+        assert!(matches!(certificate, "exact" | "certified"));
+        assert_eq!(
+            s.oracle_stats(),
+            OracleStats::default(),
+            "warm oracle untouched"
+        );
+        // An exact query afterwards pays full price (cache not seeded).
+        let (exact, cost) = s.query_routability().unwrap();
+        assert_eq!(exact, routable);
+        assert!(cost.routability_queries >= 1, "cache was not poisoned");
+        // With the verdict cache warm, the degraded path serves it.
+        let (again, certificate) = s.query_routability_degraded().unwrap();
+        assert_eq!(again, exact);
+        assert_eq!(certificate, "exact");
+    }
+
+    #[test]
+    fn restore_rebuilds_the_observable_state() {
+        let mut s = Session::new(base());
+        s.apply_stream(&[
+            StatePatch::BreakEdge {
+                edge: EdgeId::new(3),
+                cost: 2.5,
+            },
+            StatePatch::BreakNode {
+                node: NodeId::new(1),
+                cost: 1.5,
+            },
+        ])
+        .unwrap();
+        let demands: Vec<(usize, usize, f64)> = s
+            .problem()
+            .demand_pairs()
+            .iter()
+            .map(|&(a, b, d)| (a.index(), b.index(), d))
+            .collect();
+        let restored = Session::restore(
+            base(),
+            &[(1, 1.5)],
+            &[(3, 2.5)],
+            &demands,
+            s.events_applied(),
+        )
+        .unwrap();
+        assert_eq!(restored.fingerprint(), s.fingerprint());
+        assert_eq!(restored.events_applied(), s.events_applied());
+        // Out-of-range components are typed errors, not panics.
+        assert!(Session::restore(base(), &[(99, 1.0)], &[], &demands, 1).is_err());
+        assert!(Session::restore(base(), &[], &[(99, 1.0)], &demands, 1).is_err());
+        assert!(Session::restore(base(), &[], &[], &[(0, 99, 1.0)], 1).is_err());
     }
 }

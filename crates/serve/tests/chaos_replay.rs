@@ -1,0 +1,271 @@
+//! The containment theorem, executed: replaying the committed
+//! 222-request example stream under a seeded fault schedule, the daemon
+//! (a) survives to answer every request, (b) answers every *non-faulted*
+//! request byte-identically to the fault-free golden run, and (c) turns
+//! every faulted request into a well-typed error — at any worker count,
+//! with identical bytes.
+//!
+//! The expected outcome of each request is computed by an independent
+//! model of the containment rules (below), not by the daemon itself, so
+//! the test would catch the daemon both under- and over-containing.
+
+use netrec_core::solver::SolverSpec;
+use netrec_core::{FaultPlan, RecoveryProblem};
+use netrec_serve::{run_stream, Engine, Op, Request, Response};
+use netrec_topology::bell::bell_canada;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The committed smoke stream (222 lines, three sessions, deliberate
+/// protocol errors, final shutdown).
+const EVENTS: &str = include_str!("../../../examples/serve/events.jsonl");
+
+fn base_problem() -> RecoveryProblem {
+    let topo = bell_canada();
+    let mut p = RecoveryProblem::new(topo.graph().clone());
+    let n = p.graph().node_count();
+    p.add_demand(p.graph().node(0), p.graph().node(n - 1), 3.0)
+        .unwrap();
+    p.add_demand(p.graph().node(2), p.graph().node(n / 2), 2.0)
+        .unwrap();
+    p
+}
+
+fn engine(faults: Option<&str>) -> Arc<Engine> {
+    let e = Engine::new(base_problem(), SolverSpec::isp());
+    Arc::new(match faults {
+        Some(spec) => e.with_faults(FaultPlan::parse(spec).unwrap()),
+        None => e,
+    })
+}
+
+/// What the containment rules say one reply must look like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Verdict {
+    /// Untouched by the schedule: byte-identical to the golden reply.
+    Clean,
+    /// A typed error of this kind.
+    TypedError(&'static str),
+}
+
+/// The independent model of the containment rules: walks the input,
+/// assigns read-order indices to parseable lines exactly as the server
+/// does, tracks which sessions each injected panic poisons, and emits
+/// one verdict per line.
+fn model_verdicts(input: &str, plan: &FaultPlan) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    let mut index = 0u64;
+    let mut poisoned: HashSet<String> = HashSet::new();
+    for line in input.lines().filter(|l| !l.trim().is_empty()) {
+        let req = match Request::parse(line) {
+            Ok(req) => req,
+            Err(_) => {
+                // Rejected before dispatch: no index, no faults.
+                verdicts.push(Verdict::Clean);
+                continue;
+            }
+        };
+        let faults = plan.faults_at(index);
+        index += 1;
+        let session = req.session_name().to_string();
+        let verdict = if matches!(req.op, Op::Shutdown) {
+            // Shutdown runs before the session lock and is exempt from
+            // the panic fault: the drain path must always answer.
+            Verdict::Clean
+        } else if poisoned.contains(&session) {
+            Verdict::TypedError("session_poisoned")
+        } else if faults.panic {
+            poisoned.insert(session);
+            Verdict::TypedError("internal_error")
+        } else if faults.solve_error
+            && matches!(req.op, Op::QueryRoutability { .. } | Op::QueryPlan { .. })
+        {
+            Verdict::TypedError("injected_fault")
+        } else {
+            // Latency-only faults, and torn faults on requests that
+            // write nothing, do not change the reply.
+            Verdict::Clean
+        };
+        verdicts.push(verdict);
+    }
+    verdicts
+}
+
+#[test]
+fn committed_stream_survives_a_dense_fault_schedule_at_any_worker_count() {
+    // Fault-free golden: the reference every clean reply is held to.
+    let (golden, _) = run_stream(engine(None), 1, EVENTS);
+    let golden: Vec<&str> = golden.lines().collect();
+    assert_eq!(golden.len(), EVENTS.lines().count(), "golden answers all");
+
+    // The schedule: 1ms latency on every request (the fault-count
+    // workhorse), a panic mid-stream, solve errors on three queries,
+    // and a torn-write fault (a no-op here — the committed stream never
+    // persists — proving unexercised faults change nothing).
+    let spec = "seed=7;latency=1:1;panic@100;solve_error@5,40,90;torn@60";
+    let plan = FaultPlan::parse(spec).unwrap();
+    let dispatched = EVENTS.lines().filter(|l| Request::parse(l).is_ok()).count() as u64;
+    assert!(
+        plan.count_fired(dispatched) >= 200,
+        "the schedule must inject at least 200 faults across the \
+         committed stream (fired {} of {dispatched})",
+        plan.count_fired(dispatched)
+    );
+
+    let verdicts = model_verdicts(EVENTS, &plan);
+    let mut outputs = Vec::new();
+    for workers in [1usize, 4] {
+        let (out, report) = run_stream(engine(Some(spec)), workers, EVENTS);
+        let replies: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            replies.len(),
+            golden.len(),
+            "workers={workers}: the daemon survived and answered every request"
+        );
+        assert!(report.requests >= replies.len());
+        let mut clean = 0usize;
+        let mut faulted = 0usize;
+        for (i, (reply, verdict)) in replies.iter().zip(&verdicts).enumerate() {
+            match verdict {
+                Verdict::Clean => {
+                    assert_eq!(
+                        reply, &golden[i],
+                        "workers={workers}: non-faulted reply {i} must be \
+                         byte-identical to the fault-free golden"
+                    );
+                    clean += 1;
+                }
+                Verdict::TypedError(kind) => {
+                    let r = Response::parse(reply).unwrap();
+                    assert_eq!(
+                        r.error_kind(),
+                        Some(*kind),
+                        "workers={workers}: reply {i}: {reply}"
+                    );
+                    faulted += 1;
+                }
+            }
+        }
+        assert!(clean > 0 && faulted > 0, "both regimes must be exercised");
+        outputs.push(out);
+    }
+    assert_eq!(
+        outputs[0], outputs[1],
+        "the faulted replay is byte-deterministic across worker counts"
+    );
+}
+
+#[test]
+fn panic_heavy_schedule_poisons_sessions_but_never_the_daemon() {
+    // Panics on several mid-stream requests across sessions: each
+    // poisons exactly its own session from that point on, per the
+    // model; everything else still matches the golden run.
+    let spec = "seed=11;panic@20,45,130";
+    let plan = FaultPlan::parse(spec).unwrap();
+    let (golden, _) = run_stream(engine(None), 1, EVENTS);
+    let golden: Vec<&str> = golden.lines().collect();
+    let verdicts = model_verdicts(EVENTS, &plan);
+    assert!(
+        verdicts
+            .iter()
+            .filter(|v| **v == Verdict::TypedError("session_poisoned"))
+            .count()
+            > 0,
+        "the schedule must leave poisoned sessions with later traffic"
+    );
+    let (out, _) = run_stream(engine(Some(spec)), 2, EVENTS);
+    for (i, (reply, verdict)) in out.lines().zip(&verdicts).enumerate() {
+        match verdict {
+            Verdict::Clean => assert_eq!(reply, golden[i], "reply {i}"),
+            Verdict::TypedError(kind) => {
+                assert_eq!(
+                    Response::parse(reply).unwrap().error_kind(),
+                    Some(*kind),
+                    "reply {i}: {reply}"
+                );
+            }
+        }
+    }
+    // The final shutdown drained: the last golden line answered.
+    assert_eq!(out.lines().last(), golden.last().copied());
+}
+
+/// Builds a small synthetic request stream from flat generator choices.
+fn synthetic_stream(ops: &[(usize, usize, usize)]) -> String {
+    let sessions = ["default", "aux", "probe"];
+    let mut lines = String::new();
+    for (i, &(kind, sess, component)) in ops.iter().enumerate() {
+        let session = sessions[sess % sessions.len()];
+        let edge = component % 40;
+        let line = match kind % 5 {
+            0 => format!(
+                r#"{{"v":1,"id":"g{i}","session":"{session}","op":"disrupt","edges":[{edge}],"cost":1.5}}"#
+            ),
+            1 => format!(
+                r#"{{"v":1,"id":"g{i}","session":"{session}","op":"repair","edges":[{edge}]}}"#
+            ),
+            2 => format!(r#"{{"v":1,"id":"g{i}","session":"{session}","op":"query_routability"}}"#),
+            3 => format!(
+                r#"{{"v":1,"id":"g{i}","session":"{session}","op":"query_plan","solver":"isp"}}"#
+            ),
+            _ => format!(r#"{{"v":1,"id":"g{i}","session":"{session}","op":"snapshot"}}"#),
+        };
+        lines.push_str(&line);
+        lines.push('\n');
+    }
+    lines.push_str(r#"{"v":1,"id":"z","op":"shutdown"}"#);
+    lines.push('\n');
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The containment theorem over arbitrary small streams and seeded
+    /// fault schedules: every request is answered, non-faulted replies
+    /// match the fault-free run byte-for-byte, faulted replies are
+    /// typed errors, and the whole transcript is identical at one and
+    /// two workers.
+    #[test]
+    fn containment_holds_on_synthetic_streams(
+        ops in proptest::collection::vec((0usize..5, 0usize..3, 0usize..1000), 1..14),
+        seed in 0u64..1000,
+        panic_idx in 0u64..16,
+        rate_pick in 0usize..3,
+    ) {
+        let input = synthetic_stream(&ops);
+        let spec = format!(
+            "seed={seed};panic@{panic_idx};solve_error={}",
+            [0.0, 0.4, 1.0][rate_pick]
+        );
+        let plan = FaultPlan::parse(&spec).unwrap();
+        let (golden, _) = run_stream(engine(None), 1, &input);
+        let golden: Vec<&str> = golden.lines().collect();
+        let verdicts = model_verdicts(&input, &plan);
+
+        let mut transcripts = Vec::new();
+        for workers in [1usize, 2] {
+            let (out, _) = run_stream(engine(Some(&spec)), workers, &input);
+            let replies: Vec<&str> = out.lines().collect();
+            prop_assert_eq!(replies.len(), golden.len(), "workers={}", workers);
+            for (i, (reply, verdict)) in replies.iter().zip(&verdicts).enumerate() {
+                match verdict {
+                    Verdict::Clean => prop_assert_eq!(
+                        reply, &golden[i],
+                        "workers={} reply {}", workers, i
+                    ),
+                    Verdict::TypedError(kind) => {
+                        let r = Response::parse(reply).unwrap();
+                        prop_assert_eq!(
+                            r.error_kind(), Some(*kind),
+                            "workers={} reply {}: {}", workers, i, reply
+                        );
+                    }
+                }
+            }
+            transcripts.push(out);
+        }
+        prop_assert_eq!(&transcripts[0], &transcripts[1]);
+    }
+}

@@ -27,7 +27,9 @@ fn build_request(
             pairs,
             replace: replace % 2 == 1,
         },
-        3 => Op::QueryRoutability,
+        3 => Op::QueryRoutability {
+            degraded_ok: replace % 2 == 1,
+        },
         4 => Op::QueryPlan {
             solver: match solver_pick % 3 {
                 0 => None,
@@ -35,12 +37,18 @@ fn build_request(
                 _ => Some(format!("grd-nc:{}", solver_pick)),
             },
             deadline_ms: if deadline == 0 { None } else { Some(deadline) },
+            degraded_ok: replace % 2 == 0,
         },
         5 => Op::Snapshot {
             fork: if fork_pick % 2 == 0 {
                 None
             } else {
                 Some(format!("fork-{fork_pick}"))
+            },
+            path: if (fork_pick / 2) % 2 == 0 {
+                None
+            } else {
+                Some(format!("snapshots/s{fork_pick}.jsonl"))
             },
         },
         _ => Op::Shutdown,

@@ -139,6 +139,7 @@ fn script_lines() -> Vec<String> {
             op: Op::QueryPlan {
                 solver: Some(solver.to_string()),
                 deadline_ms: None,
+                degraded_ok: false,
             },
         }
         .to_line()
@@ -154,7 +155,7 @@ fn script_lines() -> Vec<String> {
                 Request {
                     id: "q-warm".into(),
                     session: None,
-                    op: Op::QueryRoutability,
+                    op: Op::QueryRoutability { degraded_ok: false },
                 }
                 .to_line(),
             );

@@ -16,7 +16,7 @@ use crate::campaign::executor::{self, CampaignOptions, JOURNAL_FILE};
 use crate::campaign::report;
 use crate::campaign::spec::CampaignSpec;
 use crate::cli::UsageError;
-use crate::export::write_campaign_report;
+use crate::export::write_campaign_report_durable;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -32,6 +32,8 @@ usage:
       --shards N       scenario worker threads     (default: one per core)
       --resume         skip scenarios already in the out dir's journal
       --out DIR        output directory            (default campaign-out)
+      --durable        fsync the journal after every scenario and the
+                       report files after writing (crash-safe exports)
       writes campaign.report.json, campaign.metrics.csv,
       campaign.failures.csv, and the append-only campaign.journal.jsonl
 
@@ -86,6 +88,7 @@ fn run_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
         shards: None,
         resume: false,
         out_dir: PathBuf::from("campaign-out"),
+        durable: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -104,6 +107,7 @@ fn run_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
                 options.shards = Some(shards);
             }
             "--resume" => options.resume = true,
+            "--durable" => options.durable = true,
             "--out" => {
                 i += 1;
                 let v = args
@@ -124,7 +128,7 @@ fn run_subcommand(args: &[String]) -> Result<(String, i32), UsageError> {
     let spec = load_spec(spec_path)?;
     let outcome =
         executor::run_campaign(&spec, &options, None).map_err(|e| UsageError(e.to_string()))?;
-    let files = write_campaign_report(&outcome.report, &options.out_dir)
+    let files = write_campaign_report_durable(&outcome.report, &options.out_dir, options.durable)
         .map_err(|e| UsageError(format!("cannot write report: {e}")))?;
 
     let mut out = String::new();
@@ -614,6 +618,36 @@ mod tests {
         .unwrap_err();
         assert!(err.0.contains("stale"), "{err}");
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `--durable` runs the same campaign through the fsync'd journal
+    /// and atomic report path and produces the same artifacts.
+    #[test]
+    fn durable_run_produces_the_same_artifacts() {
+        let dir = temp_dir("durable_run");
+        let spec = write_spec(&dir);
+        let out = dir.join("out");
+        let (text, code) = run(&args(&[
+            "run",
+            spec.to_str().unwrap(),
+            "--durable",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("2 executed"), "{text}");
+        assert!(out.join("campaign.report.json").exists());
+        assert!(out.join("campaign.metrics.csv").exists());
+        assert!(out.join(JOURNAL_FILE).exists());
+        // No atomic-write temp files left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&out)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

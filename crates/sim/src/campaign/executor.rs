@@ -37,6 +37,9 @@ pub struct CampaignOptions {
     pub resume: bool,
     /// Output directory (journal + report files).
     pub out_dir: PathBuf,
+    /// fsync the journal after every scenario (`--durable`): completed
+    /// work survives power loss, not just process death.
+    pub durable: bool,
 }
 
 /// What a campaign run produced.
@@ -127,7 +130,7 @@ pub fn run_campaign(
     }
     let skipped = scenarios.len() - pending.len();
 
-    let writer = JournalWriter::open(&journal_path, !options.resume)
+    let writer = JournalWriter::open_with(&journal_path, !options.resume, options.durable)
         .map_err(|e| CampaignError(format!("cannot open {}: {e}", journal_path.display())))?;
     // A fresh (non-resume) run truncated the journal — re-seed it with
     // nothing; a resumed run keeps its history and only appends.
@@ -289,6 +292,7 @@ mod tests {
             shards: Some(2),
             resume: false,
             out_dir: out_dir.clone(),
+            durable: false,
         };
         let outcome = run_campaign(&spec, &options, None).unwrap();
         assert_eq!(outcome.executed, 3);
@@ -310,6 +314,7 @@ mod tests {
                 shards: Some(1),
                 resume: false,
                 out_dir: out_dir.clone(),
+                durable: false,
             },
             None,
         )
@@ -320,6 +325,7 @@ mod tests {
                 shards: Some(4),
                 resume: true,
                 out_dir: out_dir.clone(),
+                durable: false,
             },
             None,
         )
@@ -340,6 +346,7 @@ mod tests {
             shards: Some(1),
             resume,
             out_dir: out_dir.clone(),
+            durable: false,
         };
         run_campaign(&spec, &options(false), None).unwrap();
         // Same ids, different run count ⇒ different fingerprints.
@@ -366,6 +373,7 @@ mod tests {
                 shards: Some(1),
                 resume: false,
                 out_dir: out_dir.clone(),
+                durable: false,
             },
             Some(&flag),
         )
@@ -381,6 +389,7 @@ mod tests {
                 shards: Some(2),
                 resume: true,
                 out_dir: out_dir.clone(),
+                durable: false,
             },
             Some(&flag),
         )
@@ -414,6 +423,7 @@ mod tests {
                     shards: Some(1),
                     resume: false,
                     out_dir: out_dir.clone(),
+                    durable: false,
                 },
                 Some(flag),
             )
@@ -447,6 +457,7 @@ mod tests {
                 shards: Some(1),
                 resume: false,
                 out_dir: out_a.clone(),
+                durable: false,
             },
             None,
         )
@@ -457,6 +468,7 @@ mod tests {
                 shards: Some(4),
                 resume: false,
                 out_dir: out_b.clone(),
+                durable: false,
             },
             None,
         )
@@ -485,6 +497,7 @@ mod tests {
                 shards: Some(1),
                 resume: false,
                 out_dir: out_dir.clone(),
+                durable: false,
             },
             None,
         )

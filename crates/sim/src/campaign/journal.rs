@@ -254,6 +254,9 @@ pub fn merge(
 /// mid-flight loses at most the scenarios still running.
 pub struct JournalWriter {
     inner: Mutex<BufWriter<std::fs::File>>,
+    /// fsync after every append (`campaign run --durable`): the record
+    /// survives power loss, not just process death.
+    durable: bool,
 }
 
 impl JournalWriter {
@@ -264,6 +267,18 @@ impl JournalWriter {
     ///
     /// Propagates filesystem errors.
     pub fn open(path: &Path, truncate: bool) -> std::io::Result<JournalWriter> {
+        JournalWriter::open_with(path, truncate, false)
+    }
+
+    /// [`JournalWriter::open`] with explicit durability. The default
+    /// flush-per-append already bounds loss to in-flight scenarios on
+    /// process death; `durable` adds an fsync per append so the same
+    /// bound holds across power loss, at a per-scenario syscall cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_with(path: &Path, truncate: bool, durable: bool) -> std::io::Result<JournalWriter> {
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(!truncate)
@@ -272,18 +287,26 @@ impl JournalWriter {
             .open(path)?;
         Ok(JournalWriter {
             inner: Mutex::new(BufWriter::new(file)),
+            durable,
         })
     }
 
-    /// Appends one record and flushes.
+    /// Appends one record and flushes (and syncs, when durable).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn append(&self, record: &JournalRecord) -> std::io::Result<()> {
-        let mut writer = self.inner.lock().expect("journal writer poisoned");
+        let mut writer = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         writeln!(writer, "{}", record.to_line())?;
-        writer.flush()
+        writer.flush()?;
+        if self.durable {
+            writer.get_ref().sync_all()?;
+        }
+        Ok(())
     }
 }
 
@@ -352,6 +375,23 @@ mod tests {
         let writer = JournalWriter::open(&path, true).unwrap();
         drop(writer);
         assert!(load(&path).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_writer_syncs_every_append_and_reads_back() {
+        let dir = std::env::temp_dir().join("netrec_journal_durable_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.journal.jsonl");
+        let writer = JournalWriter::open_with(&path, true, true).unwrap();
+        let record = sample_record();
+        writer.append(&record).unwrap();
+        // The record is on disk before the writer is dropped.
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[&record.id], record);
+        drop(writer);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,6 +13,7 @@
 
 use crate::campaign::CampaignReport;
 use crate::stats::FigureTable;
+use netrec_core::fsio::atomic_write;
 use std::fmt::Write as _;
 
 /// Escapes one CSV cell: quoted when it contains a comma, quote, or
@@ -134,6 +135,11 @@ pub fn failures_to_csv(table: &FigureTable) -> String {
 /// Writes all metrics of a figure into `dir` as `figN_metric.csv` +
 /// `figN_metric.gp`, plus `figN_failures.csv` when any run failed.
 ///
+/// Every file goes through [`netrec_core::fsio::atomic_write`]
+/// (tmp + rename): a crash or full disk mid-export leaves either the
+/// previous complete file or nothing, never a torn CSV that parses as
+/// truncated-but-valid data.
+///
 /// # Errors
 ///
 /// Propagates filesystem errors.
@@ -143,16 +149,25 @@ pub fn write_figure(table: &FigureTable, dir: &std::path::Path) -> std::io::Resu
     for metric in table.metrics() {
         let base = format!("{}_{}", table.figure, metric);
         let csv_name = format!("{base}.csv");
-        std::fs::write(dir.join(&csv_name), to_csv(table, &metric))?;
-        std::fs::write(
-            dir.join(format!("{base}.gp")),
-            to_gnuplot(table, &metric, &csv_name),
+        atomic_write(
+            &dir.join(&csv_name),
+            to_csv(table, &metric).as_bytes(),
+            false,
+        )?;
+        atomic_write(
+            &dir.join(format!("{base}.gp")),
+            to_gnuplot(table, &metric, &csv_name).as_bytes(),
+            false,
         )?;
         written.push(base);
     }
     if !table.failures.is_empty() {
         let base = format!("{}_failures", table.figure);
-        std::fs::write(dir.join(format!("{base}.csv")), failures_to_csv(table))?;
+        atomic_write(
+            &dir.join(format!("{base}.csv")),
+            failures_to_csv(table).as_bytes(),
+            false,
+        )?;
         written.push(base);
     }
     Ok(written)
@@ -173,6 +188,22 @@ pub fn write_campaign_report(
     report: &CampaignReport,
     dir: &std::path::Path,
 ) -> std::io::Result<Vec<String>> {
+    write_campaign_report_durable(report, dir, false)
+}
+
+/// [`write_campaign_report`] with explicit durability: every file goes
+/// through tmp + rename (never a torn report), and `durable` adds an
+/// fsync of file and directory before the rename is relied on — the
+/// crash-consistency level `campaign run --durable` promises.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_campaign_report_durable(
+    report: &CampaignReport,
+    dir: &std::path::Path,
+    durable: bool,
+) -> std::io::Result<Vec<String>> {
     std::fs::create_dir_all(dir)?;
     let files = [
         ("campaign.report.json", report.to_json()),
@@ -181,7 +212,7 @@ pub fn write_campaign_report(
     ];
     let mut written = Vec::new();
     for (name, content) in files {
-        std::fs::write(dir.join(name), content)?;
+        atomic_write(&dir.join(name), content.as_bytes(), durable)?;
         written.push(name.to_string());
     }
     Ok(written)
@@ -329,5 +360,33 @@ mod tests {
     fn empty_metric_gives_header_only() {
         let csv = to_csv(&sample(), "nonexistent");
         assert_eq!(csv.trim(), "x");
+    }
+
+    #[test]
+    fn torn_rewrite_leaves_the_previous_export_intact() {
+        // Exports are tmp+rename: a crash mid-rewrite (simulated by the
+        // fault plane's torn-write hook) must leave the previous
+        // complete file, not a truncated CSV that still parses.
+        let dir =
+            std::env::temp_dir().join(format!("netrec_export_torn_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_figure(&sample(), &dir).unwrap();
+        let path = dir.join("figT_total_repairs.csv");
+        let original = std::fs::read_to_string(&path).unwrap();
+
+        let err = netrec_core::fsio::atomic_write_torn(
+            &path,
+            "x,NEW_mean,NEW_std\n1,9.0,0.0\n".as_bytes(),
+            false,
+            true,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            original,
+            "the published file must survive a torn rewrite byte-for-byte"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,9 +9,11 @@
 
 use crate::cli::{build_problem, CliOptions, UsageError};
 use netrec_core::solver::SolverSpec;
+use netrec_core::FaultPlan;
 use netrec_disrupt::DisruptionModel;
-use netrec_serve::{Engine, Server};
+use netrec_serve::{Engine, Server, ServerConfig};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// The `serve --help` quickstart.
 pub const HELP: &str = "\
@@ -29,6 +31,16 @@ usage: netrec-cli serve [options]
   --workers N          worker threads                    (default 4)
   --tcp ADDR           also listen on ADDR (e.g. 127.0.0.1:7007);
                        the bound address is printed to stderr
+  --max-queue N        global bound on admitted-not-done requests;
+                       past it requests shed with a typed
+                       `overloaded` error + retry_after_ms (default 1024)
+  --max-session-queue N  per-session pending bound       (default 256)
+  --read-timeout-ms N  TCP read poll / hung-client bound (default 200)
+  --restore PATH       restore a session persisted by
+                       `snapshot` with `path` (repeatable)
+  --faults SPEC        arm the deterministic fault-injection plane
+                       (chaos testing; also read from NETREC_FAULTS),
+                       e.g. 'seed=7;panic@12;solve_error=0.1;latency=1:5'
   --help
 
 protocol: one JSON object per line on stdin (and per TCP connection),
@@ -50,6 +62,14 @@ plus per-request oracle counters; errors are typed
 ({\"ok\":false,\"error\":{\"kind\":\"deadline_exceeded\",...}}) and never
 tear down the session. A latency summary (p50/p99 per op) is printed
 to stderr on shutdown. See DESIGN.md §13 for the full grammar.
+
+failure containment (DESIGN.md §14): a panic while a request executes
+becomes a typed `internal_error` reply and poisons only that session
+(later requests answer `session_poisoned`); queue bounds shed load
+with `overloaded` + retry_after_ms; `query_routability`/`query_plan`
+accept \"degraded_ok\":true for certified-threshold / last-known-good
+fallbacks marked \"degraded\":true; `snapshot` with \"path\" persists
+the session atomically for `--restore` after a crash.
 ";
 
 /// Parsed `serve` options: the shared problem flags plus daemon knobs.
@@ -63,6 +83,12 @@ pub struct ServeOptions {
     pub workers: usize,
     /// Optional TCP listen address.
     pub tcp: Option<String>,
+    /// Overload-control and transport-hardening knobs.
+    pub config: ServerConfig,
+    /// Fault plan from `--faults` (the env var is merged at boot).
+    pub faults: Option<FaultPlan>,
+    /// Session snapshot files to restore at boot.
+    pub restore: Vec<String>,
 }
 
 /// Parses `serve` argv (without the leading `serve`).
@@ -76,6 +102,9 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
     let mut problem_args: Vec<String> = Vec::new();
     let mut workers = 4usize;
     let mut tcp = None;
+    let mut config = ServerConfig::default();
+    let mut faults = None;
+    let mut restore = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -93,6 +122,51 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
                     args.get(i)
                         .cloned()
                         .ok_or_else(|| UsageError("missing value for --tcp".into()))?,
+                );
+            }
+            "--max-queue" => {
+                i += 1;
+                config.max_queue = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| UsageError("--max-queue needs a positive integer".into()))?;
+            }
+            "--max-session-queue" => {
+                i += 1;
+                config.max_session_queue = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| {
+                        UsageError("--max-session-queue needs a positive integer".into())
+                    })?;
+            }
+            "--read-timeout-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or_else(|| {
+                        UsageError("--read-timeout-ms needs a positive integer".into())
+                    })?;
+                config.read_timeout = Duration::from_millis(ms);
+            }
+            "--faults" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| UsageError("missing value for --faults".into()))?;
+                faults =
+                    Some(FaultPlan::parse(spec).map_err(|e| UsageError(format!("--faults: {e}")))?);
+            }
+            "--restore" => {
+                i += 1;
+                restore.push(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| UsageError("missing value for --restore".into()))?,
                 );
             }
             _ => problem_args.push(args[i].clone()),
@@ -115,18 +189,24 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
         default_algo,
         workers,
         tcp,
+        config,
+        faults,
+        restore,
     })
 }
 
 /// Boots the engine the options describe (shared by [`run`] and the
-/// integration tests, which drive it without process IO).
+/// integration tests, which drive it without process IO): builds the
+/// problem, arms the fault plan (`--faults` wins over `NETREC_FAULTS`),
+/// and restores any `--restore` snapshots.
 ///
 /// # Errors
 ///
-/// Usage errors from problem construction.
+/// Usage errors from problem construction, a malformed `NETREC_FAULTS`
+/// value, or an unrestorable snapshot file.
 pub fn boot_engine(opts: &ServeOptions) -> Result<(Arc<Engine>, String), UsageError> {
     let (topology, disruption, problem, demands) = build_problem(&opts.problem)?;
-    let banner = format!(
+    let mut banner = format!(
         "serve: loaded {} ({} nodes, {} edges), {} demand pairs, {} nodes + {} edges broken at boot",
         topology.name(),
         topology.graph().node_count(),
@@ -135,10 +215,22 @@ pub fn boot_engine(opts: &ServeOptions) -> Result<(Arc<Engine>, String), UsageEr
         disruption.node_count(),
         disruption.edge_count(),
     );
-    Ok((
-        Arc::new(Engine::new(problem, opts.default_algo.clone())),
-        banner,
-    ))
+    let faults = match &opts.faults {
+        Some(plan) => Some(plan.clone()),
+        None => FaultPlan::from_env().map_err(|e| UsageError(format!("NETREC_FAULTS: {e}")))?,
+    };
+    let mut engine = Engine::new(problem, opts.default_algo.clone());
+    if let Some(plan) = faults {
+        banner.push_str(&format!("\nserve: fault injection armed: {plan}"));
+        engine = engine.with_faults(plan);
+    }
+    for path in &opts.restore {
+        let name = engine
+            .restore_from_file(std::path::Path::new(path))
+            .map_err(|e| UsageError(format!("--restore: {e}")))?;
+        banner.push_str(&format!("\nserve: restored session {name:?} from {path}"));
+    }
+    Ok((Arc::new(engine), banner))
 }
 
 /// Runs the daemon over stdin/stdout (and `--tcp` when given) until a
@@ -154,7 +246,11 @@ pub fn run(args: &[String]) -> Result<i32, UsageError> {
     let (engine, banner) = boot_engine(&opts)?;
     eprintln!("{banner}");
 
-    let server = Arc::new(Server::new(Arc::clone(&engine), opts.workers));
+    let server = Arc::new(Server::with_config(
+        Arc::clone(&engine),
+        opts.workers,
+        opts.config.clone(),
+    ));
     let acceptor = match &opts.tcp {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
@@ -252,6 +348,89 @@ mod tests {
         assert!(parse_args(&args(&["--report"])).is_err());
         assert!(parse_args(&args(&["--schedule", "2"])).is_err());
         assert!(parse_args(&args(&["--banana"])).is_err());
+        assert!(parse_args(&args(&["--max-queue", "0"])).is_err());
+        assert!(parse_args(&args(&["--max-session-queue", "-1"])).is_err());
+        assert!(parse_args(&args(&["--read-timeout-ms", "soon"])).is_err());
+        assert!(parse_args(&args(&["--faults", "frobnicate@3"])).is_err());
+        assert!(parse_args(&args(&["--restore"])).is_err());
+    }
+
+    #[test]
+    fn parses_containment_flags() {
+        let o = parse_args(&args(&[
+            "--max-queue",
+            "16",
+            "--max-session-queue",
+            "4",
+            "--read-timeout-ms",
+            "50",
+            "--faults",
+            "seed=7;panic@3;latency=0.5:2",
+            "--restore",
+            "/tmp/a.jsonl",
+            "--restore",
+            "/tmp/b.jsonl",
+        ]))
+        .unwrap();
+        assert_eq!(o.config.max_queue, 16);
+        assert_eq!(o.config.max_session_queue, 4);
+        assert_eq!(o.config.read_timeout, Duration::from_millis(50));
+        assert!(o.faults.is_some());
+        assert_eq!(o.restore, vec!["/tmp/a.jsonl", "/tmp/b.jsonl"]);
+    }
+
+    #[test]
+    fn boot_arms_faults_and_restores_snapshots() {
+        // Boot one daemon, damage a session, persist it; boot a second
+        // daemon with --restore and verify the session came back.
+        let path = std::env::temp_dir().join(format!(
+            "netrec-serve-cli-restore-{}.jsonl",
+            std::process::id()
+        ));
+        let opts = parse_args(&args(&["--pairs", "2", "--flow", "1"])).unwrap();
+        let (engine, _) = boot_engine(&opts).unwrap();
+        let (out, _) = run_stream(
+            engine,
+            1,
+            &format!(
+                "{{\"v\":1,\"id\":\"d\",\"session\":\"ops\",\"op\":\"disrupt\",\"edges\":[2],\"cost\":1.0}}\n\
+                 {{\"v\":1,\"id\":\"s\",\"session\":\"ops\",\"op\":\"snapshot\",\"path\":{path:?}}}\n\
+                 {{\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}}\n",
+                path = path.to_str().unwrap()
+            ),
+        );
+        assert!(out.contains("\"persisted\""), "{out}");
+
+        let opts = parse_args(&args(&[
+            "--pairs",
+            "2",
+            "--flow",
+            "1",
+            "--restore",
+            path.to_str().unwrap(),
+            "--faults",
+            "solve_error@0",
+        ]))
+        .unwrap();
+        let (engine, banner) = boot_engine(&opts).unwrap();
+        assert!(banner.contains("restored session \"ops\""), "{banner}");
+        assert!(banner.contains("fault injection armed"), "{banner}");
+        let (out, _) = run_stream(
+            engine,
+            1,
+            "{\"v\":1,\"id\":\"q\",\"session\":\"ops\",\"op\":\"query_routability\"}\n\
+             {\"v\":1,\"id\":\"s\",\"session\":\"ops\",\"op\":\"snapshot\"}\n\
+             {\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n",
+        );
+        // Request 0 hits the armed solve_error fault; the snapshot then
+        // proves the restored damage is present.
+        assert!(out.contains("\"kind\":\"injected_fault\""), "{out}");
+        assert!(out.contains("\"broken_edges\":1"), "{out}");
+        let _ = std::fs::remove_file(&path);
+
+        // A missing snapshot file is a boot-time usage error.
+        let opts = parse_args(&args(&["--restore", "/nonexistent/nope.jsonl"])).unwrap();
+        assert!(boot_engine(&opts).is_err());
     }
 
     #[test]

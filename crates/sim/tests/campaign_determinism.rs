@@ -36,6 +36,7 @@ fn options(dir: &std::path::Path, shards: usize, resume: bool) -> CampaignOption
         shards: Some(shards),
         resume,
         out_dir: dir.to_path_buf(),
+        durable: false,
     }
 }
 
