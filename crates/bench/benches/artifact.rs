@@ -1,0 +1,57 @@
+//! The precomputed-artifact payoff: answering a swept routability query
+//! from the artifact (canonical fingerprint + hash probe, no LP) versus
+//! solving it cold with a fresh exact backend — the offline sweep's
+//! whole reason to exist. `BENCH_artifact.json` records both medians
+//! and `tests/bench_json.rs` gates the committed hit path at ≥ 10x
+//! ahead of the cold solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_bench::bell_instance;
+use netrec_core::oracle::artifact::ArtifactBuilder;
+use netrec_core::oracle::{ExactLp, IncrementalOracle};
+use netrec_core::{ArtifactOracle, RoutabilityOracle};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let problem = bell_instance(4, 10.0);
+    let demands = problem.demands();
+    let graph = problem.graph();
+    // The queried state: the fully repaired graph — swept offline below,
+    // so the fronted oracle answers it from the artifact tier.
+    let view = graph.view();
+
+    let exact = ExactLp::new();
+    let verdict = exact.is_routable(&view, &demands).unwrap();
+    let mut builder = ArtifactBuilder::new(graph, &demands);
+    builder.record(&view, &demands, verdict);
+    let artifact = Arc::new(builder.finish("bell", &["bench".to_string()]));
+    let fronted = ArtifactOracle::new(artifact, Box::new(IncrementalOracle::new()));
+    assert_eq!(
+        fronted.is_routable(&view, &demands).unwrap(),
+        verdict,
+        "bench precondition: the swept state must answer from the artifact"
+    );
+
+    let mut g = c.benchmark_group("artifact");
+    g.sample_size(20);
+    g.bench_function("artifact_hit", |b| {
+        b.iter(|| {
+            fronted
+                .is_routable(black_box(&view), black_box(&demands))
+                .unwrap()
+        })
+    });
+    g.bench_function("cold_exact", |b| {
+        b.iter(|| {
+            let oracle = ExactLp::new();
+            oracle
+                .is_routable(black_box(&view), black_box(&demands))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -134,7 +134,9 @@ fn bench(c: &mut Criterion) {
         let demands = problem.demands();
         let (node_mask, edge_mask) = problem.working_masks();
 
-        let oracle = netrec_core::oracle::OracleSpec::from(RoutabilityMode::default()).build();
+        let oracle = netrec_core::OracleBuilder::new(RoutabilityMode::default().into())
+            .build()
+            .unwrap();
         g.bench_function(BenchmarkId::new("routability", n), |b| {
             let view = problem
                 .full_view()

@@ -247,6 +247,46 @@ fn committed_serve_chaos_baseline_shows_shedding_pays() {
     );
 }
 
+/// The committed `BENCH_artifact.json` pins the precompute sweep's
+/// reason to exist (DESIGN.md §15): answering a swept routability query
+/// from the artifact (canonical fingerprint + hash probe) must be at
+/// least 10x faster at the median than solving it cold with a fresh
+/// exact backend on the same instance.
+#[test]
+fn committed_artifact_baseline_keeps_the_hit_cold_separation() {
+    let path = repo_root().join("BENCH_artifact.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed BENCH_artifact.json: {e}"));
+    let json = Json::parse(&text).expect("BENCH_artifact.json parses");
+    assert_eq!(json.get("group").and_then(Json::as_str), Some("artifact"));
+    let mut medians = std::collections::HashMap::new();
+    for bench in json
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array")
+    {
+        let id = bench.get("id").and_then(Json::as_str).expect("id");
+        let ns = bench
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .expect("median_ns");
+        medians.insert(id.to_string(), ns);
+    }
+    let hit = *medians
+        .get("artifact_hit")
+        .expect("BENCH_artifact.json lacks artifact_hit");
+    let cold = *medians
+        .get("cold_exact")
+        .expect("BENCH_artifact.json lacks cold_exact");
+    assert!(hit > 0.0 && cold > 0.0, "degenerate medians");
+    let ratio = cold / hit;
+    assert!(
+        ratio >= 10.0,
+        "cold_exact / artifact_hit = {ratio:.1}x: the committed artifact \
+         baseline no longer shows the ≥10x hit-path advantage"
+    );
+}
+
 #[test]
 fn parser_rejects_malformed_inputs() {
     for bad in [

@@ -31,6 +31,12 @@ pub enum RecoveryError {
     /// ([`FaultPlan`](crate::fault::FaultPlan)): the solve was forced to
     /// fail for chaos testing. Never produced outside fault injection.
     InjectedFault,
+    /// A precomputed routability artifact could not be loaded or did not
+    /// match the instance it was asked to serve (see
+    /// [`crate::oracle::artifact`]). Carries the rendered load error;
+    /// the typed cause lives in
+    /// [`ArtifactError`](crate::oracle::artifact::ArtifactError).
+    Artifact(String),
 }
 
 impl RecoveryError {
@@ -64,6 +70,7 @@ impl RecoveryError {
             RecoveryError::DeadlineExceeded => "deadline_exceeded",
             RecoveryError::Cancelled => "cancelled",
             RecoveryError::InjectedFault => "injected_fault",
+            RecoveryError::Artifact(_) => "artifact",
         }
     }
 }
@@ -96,6 +103,9 @@ impl fmt::Display for RecoveryError {
             }
             RecoveryError::InjectedFault => {
                 write!(f, "injected fault (chaos plane forced this solve to fail)")
+            }
+            RecoveryError::Artifact(msg) => {
+                write!(f, "artifact error: {msg}")
             }
         }
     }
@@ -162,6 +172,10 @@ mod tests {
             (RecoveryError::DeadlineExceeded, "deadline_exceeded"),
             (RecoveryError::Cancelled, "cancelled"),
             (RecoveryError::InjectedFault, "injected_fault"),
+            (
+                RecoveryError::Artifact("version mismatch".to_string()),
+                "artifact",
+            ),
         ];
         for (err, kind) in all {
             assert_eq!(err.kind(), kind);

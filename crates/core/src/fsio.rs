@@ -10,9 +10,225 @@
 //! serve snapshot files and the campaign report/CSV exports both write
 //! through here; the campaign journal gets the same guarantee
 //! line-wise from its append-and-tolerate-torn-tail format.
+//!
+//! [`write_container`] / [`read_container`] add a self-validating frame
+//! on top for *artifacts that outlive a process* (the precomputed
+//! routability tables of [`crate::oracle::artifact`]): a one-line ASCII
+//! header carrying a magic tag, a consumer-chosen kind and version, the
+//! payload byte length, and an FNV-1a checksum of the payload. A loader
+//! can therefore distinguish — with typed errors, not garbage data — a
+//! file that is not a container at all, one of the wrong kind, one
+//! written by a different format version, one truncated by a torn copy,
+//! and one corrupted in place. The payload itself is opaque bytes; the
+//! artifact layer stores netrec-json text in it.
 
 use std::io::Write as _;
 use std::path::Path;
+
+/// Magic tag opening every container header line. The trailing `1` is
+/// the *frame* version: it changes only if the header layout itself
+/// changes (consumer format evolution goes through the `version` field
+/// instead).
+const CONTAINER_MAGIC: &str = "NETRECBOX1";
+
+/// A typed container load failure: every way a file can fail
+/// [`read_container`], distinguished so callers (and their error
+/// replies) can tell corruption from version skew from a wrong file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The file could not be read at all.
+    Io(std::io::ErrorKind, String),
+    /// The file is not a netrec container (missing or unparseable
+    /// header line).
+    Malformed(String),
+    /// The header names a different kind of payload than the caller
+    /// expected.
+    KindMismatch {
+        /// Kind recorded in the file.
+        found: String,
+        /// Kind the caller asked for.
+        expected: String,
+    },
+    /// The header names a format version the caller does not support.
+    VersionMismatch {
+        /// Version recorded in the file.
+        found: u32,
+        /// Version the caller supports.
+        supported: u32,
+    },
+    /// The payload is shorter than the header promised — a torn or
+    /// truncated file.
+    Truncated {
+        /// Payload bytes the header declared.
+        expected: usize,
+        /// Payload bytes actually present.
+        actual: usize,
+    },
+    /// The payload bytes do not hash to the stored checksum — in-place
+    /// corruption (or a longer-than-declared payload).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum of the bytes actually present.
+        computed: u64,
+    },
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::Io(kind, path) => write!(f, "cannot read {path}: {kind:?}"),
+            ContainerError::Malformed(why) => write!(f, "not a netrec container: {why}"),
+            ContainerError::KindMismatch { found, expected } => {
+                write!(f, "container holds `{found}`, expected `{expected}`")
+            }
+            ContainerError::VersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "container version {found} is not the supported version {supported}"
+                )
+            }
+            ContainerError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "container truncated: header declares {expected} payload bytes, found {actual}"
+                )
+            }
+            ContainerError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "container checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// FNV-1a over the payload bytes — the same cheap, dependency-free hash
+/// the campaign engine fingerprints with.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Atomically writes `payload` to `path` inside a checksummed container
+/// frame (`kind` and `version` are the consumer's; see
+/// [`read_container`]). With `durable`, the write is fsynced like
+/// [`atomic_write`].
+///
+/// # Errors
+///
+/// Propagates filesystem errors; on error the destination is untouched.
+pub fn write_container(
+    path: &Path,
+    kind: &str,
+    version: u32,
+    payload: &[u8],
+    durable: bool,
+) -> std::io::Result<()> {
+    debug_assert!(
+        !kind.is_empty() && !kind.contains(char::is_whitespace),
+        "container kind must be a single token"
+    );
+    let header = format!(
+        "{CONTAINER_MAGIC} {kind} {version} {len} {checksum:016x}\n",
+        len = payload.len(),
+        checksum = fnv1a(payload)
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(payload);
+    atomic_write(path, &bytes, durable)
+}
+
+/// Reads a container written by [`write_container`], validating magic,
+/// kind, version, declared length, and checksum before returning the
+/// payload bytes.
+///
+/// # Errors
+///
+/// A [`ContainerError`] naming exactly what failed — unreadable file,
+/// not a container, wrong kind, unsupported version, truncation, or
+/// checksum mismatch.
+pub fn read_container(
+    path: &Path,
+    kind: &str,
+    supported_version: u32,
+) -> Result<Vec<u8>, ContainerError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| ContainerError::Io(e.kind(), path.display().to_string()))?;
+    // The header is a short ASCII line; refuse to scan arbitrarily far
+    // into a file that is clearly something else.
+    let header_end = bytes
+        .iter()
+        .take(256)
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ContainerError::Malformed("no header line".to_string()))?;
+    let header = std::str::from_utf8(&bytes[..header_end])
+        .map_err(|_| ContainerError::Malformed("header is not ASCII".to_string()))?;
+    let fields: Vec<&str> = header.split(' ').collect();
+    let [magic, file_kind, version, len, checksum] = fields.as_slice() else {
+        return Err(ContainerError::Malformed(format!(
+            "header has {} fields, expected 5",
+            fields.len()
+        )));
+    };
+    if *magic != CONTAINER_MAGIC {
+        return Err(ContainerError::Malformed(format!(
+            "magic `{magic}` is not `{CONTAINER_MAGIC}`"
+        )));
+    }
+    if *file_kind != kind {
+        return Err(ContainerError::KindMismatch {
+            found: (*file_kind).to_string(),
+            expected: kind.to_string(),
+        });
+    }
+    let version: u32 = version
+        .parse()
+        .map_err(|_| ContainerError::Malformed(format!("unparseable version `{version}`")))?;
+    if version != supported_version {
+        return Err(ContainerError::VersionMismatch {
+            found: version,
+            supported: supported_version,
+        });
+    }
+    let expected_len: usize = len
+        .parse()
+        .map_err(|_| ContainerError::Malformed(format!("unparseable length `{len}`")))?;
+    let stored_checksum = u64::from_str_radix(checksum, 16)
+        .map_err(|_| ContainerError::Malformed(format!("unparseable checksum `{checksum}`")))?;
+    let payload = &bytes[header_end + 1..];
+    if payload.len() < expected_len {
+        return Err(ContainerError::Truncated {
+            expected: expected_len,
+            actual: payload.len(),
+        });
+    }
+    // Extra bytes past the declared length are corruption too; the
+    // checksum over the declared span catches in-place bit damage, and
+    // the explicit length comparison keeps appended garbage from
+    // hiding behind a still-valid prefix hash.
+    if payload.len() > expected_len {
+        return Err(ContainerError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed: fnv1a(payload),
+        });
+    }
+    let computed = fnv1a(payload);
+    if computed != stored_checksum {
+        return Err(ContainerError::ChecksumMismatch {
+            stored: stored_checksum,
+            computed,
+        });
+    }
+    Ok(payload.to_vec())
+}
 
 /// Atomically replaces `path` with `contents` (tmp + rename). With
 /// `durable`, the file is fsynced before the rename and the parent
@@ -121,5 +337,79 @@ mod tests {
     #[test]
     fn pathological_paths_error_without_side_effects() {
         assert!(atomic_write(Path::new("/"), b"x", false).is_err());
+    }
+
+    #[test]
+    fn container_round_trips_binary_payloads() {
+        let dir = scratch("container");
+        let path = dir.join("table.nra");
+        // A payload with every byte class: NULs, newlines, high bytes.
+        let payload: Vec<u8> = (0..=255u8).chain([0, b'\n', 0xff]).collect();
+        write_container(&path, "routability-artifact", 3, &payload, false).unwrap();
+        let back = read_container(&path, "routability-artifact", 3).unwrap();
+        assert_eq!(back, payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn container_load_failures_are_typed() {
+        let dir = scratch("container_errors");
+        let path = dir.join("table.nra");
+        let payload = b"{\"hello\":true}";
+        write_container(&path, "routability-artifact", 1, payload, false).unwrap();
+
+        // Missing file.
+        assert!(matches!(
+            read_container(&dir.join("absent.nra"), "routability-artifact", 1),
+            Err(ContainerError::Io(std::io::ErrorKind::NotFound, _))
+        ));
+        // Wrong kind.
+        assert!(matches!(
+            read_container(&path, "snapshot", 1),
+            Err(ContainerError::KindMismatch { .. })
+        ));
+        // Wrong version.
+        assert!(matches!(
+            read_container(&path, "routability-artifact", 2),
+            Err(ContainerError::VersionMismatch {
+                found: 1,
+                supported: 2
+            })
+        ));
+        // Truncation: chop bytes off the tail (a torn copy).
+        let full = std::fs::read(&path).unwrap();
+        let torn = dir.join("torn.nra");
+        std::fs::write(&torn, &full[..full.len() - 4]).unwrap();
+        assert!(matches!(
+            read_container(&torn, "routability-artifact", 1),
+            Err(ContainerError::Truncated { .. })
+        ));
+        // In-place corruption: flip a payload byte.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x20;
+        let corrupt = dir.join("corrupt.nra");
+        std::fs::write(&corrupt, &flipped).unwrap();
+        assert!(matches!(
+            read_container(&corrupt, "routability-artifact", 1),
+            Err(ContainerError::ChecksumMismatch { .. })
+        ));
+        // Appended garbage past the declared length.
+        let mut longer = full.clone();
+        longer.extend_from_slice(b"extra");
+        let padded = dir.join("padded.nra");
+        std::fs::write(&padded, &longer).unwrap();
+        assert!(matches!(
+            read_container(&padded, "routability-artifact", 1),
+            Err(ContainerError::ChecksumMismatch { .. })
+        ));
+        // Not a container at all.
+        let alien = dir.join("alien.json");
+        std::fs::write(&alien, b"{\"not\":\"a container\"}\n").unwrap();
+        assert!(matches!(
+            read_container(&alien, "routability-artifact", 1),
+            Err(ContainerError::Malformed(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -300,9 +300,12 @@ pub fn solve_grd_nc_in(
     let spec = ctx.oracle_spec(
         config
             .oracle
+            .clone()
             .unwrap_or_else(|| OracleSpec::from(config.routability)),
     );
-    let oracle = spec.build_with_engine(ctx.lp_engine());
+    let oracle = crate::OracleBuilder::new(spec)
+        .engine(ctx.lp_engine())
+        .build()?;
     // Snapshots report deltas against the solve-start baseline (see the
     // matching comment in `isp.rs`): per-solve counters stay correct
     // even for an oracle instance that outlives this run.

@@ -139,8 +139,9 @@ pub fn solve_mcf_relax_in(
             // by capacity override, keeping the cost cap feasible.
             let oracle = ctx
                 .oracle_override()
-                .or(config.oracle)
-                .map(|spec| spec.build_with_engine(engine));
+                .or_else(|| config.oracle.clone())
+                .map(|spec| crate::OracleBuilder::new(spec).engine(engine).build())
+                .transpose()?;
             let mut capacities = problem.graph().capacities();
             let mut eliminations = 0;
             loop {

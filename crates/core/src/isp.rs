@@ -168,10 +168,13 @@ pub fn solve_isp_in(
     let spec = ctx.oracle_spec(
         config
             .oracle
+            .clone()
             .unwrap_or_else(|| OracleSpec::from(config.routability)),
     );
     let engine = ctx.lp_engine();
-    let oracle = spec.build_with_engine(engine);
+    let oracle = crate::OracleBuilder::new(spec.clone())
+        .engine(engine)
+        .build()?;
     // Oracle counters are cumulative for the backend's whole lifetime;
     // snapshots report the *delta* against this solve-start baseline
     // (captured before the precheck issues the first query), so they
@@ -243,7 +246,7 @@ pub fn solve_isp_in(
         if state.repair_direct_edges() {
             continue;
         }
-        if !split_step(&mut state, config, spec, oracle.as_ref(), engine)? {
+        if !split_step(&mut state, config, &spec, oracle.as_ref(), engine)? {
             // No productive split: force progress by repairing the most
             // central still-broken element, or give up conservatively.
             if !force_repair(&mut state, config) {
@@ -278,7 +281,7 @@ pub fn solve_isp_in(
 fn split_step(
     state: &mut IspState<'_>,
     config: &IspConfig,
-    spec: OracleSpec,
+    spec: &OracleSpec,
     oracle: &dyn EvalOracle,
     engine: netrec_lp::LpEngine,
 ) -> Result<bool, RecoveryError> {
@@ -359,7 +362,7 @@ fn split_step(
 fn decide_split_amount(
     state: &IspState<'_>,
     config: &IspConfig,
-    spec: OracleSpec,
+    spec: &OracleSpec,
     oracle: &dyn EvalOracle,
     engine: netrec_lp::LpEngine,
     h: usize,
@@ -578,7 +581,7 @@ mod tests {
             crate::OracleSpec::CachedApprox { epsilon: 0.05 },
         ] {
             let config = IspConfig {
-                oracle: Some(spec),
+                oracle: Some(spec.clone()),
                 ..Default::default()
             };
             let (plan, stats) = solve_isp_with_stats(&p, &config).unwrap();

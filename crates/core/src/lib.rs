@@ -79,7 +79,10 @@ pub mod vulnerability;
 pub use error::RecoveryError;
 pub use fault::{FaultPlan, Faults};
 pub use isp::{solve_isp, solve_isp_with_stats, IspConfig, IspStats, MetricMode};
-pub use oracle::{EvalOracle, OracleSpec, OracleStats, RoutabilityOracle, SatisfactionOracle};
+pub use oracle::{
+    AnswerSource, ArtifactOracle, EvalOracle, OracleBuilder, OracleSpec, OracleStats,
+    RoutabilityArtifact, RoutabilityOracle, SatisfactionOracle,
+};
 pub use plan::RecoveryPlan;
 pub use problem::{RecoveryProblem, StatePatch};
 pub use routability::RoutabilityMode;

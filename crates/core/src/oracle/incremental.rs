@@ -52,6 +52,7 @@
 //! the *delta* of effective edges (O(degree)) instead of re-deriving the
 //! query from scratch.
 
+use super::canon::{canonicalize, extends, insert_maximal, insert_minimal, EffState, RawState};
 use super::{
     Counter, EvalOracle, ExactLp, OracleStats, Patch, RoutabilityOracle, SatisfactionOracle,
 };
@@ -61,10 +62,6 @@ use netrec_lp::mcf::{self, Demand, WarmMaxSatisfied, WarmRoutability};
 use netrec_lp::LpEngine;
 use std::collections::HashMap;
 use std::sync::Mutex;
-
-/// Maximum retained witnesses per kind; older ones are evicted first.
-/// Witness checks are O(|E|) each, so this bounds per-query overhead.
-const MAX_WITNESSES: usize = 16;
 
 /// Maximum entries per memo map before it is cleared wholesale. Each
 /// entry is O(|E|) words, so this bounds memory on huge schedules (an
@@ -155,176 +152,6 @@ fn memo_insert<V>(map: &mut HashMap<Vec<u64>, V>, key: Vec<u64>, value: V) {
         map.clear();
     }
     map.insert(key, value);
-}
-
-/// A canonical effective state: the demand-relevant enabled edges as a
-/// bitset plus their capacities (0.0 where absent).
-#[derive(Debug, Clone)]
-struct EffState {
-    words: Vec<u64>,
-    caps: Vec<f64>,
-}
-
-impl EffState {
-    #[inline]
-    fn enabled(&self, e: usize) -> bool {
-        self.words[e / 64] & (1 << (e % 64)) != 0
-    }
-
-    /// The lossless memo key: the bitset plus the capacity bits of every
-    /// present edge in id order.
-    fn key(&self) -> Vec<u64> {
-        let mut key = self.words.clone();
-        for (e, &c) in self.caps.iter().enumerate() {
-            if self.enabled(e) {
-                key.push(c.to_bits());
-            }
-        }
-        key
-    }
-
-    /// An all-edges-enabled edge mask for re-solving on the canonical
-    /// subgraph.
-    fn edge_mask(&self) -> Vec<bool> {
-        (0..self.caps.len()).map(|e| self.enabled(e)).collect()
-    }
-}
-
-/// The raw effective state of a view before canonicalization: per-edge
-/// enablement (masks combined) and the capacity of *every* edge (so
-/// patch deltas can pick up capacities of edges not yet enabled).
-struct RawState {
-    enabled: Vec<bool>,
-    caps: Vec<f64>,
-}
-
-impl RawState {
-    fn of(view: &View<'_>) -> Self {
-        let m = view.edge_count();
-        let mut enabled = vec![false; m];
-        let mut caps = vec![0.0; m];
-        for e in view.graph().edges() {
-            enabled[e.index()] = view.edge_enabled(e);
-            caps[e.index()] = view.capacity(e);
-        }
-        RawState { enabled, caps }
-    }
-}
-
-/// Union-find with path halving over dense node indices.
-struct UnionFind {
-    parent: Vec<u32>,
-}
-
-impl UnionFind {
-    fn new(n: usize) -> Self {
-        UnionFind {
-            parent: (0..n as u32).collect(),
-        }
-    }
-
-    fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] as usize != x {
-            let grand = self.parent[self.parent[x] as usize];
-            self.parent[x] = grand;
-            x = grand as usize;
-        }
-        x
-    }
-
-    fn union(&mut self, a: usize, b: usize) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[rb] = ra as u32;
-        }
-    }
-}
-
-/// Canonicalizes a raw effective state: keeps only edges lying in a
-/// connected component that contains both endpoints of at least one
-/// active demand. Exact: every demand's flow is confined to its own
-/// component, so dropped edges can never influence either query kind.
-fn canonicalize(graph: &Graph, demands: &[Demand], enabled: &[bool], caps: &[f64]) -> EffState {
-    let n = graph.node_count();
-    let m = graph.edge_count();
-    let mut uf = UnionFind::new(n);
-    for (e, &on) in enabled.iter().enumerate() {
-        if on {
-            let (u, v) = graph.endpoints(netrec_graph::EdgeId::new(e));
-            uf.union(u.index(), v.index());
-        }
-    }
-    let mut relevant = vec![false; n];
-    for d in demands {
-        if d.amount > 0.0 && d.source != d.target {
-            let (rs, rt) = (uf.find(d.source.index()), uf.find(d.target.index()));
-            if rs == rt {
-                relevant[rs] = true;
-            }
-        }
-    }
-    let mut words = vec![0u64; m.div_ceil(64)];
-    let mut canon_caps = vec![0.0; m];
-    for (e, &on) in enabled.iter().enumerate() {
-        if on {
-            let (u, _) = graph.endpoints(netrec_graph::EdgeId::new(e));
-            if relevant[uf.find(u.index())] {
-                words[e / 64] |= 1 << (e % 64);
-                canon_caps[e] = caps[e];
-            }
-        }
-    }
-    EffState {
-        words,
-        caps: canon_caps,
-    }
-}
-
-/// Whether state `a` offers at least everything state `b` does: every
-/// edge present in `b` is present in `a` with at least `b`'s capacity.
-fn extends(a: &EffState, b: &EffState) -> bool {
-    if b.words.iter().zip(&a.words).any(|(&bw, &aw)| bw & !aw != 0) {
-        return false;
-    }
-    for (e, &bc) in b.caps.iter().enumerate() {
-        if b.enabled(e) && a.caps[e] < bc {
-            return false;
-        }
-    }
-    true
-}
-
-/// Inserts a witness into a list where *smaller* states are stronger
-/// (routable / fully-satisfied): skips dominated inserts, replaces
-/// dominated entries, evicts the oldest past [`MAX_WITNESSES`].
-fn insert_minimal(list: &mut Vec<EffState>, new: EffState) {
-    if list.iter().any(|w| extends(&new, w)) {
-        return; // an existing witness already covers everything `new` would
-    }
-    if let Some(w) = list.iter_mut().find(|w| extends(w, &new)) {
-        *w = new; // `new` is strictly stronger
-        return;
-    }
-    if list.len() >= MAX_WITNESSES {
-        list.remove(0);
-    }
-    list.push(new);
-}
-
-/// Mirror of [`insert_minimal`] for lists where *larger* states are
-/// stronger (unroutable).
-fn insert_maximal(list: &mut Vec<EffState>, new: EffState) {
-    if list.iter().any(|w| extends(w, &new)) {
-        return;
-    }
-    if let Some(w) = list.iter_mut().find(|w| extends(&new, w)) {
-        *w = new;
-        return;
-    }
-    if list.len() >= MAX_WITNESSES {
-        list.remove(0);
-    }
-    list.push(new);
 }
 
 impl IncrementalOracle {

@@ -33,11 +33,14 @@
 //! CLI as `--oracle`) and query through `&dyn EvalOracle`.
 
 mod approx;
+pub mod artifact;
 mod cached;
+pub(crate) mod canon;
 mod exact;
 mod incremental;
 
 pub use approx::ConcurrentFlowApprox;
+pub use artifact::{ArtifactOracle, RoutabilityArtifact};
 pub use cached::Cached;
 pub use exact::ExactLp;
 pub use incremental::{IncSnapshot, IncrementalOracle};
@@ -48,6 +51,7 @@ use netrec_lp::mcf::Demand;
 use netrec_lp::LpEngine;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// The base-instance fingerprint shared by the stateful backends: graph
 /// shape *including every edge's endpoints* plus the demand list. The
@@ -254,6 +258,15 @@ pub struct OracleStats {
     /// instance (graph shape or demand set) changed
     /// ([`IncrementalOracle`] only).
     pub generation_resets: usize,
+    /// Routability queries answered by the precomputed artifact —
+    /// verdict, witness, or cut-certificate hits that never reached a
+    /// live backend ([`ArtifactOracle`] only).
+    #[serde(default)]
+    pub artifact_hits: usize,
+    /// Routability queries that missed the artifact and fell through to
+    /// the inner backend ([`ArtifactOracle`] only).
+    #[serde(default)]
+    pub artifact_misses: usize,
 }
 
 impl OracleStats {
@@ -271,6 +284,8 @@ impl OracleStats {
             warm_start_hits: self.warm_start_hits + other.warm_start_hits,
             full_solves: self.full_solves + other.full_solves,
             generation_resets: self.generation_resets + other.generation_resets,
+            artifact_hits: self.artifact_hits + other.artifact_hits,
+            artifact_misses: self.artifact_misses + other.artifact_misses,
         }
     }
 
@@ -311,7 +326,78 @@ impl OracleStats {
             generation_resets: self
                 .generation_resets
                 .saturating_sub(baseline.generation_resets),
+            artifact_hits: self.artifact_hits.saturating_sub(baseline.artifact_hits),
+            artifact_misses: self
+                .artifact_misses
+                .saturating_sub(baseline.artifact_misses),
         }
+    }
+}
+
+/// Which tier of the oracle stack produced an answer — the explicit
+/// tiered-answer contract of the redesigned front door. Classified from
+/// a per-query [`OracleStats`] window ([`OracleStats::delta_since`])
+/// and surfaced in serve replies as the `answer_source` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnswerSource {
+    /// The precomputed artifact answered (verdict, witness, or cut
+    /// certificate) — no live solver state was touched.
+    Artifact,
+    /// Live warm state answered: a monotone witness, memoized answer,
+    /// or cache hit. No LP ran for the answer itself.
+    Witness,
+    /// The approximation certified the answer early (λ ≥ 1 threshold
+    /// certificate) instead of running its full phase schedule.
+    Threshold,
+    /// A full solve (exact LP or complete approximation schedule)
+    /// produced the answer.
+    FullSolve,
+}
+
+impl AnswerSource {
+    /// Classifies the cheapest tier that fired in a per-query stats
+    /// window. Tiers are checked cheapest-first: an artifact hit never
+    /// touches live state, warm state never runs an LP, a threshold
+    /// certificate stops the approximation early.
+    pub fn classify(delta: &OracleStats) -> AnswerSource {
+        if delta.artifact_hits > 0 {
+            AnswerSource::Artifact
+        } else if delta.warm_start_hits > 0 || delta.cache_hits > 0 {
+            AnswerSource::Witness
+        } else if delta.threshold_certified > 0 {
+            AnswerSource::Threshold
+        } else {
+            AnswerSource::FullSolve
+        }
+    }
+
+    /// The stable wire name (`artifact`, `witness`, `threshold`,
+    /// `full_solve`) used by the serve protocol; renaming one is a
+    /// protocol break.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AnswerSource::Artifact => "artifact",
+            AnswerSource::Witness => "witness",
+            AnswerSource::Threshold => "threshold",
+            AnswerSource::FullSolve => "full_solve",
+        }
+    }
+
+    /// Parses a wire name back ([`Self::as_str`] round trip).
+    pub fn parse(s: &str) -> Option<AnswerSource> {
+        match s {
+            "artifact" => Some(AnswerSource::Artifact),
+            "witness" => Some(AnswerSource::Witness),
+            "threshold" => Some(AnswerSource::Threshold),
+            "full_solve" => Some(AnswerSource::FullSolve),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AnswerSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -335,8 +421,10 @@ impl Counter {
 }
 
 /// Declarative backend selection, carried by configs ([`crate::IspConfig`],
-/// the sim `Scenario`) and the CLI `--oracle` flag.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+/// the sim `Scenario`) and the CLI `--oracle` flag. Instantiate through
+/// [`OracleBuilder`] — the single front door for every construction
+/// concern (engine, artifact, warm state, instance pinning).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum OracleSpec {
     /// The exact LPs (system (2) / maximum satisfied demand).
     #[default]
@@ -362,6 +450,15 @@ pub enum OracleSpec {
     /// Incremental exact backend: persistent warm-start state across the
     /// caller's apply/undo deltas (answers identical to [`Exact`](OracleSpec::Exact)).
     Incremental,
+    /// Precomputed-artifact front door over the incremental backend:
+    /// the file at `path` is loaded (once per process) and probed
+    /// before any live state; misses fall through to
+    /// [`Incremental`](OracleSpec::Incremental). Answers identical to
+    /// [`Exact`](OracleSpec::Exact).
+    Artifact {
+        /// Path of the artifact file (`netrec-cli precompute` output).
+        path: String,
+    },
 }
 
 /// Default ε of approximate backends.
@@ -392,33 +489,47 @@ pub const DEFAULT_SIZE_THRESHOLD: usize = 8_000;
 
 impl OracleSpec {
     /// Instantiates the backend on the process default LP engine.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OracleBuilder::new(spec).build()` — the single front door \
+                for engine, artifact, warm-state, and instance concerns"
+    )]
     pub fn build(&self) -> Box<dyn EvalOracle> {
+        #[allow(deprecated)]
         self.build_with_engine(netrec_lp::global_engine())
     }
 
     /// Instantiates the backend on an explicit LP engine (the dense
     /// escape hatch pins every solve the backend makes; the revised
     /// default additionally enables the warm-start state).
+    ///
+    /// For [`OracleSpec::Artifact`] this shim cannot report a load
+    /// failure: a broken artifact file silently degrades to a plain
+    /// incremental backend. [`OracleBuilder::build`] returns the typed
+    /// error instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `OracleBuilder::new(spec).engine(engine).build()` — the \
+                single front door for engine, artifact, warm-state, and \
+                instance concerns"
+    )]
     pub fn build_with_engine(&self, engine: LpEngine) -> Box<dyn EvalOracle> {
-        match *self {
-            OracleSpec::Exact => Box::new(ExactLp::with_engine(engine)),
-            OracleSpec::Approx { epsilon } => {
-                Box::new(ConcurrentFlowApprox::new(epsilon).with_engine(engine))
-            }
-            OracleSpec::Auto { threshold } => {
-                Box::new(AutoOracle::new(threshold, DEFAULT_EPSILON).with_engine(engine))
-            }
-            OracleSpec::CachedExact => Box::new(Cached::new(ExactLp::with_engine(engine))),
-            OracleSpec::CachedApprox { epsilon } => Box::new(Cached::new(
-                ConcurrentFlowApprox::new(epsilon).with_engine(engine),
-            )),
-            OracleSpec::Incremental => Box::new(IncrementalOracle::with_engine(engine)),
+        match self {
+            OracleSpec::Artifact { .. } => OracleBuilder::new(self.clone())
+                .engine(engine)
+                .build()
+                .unwrap_or_else(|_| Box::new(IncrementalOracle::with_engine(engine))),
+            other => OracleBuilder::new(other.clone())
+                .engine(engine)
+                .build()
+                .expect("non-artifact specs build infallibly"),
         }
     }
 
     /// Parses a CLI argument: `exact`, `approx`, `approx:<eps>`, `auto`,
     /// `auto:<threshold>`, `cached` / `cached-exact`, `cached-approx`,
-    /// `cached-approx:<eps>`, `incremental`.
+    /// `cached-approx:<eps>`, `incremental`, `artifact:path=<file>`
+    /// (alias `artifact:<file>`).
     pub fn parse(s: &str) -> Option<OracleSpec> {
         match s {
             "exact" => Some(OracleSpec::Exact),
@@ -453,6 +564,19 @@ impl OracleSpec {
                         .ok()
                         .map(|threshold| OracleSpec::Auto { threshold });
                 }
+                if let Some(rest) = s.strip_prefix("artifact:") {
+                    // Canonical form is `artifact:path=<file>`; the bare
+                    // `artifact:<file>` alias normalizes to it (the
+                    // campaign grid relies on both spellings landing on
+                    // one canonical encoding).
+                    let path = rest.strip_prefix("path=").unwrap_or(rest);
+                    if path.is_empty() {
+                        return None;
+                    }
+                    return Some(OracleSpec::Artifact {
+                        path: path.to_string(),
+                    });
+                }
                 None
             }
         }
@@ -463,7 +587,10 @@ impl OracleSpec {
     /// [`RoutabilityMode::uses_exact`]).
     pub fn uses_exact_split(&self, enabled_edges: usize, demands: usize) -> bool {
         match self {
-            OracleSpec::Exact | OracleSpec::CachedExact | OracleSpec::Incremental => true,
+            OracleSpec::Exact
+            | OracleSpec::CachedExact
+            | OracleSpec::Incremental
+            | OracleSpec::Artifact { .. } => true,
             OracleSpec::Approx { .. } | OracleSpec::CachedApprox { .. } => false,
             OracleSpec::Auto { threshold } => enabled_edges * demands <= *threshold,
         }
@@ -479,7 +606,136 @@ impl std::fmt::Display for OracleSpec {
             OracleSpec::CachedExact => write!(f, "cached-exact"),
             OracleSpec::CachedApprox { epsilon } => write!(f, "cached-approx:{epsilon}"),
             OracleSpec::Incremental => write!(f, "incremental"),
+            OracleSpec::Artifact { path } => write!(f, "artifact:path={path}"),
         }
+    }
+}
+
+/// The single front door for oracle construction: every concern that
+/// used to live in a separate constructor — the LP engine, a
+/// precomputed artifact, transferable warm state, pinning to a base
+/// instance — is a builder method, and every call site in the stack
+/// (solvers, runner, campaign, serve, CLI) goes through here.
+///
+/// ```
+/// use netrec_core::{OracleBuilder, OracleSpec};
+///
+/// let oracle = OracleBuilder::new(OracleSpec::Incremental)
+///     .engine(netrec_lp::LpEngine::Revised)
+///     .build()
+///     .unwrap();
+/// assert_eq!(oracle.name(), "incremental");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OracleBuilder {
+    spec: OracleSpec,
+    engine: Option<LpEngine>,
+    artifact: Option<Arc<RoutabilityArtifact>>,
+    warm: Option<IncSnapshot>,
+    require_generation: Option<Vec<u64>>,
+}
+
+impl OracleBuilder {
+    /// Starts a builder for the given backend selection.
+    pub fn new(spec: OracleSpec) -> Self {
+        OracleBuilder {
+            spec,
+            ..OracleBuilder::default()
+        }
+    }
+
+    /// Pins every solve to an explicit LP engine (default: the process
+    /// global engine).
+    pub fn engine(mut self, engine: LpEngine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Fronts the backend with an already-loaded precomputed artifact
+    /// (shared read-only; one [`Arc`] can serve many oracles). With
+    /// [`OracleSpec::Artifact`], this overrides the spec's path —
+    /// nothing is loaded from disk.
+    pub fn artifact(mut self, artifact: Arc<RoutabilityArtifact>) -> Self {
+        self.artifact = Some(artifact);
+        self
+    }
+
+    /// Seeds the incremental backend with transferable warm state
+    /// (witnesses + generation) from
+    /// [`IncrementalOracle::snapshot_state`]. This is how a resident
+    /// session forks warm state; specs without an incremental backend
+    /// ignore it.
+    pub fn warm_state(mut self, snapshot: &IncSnapshot) -> Self {
+        self.warm = Some(snapshot.clone());
+        self
+    }
+
+    /// Generation policy: require any artifact to have been precomputed
+    /// for exactly this base instance, failing [`Self::build`] instead
+    /// of silently missing on every query. Without this, a
+    /// non-matching artifact is lenient — it just never hits (the
+    /// campaign grid shares one artifact across scenarios where only
+    /// some match).
+    pub fn require_instance(mut self, graph: &Graph, demands: &[Demand]) -> Self {
+        self.require_generation = Some(generation_key_of(graph, demands));
+        self
+    }
+
+    /// Instantiates the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::Artifact`] when an artifact file cannot be
+    /// loaded (torn, truncated, version-mismatched, malformed — see
+    /// [`artifact::ArtifactError`]) or fails the
+    /// [`Self::require_instance`] pin. All other specs build
+    /// infallibly.
+    pub fn build(self) -> Result<Box<dyn EvalOracle>, RecoveryError> {
+        let engine = self.engine.unwrap_or_else(netrec_lp::global_engine);
+        // Resolve the artifact first: an explicit Arc wins, otherwise
+        // an Artifact spec loads (and caches) its path.
+        let artifact = match (&self.spec, self.artifact) {
+            (_, Some(artifact)) => Some(artifact),
+            (OracleSpec::Artifact { path }, None) => Some(
+                RoutabilityArtifact::cached_load(std::path::Path::new(path))
+                    .map_err(RecoveryError::from)?,
+            ),
+            _ => None,
+        };
+        if let (Some(artifact), Some(generation)) = (&artifact, &self.require_generation) {
+            if artifact.generation_key() != generation.as_slice() {
+                return Err(RecoveryError::Artifact(
+                    artifact::ArtifactError::InstanceMismatch.to_string(),
+                ));
+            }
+        }
+        let incremental = |warm: &Option<IncSnapshot>| {
+            let oracle = IncrementalOracle::with_engine(engine);
+            if let Some(snapshot) = warm {
+                oracle.restore_state(snapshot);
+            }
+            oracle
+        };
+        let base: Box<dyn EvalOracle> = match &self.spec {
+            OracleSpec::Exact => Box::new(ExactLp::with_engine(engine)),
+            OracleSpec::Approx { epsilon } => {
+                Box::new(ConcurrentFlowApprox::new(*epsilon).with_engine(engine))
+            }
+            OracleSpec::Auto { threshold } => {
+                Box::new(AutoOracle::new(*threshold, DEFAULT_EPSILON).with_engine(engine))
+            }
+            OracleSpec::CachedExact => Box::new(Cached::new(ExactLp::with_engine(engine))),
+            OracleSpec::CachedApprox { epsilon } => Box::new(Cached::new(
+                ConcurrentFlowApprox::new(*epsilon).with_engine(engine),
+            )),
+            OracleSpec::Incremental | OracleSpec::Artifact { .. } => {
+                Box::new(incremental(&self.warm))
+            }
+        };
+        Ok(match artifact {
+            Some(artifact) => Box::new(ArtifactOracle::new(artifact, base)),
+            None => base,
+        })
     }
 }
 
@@ -634,11 +890,25 @@ mod tests {
             let spec = OracleSpec::parse(s).unwrap();
             let rendered = spec.to_string();
             assert_eq!(
-                OracleSpec::parse(&rendered).or(Some(spec)),
+                OracleSpec::parse(&rendered).or(Some(spec.clone())),
                 Some(spec),
                 "{s}"
             );
         }
+        // The artifact variant renders canonically and round-trips; the
+        // bare-path alias normalizes to the canonical form.
+        let spec = OracleSpec::parse("artifact:path=/tmp/fig7.nra").unwrap();
+        assert_eq!(
+            spec,
+            OracleSpec::Artifact {
+                path: "/tmp/fig7.nra".to_string()
+            }
+        );
+        assert_eq!(spec.to_string(), "artifact:path=/tmp/fig7.nra");
+        assert_eq!(OracleSpec::parse(&spec.to_string()), Some(spec.clone()));
+        assert_eq!(OracleSpec::parse("artifact:/tmp/fig7.nra"), Some(spec));
+        assert!(OracleSpec::parse("artifact:").is_none());
+        assert!(OracleSpec::parse("artifact:path=").is_none());
         assert_eq!(
             OracleSpec::parse("approx:0.1"),
             Some(OracleSpec::Approx { epsilon: 0.1 })
@@ -674,7 +944,7 @@ mod tests {
             OracleSpec::CachedExact,
             OracleSpec::CachedApprox { epsilon: 0.05 },
         ] {
-            let oracle = spec.build();
+            let oracle = OracleBuilder::new(spec.clone()).build().unwrap();
             assert!(oracle.is_routable(&g.view(), &fits).unwrap(), "{spec}");
             assert!(!oracle.is_routable(&g.view(), &over).unwrap(), "{spec}");
             let sat = oracle.satisfied(&g.view(), &fits).unwrap();
@@ -731,7 +1001,7 @@ mod tests {
     #[test]
     fn delta_since_reports_the_window() {
         let g = square();
-        let oracle = OracleSpec::Exact.build();
+        let oracle = OracleBuilder::new(OracleSpec::Exact).build().unwrap();
         let demands = [Demand::new(g.node(0), g.node(3), 8.0)];
         oracle.is_routable(&g.view(), &demands).unwrap();
         let baseline = oracle.stats();
@@ -759,7 +1029,7 @@ mod tests {
             OracleSpec::CachedExact,
             OracleSpec::Incremental,
         ] {
-            let oracle = spec.build();
+            let oracle = OracleBuilder::new(spec.clone()).build().unwrap();
             oracle.is_routable(&g.view(), &demands).unwrap();
             oracle.satisfied(&g.view(), &demands).unwrap();
             assert!(oracle.stats().queries() > 0, "{spec}");

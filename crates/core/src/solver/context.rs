@@ -146,12 +146,12 @@ impl<'a> SolveContext<'a> {
     /// The oracle backend this run must use, given the solver's own
     /// `default`: the context override wins when set.
     pub fn oracle_spec(&self, default: OracleSpec) -> OracleSpec {
-        self.oracle.unwrap_or(default)
+        self.oracle.clone().unwrap_or(default)
     }
 
     /// The raw oracle override, if any.
     pub fn oracle_override(&self) -> Option<OracleSpec> {
-        self.oracle
+        self.oracle.clone()
     }
 
     /// Removes and returns the oracle override. Used by solvers whose

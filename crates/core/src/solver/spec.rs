@@ -322,7 +322,7 @@ impl fmt::Display for SolverSpec {
                 if config.exact_split_lp != defaults.exact_split_lp {
                     options.push(format!("exact-split={}", config.exact_split_lp));
                 }
-                if let Some(oracle) = config.oracle {
+                if let Some(oracle) = &config.oracle {
                     options.push(format!("oracle={oracle}"));
                 }
             }
@@ -346,7 +346,7 @@ impl fmt::Display for SolverSpec {
                 if config.max_hops != defaults.max_hops {
                     options.push(format!("hops={}", config.max_hops));
                 }
-                if let Some(oracle) = config.oracle {
+                if let Some(oracle) = &config.oracle {
                     options.push(format!("oracle={oracle}"));
                 }
             }
@@ -355,7 +355,7 @@ impl fmt::Display for SolverSpec {
                 if config.max_eliminations != defaults.max_eliminations {
                     options.push(format!("eliminations={}", config.max_eliminations));
                 }
-                if let Some(oracle) = config.oracle {
+                if let Some(oracle) = &config.oracle {
                     options.push(format!("oracle={oracle}"));
                 }
             }

@@ -1,12 +1,16 @@
 //! Property tests of the evaluation-oracle layer: the approximate
-//! backend is conservative w.r.t. the exact one, and the cache decorator
-//! is observationally identical to its inner backend.
+//! backend is conservative w.r.t. the exact one, the cache decorator
+//! is observationally identical to its inner backend, and the
+//! precomputed-artifact front is answer-identical to the live exact
+//! backends no matter which states were swept offline.
 
+use netrec_core::oracle::artifact::ArtifactBuilder;
 use netrec_core::oracle::{Cached, ConcurrentFlowApprox, ExactLp, IncrementalOracle};
-use netrec_core::{RoutabilityOracle, SatisfactionOracle};
+use netrec_core::{ArtifactOracle, RoutabilityOracle, SatisfactionOracle};
 use netrec_graph::Graph;
 use netrec_lp::mcf::Demand;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Random connected graph: a random tree over `n` nodes plus extra
 /// edges, capacities in [0.5, 16].
@@ -180,5 +184,136 @@ proptest! {
             let (ta, tb): (f64, f64) = (a.iter().sum(), b.iter().sum());
             prop_assert!((ta - tb).abs() < 1e-6, "totals diverge: {} vs {}", ta, tb);
         }
+    }
+
+    /// Artifact integrity (satellite requirement): fronting the
+    /// incremental backend with a precomputed artifact never changes an
+    /// answer — `ArtifactOracle` ≡ `IncrementalOracle` ≡ `ExactLp` over
+    /// random disruption sequences, for *any* swept subset of the
+    /// visited states (including states the walk never revisits, and
+    /// whether a query hits a verdict, transfers through a witness or a
+    /// cut certificate, or falls through on a miss).
+    #[test]
+    fn artifact_front_never_changes_an_answer(
+        g in arb_graph(),
+        s1 in 0usize..10,
+        t1 in 0usize..10,
+        d1 in 0.2f64..20.0,
+        s2 in 0usize..10,
+        t2 in 0usize..10,
+        d2 in 0.2f64..20.0,
+        toggles in proptest::collection::vec((any::<bool>(), 0usize..64), 1..20),
+        swept in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let n = g.node_count();
+        let m = g.edge_count();
+        let demands = vec![
+            Demand::new(g.node(s1 % n), g.node(t1 % n), d1),
+            Demand::new(g.node(s2 % n), g.node(t2 % n), d2),
+        ];
+        // Offline pass: walk the disruption sequence once with the exact
+        // backend, sweeping an arbitrary subset of the states into the
+        // artifact.
+        let exact = ExactLp::new();
+        let mut builder = ArtifactBuilder::new(&g, &demands);
+        let mut node_mask = vec![false; n];
+        let mut edge_mask = vec![false; m];
+        for (step, &(toggle_node, idx)) in toggles.iter().enumerate() {
+            if toggle_node || m == 0 {
+                node_mask[idx % n] ^= true;
+            } else {
+                edge_mask[idx % m] ^= true;
+            }
+            if swept[step % swept.len()] {
+                let view = g.view().with_node_mask(&node_mask).with_edge_mask(&edge_mask);
+                let verdict = exact.is_routable(&view, &demands).unwrap();
+                builder.record(&view, &demands, verdict);
+            }
+        }
+        let artifact = Arc::new(builder.finish("proptest", &["walk".to_string()]));
+
+        // Online pass: replay the same sequence against the fronted
+        // oracle; every verdict must match the live exact backends.
+        let fronted = ArtifactOracle::new(Arc::clone(&artifact), Box::new(IncrementalOracle::new()));
+        let incremental = IncrementalOracle::new();
+        let mut node_mask = vec![false; n];
+        let mut edge_mask = vec![false; m];
+        for &(toggle_node, idx) in &toggles {
+            if toggle_node || m == 0 {
+                node_mask[idx % n] ^= true;
+            } else {
+                edge_mask[idx % m] ^= true;
+            }
+            let view = g.view().with_node_mask(&node_mask).with_edge_mask(&edge_mask);
+            let truth = exact.is_routable(&view, &demands).unwrap();
+            prop_assert_eq!(
+                fronted.is_routable(&view, &demands).unwrap(),
+                truth,
+                "artifact front diverged from exact"
+            );
+            prop_assert_eq!(
+                incremental.is_routable(&view, &demands).unwrap(),
+                truth,
+                "incremental diverged from exact"
+            );
+            // Satisfaction bypasses the artifact by design and stays
+            // exact-equivalent in total.
+            let a = fronted.satisfied(&view, &demands).unwrap();
+            let b = exact.satisfied(&view, &demands).unwrap();
+            let (ta, tb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+            prop_assert!((ta - tb).abs() < 1e-6, "totals diverge: {} vs {}", ta, tb);
+        }
+    }
+
+    /// Any single-byte corruption or truncation of a saved artifact is
+    /// rejected at load with a typed error — never a panic, never a
+    /// silently different artifact.
+    #[test]
+    fn corrupted_artifact_files_never_load(
+        g in arb_graph(),
+        s in 0usize..10,
+        t in 0usize..10,
+        d in 0.2f64..20.0,
+        cut_at in 0usize..65536,
+        flip_at in 0usize..65536,
+        flip_with in 1u32..256,
+    ) {
+        let flip_with = flip_with as u8;
+        let n = g.node_count();
+        prop_assume!(s % n != t % n);
+        let demands = vec![Demand::new(g.node(s % n), g.node(t % n), d)];
+        let exact = ExactLp::new();
+        let mut builder = ArtifactBuilder::new(&g, &demands);
+        let verdict = exact.is_routable(&g.view(), &demands).unwrap();
+        builder.record(&g.view(), &demands, verdict);
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "netrec-proptest-artifact-{}-{:x}.nra",
+            std::process::id(),
+            (cut_at << 16) | flip_at
+        ));
+        builder
+            .finish("proptest", &["intact".to_string()])
+            .save(&path, false)
+            .unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncation (a torn copy) at any interior offset.
+        let cut = cut_at % full.len();
+        std::fs::write(&path, &full[..cut]).unwrap();
+        prop_assert!(netrec_core::RoutabilityArtifact::load(&path).is_err());
+
+        // A single flipped byte anywhere in the file.
+        let mut flipped = full.clone();
+        let at = flip_at % flipped.len();
+        flipped[at] ^= flip_with;
+        std::fs::write(&path, &flipped).unwrap();
+        prop_assert!(
+            netrec_core::RoutabilityArtifact::load(&path).is_err(),
+            "flipping byte {} with {:#04x} went undetected",
+            at,
+            flip_with
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -8,8 +8,10 @@
 //! format, so the round-trip property is serialize → deserialize →
 //! identical plan on a fixed problem.
 
+use netrec_core::oracle::artifact::ArtifactBuilder;
+use netrec_core::oracle::ExactLp;
 use netrec_core::solver::{registry, ProgressEvent, SolveContext, SolverSpec};
-use netrec_core::{RecoveryError, RecoveryProblem};
+use netrec_core::{OracleBuilder, OracleSpec, RecoveryError, RecoveryProblem, RoutabilityOracle};
 use netrec_graph::Graph;
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,6 +58,156 @@ fn two_lines() -> RecoveryProblem {
         p.break_edge(e, 1.0).unwrap();
     }
     p
+}
+
+/// Exhaustively enumerates every repair subset of a fixture's broken
+/// component set as a `(node_mask, edge_mask)` pair — every view any
+/// solver can reach while planning on that fixture.
+fn every_repair_state(problem: &RecoveryProblem) -> Vec<(Vec<bool>, Vec<bool>)> {
+    let (base_nodes, base_edges) = problem.working_masks();
+    let broken_nodes: Vec<usize> = (0..base_nodes.len()).filter(|&i| !base_nodes[i]).collect();
+    let broken_edges: Vec<usize> = (0..base_edges.len()).filter(|&i| !base_edges[i]).collect();
+    let k = broken_nodes.len() + broken_edges.len();
+    (0..1u32 << k)
+        .map(|bits| {
+            let mut nm = base_nodes.clone();
+            let mut em = base_edges.clone();
+            for (j, &n) in broken_nodes.iter().enumerate() {
+                if bits >> j & 1 == 1 {
+                    nm[n] = true;
+                }
+            }
+            for (j, &e) in broken_edges.iter().enumerate() {
+                if bits >> (broken_nodes.len() + j) & 1 == 1 {
+                    em[e] = true;
+                }
+            }
+            (nm, em)
+        })
+        .collect()
+}
+
+/// Precomputes an artifact covering *every* repair state of a fixture
+/// (exact verdicts), so an artifact-fronted oracle never misses on it.
+fn sweep_artifact(problem: &RecoveryProblem, tag: &str) -> std::path::PathBuf {
+    let demands = problem.demands();
+    let exact = ExactLp::new();
+    let mut builder = ArtifactBuilder::new(problem.graph(), &demands);
+    for (nm, em) in every_repair_state(problem) {
+        let view = problem.full_view().with_node_mask(&nm).with_edge_mask(&em);
+        let routable = exact.is_routable(&view, &demands).unwrap();
+        builder.record(&view, &demands, routable);
+    }
+    let path = std::env::temp_dir().join(format!(
+        "netrec-conformance-{tag}-{}.nra",
+        std::process::id()
+    ));
+    builder
+        .finish(tag, &["exhaustive".to_string()])
+        .save(&path, false)
+        .unwrap();
+    path
+}
+
+/// The deprecated `OracleSpec::build`/`build_with_engine` shims must
+/// stay answer-identical to the [`OracleBuilder`] front door for every
+/// spec variant, probed over every reachable repair state of both
+/// fixtures — migrating a caller to the builder can never flip an
+/// answer.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_agree_with_the_builder_front_door() {
+    for (fixture_name, problem) in [("two_lines", two_lines()), ("diamond", diamond())] {
+        let artifact = sweep_artifact(&problem, &format!("shim-{fixture_name}"));
+        let demands = problem.demands();
+        let specs = vec![
+            OracleSpec::Exact,
+            OracleSpec::Approx { epsilon: 0.05 },
+            OracleSpec::Auto { threshold: 8 },
+            OracleSpec::CachedExact,
+            OracleSpec::CachedApprox { epsilon: 0.05 },
+            OracleSpec::Incremental,
+            OracleSpec::Artifact {
+                path: artifact.to_string_lossy().into_owned(),
+            },
+        ];
+        for spec in specs {
+            let old = spec.build();
+            let new = OracleBuilder::new(spec.clone()).build().unwrap();
+            assert_eq!(old.name(), new.name(), "{fixture_name}: {spec:?}");
+            for (nm, em) in every_repair_state(&problem) {
+                let view = problem.full_view().with_node_mask(&nm).with_edge_mask(&em);
+                assert_eq!(
+                    old.is_routable(&view, &demands).unwrap(),
+                    new.is_routable(&view, &demands).unwrap(),
+                    "{fixture_name}: {spec:?} diverged between shim and builder"
+                );
+            }
+        }
+        // The one contract the shims cannot honor: a broken artifact
+        // file silently degrades to the plain incremental backend, while
+        // the builder reports the typed load error.
+        let missing = OracleSpec::Artifact {
+            path: "/nonexistent/conformance.nra".into(),
+        };
+        assert!(OracleBuilder::new(missing.clone()).build().is_err());
+        let degraded = missing.build();
+        assert!(degraded.is_routable(&problem.full_view(), &demands).is_ok());
+        let _ = std::fs::remove_file(&artifact);
+    }
+}
+
+/// The exact-answer oracle family — exact, incremental, cached-exact,
+/// and the precomputed artifact front — is plan-identical for every
+/// registry solver on the fixtures: fronting the oracle with an
+/// artifact may change costs, never repairs.
+#[test]
+fn exact_equivalent_oracles_plan_identically_for_every_solver() {
+    for (fixture_name, problem) in [("two_lines", two_lines()), ("diamond", diamond())] {
+        let artifact = sweep_artifact(&problem, &format!("plan-{fixture_name}"));
+        let overrides = vec![
+            OracleSpec::Exact,
+            OracleSpec::Incremental,
+            OracleSpec::CachedExact,
+            OracleSpec::Artifact {
+                path: artifact.to_string_lossy().into_owned(),
+            },
+        ];
+        for entry in registry() {
+            let solver = entry.spec.build();
+            let mut plans = Vec::new();
+            for spec in &overrides {
+                let mut ctx = SolveContext::new()
+                    .with_deadline(Duration::from_secs(60))
+                    .with_oracle(spec.clone());
+                let plan = solver.solve(&problem, &mut ctx).unwrap_or_else(|e| {
+                    panic!("{} with {spec:?} on {fixture_name}: {e}", entry.name())
+                });
+                assert!(
+                    plan.verify_routable(&problem).unwrap(),
+                    "{} with {spec:?} plan infeasible on {fixture_name}",
+                    entry.name()
+                );
+                plans.push((spec.clone(), plan));
+            }
+            let (_, reference) = &plans[0];
+            for (spec, plan) in &plans[1..] {
+                assert_eq!(
+                    plan.repaired_nodes,
+                    reference.repaired_nodes,
+                    "{} node repairs diverge under {spec:?} on {fixture_name}",
+                    entry.name()
+                );
+                assert_eq!(
+                    plan.repaired_edges,
+                    reference.repaired_edges,
+                    "{} edge repairs diverge under {spec:?} on {fixture_name}",
+                    entry.name()
+                );
+            }
+        }
+        let _ = std::fs::remove_file(&artifact);
+    }
 }
 
 #[test]

@@ -20,7 +20,9 @@ use crate::session::Session;
 use netrec_core::fault::{FaultPlan, Faults};
 use netrec_core::oracle::OracleStats;
 use netrec_core::solver::SolverSpec;
-use netrec_core::{RecoveryError, RecoveryPlan, RecoveryProblem, StatePatch};
+use netrec_core::{
+    AnswerSource, RecoveryError, RecoveryPlan, RecoveryProblem, RoutabilityArtifact, StatePatch,
+};
 use netrec_graph::{EdgeId, NodeId};
 use netrec_json::{object, Json};
 use std::collections::HashMap;
@@ -37,6 +39,9 @@ pub struct Engine {
     default_solver: SolverSpec,
     shutdown: AtomicBool,
     faults: Option<FaultPlan>,
+    /// Shared precomputed routability artifact, attached to every
+    /// session (created, forked, or restored) when present.
+    artifact: Option<Arc<RoutabilityArtifact>>,
     /// Request index source for callers that dispatch without a
     /// transport (tests, benches, the CLI's inline loop): the server
     /// assigns indices at read time instead, so fault schedules hit the
@@ -54,6 +59,7 @@ impl Engine {
             default_solver,
             shutdown: AtomicBool::new(false),
             faults: None,
+            artifact: None,
             dispatch_counter: AtomicU64::new(0),
         }
     }
@@ -63,6 +69,21 @@ impl Engine {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Attaches a shared precomputed routability artifact
+    /// (`netrec-cli precompute`): every session probes it before its
+    /// warm oracle on exact routability queries. Verdicts are
+    /// unchanged — the artifact stores proven answers — only costs and
+    /// the reported `answer_source` differ.
+    pub fn with_artifact(mut self, artifact: Arc<RoutabilityArtifact>) -> Self {
+        self.artifact = Some(artifact);
+        self
+    }
+
+    /// The attached artifact, if any.
+    pub fn artifact(&self) -> Option<&Arc<RoutabilityArtifact>> {
+        self.artifact.as_ref()
     }
 
     /// The armed fault plan, if any.
@@ -98,11 +119,11 @@ impl Engine {
     /// never blocks another session's queries.
     fn session(&self, name: &str) -> Arc<Mutex<Session>> {
         let mut table = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
-        Arc::clone(
-            table
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Mutex::new(Session::new(Arc::clone(&self.base))))),
-        )
+        Arc::clone(table.entry(name.to_string()).or_insert_with(|| {
+            let mut session = Session::new(Arc::clone(&self.base));
+            session.set_artifact(self.artifact.clone());
+            Arc::new(Mutex::new(session))
+        }))
     }
 
     /// Processes one request line and returns the response line
@@ -275,12 +296,13 @@ impl Engine {
                     }
                 } else {
                     match session.query_routability() {
-                        Ok((routable, cost)) => Response::ok(
+                        Ok((routable, cost, source)) => Response::ok(
                             &req.id,
                             "query_routability",
                             vec![
                                 ("generation", generation(session)),
                                 ("routable", Json::Bool(routable)),
+                                ("answer_source", Json::String(source.as_str().to_string())),
                                 ("oracle", stats_json(&cost)),
                             ],
                         ),
@@ -323,19 +345,29 @@ impl Engine {
                 // genuinely (the context hook): it fails on the first
                 // checkpoint with zero side effects.
                 match session.query_plan(&spec, deadline_at, faults.solve_error) {
-                    Ok(plan) => Response::ok(
-                        &req.id,
-                        "query_plan",
-                        vec![
-                            ("generation", generation(session)),
-                            ("solver", Json::String(spec.to_string())),
-                            ("plan", plan_json(&plan, session.problem())),
-                            (
-                                "oracle",
-                                stats_json(&session.oracle_stats().delta_since(&baseline)),
-                            ),
-                        ],
-                    ),
+                    Ok(plan) => {
+                        let delta = session.oracle_stats().delta_since(&baseline);
+                        Response::ok(
+                            &req.id,
+                            "query_plan",
+                            vec![
+                                ("generation", generation(session)),
+                                ("solver", Json::String(spec.to_string())),
+                                ("plan", plan_json(&plan, session.problem())),
+                                // Plans are always fresh solves (the
+                                // replay-determinism contract), so the
+                                // classified tier is `full_solve` unless
+                                // a future warm-plan path changes that.
+                                (
+                                    "answer_source",
+                                    Json::String(
+                                        AnswerSource::classify(&delta).as_str().to_string(),
+                                    ),
+                                ),
+                                ("oracle", stats_json(&delta)),
+                            ],
+                        )
+                    }
                     Err(e)
                         if *degraded_ok
                             && (e.is_interruption() || e == RecoveryError::InjectedFault) =>
@@ -510,7 +542,7 @@ impl Engine {
         let broken_edges =
             cost_pairs(&doc, "broken_edges").map_err(|e| format!("{}: {e}", path.display()))?;
         let demands = demand_triples(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
-        let session = Session::restore(
+        let mut session = Session::restore(
             Arc::clone(&self.base),
             &broken_nodes,
             &broken_edges,
@@ -518,6 +550,7 @@ impl Engine {
             events_applied,
         )
         .map_err(|e| format!("{}: {e}", path.display()))?;
+        session.set_artifact(self.artifact.clone());
         if session.fingerprint() != generation {
             return Err(format!(
                 "{}: generation mismatch (snapshot {:016x}, rebuilt {:016x}) — \
@@ -713,6 +746,11 @@ fn stats_json(stats: &OracleStats) -> Json {
         ),
         ("cache_hits", Json::Number(stats.cache_hits as f64)),
         ("full_solves", Json::Number(stats.full_solves as f64)),
+        ("artifact_hits", Json::Number(stats.artifact_hits as f64)),
+        (
+            "artifact_misses",
+            Json::Number(stats.artifact_misses as f64),
+        ),
     ])
 }
 
@@ -1148,5 +1186,94 @@ mod tests {
         let e2 = engine();
         assert_eq!(e2.restore_from_file(&path).unwrap(), "default");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Sweeps the test engine's base (intact plus every single-edge
+    /// cut) into an artifact.
+    fn sweep_base(base: &RecoveryProblem) -> Arc<RoutabilityArtifact> {
+        use netrec_core::oracle::artifact::ArtifactBuilder;
+        use netrec_core::oracle::{ExactLp, RoutabilityOracle};
+        let demands = base.demands();
+        let exact = ExactLp::new();
+        let mut builder = ArtifactBuilder::new(base.graph(), &demands);
+        let edge_count = base.graph().edge_count();
+        let mut masks: Vec<Vec<bool>> = vec![vec![true; edge_count]];
+        for e in 0..edge_count {
+            let mut m = vec![true; edge_count];
+            m[e] = false;
+            masks.push(m);
+        }
+        for mask in &masks {
+            let view = base.graph().view().with_edge_mask(mask);
+            let routable = exact.is_routable(&view, &demands).unwrap();
+            builder.record(&view, &demands, routable);
+        }
+        Arc::new(builder.finish("square", &["single-cut".to_string()]))
+    }
+
+    #[test]
+    fn artifact_changes_provenance_but_never_answers() {
+        let plain = engine();
+        let artifact = sweep_base(plain.base());
+        let front = engine().with_artifact(Arc::clone(&artifact));
+        assert!(front.artifact().is_some());
+        let script = [
+            r#"{"v":1,"id":"q0","op":"query_routability"}"#.to_string(),
+            r#"{"v":1,"id":"d1","op":"disrupt","edges":[3],"cost":2.0}"#.to_string(),
+            r#"{"v":1,"id":"q1","op":"query_routability"}"#.to_string(),
+            r#"{"v":1,"id":"q2","op":"query_routability"}"#.to_string(),
+        ];
+        for line in &script {
+            let a = ok(&plain, line);
+            let b = ok(&front, line);
+            // Same verdicts and generations; only provenance (the
+            // answer_source tier and the oracle cost counters) may
+            // differ between the cold and artifact-fronted engines.
+            assert_eq!(a.json().get("routable"), b.json().get("routable"));
+            assert_eq!(a.json().get("generation"), b.json().get("generation"));
+        }
+        // The swept single-cut state was answered by the artifact on
+        // one engine and by a live solve on the other.
+        let a = ok(&plain, r#"{"v":1,"id":"q3","op":"query_routability"}"#);
+        let b = ok(&front, r#"{"v":1,"id":"q3","op":"query_routability"}"#);
+        assert_eq!(
+            a.json().get("answer_source"),
+            Some(&Json::String("full_solve".to_string())),
+            "{}",
+            a.to_line()
+        );
+        assert_eq!(
+            b.json().get("answer_source"),
+            Some(&Json::String("artifact".to_string())),
+            "{}",
+            b.to_line()
+        );
+        // Cumulative snapshot stats expose the hit rate.
+        let snap = ok(&front, r#"{"v":1,"id":"s0","op":"snapshot"}"#);
+        let oracle = snap.json().get("oracle").cloned().unwrap();
+        assert!(
+            oracle.get("artifact_hits").and_then(Json::as_f64).unwrap() >= 1.0,
+            "{}",
+            snap.to_line()
+        );
+        // Forked sessions inherit the artifact.
+        ok(
+            &front,
+            r#"{"v":1,"id":"f0","op":"snapshot","fork":"child"}"#,
+        );
+        ok(
+            &front,
+            r#"{"v":1,"id":"r0","session":"child","op":"repair","edges":[3]}"#,
+        );
+        let r = ok(
+            &front,
+            r#"{"v":1,"id":"q4","session":"child","op":"query_routability"}"#,
+        );
+        assert_eq!(
+            r.json().get("answer_source"),
+            Some(&Json::String("artifact".to_string())),
+            "{}",
+            r.to_line()
+        );
     }
 }

@@ -22,7 +22,9 @@ use netrec_core::oracle::{
     ConcurrentFlowApprox, EvalOracle, IncrementalOracle, OracleStats, RoutabilityOracle,
 };
 use netrec_core::solver::{SolveContext, SolverSpec};
-use netrec_core::{RecoveryError, RecoveryPlan, RecoveryProblem, StatePatch};
+use netrec_core::{
+    AnswerSource, RecoveryError, RecoveryPlan, RecoveryProblem, RoutabilityArtifact, StatePatch,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -47,17 +49,29 @@ pub struct Session {
     base: Arc<RecoveryProblem>,
     problem: RecoveryProblem,
     oracle: IncrementalOracle,
+    /// Optional precomputed routability artifact, shared read-only
+    /// across every session of the daemon (`netrec-serve --artifact`).
+    /// Probed before the warm oracle on exact routability queries: a
+    /// hit is an O(1)–O(|E|) lookup that touches no live solver state.
+    artifact: Option<Arc<RoutabilityArtifact>>,
+    /// Artifact probe outcomes for this session (the warm oracle's own
+    /// counters cannot see queries the artifact absorbed).
+    artifact_hits: std::cell::Cell<usize>,
+    artifact_misses: std::cell::Cell<usize>,
     /// Protocol events successfully applied since creation (forks
     /// inherit the parent's count — it measures state lineage depth,
     /// not per-session traffic).
     events_applied: usize,
-    /// Memoized routability verdict, valid while `events_applied`
-    /// matches the recorded value. Every mutation goes through
-    /// [`Session::apply_stream`], so an unchanged counter proves the
-    /// observable state is unchanged and the verdict can be replayed in
-    /// O(1) — repeat monitoring queries skip even the O(|V|+|E|)
-    /// canonicalization the warm oracle would pay.
-    routability_cache: std::cell::Cell<Option<(usize, bool)>>,
+    /// Memoized routability verdict and the tier that produced it,
+    /// valid while `events_applied` matches the recorded value. Every
+    /// mutation goes through [`Session::apply_stream`], so an unchanged
+    /// counter proves the observable state is unchanged and the verdict
+    /// can be replayed in O(1) — repeat monitoring queries skip even
+    /// the O(|V|+|E|) canonicalization the warm oracle would pay. The
+    /// replay reports the *original* answer source: the tier contract
+    /// describes where the verdict came from, not the cost of the
+    /// replay.
+    routability_cache: std::cell::Cell<Option<(usize, bool, AnswerSource)>>,
     /// Memoized [`Session::fingerprint`] under the same invalidation
     /// rule — every response carries the generation, and recomputing an
     /// O(|V|+|E|) hash per reply would dominate cheap queries.
@@ -78,11 +92,23 @@ impl Session {
             problem: (*base).clone(),
             oracle: IncrementalOracle::new(),
             base,
+            artifact: None,
+            artifact_hits: std::cell::Cell::new(0),
+            artifact_misses: std::cell::Cell::new(0),
             events_applied: 0,
             routability_cache: std::cell::Cell::new(None),
             fingerprint_cache: std::cell::Cell::new(None),
             last_plan: std::cell::RefCell::new(None),
         }
+    }
+
+    /// Attaches (or detaches) the shared precomputed artifact. Exact
+    /// routability queries probe it before the warm oracle; answers
+    /// stay exact either way (the artifact stores proven verdicts
+    /// only), so attaching one changes costs and provenance, never
+    /// verdicts.
+    pub fn set_artifact(&mut self, artifact: Option<Arc<RoutabilityArtifact>>) {
+        self.artifact = artifact;
     }
 
     /// Rebuilds a session from persisted snapshot parts: stored damage,
@@ -146,6 +172,11 @@ impl Session {
             base: Arc::clone(&self.base),
             problem: self.problem.clone(),
             oracle,
+            // The artifact is shared; probe counters are per-session
+            // traffic and start fresh (like the oracle's own counters).
+            artifact: self.artifact.clone(),
+            artifact_hits: std::cell::Cell::new(0),
+            artifact_misses: std::cell::Cell::new(0),
             events_applied: self.events_applied,
             // The fork shares the parent's state, so its verdict too.
             routability_cache: self.routability_cache.clone(),
@@ -234,32 +265,59 @@ impl Session {
         h.finish()
     }
 
-    /// Answers "is the current state routable?" from warm state,
-    /// returning the verdict plus the oracle work this request cost
-    /// (the delta against the pre-request counters).
+    /// Answers "is the current state routable?" — precomputed artifact
+    /// first (when one is attached), warm oracle on a miss — returning
+    /// the verdict, the oracle work this request cost (the delta
+    /// against the pre-request counters), and the [`AnswerSource`]
+    /// tier that produced the verdict.
     ///
     /// # Errors
     ///
     /// LP-level failures from the oracle.
-    pub fn query_routability(&self) -> Result<(bool, OracleStats), RecoveryError> {
+    pub fn query_routability(&self) -> Result<(bool, OracleStats, AnswerSource), RecoveryError> {
         // Unchanged state ⇒ unchanged verdict: answer in O(1) with a
-        // zero-work stats delta (the oracle was not consulted).
-        if let Some((at, verdict)) = self.routability_cache.get() {
+        // zero-work stats delta (neither artifact nor oracle was
+        // consulted) and the source recorded when the verdict was
+        // actually produced.
+        if let Some((at, verdict, source)) = self.routability_cache.get() {
             if at == self.events_applied {
-                return Ok((verdict, OracleStats::default()));
+                return Ok((verdict, OracleStats::default(), source));
             }
         }
-        let baseline = self.oracle.stats();
         let (nm, em) = self.problem.working_masks();
         let view = self
             .problem
             .full_view()
             .with_node_mask(&nm)
             .with_edge_mask(&em);
-        let routable = self.oracle.is_routable(&view, &self.problem.demands())?;
+        let demands = self.problem.demands();
+        if let Some(artifact) = &self.artifact {
+            if let Some(verdict) = artifact.lookup(&view, &demands) {
+                self.artifact_hits.set(self.artifact_hits.get() + 1);
+                self.routability_cache.set(Some((
+                    self.events_applied,
+                    verdict,
+                    AnswerSource::Artifact,
+                )));
+                let cost = OracleStats {
+                    routability_queries: 1,
+                    artifact_hits: 1,
+                    ..OracleStats::default()
+                };
+                return Ok((verdict, cost, AnswerSource::Artifact));
+            }
+            self.artifact_misses.set(self.artifact_misses.get() + 1);
+        }
+        let baseline = self.oracle.stats();
+        let routable = self.oracle.is_routable(&view, &demands)?;
+        let mut cost = self.oracle.stats().delta_since(&baseline);
+        if self.artifact.is_some() {
+            cost.artifact_misses = 1;
+        }
+        let source = AnswerSource::classify(&cost);
         self.routability_cache
-            .set(Some((self.events_applied, routable)));
-        Ok((routable, self.oracle.stats().delta_since(&baseline)))
+            .set(Some((self.events_applied, routable, source)));
+        Ok((routable, cost, source))
     }
 
     /// Answers routability *degradedly*: a fresh conservative
@@ -280,7 +338,7 @@ impl Session {
     ///
     /// LP-level failures from the fallback oracle.
     pub fn query_routability_degraded(&self) -> Result<(bool, &'static str), RecoveryError> {
-        if let Some((at, verdict)) = self.routability_cache.get() {
+        if let Some((at, verdict, _)) = self.routability_cache.get() {
             if at == self.events_applied {
                 return Ok((verdict, "exact"));
             }
@@ -349,9 +407,16 @@ impl Session {
         self.last_plan.borrow().clone()
     }
 
-    /// Cumulative oracle counters since the session opened.
+    /// Cumulative oracle counters since the session opened, including
+    /// artifact probe outcomes. Queries the artifact absorbed count as
+    /// routability queries here — the counters describe questions asked
+    /// of the session, not of any one backend.
     pub fn oracle_stats(&self) -> OracleStats {
-        self.oracle.stats()
+        let mut stats = self.oracle.stats();
+        stats.routability_queries += self.artifact_hits.get();
+        stats.artifact_hits += self.artifact_hits.get();
+        stats.artifact_misses += self.artifact_misses.get();
+        stats
     }
 
     /// Witness count of the warm oracle state (diagnostics).
@@ -447,7 +512,7 @@ mod tests {
             },
         ])
         .unwrap();
-        let (routable, cost) = s.query_routability().unwrap();
+        let (routable, cost, _) = s.query_routability().unwrap();
         assert!(!routable);
         assert!(cost.routability_queries >= 1, "delta covers this request");
         s.apply_stream(&[StatePatch::RepairEdge {
@@ -460,13 +525,15 @@ mod tests {
     #[test]
     fn repeat_queries_are_replayed_without_oracle_work() {
         let mut s = Session::new(base());
-        let (first, cost) = s.query_routability().unwrap();
+        let (first, cost, source) = s.query_routability().unwrap();
         assert!(first);
         assert!(cost.routability_queries >= 1, "first query pays");
-        // Same state: the verdict replays, the oracle is not consulted.
-        let (again, cost) = s.query_routability().unwrap();
+        // Same state: the verdict replays, the oracle is not consulted,
+        // and the replay reports the original answer source.
+        let (again, cost, replayed) = s.query_routability().unwrap();
         assert!(again);
         assert_eq!(cost, OracleStats::default(), "cached verdict is free");
+        assert_eq!(replayed, source, "replay keeps the original source");
         // Any mutation invalidates the cache.
         s.apply_stream(&[
             StatePatch::BreakEdge {
@@ -479,7 +546,7 @@ mod tests {
             },
         ])
         .unwrap();
-        let (after, cost) = s.query_routability().unwrap();
+        let (after, cost, _) = s.query_routability().unwrap();
         assert!(!after);
         assert!(cost.routability_queries >= 1, "mutation forces a re-answer");
         // The fingerprint cache obeys the same invalidation rule.
@@ -507,6 +574,75 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert!(a.query_routability().unwrap().0, "parent unaffected");
         assert!(!b.query_routability().unwrap().0);
+    }
+
+    #[test]
+    fn attached_artifact_answers_swept_states_without_oracle_work() {
+        use netrec_core::oracle::artifact::ArtifactBuilder;
+        use netrec_core::oracle::ExactLp;
+
+        let base = base();
+        let demands = base.demands();
+        let exact = ExactLp::new();
+        // Sweep the intact state and every single-edge cut offline.
+        let mut builder = ArtifactBuilder::new(base.graph(), &demands);
+        let mut masks: Vec<Vec<bool>> = vec![vec![true; 4]];
+        for e in 0..4 {
+            let mut m = vec![true; 4];
+            m[e] = false;
+            masks.push(m);
+        }
+        for mask in &masks {
+            let view = base.graph().view().with_edge_mask(mask);
+            let routable = exact.is_routable(&view, &demands).unwrap();
+            builder.record(&view, &demands, routable);
+        }
+        let artifact = Arc::new(builder.finish("square", &["single-cut".to_string()]));
+
+        let mut s = Session::new(Arc::clone(&base));
+        s.set_artifact(Some(Arc::clone(&artifact)));
+        s.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(3),
+            cost: 1.0,
+        }])
+        .unwrap();
+        // A swept state: the artifact answers, no solver state touched.
+        let (routable, cost, source) = s.query_routability().unwrap();
+        assert!(routable);
+        assert_eq!(source, netrec_core::AnswerSource::Artifact);
+        assert_eq!(cost.artifact_hits, 1, "{cost:?}");
+        assert_eq!(cost.lp_solves, 0, "{cost:?}");
+        assert_eq!(cost.routability_queries, 1, "{cost:?}");
+        // The O(1) replay reports the original source.
+        let (_, cost, replayed) = s.query_routability().unwrap();
+        assert_eq!(cost, OracleStats::default());
+        assert_eq!(replayed, netrec_core::AnswerSource::Artifact);
+        // Cumulative session stats fold the artifact probes in.
+        let stats = s.oracle_stats();
+        assert_eq!(stats.artifact_hits, 1, "{stats:?}");
+        assert_eq!(stats.routability_queries, 1, "{stats:?}");
+        // Forks share the artifact (fresh counters).
+        let mut f = s.fork();
+        f.apply_stream(&[StatePatch::RepairEdge {
+            edge: EdgeId::new(3),
+        }])
+        .unwrap();
+        let (routable, cost, source) = f.query_routability().unwrap();
+        assert!(routable, "intact square is routable");
+        assert_eq!(source, netrec_core::AnswerSource::Artifact);
+        assert_eq!(cost.artifact_hits, 1, "{cost:?}");
+        assert_eq!(f.oracle_stats().artifact_hits, 1);
+        // An unswept state (two broken edges) misses and falls through
+        // to the warm oracle — verdict still exact, provenance honest.
+        s.apply_stream(&[StatePatch::BreakEdge {
+            edge: EdgeId::new(1),
+            cost: 1.0,
+        }])
+        .unwrap();
+        let (routable, cost, source) = s.query_routability().unwrap();
+        assert!(!routable, "edges 1 and 3 down severs 0→3");
+        assert_ne!(source, netrec_core::AnswerSource::Artifact);
+        assert_eq!(cost.artifact_misses, 1, "{cost:?}");
     }
 
     #[test]
@@ -621,7 +757,7 @@ mod tests {
             "warm oracle untouched"
         );
         // An exact query afterwards pays full price (cache not seeded).
-        let (exact, cost) = s.query_routability().unwrap();
+        let (exact, cost, _) = s.query_routability().unwrap();
         assert_eq!(exact, routable);
         assert!(cost.routability_queries >= 1, "cache was not poisoned");
         // With the verdict cache warm, the degraded path serves it.

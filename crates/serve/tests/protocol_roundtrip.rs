@@ -3,6 +3,8 @@
 //! parser are exact inverses — and parsing never panics on arbitrary
 //! byte soup.
 
+use netrec_core::AnswerSource;
+use netrec_json::Json;
 use netrec_serve::{Op, Request, Response};
 use proptest::prelude::*;
 
@@ -103,6 +105,41 @@ proptest! {
         let line = req.to_line();
         let again = Request::parse(&line).unwrap().to_line();
         prop_assert_eq!(line, again);
+    }
+
+    /// Replies carrying the tiered-answer contract round-trip exactly:
+    /// the `answer_source` wire name survives render → parse → render,
+    /// and every wire name maps back to the [`AnswerSource`] it names.
+    #[test]
+    fn answer_source_survives_response_round_trip(
+        pick in 0usize..4,
+        routable in any::<bool>(),
+        id_num in any::<u64>(),
+    ) {
+        let source = [
+            AnswerSource::Artifact,
+            AnswerSource::Witness,
+            AnswerSource::Threshold,
+            AnswerSource::FullSolve,
+        ][pick];
+        prop_assert_eq!(AnswerSource::parse(source.as_str()), Some(source));
+        let reply = Response::ok(
+            &format!("id-{id_num}"),
+            "query_routability",
+            vec![
+                ("generation", Json::String("deadbeefdeadbeef".to_string())),
+                ("routable", Json::Bool(routable)),
+                ("answer_source", Json::String(source.as_str().to_string())),
+            ],
+        );
+        let line = reply.to_line();
+        let again = Response::parse(&line)
+            .unwrap_or_else(|e| panic!("canonical reply rejected: {line} ({e})"));
+        prop_assert_eq!(
+            again.json().get("answer_source"),
+            Some(&Json::String(source.as_str().to_string()))
+        );
+        prop_assert_eq!(again.to_line(), line, "rendering is canonical");
     }
 
     /// Arbitrary byte soup never panics the parser; failures are typed.

@@ -7,6 +7,7 @@ fn main() {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         match args.first().map(String::as_str) {
             Some("serve") => print!("{}", netrec_sim::serve::HELP),
+            Some("precompute") => print!("{}", netrec_sim::precompute::HELP),
             Some("campaign") => {
                 print!("{}", netrec_sim::cli::HELP);
                 print!("\n{}", netrec_sim::campaign::cli::HELP);
@@ -38,6 +39,21 @@ fn main() {
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("run `netrec-cli serve --help` for usage");
+                std::process::exit(2);
+            }
+        }
+    }
+    // `precompute` sweeps disruption classes offline into a routability
+    // artifact that `serve --artifact` / `--oracle artifact:path=…` reuse.
+    if args.first().map(String::as_str) == Some("precompute") {
+        match netrec_sim::precompute::main(&args[1..]) {
+            Ok(report) => {
+                print!("{report}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("run `netrec-cli precompute --help` for usage");
                 std::process::exit(2);
             }
         }

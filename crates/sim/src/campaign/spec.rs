@@ -477,7 +477,7 @@ impl CampaignSpec {
                                 runs,
                                 seed,
                             );
-                            scenario.oracle = *oracle;
+                            scenario.oracle = oracle.clone();
                             scenario.threads = threads;
                             let solver_keys: Vec<&str> =
                                 lineup.iter().map(|(k, _)| k.as_str()).collect();
@@ -547,7 +547,7 @@ fn parse_oracle_axis(s: &str) -> Result<Option<OracleSpec>, CampaignSpecError> {
     match OracleSpec::parse(s) {
         Some(spec) => Ok(Some(spec)),
         None => err(format!(
-            "unknown oracle `{s}`; use default|exact|approx[:eps]|auto[:threshold]|cached-exact|cached-approx[:eps]|incremental"
+            "unknown oracle `{s}`; use default|exact|approx[:eps]|auto[:threshold]|cached-exact|cached-approx[:eps]|incremental|artifact:path=FILE"
         )),
     }
 }
@@ -758,6 +758,42 @@ mod tests {
         let ids_b: Vec<String> = b.expand().unwrap().into_iter().map(|s| s.id).collect();
         assert_eq!(ids_a, ids_b);
         assert_eq!(a.fingerprint().unwrap(), b.fingerprint().unwrap());
+    }
+
+    #[test]
+    fn artifact_oracle_axis_normalizes_aliases_to_one_grid_point() {
+        // Both spellings of the artifact spec land on the canonical
+        // `artifact:path=…` encoding, so the grid dedups them into one
+        // oracle axis value and the scenario carries the parsed spec.
+        let with_artifact = TINY_SPEC.replace(
+            r#""oracles": ["default", "incremental"]"#,
+            r#""oracles": ["artifact:path=/tmp/sweep.nra", "artifact:/tmp/sweep.nra"]"#,
+        );
+        let spec = CampaignSpec::parse_json(&with_artifact).unwrap();
+        let scenarios = spec.expand().unwrap();
+        // 2 topologies × 1 disruption × 1 demand × 1 oracle × 2 seeds.
+        assert_eq!(scenarios.len(), 4);
+        for s in &scenarios {
+            assert!(s.id.contains("/artifact:path=/tmp/sweep.nra/"), "{}", s.id);
+            assert_eq!(
+                s.scenario.oracle,
+                Some(OracleSpec::Artifact {
+                    path: "/tmp/sweep.nra".into()
+                })
+            );
+        }
+        // Near-miss spellings stay rejected — the alias must not widen
+        // into a catch-all prefix match.
+        for bogus in ["artifacts:/tmp/x.nra", "artifact:", "artifact:path="] {
+            let broken = TINY_SPEC.replace(
+                r#""oracles": ["default", "incremental"]"#,
+                &format!(r#""oracles": ["{bogus}"]"#),
+            );
+            assert!(
+                CampaignSpec::parse_json(&broken).is_err(),
+                "`{bogus}` must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::scenario::TopologySpec;
 use netrec_core::schedule::{schedule_recovery, schedule_recovery_with_oracle};
 use netrec_core::solver::{registry, ProgressEvent, SolveContext, SolverSpec};
 use netrec_core::vulnerability::robustness_report;
-use netrec_core::{OracleSpec, OracleStats, RecoveryProblem};
+use netrec_core::{OracleBuilder, OracleSpec, OracleStats, RecoveryProblem};
 use netrec_disrupt::DisruptionModel;
 use netrec_topology::demand::{generate_demands, DemandSpec};
 use netrec_topology::Topology;
@@ -88,8 +88,10 @@ usage: netrec-cli [options]
   --list-algorithms    print every registered solver with its syntax and
                        default configuration, then exit
   --oracle exact | approx[:eps] | auto[:threshold] | cached | cached-approx[:eps]
-           | incremental
-                       routability/satisfaction backend  (default per-algorithm)
+           | incremental | artifact:path=FILE
+                       routability/satisfaction backend  (default per-algorithm);
+                       artifact: probe a `netrec-cli precompute` file first,
+                       fall through to the incremental backend on misses
   --oracle-stats       also print the solver's oracle counters (queries,
                        LP solves, cache hits, warm starts)
   --lp revised | dense LP engine: sparse revised simplex with warm-started
@@ -189,7 +191,7 @@ pub fn parse_args(args: &[String]) -> Result<CliOptions, UsageError> {
                 let v = need(i, "--oracle", args)?;
                 opts.oracle = Some(OracleSpec::parse(&v).ok_or_else(|| {
                     UsageError(format!(
-                        "unknown oracle {v}; use exact|approx[:eps]|auto[:threshold]|cached|cached-approx[:eps]|incremental"
+                        "unknown oracle {v}; use exact|approx[:eps]|auto[:threshold]|cached|cached-approx[:eps]|incremental|artifact:path=FILE"
                     ))
                 })?);
             }
@@ -286,6 +288,12 @@ pub fn render_oracle_stats(stats: &OracleStats) -> String {
     }
     if stats.generation_resets > 0 {
         line.push_str(&format!(", {} generation resets", stats.generation_resets));
+    }
+    if stats.artifact_hits > 0 || stats.artifact_misses > 0 {
+        line.push_str(&format!(
+            ", artifact: {} hits / {} misses",
+            stats.artifact_hits, stats.artifact_misses
+        ));
     }
     if stats.approx_runs > 0 || stats.boundary_fallbacks > 0 {
         // Which path answered: exact LP fast path, certificate-terminated
@@ -433,7 +441,7 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     }
     let plan = {
         let mut ctx = SolveContext::new();
-        if let Some(oracle) = opts.oracle {
+        if let Some(oracle) = opts.oracle.clone() {
             ctx = ctx.with_oracle(oracle);
         }
         if let Some(engine) = opts.lp_engine {
@@ -457,7 +465,7 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     if let Some(engine) = opts.lp_engine {
         out.push_str(&format!("  lp engine: {engine}\n"));
     }
-    if let Some(spec) = opts.oracle {
+    if let Some(spec) = &opts.oracle {
         if opts.algorithm.uses_oracle() {
             out.push_str(&format!("  oracle: {spec}\n"));
         } else {
@@ -496,13 +504,12 @@ pub fn run(opts: &CliOptions) -> Result<String, UsageError> {
     }
 
     if let Some(budget) = opts.schedule_budget {
-        let scheduled = match opts.oracle {
-            Some(spec) => {
-                let oracle = spec.build();
+        let scheduled = match &opts.oracle {
+            Some(spec) => OracleBuilder::new(spec.clone()).build().and_then(|oracle| {
                 let schedule =
                     schedule_recovery_with_oracle(&problem, &plan, budget, oracle.as_ref());
                 schedule.map(|s| (s, Some(oracle.stats())))
-            }
+            }),
             None => schedule_recovery(&problem, &plan, budget).map(|s| (s, None)),
         };
         match scheduled {

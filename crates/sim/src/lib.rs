@@ -37,6 +37,7 @@ pub mod campaign;
 pub mod cli;
 pub mod export;
 pub mod figures;
+pub mod precompute;
 pub mod serve;
 
 pub use campaign::{run_campaign, CampaignOptions, CampaignReport, CampaignSpec};

@@ -171,7 +171,7 @@ fn execute_run(
         let mut oracle_stats: Option<OracleStats> = None;
         let outcome = {
             let mut ctx = SolveContext::new();
-            if let Some(oracle) = scenario.oracle {
+            if let Some(oracle) = scenario.oracle.clone() {
                 ctx = ctx.with_oracle(oracle);
             }
             let ctx = limits.apply(ctx);
@@ -519,7 +519,7 @@ mod tests {
             let solver = SolverSpec::isp().build();
             for run in 0..scenario.runs {
                 let problem = build_problem(&scenario, run as u64).unwrap();
-                let mut ctx = SolveContext::new().with_oracle(scenario.oracle.unwrap());
+                let mut ctx = SolveContext::new().with_oracle(scenario.oracle.clone().unwrap());
                 match solver.solve(&problem, &mut ctx) {
                     Ok(plan) => {
                         assert!(

@@ -38,6 +38,11 @@ usage: netrec-cli serve [options]
   --read-timeout-ms N  TCP read poll / hung-client bound (default 200)
   --restore PATH       restore a session persisted by
                        `snapshot` with `path` (repeatable)
+  --artifact PATH      load a precomputed routability artifact
+                       (`netrec-cli precompute`); every session answers
+                       `query_routability` from it when it can
+                       (replies say \"answer_source\":\"artifact\") and
+                       falls through to the live oracle otherwise
   --faults SPEC        arm the deterministic fault-injection plane
                        (chaos testing; also read from NETREC_FAULTS),
                        e.g. 'seed=7;panic@12;solve_error=0.1;latency=1:5'
@@ -89,6 +94,8 @@ pub struct ServeOptions {
     pub faults: Option<FaultPlan>,
     /// Session snapshot files to restore at boot.
     pub restore: Vec<String>,
+    /// Precomputed routability artifact to front every session with.
+    pub artifact: Option<String>,
 }
 
 /// Parses `serve` argv (without the leading `serve`).
@@ -105,6 +112,7 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
     let mut config = ServerConfig::default();
     let mut faults = None;
     let mut restore = Vec::new();
+    let mut artifact = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -169,6 +177,14 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
                         .ok_or_else(|| UsageError("missing value for --restore".into()))?,
                 );
             }
+            "--artifact" => {
+                i += 1;
+                artifact = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| UsageError("missing value for --artifact".into()))?,
+                );
+            }
             _ => problem_args.push(args[i].clone()),
         }
         i += 1;
@@ -192,6 +208,7 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
         config,
         faults,
         restore,
+        artifact,
     })
 }
 
@@ -223,6 +240,26 @@ pub fn boot_engine(opts: &ServeOptions) -> Result<(Arc<Engine>, String), UsageEr
     if let Some(plan) = faults {
         banner.push_str(&format!("\nserve: fault injection armed: {plan}"));
         engine = engine.with_faults(plan);
+    }
+    if let Some(path) = &opts.artifact {
+        let artifact = netrec_core::RoutabilityArtifact::cached_load(std::path::Path::new(path))
+            .map_err(|e| UsageError(format!("--artifact: {path}: {e}")))?;
+        if !artifact.matches(engine.base().graph(), &engine.base().demands()) {
+            return Err(UsageError(format!(
+                "--artifact: {path}: precomputed for a different topology/demand \
+                 instance than the one being served"
+            )));
+        }
+        banner.push_str(&format!(
+            "\nserve: artifact loaded from {path}: {} verdicts, {} witnesses, {} cuts \
+             (swept {} states of {})",
+            artifact.verdict_count(),
+            artifact.witness_count(),
+            artifact.cut_count(),
+            artifact.source_states(),
+            artifact.topology(),
+        ));
+        engine = engine.with_artifact(artifact);
     }
     for path in &opts.restore {
         let name = engine
@@ -353,6 +390,7 @@ mod tests {
         assert!(parse_args(&args(&["--read-timeout-ms", "soon"])).is_err());
         assert!(parse_args(&args(&["--faults", "frobnicate@3"])).is_err());
         assert!(parse_args(&args(&["--restore"])).is_err());
+        assert!(parse_args(&args(&["--artifact"])).is_err());
     }
 
     #[test]
@@ -430,6 +468,64 @@ mod tests {
 
         // A missing snapshot file is a boot-time usage error.
         let opts = parse_args(&args(&["--restore", "/nonexistent/nope.jsonl"])).unwrap();
+        assert!(boot_engine(&opts).is_err());
+    }
+
+    #[test]
+    fn boot_loads_artifact_and_swept_queries_hit() {
+        use netrec_core::oracle::artifact::ArtifactBuilder;
+        use netrec_core::oracle::{ExactLp, RoutabilityOracle};
+        let problem_flags = ["--topology", "er:12:0.5", "--pairs", "2", "--flow", "1"];
+        let opts = parse_args(&args(&problem_flags)).unwrap();
+        assert_eq!(opts.artifact, None);
+        // Sweep just the boot (intact) state of the exact instance the
+        // daemon will serve, and save it as an artifact.
+        let (engine, _) = boot_engine(&opts).unwrap();
+        let base = Arc::clone(engine.base());
+        let demands = base.demands();
+        let exact = ExactLp::new();
+        let mut builder = ArtifactBuilder::new(base.graph(), &demands);
+        let view = base.graph().view();
+        let routable = exact.is_routable(&view, &demands).unwrap();
+        builder.record(&view, &demands, routable);
+        let path = std::env::temp_dir().join(format!(
+            "netrec-serve-cli-artifact-{}.nra",
+            std::process::id()
+        ));
+        builder
+            .finish("er:12:0.5", &["boot".to_string()])
+            .save(&path, false)
+            .unwrap();
+
+        let mut with_artifact = args(&problem_flags);
+        with_artifact.extend(args(&["--artifact", path.to_str().unwrap()]));
+        let opts = parse_args(&with_artifact).unwrap();
+        let (engine, banner) = boot_engine(&opts).unwrap();
+        assert!(banner.contains("artifact loaded"), "{banner}");
+        let (out, _) = run_stream(
+            engine,
+            1,
+            "{\"v\":1,\"id\":\"q\",\"op\":\"query_routability\"}\n\
+             {\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n",
+        );
+        assert!(out.contains("\"answer_source\":\"artifact\""), "{out}");
+
+        // The same artifact against a different demand set is rejected
+        // at boot, not silently missed forever.
+        let mut mismatched = args(&["--topology", "er:12:0.5", "--pairs", "3", "--flow", "1"]);
+        mismatched.extend(args(&["--artifact", path.to_str().unwrap()]));
+        let opts = parse_args(&mismatched).unwrap();
+        let e = match boot_engine(&opts) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched artifact must be rejected at boot"),
+        };
+        assert!(e.0.contains("different topology/demand"), "{}", e.0);
+        let _ = std::fs::remove_file(&path);
+
+        // A missing artifact file is a boot-time usage error.
+        let mut missing = args(&problem_flags);
+        missing.extend(args(&["--artifact", "/nonexistent/nope.nra"]));
+        let opts = parse_args(&missing).unwrap();
         assert!(boot_engine(&opts).is_err());
     }
 
