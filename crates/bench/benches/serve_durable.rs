@@ -1,0 +1,166 @@
+//! The price of durability, measured (DESIGN.md §16): the same warm
+//! query burst against a daemon with no write-ahead log, with an
+//! interval-flushed one, and with fsync-per-append — plus the cost of
+//! recovery itself: booting a fresh engine by replaying the committed
+//! 222-event log.
+//!
+//! `BENCH_serve_durable.json` commits all four medians and the
+//! `bench_json` test enforces the contract that makes `interval` the
+//! recommended default: WAL-interval throughput within 2x of running
+//! with no log at all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netrec_core::solver::SolverSpec;
+use netrec_core::RecoveryProblem;
+use netrec_serve::{run_stream, Engine, Request, SyncPolicy, Wal};
+use netrec_topology::bell::bell_canada;
+use std::hint::black_box;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Warm queries per burst — large enough that per-run fixed costs
+/// (scratch-directory setup, flusher spawn) wash out and the medians
+/// compare per-query throughput.
+const BURST: usize = 512;
+
+/// The committed smoke stream (222 lines): the recovery-replay workload
+/// is the exact log a daemon that served it would boot from.
+const EVENTS: &str = include_str!("../../../examples/serve/events.jsonl");
+
+fn base_problem() -> RecoveryProblem {
+    let topo = bell_canada();
+    let mut p = RecoveryProblem::new(topo.graph().clone());
+    let n = p.graph().node_count();
+    p.add_demand(p.graph().node(0), p.graph().node(n - 1), 3.0)
+        .unwrap();
+    p
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "netrec_bench_durable_{name}_{}",
+        std::process::id()
+    ))
+}
+
+/// An engine with a freshly armed log in `dir` (previous contents
+/// discarded — each measurement starts from an empty segment).
+fn wal_engine(dir: &Path, policy: SyncPolicy) -> Arc<Engine> {
+    let _ = std::fs::remove_dir_all(dir);
+    let (wal, _) = Wal::open(dir, policy, Wal::SEGMENT_RECORDS).expect("open scratch wal");
+    let engine = Engine::new(base_problem(), SolverSpec::isp());
+    let wal = Arc::new(wal);
+    engine.attach_wal(Arc::clone(&wal));
+    Wal::spawn_flusher(&wal);
+    Arc::new(engine)
+}
+
+/// A warm serving mix: one boot disrupt, then queries with a
+/// disrupt/repair toggle every eighth request — the steady state of a
+/// live recovery (mostly reads, a trickle of events), not a pure
+/// cache-hit microloop that nothing realistic resembles.
+fn burst_input() -> String {
+    let mut input =
+        String::from("{\"v\":1,\"id\":\"d\",\"op\":\"disrupt\",\"edges\":[2],\"cost\":1.0}\n");
+    for i in 0..BURST {
+        if i % 8 == 0 {
+            let op = if (i / 8) % 2 == 0 {
+                "disrupt"
+            } else {
+                "repair"
+            };
+            input.push_str(&format!(
+                "{{\"v\":1,\"id\":\"e{i}\",\"op\":\"{op}\",\"edges\":[7],\"cost\":1.0}}\n"
+            ));
+        }
+        input.push_str(&format!(
+            "{{\"v\":1,\"id\":\"q{i}\",\"op\":\"query_routability\"}}\n"
+        ));
+    }
+    input.push_str("{\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n");
+    input
+}
+
+fn bench(c: &mut Criterion) {
+    let input = burst_input();
+
+    // Sanity before any median means anything: the logged run answers
+    // everything and stamps replies with their log position.
+    let dir = scratch("sanity");
+    let (out, _) = run_stream(wal_engine(&dir, SyncPolicy::Always), 1, &input);
+    assert_eq!(
+        out.lines().count(),
+        input.lines().count(),
+        "every request answered"
+    );
+    assert!(out.contains("\"wal_seq\":1"), "replies carry wal_seq");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A pre-built log of the committed stream: exactly the records a
+    // daemon that served it under --wal would have on disk (admitted
+    // requests only — the stream's one protocol error is never logged).
+    let replay_dir = scratch("replay");
+    let _ = std::fs::remove_dir_all(&replay_dir);
+    {
+        let (wal, _) =
+            Wal::open(&replay_dir, SyncPolicy::Off, Wal::SEGMENT_RECORDS).expect("open replay wal");
+        for line in EVENTS.lines().filter(|l| Request::parse(l).is_ok()) {
+            wal.append_line(line).expect("append");
+        }
+        wal.sync().expect("sync");
+    }
+
+    let mut g = c.benchmark_group("serve_durable");
+    g.sample_size(10);
+    let off_dir = scratch("off");
+    g.bench_function("warm_query/wal_off", |b| {
+        b.iter(|| {
+            black_box(run_stream(
+                Arc::new(Engine::new(base_problem(), SolverSpec::isp())),
+                1,
+                &input,
+            ))
+        })
+    });
+    let interval_dir = scratch("interval");
+    g.bench_function("warm_query/wal_interval", |b| {
+        b.iter(|| {
+            black_box(run_stream(
+                wal_engine(&interval_dir, SyncPolicy::Interval(5)),
+                1,
+                &input,
+            ))
+        })
+    });
+    let always_dir = scratch("always");
+    g.bench_function("warm_query/wal_always", |b| {
+        b.iter(|| {
+            black_box(run_stream(
+                wal_engine(&always_dir, SyncPolicy::Always),
+                1,
+                &input,
+            ))
+        })
+    });
+    // Recovery replay: open the log (salvage scan included) and rebuild
+    // a fresh engine from all 221 recorded events, queries included —
+    // the boot path a crashed daemon pays before accepting traffic.
+    g.bench_function("recovery_replay/222", |b| {
+        b.iter(|| {
+            let (_, boot) = Wal::open(&replay_dir, SyncPolicy::Off, Wal::SEGMENT_RECORDS)
+                .expect("reopen replay wal");
+            let engine = Engine::new(base_problem(), SolverSpec::isp());
+            for record in &boot.records {
+                engine.apply_replay(&record.line).expect("replay");
+            }
+            black_box(engine.process_line("{\"v\":1,\"id\":\"p\",\"op\":\"snapshot\"}"))
+        })
+    });
+    g.finish();
+    for dir in [&off_dir, &interval_dir, &always_dir, &replay_dir] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -247,6 +247,73 @@ fn committed_serve_chaos_baseline_shows_shedding_pays() {
     );
 }
 
+/// The committed `BENCH_serve_durable.json` pins the price of
+/// durability (DESIGN.md §16): under the same warm serving mix, the
+/// interval-flushed write-ahead log must stay within 2x of running
+/// with no log at all — the group-commit buffer is what makes
+/// durability affordable, and this gate is what keeps it group-commit.
+/// The recovery-replay median (boot a fresh engine from the committed
+/// 222-event log) must exist and stay under a second: replay time is
+/// the daemon's crash-restart downtime.
+#[test]
+fn committed_serve_durable_baseline_keeps_the_wal_affordable() {
+    let path = repo_root().join("BENCH_serve_durable.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed BENCH_serve_durable.json: {e}"));
+    let json = Json::parse(&text).expect("BENCH_serve_durable.json parses");
+    assert_eq!(
+        json.get("group").and_then(Json::as_str),
+        Some("serve_durable")
+    );
+    let mut medians = std::collections::HashMap::new();
+    for bench in json
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmarks array")
+    {
+        let id = bench.get("id").and_then(Json::as_str).expect("id");
+        let ns = bench
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .expect("median_ns");
+        medians.insert(id.to_string(), ns);
+    }
+    let median = |id: &str| -> f64 {
+        *medians
+            .get(id)
+            .unwrap_or_else(|| panic!("BENCH_serve_durable.json lacks {id}"))
+    };
+    let off = median("warm_query/wal_off");
+    let interval = median("warm_query/wal_interval");
+    let always = median("warm_query/wal_always");
+    let replay = median("recovery_replay/222");
+    assert!(
+        off > 0.0 && interval > 0.0 && always > 0.0 && replay > 0.0,
+        "degenerate medians"
+    );
+    let ratio = interval / off;
+    assert!(
+        ratio <= 2.0,
+        "wal_interval / wal_off = {ratio:.2}x: the committed baseline no \
+         longer shows interval-flushed logging within 2x of no logging"
+    );
+    // fsync-per-append is expected to cost real money — that is why it
+    // exists as an option and why interval is the default recommendation.
+    // No upper gate, but it must not be *cheaper* than interval, which
+    // would mean the group-commit path rotted into nonsense.
+    assert!(
+        always >= interval,
+        "wal_always ({always:.0} ns) beat wal_interval ({interval:.0} ns): \
+         the sync policies no longer mean what they say"
+    );
+    assert!(
+        replay <= 1e9,
+        "recovery_replay/222 = {:.1} ms: crash-restart downtime for the \
+         committed stream must stay under a second",
+        replay / 1e6
+    );
+}
+
 /// The committed `BENCH_artifact.json` pins the precompute sweep's
 /// reason to exist (DESIGN.md §15): answering a swept routability query
 /// from the artifact (canonical fingerprint + hash probe) must be at

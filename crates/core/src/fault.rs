@@ -28,9 +28,18 @@
 //! solve_error@I / solve_error=RATE    forced solver/oracle failure
 //! torn@I       / torn=RATE            torn (failed mid-write) file IO
 //! latency@I1,I2:MS / latency=RATE:MS  sleep MS ms before dispatch
+//! crash@I      / crash=RATE           abort the process before the
+//!                                     request's WAL record is appended
+//! wal_torn@I   / wal_torn=RATE        abort the process midway through
+//!                                     the request's WAL append (torn tail)
 //! ```
 //!
 //! Example: `seed=7; latency=1:1; solve_error@4,18; panic@60`.
+//!
+//! `crash` and `wal_torn` model whole-process death (the crash-recovery
+//! harness kills the daemon with them and then replays the write-ahead
+//! log); they only take effect when the daemon runs with `--wal`, since
+//! without a log there is nothing to recover into.
 
 use std::fmt;
 
@@ -47,6 +56,12 @@ pub enum FaultKind {
     /// Sleep before dispatch (tests deadline/overload accounting;
     /// never changes response bytes).
     Latency,
+    /// Abort the whole process immediately before the request's WAL
+    /// record is appended (tests crash recovery on a clean log tail).
+    Crash,
+    /// Abort the whole process midway through the request's WAL append
+    /// (tests torn-tail salvage on replay).
+    WalTorn,
 }
 
 impl FaultKind {
@@ -58,6 +73,8 @@ impl FaultKind {
             FaultKind::SolveError => 2,
             FaultKind::Torn => 3,
             FaultKind::Latency => 4,
+            FaultKind::Crash => 5,
+            FaultKind::WalTorn => 6,
         }
     }
 
@@ -67,6 +84,8 @@ impl FaultKind {
             FaultKind::SolveError => "solve_error",
             FaultKind::Torn => "torn",
             FaultKind::Latency => "latency",
+            FaultKind::Crash => "crash",
+            FaultKind::WalTorn => "wal_torn",
         }
     }
 }
@@ -99,12 +118,21 @@ pub struct Faults {
     pub torn: bool,
     /// Sleep this long before dispatch.
     pub latency_ms: Option<u64>,
+    /// Abort the process before appending this request's WAL record.
+    pub crash: bool,
+    /// Abort the process midway through this request's WAL append.
+    pub wal_torn: bool,
 }
 
 impl Faults {
     /// Whether any fault fires at this index.
     pub fn any(&self) -> bool {
-        self.panic || self.solve_error || self.torn || self.latency_ms.is_some()
+        self.panic
+            || self.solve_error
+            || self.torn
+            || self.latency_ms.is_some()
+            || self.crash
+            || self.wal_torn
     }
 
     /// How many distinct faults fire at this index.
@@ -113,6 +141,8 @@ impl Faults {
             + usize::from(self.solve_error)
             + usize::from(self.torn)
             + usize::from(self.latency_ms.is_some())
+            + usize::from(self.crash)
+            + usize::from(self.wal_torn)
     }
 }
 
@@ -183,6 +213,8 @@ impl FaultPlan {
                 FaultKind::SolveError => out.solve_error = true,
                 FaultKind::Torn => out.torn = true,
                 FaultKind::Latency => out.latency_ms = Some(rule.latency_ms),
+                FaultKind::Crash => out.crash = true,
+                FaultKind::WalTorn => out.wal_torn = true,
             }
         }
         out
@@ -220,13 +252,17 @@ fn parse_rule(clause: &str) -> Result<Rule, String> {
         (FaultKind::Panic, rest)
     } else if let Some(rest) = clause.strip_prefix("solve_error") {
         (FaultKind::SolveError, rest)
+    } else if let Some(rest) = clause.strip_prefix("wal_torn") {
+        (FaultKind::WalTorn, rest)
     } else if let Some(rest) = clause.strip_prefix("torn") {
         (FaultKind::Torn, rest)
     } else if let Some(rest) = clause.strip_prefix("latency") {
         (FaultKind::Latency, rest)
+    } else if let Some(rest) = clause.strip_prefix("crash") {
+        (FaultKind::Crash, rest)
     } else {
         return Err(format!(
-            "unknown fault clause {clause:?} (want seed=/panic/solve_error/torn/latency)"
+            "unknown fault clause {clause:?} (want seed=/panic/solve_error/torn/latency/crash/wal_torn)"
         ));
     };
     // Latency carries a trailing `:MS`; split it off first.
@@ -355,11 +391,37 @@ mod tests {
     }
 
     #[test]
+    fn crash_kinds_fire_at_exact_indices() {
+        let plan = FaultPlan::parse("seed=11; crash@5; wal_torn@9,12").unwrap();
+        assert!(plan.faults_at(5).crash);
+        assert!(!plan.faults_at(5).wal_torn);
+        assert!(plan.faults_at(9).wal_torn && plan.faults_at(12).wal_torn);
+        assert!(!plan.faults_at(9).crash);
+        assert_eq!(plan.faults_at(0), Faults::default());
+        assert_eq!(plan.count_fired(20), 3);
+        let f = plan.faults_at(9);
+        assert!(f.any());
+        assert_eq!(f.count(), 1);
+    }
+
+    #[test]
+    fn crash_kinds_draw_decorrelated_rates() {
+        let plan = FaultPlan::parse("seed=5; crash=0.5; wal_torn=0.5; torn=0.5").unwrap();
+        let crashes: Vec<bool> = (0..200).map(|i| plan.faults_at(i).crash).collect();
+        let wal_torns: Vec<bool> = (0..200).map(|i| plan.faults_at(i).wal_torn).collect();
+        let torns: Vec<bool> = (0..200).map(|i| plan.faults_at(i).torn).collect();
+        assert_ne!(crashes, wal_torns, "crash vs wal_torn decorrelated");
+        assert_ne!(wal_torns, torns, "wal_torn vs torn decorrelated");
+    }
+
+    #[test]
     fn display_round_trips() {
         for spec in [
             "seed=7; panic@1,2; latency=0.5:10",
             "seed=42; torn=1",
             "seed=1; solve_error@0",
+            "seed=3; crash@17; wal_torn@40,55",
+            "seed=3; wal_torn=0.1; crash=0.05",
         ] {
             let plan = FaultPlan::parse(spec).unwrap();
             let reparsed = FaultPlan::parse(&plan.to_string()).unwrap();
@@ -380,6 +442,9 @@ mod tests {
             "latency=0.5",
             "latency=0.5:ms",
             "seed=banana",
+            "crash",
+            "crash@",
+            "wal_torn=1.5",
         ] {
             let err = FaultPlan::parse(bad).expect_err(bad);
             assert!(!err.is_empty(), "{bad}");

@@ -21,6 +21,14 @@
 //! written by a different format version, one truncated by a torn copy,
 //! and one corrupted in place. The payload itself is opaque bytes; the
 //! artifact layer stores netrec-json text in it.
+//!
+//! [`frame_record`] / [`scan_records`] are the *append-log* cousins of
+//! the container frame: many small checksummed records in one file,
+//! written strictly front-to-back. A crash can only damage the tail, so
+//! a scan returns the longest valid record prefix plus a typed
+//! description of the damage, and [`salvage_records`] truncates the
+//! file back to that prefix. The serve write-ahead log and the hardened
+//! snapshot loader are built on this layer.
 
 use std::io::Write as _;
 use std::path::Path;
@@ -230,6 +238,157 @@ pub fn read_container(
     Ok(payload.to_vec())
 }
 
+/// Magic tag opening every record header line in an append-log file.
+/// Like [`CONTAINER_MAGIC`], the trailing `1` is the frame version.
+const RECORD_MAGIC: &str = "NETRECREC1";
+
+/// Longest header line [`scan_records`] will look for before declaring
+/// the bytes "not a record" — headers are short ASCII, so a missing
+/// newline in this span means damage, not a long header.
+const RECORD_HEADER_SCAN: usize = 256;
+
+/// The result of scanning an append-log file: the longest valid record
+/// prefix, where it ends, and what (if anything) is wrong with the tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordScan {
+    /// Payloads of every valid record, in file order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offset just past the last valid record — the length a
+    /// salvage truncates the file to.
+    pub valid_len: usize,
+    /// Why the scan stopped before the end of the file; `None` when the
+    /// file is a clean sequence of records.
+    pub torn: Option<String>,
+}
+
+/// Whether `bytes` open with the record-frame magic — the sniff readers
+/// use to tell a framed record stream from a legacy bare-payload file.
+pub fn is_record_stream(bytes: &[u8]) -> bool {
+    bytes.starts_with(RECORD_MAGIC.as_bytes())
+}
+
+/// Frames one record for appending to a log file: a one-line ASCII
+/// header (`magic length checksum`) followed by the payload and a
+/// newline terminator. [`scan_records`] is the exact inverse.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let header = format!(
+        "{RECORD_MAGIC} {len} {checksum:016x}\n",
+        len = payload.len(),
+        checksum = fnv1a(payload)
+    );
+    let mut bytes = header.into_bytes();
+    bytes.extend_from_slice(payload);
+    bytes.push(b'\n');
+    bytes
+}
+
+/// Appends one framed record to a writer (see [`frame_record`]). The
+/// caller owns durability: flush/fsync policy is not decided here.
+///
+/// # Errors
+///
+/// Propagates write errors; a partial frame may have been written (the
+/// torn-tail case [`scan_records`] is built to salvage).
+pub fn append_record<W: std::io::Write>(w: &mut W, payload: &[u8]) -> std::io::Result<()> {
+    w.write_all(&frame_record(payload))
+}
+
+/// Scans bytes written by repeated [`append_record`] calls, returning
+/// the longest valid record prefix. Never fails: damage — a torn
+/// header, a short payload, a checksum mismatch, a missing terminator —
+/// stops the scan and is reported in [`RecordScan::torn`] along with
+/// the byte offset the file should be truncated to.
+pub fn scan_records(bytes: &[u8]) -> RecordScan {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    let torn = loop {
+        if pos == bytes.len() {
+            break None;
+        }
+        let rest = &bytes[pos..];
+        let Some(header_end) = rest
+            .iter()
+            .take(RECORD_HEADER_SCAN)
+            .position(|&b| b == b'\n')
+        else {
+            break Some(format!("unterminated record header at offset {pos}"));
+        };
+        let Ok(header) = std::str::from_utf8(&rest[..header_end]) else {
+            break Some(format!("non-ASCII record header at offset {pos}"));
+        };
+        let fields: Vec<&str> = header.split(' ').collect();
+        let [magic, len, checksum] = fields.as_slice() else {
+            break Some(format!(
+                "record header at offset {pos} has {} fields, expected 3",
+                fields.len()
+            ));
+        };
+        if *magic != RECORD_MAGIC {
+            break Some(format!(
+                "record magic `{magic}` at offset {pos} is not `{RECORD_MAGIC}`"
+            ));
+        }
+        let (Ok(len), Ok(stored)) = (len.parse::<usize>(), u64::from_str_radix(checksum, 16))
+        else {
+            break Some(format!("unparseable record header at offset {pos}"));
+        };
+        let payload_start = header_end + 1;
+        // Payload plus its newline terminator must both be present.
+        if rest.len() < payload_start + len + 1 {
+            break Some(format!(
+                "record payload truncated at offset {pos}: declared {len} bytes, found {}",
+                rest.len().saturating_sub(payload_start)
+            ));
+        }
+        let payload = &rest[payload_start..payload_start + len];
+        if rest[payload_start + len] != b'\n' {
+            break Some(format!("missing record terminator at offset {pos}"));
+        }
+        let computed = fnv1a(payload);
+        if computed != stored {
+            break Some(format!(
+                "record checksum mismatch at offset {pos}: stored {stored:016x}, computed {computed:016x}"
+            ));
+        }
+        records.push(payload.to_vec());
+        pos += payload_start + len + 1;
+    };
+    RecordScan {
+        records,
+        valid_len: pos,
+        torn,
+    }
+}
+
+/// Reads and scans an append-log file (see [`scan_records`]); a missing
+/// file is an empty, clean scan. When the tail is damaged, the file is
+/// truncated in place back to the valid prefix — after this returns,
+/// the file on disk is exactly the records in the scan.
+///
+/// # Errors
+///
+/// Filesystem errors only; tail damage is a salvage, never an error.
+pub fn salvage_records(path: &Path) -> std::io::Result<RecordScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(RecordScan {
+                records: Vec::new(),
+                valid_len: 0,
+                torn: None,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let scan = scan_records(&bytes);
+    if scan.torn.is_some() {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(scan.valid_len as u64)?;
+        file.sync_all()?;
+    }
+    Ok(scan)
+}
+
 /// Atomically replaces `path` with `contents` (tmp + rename). With
 /// `durable`, the file is fsynced before the rename and the parent
 /// directory after it, so the replacement survives power loss, not just
@@ -337,6 +496,79 @@ mod tests {
     #[test]
     fn pathological_paths_error_without_side_effects() {
         assert!(atomic_write(Path::new("/"), b"x", false).is_err());
+    }
+
+    #[test]
+    fn records_round_trip_and_scan_clean() {
+        let payloads: Vec<&[u8]> = vec![b"{\"seq\":1}", b"", b"binary\x00\xff\npayload"];
+        let mut bytes = Vec::new();
+        for p in &payloads {
+            append_record(&mut bytes, p).unwrap();
+        }
+        let scan = scan_records(&bytes);
+        assert_eq!(scan.records, payloads);
+        assert_eq!(scan.valid_len, bytes.len());
+        assert_eq!(scan.torn, None);
+        assert_eq!(
+            scan_records(&[]),
+            RecordScan {
+                records: vec![],
+                valid_len: 0,
+                torn: None
+            }
+        );
+    }
+
+    #[test]
+    fn record_scan_salvages_every_torn_tail() {
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for p in [&b"first record"[..], b"second", b"third and last"] {
+            append_record(&mut bytes, p).unwrap();
+            boundaries.push(bytes.len());
+        }
+        // Cutting at any byte offset salvages exactly the records that
+        // were fully written before the cut.
+        for cut in 0..=bytes.len() {
+            let scan = scan_records(&bytes[..cut]);
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.records.len(), complete, "cut at {cut}");
+            assert_eq!(scan.valid_len, boundaries[complete], "cut at {cut}");
+            assert_eq!(
+                scan.torn.is_some(),
+                cut != boundaries[complete],
+                "cut at {cut}"
+            );
+        }
+        // In-place corruption mid-file stops the scan there too.
+        let mut corrupt = bytes.clone();
+        corrupt[boundaries[1] + RECORD_MAGIC.len() + 5] ^= 0x01;
+        let scan = scan_records(&corrupt);
+        assert_eq!(scan.records.len(), 1);
+        assert!(scan.torn.is_some());
+    }
+
+    #[test]
+    fn salvage_records_truncates_damaged_files_in_place() {
+        let dir = scratch("salvage");
+        let path = dir.join("log");
+        let mut bytes = Vec::new();
+        append_record(&mut bytes, b"keep me").unwrap();
+        let keep = bytes.len();
+        append_record(&mut bytes, b"torn away").unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let scan = salvage_records(&path).unwrap();
+        assert_eq!(scan.records, vec![b"keep me".to_vec()]);
+        assert!(scan.torn.is_some());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), keep as u64);
+        // A second pass sees a clean file.
+        let again = salvage_records(&path).unwrap();
+        assert_eq!(again.records, scan.records);
+        assert_eq!(again.torn, None);
+        // A missing file is an empty clean scan, not an error.
+        let absent = salvage_records(&dir.join("absent")).unwrap();
+        assert!(absent.records.is_empty() && absent.torn.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use crate::protocol::{Op, Request, Response};
 use crate::session::Session;
+use crate::wal::Wal;
 use netrec_core::fault::{FaultPlan, Faults};
+use netrec_core::fsio;
 use netrec_core::oracle::OracleStats;
 use netrec_core::solver::SolverSpec;
 use netrec_core::{
@@ -28,8 +30,19 @@ use netrec_json::{object, Json};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
+
+/// The outcome of a successful [`Engine::restore_from_file`].
+#[derive(Debug, Clone)]
+pub struct RestoreReport {
+    /// The restored session's name (recorded in the snapshot).
+    pub session: String,
+    /// Set when the file's torn trailing record was salvaged — the
+    /// restore succeeded from the valid prefix, but the operator should
+    /// know the file was damaged and has been truncated.
+    pub warning: Option<String>,
+}
 
 /// The resident dispatcher: shared base topology, the session table,
 /// the shutdown latch, and (under chaos testing) the fault plan.
@@ -47,6 +60,11 @@ pub struct Engine {
     /// assigns indices at read time instead, so fault schedules hit the
     /// same requests at any worker count.
     dispatch_counter: AtomicU64,
+    /// Boot time, for the `health` op's uptime.
+    started: Instant,
+    /// The write-ahead log, when `--wal` armed one (attached once at
+    /// boot, after recovery replay, before any transport runs).
+    wal: OnceLock<Arc<Wal>>,
 }
 
 impl Engine {
@@ -61,7 +79,21 @@ impl Engine {
             faults: None,
             artifact: None,
             dispatch_counter: AtomicU64::new(0),
+            started: Instant::now(),
+            wal: OnceLock::new(),
         }
+    }
+
+    /// Attaches the write-ahead log (at most once, at boot). The server
+    /// reads it back via [`Engine::wal`] to arm the append-before-reply
+    /// admission path and to stamp `wal_seq` onto replies.
+    pub fn attach_wal(&self, wal: Arc<Wal>) {
+        let _ = self.wal.set(wal);
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.get()
     }
 
     /// Arms the deterministic fault-injection plane: dispatched
@@ -141,6 +173,11 @@ impl Engine {
     /// Routes a parsed request to its session, drawing the request
     /// index from the engine's own counter (transportless callers).
     pub fn dispatch(&self, req: &Request) -> Response {
+        // Health consumes no request index: a supervisor polling it
+        // must not shift which requests the fault plan hits.
+        if matches!(req.op, Op::Health) {
+            return self.health_response(&req.id, None);
+        }
         let index = self.dispatch_counter.fetch_add(1, Ordering::SeqCst);
         self.dispatch_indexed(req, index, None)
     }
@@ -163,6 +200,12 @@ impl Engine {
         };
         if let Some(ms) = faults.latency_ms {
             std::thread::sleep(Duration::from_millis(ms));
+        }
+        // Health takes no session lock either — it must answer even
+        // when every session is poisoned (that is when an operator
+        // needs it most).
+        if matches!(req.op, Op::Health) {
+            return self.health_response(&req.id, None);
         }
         // Shutdown is handled before any session lock: the drain path
         // must stay reachable even when every session is poisoned, and
@@ -462,14 +505,11 @@ impl Engine {
                 }
                 if let Some(path) = path {
                     let doc = persist_json(session_name, session);
-                    let mut bytes = doc.to_line().into_bytes();
-                    bytes.push(b'\n');
-                    match netrec_core::fsio::atomic_write_torn(
-                        Path::new(path),
-                        &bytes,
-                        false,
-                        faults.torn,
-                    ) {
+                    // Persisted as one checksummed record frame, so
+                    // `--restore` can verify integrity byte-for-byte
+                    // and salvage a torn tail someone appends later.
+                    let bytes = fsio::frame_record(doc.to_line().as_bytes());
+                    match fsio::atomic_write_torn(Path::new(path), &bytes, false, faults.torn) {
                         Ok(()) => body.push(("persisted", Json::String(path.clone()))),
                         // The write is atomic: on failure the path holds
                         // its previous complete content (or nothing), so
@@ -485,6 +525,9 @@ impl Engine {
                 }
                 Response::ok(&req.id, "snapshot", body)
             }
+            // Handled before the session lock in dispatch_indexed;
+            // answer again rather than panic if a caller routes one here.
+            Op::Health => self.health_response(&req.id, None),
             // Handled before the session lock in dispatch_indexed;
             // latch again rather than panic if a caller routes one here.
             Op::Shutdown => {
@@ -504,44 +547,202 @@ impl Engine {
     /// different base topology (or a corrupted complete file) is
     /// rejected rather than silently served.
     ///
+    /// Snapshot files are checksummed record streams
+    /// ([`fsio::frame_record`]; the
+    /// last valid record is the snapshot). Checksums are verified
+    /// record by record, and a torn *trailing* record — what a crash
+    /// mid-append leaves — is salvaged: the file is truncated back to
+    /// its valid prefix and the restore proceeds with a typed warning
+    /// instead of refusing to boot. Legacy bare-JSON snapshot files are
+    /// still accepted.
+    ///
     /// # Errors
     ///
-    /// A human-readable reason: unreadable file, malformed or
-    /// wrong-kind JSON, component ids outside the base topology,
-    /// fingerprint mismatch, or a name collision with a live session.
-    pub fn restore_from_file(&self, path: &Path) -> Result<String, String> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        let doc = Json::parse(text.trim())
-            .map_err(|e| format!("{} is not valid JSON: {e}", path.display()))?;
+    /// A human-readable reason: unreadable file, no intact record,
+    /// malformed or wrong-kind JSON, component ids outside the base
+    /// topology, fingerprint mismatch, or a name collision with a live
+    /// session.
+    pub fn restore_from_file(&self, path: &Path) -> Result<RestoreReport, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let origin = path.display().to_string();
+        let (doc, warning) = if fsio::is_record_stream(&bytes) {
+            let scan = fsio::salvage_records(path)
+                .map_err(|e| format!("{origin}: salvage failed: {e}"))?;
+            let warning = scan.torn.as_ref().map(|reason| {
+                format!(
+                    "{origin}: torn trailing record salvaged ({reason}); \
+                     truncated to {} bytes",
+                    scan.valid_len
+                )
+            });
+            let payload = scan.records.last().ok_or_else(|| {
+                format!(
+                    "{origin}: no intact snapshot record survives ({})",
+                    scan.torn.as_deref().unwrap_or("empty file")
+                )
+            })?;
+            let text = std::str::from_utf8(payload)
+                .map_err(|_| format!("{origin}: snapshot record is not UTF-8"))?;
+            let doc =
+                Json::parse(text.trim()).map_err(|e| format!("{origin} is not valid JSON: {e}"))?;
+            (doc, warning)
+        } else {
+            // Legacy format: the whole file is one bare JSON line.
+            let text =
+                String::from_utf8(bytes).map_err(|_| format!("{origin}: snapshot is not UTF-8"))?;
+            let doc =
+                Json::parse(text.trim()).map_err(|e| format!("{origin} is not valid JSON: {e}"))?;
+            (doc, None)
+        };
+        let session = self.restore_session_doc(&doc, &origin)?;
+        Ok(RestoreReport { session, warning })
+    }
+
+    /// Builds the `health` reply: uptime, session count, optionally the
+    /// submitter's queue depth, and WAL durability counters when a log
+    /// is attached. Deliberately timing-dependent — health is an
+    /// operator probe, not part of the deterministic replay surface,
+    /// which is why it is never WAL-logged and consumes no request
+    /// index.
+    pub fn health_response(&self, id: &str, queue_depth: Option<usize>) -> Response {
+        let mut body = vec![
+            (
+                "uptime_ms",
+                Json::Number(self.started.elapsed().as_millis() as f64),
+            ),
+            ("sessions", Json::Number(self.session_count() as f64)),
+            (
+                "shutting_down",
+                Json::Bool(self.shutdown.load(Ordering::SeqCst)),
+            ),
+        ];
+        if let Some(depth) = queue_depth {
+            body.push(("queue_depth", Json::Number(depth as f64)));
+        }
+        if let Some(wal) = self.wal.get() {
+            let h = wal.health();
+            body.push(("wal_sync", Json::String(wal.policy().to_string())));
+            body.push(("wal_seq", Json::Number(h.appended_seq as f64)));
+            body.push(("wal_durable_seq", Json::Number(h.durable_seq as f64)));
+            body.push(("last_fsync_lag_ms", Json::Number(h.fsync_lag_ms as f64)));
+        }
+        Response::ok(id, "health", body)
+    }
+
+    /// Re-executes one logged request line during WAL recovery: same
+    /// dispatch path as live traffic, but fault-free (injected faults
+    /// already happened in the previous life — replaying them would
+    /// diverge recovery from the durable history) and with replies
+    /// discarded. Queries are replayed too, not just mutations: they
+    /// warm the oracle exactly as the original run did, which is what
+    /// makes post-recovery replies byte-identical to an uninterrupted
+    /// run. `shutdown` and `health` records are skipped.
+    ///
+    /// # Errors
+    ///
+    /// The line no longer parses (a damaged log record whose checksum
+    /// still held — the caller stops replay there with a warning).
+    pub fn apply_replay(&self, line: &str) -> Result<(), String> {
+        let req =
+            Request::parse(line).map_err(|e| format!("unreplayable record: {}", e.message))?;
+        if matches!(req.op, Op::Shutdown | Op::Health) {
+            return Ok(());
+        }
+        let session_name = req.session_name();
+        let handle = self.session(session_name);
+        let mut session = handle.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = self.execute(&req, &mut session, session_name, &Faults::default(), None);
+        Ok(())
+    }
+
+    /// Renders the checkpoint document covering the WAL up to
+    /// `wal_seq`: every live session in its persisted form, sorted by
+    /// name. The caller must have quiesced execution first.
+    ///
+    /// # Errors
+    ///
+    /// A session lock is poisoned: its in-memory state is suspect, but
+    /// its WAL history is sound — so the right move is to *skip* the
+    /// checkpoint (keeping the full log) rather than bake suspect state
+    /// into the new recovery root. A later boot replays the poisoned
+    /// session back to its last pre-panic state, clean.
+    pub fn checkpoint_doc(&self, wal_seq: u64) -> Result<Json, String> {
+        let handles: Vec<(String, Arc<Mutex<Session>>)> = {
+            let table = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut v: Vec<_> = table
+                .iter()
+                .map(|(name, handle)| (name.clone(), Arc::clone(handle)))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let mut sessions = Vec::with_capacity(handles.len());
+        for (name, handle) in &handles {
+            match handle.lock() {
+                Ok(session) => sessions.push(persist_json(name, &session)),
+                Err(_) => {
+                    return Err(format!(
+                        "session {name:?} is poisoned; checkpoint skipped so its \
+                         WAL history survives for replay"
+                    ))
+                }
+            }
+        }
+        Ok(object(vec![
+            ("wal_seq", Json::Number(wal_seq as f64)),
+            ("sessions", Json::Array(sessions)),
+        ]))
+    }
+
+    /// Restores every session of a WAL checkpoint document into the
+    /// (empty, boot-time) session table, verifying each rebuilt
+    /// generation fingerprint. Returns the number of sessions restored.
+    ///
+    /// # Errors
+    ///
+    /// A malformed document, a session that does not rebuild on this
+    /// base topology, or a fingerprint mismatch.
+    pub fn restore_checkpoint(&self, doc: &Json) -> Result<usize, String> {
+        let sessions = doc
+            .get("sessions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "checkpoint is missing array \"sessions\"".to_string())?;
+        for session_doc in sessions {
+            self.restore_session_doc(session_doc, "wal checkpoint")?;
+        }
+        Ok(sessions.len())
+    }
+
+    /// Rebuilds one persisted session document, verifies its recorded
+    /// generation fingerprint against the rebuilt state, and inserts it
+    /// under its recorded name.
+    fn restore_session_doc(&self, doc: &Json, origin: &str) -> Result<String, String> {
         if doc.get("kind").and_then(Json::as_str) != Some(SNAPSHOT_KIND) {
             return Err(format!(
-                "{} is not a session snapshot (missing kind {SNAPSHOT_KIND:?})",
-                path.display()
+                "{origin} is not a session snapshot (missing kind {SNAPSHOT_KIND:?})"
             ));
         }
         if doc.get("v").and_then(Json::as_u64) != Some(crate::protocol::PROTOCOL_VERSION) {
-            return Err(format!("{}: unsupported snapshot version", path.display()));
+            return Err(format!("{origin}: unsupported snapshot version"));
         }
         let name = doc
             .get("session")
             .and_then(Json::as_str)
-            .ok_or_else(|| format!("{}: missing session name", path.display()))?
+            .ok_or_else(|| format!("{origin}: missing session name"))?
             .to_string();
         let generation = doc
             .get("generation")
             .and_then(Json::as_str)
             .and_then(|g| u64::from_str_radix(g, 16).ok())
-            .ok_or_else(|| format!("{}: missing or malformed generation", path.display()))?;
+            .ok_or_else(|| format!("{origin}: missing or malformed generation"))?;
         let events_applied = doc
             .get("events_applied")
             .and_then(Json::as_usize)
-            .ok_or_else(|| format!("{}: missing events_applied", path.display()))?;
-        let broken_nodes =
-            cost_pairs(&doc, "broken_nodes").map_err(|e| format!("{}: {e}", path.display()))?;
-        let broken_edges =
-            cost_pairs(&doc, "broken_edges").map_err(|e| format!("{}: {e}", path.display()))?;
-        let demands = demand_triples(&doc).map_err(|e| format!("{}: {e}", path.display()))?;
+            .ok_or_else(|| format!("{origin}: missing events_applied"))?;
+        let broken_nodes = cost_pairs(doc, "broken_nodes").map_err(|e| format!("{origin}: {e}"))?;
+        let broken_edges = cost_pairs(doc, "broken_edges").map_err(|e| format!("{origin}: {e}"))?;
+        let demands = demand_triples(doc).map_err(|e| format!("{origin}: {e}"))?;
         let mut session = Session::restore(
             Arc::clone(&self.base),
             &broken_nodes,
@@ -549,23 +750,19 @@ impl Engine {
             &demands,
             events_applied,
         )
-        .map_err(|e| format!("{}: {e}", path.display()))?;
+        .map_err(|e| format!("{origin}: {e}"))?;
         session.set_artifact(self.artifact.clone());
         if session.fingerprint() != generation {
             return Err(format!(
-                "{}: generation mismatch (snapshot {:016x}, rebuilt {:016x}) — \
+                "{origin}: generation mismatch (snapshot {:016x}, rebuilt {:016x}) — \
                  wrong base topology or corrupted snapshot",
-                path.display(),
                 generation,
                 session.fingerprint()
             ));
         }
         let mut table = self.sessions.lock().unwrap_or_else(PoisonError::into_inner);
         if table.contains_key(&name) {
-            return Err(format!(
-                "{}: session {name:?} already exists",
-                path.display()
-            ));
+            return Err(format!("{origin}: session {name:?} already exists"));
         }
         table.insert(name.clone(), Arc::new(Mutex::new(session)));
         Ok(name)
@@ -1111,8 +1308,9 @@ mod tests {
         );
 
         let e2 = engine();
-        let name = e2.restore_from_file(&path).unwrap();
-        assert_eq!(name, "ops");
+        let report = e2.restore_from_file(&path).unwrap();
+        assert_eq!(report.session, "ops");
+        assert!(report.warning.is_none(), "{:?}", report.warning);
         let snap2 = ok(&e2, r#"{"v":1,"id":"s2","session":"ops","op":"snapshot"}"#);
         assert_eq!(
             snap2.json().get("generation").cloned(),
@@ -1184,8 +1382,146 @@ mod tests {
         );
         ok(&e, &retry);
         let e2 = engine();
-        assert_eq!(e2.restore_from_file(&path).unwrap(), "default");
+        assert_eq!(e2.restore_from_file(&path).unwrap().session, "default");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_salvages_a_torn_trailing_record() {
+        let path = tmp_path("salvage");
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d0","op":"disrupt","edges":[1],"cost":1.0}"#,
+        );
+        let line = format!(
+            r#"{{"v":1,"id":"s1","op":"snapshot","path":{:?}}}"#,
+            path.to_str().unwrap()
+        );
+        ok(&e, &line);
+        // A crash mid-append leaves a partial frame after the good
+        // record; restore must verify record-by-record, truncate the
+        // tear away, and succeed with a typed warning.
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        let extra = fsio::frame_record(br#"{"junk":1}"#);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&extra[..extra.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+        let e2 = engine();
+        let report = e2.restore_from_file(&path).unwrap();
+        assert_eq!(report.session, "default");
+        let warning = report.warning.expect("salvage must be reported");
+        assert!(warning.contains("salvaged"), "{warning}");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            good_len,
+            "salvage truncates the file back to its valid prefix"
+        );
+        // After salvage the file is clean: a fresh restore warns nothing.
+        let e3 = engine();
+        assert!(e3.restore_from_file(&path).unwrap().warning.is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restore_rejects_torn_debris_with_no_intact_record() {
+        // atomic_write_torn's failure mode: the *target* is never
+        // damaged, but the .tmp debris holds a half-written frame. A
+        // restore pointed at such debris has nothing to salvage and
+        // must say so rather than fabricate a session.
+        let path = tmp_path("debris");
+        let doc_bytes = fsio::frame_record(br#"{"v":1,"kind":"netrec-session-snapshot"}"#);
+        let err = fsio::atomic_write_torn(&path, &doc_bytes, false, true).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        let debris = {
+            let mut name = path.file_name().unwrap().to_os_string();
+            name.push(".tmp");
+            path.with_file_name(name)
+        };
+        assert!(debris.exists(), "torn write leaves .tmp debris");
+        let e = engine();
+        let reason = e.restore_from_file(&debris).unwrap_err();
+        assert!(reason.contains("no intact snapshot record"), "{reason}");
+        let _ = std::fs::remove_file(&debris);
+    }
+
+    #[test]
+    fn health_answers_without_touching_sessions_or_indices() {
+        let e = faulty("crash@0; panic@0");
+        // Index 0 would crash/panic if health consumed an index — it
+        // must not (and must not create the default session either).
+        let r = ok(&e, r#"{"v":1,"id":"h1","op":"health"}"#);
+        assert_eq!(r.json().get("sessions"), Some(&Json::Number(0.0)));
+        assert!(r.json().get("uptime_ms").and_then(Json::as_f64).is_some());
+        assert_eq!(r.json().get("shutting_down"), Some(&Json::Bool(false)));
+        assert!(
+            r.json().get("wal_seq").is_none(),
+            "no WAL attached, no WAL counters: {}",
+            r.to_line()
+        );
+    }
+
+    #[test]
+    fn replay_rebuilds_the_live_state_byte_for_byte() {
+        let script = [
+            r#"{"v":1,"id":"d0","op":"disrupt","edges":[1,3],"cost":2.0}"#,
+            r#"{"v":1,"id":"q0","op":"query_routability"}"#,
+            r#"{"v":1,"id":"m0","op":"demand","pairs":[[1,2,4.0]]}"#,
+            r#"{"v":1,"id":"f0","op":"snapshot","fork":"side"}"#,
+            r#"{"v":1,"id":"r0","session":"side","op":"repair","edges":[3]}"#,
+            r#"{"v":1,"id":"p0","op":"query_plan","solver":"isp"}"#,
+        ];
+        let live = engine();
+        for line in &script {
+            live.process_line(line);
+        }
+        let recovered = engine();
+        for line in &script {
+            recovered.apply_replay(line).unwrap();
+        }
+        // Same sessions, same generations, and — because queries were
+        // replayed too — the same warm-path replies going forward.
+        assert_eq!(recovered.session_count(), live.session_count());
+        for probe in [
+            r#"{"v":1,"id":"s1","op":"snapshot"}"#,
+            r#"{"v":1,"id":"s2","session":"side","op":"snapshot"}"#,
+            r#"{"v":1,"id":"q9","op":"query_routability"}"#,
+        ] {
+            assert_eq!(live.process_line(probe), recovered.process_line(probe));
+        }
+    }
+
+    #[test]
+    fn checkpoint_doc_round_trips_through_restore_checkpoint() {
+        let e = engine();
+        ok(
+            &e,
+            r#"{"v":1,"id":"d0","op":"disrupt","edges":[1],"cost":1.5}"#,
+        );
+        ok(
+            &e,
+            r#"{"v":1,"id":"d1","session":"ops","op":"disrupt","nodes":[2],"cost":3.0}"#,
+        );
+        let doc = e.checkpoint_doc(7).unwrap();
+        assert_eq!(doc.get("wal_seq").and_then(Json::as_u64), Some(7));
+        let e2 = engine();
+        assert_eq!(e2.restore_checkpoint(&doc).unwrap(), 2);
+        for probe in [
+            r#"{"v":1,"id":"s1","op":"snapshot"}"#,
+            r#"{"v":1,"id":"s2","session":"ops","op":"snapshot"}"#,
+        ] {
+            assert_eq!(e.process_line(probe), e2.process_line(probe));
+        }
+    }
+
+    #[test]
+    fn checkpoint_doc_refuses_poisoned_sessions() {
+        let e = faulty("panic@0");
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.process_line(r#"{"v":1,"id":"d0","op":"disrupt","edges":[1],"cost":1.0}"#)
+        }));
+        let reason = e.checkpoint_doc(1).unwrap_err();
+        assert!(reason.contains("poisoned"), "{reason}");
     }
 
     /// Sweeps the test engine's base (intact plus every single-edge

@@ -43,6 +43,13 @@
 //!   crash. A seeded fault-injection plane
 //!   ([`netrec_core::FaultPlan`], `NETREC_FAULTS`) makes all of it
 //!   deterministically testable — see `DESIGN.md` §14.
+//! * **Durability** — with `--wal DIR`, every admitted request is
+//!   appended to a segmented, checksummed write-ahead log ([`wal`]) and
+//!   made durable per `--wal-sync` *before* its reply is released, so
+//!   no acknowledged event outlives the process only in memory. Boot
+//!   replays checkpoint + log suffix deterministically (salvaging a
+//!   torn tail), replies carry `wal_seq`, and the `health` op reports
+//!   the durability counters — see `DESIGN.md` §16.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,8 +58,10 @@ pub mod engine;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod wal;
 
-pub use engine::Engine;
+pub use engine::{Engine, RestoreReport};
 pub use protocol::{Op, ProtocolError, Request, Response, DEFAULT_SESSION, PROTOCOL_VERSION};
 pub use server::{run_stream, run_stream_with, OpLatency, ServeReport, Server, ServerConfig};
 pub use session::{Session, StalePlan};
+pub use wal::{SyncPolicy, Wal, WalBoot, WalHealth, WalRecord};

@@ -98,6 +98,12 @@ pub enum Op {
         /// daemon's `--restore` resurrects sessions from these files).
         path: Option<String>,
     },
+    /// Liveness/durability probe: uptime, session count, queue depth,
+    /// and WAL counters (`wal_seq`, durable seq, fsync lag). Answered
+    /// at admission time, exempt from load shedding, never logged to
+    /// the WAL, and consumes no request index — a supervisor can poll
+    /// it without perturbing fault schedules or replay determinism.
+    Health,
     /// Stop accepting input and exit once queued work drains.
     Shutdown,
 }
@@ -112,6 +118,7 @@ impl Op {
             Op::QueryRoutability { .. } => "query_routability",
             Op::QueryPlan { .. } => "query_plan",
             Op::Snapshot { .. } => "snapshot",
+            Op::Health => "health",
             Op::Shutdown => "shutdown",
         }
     }
@@ -357,6 +364,7 @@ impl Request {
                 fork: string_member(&doc, "fork", &id_some)?,
                 path: string_member(&doc, "path", &id_some)?,
             },
+            "health" => Op::Health,
             "shutdown" => Op::Shutdown,
             other => {
                 return Err(ProtocolError::new(
@@ -410,7 +418,7 @@ impl Request {
                 ));
                 members.push(("replace", Json::Bool(*replace)));
             }
-            Op::Shutdown => {}
+            Op::Health | Op::Shutdown => {}
             Op::QueryRoutability { degraded_ok } => {
                 // Rendered only when set, so pre-existing streams and
                 // goldens keep their exact bytes.
@@ -505,6 +513,17 @@ impl Response {
             ("ok", Json::Bool(false)),
             ("error", object(error)),
         ]))
+    }
+
+    /// Appends a top-level member to the reply envelope (used to stamp
+    /// `wal_seq` onto every reply when the write-ahead log is armed —
+    /// the member appears last, so WAL-off reply bytes are unchanged).
+    #[must_use]
+    pub fn with_member(mut self, key: &str, value: Json) -> Response {
+        if let Json::Object(members) = &mut self.0 {
+            members.push((key.to_string(), value));
+        }
+        self
     }
 
     /// The one-line wire encoding.
@@ -659,10 +678,25 @@ mod tests {
             },
         });
         round_trips(Request {
+            id: "h".into(),
+            session: None,
+            op: Op::Health,
+        });
+        round_trips(Request {
             id: "bye".into(),
             session: None,
             op: Op::Shutdown,
         });
+    }
+
+    #[test]
+    fn with_member_appends_to_the_envelope_tail() {
+        let reply = Response::ok("d1", "disrupt", vec![("broken_nodes", Json::Number(1.0))])
+            .with_member("wal_seq", Json::Number(7.0));
+        let line = reply.to_line();
+        assert!(line.ends_with(",\"wal_seq\":7}"), "{line}");
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(parsed.json().get("wal_seq").and_then(Json::as_u64), Some(7));
     }
 
     #[test]

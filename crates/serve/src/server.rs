@@ -35,6 +35,7 @@
 
 use crate::engine::Engine;
 use crate::protocol::{Op, Request, Response};
+use crate::wal::Wal;
 use netrec_json::Json;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, Read, Write};
@@ -84,6 +85,10 @@ struct Job {
     seq: u64,
     index: u64,
     enqueued_at: Instant,
+    /// The request's write-ahead log sequence number, when a WAL is
+    /// armed — stamped onto the reply so a reconnecting client can tell
+    /// durable events from lost-unacked ones.
+    wal_seq: Option<u64>,
     req: Request,
 }
 
@@ -97,12 +102,15 @@ struct SchedState {
     queued: HashSet<String>,
     /// Sessions a worker is currently executing.
     active: HashSet<String>,
-    /// Jobs submitted and not yet completed.
+    /// Jobs admitted (reserved) and not yet completed.
     in_flight: usize,
     /// EWMA of per-job service time in microseconds (retry hints).
     ewma_us: f64,
     /// Set by [`Server::finish`]: workers exit once drained.
     stopping: bool,
+    /// Set while a WAL checkpoint quiesces the pool: non-shutdown
+    /// admissions block until the checkpoint installs.
+    paused: bool,
 }
 
 impl Default for SchedState {
@@ -117,6 +125,7 @@ impl Default for SchedState {
             // the real mix within a handful of completions.
             ewma_us: 1_000.0,
             stopping: false,
+            paused: false,
         }
     }
 }
@@ -147,27 +156,48 @@ impl Scheduler {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Admits a job, or rejects it when the queue bounds are exceeded.
-    /// `force` (shutdown) bypasses both bounds: the drain path must
-    /// stay reachable under any overload.
+    /// Phase one of admission: claims an in-flight slot, or rejects
+    /// when the queue bounds are exceeded. `force` (shutdown) bypasses
+    /// both the bounds and a checkpoint pause: the drain path must stay
+    /// reachable under any overload and cannot deadlock behind a
+    /// quiesce. Admission is split from [`Scheduler::enqueue`] so the
+    /// write-ahead append can sit between them — a request's log record
+    /// exists before any worker can see the job, and a checkpoint's
+    /// drain barrier ([`Scheduler::pause_and_drain`]) cannot catch a
+    /// request after its append but outside the state it snapshots.
     ///
     /// # Errors
     ///
-    /// The rejected job plus a `retry_after_ms` hint — the estimated
-    /// time for the pool to drain the current backlog.
-    // The Err variant hands the whole job back so the shed path can
-    // render the reply; shedding is the cold path, so its size is fine.
-    #[allow(clippy::result_large_err)]
-    fn submit(&self, session: String, job: Job, force: bool) -> Result<(), (Job, u64)> {
+    /// A `retry_after_ms` hint — the estimated time for the pool to
+    /// drain the current backlog.
+    fn reserve(&self, session: &str, force: bool) -> Result<(), u64> {
         let mut st = self.lock();
+        while st.paused && !force {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
         if !force {
-            let session_pending = st.per_session.get(&session).map_or(0, VecDeque::len);
+            let session_pending = st.per_session.get(session).map_or(0, VecDeque::len);
             if st.in_flight >= self.max_queue || session_pending >= self.max_session_queue {
                 let backlog = st.in_flight.max(1) as f64;
                 let retry_ms = (backlog * st.ewma_us / self.workers as f64 / 1_000.0).ceil() as u64;
-                return Err((job, retry_ms.clamp(1, 30_000)));
+                return Err(retry_ms.clamp(1, 30_000));
             }
         }
+        st.in_flight += 1;
+        Ok(())
+    }
+
+    /// Releases a reservation whose write-ahead append failed: the
+    /// request was never logged, so it must never run.
+    fn unreserve(&self) {
+        let mut st = self.lock();
+        st.in_flight -= 1;
+        self.cv.notify_all();
+    }
+
+    /// Phase two of admission: queues a reserved job for the pool.
+    fn enqueue(&self, session: String, job: Job) {
+        let mut st = self.lock();
         st.per_session
             .entry(session.clone())
             .or_default()
@@ -175,9 +205,31 @@ impl Scheduler {
         if !st.active.contains(&session) && st.queued.insert(session.clone()) {
             st.run_queue.push_back(session);
         }
-        st.in_flight += 1;
         self.cv.notify_one();
-        Ok(())
+    }
+
+    /// Checkpoint quiesce: blocks new (non-shutdown) admissions and
+    /// waits until every reserved job has completed. On return the pool
+    /// is idle and every appended WAL record's effects are in session
+    /// state — exactly what a checkpoint must capture.
+    fn pause_and_drain(&self) {
+        let mut st = self.lock();
+        st.paused = true;
+        while st.in_flight > 0 {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Lifts the checkpoint pause.
+    fn resume(&self) {
+        self.lock().paused = false;
+        self.cv.notify_all();
+    }
+
+    /// Jobs admitted and not yet completed (the `health` op's queue
+    /// depth).
+    fn depth(&self) -> usize {
+        self.lock().in_flight
     }
 
     /// Blocks for the next runnable job; `None` means drained-and-stopping.
@@ -353,6 +405,15 @@ struct Shared {
     engine: Arc<Engine>,
     sched: Scheduler,
     latencies: Latencies,
+    /// The engine's write-ahead log, cached here so the read path can
+    /// append without an engine call per line.
+    wal: Option<Arc<Wal>>,
+    /// Serializes checkpoint cycles: two readers may see
+    /// `checkpoint_due` at once, and a second quiesce must not begin
+    /// until the first has fully installed (resuming admissions while
+    /// another install is still truncating segments could delete
+    /// records appended after its snapshot).
+    checkpoint_lock: Mutex<()>,
     /// Read-order index source for dispatched requests (fault-schedule
     /// key): assigned at *read* time, before any queueing, so the same
     /// input stream maps indices identically at any worker count.
@@ -454,14 +515,22 @@ fn worker_loop(shared: Arc<Shared>, handles: Arc<Mutex<Vec<JoinHandle<()>>>>) {
                 .engine
                 .dispatch_indexed(&job.req, job.index, Some(job.enqueued_at))
         }));
-        let line = match result {
-            Ok(response) => response.to_line(),
+        let response = match result {
+            Ok(response) => response,
             Err(payload) => Response::error(
                 Some(&job.req.id),
                 "internal_error",
                 &format!("worker panicked: {}", panic_message(payload)),
-            )
-            .to_line(),
+            ),
+        };
+        // Replies for logged requests carry their record's sequence
+        // number — including internal_error replies, whose mutation
+        // (if any) is just as durable as the panic-free case.
+        let line = match job.wal_seq {
+            Some(seq) => response
+                .with_member("wal_seq", Json::Number(seq as f64))
+                .to_line(),
+            None => response.to_line(),
         };
         shared
             .latencies
@@ -493,10 +562,13 @@ impl Server {
     /// Spawns `workers` worker threads over `engine` (clamped to ≥ 1).
     pub fn with_config(engine: Arc<Engine>, workers: usize, config: ServerConfig) -> Self {
         let workers = workers.max(1);
+        let wal = engine.wal().cloned();
         let shared = Arc::new(Shared {
             engine,
             sched: Scheduler::new(workers, &config),
             latencies: Latencies::default(),
+            wal,
+            checkpoint_lock: Mutex::new(()),
             request_counter: AtomicU64::new(0),
             #[cfg(test)]
             panic_after: AtomicU64::new(u64::MAX),
@@ -649,33 +721,93 @@ impl Server {
     }
 }
 
-/// Handles one read line: parse, index, admit (or shed), and reply
-/// inline for protocol errors. Returns `true` when the line was a
-/// `shutdown` request (the reader should stop consuming input).
+/// Handles one read line: parse, index, write-ahead log, admit (or
+/// shed), and reply inline for protocol errors and `health`. Returns
+/// `true` when the line was a `shutdown` request (the reader should
+/// stop consuming input).
 fn read_one_line(shared: &Arc<Shared>, conn: &Arc<ConnOut>, slot: u64, line: &str) -> bool {
     match Request::parse(line) {
         Ok(req) => {
+            // Health answers at read time: shed-exempt (it must work
+            // *because* the daemon is overloaded), consumes no request
+            // index (a polling supervisor must not shift the fault
+            // schedule), and is never WAL-logged (probes are not
+            // events).
+            if matches!(req.op, Op::Health) {
+                let started = Instant::now();
+                let response = shared
+                    .engine
+                    .health_response(&req.id, Some(shared.sched.depth()));
+                shared.latencies.record(req.op.name(), started.elapsed());
+                conn.deliver(slot, response.to_line());
+                return false;
+            }
             let is_shutdown = matches!(req.op, Op::Shutdown);
             let op_name = req.op.name();
             let index = shared.request_counter.fetch_add(1, Ordering::SeqCst);
-            let session = req.session_name().to_string();
-            let job = Job {
-                conn: Arc::clone(conn),
-                seq: slot,
-                index,
-                enqueued_at: Instant::now(),
-                req,
-            };
-            if let Err((job, retry_after_ms)) = shared.sched.submit(session, job, is_shutdown) {
+            // Bounded-log maintenance rides the read path: when enough
+            // records have accumulated, quiesce, snapshot every
+            // session, and truncate — *before* this request is
+            // admitted, so its own record lands after the checkpoint.
+            if let Some(wal) = &shared.wal {
+                if wal.checkpoint_due() {
+                    checkpoint_now(shared, wal);
+                }
+            }
+            if let Err(retry_after_ms) = shared.sched.reserve(req.session_name(), is_shutdown) {
                 let response = Response::error_with(
-                    Some(&job.req.id),
+                    Some(&req.id),
                     "overloaded",
                     "queue full; retry after the hinted backoff",
                     vec![("retry_after_ms", Json::Number(retry_after_ms as f64))],
                 );
                 shared.latencies.record(op_name, Duration::ZERO);
                 conn.deliver(slot, response.to_line());
+                return is_shutdown;
             }
+            // Write-ahead: the admitted request is logged and made
+            // durable per policy before any worker can execute it. The
+            // injected crash faults fire here — after admission, at or
+            // mid-append — the exact window the kill-loop harness
+            // sweeps. Shed requests above were never logged: no reply
+            // was promised, so no durability is owed.
+            let mut wal_seq = None;
+            if let Some(wal) = &shared.wal {
+                let faults = shared
+                    .engine
+                    .fault_plan()
+                    .map(|plan| plan.faults_at(index))
+                    .unwrap_or_default();
+                wal.crash_abort(&faults);
+                wal.torn_abort(line, &faults);
+                match wal.append_line(line) {
+                    Ok(seq) => wal_seq = Some(seq),
+                    Err(e) => {
+                        // Unlogged means unexecuted: release the slot
+                        // and refuse, or the reply would acknowledge an
+                        // event recovery cannot reproduce.
+                        shared.sched.unreserve();
+                        let response = Response::error(
+                            Some(&req.id),
+                            "io_error",
+                            &format!("write-ahead append failed; event not accepted: {e}"),
+                        );
+                        shared.latencies.record(op_name, Duration::ZERO);
+                        conn.deliver(slot, response.to_line());
+                        return is_shutdown;
+                    }
+                }
+            }
+            let session = req.session_name().to_string();
+            let job = Job {
+                conn: Arc::clone(conn),
+                seq: slot,
+                index,
+                enqueued_at: Instant::now(),
+                wal_seq,
+                req,
+            };
+            shared.sched.enqueue(session, job);
             is_shutdown
         }
         Err(e) => {
@@ -688,6 +820,36 @@ fn read_one_line(shared: &Arc<Shared>, conn: &Arc<ConnOut>, slot: u64, line: &st
             false
         }
     }
+}
+
+/// One checkpoint cycle: quiesce the pool, snapshot every session at
+/// the log's current high-water mark, install (atomic replace +
+/// segment truncation), resume. Failures downgrade to a stderr warning
+/// and the log is retained — the previous checkpoint plus the full
+/// suffix still recovers, it is just longer. A poisoned session also
+/// skips the cycle: its in-memory state is suspect, but its WAL history
+/// is sound, and replaying that history at next boot resurrects the
+/// session at its last pre-panic state.
+fn checkpoint_now(shared: &Shared, wal: &Arc<Wal>) {
+    let _serialize = shared
+        .checkpoint_lock
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    // A racing reader may have just finished this cycle; re-check under
+    // the lock so back-to-back quiesces don't stall the read path.
+    if !wal.checkpoint_due() {
+        return;
+    }
+    shared.sched.pause_and_drain();
+    match shared.engine.checkpoint_doc(wal.appended_seq()) {
+        Ok(doc) => {
+            if let Err(e) = wal.install_checkpoint(&doc) {
+                eprintln!("serve: wal checkpoint install failed (log retained): {e}");
+            }
+        }
+        Err(why) => eprintln!("serve: wal checkpoint skipped: {why}"),
+    }
+    shared.sched.resume();
 }
 
 /// The TCP connection loop: like [`Server::serve_connection`] but
@@ -790,11 +952,13 @@ impl Write for SharedBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wal::SyncPolicy;
     use netrec_core::solver::SolverSpec;
     use netrec_core::{FaultPlan, RecoveryProblem};
     use netrec_graph::Graph;
     use std::io::{BufRead, BufReader, Write};
     use std::net::TcpStream;
+    use std::path::{Path, PathBuf};
 
     fn problem() -> RecoveryProblem {
         let mut g = Graph::with_nodes(4);
@@ -991,6 +1155,173 @@ not json at all
         }
         sched.stop();
         assert!(sched.next().is_none(), "phantom skipped, drain reported");
+    }
+
+    fn wal_scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("netrec_server_wal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The sim crate's boot sequence in miniature: open the log,
+    /// restore checkpoint + replay suffix, attach.
+    fn wal_engine(dir: &Path, segment_records: u64) -> Arc<Engine> {
+        let (wal, boot) = Wal::open(dir, SyncPolicy::Always, segment_records).unwrap();
+        let engine = Engine::new(problem(), SolverSpec::parse("isp").unwrap());
+        if let Some(cp) = &boot.checkpoint {
+            engine.restore_checkpoint(cp).unwrap();
+        }
+        for record in &boot.records {
+            engine.apply_replay(&record.line).unwrap();
+        }
+        engine.attach_wal(Arc::new(wal));
+        Arc::new(engine)
+    }
+
+    #[test]
+    fn wal_replies_carry_wal_seq_and_recovery_replays_the_log() {
+        let dir = wal_scratch("seq");
+        let stream = r#"{"v":1,"id":"d1","op":"disrupt","edges":[1,3],"cost":1.0}
+{"v":1,"id":"h1","op":"health"}
+{"v":1,"id":"q1","op":"query_routability"}
+{"v":1,"id":"z","op":"shutdown"}
+"#;
+        let (out, _) = run_stream(wal_engine(&dir, 1024), 2, stream);
+        let replies: Vec<Response> = out.lines().map(|l| Response::parse(l).unwrap()).collect();
+        assert_eq!(replies.len(), 4);
+        // Logged requests carry their record seq; health is not logged
+        // but reports the log's high-water mark.
+        let seq_of = |r: &Response| r.json().get("wal_seq").and_then(Json::as_u64);
+        assert_eq!(seq_of(&replies[0]), Some(1), "{out}");
+        assert_eq!(seq_of(&replies[1]), Some(1), "health high-water: {out}");
+        assert!(
+            // Read-time depth: the preceding disrupt may still be in
+            // flight, so only the member's presence is deterministic.
+            replies[1]
+                .json()
+                .get("queue_depth")
+                .and_then(Json::as_u64)
+                .is_some(),
+            "{out}"
+        );
+        assert_eq!(seq_of(&replies[2]), Some(2));
+        assert_eq!(seq_of(&replies[3]), Some(3));
+
+        // A fresh engine over the same directory replays the log: the
+        // disruption survives the "crash" (health left no record).
+        let recovered = wal_engine(&dir, 1024);
+        let reply = recovered.process_line(r#"{"v":1,"id":"s","op":"snapshot"}"#);
+        let snap = Response::parse(&reply).unwrap();
+        assert_eq!(
+            snap.json().get("broken_edges").and_then(Json::as_u64),
+            Some(2),
+            "{reply}"
+        );
+        // And live appends continue after the replayed suffix.
+        let (out2, _) = run_stream(
+            recovered,
+            1,
+            "{\"v\":1,\"id\":\"d2\",\"op\":\"repair\",\"edges\":[1]}\n",
+        );
+        let r = Response::parse(out2.trim_end()).unwrap();
+        assert_eq!(seq_of(&r), Some(4), "{out2}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_checkpoints_quiesce_truncate_and_stay_byte_deterministic() {
+        let dir1 = wal_scratch("ckpt_a");
+        let dir2 = wal_scratch("ckpt_b");
+        // 14 logged requests against a 4-record segment cap: several
+        // checkpoint cycles ride the read path mid-stream.
+        let mut stream = String::new();
+        for i in 0..6 {
+            stream.push_str(&format!(
+                "{{\"v\":1,\"id\":\"d{i}\",\"op\":\"disrupt\",\"edges\":[{}],\"cost\":1.0}}\n",
+                i % 4
+            ));
+            stream.push_str(&format!(
+                "{{\"v\":1,\"id\":\"q{i}\",\"op\":\"query_routability\"}}\n"
+            ));
+        }
+        stream.push_str("{\"v\":1,\"id\":\"r\",\"op\":\"repair\",\"edges\":[0,1,2,3]}\n");
+        stream.push_str("{\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n");
+        let (out_small, _) = run_stream(wal_engine(&dir1, 4), 4, &stream);
+        let (out_large, _) = run_stream(wal_engine(&dir2, 1024), 4, &stream);
+        assert_eq!(
+            out_small, out_large,
+            "checkpoint cycles must not change a single reply byte"
+        );
+        // The checkpoint bounded the log: far fewer than 14 records
+        // remain on disk in the small-segment directory.
+        let (_, boot) = Wal::open(&dir1, SyncPolicy::Always, 4).unwrap();
+        let cp = boot.checkpoint.expect("a checkpoint was installed");
+        assert!(
+            cp.get("wal_seq").and_then(Json::as_u64).unwrap() >= 4,
+            "{cp:?}"
+        );
+        assert!(
+            boot.records.len() < 14,
+            "suffix is bounded: {} records",
+            boot.records.len()
+        );
+        // Both directories recover to identical *state*. (Only state:
+        // dir1 recovers through its checkpoint, so its oracle cache is
+        // cold and the snapshot's cumulative counters legitimately
+        // differ — generation and damage are what durability promises.)
+        let a = wal_engine(&dir1, 4);
+        let b = wal_engine(&dir2, 1024);
+        let probe = r#"{"v":1,"id":"s","op":"snapshot"}"#;
+        let snap_a = Response::parse(&a.process_line(probe)).unwrap();
+        let snap_b = Response::parse(&b.process_line(probe)).unwrap();
+        for member in [
+            "generation",
+            "broken_nodes",
+            "broken_edges",
+            "events_applied",
+        ] {
+            assert_eq!(
+                snap_a.json().get(member),
+                snap_b.json().get(member),
+                "{member}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir1);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn health_consumes_no_request_index_and_is_shed_exempt() {
+        // panic@0 hits read-order index 0. If health consumed an index,
+        // the disrupt after it would shift to index 1 and execute
+        // cleanly; instead the disrupt must be the one that panics.
+        let stream = r#"{"v":1,"id":"h0","op":"health"}
+{"v":1,"id":"d0","op":"disrupt","edges":[1],"cost":1.0}
+{"v":1,"id":"z","op":"shutdown"}
+"#;
+        let (out, report) = run_stream(faulty_engine("panic@0"), 1, stream);
+        let replies: Vec<Response> = out.lines().map(|l| Response::parse(l).unwrap()).collect();
+        assert_eq!(replies.len(), 3);
+        assert!(replies[0].is_ok(), "{out}");
+        assert_eq!(
+            replies[0].json().get("op").and_then(Json::as_str),
+            Some("health")
+        );
+        assert!(
+            replies[0]
+                .json()
+                .get("queue_depth")
+                .and_then(Json::as_u64)
+                .is_some(),
+            "server-side health reports queue depth: {out}"
+        );
+        assert_eq!(
+            replies[1].error_kind(),
+            Some("internal_error"),
+            "health must not have consumed index 0: {out}"
+        );
+        assert_eq!(report.op("health").unwrap().count, 1);
     }
 
     #[test]

@@ -11,9 +11,9 @@ use crate::cli::{build_problem, CliOptions, UsageError};
 use netrec_core::solver::SolverSpec;
 use netrec_core::FaultPlan;
 use netrec_disrupt::DisruptionModel;
-use netrec_serve::{Engine, Server, ServerConfig};
+use netrec_serve::{Engine, Server, ServerConfig, SyncPolicy, Wal};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The `serve --help` quickstart.
 pub const HELP: &str = "\
@@ -43,9 +43,32 @@ usage: netrec-cli serve [options]
                        `query_routability` from it when it can
                        (replies say \"answer_source\":\"artifact\") and
                        falls through to the live oracle otherwise
+  --wal DIR            write-ahead event log: every admitted request is
+                       appended (checksummed, segmented) and made
+                       durable before its reply is released; replies
+                       carry \"wal_seq\", and a restarted daemon replays
+                       checkpoint + log so no acknowledged event is
+                       lost (torn tails are salvaged with a warning)
+  --wal-sync MODE      durability policy: `always` (fsync per append),
+                       `interval:MS` (background flusher), or `off`
+                       (OS-buffered)                   (default always)
+  --wal-segment-records N  log records per segment file; also the
+                       checkpoint cadence                (default 1024)
+  --supervise          self-healing respawn loop: run the daemon as a
+                       child, restart it on crashes with exponential
+                       backoff (50ms doubling to 2s; recovery comes
+                       from --wal), and give up with a nonzero exit
+                       after 5 rapid crashes in a row
   --faults SPEC        arm the deterministic fault-injection plane
                        (chaos testing; also read from NETREC_FAULTS),
-                       e.g. 'seed=7;panic@12;solve_error=0.1;latency=1:5'
+                       e.g. 'seed=7;panic@12;solve_error=0.1;latency=1:5'.
+                       Crash drills (need --wal): `crash@I` aborts the
+                       process at request index I before the event is
+                       logged; `wal_torn@I` aborts midway through the
+                       append, leaving a torn tail for boot salvage.
+                       Both also take seeded rates (`crash=0.01`),
+                       decorrelated per kind and independent of
+                       --workers.
   --help
 
 protocol: one JSON object per line on stdin (and per TCP connection),
@@ -60,7 +83,12 @@ of the loaded topology. Ops:
   {\"v\":1,\"id\":\"q1\",\"op\":\"query_routability\"}
   {\"v\":1,\"id\":\"p1\",\"op\":\"query_plan\",\"solver\":\"isp\",\"deadline_ms\":250}
   {\"v\":1,\"id\":\"s1\",\"op\":\"snapshot\",\"fork\":\"what-if\"}
+  {\"v\":1,\"id\":\"h1\",\"op\":\"health\"}
   {\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}
+
+`health` is answered immediately at admission — never queued, shed,
+or written to the log — and reports uptime_ms, sessions, queue depth,
+and (under --wal) wal_seq, wal_durable_seq, and last_fsync_lag_ms.
 
 Responses echo the id and carry the session's generation fingerprint
 plus per-request oracle counters; errors are typed
@@ -75,6 +103,13 @@ with `overloaded` + retry_after_ms; `query_routability`/`query_plan`
 accept \"degraded_ok\":true for certified-threshold / last-known-good
 fallbacks marked \"degraded\":true; `snapshot` with \"path\" persists
 the session atomically for `--restore` after a crash.
+
+durability (DESIGN.md §16): with --wal, an event's reply is released
+only after its log record is durable per --wal-sync, so anything a
+client saw acknowledged survives a kill -9 and is replayed at the
+next boot byte-for-byte. Checkpoints (every --wal-segment-records
+events) bound replay time and truncate old segments. `--supervise`
+closes the loop: crash, respawn, recover, resume.
 ";
 
 /// Parsed `serve` options: the shared problem flags plus daemon knobs.
@@ -96,6 +131,15 @@ pub struct ServeOptions {
     pub restore: Vec<String>,
     /// Precomputed routability artifact to front every session with.
     pub artifact: Option<String>,
+    /// Write-ahead log directory (`--wal`); `None` = durability off.
+    pub wal: Option<String>,
+    /// Durability policy for WAL appends (`--wal-sync`).
+    pub wal_sync: SyncPolicy,
+    /// Records per WAL segment and checkpoint cadence
+    /// (`--wal-segment-records`).
+    pub wal_segment_records: u64,
+    /// Run under the self-healing respawn loop (`--supervise`).
+    pub supervise: bool,
 }
 
 /// Parses `serve` argv (without the leading `serve`).
@@ -113,6 +157,10 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
     let mut faults = None;
     let mut restore = Vec::new();
     let mut artifact = None;
+    let mut wal = None;
+    let mut wal_sync = None;
+    let mut wal_segment_records = None;
+    let mut supervise = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -185,6 +233,35 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
                         .ok_or_else(|| UsageError("missing value for --artifact".into()))?,
                 );
             }
+            "--wal" => {
+                i += 1;
+                wal = Some(
+                    args.get(i)
+                        .cloned()
+                        .ok_or_else(|| UsageError("missing value for --wal".into()))?,
+                );
+            }
+            "--wal-sync" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or_else(|| UsageError("missing value for --wal-sync".into()))?;
+                wal_sync = Some(
+                    SyncPolicy::parse(spec).map_err(|e| UsageError(format!("--wal-sync: {e}")))?,
+                );
+            }
+            "--wal-segment-records" => {
+                i += 1;
+                wal_segment_records = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .ok_or_else(|| {
+                            UsageError("--wal-segment-records needs a positive integer".into())
+                        })?,
+                );
+            }
+            "--supervise" => supervise = true,
             _ => problem_args.push(args[i].clone()),
         }
         i += 1;
@@ -199,6 +276,11 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
             "serve does not take --list-algorithms/--report/--schedule".into(),
         ));
     }
+    if wal.is_none() && (wal_sync.is_some() || wal_segment_records.is_some()) {
+        return Err(UsageError(
+            "--wal-sync/--wal-segment-records need --wal DIR".into(),
+        ));
+    }
     let default_algo = problem.algorithm.clone();
     Ok(ServeOptions {
         problem,
@@ -209,6 +291,10 @@ pub fn parse_args(args: &[String]) -> Result<ServeOptions, UsageError> {
         faults,
         restore,
         artifact,
+        wal,
+        wal_sync: wal_sync.unwrap_or(SyncPolicy::Always),
+        wal_segment_records: wal_segment_records.unwrap_or(Wal::SEGMENT_RECORDS),
+        supervise,
     })
 }
 
@@ -261,11 +347,80 @@ pub fn boot_engine(opts: &ServeOptions) -> Result<(Arc<Engine>, String), UsageEr
         ));
         engine = engine.with_artifact(artifact);
     }
+    // Write-ahead recovery runs before --restore: the log is the
+    // authority on everything the daemon already acknowledged, and a
+    // --restore of a session the log resurrects is skipped (that makes
+    // a supervised respawn's argv idempotent).
+    let wal = match &opts.wal {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let (wal, boot) = Wal::open(dir, opts.wal_sync, opts.wal_segment_records)
+                .map_err(|e| UsageError(format!("--wal: {}: {e}", dir.display())))?;
+            for warning in &boot.warnings {
+                banner.push_str(&format!("\nserve: wal: {warning}"));
+            }
+            let checkpoint_sessions = match &boot.checkpoint {
+                Some(doc) => engine
+                    .restore_checkpoint(doc)
+                    .map_err(|e| UsageError(format!("--wal: checkpoint: {e}")))?,
+                None => 0,
+            };
+            let mut replayed = 0usize;
+            for record in &boot.records {
+                if let Err(e) = engine.apply_replay(&record.line) {
+                    banner.push_str(&format!(
+                        "\nserve: wal: replay stopped at seq {}: {e}",
+                        record.seq
+                    ));
+                    break;
+                }
+                replayed += 1;
+            }
+            banner.push_str(&format!(
+                "\nserve: wal armed at {} (sync {}): {checkpoint_sessions} session(s) from \
+                 checkpoint, {replayed} event(s) replayed, next seq {}",
+                wal.dir().display(),
+                wal.policy(),
+                wal.appended_seq() + 1,
+            ));
+            Some(wal)
+        }
+        None => None,
+    };
     for path in &opts.restore {
-        let name = engine
-            .restore_from_file(std::path::Path::new(path))
-            .map_err(|e| UsageError(format!("--restore: {e}")))?;
-        banner.push_str(&format!("\nserve: restored session {name:?} from {path}"));
+        match engine.restore_from_file(std::path::Path::new(path)) {
+            Ok(report) => {
+                banner.push_str(&format!(
+                    "\nserve: restored session {:?} from {path}",
+                    report.session
+                ));
+                if let Some(w) = report.warning {
+                    banner.push_str(&format!("\nserve: restore: {path}: {w}"));
+                }
+            }
+            Err(e) if wal.is_some() && e.contains("already exists") => {
+                banner.push_str(&format!(
+                    "\nserve: restore: {path} skipped: the write-ahead log already \
+                     rebuilt that session"
+                ));
+            }
+            Err(e) => return Err(UsageError(format!("--restore: {e}"))),
+        }
+    }
+    if let Some(wal) = wal {
+        // Sessions arriving via --restore are not in the log, so fold
+        // them into a fresh checkpoint before serving: a crash before
+        // the first runtime checkpoint must not lose them.
+        if !opts.restore.is_empty() {
+            let doc = engine
+                .checkpoint_doc(wal.appended_seq())
+                .map_err(|e| UsageError(format!("--wal: boot checkpoint: {e}")))?;
+            wal.install_checkpoint(&doc)
+                .map_err(|e| UsageError(format!("--wal: boot checkpoint: {e}")))?;
+        }
+        let wal = Arc::new(wal);
+        engine.attach_wal(Arc::clone(&wal));
+        Wal::spawn_flusher(&wal);
     }
     Ok((Arc::new(engine), banner))
 }
@@ -280,6 +435,9 @@ pub fn boot_engine(opts: &ServeOptions) -> Result<(Arc<Engine>, String), UsageEr
 /// Usage errors for malformed argv or an unbindable TCP address.
 pub fn run(args: &[String]) -> Result<i32, UsageError> {
     let opts = parse_args(args)?;
+    if opts.supervise {
+        return supervise(args, &opts);
+    }
     let (engine, banner) = boot_engine(&opts)?;
     eprintln!("{banner}");
 
@@ -316,6 +474,74 @@ pub fn run(args: &[String]) -> Result<i32, UsageError> {
         .finish();
     eprint!("{}", report.render());
     Ok(0)
+}
+
+/// First respawn delay after a crash; doubles per consecutive crash.
+const BACKOFF_START: Duration = Duration::from_millis(50);
+/// Ceiling on the respawn backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+/// A child that dies faster than this counts toward the crash loop.
+const FAST_CRASH: Duration = Duration::from_secs(1);
+/// Consecutive fast crashes before the supervisor gives up.
+const CRASH_LOOP_LIMIT: u32 = 5;
+
+/// The `--supervise` respawn loop: re-exec this binary as `serve` with
+/// the same argv (minus `--supervise`), inheriting stdio, and restart
+/// it whenever it dies abnormally. Recovery is the child's job — it
+/// replays `--wal` at boot — so the supervisor stays a dumb loop:
+/// exponential backoff between respawns, and after
+/// [`CRASH_LOOP_LIMIT`] consecutive sub-[`FAST_CRASH`] lifetimes it
+/// stops masking what is clearly a deterministic crash and exits
+/// nonzero. A clean child exit (code 0, e.g. `shutdown`) ends the loop.
+///
+/// # Errors
+///
+/// A [`UsageError`] when the binary cannot be located or spawned.
+fn supervise(args: &[String], opts: &ServeOptions) -> Result<i32, UsageError> {
+    if opts.wal.is_none() {
+        eprintln!(
+            "serve: supervising without --wal: a respawned daemon restarts from the boot \
+             problem and loses all session state"
+        );
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| UsageError(format!("--supervise: cannot locate own executable: {e}")))?;
+    let child_args: Vec<&String> = args
+        .iter()
+        .filter(|a| a.as_str() != "--supervise")
+        .collect();
+    let mut backoff = BACKOFF_START;
+    let mut fast_crashes = 0u32;
+    loop {
+        let started = Instant::now();
+        let status = std::process::Command::new(&exe)
+            .arg("serve")
+            .args(&child_args)
+            .status()
+            .map_err(|e| UsageError(format!("--supervise: cannot spawn daemon: {e}")))?;
+        if status.success() {
+            return Ok(0);
+        }
+        if started.elapsed() < FAST_CRASH {
+            fast_crashes += 1;
+            if fast_crashes >= CRASH_LOOP_LIMIT {
+                eprintln!(
+                    "serve: crash loop: {fast_crashes} rapid exits in a row (last: {status}); \
+                     giving up"
+                );
+                return Ok(1);
+            }
+        } else {
+            fast_crashes = 0;
+            backoff = BACKOFF_START;
+        }
+        eprintln!(
+            "serve: daemon died ({status}); respawning in {}ms",
+            backoff.as_millis()
+        );
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(BACKOFF_CAP);
+    }
 }
 
 /// A `Send` stdout handle (the daemon's output sequencer owns its sink).
@@ -391,6 +617,34 @@ mod tests {
         assert!(parse_args(&args(&["--faults", "frobnicate@3"])).is_err());
         assert!(parse_args(&args(&["--restore"])).is_err());
         assert!(parse_args(&args(&["--artifact"])).is_err());
+        assert!(parse_args(&args(&["--wal"])).is_err());
+        assert!(parse_args(&args(&["--wal-sync", "soon"])).is_err());
+        assert!(parse_args(&args(&["--wal-segment-records", "0"])).is_err());
+        // Tuning knobs without a log to tune are a mistake, not a no-op.
+        assert!(parse_args(&args(&["--wal-sync", "off"])).is_err());
+        assert!(parse_args(&args(&["--wal-segment-records", "8"])).is_err());
+    }
+
+    #[test]
+    fn parses_durability_flags() {
+        let o = parse_args(&args(&["--wal", "/tmp/w"])).unwrap();
+        assert_eq!(o.wal.as_deref(), Some("/tmp/w"));
+        assert_eq!(o.wal_sync, SyncPolicy::Always);
+        assert_eq!(o.wal_segment_records, Wal::SEGMENT_RECORDS);
+        assert!(!o.supervise);
+        let o = parse_args(&args(&[
+            "--wal",
+            "/tmp/w",
+            "--wal-sync",
+            "interval:25",
+            "--wal-segment-records",
+            "64",
+            "--supervise",
+        ]))
+        .unwrap();
+        assert_eq!(o.wal_sync, SyncPolicy::Interval(25));
+        assert_eq!(o.wal_segment_records, 64);
+        assert!(o.supervise);
     }
 
     #[test]
@@ -527,6 +781,48 @@ mod tests {
         missing.extend(args(&["--artifact", "/nonexistent/nope.nra"]));
         let opts = parse_args(&missing).unwrap();
         assert!(boot_engine(&opts).is_err());
+    }
+
+    #[test]
+    fn wal_boot_recovers_acknowledged_events_across_daemons() {
+        let dir = std::env::temp_dir().join(format!("netrec-serve-cli-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flags = [
+            "--pairs",
+            "2",
+            "--flow",
+            "1",
+            "--wal",
+            dir.to_str().unwrap(),
+            "--wal-sync",
+            "off",
+        ];
+        let opts = parse_args(&args(&flags)).unwrap();
+        let (engine, banner) = boot_engine(&opts).unwrap();
+        assert!(banner.contains("wal armed"), "{banner}");
+        assert!(banner.contains("0 event(s) replayed"), "{banner}");
+        let (out, _) = run_stream(
+            engine,
+            1,
+            "{\"v\":1,\"id\":\"d\",\"op\":\"disrupt\",\"edges\":[2,5],\"cost\":1.0}\n\
+             {\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n",
+        );
+        assert!(out.contains("\"wal_seq\":1"), "{out}");
+
+        // A second daemon over the same directory replays the log and
+        // continues the sequence where the first left off.
+        let opts = parse_args(&args(&flags)).unwrap();
+        let (engine, banner) = boot_engine(&opts).unwrap();
+        assert!(banner.contains("event(s) replayed"), "{banner}");
+        let (out, _) = run_stream(
+            engine,
+            1,
+            "{\"v\":1,\"id\":\"s\",\"op\":\"snapshot\"}\n\
+             {\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n",
+        );
+        assert!(out.contains("\"broken_edges\":2"), "{out}");
+        assert!(out.contains("\"wal_seq\":3"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

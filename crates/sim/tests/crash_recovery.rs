@@ -1,0 +1,329 @@
+//! The durability theorem, executed against the real binary: kill the
+//! daemon at seeded points across the committed 222-request stream —
+//! including mid-WAL-append — restart it over the same `--wal`
+//! directory, and every surviving reply is byte-identical to the
+//! uninterrupted golden run, at one worker and at four.
+//!
+//! The kill itself is the daemon's own fault plane (`crash@I` aborts
+//! before request I's record exists; `wal_torn@I` aborts midway through
+//! the append, leaving a genuinely torn tail), so the cut point is
+//! deterministic and the durable prefix is known exactly: requests
+//! `0..I`. The harness therefore checks three things per kill point:
+//!
+//! 1. every reply the dying daemon released is a byte prefix of the
+//!    golden transcript (nothing wrong was ever acknowledged);
+//! 2. the on-disk log bytes are identical at workers 1 and 4 (the
+//!    durable cut does not depend on scheduling);
+//! 3. the restarted daemon replays the log and answers the rest of the
+//!    stream byte-identically to the golden run — state, warmth, and
+//!    `wal_seq` numbering all survive the crash.
+//!
+//! Scratch directories live under `target/crash-smoke/` and are kept on
+//! failure so CI can upload the offending log.
+
+use netrec_serve::Request;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+/// The committed smoke stream (222 lines, three sessions, deliberate
+/// protocol errors, final shutdown) — the same stream the chaos-replay
+/// suite holds the containment rules to.
+const EVENTS: &str = include_str!("../../../examples/serve/events.jsonl");
+
+/// The daemon binary under test.
+const BIN: &str = env!("CARGO_BIN_EXE_netrec-cli");
+
+/// Cheap problem flags: the stream's own `demand` events replace the
+/// boot demand set, so a small one keeps debug-profile runs fast
+/// without changing what the stream exercises.
+const PROBLEM: [&str; 4] = ["--pairs", "2", "--flow", "1"];
+
+fn scratch_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/crash-smoke")
+}
+
+/// Runs the daemon to completion with `input` on stdin, feeding it from
+/// a writer thread (the daemon may abort mid-stream; a broken pipe is
+/// expected, not an error).
+fn run_daemon(args: &[String], input: &str) -> Output {
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let input = input.to_string();
+    let writer = std::thread::spawn(move || {
+        let _ = stdin.write_all(input.as_bytes());
+    });
+    let out = child.wait_with_output().expect("wait for daemon");
+    writer.join().expect("stdin writer");
+    out
+}
+
+fn serve_args(workers: usize, wal: &Path, faults: Option<&str>) -> Vec<String> {
+    let mut args: Vec<String> = PROBLEM.iter().map(|s| s.to_string()).collect();
+    args.extend([
+        "--workers".into(),
+        workers.to_string(),
+        "--wal".into(),
+        wal.display().to_string(),
+        "--wal-sync".into(),
+        "always".into(),
+    ]);
+    if let Some(spec) = faults {
+        args.extend(["--faults".into(), spec.to_string()]);
+    }
+    args
+}
+
+/// 0-based line numbers of the stream lines that consume a request
+/// index (protocol-error lines are answered without one), in dispatch
+/// order — `dispatch_lines()[i]` is the line killed by `crash@i`.
+fn dispatch_lines() -> Vec<usize> {
+    EVENTS
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| Request::parse(l).is_ok())
+        .map(|(n, _)| n)
+        .collect()
+}
+
+/// The durable log as one byte string: every `wal-*.log` segment in
+/// name order (torn tail included — the cut must be scheduling-
+/// independent down to the half-written record).
+fn log_bytes(dir: &Path) -> Vec<u8> {
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read wal dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("wal-"))
+        })
+        .collect();
+    segments.sort();
+    let mut bytes = Vec::new();
+    for seg in segments {
+        bytes.extend(std::fs::read(&seg).expect("read segment"));
+    }
+    bytes
+}
+
+#[test]
+fn killed_at_twenty_points_the_daemon_recovers_byte_identically() {
+    let golden_w1 = run_daemon(
+        &serve_args(1, &scratch_root().join("golden-w1"), None),
+        EVENTS,
+    );
+    let golden_w4 = run_daemon(
+        &serve_args(4, &scratch_root().join("golden-w4"), None),
+        EVENTS,
+    );
+    assert!(golden_w1.status.success() && golden_w4.status.success());
+    assert_eq!(
+        golden_w1.stdout, golden_w4.stdout,
+        "the golden transcript is byte-deterministic across worker counts"
+    );
+    let golden_text = String::from_utf8(golden_w1.stdout).expect("golden is UTF-8");
+    let golden: Vec<&str> = golden_text.lines().collect();
+    assert_eq!(golden.len(), EVENTS.lines().count(), "golden answers all");
+
+    let lines = dispatch_lines();
+    // Kill points spread across the stream; the last dispatched request
+    // is the shutdown, which must stay reachable in the recovery run.
+    let crash: &[u64] = &[
+        0, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 120, 144, 170, 190, 205,
+    ];
+    let torn: &[u64] = &[4, 10, 30, 70, 110, 150, 195];
+    let mut points: Vec<(&str, u64)> = crash.iter().map(|&i| ("crash", i)).collect();
+    points.extend(torn.iter().map(|&i| ("wal_torn", i)));
+    points.retain(|&(_, i)| (i as usize) < lines.len() - 1);
+    assert!(points.len() >= 20, "need at least 20 kill points");
+    // The full matrix is a release-profile (CI crash-smoke) workout; a
+    // debug `cargo test` keeps a spread sample so the harness still
+    // exercises both fault kinds and both worker counts everywhere.
+    if cfg!(debug_assertions) {
+        points = vec![
+            ("crash", 0),
+            ("crash", 55),
+            ("wal_torn", 10),
+            ("wal_torn", 195),
+        ];
+    }
+
+    for (kind, index) in points {
+        // The cut: the stream line whose admission kills the daemon.
+        // Requests before it are durable; it and everything after were
+        // never accepted and are re-offered to the recovered daemon.
+        let cut = lines[index as usize];
+        let remainder: String = EVENTS.lines().skip(cut).flat_map(|l| [l, "\n"]).collect();
+        let mut w1_log: Vec<u8> = Vec::new();
+        for workers in [1usize, 4] {
+            let dir = scratch_root().join(format!("{kind}-{index}-w{workers}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let fault = format!("seed=13;{kind}@{index}");
+            let died = run_daemon(&serve_args(workers, &dir, Some(&fault)), EVENTS);
+            assert!(
+                !died.status.success(),
+                "{kind}@{index} w{workers}: the daemon must die at the kill point"
+            );
+            let acked = String::from_utf8(died.stdout).expect("phase-A output is UTF-8");
+            let acked: Vec<&str> = acked.lines().collect();
+            assert!(
+                acked.len() <= cut,
+                "{kind}@{index} w{workers}: no reply at or past the cut line"
+            );
+            for (i, reply) in acked.iter().enumerate() {
+                assert_eq!(
+                    reply, &golden[i],
+                    "{kind}@{index} w{workers}: acknowledged reply {i} must be \
+                     byte-identical to the golden"
+                );
+            }
+            let bytes = log_bytes(&dir);
+            if workers == 1 {
+                w1_log = bytes;
+            } else {
+                assert_eq!(
+                    bytes, w1_log,
+                    "{kind}@{index}: the durable log bytes must not depend on \
+                     the worker count"
+                );
+            }
+
+            let recovered = run_daemon(&serve_args(workers, &dir, None), &remainder);
+            assert!(
+                recovered.status.success(),
+                "{kind}@{index} w{workers}: recovery run must exit cleanly"
+            );
+            let boot_log = String::from_utf8_lossy(&recovered.stderr).to_string();
+            if kind == "wal_torn" {
+                assert!(
+                    boot_log.contains("salvaged"),
+                    "{kind}@{index} w{workers}: boot must report the torn tail:\n{boot_log}"
+                );
+            }
+            let replies = String::from_utf8(recovered.stdout).expect("phase-B output is UTF-8");
+            let replies: Vec<&str> = replies.lines().collect();
+            assert_eq!(
+                replies.len(),
+                golden.len() - cut,
+                "{kind}@{index} w{workers}: the recovered daemon answers the \
+                 whole remainder"
+            );
+            for (i, reply) in replies.iter().enumerate() {
+                assert_eq!(
+                    reply,
+                    &golden[cut + i],
+                    "{kind}@{index} w{workers}: post-recovery reply {i} must be \
+                     byte-identical to the golden (boot warnings:\n{boot_log})"
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(scratch_root().join("golden-w1"));
+    let _ = std::fs::remove_dir_all(scratch_root().join("golden-w4"));
+}
+
+/// Drip-feeds lines to a supervised daemon's stdin. The pacing matters:
+/// a crashing child loses whatever its reader had buffered, so each
+/// line is written only after the previous one had time to land.
+fn drip(mut stdin: std::process::ChildStdin, lines: Vec<String>, gap: Duration) {
+    std::thread::spawn(move || {
+        for line in lines {
+            if stdin.write_all(line.as_bytes()).is_err() {
+                return; // supervisor exited; expected for crash loops
+            }
+            let _ = stdin.flush();
+            std::thread::sleep(gap);
+        }
+    });
+}
+
+#[test]
+fn supervisor_respawns_through_a_torn_crash_and_finishes_the_stream() {
+    let dir = scratch_root().join("supervise-recover");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut args = serve_args(2, &dir, Some("seed=13;wal_torn@2"));
+    args.push("--supervise".into());
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn supervisor");
+    // The third disrupt aborts the first daemon mid-append; the respawn
+    // replays the two durable events and serves the rest. Its own fault
+    // plan is identical (argv is inherited) but harmless: the respawned
+    // daemon never reaches request index 2.
+    drip(
+        child.stdin.take().expect("stdin piped"),
+        vec![
+            "{\"v\":1,\"id\":\"d0\",\"op\":\"disrupt\",\"edges\":[1],\"cost\":1.0}\n".into(),
+            "{\"v\":1,\"id\":\"d1\",\"op\":\"disrupt\",\"edges\":[2],\"cost\":1.0}\n".into(),
+            "{\"v\":1,\"id\":\"d2\",\"op\":\"disrupt\",\"edges\":[3],\"cost\":1.0}\n".into(),
+            "{\"v\":1,\"id\":\"s\",\"op\":\"snapshot\"}\n".into(),
+            "{\"v\":1,\"id\":\"z\",\"op\":\"shutdown\"}\n".into(),
+        ],
+        Duration::from_millis(600),
+    );
+    let out = child.wait_with_output().expect("wait for supervisor");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "clean shutdown propagates: {stderr}");
+    assert!(stderr.contains("respawning"), "{stderr}");
+    assert!(
+        stderr.contains("salvaged"),
+        "the respawned daemon must salvage the torn tail: {stderr}"
+    );
+    // d0 and d1 were durable and survive; d2 died mid-append and was
+    // never acknowledged, so the recovered session has exactly two
+    // broken edges and the snapshot is WAL event 3.
+    assert!(stdout.contains("\"broken_edges\":2"), "{stdout}");
+    assert!(stdout.contains("\"wal_seq\":3"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervisor_gives_up_on_a_crash_loop_instead_of_masking_it() {
+    let dir = scratch_root().join("supervise-loop");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut args = serve_args(1, &dir, Some("seed=13;crash@0"));
+    args.push("--supervise".into());
+    let mut child = Command::new(BIN)
+        .arg("serve")
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn supervisor");
+    // Every child aborts on its first request, so keep requests coming
+    // until the supervisor declares a crash loop and exits nonzero.
+    let fuel: Vec<String> = (0..60)
+        .map(|i| format!("{{\"v\":1,\"id\":\"f{i}\",\"op\":\"query_routability\"}}\n"))
+        .collect();
+    drip(
+        child.stdin.take().expect("stdin piped"),
+        fuel,
+        Duration::from_millis(150),
+    );
+    let out = child.wait_with_output().expect("wait for supervisor");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "a deterministic crash must surface, not loop forever: {stderr}"
+    );
+    assert!(stderr.contains("crash loop"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
